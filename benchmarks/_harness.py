@@ -1,0 +1,54 @@
+"""Shared infrastructure for the benchmark harnesses.
+
+Every benchmark module regenerates one table or figure of the paper: it
+prints the same rows/series the paper reports and mirrors them into
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can cite stable output.
+
+Scale knobs: a pure-Python CDCL solver is orders of magnitude slower than
+Kissat, so default sweeps are laptop-sized.  Environment variables lift
+them toward the paper's ranges:
+
+* ``FERMIHEDRAL_BENCH_MAX_MODES`` — cap on mode sweeps (default per bench).
+* ``FERMIHEDRAL_BENCH_BUDGET_S`` — per-SAT-call time budget in seconds.
+* ``FERMIHEDRAL_BENCH_SHOTS`` — noisy-simulation shots.
+
+Caps are reported in the output, never silent.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def int_env(name: str, default: int) -> int:
+    value = os.environ.get(name)
+    return default if value is None else int(value)
+
+
+def float_env(name: str, default: float) -> float:
+    value = os.environ.get(name)
+    return default if value is None else float(value)
+
+
+def budget_seconds(default: float = 30.0) -> float:
+    return float_env("FERMIHEDRAL_BENCH_BUDGET_S", default)
+
+
+def max_modes(default: int) -> int:
+    return int_env("FERMIHEDRAL_BENCH_MAX_MODES", default)
+
+
+def shots(default: int) -> int:
+    return int_env("FERMIHEDRAL_BENCH_SHOTS", default)
+
+
+def report(name: str, text: str) -> str:
+    """Print a result block and persist it under benchmarks/results/."""
+    banner = f"\n=== {name} ===\n{text}\n"
+    print(banner)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    return banner

@@ -1,0 +1,54 @@
+"""Ablation — linear descent (the paper's Algorithm 1) vs bisection.
+
+Both strategies reach the same optimum; the interesting quantities are the
+number of SAT calls and how the calls distribute between SAT (easy-ish)
+and UNSAT (hard) queries.  Bisection wins when the baseline bound starts
+far above the optimum; linear wins when the first model already lands
+close (which warm-started instances often do).
+"""
+
+from __future__ import annotations
+
+from _harness import budget_seconds, report
+
+from repro.analysis.tables import format_table
+from repro.core import FermihedralConfig, SolverBudget, descend
+
+
+def _run(num_modes: int, strategy: str):
+    config = FermihedralConfig(
+        strategy=strategy,
+        budget=SolverBudget(time_budget_s=budget_seconds(45.0)),
+    )
+    return descend(num_modes, config=config)
+
+
+def test_ablation_descent_strategy(benchmark):
+    rows = []
+    for num_modes in (2, 3, 4):
+        linear = _run(num_modes, "linear")
+        bisect = _run(num_modes, "bisection")
+        rows.append(
+            [
+                num_modes,
+                linear.weight,
+                linear.sat_calls,
+                f"{linear.solve_time_s:.2f}s",
+                bisect.weight,
+                bisect.sat_calls,
+                f"{bisect.solve_time_s:.2f}s",
+            ]
+        )
+        if linear.proved_optimal and bisect.proved_optimal:
+            assert linear.weight == bisect.weight
+
+    table = format_table(
+        [
+            "modes", "linear weight", "linear calls", "linear time",
+            "bisect weight", "bisect calls", "bisect time",
+        ],
+        rows,
+    )
+    report("ablation_strategy", table)
+
+    benchmark.pedantic(_run, args=(3, "bisection"), rounds=1, iterations=1)

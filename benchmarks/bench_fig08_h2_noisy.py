@@ -1,0 +1,85 @@
+"""Figure 8 — noisy simulation of H2 from eigenstates E0..E3.
+
+JW vs BK vs Full SAT across a 2-qubit-gate error sweep.  The paper's
+qualitative result asserted here: at the highest noise level, the Full
+SAT encoding's energy drift from the true eigenvalue does not exceed the
+baselines' (fewer gates -> fewer error sites).
+"""
+
+from __future__ import annotations
+
+from _harness import budget_seconds, int_env, report, shots
+from _noisy import noisy_energy_grid
+
+from repro.analysis.tables import format_table
+from repro.core import FermihedralConfig, SolverBudget, solve_full_sat
+from repro.encodings import bravyi_kitaev, jordan_wigner
+from repro.fermion import h2_hamiltonian
+
+ERROR_RATES = [1e-4, 1e-3, 1e-2]
+LEVELS = int_env("FERMIHEDRAL_BENCH_FIG8_LEVELS", 4)
+SHOTS = shots(80)
+
+
+def _encodings(hamiltonian):
+    config = FermihedralConfig(budget=SolverBudget(time_budget_s=budget_seconds(45.0)))
+    return [
+        jordan_wigner(4),
+        bravyi_kitaev(4),
+        solve_full_sat(hamiltonian, config).encoding,
+    ]
+
+
+def test_fig08_h2_noisy_simulation(benchmark):
+    hamiltonian = h2_hamiltonian()
+    grids = {}
+    for encoding in _encodings(hamiltonian):
+        grids[encoding.name] = noisy_energy_grid(
+            hamiltonian, encoding, LEVELS, ERROR_RATES, SHOTS
+        )
+
+    rows = []
+    for name, grid in grids.items():
+        for point in grid:
+            rows.append(
+                [
+                    name,
+                    point.level_label,
+                    f"{point.two_qubit_error:.0e}",
+                    f"{point.reference_energy:+.4f}",
+                    f"{point.mean_energy:+.4f}",
+                    f"{point.std_energy:.4f}",
+                    f"{point.drift:.4f}",
+                ]
+            )
+    table = format_table(
+        ["encoding", "state", "2q error", "E_exact", "E_measured", "sigma", "drift"],
+        rows,
+    )
+    report("fig08_h2_noisy", table)
+
+    # Drift grows with the error rate for every encoding/state series.
+    for grid in grids.values():
+        by_state: dict[str, list] = {}
+        for point in grid:
+            by_state.setdefault(point.level_label, []).append(point)
+        for series in by_state.values():
+            assert series[0].drift <= series[-1].drift + 0.05
+
+    # Paper's headline: Full SAT drifts no more than the baselines at the
+    # noisiest setting (ground state).
+    def _worst_drift(name):
+        return max(
+            p.drift for p in grids[name]
+            if p.level_label == "E0" and p.two_qubit_error == ERROR_RATES[-1]
+        )
+
+    assert _worst_drift("fermihedral") <= _worst_drift("bravyi-kitaev") + 0.05
+
+    encoding = bravyi_kitaev(4)
+    benchmark.pedantic(
+        noisy_energy_grid,
+        args=(hamiltonian, encoding, 1, [1e-3], 20),
+        rounds=1,
+        iterations=1,
+    )

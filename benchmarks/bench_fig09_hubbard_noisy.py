@@ -1,0 +1,79 @@
+"""Figure 9 — noisy simulation of the 3x1 and 2x2 Fermi-Hubbard models (E0).
+
+Same protocol as Figure 8 on the lattice models.  The 6- and 8-qubit SAT
+encodings use the w/o-Alg configuration under a budget, as the paper does
+at this scale.
+"""
+
+from __future__ import annotations
+
+from _harness import budget_seconds, max_modes, report, shots
+from _noisy import noisy_energy_grid
+
+from repro.analysis.tables import format_table
+from repro.core import FermihedralConfig, SolverBudget, solve_full_sat
+from repro.encodings import bravyi_kitaev, jordan_wigner
+from repro.fermion import hubbard_lattice
+
+ERROR_RATES = [1e-4, 1e-3, 1e-2]
+SHOTS = shots(40)
+MODES_CAP = max_modes(6)
+#: Enough steps that the noiseless eigenstate energy is conserved (<3% error).
+TROTTER_STEPS = 4
+
+
+def _sat_encoding(hamiltonian):
+    config = FermihedralConfig(
+        algebraic_independence=False,
+        budget=SolverBudget(time_budget_s=budget_seconds(45.0)),
+    )
+    return solve_full_sat(hamiltonian, config).encoding
+
+
+def test_fig09_hubbard_noisy_simulation(benchmark):
+    cases = [
+        ("3x1", hubbard_lattice(3, 1)),
+        ("2x2", hubbard_lattice(2, 2)),
+    ]
+    cases = [(name, h) for name, h in cases if h.num_modes <= MODES_CAP]
+    assert cases, "raise FERMIHEDRAL_BENCH_MAX_MODES to at least 6"
+
+    rows = []
+    for case_name, hamiltonian in cases:
+        encodings = {
+            "jordan-wigner": jordan_wigner(hamiltonian.num_modes),
+            "bravyi-kitaev": bravyi_kitaev(hamiltonian.num_modes),
+            "fermihedral": _sat_encoding(hamiltonian),
+        }
+        drifts = {}
+        for label, encoding in encodings.items():
+            grid = noisy_energy_grid(hamiltonian, encoding, 1, ERROR_RATES, SHOTS,
+                                     trotter_steps=TROTTER_STEPS)
+            for point in grid:
+                rows.append(
+                    [
+                        case_name,
+                        label,
+                        f"{point.two_qubit_error:.0e}",
+                        f"{point.reference_energy:+.4f}",
+                        f"{point.mean_energy:+.4f}",
+                        f"{point.std_energy:.4f}",
+                    ]
+                )
+            drifts[label] = max(p.drift for p in grid)
+        # Full SAT at least matches BK's worst drift (fewer error sites).
+        assert drifts["fermihedral"] <= drifts["bravyi-kitaev"] + 0.25
+
+    table = format_table(
+        ["lattice", "encoding", "2q error", "E0", "E_measured", "sigma"], rows
+    )
+    report("fig09_hubbard_noisy", table)
+
+    hamiltonian = cases[0][1]
+    benchmark.pedantic(
+        noisy_energy_grid,
+        args=(hamiltonian, bravyi_kitaev(hamiltonian.num_modes), 1, [1e-3], 10),
+        kwargs={"trotter_steps": TROTTER_STEPS},
+        rounds=1,
+        iterations=1,
+    )

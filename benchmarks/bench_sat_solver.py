@@ -1,0 +1,59 @@
+"""Substrate microbenchmarks — the CDCL solver standing in for Kissat.
+
+Not a paper table; tracks the solver's own health so regressions in the
+substrate are visible independently of the compiler-level benchmarks.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+from repro.sat import CnfFormula, solve_formula
+
+
+def _pigeonhole(pigeons: int, holes: int) -> CnfFormula:
+    formula = CnfFormula()
+    slot = {}
+    for p in range(pigeons):
+        for h in range(holes):
+            slot[p, h] = formula.new_variable()
+    for p in range(pigeons):
+        formula.add_clause(slot[p, h] for h in range(holes))
+    for h in range(holes):
+        for p1, p2 in itertools.combinations(range(pigeons), 2):
+            formula.add_clause((-slot[p1, h], -slot[p2, h]))
+    return formula
+
+
+def _random_3sat(seed: int, num_vars: int, ratio: float) -> CnfFormula:
+    rng = random.Random(seed)
+    formula = CnfFormula()
+    formula.new_variables(num_vars)
+    for _ in range(int(ratio * num_vars)):
+        variables = rng.sample(range(1, num_vars + 1), 3)
+        formula.add_clause(rng.choice((-1, 1)) * v for v in variables)
+    return formula
+
+
+def test_bench_pigeonhole_unsat(benchmark):
+    formula = _pigeonhole(7, 6)
+    result = benchmark(lambda: solve_formula(_pigeonhole(7, 6)))
+    assert result.is_unsat
+
+
+def test_bench_random_3sat_phase_transition(benchmark):
+    def run():
+        statuses = []
+        for seed in range(5):
+            statuses.append(solve_formula(_random_3sat(seed, 60, 4.26)).status)
+        return statuses
+
+    statuses = benchmark(run)
+    assert all(status in ("SAT", "UNSAT") for status in statuses)
+
+
+def test_bench_underconstrained_sat(benchmark):
+    formula = _random_3sat(3, 120, 2.0)
+    result = benchmark(solve_formula, formula)
+    assert result.is_sat

@@ -1,0 +1,77 @@
+"""Table 5 — Hamiltonian-dependent Pauli weight at larger scale (SAT+Anl. only).
+
+The paper runs 8-18 modes where only the SAT + annealing pipeline remains
+feasible.  Default sweep: electronic-6 (synthetic integrals), Hubbard
+chains of 3-4 sites, SYK 5-6 — sized for the pure-Python solver; the
+w/o-Alg configuration is used for the independent-weight descent exactly
+as the paper prescribes at scale.
+"""
+
+from __future__ import annotations
+
+from _harness import budget_seconds, max_modes, report
+
+from repro.analysis import improvement_percent
+from repro.analysis.tables import format_table
+from repro.core import FermihedralConfig, SolverBudget, solve_sat_annealing
+from repro.encodings import bravyi_kitaev
+from repro.fermion import hubbard_chain, random_molecular_hamiltonian, syk_hamiltonian
+
+MODES_CAP = max_modes(8)
+
+
+def _cases():
+    candidates = [
+        ("Electronic", random_molecular_hamiltonian(6, seed=17)),
+        ("Fermi-Hubbard", hubbard_chain(3)),
+        ("Fermi-Hubbard", hubbard_chain(4)),
+        ("Four-Body SYK", syk_hamiltonian(5)),
+        ("Four-Body SYK", syk_hamiltonian(6)),
+    ]
+    return [(f, h) for f, h in candidates if h.num_modes <= MODES_CAP]
+
+
+def _solve(hamiltonian):
+    config = FermihedralConfig(
+        algebraic_independence=False,
+        budget=SolverBudget(time_budget_s=budget_seconds(45.0)),
+    )
+    return solve_sat_annealing(hamiltonian, config)
+
+
+def test_table5_sat_annealing_large(benchmark):
+    rows = []
+    for family, hamiltonian in _cases():
+        bk_weight = bravyi_kitaev(hamiltonian.num_modes).hamiltonian_pauli_weight(
+            hamiltonian
+        )
+        result = _solve(hamiltonian)
+        assert result.verify().valid
+        rows.append(
+            [
+                family,
+                hamiltonian.num_modes,
+                bk_weight,
+                result.weight,
+                f"{improvement_percent(bk_weight, result.weight):.2f}%",
+            ]
+        )
+
+    table = format_table(["case", "modes", "BK", "SAT+Anl", "reduction"], rows)
+    report("table5_hamiltonian_weight_large", table)
+
+    # Paper shape, per family:
+    # * Hubbard/electronic — SAT+Anl at or below BK (pairing matters and the
+    #   independent optimum transfers).
+    # * Dense SYK — pairing is invariant (every quadruple appears), so at
+    #   these small sizes SAT+Anl may trail BK; see EXPERIMENTS.md.  Only a
+    #   bounded deficit is asserted.
+    for row in rows:
+        family, modes, bk_weight, anl_weight = row[0], row[1], row[2], row[3]
+        if family == "Four-Body SYK":
+            assert anl_weight <= bk_weight * 1.15
+        elif modes >= 5:
+            assert anl_weight <= bk_weight * 1.02
+
+    smallest = _cases()[1][1]
+    benchmark.pedantic(_solve, args=(smallest,), rounds=1, iterations=1)

@@ -1,0 +1,68 @@
+"""End-to-end H2 simulation study (the paper's Figures 8/10 workflow).
+
+1. Build the H2/STO-3G Hamiltonian (4 spin-orbitals).
+2. Find the Hamiltonian-dependent optimal encoding with Full SAT.
+3. Compile exp(iHt) circuits for JW / BK / Full SAT.
+4. Simulate the ground-state evolution under depolarizing noise and under
+   the IonQ Aria-1 noise model, reporting energy drift and spread.
+
+Run:  python examples/h2_end_to_end.py
+"""
+
+from repro import (
+    FermihedralConfig,
+    NoiseModel,
+    SolverBudget,
+    bravyi_kitaev,
+    diagonalize,
+    h2_hamiltonian,
+    ionq_aria1_noise,
+    jordan_wigner,
+    optimize_circuit,
+    simulate_noisy_energy,
+    solve_full_sat,
+    trotter_circuit,
+)
+
+SHOTS = 100
+
+
+def main() -> None:
+    hamiltonian = h2_hamiltonian()
+    print("H2/STO-3G at R=0.7414 A, 4 spin-orbitals")
+
+    config = FermihedralConfig(budget=SolverBudget(time_budget_s=60))
+    sat = solve_full_sat(hamiltonian, config)
+    encodings = [jordan_wigner(4), bravyi_kitaev(4), sat.encoding]
+
+    print(f"\nHamiltonian Pauli weight: "
+          + ", ".join(f"{e.name}={e.hamiltonian_pauli_weight(hamiltonian)}"
+                      for e in encodings))
+
+    print(f"\n{'encoding':15s} {'gates':>6s} {'CNOT':>5s} {'depth':>6s} "
+          f"{'E0 exact':>10s} {'E drift(1e-2)':>14s} {'sigma':>7s} {'Aria-1 E':>9s}")
+    for encoding in encodings:
+        encoded = encoding.encode(hamiltonian).hermitian_part()
+        spectrum = diagonalize(encoded)
+        ground = spectrum.eigenstate(0)
+        circuit = optimize_circuit(
+            trotter_circuit(encoded.without_identity(), time=1.0)
+        )
+        noisy = simulate_noisy_energy(
+            circuit, encoded, ground,
+            NoiseModel(single_qubit_error=1e-4, two_qubit_error=1e-2),
+            shots=SHOTS, seed=7,
+        )
+        aria = simulate_noisy_energy(
+            circuit, encoded, ground, ionq_aria1_noise(), shots=SHOTS, seed=7
+        )
+        print(f"{encoding.name:15s} {circuit.total_count:6d} {circuit.cnot_count:5d} "
+              f"{circuit.depth:6d} {spectrum.ground_energy:10.4f} "
+              f"{abs(noisy.mean - spectrum.ground_energy):14.4f} {noisy.std:7.4f} "
+              f"{aria.mean:9.4f}")
+
+    print("\nLower weight -> fewer gates -> less drift: the paper's causal chain.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Encoding the SYK model — a strongly-interacting, Majorana-native system.
+
+The four-body SYK model couples every Majorana quadruple, which makes it
+the hardest of the paper's benchmark families for constructive encodings.
+This example shows the Hamiltonian-dependent Full SAT search beating
+Bravyi-Kitaev (paper Table 4: up to 57% reduction at this scale) and
+demonstrates why annealing alone cannot help for dense SYK (mode
+re-pairing permutes the monomial set onto itself).
+
+Run:  python examples/syk_weight.py
+"""
+
+from repro import (
+    FermihedralConfig,
+    SolverBudget,
+    anneal_pairing,
+    bravyi_kitaev,
+    jordan_wigner,
+    syk_hamiltonian,
+    solve_full_sat,
+    ternary_tree,
+)
+
+
+def main() -> None:
+    hamiltonian = syk_hamiltonian(3, seed=11)
+    num_modes = hamiltonian.num_modes
+    print(f"Four-body SYK, {num_modes} modes ({2 * num_modes} Majoranas), "
+          f"{len(hamiltonian.monomials)} quadruple terms")
+
+    print("\nConstructive baselines (Hamiltonian Pauli weight):")
+    for encoding in (jordan_wigner(num_modes), bravyi_kitaev(num_modes),
+                     ternary_tree(num_modes)):
+        print(f"  {encoding.name:15s} {encoding.hamiltonian_pauli_weight(hamiltonian)}")
+
+    bk = bravyi_kitaev(num_modes)
+    annealed = anneal_pairing(bk, hamiltonian, seed=5)
+    print(f"\nAnnealing BK's pairing: {annealed.initial_weight} -> {annealed.weight} "
+          "(dense SYK is pairing-invariant, so no change)")
+
+    config = FermihedralConfig(budget=SolverBudget(time_budget_s=90))
+    result = solve_full_sat(hamiltonian, config)
+    reduction = 100.0 * (bk.hamiltonian_pauli_weight(hamiltonian) - result.weight) \
+        / bk.hamiltonian_pauli_weight(hamiltonian)
+    print(f"\nFull SAT: weight {result.weight} "
+          f"({reduction:.1f}% below BK, optimal proved: {result.proved_optimal})")
+    for index, string in enumerate(result.encoding.strings):
+        print(f"  m_{index} = {string.label()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Qubit tapering: shrinking the encoded H2 Hamiltonian with Z2 symmetries.
+
+Extension beyond the paper (its reference [3], Bravyi et al. 2017):
+discover the Pauli strings commuting with every Hamiltonian term, rotate
+each onto a single-qubit operator with Clifford reflections, and replace
+those qubits by their ±1 eigenvalues.  The Jordan-Wigner H2 Hamiltonian
+carries three parity symmetries and collapses from 4 qubits to 1, with
+the true ground energy preserved in one sector.
+
+Run:  python examples/tapering_h2.py
+"""
+
+import numpy as np
+
+from repro import diagonalize, h2_hamiltonian, jordan_wigner
+from repro.tapering import find_z2_symmetries, taper_all_sectors
+
+
+def main() -> None:
+    hamiltonian = h2_hamiltonian()
+    encoded = jordan_wigner(4).encode(hamiltonian)
+    spectrum = diagonalize(encoded)
+    print(f"JW-encoded H2: {encoded.num_qubits} qubits, {len(encoded)} terms, "
+          f"E0 = {spectrum.ground_energy:.6f}")
+
+    generators = find_z2_symmetries(encoded)
+    print(f"\nZ2 symmetry generators ({len(generators)}):")
+    for generator in generators:
+        print(f"  {generator.label()}   (spin/particle parity)")
+
+    print("\nSector scan:")
+    best_sector = None
+    best_energy = np.inf
+    for sector, tapered in taper_all_sectors(encoded, generators).items():
+        ground = diagonalize(tapered).ground_energy
+        marker = ""
+        if ground < best_energy:
+            best_energy, best_sector, marker = ground, sector, ""
+        print(f"  sector {sector}: {tapered.num_qubits} qubit(s), "
+              f"{len(tapered)} terms, E0 = {ground:+.6f}")
+
+    print(f"\nGround sector: {best_sector} with E0 = {best_energy:.6f} "
+          f"(original {spectrum.ground_energy:.6f})")
+    print("4-qubit simulation reduced to a single qubit — exactly the "
+          "reduction used by the 2-qubit H2 experiments in the literature.")
+
+
+if __name__ == "__main__":
+    main()

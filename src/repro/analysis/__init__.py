@@ -1,0 +1,30 @@
+"""Analysis helpers: weight metrics, regression fits, dependence probabilities."""
+
+from repro.analysis.independence import (
+    ProbabilityEstimate,
+    column_event_holds,
+    estimate_simultaneous_probability,
+    sample_optimal_encodings,
+)
+from repro.analysis.regression import LogFit, fit_log2, improvement_percent
+from repro.analysis.tables import format_percent, format_table
+from repro.analysis.weights import (
+    WeightComparison,
+    average_weight_per_majorana,
+    compare_hamiltonian_weight,
+)
+
+__all__ = [
+    "LogFit",
+    "ProbabilityEstimate",
+    "WeightComparison",
+    "average_weight_per_majorana",
+    "column_event_holds",
+    "compare_hamiltonian_weight",
+    "estimate_simultaneous_probability",
+    "fit_log2",
+    "format_percent",
+    "format_table",
+    "improvement_percent",
+    "sample_optimal_encodings",
+]

@@ -1,0 +1,49 @@
+"""Logarithmic regression fits for the scaling figures.
+
+Figures 6/7 of the paper overlay ``a·log2(N) + b`` fits on the average
+per-Majorana Pauli weights (the paper reports ``0.73·log2(N) + 0.94`` for
+Bravyi-Kitaev and ``0.56·log2(N) + 0.95`` for the SAT optimum at small
+scale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LogFit:
+    """A least-squares fit ``y ≈ slope · log2(x) + intercept``."""
+
+    slope: float
+    intercept: float
+    residual: float
+
+    def predict(self, x: float) -> float:
+        return self.slope * np.log2(x) + self.intercept
+
+    def __str__(self) -> str:
+        return f"{self.slope:.2f}*log2(N) + {self.intercept:.2f}"
+
+
+def fit_log2(xs, ys) -> LogFit:
+    """Least-squares fit of ``y = a·log2(x) + b``."""
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if xs.shape != ys.shape or xs.size < 2:
+        raise ValueError("need at least two (x, y) pairs of equal length")
+    if np.any(xs <= 0):
+        raise ValueError("x values must be positive for a log fit")
+    design = np.stack([np.log2(xs), np.ones_like(xs)], axis=1)
+    (slope, intercept), residual, _, _ = np.linalg.lstsq(design, ys, rcond=None)
+    residual_value = float(residual[0]) if residual.size else 0.0
+    return LogFit(slope=float(slope), intercept=float(intercept), residual=residual_value)
+
+
+def improvement_percent(baseline: float, value: float) -> float:
+    """Relative reduction ``(baseline - value) / baseline`` in percent."""
+    if baseline == 0:
+        raise ValueError("baseline must be non-zero")
+    return 100.0 * (baseline - value) / baseline

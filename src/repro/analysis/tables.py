@@ -1,0 +1,32 @@
+"""Plain-text table rendering for the benchmark harnesses.
+
+Every bench prints the same rows/series the paper reports; this module
+keeps that output aligned and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned ASCII table."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError("row length does not match header length")
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[c]), *(len(row[c]) for row in cells)) if cells else len(headers[c])
+        for c in range(columns)
+    ]
+    def line(values):
+        return " | ".join(value.ljust(widths[c]) for c, value in enumerate(values))
+    separator = "-+-".join("-" * width for width in widths)
+    body = [line(headers), separator]
+    body.extend(line(row) for row in cells)
+    return "\n".join(body)
+
+
+def format_percent(value: float) -> str:
+    return f"{value:+.2f}%"

@@ -1,0 +1,46 @@
+"""Pauli-weight metrics shared by the benchmark harnesses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.encodings.base import MajoranaEncoding
+from repro.fermion.hamiltonians import FermionicHamiltonian
+
+
+def average_weight_per_majorana(encoding: MajoranaEncoding) -> float:
+    """Mean Pauli weight per Majorana string — the Figure 6/7 Y-axis."""
+    return encoding.total_majorana_weight / len(encoding.strings)
+
+
+@dataclass(frozen=True)
+class WeightComparison:
+    """One row of a Table 4/5-style comparison."""
+
+    case: str
+    num_modes: int
+    baseline_name: str
+    baseline_weight: int
+    candidate_name: str
+    candidate_weight: int
+
+    @property
+    def reduction_percent(self) -> float:
+        return 100.0 * (self.baseline_weight - self.candidate_weight) / self.baseline_weight
+
+
+def compare_hamiltonian_weight(
+    case: str,
+    hamiltonian: FermionicHamiltonian,
+    baseline: MajoranaEncoding,
+    candidate: MajoranaEncoding,
+) -> WeightComparison:
+    """Evaluate two encodings on one Hamiltonian."""
+    return WeightComparison(
+        case=case,
+        num_modes=hamiltonian.num_modes,
+        baseline_name=baseline.name,
+        baseline_weight=baseline.hamiltonian_pauli_weight(hamiltonian),
+        candidate_name=candidate.name,
+        candidate_weight=candidate.hamiltonian_pauli_weight(hamiltonian),
+    )

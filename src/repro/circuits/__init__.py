@@ -1,0 +1,28 @@
+"""Quantum circuit substrate: gate IR, Pauli-evolution synthesis, Trotter, peephole."""
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate, cnot, h, rz, s, sdg, x, y, z
+from repro.circuits.optimizer import cancel_adjacent_gates, optimize_circuit
+from repro.circuits.pauli_evolution import basis_change_gates, pauli_evolution_circuit
+from repro.circuits.scheduling import cancellation_affinity, greedy_cancellation_order
+from repro.circuits.trotter import trotter_circuit
+
+__all__ = [
+    "Gate",
+    "QuantumCircuit",
+    "basis_change_gates",
+    "cancel_adjacent_gates",
+    "cancellation_affinity",
+    "cnot",
+    "greedy_cancellation_order",
+    "h",
+    "optimize_circuit",
+    "pauli_evolution_circuit",
+    "rz",
+    "s",
+    "sdg",
+    "trotter_circuit",
+    "x",
+    "y",
+    "z",
+]

@@ -1,0 +1,102 @@
+"""Quantum circuit container with gate statistics.
+
+Tracks exactly the metrics Table 6 of the paper reports: single-qubit gate
+count, CNOT count, total count and circuit depth (greedy ASAP layering —
+each gate is scheduled one layer after the latest busy layer among its
+qubits).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.circuits.gates import Gate
+
+
+class QuantumCircuit:
+    """An ordered list of gates on ``num_qubits`` qubits."""
+
+    def __init__(self, num_qubits: int, gates: Iterable[Gate] = ()):
+        if num_qubits < 1:
+            raise ValueError("num_qubits must be positive")
+        self.num_qubits = num_qubits
+        self._gates: list[Gate] = []
+        for gate in gates:
+            self.append(gate)
+
+    # -- construction ---------------------------------------------------------
+
+    def append(self, gate: Gate) -> None:
+        if any(qubit < 0 or qubit >= self.num_qubits for qubit in gate.qubits):
+            raise ValueError(f"{gate!r} touches qubits outside 0..{self.num_qubits - 1}")
+        self._gates.append(gate)
+
+    def extend(self, gates: Iterable[Gate]) -> None:
+        for gate in gates:
+            self.append(gate)
+
+    def compose(self, other: "QuantumCircuit") -> "QuantumCircuit":
+        """This circuit followed by ``other``."""
+        if other.num_qubits != self.num_qubits:
+            raise ValueError("qubit counts differ")
+        return QuantumCircuit(self.num_qubits, list(self._gates) + list(other._gates))
+
+    def inverse(self) -> "QuantumCircuit":
+        """The adjoint circuit: reversed order, inverted gates."""
+        return QuantumCircuit(
+            self.num_qubits, [gate.inverse() for gate in reversed(self._gates)]
+        )
+
+    def copy(self) -> "QuantumCircuit":
+        return QuantumCircuit(self.num_qubits, self._gates)
+
+    # -- inspection --------------------------------------------------------------
+
+    @property
+    def gates(self) -> list[Gate]:
+        return list(self._gates)
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self._gates)
+
+    @property
+    def single_qubit_count(self) -> int:
+        return sum(1 for gate in self._gates if not gate.is_two_qubit)
+
+    @property
+    def cnot_count(self) -> int:
+        return sum(1 for gate in self._gates if gate.is_two_qubit)
+
+    @property
+    def total_count(self) -> int:
+        return len(self._gates)
+
+    @property
+    def depth(self) -> int:
+        """ASAP-layered depth."""
+        busy_until = [0] * self.num_qubits
+        depth = 0
+        for gate in self._gates:
+            layer = 1 + max(busy_until[qubit] for qubit in gate.qubits)
+            for qubit in gate.qubits:
+                busy_until[qubit] = layer
+            depth = max(depth, layer)
+        return depth
+
+    def gate_statistics(self) -> dict[str, int]:
+        """The Table-6 row for this circuit."""
+        return {
+            "single": self.single_qubit_count,
+            "cnot": self.cnot_count,
+            "total": self.total_count,
+            "depth": self.depth,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantumCircuit(qubits={self.num_qubits}, gates={len(self._gates)}, "
+            f"depth={self.depth})"
+        )

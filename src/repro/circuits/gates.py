@@ -1,0 +1,116 @@
+"""Quantum gate IR.
+
+A minimal gate set sufficient for Pauli-evolution circuits (the paper's
+Figure 3 recipe): Hadamard, phase gates, Pauli gates, Z-rotation and CNOT.
+Gates are immutable; inverses are first-class so the peephole optimizer
+can cancel adjacent inverse pairs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Gate names with no parameter.
+CLIFFORD_NAMES = {"H", "S", "SDG", "X", "Y", "Z", "CNOT"}
+#: Self-inverse gates.
+_SELF_INVERSE = {"H", "X", "Y", "Z", "CNOT"}
+#: Inverse pairs among the phase gates.
+_INVERSE_NAME = {"S": "SDG", "SDG": "S"}
+
+TWO_PI = 2.0 * math.pi
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate application.
+
+    Attributes:
+        name: one of ``H S SDG X Y Z RZ CNOT``.
+        qubits: target qubits; for CNOT ``(control, target)``.
+        parameter: rotation angle for ``RZ``; ``None`` otherwise.
+    """
+
+    name: str
+    qubits: tuple[int, ...]
+    parameter: float | None = None
+
+    def __post_init__(self):
+        if self.name == "RZ":
+            if self.parameter is None:
+                raise ValueError("RZ requires an angle")
+            if len(self.qubits) != 1:
+                raise ValueError("RZ acts on one qubit")
+        elif self.name == "CNOT":
+            if len(self.qubits) != 2 or self.qubits[0] == self.qubits[1]:
+                raise ValueError("CNOT needs two distinct qubits")
+            if self.parameter is not None:
+                raise ValueError("CNOT takes no parameter")
+        elif self.name in CLIFFORD_NAMES:
+            if len(self.qubits) != 1:
+                raise ValueError(f"{self.name} acts on one qubit")
+            if self.parameter is not None:
+                raise ValueError(f"{self.name} takes no parameter")
+        else:
+            raise ValueError(f"unknown gate: {self.name!r}")
+
+    @property
+    def is_two_qubit(self) -> bool:
+        return self.name == "CNOT"
+
+    def inverse(self) -> "Gate":
+        """The inverse gate (same qubits)."""
+        if self.name in _SELF_INVERSE:
+            return self
+        if self.name in _INVERSE_NAME:
+            return Gate(_INVERSE_NAME[self.name], self.qubits)
+        return Gate("RZ", self.qubits, -self.parameter)
+
+    def is_inverse_of(self, other: "Gate") -> bool:
+        """True when composing with ``other`` yields identity."""
+        if self.qubits != other.qubits:
+            return False
+        if self.name == "RZ" and other.name == "RZ":
+            return math.isclose(
+                math.remainder(self.parameter + other.parameter, 2.0 * TWO_PI),
+                0.0,
+                abs_tol=1e-12,
+            )
+        return self.inverse().name == other.name
+
+    def __repr__(self) -> str:
+        if self.parameter is not None:
+            return f"{self.name}({self.parameter:.6g}) q{list(self.qubits)}"
+        return f"{self.name} q{list(self.qubits)}"
+
+
+def h(qubit: int) -> Gate:
+    return Gate("H", (qubit,))
+
+
+def s(qubit: int) -> Gate:
+    return Gate("S", (qubit,))
+
+
+def sdg(qubit: int) -> Gate:
+    return Gate("SDG", (qubit,))
+
+
+def x(qubit: int) -> Gate:
+    return Gate("X", (qubit,))
+
+
+def y(qubit: int) -> Gate:
+    return Gate("Y", (qubit,))
+
+
+def z(qubit: int) -> Gate:
+    return Gate("Z", (qubit,))
+
+
+def rz(qubit: int, angle: float) -> Gate:
+    return Gate("RZ", (qubit,), angle)
+
+
+def cnot(control: int, target: int) -> Gate:
+    return Gate("CNOT", (control, target))

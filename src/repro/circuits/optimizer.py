@@ -1,0 +1,71 @@
+"""Peephole circuit optimization.
+
+Stands in for the Paulihedral + Qiskit-L3 pipeline of the paper's Table 6:
+adjacent inverse gates cancel and adjacent ``RZ`` rotations on one qubit
+merge, where "adjacent" means no intervening gate touches the shared
+qubits.  Consecutive Pauli-evolution blocks produced by Trotterization
+share basis layers and ladder ends, so this pass removes a substantial
+fraction of gates — crucially, it is the *same* pass for every encoding,
+keeping the Table-6 comparison fair.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate, rz
+
+_ANGLE_TOLERANCE = 1e-12
+
+
+def _merge_rz(first: Gate, second: Gate) -> Gate | None:
+    """Combined rotation, or ``None`` when the sum is (mod 4π) an identity."""
+    angle = first.parameter + second.parameter
+    if math.isclose(math.remainder(angle, 4.0 * math.pi), 0.0, abs_tol=_ANGLE_TOLERANCE):
+        return None
+    return rz(first.qubits[0], angle)
+
+
+def cancel_adjacent_gates(circuit: QuantumCircuit) -> QuantumCircuit:
+    """One forward pass of inverse-cancellation and rotation merging.
+
+    Scans gates left to right keeping an output list; each incoming gate
+    looks back for the latest output gate sharing a qubit.  If the pair is
+    mutually inverse (or two mergeable ``RZ``) and no gate in between
+    touches any of its qubits, the pair is rewritten.
+    """
+    output: list[Gate] = []
+    for gate in circuit:
+        qubits = set(gate.qubits)
+        blocker = None
+        for position in range(len(output) - 1, -1, -1):
+            if qubits & set(output[position].qubits):
+                blocker = position
+                break
+        if blocker is not None:
+            previous = output[blocker]
+            # Only a full qubit-set match is rewritable; partial overlap blocks.
+            if set(previous.qubits) == qubits:
+                if gate.name == "RZ" and previous.name == "RZ":
+                    merged = _merge_rz(previous, gate)
+                    output.pop(blocker)
+                    if merged is not None:
+                        output.insert(blocker, merged)
+                    continue
+                if gate.is_inverse_of(previous):
+                    output.pop(blocker)
+                    continue
+        output.append(gate)
+    return QuantumCircuit(circuit.num_qubits, output)
+
+
+def optimize_circuit(circuit: QuantumCircuit, max_passes: int = 16) -> QuantumCircuit:
+    """Run :func:`cancel_adjacent_gates` to a fixed point."""
+    current = circuit
+    for _ in range(max_passes):
+        optimized = cancel_adjacent_gates(current)
+        if len(optimized) == len(current):
+            return optimized
+        current = optimized
+    return current

@@ -1,0 +1,243 @@
+"""Command-line interface to the Fermihedral compiler.
+
+Subcommands::
+
+    python -m repro solve     --modes 3 [--model hubbard:3] [options]
+    python -m repro baselines --modes 4 [--model h2]
+    python -m repro compile   --model h2 --encoding bk [--time 1.0]
+    python -m repro verify    --encoding-file enc.json
+
+Model specs: ``h2``, ``hubbard:<sites>``, ``hubbard:<rows>x<cols>``,
+``syk:<modes>``, ``electronic:<modes>``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.tables import format_table
+from repro.circuits import greedy_cancellation_order, optimize_circuit, trotter_circuit
+from repro.core import (
+    FermihedralConfig,
+    SolverBudget,
+    solve_full_sat,
+    solve_hamiltonian_independent,
+    solve_sat_annealing,
+    verify_encoding,
+)
+from repro.encodings import (
+    bravyi_kitaev,
+    jordan_wigner,
+    parity_encoding,
+    random_encoding,
+    ternary_tree,
+)
+from repro.encodings.serialization import load_encoding, save_encoding
+from repro.fermion import (
+    h2_hamiltonian,
+    hubbard_chain,
+    hubbard_lattice,
+    random_molecular_hamiltonian,
+    syk_hamiltonian,
+    tv_chain,
+)
+
+_BASELINE_BUILDERS = {
+    "jw": jordan_wigner,
+    "bk": bravyi_kitaev,
+    "parity": parity_encoding,
+    "tt": ternary_tree,
+}
+
+
+def parse_model(spec: str):
+    """Build a Hamiltonian from a ``family[:params]`` spec string."""
+    family, _, parameter = spec.partition(":")
+    family = family.lower()
+    if family == "h2":
+        return h2_hamiltonian()
+    if family == "hubbard":
+        if not parameter:
+            raise ValueError("hubbard needs sites: hubbard:3 or hubbard:2x2")
+        if "x" in parameter:
+            rows, cols = (int(part) for part in parameter.split("x", 1))
+            return hubbard_lattice(rows, cols)
+        return hubbard_chain(int(parameter))
+    if family == "syk":
+        if not parameter:
+            raise ValueError("syk needs a mode count: syk:4")
+        return syk_hamiltonian(int(parameter))
+    if family == "electronic":
+        if not parameter:
+            raise ValueError("electronic needs a mode count: electronic:6")
+        return random_molecular_hamiltonian(int(parameter))
+    if family == "tv":
+        if not parameter:
+            raise ValueError("tv needs a site count: tv:4")
+        return tv_chain(int(parameter))
+    raise ValueError(f"unknown model family: {family!r}")
+
+
+def _config_from_args(args) -> FermihedralConfig:
+    return FermihedralConfig(
+        algebraic_independence=not args.no_alg,
+        vacuum_preservation=not args.no_vacuum,
+        exact_vacuum=args.exact_vacuum,
+        strategy=args.strategy,
+        budget=SolverBudget(
+            max_conflicts=args.max_conflicts, time_budget_s=args.budget_s
+        ),
+    )
+
+
+def _resolve_encoding(name: str, num_modes: int):
+    if name in _BASELINE_BUILDERS:
+        return _BASELINE_BUILDERS[name](num_modes)
+    if name.startswith("random"):
+        _, _, seed = name.partition(":")
+        return random_encoding(num_modes, seed=int(seed or 0))
+    return load_encoding(name)
+
+
+def cmd_solve(args) -> int:
+    config = _config_from_args(args)
+    if args.model:
+        hamiltonian = parse_model(args.model)
+        if args.modes and args.modes != hamiltonian.num_modes:
+            print(f"error: model has {hamiltonian.num_modes} modes, --modes says "
+                  f"{args.modes}", file=sys.stderr)
+            return 2
+        if args.method == "sat-anl":
+            result = solve_sat_annealing(hamiltonian, config)
+        else:
+            result = solve_full_sat(hamiltonian, config)
+    else:
+        if not args.modes:
+            print("error: --modes or --model is required", file=sys.stderr)
+            return 2
+        result = solve_hamiltonian_independent(args.modes, config)
+
+    report = result.verify()
+    print(f"method:          {result.method}")
+    print(f"weight:          {result.weight}")
+    print(f"proved optimal:  {result.proved_optimal}")
+    print(f"valid:           {report.valid}")
+    print(f"vacuum:          {report.vacuum_preservation}")
+    print(f"SAT calls:       {result.descent.sat_calls}"
+          f" (solve {result.descent.solve_time_s:.2f}s)")
+    print("majorana strings:")
+    for index, string in enumerate(result.encoding.strings):
+        print(f"  m_{index:<3d} {string.label()}")
+    if args.output:
+        save_encoding(result.encoding, args.output)
+        print(f"saved encoding to {args.output}")
+    return 0
+
+
+def cmd_baselines(args) -> int:
+    hamiltonian = parse_model(args.model) if args.model else None
+    num_modes = hamiltonian.num_modes if hamiltonian else args.modes
+    if not num_modes:
+        print("error: --modes or --model is required", file=sys.stderr)
+        return 2
+    rows = []
+    for name, builder in _BASELINE_BUILDERS.items():
+        encoding = builder(num_modes)
+        cells = [name, encoding.total_majorana_weight]
+        if hamiltonian is not None:
+            cells.append(encoding.hamiltonian_pauli_weight(hamiltonian))
+        rows.append(cells)
+    headers = ["encoding", "majorana weight"]
+    if hamiltonian is not None:
+        headers.append(f"H weight ({hamiltonian.name})")
+    print(format_table(headers, rows))
+    return 0
+
+
+def cmd_compile(args) -> int:
+    hamiltonian = parse_model(args.model)
+    encoding = _resolve_encoding(args.encoding, hamiltonian.num_modes)
+    operator = encoding.encode(hamiltonian).without_identity().hermitian_part()
+    order = greedy_cancellation_order(operator)
+    circuit = optimize_circuit(
+        trotter_circuit(operator, time=args.time, steps=args.steps, term_order=order)
+    )
+    stats = circuit.gate_statistics()
+    print(f"model:     {hamiltonian.name} ({hamiltonian.num_modes} modes)")
+    print(f"encoding:  {encoding.name}")
+    print(f"H weight:  {encoding.hamiltonian_pauli_weight(hamiltonian)}")
+    print(f"terms:     {len(operator)}")
+    print(f"gates:     single={stats['single']} cnot={stats['cnot']} "
+          f"total={stats['total']} depth={stats['depth']}")
+    return 0
+
+
+def cmd_verify(args) -> int:
+    encoding = load_encoding(args.encoding_file, validate=False)
+    report = verify_encoding(encoding)
+    print(f"strings:                 {len(encoding.strings)} "
+          f"({encoding.num_modes} modes)")
+    print(f"anticommutativity:       {report.anticommutativity}")
+    print(f"algebraic independence:  {report.algebraic_independence}")
+    print(f"vacuum preservation:     {report.vacuum_preservation}")
+    for violation in report.violations:
+        print(f"  violation: {violation}")
+    return 0 if report.valid else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fermihedral: SAT-optimal fermion-to-qubit encoding compiler",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    solve = subparsers.add_parser("solve", help="find an optimal encoding")
+    solve.add_argument("--modes", type=int, default=None)
+    solve.add_argument("--model", default=None,
+                       help="h2 | hubbard:<n> | hubbard:<r>x<c> | syk:<n> | electronic:<n> | tv:<sites>")
+    solve.add_argument("--method", choices=("full-sat", "sat-anl"), default="full-sat")
+    solve.add_argument("--no-alg", action="store_true",
+                       help="drop algebraic-independence clauses (Section 4.1)")
+    solve.add_argument("--no-vacuum", action="store_true")
+    solve.add_argument("--exact-vacuum", action="store_true")
+    solve.add_argument("--strategy", choices=("linear", "bisection"), default="linear")
+    solve.add_argument("--budget-s", type=float, default=60.0)
+    solve.add_argument("--max-conflicts", type=int, default=None)
+    solve.add_argument("--output", default=None, help="save encoding JSON here")
+    solve.set_defaults(handler=cmd_solve)
+
+    baselines = subparsers.add_parser("baselines", help="tabulate baseline weights")
+    baselines.add_argument("--modes", type=int, default=None)
+    baselines.add_argument("--model", default=None)
+    baselines.set_defaults(handler=cmd_baselines)
+
+    compile_parser = subparsers.add_parser("compile", help="compile a Trotter circuit")
+    compile_parser.add_argument("--model", required=True)
+    compile_parser.add_argument("--encoding", default="bk",
+                                help="jw | bk | parity | tt | random[:seed] | <file.json>")
+    compile_parser.add_argument("--time", type=float, default=1.0)
+    compile_parser.add_argument("--steps", type=int, default=1)
+    compile_parser.set_defaults(handler=cmd_compile)
+
+    verify = subparsers.add_parser("verify", help="verify an encoding JSON file")
+    verify.add_argument("encoding_file")
+    verify.set_defaults(handler=cmd_verify)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except (ValueError, FileNotFoundError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

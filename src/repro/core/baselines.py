@@ -1,0 +1,76 @@
+"""Baseline selection for the descent start point.
+
+Algorithm 1 needs an initial feasible bound "close enough to the minimum
+weight to reduce the solving time" (Section 3.6 — the paper seeds from
+Bravyi-Kitaev).  This module generalizes that: try every constructive
+baseline that satisfies the configured constraint set, optionally improve
+its pairing with a quick anneal for Hamiltonian-dependent objectives, and
+return the lightest.  A tighter start is strictly better: it can only
+shrink the number of SAT calls and improve budget-limited results.
+
+Note the constraint filter: the ternary tree does not preserve the vacuum
+state, so when ``config.vacuum_preservation`` is on, it must not be used —
+otherwise an UNSAT answer at ``bound = weight(TT) - 1`` would wrongly
+return a non-vacuum-preserving encoding as "the optimum".
+"""
+
+from __future__ import annotations
+
+from repro.core.annealing import anneal_pairing
+from repro.core.config import AnnealingSchedule, FermihedralConfig
+from repro.encodings.base import MajoranaEncoding
+from repro.encodings.bravyi_kitaev import bravyi_kitaev
+from repro.encodings.jordan_wigner import jordan_wigner
+from repro.encodings.parity import parity_encoding
+from repro.encodings.ternary_tree import ternary_tree
+from repro.fermion.hamiltonians import FermionicHamiltonian
+
+#: A fast cooling schedule for baseline-pairing improvement.
+_QUICK_SCHEDULE = AnnealingSchedule(
+    initial_temperature=2.0,
+    final_temperature=0.1,
+    temperature_step=0.2,
+    iterations_per_step=40,
+)
+
+
+def candidate_baselines(
+    num_modes: int, require_vacuum: bool
+) -> list[MajoranaEncoding]:
+    """All constructive encodings compatible with the constraint set."""
+    candidates = [
+        jordan_wigner(num_modes),
+        bravyi_kitaev(num_modes),
+        parity_encoding(num_modes),
+    ]
+    tree = ternary_tree(num_modes)
+    if not require_vacuum or tree.preserves_vacuum():
+        candidates.append(tree)
+    return candidates
+
+
+def best_baseline(
+    num_modes: int,
+    config: FermihedralConfig,
+    hamiltonian: FermionicHamiltonian | None = None,
+    seed: int = 7,
+) -> MajoranaEncoding:
+    """The lightest admissible baseline for the given objective.
+
+    Hamiltonian-independent: argmin of summed Majorana weight.
+    Hamiltonian-dependent: argmin of encoded weight after a quick
+    pairing anneal of each candidate.
+    """
+    candidates = candidate_baselines(num_modes, config.vacuum_preservation)
+    if hamiltonian is None:
+        return min(candidates, key=lambda encoding: encoding.total_majorana_weight)
+    best: MajoranaEncoding | None = None
+    best_weight = None
+    for candidate in candidates:
+        annealed = anneal_pairing(
+            candidate, hamiltonian, schedule=_QUICK_SCHEDULE, seed=seed
+        )
+        if best_weight is None or annealed.weight < best_weight:
+            best_weight = annealed.weight
+            best = annealed.encoding
+    return best

@@ -1,0 +1,100 @@
+"""Configuration objects for the Fermihedral compiler."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Objective selector: minimize summed Majorana-string weight (Section 3.6).
+HAMILTONIAN_INDEPENDENT = "hamiltonian-independent"
+#: Objective selector: minimize the encoded-Hamiltonian weight (Section 3.7).
+HAMILTONIAN_DEPENDENT = "hamiltonian-dependent"
+
+
+@dataclass(frozen=True)
+class SolverBudget:
+    """Resource limits for each SAT call inside the descent loop.
+
+    ``None`` means unlimited.  When a call exhausts its budget the descent
+    stops tightening and reports the best encoding found so far with
+    ``proved_optimal = False`` — mirroring the paper's fixed-timeout
+    handling of the final UNSAT proof (Section 5.5).
+    """
+
+    max_conflicts: int | None = None
+    time_budget_s: float | None = None
+
+
+@dataclass(frozen=True)
+class FermihedralConfig:
+    """Switches selecting which constraints enter the SAT instance.
+
+    Attributes:
+        algebraic_independence: emit the power-set clauses of Section 3.4
+            ("Full SAT").  When ``False`` ("SAT w/o Alg."), solutions are
+            rank-checked afterwards and repaired via blocking clauses —
+            the Section 4.1 strategy with its ``4^-N`` failure probability.
+        vacuum_preservation: emit the X/Y-pair clauses of Section 3.5.
+        exact_vacuum: replace the paper's sufficient-condition witness with
+            the exact (necessary-and-sufficient) vacuum constraint — equal
+            flip masks per pair plus the mod-4 Y-count relation.  Slightly
+            larger instances, but decoded solutions always truly satisfy
+            ``a_j|0..0> = 0``.  Only meaningful when ``vacuum_preservation``
+            is on.
+        start_weight: initial weight bound for Algorithm 1; ``None`` seeds
+            from the Bravyi-Kitaev baseline, as the paper does.
+        warm_start: seed each SAT call's phase hints with the previous model.
+        budget: per-SAT-call resource limits.
+        max_repairs: cap on w/o-Alg blocking-clause rounds per weight level.
+        strategy: descent loop flavour — ``"linear"`` (the paper's
+            Algorithm 1) or ``"bisection"`` (binary search between a
+            structural lower bound and the best model; an ablation).
+    """
+
+    algebraic_independence: bool = True
+    vacuum_preservation: bool = True
+    exact_vacuum: bool = False
+    start_weight: int | None = None
+    warm_start: bool = True
+    budget: SolverBudget = field(default_factory=SolverBudget)
+    max_repairs: int = 32
+    strategy: str = "linear"
+
+    def __post_init__(self):
+        if self.strategy not in ("linear", "bisection"):
+            raise ValueError(f"unknown descent strategy: {self.strategy!r}")
+
+    def without_algebraic_independence(self) -> "FermihedralConfig":
+        return FermihedralConfig(
+            algebraic_independence=False,
+            vacuum_preservation=self.vacuum_preservation,
+            exact_vacuum=self.exact_vacuum,
+            start_weight=self.start_weight,
+            warm_start=self.warm_start,
+            budget=self.budget,
+            max_repairs=self.max_repairs,
+            strategy=self.strategy,
+        )
+
+
+@dataclass(frozen=True)
+class AnnealingSchedule:
+    """Simulated-annealing parameters for Algorithm 2.
+
+    Temperature decreases linearly from ``initial_temperature`` to
+    ``final_temperature`` in steps of ``temperature_step``; each level
+    performs ``iterations_per_step`` random pair swaps.
+    """
+
+    initial_temperature: float = 4.0
+    final_temperature: float = 0.05
+    temperature_step: float = 0.1
+    iterations_per_step: int = 60
+    boltzmann_constant: float = 1.0
+
+    def temperatures(self) -> list[float]:
+        levels = []
+        temperature = self.initial_temperature
+        while temperature >= self.final_temperature:
+            levels.append(temperature)
+            temperature -= self.temperature_step
+        return levels

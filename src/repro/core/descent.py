@@ -1,0 +1,261 @@
+"""Weight-descent optimization loops (the paper's Algorithm 1 and a
+bisection variant).
+
+A SAT solver only answers decision questions, so the minimal-weight
+encoding is found by iterated bound tightening.  Two strategies:
+
+* **linear** (the paper's Algorithm 1): ask for strictly better than the
+  best model so far, re-measure, repeat until UNSAT (optimum proved) or
+  budget exhaustion (best-so-far returned).
+* **bisection** (ablation, see DESIGN.md): binary-search between a
+  structural lower bound (every string / encoded monomial weighs at least
+  one) and the best model found.  Fewer SAT calls when the baseline starts
+  far above the optimum; each call may be harder.
+
+In the w/o-Alg configuration (Section 4.1) each SAT model is additionally
+rank-checked; the rare algebraically-dependent models (probability
+``4^-N``) are excluded with a blocking clause and the bound is retried —
+the "negligible failing probability" repair loop.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.config import FermihedralConfig
+from repro.core.encoder import FermihedralEncoder
+from repro.encodings.base import MajoranaEncoding
+from repro.encodings.bravyi_kitaev import bravyi_kitaev
+from repro.fermion.hamiltonians import FermionicHamiltonian
+from repro.paulis.symplectic import are_algebraically_independent
+from repro.sat.solver import CdclSolver
+
+LINEAR = "linear"
+BISECTION = "bisection"
+
+
+@dataclass
+class DescentStep:
+    """One SAT call inside the descent loop."""
+
+    bound: int
+    status: str
+    achieved_weight: int | None
+    elapsed_s: float
+    conflicts: int
+    repairs: int = 0
+
+
+@dataclass
+class DescentResult:
+    """Outcome of a descent run."""
+
+    encoding: MajoranaEncoding
+    weight: int
+    proved_optimal: bool
+    steps: list[DescentStep] = field(default_factory=list)
+    construct_time_s: float = 0.0
+    solve_time_s: float = 0.0
+    repairs: int = 0
+    strategy: str = LINEAR
+
+    @property
+    def sat_calls(self) -> int:
+        return len(self.steps)
+
+
+def _measured_weight(
+    encoding: MajoranaEncoding, hamiltonian: FermionicHamiltonian | None
+) -> int:
+    if hamiltonian is None:
+        return encoding.total_majorana_weight
+    return encoding.hamiltonian_pauli_weight(hamiltonian)
+
+
+def _structural_lower_bound(
+    num_modes: int, hamiltonian: FermionicHamiltonian | None
+) -> int:
+    """A weight no valid encoding can beat: every Majorana string (or
+    every encoded Hamiltonian monomial) is non-identity, so weighs >= 1."""
+    if hamiltonian is None:
+        return 2 * num_modes
+    return max(len(hamiltonian.monomials), 1)
+
+
+def build_base_formula(
+    num_modes: int,
+    config: FermihedralConfig,
+    hamiltonian: FermionicHamiltonian | None = None,
+) -> tuple[FermihedralEncoder, list[int]]:
+    """Construct the weight-bound-free part of the SAT instance.
+
+    Returns the encoder and the objective indicator literals; the descent
+    loops copy the formula once per bound and append only the cardinality
+    constraint.
+    """
+    encoder = FermihedralEncoder(num_modes)
+    encoder.add_anticommutativity()
+    if config.algebraic_independence:
+        encoder.add_algebraic_independence()
+    if config.vacuum_preservation:
+        if config.exact_vacuum:
+            encoder.add_exact_vacuum_preservation()
+        else:
+            encoder.add_vacuum_preservation()
+    if hamiltonian is None:
+        indicators = encoder.majorana_weight_indicators()
+    else:
+        indicators = encoder.hamiltonian_weight_indicators(hamiltonian)
+    return encoder, indicators
+
+
+class _BoundSolver:
+    """Answers "is there a valid encoding of weight <= bound?" with the
+    w/o-Alg repair loop and warm-start phase bookkeeping."""
+
+    def __init__(
+        self,
+        encoder: FermihedralEncoder,
+        indicators: list[int],
+        config: FermihedralConfig,
+        hamiltonian: FermionicHamiltonian | None,
+        phases: dict[int, bool] | None,
+    ):
+        self.encoder = encoder
+        self.indicators = indicators
+        self.config = config
+        self.hamiltonian = hamiltonian
+        self.phases = phases
+        self.blocking: list[list[int]] = []
+        self.total_repairs = 0
+        self.solve_time_s = 0.0
+
+    def solve_at(self, bound: int) -> tuple[DescentStep, MajoranaEncoding | None]:
+        """One bound query; repairs dependent models until clean or capped."""
+        working = self.encoder.formula.copy()
+        for clause in self.blocking:
+            working.add_clause(clause)
+        base_formula, self.encoder.formula = self.encoder.formula, working
+        self.encoder.add_weight_at_most(self.indicators, bound)
+        self.encoder.formula = base_formula
+
+        level_repairs = 0
+        while True:
+            solver = CdclSolver(working, seed_phases=self.phases)
+            result = solver.solve(
+                max_conflicts=self.config.budget.max_conflicts,
+                time_budget_s=self.config.budget.time_budget_s,
+            )
+            self.solve_time_s += result.elapsed_s
+
+            if result.is_unsat or not result.is_sat:
+                step = DescentStep(bound, result.status, None, result.elapsed_s,
+                                   result.conflicts, level_repairs)
+                return step, None
+
+            candidate = self.encoder.decode(result.model)
+            if not self.config.algebraic_independence and not (
+                are_algebraically_independent(candidate.strings)
+            ):
+                level_repairs += 1
+                self.total_repairs += 1
+                clause = self.encoder.blocking_clause(result.model)
+                self.blocking.append(clause)
+                working.add_clause(clause)
+                if level_repairs > self.config.max_repairs:
+                    step = DescentStep(bound, "REPAIR-LIMIT", None,
+                                       result.elapsed_s, result.conflicts,
+                                       level_repairs)
+                    return step, None
+                continue
+
+            if self.config.warm_start:
+                self.phases = {
+                    v: result.model[v] for v in self.encoder.all_string_variables()
+                }
+            achieved = _measured_weight(candidate, self.hamiltonian)
+            step = DescentStep(bound, result.status, achieved, result.elapsed_s,
+                               result.conflicts, level_repairs)
+            return step, candidate
+
+
+def descend(
+    num_modes: int,
+    config: FermihedralConfig | None = None,
+    hamiltonian: FermionicHamiltonian | None = None,
+    baseline: MajoranaEncoding | None = None,
+) -> DescentResult:
+    """Run the configured descent strategy.
+
+    Args:
+        num_modes: number of fermionic modes ``N``.
+        config: constraint/budget configuration (defaults to Full SAT,
+            linear descent).
+        hamiltonian: when given, optimize the Hamiltonian-dependent weight
+            (Section 3.7); otherwise the Hamiltonian-independent objective.
+        baseline: encoding supplying the starting bound and warm-start
+            phases; defaults to Bravyi-Kitaev, as in the paper.
+    """
+    config = config or FermihedralConfig()
+    baseline = baseline or bravyi_kitaev(num_modes)
+
+    construct_start = time.monotonic()
+    encoder, indicators = build_base_formula(num_modes, config, hamiltonian)
+    construct_time = time.monotonic() - construct_start
+
+    phases = encoder.encoding_assignment(baseline) if config.warm_start else None
+    bound_solver = _BoundSolver(encoder, indicators, config, hamiltonian, phases)
+
+    best_encoding = baseline
+    best_weight = _measured_weight(baseline, hamiltonian)
+    steps: list[DescentStep] = []
+    proved_optimal = False
+
+    if config.strategy == BISECTION:
+        lower = _structural_lower_bound(num_modes, hamiltonian)
+        upper = best_weight  # best known achievable
+        if config.start_weight is not None:
+            upper = min(upper, max(config.start_weight, lower))
+        while lower < upper:
+            bound = (lower + upper - 1) // 2
+            step, candidate = bound_solver.solve_at(bound)
+            steps.append(step)
+            if candidate is not None:
+                best_encoding = candidate
+                best_weight = step.achieved_weight
+                upper = step.achieved_weight
+            elif step.status == "UNSAT":
+                lower = bound + 1
+            else:
+                break  # budget exhausted: cannot conclude
+        proved_optimal = lower == upper and lower >= _structural_lower_bound(
+            num_modes, hamiltonian
+        ) and (not steps or steps[-1].status in ("SAT", "UNSAT"))
+        if lower != upper:
+            proved_optimal = False
+    else:
+        next_bound = best_weight - 1
+        if config.start_weight is not None:
+            next_bound = min(next_bound, config.start_weight)
+        while next_bound >= 0:
+            step, candidate = bound_solver.solve_at(next_bound)
+            steps.append(step)
+            if candidate is not None:
+                best_encoding = candidate
+                best_weight = step.achieved_weight
+                next_bound = step.achieved_weight - 1
+                continue
+            proved_optimal = step.status == "UNSAT"
+            break
+
+    return DescentResult(
+        encoding=best_encoding,
+        weight=best_weight,
+        proved_optimal=proved_optimal,
+        steps=steps,
+        construct_time_s=construct_time,
+        solve_time_s=bound_solver.solve_time_s,
+        repairs=bound_solver.total_repairs,
+        strategy=config.strategy,
+    )

@@ -1,0 +1,67 @@
+"""Independent verification of candidate encodings.
+
+The SAT encoder and the descent loop are complex enough to deserve a
+checker that shares no code with them: constraints are re-validated on the
+decoded Pauli strings through the Pauli-algebra substrate (pairwise
+anticommutation, GF(2)-rank algebraic independence, exact vacuum action).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.encodings.base import MajoranaEncoding
+from repro.paulis.symplectic import dependent_subset
+
+
+@dataclass
+class VerificationReport:
+    """Constraint-by-constraint verdict for one encoding."""
+
+    anticommutativity: bool
+    algebraic_independence: bool
+    vacuum_preservation: bool
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def valid(self) -> bool:
+        """Validity per Section 3.1 (vacuum is optional there)."""
+        return self.anticommutativity and self.algebraic_independence
+
+    @property
+    def fully_valid(self) -> bool:
+        return self.valid and self.vacuum_preservation
+
+
+def verify_encoding(encoding: MajoranaEncoding) -> VerificationReport:
+    """Check all Section-3.1 constraints, reporting each violation found."""
+    violations: list[str] = []
+
+    anticommuting = True
+    strings = encoding.strings
+    for i, left in enumerate(strings):
+        if left.is_identity:
+            anticommuting = False
+            violations.append(f"string m_{i} is identity")
+        for j in range(i + 1, len(strings)):
+            if not left.anticommutes_with(strings[j]):
+                anticommuting = False
+                violations.append(
+                    f"m_{i}={left.label()} and m_{j}={strings[j].label()} commute"
+                )
+
+    dependency = dependent_subset(strings)
+    independent = dependency is None
+    if dependency is not None:
+        violations.append(f"subset {dependency} multiplies to identity")
+
+    vacuum = encoding.preserves_vacuum()
+    if not vacuum:
+        violations.append("some annihilation operator does not kill |0...0>")
+
+    return VerificationReport(
+        anticommutativity=anticommuting,
+        algebraic_independence=independent,
+        vacuum_preservation=vacuum,
+        violations=violations,
+    )

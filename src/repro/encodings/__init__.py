@@ -1,0 +1,22 @@
+"""Fermion-to-qubit encodings: the universal container and the baselines."""
+
+from repro.encodings.base import EncodingError, MajoranaEncoding
+from repro.encodings.bravyi_kitaev import bravyi_kitaev
+from repro.encodings.fenwick import FenwickTree
+from repro.encodings.jordan_wigner import jordan_wigner
+from repro.encodings.parity import parity_encoding
+from repro.encodings.random_encoding import random_clifford_gates, random_encoding
+from repro.encodings.ternary_tree import ternary_tree, ternary_tree_paths
+
+__all__ = [
+    "EncodingError",
+    "FenwickTree",
+    "MajoranaEncoding",
+    "bravyi_kitaev",
+    "jordan_wigner",
+    "parity_encoding",
+    "random_clifford_gates",
+    "random_encoding",
+    "ternary_tree",
+    "ternary_tree_paths",
+]

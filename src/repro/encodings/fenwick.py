@@ -1,0 +1,93 @@
+"""Fenwick-tree index structure underlying the Bravyi-Kitaev encoding.
+
+The Bravyi-Kitaev transformation stores, at qubit ``k``, the occupation
+parity of a contiguous block of modes ``[lo_k, k]`` arranged as a Fenwick
+(binary indexed) tree.  Three index sets per mode drive the encoding:
+
+* **update set** ``U(j)`` — ancestors of ``j``: qubits whose stored block
+  contains mode ``j`` and must flip when its occupation flips;
+* **flip set** ``F(j)`` — children of ``j``: together with qubit ``j`` they
+  recover the single-mode occupation ``n_j = s_j ⊕ (⊕_{c∈F(j)} s_c)``;
+* **parity set** ``P(j)`` — a disjoint tiling of ``[0, j-1]`` by stored
+  blocks, giving the prefix parity that sets the fermionic sign.
+
+The remainder set ``R(j) = P(j) \\ F(j)`` appears in the Y-type Majorana
+(see :mod:`repro.encodings.bravyi_kitaev` for the derivation).
+"""
+
+from __future__ import annotations
+
+
+class FenwickTree:
+    """Fenwick tree over ``n`` mode indices with BK index-set queries."""
+
+    def __init__(self, num_modes: int):
+        if num_modes < 1:
+            raise ValueError("num_modes must be positive")
+        self.num_modes = num_modes
+        self.parent: list[int | None] = [None] * num_modes
+        self._build(0, num_modes - 1)
+        self.children: list[list[int]] = [[] for _ in range(num_modes)]
+        for node, parent in enumerate(self.parent):
+            if parent is not None:
+                self.children[parent].append(node)
+        self._block_low = [self._compute_block_low(node) for node in range(num_modes)]
+
+    def _build(self, low: int, high: int) -> None:
+        """Recursive Fenwick construction: the median of ``[low, high]``
+        becomes a child of ``high``; recurse on both halves."""
+        if low >= high:
+            return
+        pivot = (low + high) // 2
+        self.parent[pivot] = high
+        self._build(low, pivot)
+        self._build(pivot + 1, high)
+
+    def _compute_block_low(self, node: int) -> int:
+        """Lowest mode in the contiguous block stored at ``node``."""
+        low = node
+        frontier = [child for child in self.children[node] if child < node]
+        while frontier:
+            candidate = min(frontier)
+            low = min(low, candidate)
+            frontier = [child for child in self.children[candidate] if child < candidate]
+        return low
+
+    # -- BK index sets ------------------------------------------------------
+
+    def update_set(self, mode: int) -> list[int]:
+        """Ancestors of ``mode`` (ascending)."""
+        result = []
+        node = self.parent[mode]
+        while node is not None:
+            result.append(node)
+            node = self.parent[node]
+        return sorted(result)
+
+    def flip_set(self, mode: int) -> list[int]:
+        """Direct children of ``mode`` (all below it)."""
+        return sorted(self.children[mode])
+
+    def parity_set(self, mode: int) -> list[int]:
+        """Nodes whose stored blocks tile ``[0, mode-1]`` disjointly.
+
+        Greedy: node ``r`` always stores a block ending at ``r``, so taking
+        ``r = mode - 1`` and continuing below its block low covers the
+        prefix exactly.
+        """
+        result = []
+        remaining = mode - 1
+        while remaining >= 0:
+            result.append(remaining)
+            remaining = self._block_low[remaining] - 1
+        return sorted(result)
+
+    def remainder_set(self, mode: int) -> list[int]:
+        """``P(mode)`` minus ``F(mode)`` — children of ``mode`` always tile
+        the top of the prefix, so set difference equals symmetric difference."""
+        flips = set(self.flip_set(mode))
+        return sorted(node for node in self.parity_set(mode) if node not in flips)
+
+    def block(self, node: int) -> tuple[int, int]:
+        """The contiguous mode interval ``[low, node]`` stored at ``node``."""
+        return self._block_low[node], node

@@ -1,0 +1,36 @@
+"""Jordan-Wigner transformation (Jordan & Wigner 1928).
+
+Mode ``j`` maps to qubit ``j`` with a Z-parity string on all lower qubits:
+
+    ``m_{2j}   = Z_{j-1} ... Z_0 · X_j``
+    ``m_{2j+1} = Z_{j-1} ... Z_0 · Y_j``
+
+Pauli weight grows linearly, ``O(N)`` per Majorana — the baseline the
+asymptotically better encodings (and the SAT optimum) are measured against.
+For ``N = 2`` this reproduces the paper's Eq. 2 table
+(``m_0 = IX, m_1 = IY, m_2 = XZ, m_3 = YZ``).
+"""
+
+from __future__ import annotations
+
+from repro.encodings.base import MajoranaEncoding
+from repro.paulis.strings import PauliString
+
+
+def jordan_wigner(num_modes: int) -> MajoranaEncoding:
+    """Build the Jordan-Wigner encoding for ``num_modes`` modes."""
+    if num_modes < 1:
+        raise ValueError("num_modes must be positive")
+    strings = []
+    for mode in range(num_modes):
+        parity_mask = (1 << mode) - 1  # Z on all qubits below `mode`
+        for operator in ("X", "Y"):
+            x_bit, z_bit = (1, 0) if operator == "X" else (1, 1)
+            strings.append(
+                PauliString(
+                    num_modes,
+                    x_mask=x_bit << mode,
+                    z_mask=parity_mask | (z_bit << mode),
+                )
+            )
+    return MajoranaEncoding(strings, name="jordan-wigner")

@@ -1,0 +1,35 @@
+"""Parity encoding (Bravyi, Gambetta, Mezzacapo, Temme 2017).
+
+Qubit ``j`` stores the running parity of occupations ``0..j``, the mirror
+image of Jordan-Wigner: single-mode occupation is local to two qubits but a
+mode flip updates the entire suffix.
+
+* Flipping ``n_j`` flips stored bits ``j..N-1``: ``X`` on that suffix.
+* The sign parity of modes ``< j`` is stored directly at ``j-1``: one ``Z``.
+  ``m_{2j} = X_{N-1..j} Z_{j-1}``.
+* Occupation readout is ``Ẑ_j = Z_j Z_{j-1}``, so
+  ``m_{2j+1} = i·m_{2j}·Ẑ_j = X_{N-1..j+1} Y_j`` (the ``Z_{j-1}`` pair cancels).
+"""
+
+from __future__ import annotations
+
+from repro.encodings.base import MajoranaEncoding
+from repro.paulis.strings import PauliString
+
+
+def parity_encoding(num_modes: int) -> MajoranaEncoding:
+    """Build the parity encoding for ``num_modes`` modes."""
+    if num_modes < 1:
+        raise ValueError("num_modes must be positive")
+    strings = []
+    full = (1 << num_modes) - 1
+    for mode in range(num_modes):
+        suffix_mask = full & ~((1 << mode) - 1)       # qubits mode..N-1
+        previous_mask = (1 << (mode - 1)) if mode > 0 else 0
+        # m_{2j} = X_{suffix} Z_{j-1}
+        strings.append(PauliString(num_modes, x_mask=suffix_mask, z_mask=previous_mask))
+        # m_{2j+1} = X_{suffix above j} Y_j
+        strings.append(
+            PauliString(num_modes, x_mask=suffix_mask, z_mask=1 << mode)
+        )
+    return MajoranaEncoding(strings, name="parity")

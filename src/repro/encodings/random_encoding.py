@@ -1,0 +1,67 @@
+"""Random valid fermion-to-qubit encodings via Clifford scrambling.
+
+Conjugating every Majorana string of a valid encoding by one Clifford
+unitary preserves pairwise anticommutation and algebraic independence
+(conjugation is an automorphism of the Pauli group), so scrambling
+Jordan-Wigner with a random Clifford circuit yields a *uniformly
+structureless* valid encoding.  Uses:
+
+* a rich generator for property-based tests (every invariant that holds
+  for JW/BK must hold for any scrambled encoding);
+* the "random valid encoding" baseline ablation — how much of
+  Fermihedral's win comes from optimization rather than mere validity.
+
+Vacuum preservation is *not* preserved by general Clifford conjugation
+(the state ``U|0...0>`` is some stabilizer state, not ``|0...0>``), so
+scrambled encodings suit weight studies, not vacuum-dependent ones.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.encodings.base import MajoranaEncoding
+from repro.encodings.jordan_wigner import jordan_wigner
+from repro.paulis.clifford import CliffordGate, conjugate_sequence
+
+
+def random_clifford_gates(
+    num_qubits: int, depth: int, rng: random.Random
+) -> list[CliffordGate]:
+    """A random sequence of elementary Clifford generators."""
+    gates: list[CliffordGate] = []
+    for _ in range(depth):
+        kind = rng.randrange(3)
+        if kind == 2 and num_qubits >= 2:
+            control, target = rng.sample(range(num_qubits), 2)
+            gates.append(CliffordGate("CNOT", (control, target)))
+        else:
+            gates.append(CliffordGate("HS"[kind % 2], (rng.randrange(num_qubits),)))
+    return gates
+
+
+def random_encoding(
+    num_modes: int,
+    seed: int = 0,
+    depth: int | None = None,
+    base: MajoranaEncoding | None = None,
+) -> MajoranaEncoding:
+    """A random valid encoding: ``base`` (default Jordan-Wigner) scrambled
+    by a random Clifford circuit of ``depth`` generators (default ``8N``).
+
+    Signs from conjugation are dropped: a global ``-1`` on a Majorana
+    operator is itself a valid Majorana operator (``{-m, -m} = 2`` holds),
+    and Pauli weight ignores signs.
+    """
+    rng = random.Random(seed)
+    base = base or jordan_wigner(num_modes)
+    if base.num_modes != num_modes:
+        raise ValueError("base encoding mode count mismatch")
+    if depth is None:
+        depth = 8 * num_modes
+    gates = random_clifford_gates(num_modes, depth, rng)
+    scrambled = []
+    for string in base.strings:
+        conjugated, _ = conjugate_sequence(string, gates)
+        scrambled.append(conjugated)
+    return MajoranaEncoding(scrambled, name=f"random-{seed}", validate=False)

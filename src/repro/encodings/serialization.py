@@ -1,0 +1,49 @@
+"""JSON (de)serialization of encodings.
+
+The artifact the compiler produces — an ordered list of Majorana Pauli
+strings — is exactly what downstream toolchains need to persist; the JSON
+schema keeps it human-readable and versioned.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.encodings.base import MajoranaEncoding
+from repro.paulis.strings import PauliString
+
+_FORMAT_VERSION = 1
+
+
+def encoding_to_dict(encoding: MajoranaEncoding) -> dict:
+    """Plain-data form of an encoding."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "name": encoding.name,
+        "num_modes": encoding.num_modes,
+        "majorana_strings": [string.label() for string in encoding.strings],
+    }
+
+
+def encoding_from_dict(data: dict, validate: bool = True) -> MajoranaEncoding:
+    """Rebuild an encoding from :func:`encoding_to_dict` output."""
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported encoding format version: {version!r}")
+    strings = [PauliString.from_label(label) for label in data["majorana_strings"]]
+    encoding = MajoranaEncoding(strings, name=data.get("name", "loaded"),
+                                validate=validate)
+    if encoding.num_modes != data["num_modes"]:
+        raise ValueError("num_modes field inconsistent with string count")
+    return encoding
+
+
+def save_encoding(encoding: MajoranaEncoding, path: str | Path) -> None:
+    """Write an encoding to a JSON file."""
+    Path(path).write_text(json.dumps(encoding_to_dict(encoding), indent=2) + "\n")
+
+
+def load_encoding(path: str | Path, validate: bool = True) -> MajoranaEncoding:
+    """Read an encoding from a JSON file (validated by default)."""
+    return encoding_from_dict(json.loads(Path(path).read_text()), validate=validate)

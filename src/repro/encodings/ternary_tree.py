@@ -1,0 +1,58 @@
+"""Ternary-tree encoding (Jiang, Kalev, Mruczkiewicz, Neven 2020).
+
+Qubits are the nodes of a balanced ternary tree (BFS indexing: node ``q``
+has children ``3q+1, 3q+2, 3q+3`` when those indices are below ``N``).
+Each root-to-empty-slot path yields a Pauli string — the branch taken at a
+node fixes the operator (X/Y/Z) on that node's qubit.  Any two paths
+diverge at exactly one shared node with different operators and are
+disjoint below it, so all ``2N + 1`` path strings pairwise anticommute.
+Dropping one (the all-Z path, conventionally) leaves ``2N`` Majorana
+operators of weight ``ceil(log3(2N+1))`` — the optimal average weight per
+Majorana.
+
+The plain construction does not promise vacuum preservation (the Bonsai
+follow-up adds that); it serves here as a Hamiltonian-independent
+weight baseline and a descent-start alternative.
+"""
+
+from __future__ import annotations
+
+from repro.encodings.base import MajoranaEncoding
+from repro.paulis.strings import PauliString
+
+_BRANCHES = ("X", "Y", "Z")
+
+
+def ternary_tree_paths(num_qubits: int) -> list[dict[int, str]]:
+    """All ``2N + 1`` root-to-slot paths in DFS (X, Y, Z) order.
+
+    Each path is a ``{qubit: operator}`` mapping.
+    """
+    paths: list[dict[int, str]] = []
+
+    def descend(node: int, path: dict[int, str]) -> None:
+        for branch_index, operator in enumerate(_BRANCHES):
+            child = 3 * node + branch_index + 1
+            extended = dict(path)
+            extended[node] = operator
+            if child < num_qubits:
+                descend(child, extended)
+            else:
+                paths.append(extended)
+
+    descend(0, {})
+    return paths
+
+
+def ternary_tree(num_modes: int) -> MajoranaEncoding:
+    """Build the ternary-tree encoding for ``num_modes`` modes."""
+    if num_modes < 1:
+        raise ValueError("num_modes must be positive")
+    paths = ternary_tree_paths(num_modes)
+    # The DFS visits Z-branches last, so the final path is the all-Z chain;
+    # dropping it keeps the 2N lowest-weight strings.
+    kept = paths[:-1]
+    strings = [
+        PauliString.from_operators(num_modes, path) for path in kept
+    ]
+    return MajoranaEncoding(strings, name="ternary-tree")

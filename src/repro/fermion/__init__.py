@@ -1,0 +1,36 @@
+"""Fermionic-system substrate: operators, Majorana algebra, model Hamiltonians."""
+
+from repro.fermion.hamiltonians import FermionicHamiltonian
+from repro.fermion.hubbard import hubbard_chain, hubbard_from_graph, hubbard_lattice
+from repro.fermion.majorana import (
+    MajoranaPolynomial,
+    canonicalize_indices,
+    fermion_to_majorana,
+    hamiltonian_monomials,
+)
+from repro.fermion.molecules import (
+    h2_hamiltonian,
+    molecular_hamiltonian,
+    random_molecular_hamiltonian,
+)
+from repro.fermion.operators import FermionOperator
+from repro.fermion.spinless import tv_chain, tv_model_from_graph
+from repro.fermion.syk import syk_hamiltonian
+
+__all__ = [
+    "FermionOperator",
+    "FermionicHamiltonian",
+    "MajoranaPolynomial",
+    "canonicalize_indices",
+    "fermion_to_majorana",
+    "h2_hamiltonian",
+    "hamiltonian_monomials",
+    "hubbard_chain",
+    "hubbard_from_graph",
+    "hubbard_lattice",
+    "molecular_hamiltonian",
+    "random_molecular_hamiltonian",
+    "syk_hamiltonian",
+    "tv_chain",
+    "tv_model_from_graph",
+]

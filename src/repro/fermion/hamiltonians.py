@@ -1,0 +1,90 @@
+"""Unified fermionic-Hamiltonian container.
+
+Every benchmark family (molecular electronic structure, Fermi-Hubbard, SYK)
+produces a :class:`FermionicHamiltonian`: a named operator over ``N`` modes
+carrying both the second-quantized form (when one exists — SYK is native to
+Majoranas) and the Majorana-polynomial expansion that the encoders and the
+weight objectives consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fermion.majorana import MajoranaPolynomial, fermion_to_majorana
+from repro.fermion.operators import FermionOperator
+
+
+@dataclass(frozen=True)
+class FermionicHamiltonian:
+    """A fermionic Hamiltonian over a fixed number of modes.
+
+    Attributes:
+        name: human-readable benchmark label.
+        num_modes: number of fermionic modes ``N`` (qubits after encoding).
+        majorana: expansion over canonical Majorana monomials.
+        fermionic: second-quantized form, when the model has one.
+        constant: scalar offset (e.g. nuclear repulsion) carried outside
+            the operator so weight metrics ignore it.
+    """
+
+    name: str
+    num_modes: int
+    majorana: MajoranaPolynomial
+    fermionic: FermionOperator | None = None
+    constant: float = 0.0
+
+    def __post_init__(self):
+        if self.num_modes <= 0:
+            raise ValueError("num_modes must be positive")
+        if self.majorana.max_index >= 2 * self.num_modes:
+            raise ValueError(
+                f"Majorana index {self.majorana.max_index} out of range for "
+                f"{self.num_modes} modes"
+            )
+
+    @classmethod
+    def from_fermion_operator(
+        cls,
+        name: str,
+        operator: FermionOperator,
+        num_modes: int | None = None,
+        constant: float = 0.0,
+    ) -> "FermionicHamiltonian":
+        """Wrap a second-quantized operator, expanding it over Majoranas."""
+        modes = operator.num_modes if num_modes is None else num_modes
+        return cls(
+            name=name,
+            num_modes=modes,
+            majorana=fermion_to_majorana(operator),
+            fermionic=operator,
+            constant=constant,
+        )
+
+    @classmethod
+    def from_majorana(
+        cls,
+        name: str,
+        polynomial: MajoranaPolynomial,
+        num_modes: int,
+        constant: float = 0.0,
+    ) -> "FermionicHamiltonian":
+        """Wrap a Majorana-native model (e.g. SYK)."""
+        return cls(
+            name=name,
+            num_modes=num_modes,
+            majorana=polynomial,
+            fermionic=None,
+            constant=constant,
+        )
+
+    @property
+    def monomials(self) -> list[tuple[int, ...]]:
+        """Distinct non-identity Majorana monomials — weight-objective input."""
+        return self.majorana.support_monomials()
+
+    def __repr__(self) -> str:
+        return (
+            f"FermionicHamiltonian({self.name!r}, modes={self.num_modes}, "
+            f"monomials={len(self.monomials)})"
+        )

@@ -1,0 +1,167 @@
+"""Majorana operator algebra.
+
+The ``2N`` Majorana operators of an ``N``-mode system satisfy
+``{m_i, m_j} = 2 δ_ij`` (so ``m_i^2 = 1`` and distinct operators
+anticommute).  This package pairs them with the modes as
+
+    ``a_j   = (m_{2j} + i m_{2j+1}) / 2``
+    ``a†_j  = (m_{2j} − i m_{2j+1}) / 2``
+
+matching Eq. 12 of the paper (even index = "X-type", odd = "Y-type").
+
+A :class:`MajoranaPolynomial` maps canonical monomials — strictly
+ascending tuples of Majorana indices — to complex coefficients.  Its most
+important consumer is the Hamiltonian-dependent weight objective: the set
+of *distinct* monomials appearing in a Hamiltonian's expansion determines
+the encoded Pauli strings whose weight the SAT objective counts
+(Section 3.7, Eq. 14).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.fermion.operators import FermionOperator
+
+#: A canonical Majorana monomial: strictly ascending index tuple.
+MajoranaMonomial = tuple[int, ...]
+
+_TOLERANCE = 1e-12
+
+
+def canonicalize_indices(indices: Iterable[int]) -> tuple[MajoranaMonomial, int]:
+    """Reduce a Majorana index product to canonical form.
+
+    Sorting adjacent transpositions each contribute ``-1`` (anticommutation)
+    and equal adjacent pairs annihilate (``m^2 = 1``).  Returns the sorted,
+    duplicate-free tuple and the accumulated sign.
+    """
+    result: list[int] = []
+    sign = 1
+    for index in indices:
+        position = len(result)
+        while position > 0 and result[position - 1] > index:
+            position -= 1
+        if (len(result) - position) % 2 == 1:
+            sign = -sign
+        if position > 0 and result[position - 1] == index:
+            result.pop(position - 1)
+        else:
+            result.insert(position, index)
+    return tuple(result), sign
+
+
+class MajoranaPolynomial:
+    """A linear combination of canonical Majorana monomials."""
+
+    __slots__ = ("_terms",)
+
+    def __init__(self, terms: Mapping[MajoranaMonomial, complex] | None = None):
+        self._terms: dict[MajoranaMonomial, complex] = {}
+        if terms:
+            for monomial, coefficient in terms.items():
+                self.add_product(monomial, coefficient)
+
+    def add_product(self, indices: Iterable[int], coefficient: complex) -> None:
+        """Add ``coefficient * m_{i1} m_{i2} ...`` (any order, repeats allowed)."""
+        monomial, sign = canonicalize_indices(indices)
+        updated = self._terms.get(monomial, 0j) + sign * coefficient
+        if abs(updated) <= _TOLERANCE:
+            self._terms.pop(monomial, None)
+        else:
+            self._terms[monomial] = updated
+
+    # -- inspection ---------------------------------------------------------
+
+    def items(self) -> Iterator[tuple[MajoranaMonomial, complex]]:
+        return iter(self._terms.items())
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def __iter__(self) -> Iterator[tuple[MajoranaMonomial, complex]]:
+        return self.items()
+
+    def coefficient(self, monomial: MajoranaMonomial) -> complex:
+        return self._terms.get(tuple(monomial), 0j)
+
+    @property
+    def is_zero(self) -> bool:
+        return not self._terms
+
+    @property
+    def max_index(self) -> int:
+        return max((index for monomial in self._terms for index in monomial), default=-1)
+
+    def monomials(self) -> list[MajoranaMonomial]:
+        """All distinct canonical monomials (identity included if present)."""
+        return list(self._terms)
+
+    def support_monomials(self) -> list[MajoranaMonomial]:
+        """Distinct non-identity monomials — the weight-objective inputs."""
+        return [monomial for monomial in self._terms if monomial]
+
+    # -- algebra -------------------------------------------------------------
+
+    def __add__(self, other: "MajoranaPolynomial") -> "MajoranaPolynomial":
+        result = MajoranaPolynomial(self._terms)
+        for monomial, coefficient in other.items():
+            result.add_product(monomial, coefficient)
+        return result
+
+    def __mul__(self, other) -> "MajoranaPolynomial":
+        if isinstance(other, MajoranaPolynomial):
+            result = MajoranaPolynomial()
+            for left, left_coefficient in self._terms.items():
+                for right, right_coefficient in other._terms.items():
+                    result.add_product(left + right, left_coefficient * right_coefficient)
+            return result
+        if isinstance(other, (int, float, complex)):
+            return MajoranaPolynomial(
+                {monomial: coefficient * other for monomial, coefficient in self._terms.items()}
+            )
+        return NotImplemented
+
+    def __rmul__(self, other) -> "MajoranaPolynomial":
+        if isinstance(other, (int, float, complex)):
+            return self * other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        if not self._terms:
+            return "MajoranaPolynomial(0)"
+        parts = []
+        for monomial, coefficient in sorted(self._terms.items()):
+            body = " ".join(f"m_{index}" for index in monomial) or "1"
+            parts.append(f"({coefficient:.6g})*{body}")
+        return "MajoranaPolynomial(" + " + ".join(parts) + ")"
+
+
+def fermion_to_majorana(operator: FermionOperator) -> MajoranaPolynomial:
+    """Expand a :class:`FermionOperator` over Majorana monomials.
+
+    Each factor splits into two Majorana terms, so a ``t``-factor monomial
+    expands into ``2^t`` index products before canonical reduction.
+    """
+    polynomial = MajoranaPolynomial()
+    for monomial, coefficient in operator.items():
+        partial: list[tuple[tuple[int, ...], complex]] = [((), coefficient)]
+        for mode, is_creation in monomial:
+            odd_factor = (-0.5j) if is_creation else (0.5j)
+            expanded: list[tuple[tuple[int, ...], complex]] = []
+            for indices, value in partial:
+                expanded.append((indices + (2 * mode,), value * 0.5))
+                expanded.append((indices + (2 * mode + 1,), value * odd_factor))
+            partial = expanded
+        for indices, value in partial:
+            polynomial.add_product(indices, value)
+    return polynomial
+
+
+def hamiltonian_monomials(operator: FermionOperator) -> list[MajoranaMonomial]:
+    """Distinct non-identity Majorana monomials of a Hamiltonian expansion.
+
+    This is the input of the Hamiltonian-dependent weight objective: every
+    monomial becomes one encoded Pauli string whose weight is counted once.
+    """
+    return fermion_to_majorana(operator).support_monomials()

@@ -1,0 +1,151 @@
+"""Molecular electronic-structure Hamiltonians.
+
+The general form is the paper's Eq. 13:
+
+    ``H = Σ_pq h_pq a†_p a_q + ½ Σ_pqrs h_pqrs a†_p a†_q a_r a_s``
+
+The H2/STO-3G integrals below are the standard published values at the
+equilibrium bond length R = 0.7414 Å (spatial-orbital basis, chemist
+notation), identical to what PySCF/OpenFermion produce; they are
+hard-coded because this environment has no quantum-chemistry stack.
+Larger "electronic structure" benchmark instances are generated
+synthetically with the full 8-fold permutational symmetry of real
+two-electron integrals, so the *term structure* — which products
+``a† a† a a`` appear — matches a real molecule of the same size, which is
+all the Pauli-weight objectives observe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fermion.hamiltonians import FermionicHamiltonian
+from repro.fermion.operators import FermionOperator
+
+#: One-electron spatial integrals h_pq for H2/STO-3G at R = 0.7414 Å (Hartree).
+H2_ONE_BODY = np.array([[-1.252477, 0.0], [0.0, -0.475934]])
+
+#: Two-electron spatial integrals (pq|rs) in chemist notation, same geometry.
+H2_TWO_BODY_CHEMIST = {
+    (0, 0, 0, 0): 0.674493,
+    (1, 1, 1, 1): 0.697397,
+    (0, 0, 1, 1): 0.663472,
+    (1, 1, 0, 0): 0.663472,
+    (0, 1, 1, 0): 0.181287,
+    (1, 0, 0, 1): 0.181287,
+    (0, 1, 0, 1): 0.181287,
+    (1, 0, 1, 0): 0.181287,
+}
+
+#: Nuclear repulsion energy of H2 at R = 0.7414 Å (Hartree).
+H2_NUCLEAR_REPULSION = 0.713754
+
+
+def spin_orbital(spatial: int, spin: int) -> int:
+    """Interleaved spin-orbital convention: mode = 2 * spatial + spin."""
+    if spin not in (0, 1):
+        raise ValueError("spin must be 0 (up) or 1 (down)")
+    return 2 * spatial + spin
+
+
+def molecular_hamiltonian(
+    one_body: np.ndarray,
+    two_body_chemist: dict[tuple[int, int, int, int], float],
+    name: str = "molecule",
+    constant: float = 0.0,
+) -> FermionicHamiltonian:
+    """Build the spin-orbital second-quantized Hamiltonian from integrals.
+
+    Args:
+        one_body: ``h_pq`` over spatial orbitals.
+        two_body_chemist: ``(pq|rs)`` chemist-notation spatial integrals.
+        name: benchmark label.
+        constant: scalar offset (nuclear repulsion).
+
+    The chemist-notation expansion is
+    ``½ Σ_{pqrs} Σ_{στ} (pq|rs) a†_pσ a†_rτ a_sτ a_qσ``.
+    """
+    num_spatial = one_body.shape[0]
+    if one_body.shape != (num_spatial, num_spatial):
+        raise ValueError("one_body must be square")
+    operator = FermionOperator.zero()
+
+    for p in range(num_spatial):
+        for q in range(num_spatial):
+            if abs(one_body[p, q]) < 1e-14:
+                continue
+            for spin in (0, 1):
+                operator = operator + FermionOperator.from_monomial(
+                    ((spin_orbital(p, spin), True), (spin_orbital(q, spin), False)),
+                    one_body[p, q],
+                )
+
+    for (p, q, r, s), value in two_body_chemist.items():
+        if abs(value) < 1e-14:
+            continue
+        for sigma in (0, 1):
+            for tau in (0, 1):
+                mode_p = spin_orbital(p, sigma)
+                mode_q = spin_orbital(q, sigma)
+                mode_r = spin_orbital(r, tau)
+                mode_s = spin_orbital(s, tau)
+                if mode_p == mode_r or mode_q == mode_s:
+                    continue  # a†a† or aa on equal modes vanishes
+                operator = operator + FermionOperator.from_monomial(
+                    ((mode_p, True), (mode_r, True), (mode_s, False), (mode_q, False)),
+                    0.5 * value,
+                )
+
+    return FermionicHamiltonian.from_fermion_operator(
+        name, operator, num_modes=2 * num_spatial, constant=constant
+    )
+
+
+def h2_hamiltonian() -> FermionicHamiltonian:
+    """The 4-mode H2/STO-3G Hamiltonian used in Figures 8/10 and Table 6."""
+    return molecular_hamiltonian(
+        H2_ONE_BODY,
+        H2_TWO_BODY_CHEMIST,
+        name="H2-STO3G",
+        constant=H2_NUCLEAR_REPULSION,
+    )
+
+
+def random_two_body_integrals(num_spatial: int, rng: np.random.Generator) -> dict:
+    """Random ``(pq|rs)`` with the 8-fold symmetry of real orbitals:
+    ``(pq|rs) = (qp|rs) = (pq|sr) = (qp|sr) = (rs|pq) = ...``.
+    """
+    integrals: dict[tuple[int, int, int, int], float] = {}
+    for p in range(num_spatial):
+        for q in range(p + 1):
+            for r in range(num_spatial):
+                for s in range(r + 1):
+                    if (p, q) < (r, s):
+                        continue
+                    value = float(rng.normal(scale=1.0 / num_spatial))
+                    for key in {
+                        (p, q, r, s), (q, p, r, s), (p, q, s, r), (q, p, s, r),
+                        (r, s, p, q), (s, r, p, q), (r, s, q, p), (s, r, q, p),
+                    }:
+                        integrals[key] = value
+    return integrals
+
+
+def random_molecular_hamiltonian(num_modes: int, seed: int = 7) -> FermionicHamiltonian:
+    """Synthetic electronic-structure instance on ``num_modes`` spin-orbitals.
+
+    ``num_modes`` must be even (two spins per spatial orbital).  Substitutes
+    for the real molecules of the paper's "Electronic Structure" rows; the
+    interaction *structure* (which second-quantized products appear) matches
+    a real molecule with the same orbital count.
+    """
+    if num_modes % 2 != 0:
+        raise ValueError("electronic-structure instances need an even mode count")
+    num_spatial = num_modes // 2
+    rng = np.random.default_rng(seed)
+    one_body = rng.normal(scale=1.0, size=(num_spatial, num_spatial))
+    one_body = (one_body + one_body.T) / 2.0
+    two_body = random_two_body_integrals(num_spatial, rng)
+    return molecular_hamiltonian(
+        one_body, two_body, name=f"electronic-{num_modes}", constant=0.0
+    )

@@ -1,0 +1,200 @@
+"""Second-quantized fermionic operators.
+
+A :class:`FermionOperator` is a complex-linear combination of monomials of
+creation (``a†_i``) and annihilation (``a_i``) operators.  Monomials are
+tuples of ``(mode, is_creation)`` factors in left-to-right application
+order, e.g. ``a†_0 a_1`` is ``((0, True), (1, False))``.
+
+The class supports the ring operations, hermitian conjugation and
+normal ordering under the canonical anticommutation relations (CARs,
+Eq. 1 of the paper): ``{a_i, a_j} = {a†_i, a†_j} = 0``,
+``{a_i, a†_j} = δ_ij``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+#: A single creation/annihilation factor: (mode index, is_creation).
+Factor = tuple[int, bool]
+#: A product of factors, applied left to right.
+Monomial = tuple[Factor, ...]
+
+_TOLERANCE = 1e-12
+
+
+class FermionOperator:
+    """A linear combination of creation/annihilation monomials."""
+
+    __slots__ = ("_terms",)
+
+    def __init__(self, terms: Mapping[Monomial, complex] | None = None):
+        self._terms: dict[Monomial, complex] = {}
+        if terms:
+            for monomial, coefficient in terms.items():
+                self._add_term(tuple(monomial), coefficient)
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def zero(cls) -> "FermionOperator":
+        return cls()
+
+    @classmethod
+    def identity(cls, coefficient: complex = 1.0) -> "FermionOperator":
+        return cls({(): coefficient})
+
+    @classmethod
+    def creation(cls, mode: int) -> "FermionOperator":
+        """The creation operator ``a†_mode``."""
+        return cls({((mode, True),): 1.0})
+
+    @classmethod
+    def annihilation(cls, mode: int) -> "FermionOperator":
+        """The annihilation operator ``a_mode``."""
+        return cls({((mode, False),): 1.0})
+
+    @classmethod
+    def number(cls, mode: int) -> "FermionOperator":
+        """The occupation-number operator ``a†_mode a_mode``."""
+        return cls({((mode, True), (mode, False)): 1.0})
+
+    @classmethod
+    def from_monomial(cls, factors: Monomial, coefficient: complex = 1.0) -> "FermionOperator":
+        return cls({tuple(factors): coefficient})
+
+    # -- bookkeeping ----------------------------------------------------------
+
+    def _add_term(self, monomial: Monomial, coefficient: complex) -> None:
+        updated = self._terms.get(monomial, 0j) + coefficient
+        if abs(updated) <= _TOLERANCE:
+            self._terms.pop(monomial, None)
+        else:
+            self._terms[monomial] = updated
+
+    def items(self) -> Iterator[tuple[Monomial, complex]]:
+        return iter(self._terms.items())
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def __iter__(self) -> Iterator[tuple[Monomial, complex]]:
+        return self.items()
+
+    @property
+    def is_zero(self) -> bool:
+        return not self._terms
+
+    @property
+    def max_mode(self) -> int:
+        """Largest mode index appearing in any monomial (-1 when none)."""
+        indices = [mode for monomial in self._terms for mode, _ in monomial]
+        return max(indices, default=-1)
+
+    @property
+    def num_modes(self) -> int:
+        """Minimal mode count able to host this operator."""
+        return self.max_mode + 1
+
+    def coefficient(self, monomial: Monomial) -> complex:
+        return self._terms.get(tuple(monomial), 0j)
+
+    # -- algebra ------------------------------------------------------------------
+
+    def __add__(self, other: "FermionOperator") -> "FermionOperator":
+        if not isinstance(other, FermionOperator):
+            return NotImplemented
+        result = FermionOperator(self._terms)
+        for monomial, coefficient in other.items():
+            result._add_term(monomial, coefficient)
+        return result
+
+    def __sub__(self, other: "FermionOperator") -> "FermionOperator":
+        return self + (other * -1.0)
+
+    def __mul__(self, other) -> "FermionOperator":
+        if isinstance(other, FermionOperator):
+            result = FermionOperator()
+            for left, left_coefficient in self._terms.items():
+                for right, right_coefficient in other._terms.items():
+                    result._add_term(left + right, left_coefficient * right_coefficient)
+            return result
+        if isinstance(other, (int, float, complex)):
+            return FermionOperator(
+                {monomial: coefficient * other for monomial, coefficient in self._terms.items()}
+            )
+        return NotImplemented
+
+    def __rmul__(self, other) -> "FermionOperator":
+        if isinstance(other, (int, float, complex)):
+            return self * other
+        return NotImplemented
+
+    def __neg__(self) -> "FermionOperator":
+        return self * -1.0
+
+    def hermitian_conjugate(self) -> "FermionOperator":
+        """Reverse each monomial, flip daggers, conjugate coefficients."""
+        conjugated: dict[Monomial, complex] = {}
+        for monomial, coefficient in self._terms.items():
+            flipped = tuple((mode, not is_creation) for mode, is_creation in reversed(monomial))
+            conjugated[flipped] = conjugated.get(flipped, 0j) + coefficient.conjugate()
+        return FermionOperator(conjugated)
+
+    def is_hermitian(self, tolerance: float = 1e-9) -> bool:
+        """Compare normal-ordered forms of the operator and its conjugate."""
+        difference = self.normal_ordered() - self.hermitian_conjugate().normal_ordered()
+        return all(abs(c) <= tolerance for _, c in difference.items())
+
+    # -- normal ordering --------------------------------------------------------------
+
+    def normal_ordered(self) -> "FermionOperator":
+        """Rewrite with all creations (descending mode) left of annihilations
+        (descending mode), using the CARs.  The result is a canonical form:
+        two operators are equal iff their normal-ordered terms match.
+        """
+        result = FermionOperator()
+        worklist: list[tuple[Monomial, complex]] = list(self._terms.items())
+        while worklist:
+            monomial, coefficient = worklist.pop()
+            rewritten = _normal_order_step(monomial)
+            if rewritten is None:
+                result._add_term(monomial, coefficient)
+                continue
+            for new_monomial, factor in rewritten:
+                worklist.append((new_monomial, coefficient * factor))
+        return result
+
+    def __repr__(self) -> str:
+        if not self._terms:
+            return "FermionOperator(0)"
+        parts = []
+        for monomial, coefficient in sorted(self._terms.items()):
+            body = " ".join(f"a{'†' if dag else ''}_{mode}" for mode, dag in monomial) or "1"
+            parts.append(f"({coefficient:.6g})*{body}")
+        return "FermionOperator(" + " + ".join(parts) + ")"
+
+
+def _normal_order_step(monomial: Monomial) -> list[tuple[Monomial, complex]] | None:
+    """One rewriting step toward normal order, or ``None`` if already ordered.
+
+    Ordering: creations before annihilations; within each block, strictly
+    descending mode index (repeated equal factors vanish by nilpotency).
+    """
+    for position in range(len(monomial) - 1):
+        (left_mode, left_dag), (right_mode, right_dag) = monomial[position], monomial[position + 1]
+        prefix, suffix = monomial[:position], monomial[position + 2:]
+        if not left_dag and right_dag:
+            # a_i a†_j = δ_ij − a†_j a_i
+            swapped = prefix + ((right_mode, True), (left_mode, False)) + suffix
+            outcomes = [(swapped, -1.0 + 0j)]
+            if left_mode == right_mode:
+                outcomes.append((prefix + suffix, 1.0 + 0j))
+            return outcomes
+        if left_dag == right_dag:
+            if left_mode == right_mode:
+                return []  # a a or a† a† on the same mode: zero by nilpotency
+            if left_mode < right_mode:
+                swapped = prefix + (monomial[position + 1], monomial[position]) + suffix
+                return [(swapped, -1.0 + 0j)]
+    return None

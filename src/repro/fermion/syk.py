@@ -1,0 +1,48 @@
+"""The four-body Sachdev-Ye-Kitaev (SYK) model.
+
+    ``H = (1 / (4 · 4!)) Σ_{ijkl} g_ijkl M_i M_j M_k M_l``
+
+over the ``2N`` Majorana operators of an ``N``-mode system, with totally
+antisymmetric Gaussian couplings.  In canonical form this is a sum over
+strictly ascending quadruples ``i < j < k < l`` with coupling variance
+``3! J² / (2N)³`` — the standard large-``N`` normalisation.  SYK is native
+to Majoranas (the paper's ``mj`` benchmark format), so no second-quantized
+form is attached.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from repro.fermion.hamiltonians import FermionicHamiltonian
+from repro.fermion.majorana import MajoranaPolynomial
+
+DEFAULT_COUPLING = 1.0
+
+
+def syk_hamiltonian(
+    num_modes: int,
+    coupling: float = DEFAULT_COUPLING,
+    seed: int = 11,
+) -> FermionicHamiltonian:
+    """Four-body SYK instance on ``num_modes`` fermionic modes.
+
+    Every ascending Majorana quadruple receives an independent Gaussian
+    coupling; with ``2N`` Majoranas that is ``C(2N, 4)`` dense four-body
+    terms — the "strongly interacting" extreme of the paper's benchmarks.
+    """
+    if num_modes < 2:
+        raise ValueError("four-body SYK needs at least 2 modes (4 Majoranas)")
+    num_majoranas = 2 * num_modes
+    rng = np.random.default_rng(seed)
+    scale = np.sqrt(6.0 * coupling**2 / num_majoranas**3)
+
+    polynomial = MajoranaPolynomial()
+    for quadruple in combinations(range(num_majoranas), 4):
+        polynomial.add_product(quadruple, float(rng.normal(scale=scale)))
+
+    return FermionicHamiltonian.from_majorana(
+        f"syk4-{num_modes}", polynomial, num_modes=num_modes
+    )

@@ -1,0 +1,30 @@
+"""Pauli algebra substrate: strings, sums and GF(2) symplectic structure."""
+
+from repro.paulis.matrices import pauli_string_matrix, pauli_sum_matrix
+from repro.paulis.operators import LABELS, MATRICES, PRODUCTS, operators_anticommute
+from repro.paulis.strings import PauliString
+from repro.paulis.symplectic import (
+    are_algebraically_independent,
+    dependent_subset,
+    gf2_rank,
+    pairwise_anticommuting,
+    strings_rank,
+)
+from repro.paulis.terms import PauliSum, sum_of
+
+__all__ = [
+    "LABELS",
+    "MATRICES",
+    "PRODUCTS",
+    "PauliString",
+    "PauliSum",
+    "are_algebraically_independent",
+    "dependent_subset",
+    "gf2_rank",
+    "operators_anticommute",
+    "pairwise_anticommuting",
+    "pauli_string_matrix",
+    "pauli_sum_matrix",
+    "strings_rank",
+    "sum_of",
+]

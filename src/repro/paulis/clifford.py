@@ -1,0 +1,105 @@
+"""Clifford conjugation of Pauli strings, tableau-style.
+
+A Clifford unitary ``U`` maps Pauli strings to Pauli strings under
+conjugation: ``U P U† = ±P'``.  Tracking ``(string, sign)`` through the
+elementary generators (H, S, CNOT) is the Gottesman-Knill bookkeeping; it
+powers the random-encoding generator (conjugating Jordan-Wigner by a
+random Clifford yields a uniformly scrambled *valid* encoding, since
+conjugation preserves commutation relations, algebraic independence and
+weights' parity structure — though not the weights themselves).
+
+Conventions (standard tableau rules, qubit-local):
+
+========  =============  =============
+gate      X maps to      Z maps to
+========  =============  =============
+H         Z              X
+S         Y              Z
+CNOT c,t  X_c X_t (c)    Z_c (c)
+          X_t (t)        Z_c Z_t (t)
+========  =============  =============
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.paulis.strings import PauliString
+
+
+@dataclass(frozen=True)
+class CliffordGate:
+    """One elementary Clifford generator: ``H(q)``, ``S(q)`` or ``CNOT(c, t)``."""
+
+    name: str
+    qubits: tuple[int, ...]
+
+    def __post_init__(self):
+        if self.name in ("H", "S"):
+            if len(self.qubits) != 1:
+                raise ValueError(f"{self.name} takes one qubit")
+        elif self.name == "CNOT":
+            if len(self.qubits) != 2 or self.qubits[0] == self.qubits[1]:
+                raise ValueError("CNOT takes two distinct qubits")
+        else:
+            raise ValueError(f"not a Clifford generator: {self.name!r}")
+
+
+def conjugate_h(string: PauliString, sign: int, qubit: int) -> tuple[PauliString, int]:
+    """``H P H``: swap the X and Z bits on ``qubit``; ``Y -> -Y``."""
+    x_bit = (string.x_mask >> qubit) & 1
+    z_bit = (string.z_mask >> qubit) & 1
+    if x_bit and z_bit:
+        sign = -sign
+    x_mask = string.x_mask & ~(1 << qubit) | (z_bit << qubit)
+    z_mask = string.z_mask & ~(1 << qubit) | (x_bit << qubit)
+    return PauliString(string.num_qubits, x_mask, z_mask), sign
+
+
+def conjugate_s(string: PauliString, sign: int, qubit: int) -> tuple[PauliString, int]:
+    """``S P S†``: ``X -> Y, Y -> -X, Z -> Z``."""
+    x_bit = (string.x_mask >> qubit) & 1
+    z_bit = (string.z_mask >> qubit) & 1
+    if x_bit and z_bit:  # Y -> -X
+        sign = -sign
+    # z' = z XOR x
+    z_mask = string.z_mask ^ (x_bit << qubit)
+    return PauliString(string.num_qubits, string.x_mask, z_mask), sign
+
+
+def conjugate_cnot(
+    string: PauliString, sign: int, control: int, target: int
+) -> tuple[PauliString, int]:
+    """``CNOT P CNOT``: ``X_c -> X_c X_t``, ``Z_t -> Z_c Z_t``;
+    the ``X_c Z_t``-type pattern picks up a sign via ``Y`` bookkeeping."""
+    x_c = (string.x_mask >> control) & 1
+    z_c = (string.z_mask >> control) & 1
+    x_t = (string.x_mask >> target) & 1
+    z_t = (string.z_mask >> target) & 1
+    # Standard tableau sign rule: flip when x_c z_t (x_t + z_c + 1) is odd.
+    if x_c and z_t and (x_t ^ z_c ^ 1):
+        sign = -sign
+    x_mask = string.x_mask ^ (x_c << target)
+    z_mask = string.z_mask ^ (z_t << control)
+    return PauliString(string.num_qubits, x_mask, z_mask), sign
+
+
+def conjugate_gate(
+    string: PauliString, sign: int, gate: CliffordGate
+) -> tuple[PauliString, int]:
+    """Dispatch one generator conjugation."""
+    if gate.name == "H":
+        return conjugate_h(string, sign, gate.qubits[0])
+    if gate.name == "S":
+        return conjugate_s(string, sign, gate.qubits[0])
+    return conjugate_cnot(string, sign, gate.qubits[0], gate.qubits[1])
+
+
+def conjugate_sequence(
+    string: PauliString, gates: Iterable[CliffordGate], sign: int = 1
+) -> tuple[PauliString, int]:
+    """Conjugate by ``U = g_k ... g_2 g_1`` (gates applied left to right)."""
+    for gate in gates:
+        string, sign = conjugate_gate(string, sign, gate)
+    return string, sign

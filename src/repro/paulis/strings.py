@@ -1,0 +1,187 @@
+"""Phase-free Pauli strings in the symplectic bitmask representation.
+
+A :class:`PauliString` is an immutable tensor product of single-qubit Pauli
+operators.  Internally it stores two integers, ``x_mask`` and ``z_mask``;
+qubit ``i`` carries ``X``/``Z``/``Y`` according to bits ``i`` of the masks.
+The textual convention follows the paper: in a label such as ``"XZ"`` the
+*rightmost* character acts on qubit 0.
+
+Multiplication returns the product string together with the exact scalar
+phase (a power of ``i``), so :class:`~repro.paulis.terms.PauliSum` can track
+coefficients without any matrix arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.paulis.operators import label_from_bits, xz_bits
+
+#: The four possible phases of a Pauli-string product, indexed by ``i``-exponent.
+_PHASES = (1 + 0j, 1j, -1 + 0j, -1j)
+
+
+class PauliString:
+    """An ``N``-qubit Pauli string without a scalar coefficient.
+
+    Args:
+        num_qubits: length of the string.
+        x_mask: bitmask of qubits carrying an ``X`` component.
+        z_mask: bitmask of qubits carrying a ``Z`` component.
+    """
+
+    __slots__ = ("num_qubits", "x_mask", "z_mask")
+
+    def __init__(self, num_qubits: int, x_mask: int = 0, z_mask: int = 0):
+        if num_qubits < 0:
+            raise ValueError("num_qubits must be non-negative")
+        full = (1 << num_qubits) - 1
+        if x_mask & ~full or z_mask & ~full:
+            raise ValueError("mask has bits outside the qubit range")
+        object.__setattr__(self, "num_qubits", num_qubits)
+        object.__setattr__(self, "x_mask", x_mask)
+        object.__setattr__(self, "z_mask", z_mask)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("PauliString is immutable")
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def from_label(cls, label: str) -> "PauliString":
+        """Build a string from text such as ``"XYZI"`` (rightmost = qubit 0)."""
+        num_qubits = len(label)
+        x_mask = 0
+        z_mask = 0
+        for position, char in enumerate(label):
+            qubit = num_qubits - 1 - position
+            x_bit, z_bit = xz_bits(char)
+            x_mask |= x_bit << qubit
+            z_mask |= z_bit << qubit
+        return cls(num_qubits, x_mask, z_mask)
+
+    @classmethod
+    def identity(cls, num_qubits: int) -> "PauliString":
+        """The all-identity string on ``num_qubits`` qubits."""
+        return cls(num_qubits)
+
+    @classmethod
+    def single(cls, num_qubits: int, qubit: int, operator: str) -> "PauliString":
+        """A string with ``operator`` on one qubit and identity elsewhere."""
+        if not 0 <= qubit < num_qubits:
+            raise ValueError(f"qubit {qubit} out of range for {num_qubits} qubits")
+        x_bit, z_bit = xz_bits(operator)
+        return cls(num_qubits, x_bit << qubit, z_bit << qubit)
+
+    @classmethod
+    def from_operators(cls, num_qubits: int, operators: dict[int, str]) -> "PauliString":
+        """Build a string from a ``{qubit: label}`` mapping."""
+        x_mask = 0
+        z_mask = 0
+        for qubit, operator in operators.items():
+            if not 0 <= qubit < num_qubits:
+                raise ValueError(f"qubit {qubit} out of range for {num_qubits} qubits")
+            x_bit, z_bit = xz_bits(operator)
+            x_mask |= x_bit << qubit
+            z_mask |= z_bit << qubit
+        return cls(num_qubits, x_mask, z_mask)
+
+    # -- inspection --------------------------------------------------------
+
+    def operator(self, qubit: int) -> str:
+        """The single-qubit operator label acting on ``qubit``."""
+        if not 0 <= qubit < self.num_qubits:
+            raise IndexError(f"qubit {qubit} out of range")
+        return label_from_bits((self.x_mask >> qubit) & 1, (self.z_mask >> qubit) & 1)
+
+    def label(self) -> str:
+        """Text form, rightmost character on qubit 0."""
+        return "".join(self.operator(q) for q in reversed(range(self.num_qubits)))
+
+    @property
+    def weight(self) -> int:
+        """Pauli weight: the number of non-identity positions (Section 2.1.3)."""
+        return (self.x_mask | self.z_mask).bit_count()
+
+    @property
+    def is_identity(self) -> bool:
+        return self.x_mask == 0 and self.z_mask == 0
+
+    @property
+    def support(self) -> tuple[int, ...]:
+        """Qubits on which the string acts non-trivially, ascending."""
+        mask = self.x_mask | self.z_mask
+        return tuple(q for q in range(self.num_qubits) if (mask >> q) & 1)
+
+    def __iter__(self) -> Iterator[str]:
+        """Iterate operator labels from qubit 0 upwards."""
+        return (self.operator(q) for q in range(self.num_qubits))
+
+    def __getitem__(self, qubit: int) -> str:
+        return self.operator(qubit)
+
+    def __len__(self) -> int:
+        return self.num_qubits
+
+    # -- algebra -----------------------------------------------------------
+
+    def _y_count(self) -> int:
+        return (self.x_mask & self.z_mask).bit_count()
+
+    def multiply(self, other: "PauliString") -> tuple["PauliString", complex]:
+        """Exact product: returns ``(string, phase)`` with ``self @ other == phase * string``.
+
+        Phase bookkeeping uses ``Y = i·X·Z``: writing each string as
+        ``i^y · X^x Z^z`` and commuting ``Z^z1`` past ``X^x2`` contributes
+        ``(-1)^{|z1 & x2|}``.
+        """
+        if other.num_qubits != self.num_qubits:
+            raise ValueError("cannot multiply strings of different length")
+        x_mask = self.x_mask ^ other.x_mask
+        z_mask = self.z_mask ^ other.z_mask
+        product = PauliString(self.num_qubits, x_mask, z_mask)
+        exponent = (
+            self._y_count()
+            + other._y_count()
+            - product._y_count()
+            + 2 * (self.z_mask & other.x_mask).bit_count()
+        )
+        return product, _PHASES[exponent % 4]
+
+    def __mul__(self, other: "PauliString") -> tuple["PauliString", complex]:
+        return self.multiply(other)
+
+    def commutes_with(self, other: "PauliString") -> bool:
+        """True when the symplectic product vanishes (strings commute)."""
+        if other.num_qubits != self.num_qubits:
+            raise ValueError("cannot compare strings of different length")
+        overlap = (self.x_mask & other.z_mask).bit_count() + (self.z_mask & other.x_mask).bit_count()
+        return overlap % 2 == 0
+
+    def anticommutes_with(self, other: "PauliString") -> bool:
+        return not self.commutes_with(other)
+
+    def symplectic_key(self) -> int:
+        """The string as a single ``2N``-bit integer: ``x_mask | z_mask << N``.
+
+        Products of strings XOR these keys, so a subset of strings multiplies
+        to identity exactly when its keys XOR to zero — the GF(2) view used
+        for algebraic-independence checks.
+        """
+        return self.x_mask | (self.z_mask << self.num_qubits)
+
+    # -- dunder plumbing ----------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, PauliString)
+            and self.num_qubits == other.num_qubits
+            and self.x_mask == other.x_mask
+            and self.z_mask == other.z_mask
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.num_qubits, self.x_mask, self.z_mask))
+
+    def __repr__(self) -> str:
+        return f"PauliString({self.label()!r})"

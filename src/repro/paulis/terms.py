@@ -1,0 +1,185 @@
+"""Weighted sums of Pauli strings — the qubit-side Hamiltonian representation.
+
+A :class:`PauliSum` maps :class:`~repro.paulis.strings.PauliString` to complex
+coefficients and supports the ring operations needed to encode fermionic
+operators: addition, scalar multiplication and exact (phase-tracked) products.
+It is the output type of every fermion-to-qubit encoding in this package.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.paulis.strings import PauliString
+
+#: Coefficients with magnitude below this are dropped during simplification.
+TOLERANCE = 1e-12
+
+
+class PauliSum:
+    """A linear combination ``sum_i w_i P_i`` of Pauli strings."""
+
+    __slots__ = ("num_qubits", "_terms")
+
+    def __init__(self, num_qubits: int, terms: Mapping[PauliString, complex] | None = None):
+        self.num_qubits = num_qubits
+        self._terms: dict[PauliString, complex] = {}
+        if terms:
+            for string, coefficient in terms.items():
+                self._add_term(string, coefficient)
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def zero(cls, num_qubits: int) -> "PauliSum":
+        return cls(num_qubits)
+
+    @classmethod
+    def identity(cls, num_qubits: int, coefficient: complex = 1.0) -> "PauliSum":
+        return cls(num_qubits, {PauliString.identity(num_qubits): coefficient})
+
+    @classmethod
+    def from_term(cls, string: PauliString, coefficient: complex = 1.0) -> "PauliSum":
+        return cls(string.num_qubits, {string: coefficient})
+
+    @classmethod
+    def from_label(cls, label: str, coefficient: complex = 1.0) -> "PauliSum":
+        return cls.from_term(PauliString.from_label(label), coefficient)
+
+    # -- mutation helpers (internal) -----------------------------------------
+
+    def _add_term(self, string: PauliString, coefficient: complex) -> None:
+        if string.num_qubits != self.num_qubits:
+            raise ValueError("term length does not match PauliSum qubit count")
+        updated = self._terms.get(string, 0j) + coefficient
+        if abs(updated) <= TOLERANCE:
+            self._terms.pop(string, None)
+        else:
+            self._terms[string] = updated
+
+    # -- inspection -----------------------------------------------------------
+
+    def coefficient(self, string: PauliString) -> complex:
+        """The coefficient of ``string`` (0 when absent)."""
+        return self._terms.get(string, 0j)
+
+    def items(self) -> Iterator[tuple[PauliString, complex]]:
+        return iter(self._terms.items())
+
+    def strings(self) -> Iterator[PauliString]:
+        return iter(self._terms)
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def __iter__(self) -> Iterator[tuple[PauliString, complex]]:
+        return self.items()
+
+    def __contains__(self, string: PauliString) -> bool:
+        return string in self._terms
+
+    @property
+    def is_zero(self) -> bool:
+        return not self._terms
+
+    @property
+    def total_weight(self) -> int:
+        """Sum of Pauli weights over all (non-identity) terms.
+
+        This is the paper's "Hamiltonian Pauli weight" metric (Tables 4/5):
+        each distinct Pauli string surviving coefficient combination counts
+        its number of non-identity positions once.
+        """
+        return sum(string.weight for string in self._terms)
+
+    def is_hermitian(self, tolerance: float = 1e-9) -> bool:
+        """True when every coefficient is (numerically) real."""
+        return all(abs(coefficient.imag) <= tolerance for coefficient in self._terms.values())
+
+    # -- ring operations --------------------------------------------------------
+
+    def __add__(self, other: "PauliSum") -> "PauliSum":
+        if not isinstance(other, PauliSum):
+            return NotImplemented
+        if other.num_qubits != self.num_qubits:
+            raise ValueError("cannot add sums on different qubit counts")
+        result = PauliSum(self.num_qubits, self._terms)
+        for string, coefficient in other.items():
+            result._add_term(string, coefficient)
+        return result
+
+    def __sub__(self, other: "PauliSum") -> "PauliSum":
+        return self + (other * -1.0)
+
+    def __mul__(self, other) -> "PauliSum":
+        if isinstance(other, PauliSum):
+            return self._multiply_sum(other)
+        if isinstance(other, (int, float, complex)):
+            return PauliSum(
+                self.num_qubits,
+                {string: coefficient * other for string, coefficient in self._terms.items()},
+            )
+        return NotImplemented
+
+    def __rmul__(self, other) -> "PauliSum":
+        if isinstance(other, (int, float, complex)):
+            return self * other
+        return NotImplemented
+
+    def __neg__(self) -> "PauliSum":
+        return self * -1.0
+
+    def _multiply_sum(self, other: "PauliSum") -> "PauliSum":
+        if other.num_qubits != self.num_qubits:
+            raise ValueError("cannot multiply sums on different qubit counts")
+        result = PauliSum(self.num_qubits)
+        for left, left_coefficient in self._terms.items():
+            for right, right_coefficient in other._terms.items():
+                product, phase = left.multiply(right)
+                result._add_term(product, left_coefficient * right_coefficient * phase)
+        return result
+
+    def hermitian_part(self) -> "PauliSum":
+        """Project onto real coefficients (discard numerically-imaginary dust)."""
+        return PauliSum(
+            self.num_qubits,
+            {string: complex(coefficient.real, 0.0) for string, coefficient in self._terms.items()},
+        )
+
+    def without_identity(self) -> "PauliSum":
+        """Drop the all-identity term (irrelevant to circuits and weight)."""
+        trimmed = dict(self._terms)
+        trimmed.pop(PauliString.identity(self.num_qubits), None)
+        return PauliSum(self.num_qubits, trimmed)
+
+    # -- plumbing ------------------------------------------------------------------
+
+    def sorted_terms(self) -> list[tuple[PauliString, complex]]:
+        """Terms sorted by label, for deterministic iteration order."""
+        return sorted(self._terms.items(), key=lambda item: item[0].label())
+
+    def approx_equal(self, other: "PauliSum", tolerance: float = 1e-9) -> bool:
+        if other.num_qubits != self.num_qubits:
+            return False
+        keys = set(self._terms) | set(other._terms)
+        return all(abs(self.coefficient(k) - other.coefficient(k)) <= tolerance for k in keys)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, PauliSum) and self.approx_equal(other, TOLERANCE)
+
+    def __repr__(self) -> str:
+        parts = [f"({coefficient:.6g})*{string.label()}" for string, coefficient in self.sorted_terms()]
+        body = " + ".join(parts) if parts else "0"
+        return f"PauliSum({body})"
+
+
+def sum_of(terms: Iterable[PauliSum]) -> PauliSum:
+    """Add an iterable of :class:`PauliSum` (which must be non-empty)."""
+    iterator = iter(terms)
+    try:
+        total = next(iterator)
+    except StopIteration:
+        raise ValueError("sum_of needs at least one PauliSum") from None
+    for term in iterator:
+        total = total + term
+    return total

@@ -1,0 +1,40 @@
+"""SAT substrate: CNF construction, Tseitin gadgets, cardinality, CDCL solver."""
+
+from repro.sat.cardinality import add_at_most_k, add_at_most_k_weighted
+from repro.sat.cnf import CnfFormula, evaluate_clause, evaluate_formula
+from repro.sat.dpll import dpll_solve
+from repro.sat.enumerate import enumerate_models
+from repro.sat.solver import SAT, UNKNOWN, UNSAT, CdclSolver, SolveResult, luby, solve_formula
+from repro.sat.tseitin import (
+    assert_or_true,
+    assert_xor_true,
+    encode_and,
+    encode_or,
+    encode_or_many,
+    encode_xor,
+    encode_xor_many,
+)
+
+__all__ = [
+    "SAT",
+    "UNKNOWN",
+    "UNSAT",
+    "CdclSolver",
+    "CnfFormula",
+    "SolveResult",
+    "add_at_most_k",
+    "add_at_most_k_weighted",
+    "assert_or_true",
+    "assert_xor_true",
+    "dpll_solve",
+    "encode_and",
+    "encode_or",
+    "encode_or_many",
+    "encode_xor",
+    "encode_xor_many",
+    "enumerate_models",
+    "evaluate_clause",
+    "evaluate_formula",
+    "luby",
+    "solve_formula",
+]

@@ -1,0 +1,73 @@
+"""Cardinality constraints: ``sum(literals) <= bound`` in pure CNF.
+
+Fermihedral's weight objective (Sections 3.6/3.7) is optimized by repeatedly
+asserting "total Pauli weight < w" and re-solving.  The sequential-counter
+encoding of Sinz (2005) used here needs ``O(n * bound)`` auxiliary variables
+and clauses, keeps unit propagation strong (it is arc-consistent), and —
+matching the paper's design goal — stays entirely within propositional
+logic, with no arithmetic theory solver.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.sat.cnf import CnfFormula
+
+
+def add_at_most_k(formula: CnfFormula, literals: Sequence[int], bound: int) -> None:
+    """Constrain at most ``bound`` of ``literals`` to be true.
+
+    ``bound >= len(literals)`` is a no-op; ``bound == 0`` forces every
+    literal false; otherwise the sequential counter introduces registers
+    ``s[i][j]`` = "at least j+1 of the first i+1 literals are true".
+    """
+    count = len(literals)
+    if bound < 0:
+        raise ValueError("bound must be non-negative")
+    if bound >= count:
+        return
+    if bound == 0:
+        for literal in literals:
+            formula.add_unit(-literal)
+        return
+
+    # registers[i][j] <=> at least (j+1) of literals[0..i] are true
+    registers = [[formula.new_variable() for _ in range(bound)] for _ in range(count)]
+
+    formula.add_clause((-literals[0], registers[0][0]))
+    for j in range(1, bound):
+        formula.add_unit(-registers[0][j])
+
+    for i in range(1, count):
+        formula.add_clause((-literals[i], registers[i][0]))
+        formula.add_clause((-registers[i - 1][0], registers[i][0]))
+        for j in range(1, bound):
+            formula.add_clause((-literals[i], -registers[i - 1][j - 1], registers[i][j]))
+            formula.add_clause((-registers[i - 1][j], registers[i][j]))
+        formula.add_clause((-literals[i], -registers[i - 1][bound - 1]))
+
+    # The final row is not referenced again; the overflow clauses above
+    # already forbid reaching bound + 1.
+
+
+def add_at_most_k_weighted(
+    formula: CnfFormula,
+    literals: Sequence[int],
+    weights: Sequence[int],
+    bound: int,
+) -> None:
+    """Constrain ``sum(weights[i] * literals[i]) <= bound``.
+
+    Implemented by repeating each literal ``weights[i]`` times in a plain
+    sequential counter — adequate for the small integer multiplicities that
+    arise from duplicated Hamiltonian monomials.
+    """
+    if len(weights) != len(literals):
+        raise ValueError("weights and literals must have equal length")
+    if any(weight < 0 for weight in weights):
+        raise ValueError("weights must be non-negative")
+    expanded: list[int] = []
+    for literal, weight in zip(literals, weights):
+        expanded.extend([literal] * weight)
+    add_at_most_k(formula, expanded, bound)

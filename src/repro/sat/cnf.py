@@ -1,0 +1,140 @@
+"""CNF formula container with named variable allocation and DIMACS I/O.
+
+Literals follow the DIMACS convention: variable ``v`` is the positive
+literal ``v`` and its negation is ``-v``.  Variables are allocated through
+:meth:`CnfFormula.new_variable` so that every consumer (constraint encoders,
+Tseitin gadgets, cardinality counters) shares one pool and the instance
+statistics reported in Table 3 of the paper are well-defined.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+
+class CnfFormula:
+    """A conjunction of clauses over a shared variable pool."""
+
+    def __init__(self):
+        self._num_variables = 0
+        self._clauses: list[tuple[int, ...]] = []
+        self._names: dict[str, int] = {}
+
+    # -- variables ---------------------------------------------------------
+
+    @property
+    def num_variables(self) -> int:
+        return self._num_variables
+
+    def new_variable(self, name: str | None = None) -> int:
+        """Allocate a fresh variable, optionally registering a unique name."""
+        self._num_variables += 1
+        variable = self._num_variables
+        if name is not None:
+            if name in self._names:
+                raise ValueError(f"variable name already used: {name!r}")
+            self._names[name] = variable
+        return variable
+
+    def new_variables(self, count: int, prefix: str | None = None) -> list[int]:
+        """Allocate ``count`` fresh variables (named ``prefix[i]`` if given)."""
+        if prefix is None:
+            return [self.new_variable() for _ in range(count)]
+        return [self.new_variable(f"{prefix}[{i}]") for i in range(count)]
+
+    def variable(self, name: str) -> int:
+        """Look up a previously named variable."""
+        return self._names[name]
+
+    # -- clauses ------------------------------------------------------------
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self._clauses)
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        """Add one clause (a disjunction of DIMACS literals)."""
+        clause = tuple(literals)
+        if not clause:
+            raise ValueError("empty clause would make the formula trivially UNSAT;"
+                             " add a contradiction explicitly if intended")
+        for literal in clause:
+            if literal == 0:
+                raise ValueError("0 is not a valid DIMACS literal")
+            if abs(literal) > self._num_variables:
+                raise ValueError(f"literal {literal} references an unallocated variable")
+        self._clauses.append(clause)
+
+    def add_clauses(self, clauses: Iterable[Iterable[int]]) -> None:
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def add_unit(self, literal: int) -> None:
+        self.add_clause((literal,))
+
+    def clauses(self) -> Iterator[tuple[int, ...]]:
+        return iter(self._clauses)
+
+    def average_clause_length(self) -> float:
+        """Mean literals per clause — the paper's Table 3 ``#Vars/#Clauses`` column."""
+        if not self._clauses:
+            return 0.0
+        return sum(len(clause) for clause in self._clauses) / len(self._clauses)
+
+    # -- DIMACS ---------------------------------------------------------------
+
+    def to_dimacs(self) -> str:
+        """Serialize in standard DIMACS CNF format."""
+        lines = [f"p cnf {self._num_variables} {len(self._clauses)}"]
+        lines.extend(" ".join(str(lit) for lit in clause) + " 0" for clause in self._clauses)
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_dimacs(cls, text: str) -> "CnfFormula":
+        """Parse a DIMACS CNF document (comments and blank lines ignored)."""
+        formula = cls()
+        declared_variables = None
+        pending: list[int] = []
+        for raw_line in text.splitlines():
+            line = raw_line.strip()
+            if not line or line.startswith("c"):
+                continue
+            if line.startswith("p"):
+                parts = line.split()
+                if len(parts) != 4 or parts[1] != "cnf":
+                    raise ValueError(f"malformed problem line: {line!r}")
+                declared_variables = int(parts[2])
+                formula.new_variables(declared_variables)
+                continue
+            for token in line.split():
+                literal = int(token)
+                if literal == 0:
+                    formula.add_clause(pending)
+                    pending = []
+                else:
+                    if declared_variables is None:
+                        raise ValueError("clause before problem line")
+                    pending.append(literal)
+        if pending:
+            raise ValueError("trailing clause without terminating 0")
+        return formula
+
+    def copy(self) -> "CnfFormula":
+        duplicate = CnfFormula()
+        duplicate._num_variables = self._num_variables
+        duplicate._clauses = list(self._clauses)
+        duplicate._names = dict(self._names)
+        return duplicate
+
+    def __repr__(self) -> str:
+        return f"CnfFormula(variables={self._num_variables}, clauses={len(self._clauses)})"
+
+
+def evaluate_clause(clause: Sequence[int], assignment: dict[int, bool]) -> bool:
+    """True when ``assignment`` (variable -> truth) satisfies the clause."""
+    return any(assignment.get(abs(lit), False) == (lit > 0) for lit in clause)
+
+
+def evaluate_formula(formula: CnfFormula, assignment: dict[int, bool]) -> bool:
+    """True when ``assignment`` satisfies every clause of ``formula``."""
+    return all(evaluate_clause(clause, assignment) for clause in formula.clauses())

@@ -1,0 +1,59 @@
+"""Reference DPLL solver.
+
+A deliberately simple, obviously-correct solver used to cross-validate the
+CDCL engine in tests (both must agree on SAT/UNSAT for every random small
+formula).  Exponential in the worst case — never use it on real instances.
+"""
+
+from __future__ import annotations
+
+from repro.sat.cnf import CnfFormula
+from repro.sat.solver import SAT, UNSAT, SolveResult
+
+
+def _simplify(clauses: list[tuple[int, ...]], literal: int) -> list[tuple[int, ...]] | None:
+    """Assign ``literal`` true; return simplified clauses or ``None`` on conflict."""
+    simplified: list[tuple[int, ...]] = []
+    for clause in clauses:
+        if literal in clause:
+            continue
+        reduced = tuple(lit for lit in clause if lit != -literal)
+        if not reduced:
+            return None
+        simplified.append(reduced)
+    return simplified
+
+
+def _search(clauses: list[tuple[int, ...]], assignment: dict[int, bool]) -> dict[int, bool] | None:
+    while True:
+        if not clauses:
+            return assignment
+        unit = next((clause[0] for clause in clauses if len(clause) == 1), None)
+        if unit is None:
+            break
+        clauses = _simplify(clauses, unit)
+        if clauses is None:
+            return None
+        assignment = dict(assignment)
+        assignment[abs(unit)] = unit > 0
+
+    literal = clauses[0][0]
+    for chosen in (literal, -literal):
+        reduced = _simplify(clauses, chosen)
+        if reduced is not None:
+            extended = dict(assignment)
+            extended[abs(chosen)] = chosen > 0
+            model = _search(reduced, extended)
+            if model is not None:
+                return model
+    return None
+
+
+def dpll_solve(formula: CnfFormula) -> SolveResult:
+    """Solve by plain DPLL; always terminates with SAT or UNSAT."""
+    clauses = [tuple(clause) for clause in formula.clauses()]
+    model = _search(clauses, {})
+    if model is None:
+        return SolveResult(status=UNSAT)
+    complete = {v: model.get(v, False) for v in range(1, formula.num_variables + 1)}
+    return SolveResult(status=SAT, model=complete)

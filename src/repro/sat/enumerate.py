@@ -1,0 +1,43 @@
+"""Model enumeration via blocking clauses.
+
+Used by the Figure-4 experiment, which samples many distinct optimal
+encodings: after each model, a clause forbidding that assignment (projected
+onto the variables of interest) is added and the solver re-runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.sat.cnf import CnfFormula
+from repro.sat.solver import solve_formula
+
+
+def enumerate_models(
+    formula: CnfFormula,
+    projection: Sequence[int],
+    limit: int,
+    max_conflicts_per_model: int | None = None,
+    time_budget_s: float | None = None,
+) -> Iterator[dict[int, bool]]:
+    """Yield up to ``limit`` models distinct on the ``projection`` variables.
+
+    The input formula is copied; blocking clauses accumulate on the copy.
+    Enumeration stops early on UNSAT (no more models) or when a per-model
+    budget expires.
+    """
+    if not projection:
+        raise ValueError("projection must name at least one variable")
+    working = formula.copy()
+    for _ in range(limit):
+        result = solve_formula(
+            working,
+            max_conflicts=max_conflicts_per_model,
+            time_budget_s=time_budget_s,
+        )
+        if not result.is_sat:
+            return
+        model = result.model
+        yield model
+        blocking = [(-variable if model[variable] else variable) for variable in projection]
+        working.add_clause(blocking)

@@ -1,0 +1,444 @@
+"""Conflict-driven clause learning (CDCL) SAT solver.
+
+This is the stand-in for Kissat/CaDiCaL in the paper's toolchain — this
+environment has no external solver, so the substrate is built from scratch.
+The implementation follows the MiniSat architecture: two-literal watches,
+first-UIP conflict analysis, VSIDS branching with phase saving, Luby
+restarts and activity/LBD-based learned-clause reduction.  It is a complete
+solver: given enough budget it returns ``SAT`` with a model or ``UNSAT``;
+with a conflict or wall-clock budget it may return ``UNKNOWN``, which the
+descent loop in :mod:`repro.core.descent` treats as "stop tightening".
+
+Literals are DIMACS integers at the API boundary and are encoded internally
+as ``2*v`` (positive) / ``2*v + 1`` (negative) for array indexing.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass
+
+from repro.sat.cnf import CnfFormula
+
+SAT = "SAT"
+UNSAT = "UNSAT"
+UNKNOWN = "UNKNOWN"
+
+_ACTIVITY_RESCALE = 1e100
+_ACTIVITY_DECAY = 0.95
+_RESTART_BASE = 128
+
+
+@dataclass
+class SolveResult:
+    """Outcome of a solver run."""
+
+    status: str
+    model: dict[int, bool] | None = None
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+    restarts: int = 0
+    elapsed_s: float = 0.0
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status == SAT
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status == UNSAT
+
+
+class _Clause:
+    """Mutable clause: positions 0/1 are the watched literals."""
+
+    __slots__ = ("lits", "learned", "activity", "lbd")
+
+    def __init__(self, lits: list[int], learned: bool = False):
+        self.lits = lits
+        self.learned = learned
+        self.activity = 0.0
+        self.lbd = 0
+
+
+def luby(index: int) -> int:
+    """The Luby restart sequence 1,1,2,1,1,2,4,... (1-based ``index``)."""
+    if index < 1:
+        raise ValueError("luby index is 1-based")
+    position = index - 1
+    size = 1
+    exponent = 0
+    while size < position + 1:
+        exponent += 1
+        size = 2 * size + 1
+    while size - 1 != position:
+        size = (size - 1) >> 1
+        exponent -= 1
+        position %= size
+    return 1 << exponent
+
+
+class CdclSolver:
+    """One-shot CDCL solver over a :class:`CnfFormula`.
+
+    Args:
+        formula: the CNF instance; not mutated.
+        seed_phases: optional initial saved phases ``{variable: bool}`` —
+            warm-starting descent iterations near the previous model.
+    """
+
+    def __init__(self, formula: CnfFormula, seed_phases: dict[int, bool] | None = None):
+        self.num_vars = formula.num_variables
+        n = self.num_vars
+        self.assign_lit = [0] * (2 * n + 2)   # per encoded literal: 1 true, -1 false, 0 free
+        self.level = [0] * (n + 1)
+        self.reason: list[_Clause | None] = [None] * (n + 1)
+        self.trail: list[int] = []
+        self.trail_lim: list[int] = []
+        self.qhead = 0
+        self.watches: list[list[_Clause]] = [[] for _ in range(2 * n + 2)]
+        self.activity = [0.0] * (n + 1)
+        self.var_inc = 1.0
+        self.saved_phase = [False] * (n + 1)
+        self.order_heap: list[tuple[float, int]] = [(0.0, v) for v in range(1, n + 1)]
+        heapq.heapify(self.order_heap)
+        self.clauses: list[_Clause] = []
+        self.learned: list[_Clause] = []
+        self.clause_inc = 1.0
+        self.root_conflict = False
+        self.propagation_count = 0
+
+        if seed_phases:
+            for variable, phase in seed_phases.items():
+                if 1 <= variable <= n:
+                    self.saved_phase[variable] = phase
+
+        for clause_lits in formula.clauses():
+            self._add_problem_clause(clause_lits)
+
+    # -- literal helpers ------------------------------------------------------
+
+    @staticmethod
+    def _encode(literal: int) -> int:
+        return (literal << 1) if literal > 0 else ((-literal) << 1) | 1
+
+    def _value(self, encoded: int) -> int:
+        return self.assign_lit[encoded]
+
+    # -- setup ------------------------------------------------------------------
+
+    def _add_problem_clause(self, dimacs_lits) -> None:
+        seen: dict[int, int] = {}
+        lits: list[int] = []
+        for literal in dimacs_lits:
+            encoded = self._encode(literal)
+            variable = encoded >> 1
+            previous = seen.get(variable)
+            if previous is None:
+                seen[variable] = encoded
+                lits.append(encoded)
+            elif previous != encoded:
+                return  # tautology: v OR NOT v
+        # Drop root-falsified literals eagerly; keep semantics identical.
+        lits = [lit for lit in lits if not (self._value(lit) == -1 and self.level[lit >> 1] == 0)]
+        if any(self._value(lit) == 1 and self.level[lit >> 1] == 0 for lit in lits):
+            return
+        if not lits:
+            self.root_conflict = True
+            return
+        if len(lits) == 1:
+            if self._value(lits[0]) == -1:
+                self.root_conflict = True
+            elif self._value(lits[0]) == 0:
+                self._enqueue(lits[0], None)
+                if self._propagate() is not None:
+                    self.root_conflict = True
+            return
+        clause = _Clause(lits)
+        self.clauses.append(clause)
+        self.watches[lits[0]].append(clause)
+        self.watches[lits[1]].append(clause)
+
+    # -- assignment / propagation --------------------------------------------------
+
+    def _enqueue(self, encoded: int, reason: _Clause | None) -> None:
+        variable = encoded >> 1
+        self.assign_lit[encoded] = 1
+        self.assign_lit[encoded ^ 1] = -1
+        self.level[variable] = len(self.trail_lim)
+        self.reason[variable] = reason
+        self.trail.append(encoded)
+
+    def _propagate(self) -> _Clause | None:
+        propagations = 0
+        while self.qhead < len(self.trail):
+            lit = self.trail[self.qhead]
+            self.qhead += 1
+            propagations += 1
+            falsified = lit ^ 1
+            old_watchers = self.watches[falsified]
+            kept: list[_Clause] = []
+            self.watches[falsified] = kept
+            assign_lit = self.assign_lit
+            for position, clause in enumerate(old_watchers):
+                lits = clause.lits
+                if lits[0] == falsified:
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                if assign_lit[first] == 1:
+                    kept.append(clause)
+                    continue
+                moved = False
+                for k in range(2, len(lits)):
+                    if assign_lit[lits[k]] != -1:
+                        lits[1], lits[k] = lits[k], lits[1]
+                        self.watches[lits[1]].append(clause)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                kept.append(clause)
+                if assign_lit[first] == -1:
+                    kept.extend(old_watchers[position + 1:])
+                    self.propagation_count += propagations
+                    return clause
+                self._enqueue(first, clause)
+        self.propagation_count += propagations
+        return None
+
+    # -- branching ------------------------------------------------------------------
+
+    def _bump_variable(self, variable: int) -> None:
+        self.activity[variable] += self.var_inc
+        if self.activity[variable] > _ACTIVITY_RESCALE:
+            for v in range(1, self.num_vars + 1):
+                self.activity[v] *= 1e-100
+            self.var_inc *= 1e-100
+        heapq.heappush(self.order_heap, (-self.activity[variable], variable))
+
+    def _decay_activities(self) -> None:
+        self.var_inc /= _ACTIVITY_DECAY
+
+    def _pick_branch_variable(self) -> int | None:
+        while self.order_heap:
+            _, variable = heapq.heappop(self.order_heap)
+            if self.assign_lit[variable << 1] == 0:
+                return variable
+        for variable in range(1, self.num_vars + 1):
+            if self.assign_lit[variable << 1] == 0:
+                return variable
+        return None
+
+    # -- conflict analysis --------------------------------------------------------------
+
+    def _analyze(self, conflict: _Clause) -> tuple[list[int], int]:
+        """First-UIP analysis with clause minimization.
+
+        Returns (learnt clause, backtrack level).
+        """
+        learnt: list[int] = [0]
+        seen = bytearray(self.num_vars + 1)
+        current_level = len(self.trail_lim)
+        path_count = 0
+        resolved_lit = -1
+        index = len(self.trail) - 1
+        clause = conflict
+
+        while True:
+            clause.activity += self.clause_inc
+            start = 0 if resolved_lit == -1 else 1
+            for encoded in clause.lits[start:]:
+                variable = encoded >> 1
+                if not seen[variable] and self.level[variable] > 0:
+                    seen[variable] = 1
+                    self._bump_variable(variable)
+                    if self.level[variable] >= current_level:
+                        path_count += 1
+                    else:
+                        learnt.append(encoded)
+            while not seen[self.trail[index] >> 1]:
+                index -= 1
+            resolved_lit = self.trail[index]
+            variable = resolved_lit >> 1
+            path_count -= 1
+            index -= 1
+            if path_count <= 0:
+                break
+            clause = self.reason[variable]
+
+        learnt[0] = resolved_lit ^ 1
+
+        # Minimization: drop literals whose reasons lie entirely inside the
+        # clause (MiniSat's recursive litRedundant with abstract levels).
+        abstract_levels = 0
+        for encoded in learnt[1:]:
+            abstract_levels |= 1 << (self.level[encoded >> 1] & 31)
+        minimized = [learnt[0]]
+        for encoded in learnt[1:]:
+            if self.reason[encoded >> 1] is None or not self._literal_redundant(
+                encoded, seen, abstract_levels
+            ):
+                minimized.append(encoded)
+        learnt = minimized
+
+        if len(learnt) == 1:
+            return learnt, 0
+        # Find the second-highest decision level and watch that literal.
+        max_index = 1
+        for k in range(2, len(learnt)):
+            if self.level[learnt[k] >> 1] > self.level[learnt[max_index] >> 1]:
+                max_index = k
+        learnt[1], learnt[max_index] = learnt[max_index], learnt[1]
+        return learnt, self.level[learnt[1] >> 1]
+
+    def _literal_redundant(self, literal: int, seen: bytearray, abstract_levels: int) -> bool:
+        """True when ``literal``'s implication closure lies inside the learnt
+        clause — it can then be removed without weakening the clause."""
+        stack = [literal]
+        newly_marked: list[int] = []
+        while stack:
+            top = stack.pop()
+            reason = self.reason[top >> 1]
+            for encoded in reason.lits[1:]:
+                variable = encoded >> 1
+                if seen[variable] or self.level[variable] == 0:
+                    continue
+                if (
+                    self.reason[variable] is not None
+                    and (1 << (self.level[variable] & 31)) & abstract_levels
+                ):
+                    seen[variable] = 1
+                    newly_marked.append(variable)
+                    stack.append(encoded)
+                else:
+                    for marked in newly_marked:
+                        seen[marked] = 0
+                    return False
+        return True
+
+    def _backtrack(self, target_level: int) -> None:
+        if len(self.trail_lim) <= target_level:
+            return
+        boundary = self.trail_lim[target_level]
+        for encoded in reversed(self.trail[boundary:]):
+            variable = encoded >> 1
+            self.assign_lit[encoded] = 0
+            self.assign_lit[encoded ^ 1] = 0
+            self.reason[variable] = None
+            self.saved_phase[variable] = (encoded & 1) == 0
+            heapq.heappush(self.order_heap, (-self.activity[variable], variable))
+        del self.trail[boundary:]
+        del self.trail_lim[target_level:]
+        self.qhead = len(self.trail)
+
+    def _record_learnt(self, learnt: list[int]) -> None:
+        if len(learnt) == 1:
+            self._enqueue(learnt[0], None)
+            return
+        clause = _Clause(learnt, learned=True)
+        clause.lbd = len({self.level[encoded >> 1] for encoded in learnt})
+        self.learned.append(clause)
+        self.watches[learnt[0]].append(clause)
+        self.watches[learnt[1]].append(clause)
+        self._enqueue(learnt[0], clause)
+
+    def _reduce_learned(self) -> None:
+        locked = {id(self.reason[encoded >> 1]) for encoded in self.trail if self.reason[encoded >> 1]}
+        self.learned.sort(key=lambda c: (c.lbd, -c.activity))
+        keep_count = len(self.learned) // 2
+        keep, drop = self.learned[:keep_count], self.learned[keep_count:]
+        survivors = [clause for clause in drop if id(clause) in locked or clause.lbd <= 2]
+        removed = {id(clause) for clause in drop if id(clause) not in locked and clause.lbd > 2}
+        self.learned = keep + survivors
+        if removed:
+            for watch_list in self.watches:
+                watch_list[:] = [clause for clause in watch_list if id(clause) not in removed]
+
+    # -- main loop -----------------------------------------------------------------------
+
+    def solve(
+        self,
+        max_conflicts: int | None = None,
+        time_budget_s: float | None = None,
+    ) -> SolveResult:
+        """Run the search until SAT/UNSAT or a budget is exhausted."""
+        start = time.monotonic()
+        deadline = None if time_budget_s is None else start + time_budget_s
+        self.propagation_count = 0
+        conflicts = 0
+        decisions = 0
+        restarts = 0
+        max_learned = max(4000, 2 * len(self.clauses))
+
+        def result(status: str, model: dict[int, bool] | None = None) -> SolveResult:
+            return SolveResult(
+                status=status,
+                model=model,
+                conflicts=conflicts,
+                decisions=decisions,
+                propagations=self.propagation_count,
+                restarts=restarts,
+                elapsed_s=time.monotonic() - start,
+            )
+
+        if self.root_conflict:
+            return result(UNSAT)
+        if self._propagate() is not None:
+            return result(UNSAT)
+
+        restart_limit = luby(1) * _RESTART_BASE
+        conflicts_since_restart = 0
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                conflicts += 1
+                conflicts_since_restart += 1
+                if len(self.trail_lim) == 0:
+                    return result(UNSAT)
+                learnt, backtrack_level = self._analyze(conflict)
+                self._backtrack(backtrack_level)
+                self._record_learnt(learnt)
+                self._decay_activities()
+                self.clause_inc *= 1.001
+
+                if max_conflicts is not None and conflicts >= max_conflicts:
+                    return result(UNKNOWN)
+                if deadline is not None and conflicts % 64 == 0 and time.monotonic() > deadline:
+                    return result(UNKNOWN)
+                continue
+
+            if conflicts_since_restart >= restart_limit:
+                restarts += 1
+                conflicts_since_restart = 0
+                restart_limit = luby(restarts + 1) * _RESTART_BASE
+                self._backtrack(0)
+                if len(self.learned) > max_learned:
+                    self._reduce_learned()
+                continue
+
+            variable = self._pick_branch_variable()
+            if variable is None:
+                model = {
+                    v: self.assign_lit[v << 1] == 1
+                    for v in range(1, self.num_vars + 1)
+                }
+                return result(SAT, model)
+            decisions += 1
+            self.trail_lim.append(len(self.trail))
+            encoded = (variable << 1) | (0 if self.saved_phase[variable] else 1)
+            self._enqueue(encoded, None)
+
+
+def solve_formula(
+    formula: CnfFormula,
+    max_conflicts: int | None = None,
+    time_budget_s: float | None = None,
+    seed_phases: dict[int, bool] | None = None,
+) -> SolveResult:
+    """Convenience wrapper: build a fresh :class:`CdclSolver` and run it."""
+    return CdclSolver(formula, seed_phases=seed_phases).solve(
+        max_conflicts=max_conflicts, time_budget_s=time_budget_s
+    )

@@ -1,0 +1,76 @@
+"""Tseitin gadgets: definitional CNF encodings of Boolean gates.
+
+Directly expanding the XOR-heavy Fermihedral constraints to CNF would blow
+up exponentially (Section 3.8 of the paper); each helper here introduces one
+fresh variable whose truth value is *defined* to equal a gate applied to
+input literals, at a constant number of clauses per gate.  Chaining the
+binary XOR gadget yields the linear-size parity constraints used by the
+anticommutativity and algebraic-independence encodings.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.sat.cnf import CnfFormula
+
+
+def encode_and(formula: CnfFormula, a: int, b: int) -> int:
+    """Fresh ``g`` with ``g <-> a AND b`` (3 clauses)."""
+    gate = formula.new_variable()
+    formula.add_clause((-gate, a))
+    formula.add_clause((-gate, b))
+    formula.add_clause((gate, -a, -b))
+    return gate
+
+
+def encode_or(formula: CnfFormula, a: int, b: int) -> int:
+    """Fresh ``g`` with ``g <-> a OR b`` (3 clauses)."""
+    gate = formula.new_variable()
+    formula.add_clause((gate, -a))
+    formula.add_clause((gate, -b))
+    formula.add_clause((-gate, a, b))
+    return gate
+
+
+def encode_or_many(formula: CnfFormula, literals: Sequence[int]) -> int:
+    """Fresh ``g`` with ``g <-> OR(literals)`` (``len + 1`` clauses)."""
+    if not literals:
+        raise ValueError("OR over no literals")
+    if len(literals) == 1:
+        return literals[0]
+    gate = formula.new_variable()
+    for literal in literals:
+        formula.add_clause((gate, -literal))
+    formula.add_clause((-gate,) + tuple(literals))
+    return gate
+
+
+def encode_xor(formula: CnfFormula, a: int, b: int) -> int:
+    """Fresh ``g`` with ``g <-> a XOR b`` (4 clauses)."""
+    gate = formula.new_variable()
+    formula.add_clause((-gate, a, b))
+    formula.add_clause((-gate, -a, -b))
+    formula.add_clause((gate, -a, b))
+    formula.add_clause((gate, a, -b))
+    return gate
+
+
+def encode_xor_many(formula: CnfFormula, literals: Sequence[int]) -> int:
+    """Fresh ``g`` with ``g <-> XOR(literals)`` via a linear gadget chain."""
+    if not literals:
+        raise ValueError("XOR over no literals")
+    accumulator = literals[0]
+    for literal in literals[1:]:
+        accumulator = encode_xor(formula, accumulator, literal)
+    return accumulator
+
+
+def assert_xor_true(formula: CnfFormula, literals: Sequence[int]) -> None:
+    """Constrain ``XOR(literals) = 1`` (used for string anticommutativity)."""
+    formula.add_unit(encode_xor_many(formula, literals))
+
+
+def assert_or_true(formula: CnfFormula, literals: Sequence[int]) -> None:
+    """Constrain ``OR(literals) = 1`` — just the clause itself."""
+    formula.add_clause(literals)

@@ -1,0 +1,65 @@
+"""Simulation substrate: statevector engine, noise trajectories, exact spectra."""
+
+from repro.simulator.density import (
+    density_expectation,
+    density_from_state,
+    run_density_circuit,
+)
+from repro.simulator.exact import Spectrum, diagonalize, distinct_eigenlevels
+from repro.simulator.measurement import (
+    group_qubit_wise_commuting,
+    measure_energy,
+    measured_energy_statistics,
+    qubit_wise_commuting,
+)
+from repro.simulator.expectation import (
+    apply_pauli_string,
+    apply_pauli_sum,
+    expectation_pauli_string,
+    expectation_pauli_sum,
+)
+from repro.simulator.noise import (
+    EnergyStatistics,
+    NoiseModel,
+    ionq_aria1_noise,
+    run_noisy_trajectory,
+    sample_measurements,
+    simulate_noisy_energy,
+)
+from repro.simulator.statevector import (
+    apply_gate,
+    basis_state,
+    circuit_unitary,
+    gate_matrix,
+    run_circuit,
+    zero_state,
+)
+
+__all__ = [
+    "EnergyStatistics",
+    "NoiseModel",
+    "Spectrum",
+    "apply_gate",
+    "apply_pauli_string",
+    "apply_pauli_sum",
+    "basis_state",
+    "circuit_unitary",
+    "density_expectation",
+    "density_from_state",
+    "diagonalize",
+    "distinct_eigenlevels",
+    "expectation_pauli_string",
+    "expectation_pauli_sum",
+    "gate_matrix",
+    "group_qubit_wise_commuting",
+    "ionq_aria1_noise",
+    "measure_energy",
+    "measured_energy_statistics",
+    "qubit_wise_commuting",
+    "run_circuit",
+    "run_density_circuit",
+    "run_noisy_trajectory",
+    "sample_measurements",
+    "simulate_noisy_energy",
+    "zero_state",
+]

@@ -1,0 +1,126 @@
+"""Exact density-matrix simulation of noisy circuits.
+
+The Monte-Carlo trajectories in :mod:`repro.simulator.noise` *sample* the
+depolarizing channel; this module evolves the channel *exactly*:
+
+    ``ρ -> (1 - p) UρU† + p/(4^k - 1) Σ_{P != I} P UρU† P``
+
+over the ``k`` qubits each gate touches.  Exponentially more memory
+(``4^n`` amplitudes) but zero statistical error — the reference the
+trajectory sampler is validated against in the tests, and a variance-free
+engine for small-system figures.
+"""
+
+from __future__ import annotations
+
+from itertools import product as cartesian_product
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate
+from repro.paulis.strings import PauliString
+from repro.paulis.terms import PauliSum
+from repro.simulator.expectation import apply_pauli_string
+from repro.simulator.noise import NoiseModel
+from repro.simulator.statevector import apply_gate
+
+
+def density_from_state(state: np.ndarray) -> np.ndarray:
+    """``|ψ><ψ|``."""
+    return np.outer(state, state.conj())
+
+
+def _apply_unitary_gate(rho: np.ndarray, gate: Gate, num_qubits: int) -> np.ndarray:
+    """``ρ -> U ρ U†`` by applying U to columns and U* to rows."""
+    # Columns: treat each column as a state vector.
+    transformed = np.stack(
+        [apply_gate(rho[:, c], gate, num_qubits) for c in range(rho.shape[1])],
+        axis=1,
+    )
+    # Rows: (U ρ U†) = (U (U ρ†)†)† given hermiticity bookkeeping; operate on
+    # conjugated rows instead to avoid building dense unitaries.
+    transformed = np.stack(
+        [
+            apply_gate(transformed[r, :].conj(), gate, num_qubits).conj()
+            for r in range(transformed.shape[0])
+        ],
+        axis=0,
+    )
+    return transformed
+
+
+def _error_paulis(qubits: tuple[int, ...], num_qubits: int) -> list[PauliString]:
+    """All non-identity Pauli strings supported on ``qubits``."""
+    strings = []
+    for labels in cartesian_product("IXYZ", repeat=len(qubits)):
+        if all(label == "I" for label in labels):
+            continue
+        operators = {
+            qubit: label for qubit, label in zip(qubits, labels) if label != "I"
+        }
+        strings.append(PauliString.from_operators(num_qubits, operators))
+    return strings
+
+
+def _apply_depolarizing(
+    rho: np.ndarray, qubits: tuple[int, ...], rate: float, num_qubits: int
+) -> np.ndarray:
+    if rate <= 0.0:
+        return rho
+    errors = _error_paulis(qubits, num_qubits)
+    mixed = np.zeros_like(rho)
+    for error in errors:
+        # P ρ P†: apply P to columns, then P† (=P up to phase) to rows.
+        step = np.stack(
+            [apply_pauli_string(rho[:, c], error) for c in range(rho.shape[1])],
+            axis=1,
+        )
+        step = np.stack(
+            [
+                apply_pauli_string(step[r, :].conj(), error).conj()
+                for r in range(step.shape[0])
+            ],
+            axis=0,
+        )
+        mixed += step
+    return (1.0 - rate) * rho + (rate / len(errors)) * mixed
+
+
+def run_density_circuit(
+    circuit: QuantumCircuit,
+    initial_state: np.ndarray,
+    noise: NoiseModel | None = None,
+) -> np.ndarray:
+    """Exact noisy evolution: final density matrix of ``circuit``."""
+    noise = noise or NoiseModel()
+    num_qubits = circuit.num_qubits
+    rho = density_from_state(initial_state.astype(complex))
+    for gate in circuit:
+        rho = _apply_unitary_gate(rho, gate, num_qubits)
+        rate = noise.two_qubit_error if gate.is_two_qubit else noise.single_qubit_error
+        rho = _apply_depolarizing(rho, gate.qubits, rate, num_qubits)
+    return rho
+
+
+def density_expectation(rho: np.ndarray, operator: PauliSum) -> float:
+    """``Tr(ρ H)`` for a hermitian :class:`PauliSum`.
+
+    Uses the closed-form matrix elements ``P_{r^x, r} = i^{#Y} (-1)^{|r&z|}``:
+    ``Tr(ρP) = Σ_r ρ[r, r^x] · phase_r`` — one strided read per term.
+    """
+    dimension = rho.shape[0]
+    indices = np.arange(dimension)
+    total = 0j
+    for string, coefficient in operator.items():
+        y_count = (string.x_mask & string.z_mask).bit_count()
+        parity = np.zeros(dimension, dtype=np.int64)
+        bit = 0
+        z_mask = string.z_mask
+        while z_mask >> bit:
+            if (z_mask >> bit) & 1:
+                parity ^= (indices >> bit) & 1
+            bit += 1
+        phases = (1j ** (y_count % 4)) * (1.0 - 2.0 * parity)
+        total += coefficient * np.sum(rho[indices, indices ^ string.x_mask] * phases)
+    return float(total.real)

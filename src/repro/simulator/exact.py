@@ -1,0 +1,60 @@
+"""Exact diagonalization of qubit Hamiltonians.
+
+Supplies the theoretical eigenenergies (the black reference lines of
+Figures 8/9) and the eigenstate initial states the noisy simulations
+start from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.paulis.matrices import pauli_sum_matrix
+from repro.paulis.terms import PauliSum
+
+
+@dataclass(frozen=True)
+class Spectrum:
+    """Eigenvalues (ascending) and matching eigenvectors (columns)."""
+
+    energies: np.ndarray
+    states: np.ndarray
+
+    def eigenstate(self, level: int) -> np.ndarray:
+        """The ``level``-th excited state (0 = ground state)."""
+        return self.states[:, level].copy()
+
+    def energy(self, level: int) -> float:
+        return float(self.energies[level])
+
+    @property
+    def ground_energy(self) -> float:
+        return float(self.energies[0])
+
+
+def diagonalize(operator: PauliSum) -> Spectrum:
+    """Full dense eigendecomposition (use below ~12 qubits)."""
+    if not operator.is_hermitian():
+        raise ValueError("can only diagonalize hermitian operators")
+    matrix = pauli_sum_matrix(operator)
+    energies, states = np.linalg.eigh(matrix)
+    return Spectrum(energies=energies, states=states)
+
+
+def distinct_eigenlevels(spectrum: Spectrum, count: int, tolerance: float = 1e-9) -> list[int]:
+    """Indices of the first ``count`` *distinct* energy levels.
+
+    The paper's E0..E3 labels refer to distinct energies; degenerate
+    eigenvalues collapse to one label.
+    """
+    levels: list[int] = []
+    last_energy = None
+    for index, energy in enumerate(spectrum.energies):
+        if last_energy is None or energy - last_energy > tolerance:
+            levels.append(index)
+            last_energy = float(energy)
+            if len(levels) == count:
+                break
+    return levels

@@ -1,0 +1,139 @@
+"""Shot-based energy estimation with measurement grouping.
+
+The trajectory simulator in :mod:`repro.simulator.noise` evaluates exact
+expectations per noisy trajectory; real devices (and the paper's IonQ
+runs) instead *measure*: rotate to a product basis, sample bitstrings, and
+average eigenvalue products.  This module implements that protocol —
+
+1. partition the Hamiltonian's Pauli strings into qubit-wise commuting
+   groups (greedy first-fit, the standard heuristic);
+2. per group, apply the shared basis rotation and sample the computational
+   basis (with optional readout error);
+3. estimate each string's expectation from the sampled bits.
+
+The resulting energies carry genuine shot noise on top of gate noise,
+matching the spread visible in the paper's Figures 8-10.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.gates import Gate
+from repro.paulis.strings import PauliString
+from repro.paulis.terms import PauliSum
+from repro.simulator.statevector import apply_gate
+
+
+def qubit_wise_commuting(left: PauliString, right: PauliString) -> bool:
+    """True when the strings commute *qubit by qubit* (same or I at each
+    position) — the condition for sharing one measurement basis."""
+    for qubit in range(left.num_qubits):
+        a = left.operator(qubit)
+        b = right.operator(qubit)
+        if a != "I" and b != "I" and a != b:
+            return False
+    return True
+
+
+def group_qubit_wise_commuting(operator: PauliSum) -> list[list[PauliString]]:
+    """Greedy first-fit partition into qubit-wise commuting groups.
+
+    Deterministic: strings are visited in sorted-label order, so a given
+    Hamiltonian always produces the same grouping.
+    """
+    groups: list[list[PauliString]] = []
+    for string, _ in operator.sorted_terms():
+        if string.is_identity:
+            continue
+        for group in groups:
+            if all(qubit_wise_commuting(string, member) for member in group):
+                group.append(string)
+                break
+        else:
+            groups.append([string])
+    return groups
+
+
+def _group_basis(group: list[PauliString], num_qubits: int) -> dict[int, str]:
+    """The measurement basis per qubit implied by a qubit-wise commuting group."""
+    basis: dict[int, str] = {}
+    for string in group:
+        for qubit in string.support:
+            basis[qubit] = string.operator(qubit)
+    return basis
+
+
+def _basis_rotation_gates(basis: dict[int, str]) -> list[Gate]:
+    """Gates rotating each measured qubit's operator into ``Z``."""
+    gates: list[Gate] = []
+    for qubit, operator in sorted(basis.items()):
+        if operator == "X":
+            gates.append(Gate("H", (qubit,)))
+        elif operator == "Y":
+            gates.append(Gate("SDG", (qubit,)))
+            gates.append(Gate("H", (qubit,)))
+    return gates
+
+
+def measure_energy(
+    state: np.ndarray,
+    operator: PauliSum,
+    shots_per_group: int,
+    rng: np.random.Generator,
+    readout_error: float = 0.0,
+) -> float:
+    """One shot-based energy estimate of ``<state|operator|state>``.
+
+    Identity terms contribute their coefficients exactly (they need no
+    measurement); every other term is estimated from ``shots_per_group``
+    sampled bitstrings of its group's basis.
+    """
+    num_qubits = operator.num_qubits
+    identity = PauliString.identity(num_qubits)
+    energy = operator.coefficient(identity).real
+
+    for group in group_qubit_wise_commuting(operator):
+        basis = _group_basis(group, num_qubits)
+        rotated = state
+        for gate in _basis_rotation_gates(basis):
+            rotated = apply_gate(rotated, gate, num_qubits)
+        probabilities = np.abs(rotated) ** 2
+        probabilities = probabilities / probabilities.sum()
+        outcomes = rng.choice(len(rotated), size=shots_per_group, p=probabilities)
+        if readout_error > 0.0:
+            flips = rng.random((shots_per_group, num_qubits)) < readout_error
+            masks = np.zeros(shots_per_group, dtype=np.int64)
+            for qubit in range(num_qubits):
+                masks |= flips[:, qubit].astype(np.int64) << qubit
+            outcomes = outcomes ^ masks
+        for string in group:
+            mask = string.x_mask | string.z_mask
+            parities = np.zeros(shots_per_group, dtype=np.int64)
+            bit = 0
+            while mask >> bit:
+                if (mask >> bit) & 1:
+                    parities ^= (outcomes >> bit) & 1
+                bit += 1
+            eigenvalues = 1.0 - 2.0 * parities
+            energy += operator.coefficient(string).real * float(eigenvalues.mean())
+    return energy
+
+
+def measured_energy_statistics(
+    state: np.ndarray,
+    operator: PauliSum,
+    repetitions: int,
+    shots_per_group: int,
+    seed: int = 7,
+    readout_error: float = 0.0,
+) -> tuple[float, float]:
+    """Mean and standard deviation of repeated shot-based estimates."""
+    rng = np.random.default_rng(seed)
+    estimates = np.array(
+        [
+            measure_energy(state, operator, shots_per_group, rng, readout_error)
+            for _ in range(repetitions)
+        ]
+    )
+    return float(estimates.mean()), float(estimates.std())

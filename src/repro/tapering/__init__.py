@@ -1,0 +1,19 @@
+"""Z2 symmetry discovery and qubit tapering (extension beyond the paper)."""
+
+from repro.tapering.z2 import (
+    TaperingPlan,
+    build_tapering_plan,
+    find_z2_symmetries,
+    rotate_operator,
+    taper_all_sectors,
+    taper_with_plan,
+)
+
+__all__ = [
+    "TaperingPlan",
+    "build_tapering_plan",
+    "find_z2_symmetries",
+    "rotate_operator",
+    "taper_all_sectors",
+    "taper_with_plan",
+]

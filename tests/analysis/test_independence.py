@@ -1,0 +1,68 @@
+"""Tests for the Figure-4 dependence-probability machinery."""
+
+import pytest
+
+from repro.analysis import (
+    column_event_holds,
+    estimate_simultaneous_probability,
+    sample_optimal_encodings,
+)
+from repro.core import FermihedralConfig, SolverBudget
+from repro.encodings import jordan_wigner
+from repro.paulis import PauliString
+
+
+class TestColumnEvent:
+    def test_identity_product_detected(self):
+        strings = [PauliString.from_label("XI"), PauliString.from_label("XI")]
+        assert column_event_holds(strings, [0, 1], qubit=0)
+        assert column_event_holds(strings, [0, 1], qubit=1)
+
+    def test_non_identity_product(self):
+        strings = [PauliString.from_label("XI"), PauliString.from_label("YI")]
+        # X·Y = iZ at qubit 1: not identity there
+        assert not column_event_holds(strings, [0, 1], qubit=1)
+        assert column_event_holds(strings, [0, 1], qubit=0)
+
+    def test_singleton_subset(self):
+        strings = [PauliString.from_label("XI")]
+        assert column_event_holds(strings, [0], qubit=0)
+        assert not column_event_holds(strings, [0], qubit=1)
+
+
+class TestSampling:
+    @pytest.fixture(scope="class")
+    def encodings(self):
+        config = FermihedralConfig(budget=SolverBudget(max_conflicts=100_000))
+        return sample_optimal_encodings(2, count=8, config=config)
+
+    def test_samples_are_distinct_and_optimal(self, encodings):
+        # With the vacuum constraint, N=2 has exactly 4 optimal encodings:
+        # pairs {(IX,IY),(XZ,YZ)} and {(XI,YI),(ZX,ZY)} in either mode order.
+        assert len(encodings) == 4
+        labels = {tuple(s.label() for s in e.strings) for e in encodings}
+        assert len(labels) == 4
+        assert all(e.total_majorana_weight == 6 for e in encodings)
+
+    def test_probability_estimate_shape(self, encodings):
+        estimate = estimate_simultaneous_probability(
+            encodings, num_events=1, trials=800, seed=1
+        )
+        assert 0.0 <= estimate.probability <= 1.0
+        assert estimate.prediction == pytest.approx(0.25)
+        assert estimate.trials == 800
+
+    def test_probability_decreases_with_events(self, encodings):
+        one = estimate_simultaneous_probability(encodings, 1, trials=1500, seed=2)
+        two = estimate_simultaneous_probability(encodings, 2, trials=1500, seed=2)
+        assert two.probability <= one.probability
+
+    def test_bad_event_count_rejected(self, encodings):
+        with pytest.raises(ValueError):
+            estimate_simultaneous_probability(encodings, 0)
+        with pytest.raises(ValueError):
+            estimate_simultaneous_probability(encodings, 5)
+
+    def test_empty_encodings_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_simultaneous_probability([], 1)

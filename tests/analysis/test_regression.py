@@ -1,0 +1,84 @@
+"""Tests for regression fits and weight metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    LogFit,
+    WeightComparison,
+    average_weight_per_majorana,
+    compare_hamiltonian_weight,
+    fit_log2,
+    format_percent,
+    format_table,
+    improvement_percent,
+)
+from repro.encodings import bravyi_kitaev, jordan_wigner
+from repro.fermion import hubbard_chain
+
+
+class TestLogFit:
+    def test_exact_fit_recovered(self):
+        xs = [1, 2, 4, 8, 16]
+        ys = [0.5 * np.log2(x) + 1.25 for x in xs]
+        fit = fit_log2(xs, ys)
+        assert fit.slope == pytest.approx(0.5)
+        assert fit.intercept == pytest.approx(1.25)
+        assert fit.residual == pytest.approx(0.0, abs=1e-18)
+
+    def test_predict(self):
+        fit = LogFit(slope=1.0, intercept=0.0, residual=0.0)
+        assert fit.predict(8) == pytest.approx(3.0)
+
+    def test_str_format(self):
+        assert "log2(N)" in str(LogFit(0.56, 0.95, 0.0))
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            fit_log2([1], [1.0])
+
+    def test_nonpositive_x_rejected(self):
+        with pytest.raises(ValueError):
+            fit_log2([0, 1], [1.0, 2.0])
+
+
+class TestImprovement:
+    def test_reduction(self):
+        assert improvement_percent(100, 80) == pytest.approx(20.0)
+
+    def test_negative_when_worse(self):
+        assert improvement_percent(100, 110) == pytest.approx(-10.0)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            improvement_percent(0, 1)
+
+
+class TestWeightHelpers:
+    def test_average_weight(self):
+        assert average_weight_per_majorana(jordan_wigner(2)) == pytest.approx(1.5)
+
+    def test_comparison_row(self):
+        hamiltonian = hubbard_chain(2, periodic=False)
+        row = compare_hamiltonian_weight(
+            "hubbard", hamiltonian, bravyi_kitaev(4), jordan_wigner(4)
+        )
+        assert row.baseline_weight == bravyi_kitaev(4).hamiltonian_pauli_weight(hamiltonian)
+        assert row.candidate_weight == jordan_wigner(4).hamiltonian_pauli_weight(hamiltonian)
+        assert isinstance(row.reduction_percent, float)
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_row_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_format_percent(self):
+        assert format_percent(12.345) == "+12.35%"
+        assert format_percent(-3.0) == "-3.00%"

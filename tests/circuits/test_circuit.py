@@ -1,0 +1,80 @@
+"""Tests for the QuantumCircuit container."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, cnot, h, rz, s
+from repro.simulator import circuit_unitary
+
+
+class TestConstruction:
+    def test_append_and_len(self):
+        circuit = QuantumCircuit(2)
+        circuit.append(h(0))
+        circuit.append(cnot(0, 1))
+        assert len(circuit) == 2
+
+    def test_rejects_out_of_range_qubits(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(ValueError):
+            circuit.append(h(5))
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(0)
+
+    def test_copy_is_independent(self):
+        circuit = QuantumCircuit(1, [h(0)])
+        duplicate = circuit.copy()
+        duplicate.append(h(0))
+        assert len(circuit) == 1
+        assert len(duplicate) == 2
+
+
+class TestComposeInverse:
+    def test_compose(self):
+        a = QuantumCircuit(2, [h(0)])
+        b = QuantumCircuit(2, [cnot(0, 1)])
+        combined = a.compose(b)
+        assert [g.name for g in combined] == ["H", "CNOT"]
+
+    def test_compose_width_mismatch(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(1).compose(QuantumCircuit(2))
+
+    def test_inverse_reverses_and_inverts(self):
+        circuit = QuantumCircuit(2, [h(0), s(1), cnot(0, 1)])
+        inverse = circuit.inverse()
+        assert [g.name for g in inverse] == ["CNOT", "SDG", "H"]
+
+    def test_circuit_times_inverse_is_identity(self):
+        circuit = QuantumCircuit(2, [h(0), s(1), cnot(0, 1), rz(0, 0.3)])
+        identity = circuit.compose(circuit.inverse())
+        assert np.allclose(circuit_unitary(identity), np.eye(4), atol=1e-9)
+
+
+class TestStatistics:
+    def test_counts(self):
+        circuit = QuantumCircuit(2, [h(0), cnot(0, 1), rz(1, 0.1)])
+        assert circuit.single_qubit_count == 2
+        assert circuit.cnot_count == 1
+        assert circuit.total_count == 3
+
+    def test_depth_parallel_gates(self):
+        circuit = QuantumCircuit(2, [h(0), h(1)])
+        assert circuit.depth == 1
+
+    def test_depth_serial_gates(self):
+        circuit = QuantumCircuit(1, [h(0), h(0), h(0)])
+        assert circuit.depth == 3
+
+    def test_depth_cnot_blocks_both_qubits(self):
+        circuit = QuantumCircuit(2, [cnot(0, 1), h(0), h(1)])
+        assert circuit.depth == 2
+
+    def test_empty_circuit_depth_zero(self):
+        assert QuantumCircuit(3).depth == 0
+
+    def test_gate_statistics_dict(self):
+        stats = QuantumCircuit(2, [h(0), cnot(0, 1)]).gate_statistics()
+        assert stats == {"single": 1, "cnot": 1, "total": 2, "depth": 2}

@@ -1,0 +1,70 @@
+"""Tests for the gate IR."""
+
+import math
+
+import pytest
+
+from repro.circuits import Gate, cnot, h, rz, s, sdg, x, y, z
+
+
+class TestConstruction:
+    def test_builders(self):
+        assert h(0).name == "H"
+        assert s(1).qubits == (1,)
+        assert sdg(2).name == "SDG"
+        assert rz(0, 0.5).parameter == 0.5
+        assert cnot(0, 1).qubits == (0, 1)
+        assert x(0).name == "X" and y(0).name == "Y" and z(0).name == "Z"
+
+    def test_rz_requires_angle(self):
+        with pytest.raises(ValueError):
+            Gate("RZ", (0,))
+
+    def test_cnot_needs_distinct_qubits(self):
+        with pytest.raises(ValueError):
+            Gate("CNOT", (1, 1))
+
+    def test_single_qubit_gates_take_one_qubit(self):
+        with pytest.raises(ValueError):
+            Gate("H", (0, 1))
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(ValueError):
+            Gate("T", (0,))
+
+    def test_parameter_on_clifford_rejected(self):
+        with pytest.raises(ValueError):
+            Gate("H", (0,), 0.1)
+
+
+class TestInverse:
+    def test_self_inverse_gates(self):
+        for gate in (h(0), x(0), y(0), z(0), cnot(0, 1)):
+            assert gate.inverse() == gate
+            assert gate.is_inverse_of(gate)
+
+    def test_s_and_sdg(self):
+        assert s(0).inverse() == sdg(0)
+        assert sdg(0).inverse() == s(0)
+        assert s(0).is_inverse_of(sdg(0))
+        assert not s(0).is_inverse_of(s(0))
+
+    def test_rz_inverse_negates_angle(self):
+        gate = rz(0, 0.7)
+        assert gate.inverse().parameter == -0.7
+        assert gate.is_inverse_of(rz(0, -0.7))
+
+    def test_rz_inverse_modulo_4pi(self):
+        assert rz(0, math.pi).is_inverse_of(rz(0, 4.0 * math.pi - math.pi))
+
+    def test_different_qubits_never_inverse(self):
+        assert not h(0).is_inverse_of(h(1))
+        assert not cnot(0, 1).is_inverse_of(cnot(1, 0))
+
+    def test_is_two_qubit(self):
+        assert cnot(0, 1).is_two_qubit
+        assert not h(0).is_two_qubit
+
+    def test_repr(self):
+        assert "RZ" in repr(rz(0, 0.25))
+        assert "CNOT" in repr(cnot(0, 1))

@@ -1,0 +1,95 @@
+"""Tests for peephole circuit optimization."""
+
+import numpy as np
+
+from repro.circuits import (
+    QuantumCircuit,
+    cancel_adjacent_gates,
+    cnot,
+    h,
+    optimize_circuit,
+    rz,
+    s,
+    sdg,
+    trotter_circuit,
+)
+from repro.paulis import PauliSum
+from repro.simulator import circuit_unitary
+
+
+def _unitary_equal_up_to_phase(a: QuantumCircuit, b: QuantumCircuit) -> bool:
+    ua, ub = circuit_unitary(a), circuit_unitary(b)
+    index = np.argmax(np.abs(ub))
+    phase = ua.flat[index] / ub.flat[index]
+    return np.allclose(ua, phase * ub, atol=1e-9)
+
+
+class TestCancellation:
+    def test_hh_cancels(self):
+        circuit = QuantumCircuit(1, [h(0), h(0)])
+        assert len(cancel_adjacent_gates(circuit)) == 0
+
+    def test_s_sdg_cancels(self):
+        circuit = QuantumCircuit(1, [s(0), sdg(0)])
+        assert len(cancel_adjacent_gates(circuit)) == 0
+
+    def test_cnot_pair_cancels(self):
+        circuit = QuantumCircuit(2, [cnot(0, 1), cnot(0, 1)])
+        assert len(cancel_adjacent_gates(circuit)) == 0
+
+    def test_reversed_cnot_does_not_cancel(self):
+        circuit = QuantumCircuit(2, [cnot(0, 1), cnot(1, 0)])
+        assert len(cancel_adjacent_gates(circuit)) == 2
+
+    def test_intervening_gate_blocks_cancellation(self):
+        circuit = QuantumCircuit(1, [h(0), s(0), h(0)])
+        assert len(cancel_adjacent_gates(circuit)) == 3
+
+    def test_gate_on_other_qubit_does_not_block(self):
+        circuit = QuantumCircuit(2, [h(0), h(1), h(0)])
+        optimized = cancel_adjacent_gates(circuit)
+        assert [g.qubits for g in optimized] == [(1,)]
+
+    def test_partial_overlap_blocks(self):
+        # CNOT(0,1), H(1), CNOT(0,1): H blocks the pair
+        circuit = QuantumCircuit(2, [cnot(0, 1), h(1), cnot(0, 1)])
+        assert len(cancel_adjacent_gates(circuit)) == 3
+
+
+class TestRotationMerging:
+    def test_adjacent_rz_merge(self):
+        circuit = QuantumCircuit(1, [rz(0, 0.25), rz(0, 0.5)])
+        optimized = cancel_adjacent_gates(circuit)
+        assert len(optimized) == 1
+        assert optimized.gates[0].parameter == 0.75
+
+    def test_opposite_rz_vanish(self):
+        circuit = QuantumCircuit(1, [rz(0, 0.25), rz(0, -0.25)])
+        assert len(cancel_adjacent_gates(circuit)) == 0
+
+    def test_cascading_cancellation_via_fixpoint(self):
+        # h s sdg h: one pass removes s/sdg, second removes h/h
+        circuit = QuantumCircuit(1, [h(0), s(0), sdg(0), h(0)])
+        assert len(optimize_circuit(circuit)) == 0
+
+
+class TestSemanticPreservation:
+    def test_trotter_circuit_preserved(self):
+        hamiltonian = (
+            PauliSum.from_label("XZ", 0.4)
+            + PauliSum.from_label("ZZ", -0.3)
+            + PauliSum.from_label("XX", 0.2)
+        )
+        circuit = trotter_circuit(hamiltonian, time=1.0, steps=2)
+        optimized = optimize_circuit(circuit)
+        assert len(optimized) < len(circuit)
+        assert _unitary_equal_up_to_phase(circuit, optimized)
+
+    def test_optimizer_reduces_consecutive_evolution_blocks(self):
+        """Consecutive X-basis evolutions on overlapping supports share their
+        Hadamard basis layers, which cancel across block boundaries."""
+        hamiltonian = PauliSum.from_label("XI", 0.3) + PauliSum.from_label("XZ", 0.4)
+        circuit = trotter_circuit(hamiltonian, time=1.0, steps=2)
+        optimized = optimize_circuit(circuit)
+        assert optimized.total_count < circuit.total_count
+        assert _unitary_equal_up_to_phase(circuit, optimized)

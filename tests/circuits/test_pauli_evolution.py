@@ -1,0 +1,65 @@
+"""Tests for exp(iλP) synthesis — validated against matrix exponentials."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.linalg import expm
+
+from repro.circuits import pauli_evolution_circuit
+from repro.paulis import PauliString, pauli_string_matrix
+from repro.simulator import circuit_unitary
+from tests.conftest import pauli_strings
+
+
+def _phase_equal(left: np.ndarray, right: np.ndarray, atol=1e-9) -> bool:
+    index = np.argmax(np.abs(right))
+    if abs(right.flat[index]) < atol:
+        return np.allclose(left, right, atol=atol)
+    phase = left.flat[index] / right.flat[index]
+    return abs(abs(phase) - 1.0) < atol and np.allclose(left, phase * right, atol=atol)
+
+
+class TestSynthesis:
+    @pytest.mark.parametrize("label", ["X", "Y", "Z", "XY", "ZZ", "XYZ", "IYXI"])
+    def test_matches_matrix_exponential(self, label):
+        string = PauliString.from_label(label)
+        angle = 0.37
+        unitary = circuit_unitary(pauli_evolution_circuit(string, angle))
+        reference = expm(1j * angle * pauli_string_matrix(string))
+        assert _phase_equal(unitary, reference)
+
+    @settings(max_examples=25, deadline=None)
+    @given(pauli_strings(max_qubits=3), st.floats(-3.0, 3.0, allow_nan=False))
+    def test_property_matches_exponential(self, string, angle):
+        unitary = circuit_unitary(pauli_evolution_circuit(string, angle))
+        reference = expm(1j * angle * pauli_string_matrix(string))
+        assert _phase_equal(unitary, reference, atol=1e-8)
+
+    def test_identity_string_empty_circuit(self):
+        circuit = pauli_evolution_circuit(PauliString.identity(3), 0.5)
+        assert len(circuit) == 0
+
+    def test_gate_count_proportional_to_weight(self):
+        """Weight-w string: 2(w-1) CNOTs; singles bounded by 4w + 1."""
+        for label in ("XX", "XYZ", "YYYY", "ZXZY"):
+            string = PauliString.from_label(label)
+            circuit = pauli_evolution_circuit(string, 0.1)
+            weight = string.weight
+            assert circuit.cnot_count == 2 * (weight - 1)
+            assert circuit.single_qubit_count <= 4 * weight + 1
+
+    def test_z_only_string_needs_no_basis_gates(self):
+        circuit = pauli_evolution_circuit(PauliString.from_label("ZZ"), 0.2)
+        names = {g.name for g in circuit}
+        assert names == {"CNOT", "RZ"}
+
+    def test_custom_target(self):
+        string = PauliString.from_label("XX")
+        circuit = pauli_evolution_circuit(string, 0.3, target=0)
+        rz_gates = [g for g in circuit if g.name == "RZ"]
+        assert rz_gates[0].qubits == (0,)
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ValueError):
+            pauli_evolution_circuit(PauliString.from_label("XI"), 0.1, target=0)

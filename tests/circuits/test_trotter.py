@@ -1,0 +1,109 @@
+"""Tests for first-order Trotterization."""
+
+import numpy as np
+import pytest
+from scipy.linalg import expm
+
+from repro.circuits import trotter_circuit
+from repro.paulis import PauliString, PauliSum, pauli_sum_matrix
+from repro.simulator import circuit_unitary
+
+
+def _phase_distance(left: np.ndarray, right: np.ndarray) -> float:
+    """Operator distance modulo global phase."""
+    index = np.argmax(np.abs(right))
+    phase = left.flat[index] / right.flat[index]
+    phase /= abs(phase)
+    return float(np.max(np.abs(left - phase * right)))
+
+
+class TestTrotter:
+    def test_single_term_exact(self):
+        hamiltonian = PauliSum.from_label("XX", 0.8)
+        unitary = circuit_unitary(trotter_circuit(hamiltonian, time=0.5))
+        reference = expm(1j * 0.5 * pauli_sum_matrix(hamiltonian))
+        assert _phase_distance(unitary, reference) < 1e-9
+
+    def test_commuting_terms_exact(self):
+        hamiltonian = PauliSum.from_label("ZI", 0.3) + PauliSum.from_label("IZ", -0.7)
+        unitary = circuit_unitary(trotter_circuit(hamiltonian, time=1.0))
+        reference = expm(1j * pauli_sum_matrix(hamiltonian))
+        assert _phase_distance(unitary, reference) < 1e-9
+
+    def test_error_shrinks_with_steps(self):
+        # X and Z on the same qubit anticommute: genuine Trotter error.
+        hamiltonian = PauliSum.from_label("XI", 0.9) + PauliSum.from_label("ZI", 0.6)
+        reference = expm(1j * pauli_sum_matrix(hamiltonian))
+        errors = []
+        for steps in (1, 4, 16):
+            unitary = circuit_unitary(trotter_circuit(hamiltonian, 1.0, steps=steps))
+            errors.append(_phase_distance(unitary, reference))
+        assert errors[0] > errors[1] > errors[2]
+        # first-order Trotter: error ~ t^2/steps
+        assert errors[2] < errors[0] / 10
+
+    def test_identity_terms_skipped(self):
+        hamiltonian = PauliSum.identity(2, 5.0) + PauliSum.from_label("XI", 0.1)
+        circuit = trotter_circuit(hamiltonian, 1.0)
+        assert all(g.name != "RZ" or g.qubits == (1,) for g in circuit)
+
+    def test_nonhermitian_rejected(self):
+        with pytest.raises(ValueError):
+            trotter_circuit(PauliSum.from_label("XY", 1j), 1.0)
+
+    def test_bad_steps_rejected(self):
+        with pytest.raises(ValueError):
+            trotter_circuit(PauliSum.from_label("X"), 1.0, steps=0)
+
+    def test_custom_term_order(self):
+        hamiltonian = PauliSum.from_label("XI", 0.1) + PauliSum.from_label("IZ", 0.2)
+        order = [PauliString.from_label("IZ"), PauliString.from_label("XI")]
+        circuit = trotter_circuit(hamiltonian, 1.0, term_order=order)
+        first_rz = next(g for g in circuit if g.name == "RZ")
+        assert first_rz.qubits == (0,)  # the IZ term acts on qubit 0
+
+    def test_steps_multiply_gate_count(self):
+        hamiltonian = PauliSum.from_label("XY", 0.4) + PauliSum.from_label("ZZ", 0.2)
+        one = trotter_circuit(hamiltonian, 1.0, steps=1)
+        three = trotter_circuit(hamiltonian, 1.0, steps=3)
+        assert len(three) == 3 * len(one)
+
+
+class TestSecondOrder:
+    def test_symmetric_formula_matches_exponential_better(self):
+        hamiltonian = PauliSum.from_label("XI", 0.9) + PauliSum.from_label("ZI", 0.6)
+        reference = expm(1j * pauli_sum_matrix(hamiltonian))
+        first = circuit_unitary(trotter_circuit(hamiltonian, 1.0, steps=4, order=1))
+        second = circuit_unitary(trotter_circuit(hamiltonian, 1.0, steps=4, order=2))
+        assert _phase_distance(second, reference) < _phase_distance(first, reference)
+
+    def test_second_order_error_scales_quadratically(self):
+        hamiltonian = PauliSum.from_label("XY", 0.7) + PauliSum.from_label("YX", 0.4) \
+            + PauliSum.from_label("ZI", 0.3)
+        reference = expm(1j * pauli_sum_matrix(hamiltonian))
+        errors = []
+        for steps in (1, 2, 4):
+            unitary = circuit_unitary(
+                trotter_circuit(hamiltonian, 1.0, steps=steps, order=2)
+            )
+            errors.append(_phase_distance(unitary, reference))
+        # doubling steps should shrink the error by ~4x; allow slack
+        assert errors[1] < errors[0] / 2.0
+        assert errors[2] < errors[1] / 2.0
+
+    def test_second_order_gate_count_doubles(self):
+        hamiltonian = PauliSum.from_label("XX", 0.4) + PauliSum.from_label("ZZ", 0.2)
+        first = trotter_circuit(hamiltonian, 1.0, steps=1, order=1)
+        second = trotter_circuit(hamiltonian, 1.0, steps=1, order=2)
+        assert len(second) == 2 * len(first)
+
+    def test_commuting_terms_exact_for_both_orders(self):
+        hamiltonian = PauliSum.from_label("ZI", 0.3) + PauliSum.from_label("IZ", -0.7)
+        reference = expm(1j * pauli_sum_matrix(hamiltonian))
+        for order in (1, 2):
+            unitary = circuit_unitary(trotter_circuit(hamiltonian, 1.0, order=order))
+            assert _phase_distance(unitary, reference) < 1e-9
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError):
+            trotter_circuit(PauliSum.from_label("X"), 1.0, order=3)

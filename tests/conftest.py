@@ -1,0 +1,42 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.core import FermihedralConfig, SolverBudget
+from repro.paulis import PauliString
+
+#: Strategy: a Pauli label of bounded length.
+pauli_labels = st.text(alphabet="IXYZ", min_size=1, max_size=6)
+
+
+@st.composite
+def pauli_strings(draw, min_qubits: int = 1, max_qubits: int = 6) -> PauliString:
+    label = draw(
+        st.text(alphabet="IXYZ", min_size=min_qubits, max_size=max_qubits)
+    )
+    return PauliString.from_label(label)
+
+
+@st.composite
+def pauli_string_pairs(draw, min_qubits: int = 1, max_qubits: int = 6):
+    """Two strings of equal length."""
+    length = draw(st.integers(min_qubits, max_qubits))
+    labels = st.text(alphabet="IXYZ", min_size=length, max_size=length)
+    return PauliString.from_label(draw(labels)), PauliString.from_label(draw(labels))
+
+
+@pytest.fixture(scope="session")
+def fast_config() -> FermihedralConfig:
+    """Full SAT config with budgets suitable for unit tests."""
+    return FermihedralConfig(budget=SolverBudget(max_conflicts=200_000, time_budget_s=60))
+
+
+@pytest.fixture(scope="session")
+def fast_noalg_config() -> FermihedralConfig:
+    return FermihedralConfig(
+        algebraic_independence=False,
+        budget=SolverBudget(max_conflicts=200_000, time_budget_s=60),
+    )

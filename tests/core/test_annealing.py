@@ -1,0 +1,100 @@
+"""Tests for the Algorithm-2 simulated-annealing pairing optimizer."""
+
+import pytest
+
+from repro.core import AnnealingSchedule, anneal_pairing, hamiltonian_weight_under_order
+from repro.core.verify import verify_encoding
+from repro.encodings import bravyi_kitaev, jordan_wigner
+from repro.fermion import hubbard_chain, syk_hamiltonian
+
+
+@pytest.fixture(scope="module")
+def hubbard():
+    return hubbard_chain(3)
+
+
+class TestWeightUnderOrder:
+    def test_identity_order_matches_direct_measurement(self, hubbard):
+        encoding = jordan_wigner(6)
+        computed = hamiltonian_weight_under_order(
+            encoding, hubbard, list(range(6))
+        )
+        assert computed == encoding.hamiltonian_pauli_weight(hubbard)
+
+    def test_reordered_weight_matches_reordered_encoding(self, hubbard):
+        encoding = jordan_wigner(6)
+        order = [2, 0, 1, 4, 5, 3]
+        computed = hamiltonian_weight_under_order(encoding, hubbard, order)
+        reordered = encoding.with_mode_order(order)
+        assert computed == reordered.hamiltonian_pauli_weight(hubbard)
+
+
+class TestAnnealing:
+    def test_result_weight_is_consistent(self, hubbard):
+        encoding = bravyi_kitaev(6)
+        result = anneal_pairing(encoding, hubbard, seed=3)
+        assert result.encoding.hamiltonian_pauli_weight(hubbard) == result.weight
+
+    def test_never_worse_than_start(self, hubbard):
+        encoding = bravyi_kitaev(6)
+        result = anneal_pairing(encoding, hubbard, seed=3)
+        assert result.weight <= result.initial_weight
+
+    def test_preserves_validity_and_vacuum(self, hubbard):
+        result = anneal_pairing(bravyi_kitaev(6), hubbard, seed=3)
+        report = verify_encoding(result.encoding)
+        assert report.valid
+        assert report.vacuum_preservation
+
+    def test_reproducible_with_seed(self, hubbard):
+        a = anneal_pairing(jordan_wigner(6), hubbard, seed=11)
+        b = anneal_pairing(jordan_wigner(6), hubbard, seed=11)
+        assert a.weight == b.weight
+        assert a.mode_order == b.mode_order
+
+    def test_improves_jw_on_hubbard(self, hubbard):
+        """Pair placement matters for lattice models: annealing JW's pairing
+        must find strictly lighter assignments for the periodic chain."""
+        result = anneal_pairing(jordan_wigner(6), hubbard, seed=5)
+        assert result.weight < result.initial_weight
+
+    def test_dense_syk_is_pairing_invariant(self):
+        """Dense four-body SYK touches every Majorana quadruple, so mode
+        re-pairing permutes the monomial set onto itself: annealing cannot
+        change the weight."""
+        syk = syk_hamiltonian(3)
+        encoding = bravyi_kitaev(3)
+        result = anneal_pairing(encoding, syk, seed=2)
+        assert result.weight == result.initial_weight
+
+    def test_history_and_counters(self, hubbard):
+        schedule = AnnealingSchedule(
+            initial_temperature=1.0,
+            final_temperature=0.2,
+            temperature_step=0.2,
+            iterations_per_step=10,
+        )
+        result = anneal_pairing(jordan_wigner(6), hubbard, schedule=schedule, seed=1)
+        assert len(result.history) == len(schedule.temperatures()) + 1
+        assert result.attempted_moves >= result.accepted_moves >= 0
+
+    def test_mode_count_mismatch_rejected(self, hubbard):
+        with pytest.raises(ValueError):
+            anneal_pairing(jordan_wigner(4), hubbard)
+
+    def test_single_mode_trivial(self):
+        from repro.fermion import FermionOperator, FermionicHamiltonian
+
+        hamiltonian = FermionicHamiltonian.from_fermion_operator(
+            "one", FermionOperator.number(0)
+        )
+        result = anneal_pairing(jordan_wigner(1), hamiltonian, seed=0)
+        assert result.weight == result.initial_weight
+
+
+class TestSchedule:
+    def test_temperature_ladder(self):
+        schedule = AnnealingSchedule(
+            initial_temperature=1.0, final_temperature=0.5, temperature_step=0.25
+        )
+        assert schedule.temperatures() == pytest.approx([1.0, 0.75, 0.5])

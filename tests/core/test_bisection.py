@@ -1,0 +1,58 @@
+"""Tests for the bisection descent strategy (ablation feature)."""
+
+import pytest
+
+from repro.core import FermihedralConfig, SolverBudget, descend
+from repro.core.descent import _structural_lower_bound
+from repro.core.verify import verify_encoding
+from repro.fermion import hubbard_chain
+
+
+def _config(**kwargs):
+    defaults = dict(
+        strategy="bisection",
+        budget=SolverBudget(max_conflicts=300_000, time_budget_s=60),
+    )
+    defaults.update(kwargs)
+    return FermihedralConfig(**defaults)
+
+
+class TestBisection:
+    @pytest.mark.parametrize("num_modes,expected", [(1, 2), (2, 6), (3, 11)])
+    def test_same_optimum_as_linear(self, num_modes, expected):
+        result = descend(num_modes, config=_config())
+        assert result.weight == expected
+        assert result.proved_optimal
+        assert result.strategy == "bisection"
+
+    def test_valid_encodings(self):
+        result = descend(3, config=_config())
+        assert verify_encoding(result.encoding).valid
+
+    def test_budget_exhaustion_not_marked_optimal(self):
+        result = descend(4, config=_config(budget=SolverBudget(max_conflicts=1)))
+        assert not result.proved_optimal
+
+    def test_hamiltonian_dependent_bisection(self):
+        hamiltonian = hubbard_chain(2, periodic=False)
+        config = _config(budget=SolverBudget(time_budget_s=25))
+        result = descend(4, config=config, hamiltonian=hamiltonian)
+        assert result.encoding.hamiltonian_pauli_weight(hamiltonian) == result.weight
+        assert verify_encoding(result.encoding).valid
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            FermihedralConfig(strategy="random-walk")
+
+
+class TestStructuralLowerBound:
+    def test_independent_bound_is_2n(self):
+        assert _structural_lower_bound(4, None) == 8
+
+    def test_dependent_bound_is_monomial_count(self):
+        hamiltonian = hubbard_chain(2, periodic=False)
+        assert _structural_lower_bound(4, hamiltonian) == len(hamiltonian.monomials)
+
+    def test_bound_never_exceeds_optimum(self):
+        # N=2 optimum is 6 >= structural bound 4
+        assert _structural_lower_bound(2, None) <= 6

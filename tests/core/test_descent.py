@@ -1,0 +1,95 @@
+"""Tests for the Algorithm-1 descent loop."""
+
+import pytest
+
+from repro.core import FermihedralConfig, SolverBudget, descend
+from repro.core.verify import verify_encoding
+from repro.encodings import bravyi_kitaev, jordan_wigner
+from repro.fermion import hubbard_chain
+
+
+class TestHamiltonianIndependent:
+    def test_n1_optimum_is_2(self, fast_config):
+        result = descend(1, config=fast_config)
+        assert result.weight == 2
+        assert result.proved_optimal
+
+    def test_n2_optimum_is_6(self, fast_config):
+        result = descend(2, config=fast_config)
+        assert result.weight == 6
+        assert result.proved_optimal
+        assert verify_encoding(result.encoding).fully_valid
+
+    def test_n3_optimum_is_11(self, fast_config):
+        result = descend(3, config=fast_config)
+        assert result.weight == 11
+        assert result.proved_optimal
+
+    def test_never_worse_than_baseline(self, fast_config):
+        for num_modes in (1, 2, 3):
+            result = descend(num_modes, config=fast_config)
+            assert result.weight <= bravyi_kitaev(num_modes).total_majorana_weight
+
+    def test_steps_recorded(self, fast_config):
+        result = descend(2, config=fast_config)
+        assert result.sat_calls >= 1
+        assert result.steps[-1].status in ("UNSAT", "UNKNOWN", "SAT", "REPAIR-LIMIT")
+        assert result.construct_time_s >= 0.0
+        assert result.solve_time_s >= 0.0
+
+    def test_custom_baseline(self, fast_config):
+        result = descend(2, config=fast_config, baseline=jordan_wigner(2))
+        assert result.weight == 6
+
+
+class TestWithoutAlgebraicIndependence:
+    def test_same_optimum_as_full(self, fast_noalg_config):
+        """At these sizes the w/o-Alg optimum agrees with Full SAT (the
+        repair loop discards the rare dependent models)."""
+        result = descend(2, config=fast_noalg_config)
+        assert result.weight == 6
+        assert verify_encoding(result.encoding).valid
+
+    def test_n3_valid_and_optimal(self, fast_noalg_config):
+        result = descend(3, config=fast_noalg_config)
+        assert result.weight == 11
+        assert verify_encoding(result.encoding).valid
+
+    def test_repairs_counted(self, fast_noalg_config):
+        result = descend(2, config=fast_noalg_config)
+        assert result.repairs >= 0  # typically 0; never negative
+
+
+class TestBudgets:
+    def test_conflict_budget_stops_descent(self):
+        config = FermihedralConfig(budget=SolverBudget(max_conflicts=1))
+        result = descend(3, config=config)
+        # budget too small to find anything: returns the baseline
+        assert result.weight <= bravyi_kitaev(3).total_majorana_weight
+        assert not result.proved_optimal
+
+    def test_start_weight_tightens_first_bound(self, fast_config):
+        config = FermihedralConfig(
+            start_weight=6, budget=SolverBudget(max_conflicts=200_000)
+        )
+        result = descend(2, config=config)
+        assert result.steps[0].bound == 6
+        assert result.weight == 6
+
+
+class TestHamiltonianDependent:
+    def test_hubbard_2site_beats_bk(self, fast_config):
+        hamiltonian = hubbard_chain(2, periodic=False)
+        baseline_weight = bravyi_kitaev(4).hamiltonian_pauli_weight(hamiltonian)
+        config = FermihedralConfig(budget=SolverBudget(time_budget_s=30))
+        result = descend(
+            4, config=config, hamiltonian=hamiltonian, baseline=jordan_wigner(4)
+        )
+        assert result.weight <= baseline_weight
+        assert verify_encoding(result.encoding).valid
+
+    def test_achieved_weight_matches_measurement(self, fast_config):
+        hamiltonian = hubbard_chain(2, periodic=False)
+        config = FermihedralConfig(budget=SolverBudget(time_budget_s=30))
+        result = descend(4, config=config, hamiltonian=hamiltonian)
+        assert result.encoding.hamiltonian_pauli_weight(hamiltonian) == result.weight

@@ -1,0 +1,169 @@
+"""Exhaustive validation of the SAT constraint encoder.
+
+For one mode, the string-variable space is tiny (two strings x one qubit x
+two bits = 4 variables, 16 assignments), so the encoder can be checked
+against ground truth *exactly*: pin every possible assignment with unit
+clauses and compare satisfiability with a direct evaluation of the
+constraint on the decoded strings.  For two modes (65536 assignments) a
+random sample plus all valid encodings is checked.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core import FermihedralEncoder
+from repro.core.encoder import OPERATOR_BITS
+from repro.encodings import MajoranaEncoding
+from repro.paulis import (
+    PauliString,
+    are_algebraically_independent,
+    pairwise_anticommuting,
+)
+from repro.sat import solve_formula
+
+_OPERATORS = "IXYZ"
+
+
+def _strings_from_assignment(num_modes: int, labels: tuple[str, ...]):
+    return [PauliString.from_label(label) for label in labels]
+
+
+def _pin_assignment(encoder: FermihedralEncoder, strings) -> None:
+    encoding = MajoranaEncoding(strings, validate=False)
+    for variable, value in encoder.encoding_assignment(encoding).items():
+        encoder.formula.add_unit(variable if value else -variable)
+
+
+def _ground_truth_vacuum_witness(strings, num_modes: int) -> bool:
+    """The paper's Section 3.5 condition: each pair has an X/Y column."""
+    for mode in range(num_modes):
+        even, odd = strings[2 * mode], strings[2 * mode + 1]
+        if not any(
+            even.operator(k) == "X" and odd.operator(k) == "Y"
+            for k in range(num_modes)
+        ):
+            return False
+    return True
+
+
+def _all_one_mode_assignments():
+    for left in _OPERATORS:
+        for right in _OPERATORS:
+            yield (left, right)
+
+
+class TestOneModeExhaustive:
+    def test_anticommutativity_exact(self):
+        for labels in _all_one_mode_assignments():
+            encoder = FermihedralEncoder(1)
+            encoder.add_anticommutativity()
+            strings = _strings_from_assignment(1, labels)
+            _pin_assignment(encoder, strings)
+            expected = pairwise_anticommuting(strings) and all(
+                not s.is_identity for s in strings
+            )
+            # identity strings commute with everything, so the direct
+            # anticommuting check already excludes them for pairs
+            expected = strings[0].anticommutes_with(strings[1])
+            assert solve_formula(encoder.formula).is_sat == expected, labels
+
+    def test_algebraic_independence_exact(self):
+        for labels in _all_one_mode_assignments():
+            encoder = FermihedralEncoder(1)
+            encoder.add_algebraic_independence()
+            strings = _strings_from_assignment(1, labels)
+            _pin_assignment(encoder, strings)
+            expected = are_algebraically_independent(strings)
+            assert solve_formula(encoder.formula).is_sat == expected, labels
+
+    def test_vacuum_witness_exact(self):
+        for labels in _all_one_mode_assignments():
+            encoder = FermihedralEncoder(1)
+            encoder.add_vacuum_preservation()
+            strings = _strings_from_assignment(1, labels)
+            _pin_assignment(encoder, strings)
+            expected = _ground_truth_vacuum_witness(strings, 1)
+            assert solve_formula(encoder.formula).is_sat == expected, labels
+
+    def test_all_constraints_leave_exactly_xy(self):
+        """With every paper constraint, the only valid 1-mode encoding is
+        (X, Y)."""
+        valid = []
+        for labels in _all_one_mode_assignments():
+            encoder = FermihedralEncoder(1)
+            encoder.add_anticommutativity()
+            encoder.add_algebraic_independence()
+            encoder.add_vacuum_preservation()
+            _pin_assignment(encoder, _strings_from_assignment(1, labels))
+            if solve_formula(encoder.formula).is_sat:
+                valid.append(labels)
+        assert valid == [("X", "Y")]
+
+
+class TestTwoModeSampled:
+    @pytest.fixture(scope="class")
+    def assignments(self):
+        rng = random.Random(17)
+        sampled = {
+            tuple(rng.choice(_OPERATORS) + rng.choice(_OPERATORS) for _ in range(4))
+            for _ in range(120)
+        }
+        # make sure known-valid encodings are in the pool
+        sampled.add(("IX", "IY", "XZ", "YZ"))  # JW
+        sampled.add(("XI", "YI", "ZX", "ZY"))
+        sampled.add(("IX", "IX", "XZ", "YZ"))  # duplicate: invalid
+        return sorted(sampled)
+
+    def test_anticommutativity_sampled(self, assignments):
+        for labels in assignments:
+            encoder = FermihedralEncoder(2)
+            encoder.add_anticommutativity()
+            strings = _strings_from_assignment(2, labels)
+            _pin_assignment(encoder, strings)
+            expected = pairwise_anticommuting(strings) and all(
+                not left == right
+                for i, left in enumerate(strings)
+                for right in strings[i + 1:]
+            )
+            expected = all(
+                strings[i].anticommutes_with(strings[j])
+                for i in range(4)
+                for j in range(i + 1, 4)
+            )
+            assert solve_formula(encoder.formula).is_sat == expected, labels
+
+    def test_algebraic_independence_sampled(self, assignments):
+        for labels in assignments:
+            encoder = FermihedralEncoder(2)
+            encoder.add_algebraic_independence()
+            strings = _strings_from_assignment(2, labels)
+            _pin_assignment(encoder, strings)
+            expected = are_algebraically_independent(strings)
+            assert solve_formula(encoder.formula).is_sat == expected, labels
+
+    def test_vacuum_witness_sampled(self, assignments):
+        for labels in assignments:
+            encoder = FermihedralEncoder(2)
+            encoder.add_vacuum_preservation()
+            strings = _strings_from_assignment(2, labels)
+            _pin_assignment(encoder, strings)
+            expected = _ground_truth_vacuum_witness(strings, 2)
+            assert solve_formula(encoder.formula).is_sat == expected, labels
+
+    def test_weight_bound_sampled(self, assignments):
+        for labels in assignments[:40]:
+            strings = _strings_from_assignment(2, labels)
+            total = sum(s.weight for s in strings)
+            for bound in (total - 1, total, total + 1):
+                if bound < 0:
+                    continue
+                encoder = FermihedralEncoder(2)
+                indicators = encoder.majorana_weight_indicators()
+                encoder.add_weight_at_most(indicators, bound)
+                _pin_assignment(encoder, strings)
+                expected = total <= bound
+                assert solve_formula(encoder.formula).is_sat == expected, (
+                    labels, bound,
+                )

@@ -1,0 +1,94 @@
+"""Tests for the exact-vacuum extension (beyond the paper's Section 3.5).
+
+The paper's X/Y-pair witness is sufficient only when the pair factors
+appropriately; the exact mode (equal flip masks + mod-4 Y-count relation)
+is necessary and sufficient, so every decoded model must pass the
+numerical ``a_j|0..0> = 0`` check.
+"""
+
+import pytest
+
+from repro.core import FermihedralConfig, SolverBudget, descend, FermihedralEncoder
+from repro.core.verify import verify_encoding
+from repro.encodings import bravyi_kitaev, jordan_wigner, parity_encoding
+from repro.sat import solve_formula
+
+
+def _exact_config(**kwargs):
+    defaults = dict(
+        exact_vacuum=True,
+        budget=SolverBudget(max_conflicts=200_000, time_budget_s=45),
+    )
+    defaults.update(kwargs)
+    return FermihedralConfig(**defaults)
+
+
+class TestExactVacuumConstraint:
+    @pytest.mark.parametrize("num_modes", [1, 2, 3])
+    def test_decoded_solutions_truly_preserve_vacuum(self, num_modes):
+        result = descend(num_modes, config=_exact_config())
+        report = verify_encoding(result.encoding)
+        assert report.valid
+        assert report.vacuum_preservation
+
+    @pytest.mark.parametrize("num_modes", [1, 2, 3])
+    def test_same_optimum_as_paper_mode_small_n(self, num_modes):
+        """At small N the paper-mode optimum already preserves vacuum, so
+        the exact constraint costs no weight."""
+        paper = descend(num_modes, config=FermihedralConfig(
+            budget=SolverBudget(max_conflicts=200_000)))
+        exact = descend(num_modes, config=_exact_config())
+        assert paper.proved_optimal and exact.proved_optimal
+        assert exact.weight == paper.weight
+
+    @pytest.mark.parametrize("builder", [jordan_wigner, bravyi_kitaev, parity_encoding])
+    def test_vacuum_baselines_satisfy_exact_clauses(self, builder):
+        """Pinning JW/BK/parity assignments must stay SAT: they genuinely
+        preserve the vacuum, so the exact clauses cannot exclude them."""
+        num_modes = 3
+        encoder = FermihedralEncoder(num_modes)
+        encoder.add_exact_vacuum_preservation()
+        for variable, value in encoder.encoding_assignment(builder(num_modes)).items():
+            encoder.formula.add_unit(variable if value else -variable)
+        assert solve_formula(encoder.formula).is_sat
+
+    def test_pair_without_vacuum_violates_exact_clauses(self):
+        """An X/Z pair (valid encoding, no vacuum) must be excluded."""
+        from repro.encodings import MajoranaEncoding
+        from repro.paulis import PauliString
+
+        encoding = MajoranaEncoding(
+            [PauliString.from_label("X"), PauliString.from_label("Z")],
+            validate=False,
+        )
+        encoder = FermihedralEncoder(1)
+        encoder.add_exact_vacuum_preservation()
+        for variable, value in encoder.encoding_assignment(encoding).items():
+            encoder.formula.add_unit(variable if value else -variable)
+        assert solve_formula(encoder.formula).is_unsat
+
+    def test_swapped_pair_order_violates_exact_clauses(self):
+        """(Y, X) pairing maps |0> to a†|0> instead: must be excluded."""
+        from repro.encodings import MajoranaEncoding
+        from repro.paulis import PauliString
+
+        encoding = MajoranaEncoding(
+            [PauliString.from_label("Y"), PauliString.from_label("X")],
+            validate=False,
+        )
+        encoder = FermihedralEncoder(1)
+        encoder.add_exact_vacuum_preservation()
+        for variable, value in encoder.encoding_assignment(encoding).items():
+            encoder.formula.add_unit(variable if value else -variable)
+        assert solve_formula(encoder.formula).is_unsat
+
+    def test_hamiltonian_dependent_exact_vacuum(self):
+        """H-dependent descent under exact vacuum yields true vacuum
+        preservation (the paper-mode witness can fail here)."""
+        from repro.fermion import hubbard_chain
+
+        hamiltonian = hubbard_chain(2, periodic=False)
+        config = _exact_config(budget=SolverBudget(time_budget_s=25))
+        result = descend(4, config=config, hamiltonian=hamiltonian)
+        report = verify_encoding(result.encoding)
+        assert report.vacuum_preservation

@@ -1,0 +1,85 @@
+"""Tests for the compiler pipeline facade."""
+
+import pytest
+
+from repro.core import (
+    FermihedralCompiler,
+    FermihedralConfig,
+    SolverBudget,
+    solve_full_sat,
+    solve_hamiltonian_independent,
+    solve_sat_annealing,
+)
+from repro.core.baselines import best_baseline, candidate_baselines
+from repro.encodings import bravyi_kitaev
+from repro.fermion import hubbard_chain
+
+
+@pytest.fixture(scope="module")
+def hubbard2():
+    return hubbard_chain(2, periodic=False)
+
+
+class TestPipeline:
+    def test_hamiltonian_independent(self, fast_config):
+        result = solve_hamiltonian_independent(2, fast_config)
+        assert result.weight == 6
+        assert result.method == "full-sat/independent"
+        assert result.verify().valid
+
+    def test_full_sat_beats_or_matches_bk(self, hubbard2):
+        config = FermihedralConfig(budget=SolverBudget(time_budget_s=25))
+        result = solve_full_sat(hubbard2, config)
+        assert result.weight <= bravyi_kitaev(4).hamiltonian_pauli_weight(hubbard2)
+        assert result.method == "full-sat/dependent"
+        assert result.verify().valid
+
+    def test_sat_annealing(self, hubbard2, fast_config):
+        result = solve_sat_annealing(hubbard2, fast_config, seed=5)
+        assert result.method == "sat+annealing"
+        assert result.annealing is not None
+        assert result.encoding.hamiltonian_pauli_weight(hubbard2) == result.weight
+
+    def test_compiler_facade_checks_modes(self, hubbard2, fast_config):
+        compiler = FermihedralCompiler(3, fast_config)
+        with pytest.raises(ValueError):
+            compiler.full_sat(hubbard2)
+        with pytest.raises(ValueError):
+            compiler.sat_with_annealing(hubbard2)
+
+    def test_compiler_rejects_bad_modes(self):
+        with pytest.raises(ValueError):
+            FermihedralCompiler(0)
+
+    def test_wo_alg_method_label(self, fast_noalg_config):
+        result = solve_hamiltonian_independent(2, fast_noalg_config)
+        assert result.method == "sat-wo-alg/independent"
+        assert result.weight == 6
+
+
+class TestBaselineSelection:
+    def test_candidates_exclude_ternary_tree_when_vacuum_required(self):
+        names = [e.name for e in candidate_baselines(4, require_vacuum=True)]
+        assert "ternary-tree" not in names
+        names = [e.name for e in candidate_baselines(4, require_vacuum=False)]
+        assert "ternary-tree" in names
+
+    def test_best_baseline_independent_is_lightest(self):
+        config = FermihedralConfig(vacuum_preservation=False)
+        chosen = best_baseline(8, config)
+        candidates = candidate_baselines(8, require_vacuum=False)
+        assert chosen.total_majorana_weight == min(
+            c.total_majorana_weight for c in candidates
+        )
+
+    def test_best_baseline_dependent_uses_annealed_weight(self, hubbard2):
+        config = FermihedralConfig()
+        chosen = best_baseline(4, config, hubbard2)
+        assert chosen.hamiltonian_pauli_weight(hubbard2) <= bravyi_kitaev(
+            4
+        ).hamiltonian_pauli_weight(hubbard2)
+
+    def test_best_baseline_respects_vacuum(self, hubbard2):
+        config = FermihedralConfig(vacuum_preservation=True)
+        chosen = best_baseline(4, config, hubbard2)
+        assert chosen.preserves_vacuum()

@@ -1,0 +1,138 @@
+"""Tests for the MajoranaEncoding container."""
+
+import numpy as np
+import pytest
+
+from repro.encodings import EncodingError, MajoranaEncoding, jordan_wigner
+from repro.fermion import FermionOperator, MajoranaPolynomial, h2_hamiltonian
+from repro.paulis import PauliString, pauli_sum_matrix
+
+
+def _strings(*labels):
+    return [PauliString.from_label(label) for label in labels]
+
+
+class TestValidation:
+    def test_accepts_valid_family(self):
+        MajoranaEncoding(_strings("IX", "IY", "XZ", "YZ"))
+
+    def test_rejects_odd_count(self):
+        with pytest.raises(EncodingError):
+            MajoranaEncoding(_strings("X", "Y", "Z"))
+
+    def test_rejects_commuting_pair(self):
+        with pytest.raises(EncodingError):
+            MajoranaEncoding(_strings("XX", "YY", "XZ", "YZ"))
+
+    def test_rejects_identity_string(self):
+        with pytest.raises(EncodingError):
+            MajoranaEncoding(_strings("II", "XY", "YX", "ZZ"))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(EncodingError):
+            MajoranaEncoding([PauliString.from_label("X"), PauliString.from_label("XY")])
+
+    def test_rejects_empty(self):
+        with pytest.raises(EncodingError):
+            MajoranaEncoding([])
+
+    def test_validate_false_skips_checks(self):
+        encoding = MajoranaEncoding(_strings("XX", "YY"), validate=False)
+        assert encoding.num_modes == 1
+
+
+class TestOperatorImages:
+    def test_annihilation_composition(self):
+        encoding = jordan_wigner(2)
+        a0 = encoding.annihilation(0)
+        assert a0.coefficient(PauliString.from_label("IX")) == 0.5
+        assert a0.coefficient(PauliString.from_label("IY")) == 0.5j
+
+    def test_creation_is_conjugate(self):
+        encoding = jordan_wigner(2)
+        adag = encoding.creation(1)
+        assert adag.coefficient(PauliString.from_label("YZ")) == -0.5j
+
+    def test_monomial_image_caches(self):
+        encoding = jordan_wigner(2)
+        first = encoding.monomial_image((0, 1))
+        second = encoding.monomial_image((0, 1))
+        assert first == second
+
+    def test_monomial_image_phase_correct(self):
+        encoding = jordan_wigner(1)  # m_0 = X, m_1 = Y
+        string, phase = encoding.monomial_image((0, 1))
+        assert string.label() == "Z"
+        assert phase == 1j  # X·Y = iZ
+
+
+class TestEncode:
+    def test_encode_fermionic_hamiltonian_includes_constant(self):
+        h2 = h2_hamiltonian()
+        encoded = jordan_wigner(4).encode(h2)
+        identity_coefficient = encoded.coefficient(PauliString.identity(4))
+        assert identity_coefficient.real != 0.0
+
+    def test_encode_fermion_operator(self):
+        encoded = jordan_wigner(2).encode(FermionOperator.number(0))
+        # n_0 = (I - Z_0)/2 under JW
+        assert encoded.coefficient(PauliString.identity(2)) == pytest.approx(0.5)
+        assert encoded.coefficient(PauliString.from_label("IZ")) == pytest.approx(-0.5)
+
+    def test_encode_majorana_polynomial(self):
+        polynomial = MajoranaPolynomial({(0,): 2.0})
+        encoded = jordan_wigner(2).encode(polynomial)
+        assert encoded.coefficient(PauliString.from_label("IX")) == 2.0
+
+    def test_encode_rejects_unknown_type(self):
+        with pytest.raises(TypeError):
+            jordan_wigner(2).encode("not a hamiltonian")
+
+    def test_encode_rejects_out_of_range_majorana(self):
+        polynomial = MajoranaPolynomial({(9,): 1.0})
+        with pytest.raises(EncodingError):
+            jordan_wigner(2).encode(polynomial)
+
+
+class TestWeights:
+    def test_total_majorana_weight(self):
+        assert jordan_wigner(2).total_majorana_weight == 6
+
+    def test_hamiltonian_pauli_weight_excludes_identity(self):
+        encoding = jordan_wigner(2)
+        weight = encoding.hamiltonian_pauli_weight(FermionOperator.number(0))
+        assert weight == 1  # only the Z_0 term counts
+
+
+class TestModeReordering:
+    def test_identity_order_is_noop(self):
+        encoding = jordan_wigner(3)
+        same = encoding.with_mode_order([0, 1, 2])
+        assert [s.label() for s in same.strings] == [s.label() for s in encoding.strings]
+
+    def test_swap_modes_moves_pairs_together(self):
+        encoding = jordan_wigner(2)
+        swapped = encoding.swap_modes(0, 1)
+        assert swapped.strings[0] == encoding.strings[2]
+        assert swapped.strings[1] == encoding.strings[3]
+        assert swapped.strings[2] == encoding.strings[0]
+
+    def test_swap_preserves_validity_and_vacuum(self):
+        encoding = jordan_wigner(3).swap_modes(0, 2)
+        encoding.validate()
+        assert encoding.preserves_vacuum()
+
+    def test_swap_preserves_spectrum(self):
+        """Re-pairing plus relabeled Hamiltonian gives the same physics:
+        encode the swapped Hamiltonian with the swapped encoding."""
+        h2 = h2_hamiltonian()
+        encoding = jordan_wigner(4)
+        swapped = encoding.swap_modes(1, 3)
+        original = np.linalg.eigvalsh(pauli_sum_matrix(encoding.encode(h2)))
+        permuted = np.linalg.eigvalsh(pauli_sum_matrix(swapped.encode(h2)))
+        # Same multiset of eigenvalues: mode relabeling is a unitary.
+        assert np.allclose(original, permuted, atol=1e-9)
+
+    def test_invalid_permutation_rejected(self):
+        with pytest.raises(EncodingError):
+            jordan_wigner(2).with_mode_order([0, 0])

@@ -1,0 +1,97 @@
+"""Shared contract tests for all four baseline encodings.
+
+Every constructive encoding must satisfy the Section-3.1 constraints; the
+vacuum property additionally holds for JW/BK/parity.  The CAR check runs
+the full loop through qubit space: ``{a_i, a†_j} = δ_ij`` etc.
+"""
+
+import numpy as np
+import pytest
+
+from repro.encodings import bravyi_kitaev, jordan_wigner, parity_encoding, ternary_tree
+from repro.paulis import pairwise_anticommuting, are_algebraically_independent, pauli_sum_matrix
+
+ALL_BUILDERS = [jordan_wigner, bravyi_kitaev, parity_encoding, ternary_tree]
+VACUUM_BUILDERS = [jordan_wigner, bravyi_kitaev, parity_encoding]
+
+
+@pytest.mark.parametrize("builder", ALL_BUILDERS)
+@pytest.mark.parametrize("num_modes", [1, 2, 3, 4, 5, 7, 10, 16])
+class TestEncodingContract:
+    def test_string_count_and_length(self, builder, num_modes):
+        encoding = builder(num_modes)
+        assert len(encoding.strings) == 2 * num_modes
+        assert all(s.num_qubits == num_modes for s in encoding.strings)
+
+    def test_anticommutativity(self, builder, num_modes):
+        assert pairwise_anticommuting(builder(num_modes).strings)
+
+    def test_algebraic_independence(self, builder, num_modes):
+        assert are_algebraically_independent(builder(num_modes).strings)
+
+
+@pytest.mark.parametrize("builder", VACUUM_BUILDERS)
+@pytest.mark.parametrize("num_modes", [1, 2, 3, 4, 6, 9])
+def test_vacuum_preservation(builder, num_modes):
+    assert builder(num_modes).preserves_vacuum()
+
+
+@pytest.mark.parametrize("builder", ALL_BUILDERS)
+@pytest.mark.parametrize("num_modes", [1, 2, 3])
+def test_canonical_anticommutation_relations(builder, num_modes):
+    """{a_i, a†_j} = δ_ij, {a_i, a_j} = 0 in qubit space."""
+    encoding = builder(num_modes)
+    dimension = 2**num_modes
+    for i in range(num_modes):
+        for j in range(num_modes):
+            a_i = encoding.annihilation(i)
+            adag_j = encoding.creation(j)
+            mixed = a_i * adag_j + adag_j * a_i
+            expected = np.eye(dimension) if i == j else np.zeros((dimension, dimension))
+            assert np.allclose(pauli_sum_matrix(mixed), expected), (builder, i, j)
+            a_j = encoding.annihilation(j)
+            same = a_i * a_j + a_j * a_i
+            assert np.allclose(pauli_sum_matrix(same), 0), (builder, i, j)
+
+
+@pytest.mark.parametrize("builder", ALL_BUILDERS)
+def test_rejects_nonpositive_modes(builder):
+    with pytest.raises(ValueError):
+        builder(0)
+
+
+class TestKnownForms:
+    def test_jw_matches_paper_equation_2(self):
+        labels = [s.label() for s in jordan_wigner(2).strings]
+        assert labels == ["IX", "IY", "XZ", "YZ"]
+
+    def test_jw_weight_grows_linearly(self):
+        weights = [jordan_wigner(n).total_majorana_weight for n in (2, 4, 8)]
+        # sum over j of 2(j+1) = N(N+1) per X/Y pair structure
+        assert weights == [n * (n + 1) for n in (2, 4, 8)]
+
+    def test_bk_weight_is_logarithmic(self):
+        """BK average per-Majorana weight must be O(log N): at N=32 it is
+        far below JW's linear growth."""
+        bk = bravyi_kitaev(32).total_majorana_weight / 64
+        jw = jordan_wigner(32).total_majorana_weight / 64
+        assert bk < jw / 2
+
+    def test_single_mode_all_equal(self):
+        for builder in ALL_BUILDERS:
+            assert [s.label() for s in builder(1).strings] == ["X", "Y"]
+
+    def test_ternary_tree_weight_near_log3(self):
+        """Ternary-tree strings have weight ceil(log3(2N+1)) each."""
+        import math
+
+        for num_modes in (3, 4, 13):
+            encoding = ternary_tree(num_modes)
+            bound = math.ceil(math.log(2 * num_modes + 1, 3))
+            assert all(s.weight <= bound for s in encoding.strings)
+
+    def test_ternary_tree_beats_bk_at_scale(self):
+        assert (
+            ternary_tree(16).total_majorana_weight
+            < bravyi_kitaev(16).total_majorana_weight
+        )

@@ -1,0 +1,95 @@
+"""Tests for the Fenwick tree index sets behind Bravyi-Kitaev."""
+
+import pytest
+
+from repro.encodings import FenwickTree
+
+
+class TestStructure:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            FenwickTree(0)
+
+    def test_root_is_last_mode(self):
+        for n in (1, 2, 3, 4, 7, 8):
+            tree = FenwickTree(n)
+            assert tree.parent[n - 1] is None
+
+    def test_known_tree_n4(self):
+        tree = FenwickTree(4)
+        assert tree.parent == [1, 3, 3, None]
+        assert tree.children[3] == [1, 2]
+        assert tree.children[1] == [0]
+
+    def test_blocks_are_contiguous_and_end_at_node(self):
+        """Node k stores a contiguous block [lo, k]; blocks of siblings tile."""
+        for n in (1, 2, 3, 5, 8, 13, 16):
+            tree = FenwickTree(n)
+            for node in range(n):
+                low, high = tree.block(node)
+                assert 0 <= low <= high == node
+
+    def test_block_sizes_partition_via_children(self):
+        """Block(node) = {node} ∪ disjoint union of children blocks."""
+        for n in (4, 7, 8, 11):
+            tree = FenwickTree(n)
+            for node in range(n):
+                low, high = tree.block(node)
+                covered = {node}
+                for child in tree.children[node]:
+                    c_low, c_high = tree.block(child)
+                    covered.update(range(c_low, c_high + 1))
+                assert covered == set(range(low, high + 1))
+
+
+class TestIndexSets:
+    def test_update_set_n4(self):
+        tree = FenwickTree(4)
+        assert tree.update_set(0) == [1, 3]
+        assert tree.update_set(1) == [3]
+        assert tree.update_set(2) == [3]
+        assert tree.update_set(3) == []
+
+    def test_parity_set_n4(self):
+        tree = FenwickTree(4)
+        assert tree.parity_set(0) == []
+        assert tree.parity_set(1) == [0]
+        assert tree.parity_set(2) == [1]
+        assert tree.parity_set(3) == [1, 2]
+
+    def test_parity_set_tiles_prefix(self):
+        """The blocks of P(j) must tile [0, j-1] exactly, disjointly."""
+        for n in (2, 3, 5, 8, 12, 16):
+            tree = FenwickTree(n)
+            for mode in range(n):
+                covered: set[int] = set()
+                for node in tree.parity_set(mode):
+                    low, high = tree.block(node)
+                    block = set(range(low, high + 1))
+                    assert not (covered & block)
+                    covered |= block
+                assert covered == set(range(mode))
+
+    def test_flip_set_subset_of_parity_set(self):
+        for n in (2, 4, 7, 9, 16):
+            tree = FenwickTree(n)
+            for mode in range(n):
+                assert set(tree.flip_set(mode)) <= set(tree.parity_set(mode))
+
+    def test_remainder_set_is_difference(self):
+        for n in (4, 8, 11):
+            tree = FenwickTree(n)
+            for mode in range(n):
+                expected = sorted(
+                    set(tree.parity_set(mode)) - set(tree.flip_set(mode))
+                )
+                assert tree.remainder_set(mode) == expected
+
+    def test_update_set_contains_mode_in_block(self):
+        """Every ancestor's block contains the mode (that is why it updates)."""
+        for n in (3, 6, 10):
+            tree = FenwickTree(n)
+            for mode in range(n):
+                for ancestor in tree.update_set(mode):
+                    low, high = tree.block(ancestor)
+                    assert low <= mode <= high

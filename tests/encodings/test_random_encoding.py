@@ -1,0 +1,90 @@
+"""Tests for Clifford-scrambled random encodings — and property tests that
+use them as a generator of arbitrary valid encodings."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import verify_encoding
+from repro.encodings import bravyi_kitaev, random_encoding
+from repro.fermion import FermionOperator, hubbard_chain
+from repro.paulis import pauli_sum_matrix
+
+
+class TestGenerator:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 5), st.integers(0, 10_000))
+    def test_always_valid(self, num_modes, seed):
+        encoding = random_encoding(num_modes, seed=seed)
+        report = verify_encoding(encoding)
+        assert report.anticommutativity
+        assert report.algebraic_independence
+
+    def test_seed_reproducible(self):
+        a = random_encoding(3, seed=9)
+        b = random_encoding(3, seed=9)
+        assert [s.label() for s in a.strings] == [s.label() for s in b.strings]
+
+    def test_seeds_differ(self):
+        a = random_encoding(3, seed=1)
+        b = random_encoding(3, seed=2)
+        assert [s.label() for s in a.strings] != [s.label() for s in b.strings]
+
+    def test_custom_base(self):
+        encoding = random_encoding(3, seed=5, base=bravyi_kitaev(3))
+        assert verify_encoding(encoding).valid
+
+    def test_base_mode_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            random_encoding(3, base=bravyi_kitaev(4))
+
+    def test_zero_depth_is_base(self):
+        from repro.encodings import jordan_wigner
+
+        encoding = random_encoding(2, seed=3, depth=0)
+        assert [s.label() for s in encoding.strings] == [
+            s.label() for s in jordan_wigner(2).strings
+        ]
+
+
+class TestScrambledEncodingsAsOracle:
+    """Any valid encoding must satisfy these — scrambles are adversarial
+    instances the constructive baselines would never produce."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 3000))
+    def test_spectrum_invariance(self, seed):
+        """Encoded Hamiltonian spectra are encoding-independent."""
+        hamiltonian = hubbard_chain(2, periodic=False)
+        reference = np.linalg.eigvalsh(
+            pauli_sum_matrix(bravyi_kitaev(4).encode(hamiltonian))
+        )
+        scrambled = random_encoding(4, seed=seed)
+        candidate = np.linalg.eigvalsh(
+            pauli_sum_matrix(scrambled.encode(hamiltonian))
+        )
+        assert np.allclose(reference, candidate, atol=1e-8)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 3000))
+    def test_cars_hold(self, seed):
+        """{a_i, a†_j} = δ_ij for scrambled encodings."""
+        encoding = random_encoding(2, seed=seed)
+        for i in range(2):
+            for j in range(2):
+                anticommutator = (
+                    encoding.annihilation(i) * encoding.creation(j)
+                    + encoding.creation(j) * encoding.annihilation(i)
+                )
+                expected = np.eye(4) if i == j else np.zeros((4, 4))
+                assert np.allclose(pauli_sum_matrix(anticommutator), expected)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 3000))
+    def test_number_operator_spectrum(self, seed):
+        """n_0 has eigenvalues {0, 1} under any valid encoding."""
+        encoding = random_encoding(2, seed=seed)
+        matrix = pauli_sum_matrix(encoding.encode(FermionOperator.number(0)))
+        eigenvalues = np.sort(np.linalg.eigvalsh(matrix))
+        assert np.allclose(eigenvalues, [0, 0, 1, 1], atol=1e-9)

@@ -1,0 +1,57 @@
+"""Property tests for encoding serialization over arbitrary valid encodings."""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encodings import random_encoding
+from repro.encodings.serialization import (
+    encoding_from_dict,
+    encoding_to_dict,
+    load_encoding,
+    save_encoding,
+)
+from repro.fermion import FermionOperator
+
+
+class TestRoundTripProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 5), st.integers(0, 10_000))
+    def test_dict_round_trip_preserves_strings(self, num_modes, seed):
+        encoding = random_encoding(num_modes, seed=seed)
+        rebuilt = encoding_from_dict(encoding_to_dict(encoding))
+        assert [s.label() for s in rebuilt.strings] == [
+            s.label() for s in encoding.strings
+        ]
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 4), st.integers(0, 5000))
+    def test_round_trip_preserves_operator_images(self, num_modes, seed):
+        """Serialization must preserve semantics, not only labels: the
+        encoded number operator must be identical."""
+        encoding = random_encoding(num_modes, seed=seed)
+        rebuilt = encoding_from_dict(encoding_to_dict(encoding))
+        original = encoding.encode(FermionOperator.number(0))
+        recovered = rebuilt.encode(FermionOperator.number(0))
+        assert original.approx_equal(recovered)
+
+    @settings(max_examples=15, deadline=None)
+    @given(num_modes=st.integers(1, 4), seed=st.integers(0, 5000))
+    def test_file_round_trip(self, tmp_path_factory, num_modes, seed):
+        encoding = random_encoding(num_modes, seed=seed)
+        path = tmp_path_factory.mktemp("enc") / "encoding.json"
+        save_encoding(encoding, path)
+        loaded = load_encoding(path)
+        assert [s.label() for s in loaded.strings] == [
+            s.label() for s in encoding.strings
+        ]
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 5), st.integers(0, 10_000))
+    def test_json_is_stable_text(self, num_modes, seed):
+        """The JSON form is deterministic — byte-identical across dumps."""
+        encoding = random_encoding(num_modes, seed=seed)
+        first = json.dumps(encoding_to_dict(encoding), indent=2)
+        second = json.dumps(encoding_to_dict(encoding), indent=2)
+        assert first == second

@@ -1,0 +1,157 @@
+"""Tests for the Hamiltonian container and the three benchmark families."""
+
+import numpy as np
+import pytest
+
+from repro.encodings import bravyi_kitaev, jordan_wigner
+from repro.fermion import (
+    FermionOperator,
+    FermionicHamiltonian,
+    h2_hamiltonian,
+    hubbard_chain,
+    hubbard_lattice,
+    molecular_hamiltonian,
+    random_molecular_hamiltonian,
+    syk_hamiltonian,
+)
+from repro.fermion.molecules import H2_NUCLEAR_REPULSION
+from repro.paulis import pauli_sum_matrix
+from repro.simulator import diagonalize
+
+
+class TestContainer:
+    def test_from_fermion_operator(self):
+        hamiltonian = FermionicHamiltonian.from_fermion_operator(
+            "test", FermionOperator.number(1)
+        )
+        assert hamiltonian.num_modes == 2
+        assert hamiltonian.monomials == [(2, 3)]
+
+    def test_mode_range_validated(self):
+        with pytest.raises(ValueError):
+            FermionicHamiltonian.from_fermion_operator(
+                "bad", FermionOperator.number(3), num_modes=2
+            )
+
+    def test_positive_modes_required(self):
+        from repro.fermion import MajoranaPolynomial
+
+        with pytest.raises(ValueError):
+            FermionicHamiltonian.from_majorana("bad", MajoranaPolynomial(), num_modes=0)
+
+
+class TestH2:
+    def test_structure(self):
+        h2 = h2_hamiltonian()
+        assert h2.num_modes == 4
+        assert h2.constant == pytest.approx(H2_NUCLEAR_REPULSION)
+        assert h2.fermionic is not None
+
+    def test_fci_ground_energy(self):
+        """The known FCI energy of H2/STO-3G at R=0.7414 is ~-1.1373 Ha."""
+        h2 = h2_hamiltonian()
+        spectrum = diagonalize(jordan_wigner(4).encode(h2))
+        assert spectrum.ground_energy == pytest.approx(-1.1373, abs=2e-3)
+
+    def test_energy_encoding_invariant(self):
+        h2 = h2_hamiltonian()
+        jw = np.linalg.eigvalsh(pauli_sum_matrix(jordan_wigner(4).encode(h2)))
+        bk = np.linalg.eigvalsh(pauli_sum_matrix(bravyi_kitaev(4).encode(h2)))
+        assert np.allclose(jw, bk, atol=1e-9)
+
+    def test_hermitian(self):
+        assert jordan_wigner(4).encode(h2_hamiltonian()).is_hermitian()
+
+
+class TestHubbard:
+    def test_chain_mode_count(self):
+        assert hubbard_chain(3).num_modes == 6
+
+    def test_lattice_reduces_to_chain(self):
+        lattice = hubbard_lattice(3, 1)
+        chain = hubbard_chain(3)
+        assert lattice.num_modes == chain.num_modes
+        assert sorted(lattice.monomials) == sorted(chain.monomials)
+
+    def test_2x2_has_eight_modes(self):
+        assert hubbard_lattice(2, 2).num_modes == 8
+
+    def test_chain_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            hubbard_chain(1)
+
+    def test_bad_lattice_rejected(self):
+        with pytest.raises(ValueError):
+            hubbard_lattice(0, 2)
+
+    def test_hermitian_after_encoding(self):
+        hamiltonian = hubbard_chain(2, periodic=False)
+        assert jordan_wigner(4).encode(hamiltonian).is_hermitian()
+
+    def test_open_vs_periodic_differ(self):
+        periodic = hubbard_chain(3, periodic=True)
+        open_chain = hubbard_chain(3, periodic=False)
+        assert len(periodic.monomials) > len(open_chain.monomials)
+
+    def test_half_filling_particle_hole_symmetric_spectrum(self):
+        """At U=0 the single-particle hopping spectrum is symmetric."""
+        hamiltonian = hubbard_chain(2, interaction=0.0, periodic=False)
+        spectrum = diagonalize(jordan_wigner(4).encode(hamiltonian))
+        energies = np.array(spectrum.energies)
+        assert np.allclose(np.sort(energies), np.sort(-energies[::-1]), atol=1e-9)
+
+
+class TestSyk:
+    def test_mode_count_and_monomials(self):
+        from math import comb
+
+        syk = syk_hamiltonian(3, seed=5)
+        assert syk.num_modes == 3
+        assert len(syk.monomials) == comb(6, 4)
+        assert all(len(monomial) == 4 for monomial in syk.monomials)
+
+    def test_seed_reproducible(self):
+        a = syk_hamiltonian(3, seed=1)
+        b = syk_hamiltonian(3, seed=1)
+        assert {m: c for m, c in a.majorana.items()} == {m: c for m, c in b.majorana.items()}
+
+    def test_different_seeds_differ(self):
+        a = syk_hamiltonian(3, seed=1)
+        b = syk_hamiltonian(3, seed=2)
+        assert {m: c for m, c in a.majorana.items()} != {m: c for m, c in b.majorana.items()}
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            syk_hamiltonian(1)
+
+    def test_encoded_hermitian(self):
+        """Majorana quadruples with real couplings encode to hermitian sums."""
+        syk = syk_hamiltonian(3)
+        assert jordan_wigner(3).encode(syk).is_hermitian()
+
+
+class TestSyntheticMolecular:
+    def test_requires_even_modes(self):
+        with pytest.raises(ValueError):
+            random_molecular_hamiltonian(5)
+
+    def test_structure_and_hermiticity(self):
+        hamiltonian = random_molecular_hamiltonian(4, seed=3)
+        assert hamiltonian.num_modes == 4
+        encoded = jordan_wigner(4).encode(hamiltonian)
+        assert encoded.is_hermitian(tolerance=1e-8)
+
+    def test_spin_symmetric_interactions(self):
+        """Both spin sectors receive the same one-body term structure."""
+        hamiltonian = random_molecular_hamiltonian(4, seed=3)
+        operator = hamiltonian.fermionic
+        up = operator.coefficient(((0, True), (0, False)))
+        down = operator.coefficient(((1, True), (1, False)))
+        assert up == pytest.approx(down)
+
+    def test_molecular_one_body_only(self):
+        one_body = np.array([[1.0, 0.2], [0.2, -0.5]])
+        hamiltonian = molecular_hamiltonian(one_body, {}, name="toy")
+        encoded = jordan_wigner(4).encode(hamiltonian)
+        assert encoded.is_hermitian()
+        assert hamiltonian.num_modes == 4

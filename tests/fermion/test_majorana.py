@@ -1,0 +1,134 @@
+"""Tests for Majorana algebra and the fermion-to-Majorana expansion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encodings import jordan_wigner
+from repro.fermion import (
+    FermionOperator,
+    MajoranaPolynomial,
+    canonicalize_indices,
+    fermion_to_majorana,
+    hamiltonian_monomials,
+)
+from repro.paulis import pauli_sum_matrix
+
+
+class TestCanonicalize:
+    def test_sorted_input_unchanged(self):
+        assert canonicalize_indices((0, 1, 2)) == ((0, 1, 2), 1)
+
+    def test_single_swap_negates(self):
+        assert canonicalize_indices((1, 0)) == ((0, 1), -1)
+
+    def test_square_is_identity(self):
+        assert canonicalize_indices((3, 3)) == ((), 1)
+
+    def test_m1_m2_m1_reduces(self):
+        # m1 m2 m1 = -m2
+        assert canonicalize_indices((1, 2, 1)) == ((2,), -1)
+
+    def test_empty(self):
+        assert canonicalize_indices(()) == ((), 1)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.integers(0, 5), max_size=8))
+    def test_canonical_form_is_sorted_and_distinct(self, indices):
+        monomial, sign = canonicalize_indices(indices)
+        assert list(monomial) == sorted(set(monomial))
+        assert sign in (-1, 1)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(0, 5), max_size=6), st.lists(st.integers(0, 5), max_size=6))
+    def test_concatenation_is_multiplicative(self, left, right):
+        # canonicalize(a + b) == canonicalize(canonical(a) + canonical(b)) with signs
+        mono_l, sign_l = canonicalize_indices(left)
+        mono_r, sign_r = canonicalize_indices(right)
+        direct, sign_direct = canonicalize_indices(tuple(left) + tuple(right))
+        via, sign_via = canonicalize_indices(mono_l + mono_r)
+        assert direct == via
+        assert sign_direct == sign_l * sign_r * sign_via
+
+
+class TestPolynomial:
+    def test_add_product_canonicalizes(self):
+        polynomial = MajoranaPolynomial()
+        polynomial.add_product((1, 0), 1.0)
+        assert polynomial.coefficient((0, 1)) == -1.0
+
+    def test_cancellation(self):
+        polynomial = MajoranaPolynomial()
+        polynomial.add_product((0, 1), 1.0)
+        polynomial.add_product((1, 0), 1.0)  # equals -(0,1)
+        assert polynomial.is_zero
+
+    def test_multiplication(self):
+        a = MajoranaPolynomial({(0,): 1.0})
+        b = MajoranaPolynomial({(1,): 1.0})
+        product = a * b
+        assert product.coefficient((0, 1)) == 1.0
+
+    def test_square_of_majorana_is_one(self):
+        a = MajoranaPolynomial({(2,): 1.0})
+        assert (a * a).coefficient(()) == 1.0
+
+    def test_scalar_multiplication(self):
+        a = MajoranaPolynomial({(0, 1): 2.0}) * 0.5
+        assert a.coefficient((0, 1)) == 1.0
+
+    def test_support_monomials_excludes_identity(self):
+        polynomial = MajoranaPolynomial({(): 5.0, (0, 1): 1.0})
+        assert polynomial.support_monomials() == [(0, 1)]
+
+    def test_max_index(self):
+        assert MajoranaPolynomial({(0, 7): 1.0}).max_index == 7
+        assert MajoranaPolynomial().max_index == -1
+
+
+class TestFermionToMajorana:
+    def test_annihilation_expansion(self):
+        # a_0 = (m_0 + i m_1) / 2
+        polynomial = fermion_to_majorana(FermionOperator.annihilation(0))
+        assert polynomial.coefficient((0,)) == 0.5
+        assert polynomial.coefficient((1,)) == 0.5j
+
+    def test_creation_expansion(self):
+        polynomial = fermion_to_majorana(FermionOperator.creation(0))
+        assert polynomial.coefficient((0,)) == 0.5
+        assert polynomial.coefficient((1,)) == -0.5j
+
+    def test_number_operator_expansion(self):
+        # a†_0 a_0 = (1 - i m_0 m_1 ... ) check: (m0 - i m1)(m0 + i m1)/4
+        polynomial = fermion_to_majorana(FermionOperator.number(0))
+        assert polynomial.coefficient(()) == pytest.approx(0.5)
+        assert polynomial.coefficient((0, 1)) == pytest.approx(0.5j)
+
+    def test_matches_jordan_wigner_matrices(self):
+        """Full consistency loop: fermion op -> majorana -> JW Pauli -> matrix
+        must equal fermion op -> (JW a / a† sums) -> matrix."""
+        encoding = jordan_wigner(2)
+        operator = (
+            FermionOperator.creation(0) * FermionOperator.annihilation(1)
+            + FermionOperator.number(1) * 0.5
+        )
+        via_majorana = encoding.encode(operator)
+        direct = (
+            encoding.creation(0) * encoding.annihilation(1)
+            + encoding.creation(1) * encoding.annihilation(1) * 0.5
+        )
+        assert np.allclose(pauli_sum_matrix(via_majorana), pauli_sum_matrix(direct))
+
+    def test_hamiltonian_monomials_distinct(self):
+        operator = FermionOperator.number(0) + FermionOperator.number(1)
+        monomials = hamiltonian_monomials(operator)
+        assert sorted(monomials) == [(0, 1), (2, 3)]
+
+    def test_hermitian_hopping_cancels_symmetric_monomials(self):
+        """a†_0 a_1 + a†_1 a_0 expands to only the cross terms m_0 m_3 and
+        m_1 m_2 — the m_0 m_2 and m_1 m_3 products cancel by anticommutation."""
+        hop = FermionOperator.from_monomial(((0, True), (1, False)), 1.0)
+        hermitian = hop + hop.hermitian_conjugate()
+        monomials = hamiltonian_monomials(hermitian)
+        assert sorted(monomials) == [(0, 3), (1, 2)]

@@ -1,0 +1,120 @@
+"""Tests for second-quantized fermionic operators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fermion import FermionOperator
+
+
+def _random_operator(draw, max_mode=3, max_factors=4, max_terms=3):
+    terms = {}
+    for _ in range(draw(st.integers(0, max_terms))):
+        length = draw(st.integers(0, max_factors))
+        monomial = tuple(
+            (draw(st.integers(0, max_mode)), draw(st.booleans())) for _ in range(length)
+        )
+        terms[monomial] = complex(draw(st.integers(-3, 3)), draw(st.integers(-3, 3)))
+    return FermionOperator(terms)
+
+
+fermion_operators = st.composite(_random_operator)()
+
+
+class TestConstruction:
+    def test_creation_annihilation(self):
+        creation = FermionOperator.creation(2)
+        assert list(creation.items()) == [(((2, True),), 1.0)]
+        annihilation = FermionOperator.annihilation(0)
+        assert list(annihilation.items()) == [(((0, False),), 1.0)]
+
+    def test_number_operator(self):
+        number = FermionOperator.number(1)
+        assert number.coefficient(((1, True), (1, False))) == 1.0
+
+    def test_zero_and_identity(self):
+        assert FermionOperator.zero().is_zero
+        assert FermionOperator.identity(2.0).coefficient(()) == 2.0
+
+    def test_num_modes(self):
+        operator = FermionOperator.creation(4) * FermionOperator.annihilation(1)
+        assert operator.num_modes == 5
+        assert FermionOperator.zero().num_modes == 0
+
+
+class TestAlgebra:
+    def test_multiplication_concatenates(self):
+        product = FermionOperator.creation(0) * FermionOperator.annihilation(1)
+        assert product.coefficient(((0, True), (1, False))) == 1.0
+
+    def test_addition_combines(self):
+        total = FermionOperator.creation(0) + FermionOperator.creation(0)
+        assert total.coefficient(((0, True),)) == 2.0
+
+    def test_scalar_multiplication(self):
+        scaled = 2.5 * FermionOperator.creation(1)
+        assert scaled.coefficient(((1, True),)) == 2.5
+
+    def test_subtraction_cancels(self):
+        assert (FermionOperator.creation(0) - FermionOperator.creation(0)).is_zero
+
+    def test_hermitian_conjugate_reverses_and_flips(self):
+        operator = FermionOperator.from_monomial(((0, True), (1, False)), 2j)
+        conjugate = operator.hermitian_conjugate()
+        assert conjugate.coefficient(((1, True), (0, False))) == -2j
+
+    def test_number_operator_is_hermitian(self):
+        assert FermionOperator.number(0).is_hermitian()
+
+    def test_hopping_term_hermitian(self):
+        hop = FermionOperator.from_monomial(((0, True), (1, False)), 1.0)
+        assert (hop + hop.hermitian_conjugate()).is_hermitian()
+
+
+class TestNormalOrdering:
+    def test_car_same_mode(self):
+        # a_0 a†_0 = 1 - a†_0 a_0
+        operator = FermionOperator.annihilation(0) * FermionOperator.creation(0)
+        ordered = operator.normal_ordered()
+        assert ordered.coefficient(()) == 1.0
+        assert ordered.coefficient(((0, True), (0, False))) == -1.0
+
+    def test_car_distinct_modes_anticommute(self):
+        # a_0 a†_1 = -a†_1 a_0
+        operator = FermionOperator.annihilation(0) * FermionOperator.creation(1)
+        ordered = operator.normal_ordered()
+        assert ordered.coefficient(((1, True), (0, False))) == -1.0
+        assert len(ordered) == 1
+
+    def test_nilpotency(self):
+        squared = FermionOperator.creation(0) * FermionOperator.creation(0)
+        assert squared.normal_ordered().is_zero
+
+    def test_annihilation_ordering_descending(self):
+        operator = FermionOperator.annihilation(0) * FermionOperator.annihilation(1)
+        ordered = operator.normal_ordered()
+        assert ordered.coefficient(((1, False), (0, False))) == -1.0
+
+    def test_already_ordered_fixed_point(self):
+        operator = FermionOperator.from_monomial(((1, True), (0, True), (1, False)), 3.0)
+        once = operator.normal_ordered()
+        twice = once.normal_ordered()
+        assert list(sorted(once.items())) == list(sorted(twice.items()))
+
+    @settings(max_examples=60, deadline=None)
+    @given(fermion_operators)
+    def test_normal_ordering_idempotent(self, operator):
+        once = operator.normal_ordered()
+        twice = once.normal_ordered()
+        keys = set(dict(once.items())) | set(dict(twice.items()))
+        for key in keys:
+            assert once.coefficient(key) == pytest.approx(twice.coefficient(key))
+
+    @settings(max_examples=40, deadline=None)
+    @given(fermion_operators, fermion_operators)
+    def test_normal_ordering_respects_addition(self, a, b):
+        left = (a + b).normal_ordered()
+        right = a.normal_ordered() + b.normal_ordered()
+        keys = set(dict(left.items())) | set(dict(right.items()))
+        for key in keys:
+            assert left.coefficient(key) == pytest.approx(right.coefficient(key))

@@ -1,0 +1,59 @@
+"""Tests for the spinless t-V model."""
+
+import numpy as np
+import pytest
+
+from repro.encodings import bravyi_kitaev, jordan_wigner
+from repro.fermion import tv_chain, tv_model_from_graph
+from repro.paulis import pauli_sum_matrix
+from repro.simulator import diagonalize
+
+
+class TestTvModel:
+    def test_one_mode_per_site(self):
+        assert tv_chain(4).num_modes == 4
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            tv_chain(1)
+
+    def test_hermitian_after_encoding(self):
+        encoded = jordan_wigner(4).encode(tv_chain(4))
+        assert encoded.is_hermitian()
+
+    def test_encoding_invariant_spectrum(self):
+        hamiltonian = tv_chain(3)
+        jw = np.linalg.eigvalsh(pauli_sum_matrix(jordan_wigner(3).encode(hamiltonian)))
+        bk = np.linalg.eigvalsh(pauli_sum_matrix(bravyi_kitaev(3).encode(hamiltonian)))
+        assert np.allclose(jw, bk, atol=1e-9)
+
+    def test_free_fermions_at_zero_repulsion(self):
+        """V = 0: single-particle hopping band, spectrum symmetric on the
+        open chain (particle-hole symmetry)."""
+        hamiltonian = tv_chain(3, repulsion=0.0, periodic=False)
+        spectrum = diagonalize(jordan_wigner(3).encode(hamiltonian))
+        energies = np.array(spectrum.energies)
+        assert np.allclose(np.sort(energies), np.sort(-energies[::-1]), atol=1e-9)
+
+    def test_repulsion_raises_full_state_energy(self):
+        """The all-occupied state's energy is exactly V * #edges."""
+        for repulsion in (0.5, 2.0):
+            hamiltonian = tv_chain(3, repulsion=repulsion, periodic=True)
+            encoded = jordan_wigner(3).encode(hamiltonian)
+            matrix = pauli_sum_matrix(encoded)
+            full_state = np.zeros(8)
+            full_state[7] = 1.0  # |111>
+            energy = float(full_state @ matrix.real @ full_state)
+            assert energy == pytest.approx(3 * repulsion)
+
+    def test_open_vs_periodic(self):
+        periodic = tv_chain(4, periodic=True)
+        open_chain = tv_chain(4, periodic=False)
+        assert len(periodic.monomials) > len(open_chain.monomials)
+
+    def test_custom_graph(self):
+        import networkx as nx
+
+        star = tv_model_from_graph(nx.star_graph(3))
+        assert star.num_modes == 4
+        assert jordan_wigner(4).encode(star).is_hermitian()

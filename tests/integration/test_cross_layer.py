@@ -1,0 +1,128 @@
+"""Cross-layer integration tests beyond the headline pipeline.
+
+These tie together subsystems that the end-to-end test does not cover:
+serialization round trips through compilation, tapering of SAT-found
+encodings, measurement-based estimation on compiled circuits, scheduling +
+optimization interplay, and the CLI driving the whole stack.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    FermihedralConfig,
+    SolverBudget,
+    bravyi_kitaev,
+    diagonalize,
+    h2_hamiltonian,
+    hubbard_chain,
+    jordan_wigner,
+    optimize_circuit,
+    run_circuit,
+    solve_full_sat,
+    trotter_circuit,
+)
+from repro.circuits import greedy_cancellation_order
+from repro.encodings.serialization import encoding_from_dict, encoding_to_dict
+from repro.simulator import measured_energy_statistics
+from repro.tapering import find_z2_symmetries, taper_all_sectors
+
+
+@pytest.fixture(scope="module")
+def h2():
+    return h2_hamiltonian()
+
+
+@pytest.fixture(scope="module")
+def sat_result(h2):
+    config = FermihedralConfig(budget=SolverBudget(time_budget_s=30))
+    return solve_full_sat(h2, config)
+
+
+class TestSerializationThroughCompilation:
+    def test_sat_encoding_round_trips(self, sat_result, h2):
+        data = encoding_to_dict(sat_result.encoding)
+        rebuilt = encoding_from_dict(data)
+        assert rebuilt.hamiltonian_pauli_weight(h2) == sat_result.weight
+
+
+class TestTaperingSatEncodings:
+    def test_sat_encoded_h2_still_tapers(self, sat_result, h2):
+        """Symmetry structure survives the optimal encoding: the encoded H2
+        has Z2 symmetries under *any* valid encoding, and sector spectra
+        tile the original spectrum."""
+        encoded = sat_result.encoding.encode(h2)
+        generators = find_z2_symmetries(encoded)
+        assert generators
+        sectors = taper_all_sectors(encoded, generators)
+        from repro.paulis import pauli_sum_matrix
+
+        combined = np.sort(
+            np.concatenate(
+                [np.linalg.eigvalsh(pauli_sum_matrix(op)) for op in sectors.values()]
+            )
+        )
+        original = np.linalg.eigvalsh(pauli_sum_matrix(encoded))
+        assert np.allclose(combined, original, atol=1e-8)
+
+
+class TestMeasurementOnCompiledCircuits:
+    def test_shot_estimate_after_trotter_evolution(self, h2):
+        """Evolve the ground state, then estimate energy by sampling: the
+        estimate must agree with the exact expectation within shot noise."""
+        encoding = bravyi_kitaev(4)
+        encoded = encoding.encode(h2)
+        spectrum = diagonalize(encoded)
+        circuit = optimize_circuit(
+            trotter_circuit(encoded.without_identity(), time=1.0)
+        )
+        final = run_circuit(circuit, spectrum.eigenstate(0))
+        mean, std = measured_energy_statistics(
+            final, encoded, repetitions=10, shots_per_group=4000, seed=3
+        )
+        from repro.simulator import expectation_pauli_sum
+
+        exact = expectation_pauli_sum(final, encoded)
+        assert mean == pytest.approx(exact, abs=0.03)
+        assert std < 0.05
+
+
+class TestSchedulingInteroperability:
+    def test_scheduled_trotter_same_depth_or_better_after_peephole(self):
+        hamiltonian = hubbard_chain(2, periodic=False)
+        operator = jordan_wigner(4).encode(hamiltonian).without_identity()
+        plain = optimize_circuit(trotter_circuit(operator, 1.0))
+        scheduled = optimize_circuit(
+            trotter_circuit(operator, 1.0, term_order=greedy_cancellation_order(operator))
+        )
+        assert scheduled.total_count <= plain.total_count
+
+    def test_second_order_trotter_composes_with_scheduling(self):
+        hamiltonian = hubbard_chain(2, periodic=False)
+        operator = jordan_wigner(4).encode(hamiltonian).without_identity()
+        order = greedy_cancellation_order(operator)
+        circuit = optimize_circuit(
+            trotter_circuit(operator, 1.0, steps=2, term_order=order, order=2)
+        )
+        assert circuit.total_count > 0
+        # symmetric formula: forward + reversed half-steps per step
+        unoptimized = trotter_circuit(operator, 1.0, steps=2, term_order=order, order=2)
+        assert circuit.total_count <= unoptimized.total_count
+
+
+class TestCliDrivesFullStack:
+    def test_solve_compile_verify_loop(self, tmp_path, capsys):
+        from repro.cli import main
+
+        encoding_file = tmp_path / "hubbard2.json"
+        assert main([
+            "solve", "--model", "hubbard:2", "--budget-s", "20",
+            "--no-alg", "--output", str(encoding_file),
+        ]) == 0
+        assert main([
+            "compile", "--model", "hubbard:2", "--encoding", str(encoding_file),
+        ]) == 0
+        assert main(["verify", str(encoding_file)]) == 0
+        out = capsys.readouterr().out
+        assert "gates:" in out
+        assert "anticommutativity:       True" in out

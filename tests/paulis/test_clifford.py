@@ -1,0 +1,138 @@
+"""Tests for Clifford conjugation — validated against dense matrices."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.paulis import PauliString, pauli_string_matrix
+from repro.paulis.clifford import (
+    CliffordGate,
+    conjugate_cnot,
+    conjugate_gate,
+    conjugate_h,
+    conjugate_s,
+    conjugate_sequence,
+)
+from tests.conftest import pauli_strings
+
+_H = np.array([[1, 1], [1, -1]], dtype=complex) / np.sqrt(2)
+_S = np.array([[1, 0], [0, 1j]], dtype=complex)
+
+
+def _gate_matrix(gate: CliffordGate, num_qubits: int) -> np.ndarray:
+    if gate.name == "CNOT":
+        control, target = gate.qubits
+        dimension = 2**num_qubits
+        matrix = np.zeros((dimension, dimension), dtype=complex)
+        for index in range(dimension):
+            output = index ^ (1 << target) if (index >> control) & 1 else index
+            matrix[output, index] = 1.0
+        return matrix
+    local = _H if gate.name == "H" else _S
+    matrix = np.array([[1.0 + 0j]])
+    for qubit in range(num_qubits):
+        factor = local if qubit == gate.qubits[0] else np.eye(2)
+        matrix = np.kron(factor, matrix)
+    return matrix
+
+
+def _check_conjugation(string: PauliString, gate: CliffordGate):
+    result, sign = conjugate_gate(string, 1, gate)
+    unitary = _gate_matrix(gate, string.num_qubits)
+    lhs = unitary @ pauli_string_matrix(string) @ unitary.conj().T
+    rhs = sign * pauli_string_matrix(result)
+    assert np.allclose(lhs, rhs), (string.label(), gate)
+
+
+class TestSingleQubitRules:
+    @pytest.mark.parametrize("label,expected,sign", [
+        ("X", "Z", 1), ("Z", "X", 1), ("Y", "Y", -1), ("I", "I", 1),
+    ])
+    def test_h_table(self, label, expected, sign):
+        result, out_sign = conjugate_h(PauliString.from_label(label), 1, 0)
+        assert result.label() == expected
+        assert out_sign == sign
+
+    @pytest.mark.parametrize("label,expected,sign", [
+        ("X", "Y", 1), ("Y", "X", -1), ("Z", "Z", 1), ("I", "I", 1),
+    ])
+    def test_s_table(self, label, expected, sign):
+        result, out_sign = conjugate_s(PauliString.from_label(label), 1, 0)
+        assert result.label() == expected
+        assert out_sign == sign
+
+    @settings(max_examples=80, deadline=None)
+    @given(pauli_strings(max_qubits=3), st.integers(0, 2), st.sampled_from(["H", "S"]))
+    def test_single_qubit_against_matrices(self, string, qubit, name):
+        if qubit >= string.num_qubits:
+            qubit = 0
+        _check_conjugation(string, CliffordGate(name, (qubit,)))
+
+
+class TestCnotRules:
+    def test_x_control_propagates(self):
+        result, sign = conjugate_cnot(PauliString.from_label("IX"), 1, 0, 1)
+        assert result.label() == "XX"
+        assert sign == 1
+
+    def test_z_target_propagates(self):
+        result, sign = conjugate_cnot(PauliString.from_label("ZI"), 1, 0, 1)
+        assert result.label() == "ZZ"
+        assert sign == 1
+
+    def test_xc_zt_picks_sign(self):
+        # CNOT (X_c Z_t) CNOT = -Y_c Y_t
+        result, sign = conjugate_cnot(PauliString.from_label("ZX"), 1, 0, 1)
+        assert result.label() == "YY"
+        assert sign == -1
+
+    @settings(max_examples=100, deadline=None)
+    @given(pauli_strings(min_qubits=2, max_qubits=3), st.integers(0, 50))
+    def test_cnot_against_matrices(self, string, seed):
+        rng = np.random.default_rng(seed)
+        control, target = rng.choice(string.num_qubits, size=2, replace=False)
+        _check_conjugation(string, CliffordGate("CNOT", (int(control), int(target))))
+
+
+class TestSequences:
+    def test_sequence_composes(self):
+        gates = [CliffordGate("H", (0,)), CliffordGate("S", (0,))]
+        # S H X H S† = S Z S† = Z
+        result, sign = conjugate_sequence(PauliString.from_label("X"), gates)
+        assert result.label() == "Z"
+        assert sign == 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(pauli_strings(min_qubits=2, max_qubits=3), st.integers(0, 500))
+    def test_random_sequence_against_matrices(self, string, seed):
+        rng = np.random.default_rng(seed)
+        gates = []
+        for _ in range(6):
+            kind = rng.integers(0, 3)
+            if kind == 2:
+                c, t = rng.choice(string.num_qubits, size=2, replace=False)
+                gates.append(CliffordGate("CNOT", (int(c), int(t))))
+            else:
+                gates.append(CliffordGate("HS"[kind], (int(rng.integers(string.num_qubits)),)))
+        result, sign = conjugate_sequence(string, gates)
+        unitary = np.eye(2**string.num_qubits, dtype=complex)
+        for gate in gates:
+            unitary = _gate_matrix(gate, string.num_qubits) @ unitary
+        lhs = unitary @ pauli_string_matrix(string) @ unitary.conj().T
+        assert np.allclose(lhs, sign * pauli_string_matrix(result))
+
+    def test_preserves_commutation_relations(self):
+        gates = [CliffordGate("H", (0,)), CliffordGate("CNOT", (0, 1)),
+                 CliffordGate("S", (1,))]
+        a = PauliString.from_label("XZ")
+        b = PauliString.from_label("ZX")
+        a2, _ = conjugate_sequence(a, gates)
+        b2, _ = conjugate_sequence(b, gates)
+        assert a.commutes_with(b) == a2.commutes_with(b2)
+
+    def test_bad_gate_rejected(self):
+        with pytest.raises(ValueError):
+            CliffordGate("T", (0,))
+        with pytest.raises(ValueError):
+            CliffordGate("CNOT", (1, 1))

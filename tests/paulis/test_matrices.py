@@ -1,0 +1,45 @@
+"""Tests for dense-matrix realisations."""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.paulis import PauliString, PauliSum, pauli_string_matrix, pauli_sum_matrix
+from tests.conftest import pauli_strings
+
+
+class TestStringMatrix:
+    def test_qubit_zero_is_least_significant(self):
+        # ZI ⊗ ... : label "IZ" has Z on qubit 0
+        matrix = pauli_string_matrix(PauliString.from_label("IZ"))
+        assert np.allclose(np.diag(matrix), [1, -1, 1, -1])
+
+    def test_identity(self):
+        assert np.allclose(pauli_string_matrix(PauliString.identity(2)), np.eye(4))
+
+    @settings(max_examples=60, deadline=None)
+    @given(pauli_strings(max_qubits=4))
+    def test_unitary_and_hermitian(self, string):
+        matrix = pauli_string_matrix(string)
+        assert np.allclose(matrix @ matrix.conj().T, np.eye(matrix.shape[0]))
+        assert np.allclose(matrix, matrix.conj().T)
+
+    @settings(max_examples=60, deadline=None)
+    @given(pauli_strings(max_qubits=4))
+    def test_traceless_unless_identity(self, string):
+        trace = np.trace(pauli_string_matrix(string))
+        if string.is_identity:
+            assert trace == 2**string.num_qubits
+        else:
+            assert abs(trace) < 1e-12
+
+
+class TestSumMatrix:
+    def test_linear(self):
+        operator = PauliSum.from_label("X", 2.0) + PauliSum.from_label("Z", -1.0)
+        expected = 2.0 * pauli_string_matrix(PauliString.from_label("X")) - pauli_string_matrix(
+            PauliString.from_label("Z")
+        )
+        assert np.allclose(pauli_sum_matrix(operator), expected)
+
+    def test_zero_sum(self):
+        assert np.allclose(pauli_sum_matrix(PauliSum.zero(2)), np.zeros((4, 4)))

@@ -1,0 +1,159 @@
+"""Unit and property tests for PauliString."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.paulis import PauliString, pauli_string_matrix
+from tests.conftest import pauli_string_pairs, pauli_strings
+
+
+class TestConstruction:
+    def test_from_label_rightmost_is_qubit_zero(self):
+        string = PauliString.from_label("XZ")
+        assert string.operator(0) == "Z"
+        assert string.operator(1) == "X"
+
+    def test_label_round_trip(self):
+        for label in ("I", "XYZI", "ZZZZ", "IXIY"):
+            assert PauliString.from_label(label).label() == label
+
+    def test_identity(self):
+        identity = PauliString.identity(3)
+        assert identity.is_identity
+        assert identity.weight == 0
+
+    def test_single(self):
+        string = PauliString.single(4, 2, "Y")
+        assert string.label() == "IYII"
+
+    def test_single_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            PauliString.single(2, 5, "X")
+
+    def test_from_operators(self):
+        string = PauliString.from_operators(3, {0: "X", 2: "Z"})
+        assert string.label() == "ZIX"
+
+    def test_mask_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            PauliString(2, x_mask=0b100)
+
+    def test_immutable(self):
+        string = PauliString.from_label("X")
+        with pytest.raises(AttributeError):
+            string.x_mask = 3
+
+
+class TestInspection:
+    def test_weight_counts_non_identity(self):
+        assert PauliString.from_label("IIXX").weight == 2
+        assert PauliString.from_label("XYZ").weight == 3
+        assert PauliString.from_label("III").weight == 0
+
+    def test_support(self):
+        assert PauliString.from_label("ZIYI").support == (1, 3)
+
+    def test_iter_and_len(self):
+        string = PauliString.from_label("XY")
+        assert len(string) == 2
+        assert list(string) == ["Y", "X"]  # qubit 0 first
+
+    def test_getitem(self):
+        assert PauliString.from_label("XY")[0] == "Y"
+
+
+class TestMultiplication:
+    def test_xy_gives_iz(self):
+        product, phase = PauliString.from_label("X").multiply(PauliString.from_label("Y"))
+        assert product.label() == "Z"
+        assert phase == 1j
+
+    def test_yx_gives_minus_iz(self):
+        product, phase = PauliString.from_label("Y").multiply(PauliString.from_label("X"))
+        assert product.label() == "Z"
+        assert phase == -1j
+
+    def test_self_product_is_identity(self):
+        for label in ("X", "Y", "Z", "XYZ", "ZIZI"):
+            product, phase = PauliString.from_label(label).multiply(
+                PauliString.from_label(label)
+            )
+            assert product.is_identity
+            assert phase == 1
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            PauliString.from_label("X").multiply(PauliString.from_label("XX"))
+
+    @settings(max_examples=150, deadline=None)
+    @given(pauli_string_pairs(max_qubits=4))
+    def test_multiplication_matches_matrices(self, pair):
+        left, right = pair
+        product, phase = left.multiply(right)
+        lhs = pauli_string_matrix(left) @ pauli_string_matrix(right)
+        rhs = phase * pauli_string_matrix(product)
+        assert np.allclose(lhs, rhs)
+
+    @settings(max_examples=100, deadline=None)
+    @given(pauli_string_pairs(max_qubits=5))
+    def test_phase_is_power_of_i(self, pair):
+        _, phase = pair[0].multiply(pair[1])
+        assert phase in (1, -1, 1j, -1j)
+
+
+class TestCommutation:
+    def test_xx_with_yy_commutes(self):
+        assert PauliString.from_label("XX").commutes_with(PauliString.from_label("YY"))
+
+    def test_xxx_with_yyy_anticommutes(self):
+        assert PauliString.from_label("XXX").anticommutes_with(
+            PauliString.from_label("YYY")
+        )
+
+    @settings(max_examples=150, deadline=None)
+    @given(pauli_string_pairs(max_qubits=4))
+    def test_commutation_matches_matrices(self, pair):
+        left, right = pair
+        lhs = pauli_string_matrix(left)
+        rhs = pauli_string_matrix(right)
+        anticommutator = lhs @ rhs + rhs @ lhs
+        assert np.allclose(anticommutator, 0) == left.anticommutes_with(right)
+
+    @settings(max_examples=100, deadline=None)
+    @given(pauli_string_pairs(max_qubits=6))
+    def test_commutation_is_symmetric(self, pair):
+        left, right = pair
+        assert left.commutes_with(right) == right.commutes_with(left)
+
+
+class TestSymplecticKey:
+    @settings(max_examples=100, deadline=None)
+    @given(pauli_string_pairs(max_qubits=6))
+    def test_product_key_is_xor(self, pair):
+        left, right = pair
+        product, _ = left.multiply(right)
+        assert product.symplectic_key() == left.symplectic_key() ^ right.symplectic_key()
+
+    @settings(max_examples=60, deadline=None)
+    @given(pauli_strings(max_qubits=6))
+    def test_key_uniquely_identifies_string(self, string):
+        rebuilt = PauliString(
+            string.num_qubits,
+            x_mask=string.symplectic_key() & ((1 << string.num_qubits) - 1),
+            z_mask=string.symplectic_key() >> string.num_qubits,
+        )
+        assert rebuilt == string
+
+
+class TestEquality:
+    def test_hashable_and_equal(self):
+        assert PauliString.from_label("XY") == PauliString.from_label("XY")
+        assert hash(PauliString.from_label("XY")) == hash(PauliString.from_label("XY"))
+
+    def test_distinct_lengths_unequal(self):
+        assert PauliString.from_label("X") != PauliString.from_label("IX")
+
+    def test_repr_is_informative(self):
+        assert "XY" in repr(PauliString.from_label("XY"))

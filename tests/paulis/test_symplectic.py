@@ -1,0 +1,115 @@
+"""Tests for GF(2) symplectic linear algebra."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.paulis import (
+    PauliString,
+    are_algebraically_independent,
+    dependent_subset,
+    gf2_rank,
+    pairwise_anticommuting,
+    strings_rank,
+)
+from repro.paulis.symplectic import gf2_dependent_subset
+
+
+class TestGf2Rank:
+    def test_empty_rank_zero(self):
+        assert gf2_rank([]) == 0
+
+    def test_single_vector(self):
+        assert gf2_rank([0b101]) == 1
+
+    def test_zero_vector_contributes_nothing(self):
+        assert gf2_rank([0, 0b1]) == 1
+
+    def test_dependent_triple(self):
+        assert gf2_rank([0b01, 0b10, 0b11]) == 2
+
+    def test_independent_basis(self):
+        assert gf2_rank([1 << k for k in range(8)]) == 8
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(0, 255), max_size=10))
+    def test_rank_bounded(self, vectors):
+        rank = gf2_rank(vectors)
+        assert 0 <= rank <= min(len(vectors), 8)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(1, 255), min_size=1, max_size=8))
+    def test_rank_invariant_under_duplication(self, vectors):
+        assert gf2_rank(vectors) == gf2_rank(vectors + vectors)
+
+
+class TestDependentSubset:
+    def test_independent_returns_none(self):
+        assert gf2_dependent_subset([0b01, 0b10]) is None
+
+    def test_finds_xor_zero_subset(self):
+        vectors = [0b011, 0b101, 0b110]
+        subset = gf2_dependent_subset(vectors)
+        assert subset is not None
+        accumulator = 0
+        for index in subset:
+            accumulator ^= vectors[index]
+        assert accumulator == 0
+
+    def test_zero_vector_is_singleton_dependency(self):
+        assert gf2_dependent_subset([0]) == [0]
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(st.integers(0, 1023), min_size=1, max_size=12))
+    def test_certificate_is_valid(self, vectors):
+        subset = gf2_dependent_subset(vectors)
+        if subset is None:
+            assert gf2_rank(vectors) == len(vectors)
+        else:
+            accumulator = 0
+            for index in subset:
+                accumulator ^= vectors[index]
+            assert accumulator == 0
+            assert len(subset) >= 1
+
+
+class TestStringIndependence:
+    def test_jw_strings_independent(self):
+        strings = [
+            PauliString.from_label("IX"),
+            PauliString.from_label("IY"),
+            PauliString.from_label("XZ"),
+            PauliString.from_label("YZ"),
+        ]
+        assert are_algebraically_independent(strings)
+        assert strings_rank(strings) == 4
+
+    def test_product_closure_is_dependent(self):
+        x = PauliString.from_label("X")
+        y = PauliString.from_label("Y")
+        z = PauliString.from_label("Z")
+        # XYZ = iI: the three together are dependent
+        assert not are_algebraically_independent([x, y, z])
+        subset = dependent_subset([x, y, z])
+        assert subset == [0, 1, 2]
+
+    def test_duplicate_strings_dependent(self):
+        x = PauliString.from_label("XI")
+        assert not are_algebraically_independent([x, x])
+
+    def test_identity_string_dependent(self):
+        assert not are_algebraically_independent([PauliString.identity(2)])
+
+
+class TestPairwiseAnticommuting:
+    def test_accepts_anticommuting_family(self):
+        strings = [PauliString.from_label(s) for s in ("X", "Y", "Z")]
+        assert pairwise_anticommuting(strings)
+
+    def test_rejects_commuting_pair(self):
+        strings = [PauliString.from_label(s) for s in ("XX", "YY")]
+        assert not pairwise_anticommuting(strings)
+
+    def test_empty_and_singleton_trivially_pass(self):
+        assert pairwise_anticommuting([])
+        assert pairwise_anticommuting([PauliString.from_label("X")])

@@ -1,0 +1,121 @@
+"""Unit and property tests for PauliSum."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.paulis import PauliString, PauliSum, pauli_sum_matrix, sum_of
+
+
+def _random_sum(rng: np.random.Generator, num_qubits: int, terms: int) -> PauliSum:
+    result = PauliSum(num_qubits)
+    for _ in range(terms):
+        label = "".join(rng.choice(list("IXYZ")) for _ in range(num_qubits))
+        result = result + PauliSum.from_label(label, complex(rng.normal(), rng.normal()))
+    return result
+
+
+class TestConstruction:
+    def test_zero(self):
+        assert PauliSum.zero(2).is_zero
+
+    def test_identity(self):
+        operator = PauliSum.identity(2, 3.0)
+        assert operator.coefficient(PauliString.identity(2)) == 3.0
+
+    def test_from_label(self):
+        operator = PauliSum.from_label("XY", 2.0)
+        assert operator.coefficient(PauliString.from_label("XY")) == 2.0
+
+    def test_mismatched_term_length_rejected(self):
+        with pytest.raises(ValueError):
+            PauliSum(2, {PauliString.from_label("XXX"): 1.0})
+
+
+class TestArithmetic:
+    def test_addition_combines_terms(self):
+        a = PauliSum.from_label("XX", 1.0)
+        b = PauliSum.from_label("XX", 2.0)
+        assert (a + b).coefficient(PauliString.from_label("XX")) == 3.0
+
+    def test_cancellation_removes_term(self):
+        a = PauliSum.from_label("ZZ", 1.0)
+        b = PauliSum.from_label("ZZ", -1.0)
+        assert (a + b).is_zero
+
+    def test_scalar_multiplication(self):
+        a = PauliSum.from_label("X", 2.0) * 3.0
+        assert a.coefficient(PauliString.from_label("X")) == 6.0
+        assert (2.0 * PauliSum.from_label("X")).coefficient(PauliString.from_label("X")) == 2.0
+
+    def test_negation(self):
+        assert (-PauliSum.from_label("Y", 1.5)).coefficient(PauliString.from_label("Y")) == -1.5
+
+    def test_product_tracks_phases(self):
+        x = PauliSum.from_label("X")
+        y = PauliSum.from_label("Y")
+        product = x * y
+        assert product.coefficient(PauliString.from_label("Z")) == 1j
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            PauliSum.from_label("X") + PauliSum.from_label("XX")
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 3), st.integers(0, 4), st.integers(0, 4), st.integers(0, 5))
+    def test_ring_axioms_against_matrices(self, qubits, terms_a, terms_b, seed):
+        rng = np.random.default_rng(seed)
+        a = _random_sum(rng, qubits, terms_a)
+        b = _random_sum(rng, qubits, terms_b)
+        assert np.allclose(
+            pauli_sum_matrix(a + b), pauli_sum_matrix(a) + pauli_sum_matrix(b)
+        )
+        assert np.allclose(
+            pauli_sum_matrix(a * b), pauli_sum_matrix(a) @ pauli_sum_matrix(b)
+        )
+
+
+class TestWeightsAndStructure:
+    def test_total_weight_ignores_coefficients(self):
+        operator = PauliSum.from_label("XXI", 0.1) + PauliSum.from_label("IIZ", 9.0)
+        assert operator.total_weight == 3
+
+    def test_without_identity(self):
+        operator = PauliSum.identity(2, 5.0) + PauliSum.from_label("XI", 1.0)
+        trimmed = operator.without_identity()
+        assert len(trimmed) == 1
+        assert trimmed.total_weight == 1
+
+    def test_is_hermitian(self):
+        assert PauliSum.from_label("XZ", 1.0).is_hermitian()
+        assert not PauliSum.from_label("XZ", 1j).is_hermitian()
+
+    def test_hermitian_part_drops_imaginary_dust(self):
+        operator = PauliSum.from_label("X", 1.0 + 1e-15j).hermitian_part()
+        assert operator.is_hermitian(tolerance=0.0)
+
+    def test_sorted_terms_deterministic(self):
+        operator = PauliSum.from_label("ZZ") + PauliSum.from_label("XX")
+        labels = [string.label() for string, _ in operator.sorted_terms()]
+        assert labels == ["XX", "ZZ"]
+
+
+class TestHelpers:
+    def test_sum_of(self):
+        total = sum_of([PauliSum.from_label("X"), PauliSum.from_label("X")])
+        assert total.coefficient(PauliString.from_label("X")) == 2.0
+
+    def test_sum_of_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sum_of([])
+
+    def test_approx_equal(self):
+        a = PauliSum.from_label("X", 1.0)
+        b = PauliSum.from_label("X", 1.0 + 1e-12)
+        assert a.approx_equal(b)
+
+    def test_contains_and_iteration(self):
+        operator = PauliSum.from_label("XY", 2.0)
+        assert PauliString.from_label("XY") in operator
+        assert list(operator)[0][1] == 2.0

@@ -1,0 +1,117 @@
+"""Tests for the CNF container and DIMACS I/O."""
+
+import pytest
+
+from repro.sat import CnfFormula, evaluate_clause, evaluate_formula
+
+
+class TestVariables:
+    def test_allocation_is_sequential(self):
+        formula = CnfFormula()
+        assert formula.new_variable() == 1
+        assert formula.new_variable() == 2
+        assert formula.num_variables == 2
+
+    def test_named_lookup(self):
+        formula = CnfFormula()
+        variable = formula.new_variable("x")
+        assert formula.variable("x") == variable
+
+    def test_duplicate_name_rejected(self):
+        formula = CnfFormula()
+        formula.new_variable("x")
+        with pytest.raises(ValueError):
+            formula.new_variable("x")
+
+    def test_bulk_allocation_with_prefix(self):
+        formula = CnfFormula()
+        variables = formula.new_variables(3, prefix="v")
+        assert variables == [1, 2, 3]
+        assert formula.variable("v[1]") == 2
+
+
+class TestClauses:
+    def test_add_and_count(self):
+        formula = CnfFormula()
+        formula.new_variables(2)
+        formula.add_clause((1, -2))
+        formula.add_unit(2)
+        assert formula.num_clauses == 2
+
+    def test_empty_clause_rejected(self):
+        formula = CnfFormula()
+        with pytest.raises(ValueError):
+            formula.add_clause(())
+
+    def test_zero_literal_rejected(self):
+        formula = CnfFormula()
+        formula.new_variable()
+        with pytest.raises(ValueError):
+            formula.add_clause((0,))
+
+    def test_unallocated_variable_rejected(self):
+        formula = CnfFormula()
+        with pytest.raises(ValueError):
+            formula.add_clause((1,))
+
+    def test_average_clause_length(self):
+        formula = CnfFormula()
+        formula.new_variables(3)
+        formula.add_clause((1, 2))
+        formula.add_clause((1, 2, 3))
+        assert formula.average_clause_length() == pytest.approx(2.5)
+
+    def test_average_clause_length_empty(self):
+        assert CnfFormula().average_clause_length() == 0.0
+
+
+class TestDimacs:
+    def test_round_trip(self):
+        formula = CnfFormula()
+        formula.new_variables(3)
+        formula.add_clause((1, -2))
+        formula.add_clause((2, 3, -1))
+        text = formula.to_dimacs()
+        parsed = CnfFormula.from_dimacs(text)
+        assert parsed.num_variables == 3
+        assert list(parsed.clauses()) == list(formula.clauses())
+
+    def test_parses_comments_and_blanks(self):
+        text = "c a comment\n\np cnf 2 1\n1 -2 0\n"
+        parsed = CnfFormula.from_dimacs(text)
+        assert parsed.num_clauses == 1
+
+    def test_malformed_problem_line_rejected(self):
+        with pytest.raises(ValueError):
+            CnfFormula.from_dimacs("p wrong 2 1\n1 0\n")
+
+    def test_clause_before_header_rejected(self):
+        with pytest.raises(ValueError):
+            CnfFormula.from_dimacs("1 0\np cnf 1 1\n")
+
+    def test_trailing_clause_rejected(self):
+        with pytest.raises(ValueError):
+            CnfFormula.from_dimacs("p cnf 2 1\n1 -2\n")
+
+
+class TestCopyAndEvaluate:
+    def test_copy_is_independent(self):
+        formula = CnfFormula()
+        formula.new_variables(2)
+        formula.add_clause((1, 2))
+        duplicate = formula.copy()
+        duplicate.add_clause((-1,))
+        assert formula.num_clauses == 1
+        assert duplicate.num_clauses == 2
+
+    def test_evaluate_clause(self):
+        assert evaluate_clause((1, -2), {1: True, 2: True})
+        assert not evaluate_clause((-1,), {1: True})
+
+    def test_evaluate_formula(self):
+        formula = CnfFormula()
+        formula.new_variables(2)
+        formula.add_clause((1, 2))
+        formula.add_clause((-1, 2))
+        assert evaluate_formula(formula, {1: False, 2: True})
+        assert not evaluate_formula(formula, {1: True, 2: False})

@@ -1,0 +1,44 @@
+"""Tests for the DPLL reference solver."""
+
+from repro.sat import CnfFormula, dpll_solve, evaluate_formula
+
+
+class TestDpll:
+    def test_sat_with_model(self):
+        formula = CnfFormula()
+        a, b = formula.new_variables(2)
+        formula.add_clause((a, b))
+        formula.add_clause((-a, b))
+        result = dpll_solve(formula)
+        assert result.is_sat
+        assert evaluate_formula(formula, result.model)
+
+    def test_unsat(self):
+        formula = CnfFormula()
+        a = formula.new_variable()
+        formula.add_unit(a)
+        formula.add_unit(-a)
+        assert dpll_solve(formula).is_unsat
+
+    def test_model_covers_all_variables(self):
+        formula = CnfFormula()
+        formula.new_variables(4)
+        formula.add_clause((1,))
+        result = dpll_solve(formula)
+        assert set(result.model) == {1, 2, 3, 4}
+
+    def test_empty_formula(self):
+        formula = CnfFormula()
+        formula.new_variables(2)
+        assert dpll_solve(formula).is_sat
+
+    def test_requires_backtracking(self):
+        formula = CnfFormula()
+        a, b, c = formula.new_variables(3)
+        formula.add_clause((a, b))
+        formula.add_clause((a, -b))
+        formula.add_clause((-a, c))
+        formula.add_clause((-a, -c, b))
+        result = dpll_solve(formula)
+        assert result.is_sat
+        assert evaluate_formula(formula, result.model)

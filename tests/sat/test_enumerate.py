@@ -1,0 +1,56 @@
+"""Tests for model enumeration with blocking clauses."""
+
+import pytest
+
+from repro.sat import CnfFormula, enumerate_models
+
+
+def _projection_tuple(model, projection):
+    return tuple(model[v] for v in projection)
+
+
+class TestEnumerate:
+    def test_enumerates_all_models(self):
+        formula = CnfFormula()
+        a, b = formula.new_variables(2)
+        formula.add_clause((a, b))
+        models = list(enumerate_models(formula, [a, b], limit=10))
+        assert len(models) == 3
+        assert len({_projection_tuple(m, [a, b]) for m in models}) == 3
+
+    def test_respects_limit(self):
+        formula = CnfFormula()
+        variables = formula.new_variables(4)
+        formula.add_clause(variables)
+        models = list(enumerate_models(formula, variables, limit=5))
+        assert len(models) == 5
+
+    def test_projection_deduplicates(self):
+        formula = CnfFormula()
+        a, b = formula.new_variables(2)
+        formula.add_clause((a, b))
+        # projecting on `a` only: at most 2 distinct projections
+        models = list(enumerate_models(formula, [a], limit=10))
+        assert len(models) <= 2
+        assert len({_projection_tuple(m, [a]) for m in models}) == len(models)
+
+    def test_unsat_yields_nothing(self):
+        formula = CnfFormula()
+        a = formula.new_variable()
+        formula.add_unit(a)
+        formula.add_unit(-a)
+        assert list(enumerate_models(formula, [a], limit=3)) == []
+
+    def test_empty_projection_rejected(self):
+        formula = CnfFormula()
+        formula.new_variable()
+        with pytest.raises(ValueError):
+            list(enumerate_models(formula, [], limit=1))
+
+    def test_input_formula_not_mutated(self):
+        formula = CnfFormula()
+        a, b = formula.new_variables(2)
+        formula.add_clause((a, b))
+        before = formula.num_clauses
+        list(enumerate_models(formula, [a, b], limit=10))
+        assert formula.num_clauses == before

@@ -1,0 +1,174 @@
+"""Tests for the CDCL solver, including cross-validation against DPLL."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat import (
+    SAT,
+    UNKNOWN,
+    UNSAT,
+    CdclSolver,
+    CnfFormula,
+    dpll_solve,
+    evaluate_formula,
+    luby,
+    solve_formula,
+)
+
+
+def _random_formula(seed: int, num_vars: int, num_clauses: int, width: int = 3) -> CnfFormula:
+    rng = random.Random(seed)
+    formula = CnfFormula()
+    formula.new_variables(num_vars)
+    for _ in range(num_clauses):
+        clause_width = rng.randint(1, width)
+        formula.add_clause(
+            rng.choice([-1, 1]) * rng.randint(1, num_vars) for _ in range(clause_width)
+        )
+    return formula
+
+
+def _pigeonhole(pigeons: int, holes: int) -> CnfFormula:
+    formula = CnfFormula()
+    slot = {}
+    for p in range(pigeons):
+        for h in range(holes):
+            slot[p, h] = formula.new_variable()
+    for p in range(pigeons):
+        formula.add_clause(slot[p, h] for h in range(holes))
+    for h in range(holes):
+        for p1, p2 in itertools.combinations(range(pigeons), 2):
+            formula.add_clause((-slot[p1, h], -slot[p2, h]))
+    return formula
+
+
+class TestBasics:
+    def test_trivial_sat(self):
+        formula = CnfFormula()
+        a = formula.new_variable()
+        formula.add_unit(a)
+        result = solve_formula(formula)
+        assert result.is_sat
+        assert result.model[a] is True
+
+    def test_trivial_unsat(self):
+        formula = CnfFormula()
+        a = formula.new_variable()
+        formula.add_unit(a)
+        formula.add_unit(-a)
+        assert solve_formula(formula).is_unsat
+
+    def test_no_clauses_sat(self):
+        formula = CnfFormula()
+        formula.new_variables(3)
+        result = solve_formula(formula)
+        assert result.is_sat
+        assert set(result.model) == {1, 2, 3}
+
+    def test_tautology_ignored(self):
+        formula = CnfFormula()
+        a = formula.new_variable()
+        formula.add_clause((a, -a))
+        assert solve_formula(formula).is_sat
+
+    def test_duplicate_literals_handled(self):
+        formula = CnfFormula()
+        a, b = formula.new_variables(2)
+        formula.add_clause((a, a, b))
+        formula.add_unit(-a)
+        result = solve_formula(formula)
+        assert result.is_sat and result.model[b]
+
+    def test_unit_propagation_chain(self):
+        formula = CnfFormula()
+        variables = formula.new_variables(5)
+        formula.add_unit(variables[0])
+        for left, right in zip(variables, variables[1:]):
+            formula.add_clause((-left, right))
+        result = solve_formula(formula)
+        assert result.is_sat
+        assert all(result.model[v] for v in variables)
+
+
+class TestConflictDriven:
+    def test_pigeonhole_unsat(self):
+        assert solve_formula(_pigeonhole(4, 3)).is_unsat
+        assert solve_formula(_pigeonhole(6, 5)).is_unsat
+
+    def test_pigeonhole_sat_when_feasible(self):
+        result = solve_formula(_pigeonhole(3, 3))
+        assert result.is_sat
+
+    def test_conflict_budget_returns_unknown(self):
+        result = solve_formula(_pigeonhole(8, 7), max_conflicts=5)
+        assert result.status == UNKNOWN
+
+    def test_statistics_populated(self):
+        result = solve_formula(_pigeonhole(5, 4))
+        assert result.conflicts > 0
+        assert result.propagations > 0
+        assert result.elapsed_s >= 0.0
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("seed", range(40))
+    def test_agrees_with_dpll_small(self, seed):
+        formula = _random_formula(seed, num_vars=8, num_clauses=30)
+        cdcl = solve_formula(formula)
+        dpll = dpll_solve(formula)
+        assert cdcl.status == dpll.status
+        if cdcl.is_sat:
+            assert evaluate_formula(formula, cdcl.model)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(3, 10), st.integers(1, 40))
+    def test_agrees_with_dpll_property(self, seed, num_vars, num_clauses):
+        formula = _random_formula(seed, num_vars, num_clauses)
+        cdcl = solve_formula(formula)
+        dpll = dpll_solve(formula)
+        assert cdcl.status == dpll.status
+        if cdcl.is_sat:
+            assert evaluate_formula(formula, cdcl.model)
+
+    def test_phase_transition_models_valid(self):
+        for seed in range(5):
+            formula = _random_formula(seed, num_vars=40, num_clauses=170)
+            result = solve_formula(formula)
+            assert result.status in (SAT, UNSAT)
+            if result.is_sat:
+                assert evaluate_formula(formula, result.model)
+
+
+class TestSeedPhases:
+    def test_seed_phases_bias_model(self):
+        formula = CnfFormula()
+        a, b = formula.new_variables(2)
+        formula.add_clause((a, b))  # both-true, a-true, b-true all valid
+        result = solve_formula(formula, seed_phases={a: True, b: False})
+        assert result.is_sat
+        assert result.model[a] is True
+
+    def test_out_of_range_seeds_ignored(self):
+        formula = CnfFormula()
+        formula.new_variable()
+        formula.add_unit(1)
+        result = solve_formula(formula, seed_phases={99: True})
+        assert result.is_sat
+
+
+class TestLuby:
+    def test_prefix(self):
+        assert [luby(i) for i in range(1, 16)] == [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            luby(0)
+
+    def test_values_are_powers_of_two(self):
+        for index in range(1, 200):
+            value = luby(index)
+            assert value & (value - 1) == 0

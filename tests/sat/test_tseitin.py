@@ -1,0 +1,109 @@
+"""Tests for Tseitin gate gadgets: every gadget is checked against its
+truth table by brute-force enumeration over input assignments."""
+
+import itertools
+
+import pytest
+
+from repro.sat import (
+    CnfFormula,
+    assert_xor_true,
+    dpll_solve,
+    encode_and,
+    encode_or,
+    encode_or_many,
+    encode_xor,
+    encode_xor_many,
+    evaluate_formula,
+)
+
+
+def _gate_truth_table(gadget, arity: int, expected):
+    """Check `gate_var <-> expected(inputs)` for all input assignments.
+
+    For each assignment, force the inputs with unit clauses and check the
+    formula is satisfiable exactly with the correct gate value.
+    """
+    for bits in itertools.product([False, True], repeat=arity):
+        formula = CnfFormula()
+        inputs = formula.new_variables(arity)
+        gate = gadget(formula, inputs)
+        for variable, bit in zip(inputs, bits):
+            formula.add_unit(variable if bit else -variable)
+        result = dpll_solve(formula)
+        assert result.is_sat
+        assert result.model[gate] == expected(bits), bits
+        # forcing the wrong gate value must be UNSAT
+        contradiction = formula.copy()
+        contradiction.add_unit(-gate if expected(bits) else gate)
+        assert dpll_solve(contradiction).is_unsat, bits
+
+
+class TestBinaryGates:
+    def test_and(self):
+        _gate_truth_table(
+            lambda formula, inputs: encode_and(formula, inputs[0], inputs[1]),
+            2,
+            lambda bits: bits[0] and bits[1],
+        )
+
+    def test_or(self):
+        _gate_truth_table(
+            lambda formula, inputs: encode_or(formula, inputs[0], inputs[1]),
+            2,
+            lambda bits: bits[0] or bits[1],
+        )
+
+    def test_xor(self):
+        _gate_truth_table(
+            lambda formula, inputs: encode_xor(formula, inputs[0], inputs[1]),
+            2,
+            lambda bits: bits[0] != bits[1],
+        )
+
+    def test_gates_accept_negative_literals(self):
+        formula = CnfFormula()
+        a, b = formula.new_variables(2)
+        gate = encode_and(formula, -a, b)
+        formula.add_unit(-a)
+        formula.add_unit(b)
+        result = dpll_solve(formula)
+        assert result.is_sat and result.model[gate]
+
+
+class TestChains:
+    @pytest.mark.parametrize("arity", [1, 2, 3, 4, 5])
+    def test_xor_many(self, arity):
+        _gate_truth_table(
+            lambda formula, inputs: encode_xor_many(formula, inputs),
+            arity,
+            lambda bits: sum(bits) % 2 == 1,
+        )
+
+    @pytest.mark.parametrize("arity", [1, 2, 3, 4])
+    def test_or_many(self, arity):
+        _gate_truth_table(
+            lambda formula, inputs: encode_or_many(formula, inputs),
+            arity,
+            lambda bits: any(bits),
+        )
+
+    def test_empty_chains_rejected(self):
+        formula = CnfFormula()
+        with pytest.raises(ValueError):
+            encode_xor_many(formula, [])
+        with pytest.raises(ValueError):
+            encode_or_many(formula, [])
+
+
+class TestAssertions:
+    def test_assert_xor_true(self):
+        formula = CnfFormula()
+        a, b, c = formula.new_variables(3)
+        assert_xor_true(formula, [a, b, c])
+        for bits in itertools.product([False, True], repeat=3):
+            candidate = formula.copy()
+            for variable, bit in zip((a, b, c), bits):
+                candidate.add_unit(variable if bit else -variable)
+            expected = sum(bits) % 2 == 1
+            assert dpll_solve(candidate).is_sat == expected

@@ -1,0 +1,52 @@
+"""Tests for exact diagonalization."""
+
+import numpy as np
+import pytest
+
+from repro.encodings import jordan_wigner
+from repro.fermion import h2_hamiltonian
+from repro.paulis import PauliSum
+from repro.simulator import diagonalize, distinct_eigenlevels, expectation_pauli_sum
+
+
+class TestDiagonalize:
+    def test_single_z(self):
+        spectrum = diagonalize(PauliSum.from_label("Z"))
+        assert np.allclose(spectrum.energies, [-1.0, 1.0])
+
+    def test_eigenstates_are_eigenstates(self):
+        operator = PauliSum.from_label("XX", 0.5) + PauliSum.from_label("ZZ", 1.0)
+        spectrum = diagonalize(operator)
+        for level in range(4):
+            state = spectrum.eigenstate(level)
+            energy = expectation_pauli_sum(state, operator)
+            assert energy == pytest.approx(spectrum.energy(level), abs=1e-9)
+
+    def test_nonhermitian_rejected(self):
+        with pytest.raises(ValueError):
+            diagonalize(PauliSum.from_label("XY", 1j))
+
+    def test_ground_energy_property(self):
+        spectrum = diagonalize(PauliSum.from_label("Z", 2.0))
+        assert spectrum.ground_energy == -2.0
+
+
+class TestDistinctLevels:
+    def test_degenerate_levels_collapse(self):
+        # ZZ has eigenvalues [-1, -1, 1, 1] -> two distinct levels
+        spectrum = diagonalize(PauliSum.from_label("ZZ"))
+        levels = distinct_eigenlevels(spectrum, 2)
+        assert len(levels) == 2
+        assert spectrum.energy(levels[0]) == pytest.approx(-1.0)
+        assert spectrum.energy(levels[1]) == pytest.approx(1.0)
+
+    def test_h2_has_four_distinct_levels(self):
+        spectrum = diagonalize(jordan_wigner(4).encode(h2_hamiltonian()))
+        levels = distinct_eigenlevels(spectrum, 4)
+        assert len(levels) == 4
+        energies = [spectrum.energy(level) for level in levels]
+        assert all(b - a > 1e-9 for a, b in zip(energies, energies[1:]))
+
+    def test_request_fewer_than_available(self):
+        spectrum = diagonalize(PauliSum.identity(1, 1.0))
+        assert distinct_eigenlevels(spectrum, 3) == [0]

@@ -1,0 +1,70 @@
+"""Tests for closed-form Pauli actions and expectation values."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.paulis import PauliString, PauliSum, pauli_string_matrix, pauli_sum_matrix
+from repro.simulator import (
+    apply_pauli_string,
+    apply_pauli_sum,
+    expectation_pauli_string,
+    expectation_pauli_sum,
+    zero_state,
+)
+from tests.conftest import pauli_strings
+
+
+def _random_state(num_qubits: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    state = rng.normal(size=2**num_qubits) + 1j * rng.normal(size=2**num_qubits)
+    return state / np.linalg.norm(state)
+
+
+class TestApply:
+    @settings(max_examples=60, deadline=None)
+    @given(pauli_strings(max_qubits=4), st.integers(0, 100))
+    def test_matches_matrix_action(self, string, seed):
+        state = _random_state(string.num_qubits, seed)
+        direct = apply_pauli_string(state, string)
+        via_matrix = pauli_string_matrix(string) @ state
+        assert np.allclose(direct, via_matrix)
+
+    def test_apply_sum(self):
+        operator = PauliSum.from_label("XI", 0.5) + PauliSum.from_label("ZZ", -1.0)
+        state = _random_state(2, 3)
+        assert np.allclose(
+            apply_pauli_sum(state, operator), pauli_sum_matrix(operator) @ state
+        )
+
+    def test_y_phase_on_zero_state(self):
+        # Y|0> = i|1>
+        state = apply_pauli_string(zero_state(1), PauliString.from_label("Y"))
+        assert np.allclose(state, [0, 1j])
+
+
+class TestExpectation:
+    def test_z_on_zero_state(self):
+        assert expectation_pauli_string(
+            zero_state(1), PauliString.from_label("Z")
+        ) == 1.0
+
+    def test_x_on_zero_state(self):
+        assert expectation_pauli_string(
+            zero_state(1), PauliString.from_label("X")
+        ) == 0.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(pauli_strings(max_qubits=3), st.integers(0, 50))
+    def test_matches_matrix_expectation(self, string, seed):
+        state = _random_state(string.num_qubits, seed)
+        direct = expectation_pauli_string(state, string)
+        via_matrix = state.conj() @ pauli_string_matrix(string) @ state
+        assert np.isclose(direct, via_matrix)
+
+    def test_sum_expectation_real(self):
+        operator = PauliSum.from_label("XX", 0.3) + PauliSum.from_label("ZI", 0.7)
+        state = _random_state(2, 9)
+        value = expectation_pauli_sum(state, operator)
+        reference = (state.conj() @ pauli_sum_matrix(operator) @ state).real
+        assert np.isclose(value, reference)

@@ -1,0 +1,131 @@
+"""Tests for shot-based energy estimation with measurement grouping."""
+
+import numpy as np
+import pytest
+
+from repro.encodings import jordan_wigner
+from repro.fermion import h2_hamiltonian
+from repro.paulis import PauliString, PauliSum
+from repro.simulator import (
+    diagonalize,
+    expectation_pauli_sum,
+    group_qubit_wise_commuting,
+    measure_energy,
+    measured_energy_statistics,
+    qubit_wise_commuting,
+    zero_state,
+)
+
+
+class TestQubitWiseCommuting:
+    def test_same_string(self):
+        string = PauliString.from_label("XZ")
+        assert qubit_wise_commuting(string, string)
+
+    def test_identity_is_compatible_with_all(self):
+        identity = PauliString.identity(2)
+        assert qubit_wise_commuting(identity, PauliString.from_label("XY"))
+
+    def test_conflicting_position(self):
+        assert not qubit_wise_commuting(
+            PauliString.from_label("XZ"), PauliString.from_label("XX")
+        )
+
+    def test_disjoint_supports_compatible(self):
+        assert qubit_wise_commuting(
+            PauliString.from_label("XI"), PauliString.from_label("IZ")
+        )
+
+    def test_commuting_but_not_qubit_wise(self):
+        """XX and YY commute globally but not qubit-wise."""
+        assert PauliString.from_label("XX").commutes_with(PauliString.from_label("YY"))
+        assert not qubit_wise_commuting(
+            PauliString.from_label("XX"), PauliString.from_label("YY")
+        )
+
+
+class TestGrouping:
+    def test_groups_cover_all_strings(self):
+        operator = jordan_wigner(4).encode(h2_hamiltonian()).without_identity()
+        groups = group_qubit_wise_commuting(operator)
+        grouped = [s for group in groups for s in group]
+        assert sorted(s.label() for s in grouped) == sorted(
+            s.label() for s, _ in operator.items()
+        )
+
+    def test_groups_internally_compatible(self):
+        operator = jordan_wigner(4).encode(h2_hamiltonian()).without_identity()
+        for group in group_qubit_wise_commuting(operator):
+            for i, left in enumerate(group):
+                for right in group[i + 1:]:
+                    assert qubit_wise_commuting(left, right)
+
+    def test_grouping_reduces_measurement_settings(self):
+        operator = jordan_wigner(4).encode(h2_hamiltonian()).without_identity()
+        groups = group_qubit_wise_commuting(operator)
+        assert len(groups) < len(operator)
+
+    def test_identity_excluded(self):
+        operator = PauliSum.identity(2, 3.0) + PauliSum.from_label("XI", 1.0)
+        groups = group_qubit_wise_commuting(operator)
+        assert len(groups) == 1
+        assert groups[0][0].label() == "XI"
+
+
+class TestMeasureEnergy:
+    def test_diagonal_operator_exact_on_basis_state(self):
+        operator = PauliSum.from_label("ZZ", 2.0) + PauliSum.identity(2, 1.0)
+        rng = np.random.default_rng(0)
+        energy = measure_energy(zero_state(2), operator, shots_per_group=50, rng=rng)
+        assert energy == pytest.approx(3.0)  # <00|ZZ|00> = 1, exact for basis states
+
+    def test_estimate_converges_to_expectation(self):
+        operator = (
+            PauliSum.from_label("XI", 0.5)
+            + PauliSum.from_label("ZZ", -0.25)
+            + PauliSum.from_label("YY", 0.75)
+        )
+        rng = np.random.default_rng(42)
+        state = rng.normal(size=4) + 1j * rng.normal(size=4)
+        state /= np.linalg.norm(state)
+        exact = expectation_pauli_sum(state, operator)
+        estimate = measure_energy(
+            state, operator, shots_per_group=60_000, rng=np.random.default_rng(1)
+        )
+        assert estimate == pytest.approx(exact, abs=0.02)
+
+    def test_statistics_mean_and_spread(self):
+        operator = PauliSum.from_label("X", 1.0)
+        state = zero_state(1)  # <X> = 0, maximal shot noise
+        mean, std = measured_energy_statistics(
+            state, operator, repetitions=40, shots_per_group=64, seed=5
+        )
+        assert abs(mean) < 0.15
+        assert 0.02 < std < 0.3  # ~1/sqrt(64) = 0.125
+
+    def test_more_shots_less_spread(self):
+        operator = PauliSum.from_label("X", 1.0)
+        state = zero_state(1)
+        _, coarse = measured_energy_statistics(state, operator, 30, 16, seed=3)
+        _, fine = measured_energy_statistics(state, operator, 30, 4096, seed=3)
+        assert fine < coarse
+
+    def test_readout_error_biases_estimate(self):
+        operator = PauliSum.from_label("Z", 1.0)
+        state = zero_state(1)  # <Z> = 1 exactly
+        mean, _ = measured_energy_statistics(
+            state, operator, repetitions=20, shots_per_group=500,
+            seed=9, readout_error=0.2,
+        )
+        # bit flips with p=0.2: expected <Z> = 1 - 2p = 0.6
+        assert mean == pytest.approx(0.6, abs=0.1)
+
+    def test_h2_ground_energy_via_measurement(self):
+        hamiltonian = h2_hamiltonian()
+        encoding = jordan_wigner(4)
+        encoded = encoding.encode(hamiltonian)
+        ground = diagonalize(encoded).eigenstate(0)
+        mean, std = measured_energy_statistics(
+            ground, encoded, repetitions=12, shots_per_group=3000, seed=4
+        )
+        assert mean == pytest.approx(-1.1373, abs=0.02)

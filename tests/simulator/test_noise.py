@@ -1,0 +1,128 @@
+"""Tests for the Monte-Carlo noise model."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, cnot, h
+from repro.paulis import PauliSum
+from repro.simulator import (
+    NoiseModel,
+    diagonalize,
+    ionq_aria1_noise,
+    run_noisy_trajectory,
+    sample_measurements,
+    simulate_noisy_energy,
+    zero_state,
+)
+
+
+class TestNoiseModel:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            NoiseModel(single_qubit_error=1.5)
+        with pytest.raises(ValueError):
+            NoiseModel(two_qubit_error=-0.1)
+
+    def test_noiseless_flag(self):
+        assert NoiseModel().is_noiseless
+        assert not NoiseModel(two_qubit_error=0.01).is_noiseless
+
+    def test_aria1_rates(self):
+        noise = ionq_aria1_noise()
+        assert noise.single_qubit_error == pytest.approx(1e-4)
+        assert noise.two_qubit_error == pytest.approx(0.0109, abs=1e-6)
+        assert noise.readout_error == pytest.approx(0.0118, abs=1e-6)
+
+
+class TestTrajectories:
+    def test_noiseless_trajectory_is_deterministic(self):
+        circuit = QuantumCircuit(2, [h(0), cnot(0, 1)])
+        rng = np.random.default_rng(0)
+        state = run_noisy_trajectory(circuit, zero_state(2), NoiseModel(), rng)
+        assert np.allclose(np.abs(state) ** 2, [0.5, 0, 0, 0.5])
+
+    def test_trajectory_stays_normalized(self):
+        circuit = QuantumCircuit(2, [h(0), cnot(0, 1)] * 10)
+        rng = np.random.default_rng(1)
+        noise = NoiseModel(single_qubit_error=0.2, two_qubit_error=0.2)
+        state = run_noisy_trajectory(circuit, zero_state(2), noise, rng)
+        assert np.isclose(np.linalg.norm(state), 1.0)
+
+
+class TestEnergyStatistics:
+    def test_noiseless_energy_has_zero_variance(self):
+        circuit = QuantumCircuit(1, [h(0)])
+        observable = PauliSum.from_label("X")
+        stats = simulate_noisy_energy(
+            circuit, observable, zero_state(1), NoiseModel(), shots=20, seed=3
+        )
+        assert stats.mean == pytest.approx(1.0)
+        assert stats.std == pytest.approx(0.0, abs=1e-12)
+
+    def test_noise_drifts_energy_towards_mixed(self):
+        """Strong depolarizing noise pushes <Z> from 1 toward 0."""
+        circuit = QuantumCircuit(1, [h(0), h(0)] * 8)  # identity, 16 gates
+        observable = PauliSum.from_label("Z")
+        noiseless = simulate_noisy_energy(
+            circuit, observable, zero_state(1), NoiseModel(), shots=10, seed=5
+        )
+        noisy = simulate_noisy_energy(
+            circuit,
+            observable,
+            zero_state(1),
+            NoiseModel(single_qubit_error=0.3),
+            shots=300,
+            seed=5,
+        )
+        assert noiseless.mean == pytest.approx(1.0)
+        assert noisy.mean < 0.8
+
+    def test_higher_noise_higher_variance(self):
+        circuit = QuantumCircuit(2, [h(0), cnot(0, 1)] * 4)
+        observable = PauliSum.from_label("ZZ")
+        low = simulate_noisy_energy(
+            circuit, observable, zero_state(2),
+            NoiseModel(two_qubit_error=0.001), shots=200, seed=7,
+        )
+        high = simulate_noisy_energy(
+            circuit, observable, zero_state(2),
+            NoiseModel(two_qubit_error=0.2), shots=200, seed=7,
+        )
+        assert high.std > low.std
+
+    def test_shots_validated(self):
+        with pytest.raises(ValueError):
+            simulate_noisy_energy(
+                QuantumCircuit(1), PauliSum.from_label("Z"), zero_state(1),
+                NoiseModel(), shots=0,
+            )
+
+    def test_seed_reproducible(self):
+        circuit = QuantumCircuit(1, [h(0)] * 6)
+        observable = PauliSum.from_label("Z")
+        noise = NoiseModel(single_qubit_error=0.1)
+        a = simulate_noisy_energy(circuit, observable, zero_state(1), noise, shots=50, seed=9)
+        b = simulate_noisy_energy(circuit, observable, zero_state(1), noise, shots=50, seed=9)
+        assert np.allclose(a.samples, b.samples)
+
+
+class TestMeasurements:
+    def test_deterministic_state_sampling(self):
+        rng = np.random.default_rng(0)
+        outcomes = sample_measurements(zero_state(2), 100, 0.0, rng)
+        assert np.all(outcomes == 0)
+
+    def test_readout_error_flips_bits(self):
+        rng = np.random.default_rng(0)
+        outcomes = sample_measurements(zero_state(2), 2000, 0.25, rng)
+        flipped = np.count_nonzero(outcomes)
+        assert flipped > 0
+
+    def test_bell_state_sampling(self):
+        from repro.simulator import run_circuit
+
+        circuit = QuantumCircuit(2, [h(0), cnot(0, 1)])
+        state = run_circuit(circuit)
+        rng = np.random.default_rng(2)
+        outcomes = sample_measurements(state, 1000, 0.0, rng)
+        assert set(np.unique(outcomes)) <= {0, 3}

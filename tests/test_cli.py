@@ -1,0 +1,160 @@
+"""Tests for the command-line interface and encoding serialization."""
+
+import json
+
+import pytest
+
+from repro.cli import main, parse_model
+from repro.encodings import bravyi_kitaev, jordan_wigner
+from repro.encodings.serialization import (
+    encoding_from_dict,
+    encoding_to_dict,
+    load_encoding,
+    save_encoding,
+)
+
+
+class TestParseModel:
+    def test_h2(self):
+        assert parse_model("h2").num_modes == 4
+
+    def test_hubbard_chain(self):
+        assert parse_model("hubbard:3").num_modes == 6
+
+    def test_hubbard_lattice(self):
+        assert parse_model("hubbard:2x2").num_modes == 8
+
+    def test_syk(self):
+        assert parse_model("syk:4").num_modes == 4
+
+    def test_electronic(self):
+        assert parse_model("electronic:6").num_modes == 6
+
+    def test_missing_parameter_rejected(self):
+        with pytest.raises(ValueError):
+            parse_model("hubbard")
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            parse_model("ising:4")
+
+
+class TestSerialization:
+    def test_round_trip_dict(self):
+        encoding = bravyi_kitaev(3)
+        rebuilt = encoding_from_dict(encoding_to_dict(encoding))
+        assert [s.label() for s in rebuilt.strings] == [
+            s.label() for s in encoding.strings
+        ]
+        assert rebuilt.name == encoding.name
+
+    def test_round_trip_file(self, tmp_path):
+        path = tmp_path / "enc.json"
+        save_encoding(jordan_wigner(2), path)
+        loaded = load_encoding(path)
+        assert [s.label() for s in loaded.strings] == ["IX", "IY", "XZ", "YZ"]
+
+    def test_version_checked(self):
+        data = encoding_to_dict(jordan_wigner(2))
+        data["format_version"] = 99
+        with pytest.raises(ValueError):
+            encoding_from_dict(data)
+
+    def test_mode_consistency_checked(self):
+        data = encoding_to_dict(jordan_wigner(2))
+        data["num_modes"] = 5
+        with pytest.raises(ValueError):
+            encoding_from_dict(data)
+
+
+class TestCliCommands:
+    def test_solve_independent(self, capsys, tmp_path):
+        output = tmp_path / "enc.json"
+        code = main([
+            "solve", "--modes", "2", "--budget-s", "30",
+            "--output", str(output),
+        ])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "weight:          6" in captured
+        assert output.exists()
+        saved = json.loads(output.read_text())
+        assert saved["num_modes"] == 2
+
+    def test_solve_model_annealing(self, capsys):
+        code = main([
+            "solve", "--model", "hubbard:2", "--method", "sat-anl",
+            "--budget-s", "15", "--no-alg",
+        ])
+        assert code == 0
+        assert "sat+annealing" in capsys.readouterr().out
+
+    def test_solve_modes_conflict(self, capsys):
+        code = main(["solve", "--model", "h2", "--modes", "3"])
+        assert code == 2
+
+    def test_solve_requires_target(self):
+        assert main(["solve"]) == 2
+
+    def test_baselines_table(self, capsys):
+        code = main(["baselines", "--modes", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in ("jw", "bk", "parity", "tt"):
+            assert name in out
+
+    def test_baselines_with_model(self, capsys):
+        code = main(["baselines", "--model", "h2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "H weight" in out
+
+    def test_baselines_requires_target(self):
+        assert main(["baselines"]) == 2
+
+    def test_compile_with_baseline(self, capsys):
+        code = main(["compile", "--model", "h2", "--encoding", "bk"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "gates:" in out
+
+    def test_compile_with_saved_encoding(self, capsys, tmp_path):
+        path = tmp_path / "enc.json"
+        save_encoding(jordan_wigner(4), path)
+        code = main(["compile", "--model", "h2", "--encoding", str(path)])
+        assert code == 0
+
+    def test_compile_with_random_encoding(self, capsys):
+        code = main(["compile", "--model", "h2", "--encoding", "random:7"])
+        assert code == 0
+
+    def test_verify_valid_encoding(self, capsys, tmp_path):
+        path = tmp_path / "enc.json"
+        save_encoding(bravyi_kitaev(3), path)
+        code = main(["verify", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "anticommutativity:       True" in out
+
+    def test_verify_invalid_encoding(self, capsys, tmp_path):
+        from repro.encodings import MajoranaEncoding
+        from repro.paulis import PauliString
+
+        bad = MajoranaEncoding(
+            [PauliString.from_label("XX"), PauliString.from_label("YY")],
+            validate=False,
+        )
+        path = tmp_path / "bad.json"
+        save_encoding(bad, path)
+        code = main(["verify", str(path)])
+        assert code == 1
+        assert "violation" in capsys.readouterr().out
+
+    def test_unknown_model_error_path(self, capsys):
+        code = main(["compile", "--model", "nope:3", "--encoding", "bk"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file_error_path(self, capsys):
+        code = main(["verify", "/nonexistent/enc.json"])
+        assert code == 2

@@ -1,0 +1,165 @@
+"""Tests for Z2 symmetry discovery and qubit tapering."""
+
+import numpy as np
+import pytest
+
+from repro import bravyi_kitaev, h2_hamiltonian, hubbard_chain, jordan_wigner
+from repro.paulis import PauliString, PauliSum, pauli_sum_matrix
+from repro.paulis.symplectic import gf2_nullspace
+from repro.tapering import (
+    build_tapering_plan,
+    find_z2_symmetries,
+    rotate_operator,
+    taper_all_sectors,
+    taper_with_plan,
+)
+
+
+def _spectrum(operator: PauliSum) -> np.ndarray:
+    return np.linalg.eigvalsh(pauli_sum_matrix(operator))
+
+
+class TestNullspace:
+    def test_orthogonality_and_dimension(self):
+        rows = [0b1100, 0b0110]
+        basis = gf2_nullspace(rows, 4)
+        assert len(basis) == 2
+        for vector in basis:
+            for row in rows:
+                assert (row & vector).bit_count() % 2 == 0
+
+    def test_empty_matrix_full_nullspace(self):
+        assert len(gf2_nullspace([], 3)) == 3
+
+    def test_full_rank_trivial_nullspace(self):
+        assert gf2_nullspace([0b01, 0b10], 2) == []
+
+
+class TestSymmetryDiscovery:
+    def test_h2_jw_has_three_parity_symmetries(self):
+        operator = jordan_wigner(4).encode(h2_hamiltonian())
+        generators = find_z2_symmetries(operator)
+        assert len(generators) == 3
+        # all diagonal (Z-type) parities for this Hamiltonian
+        assert all(g.x_mask == 0 for g in generators)
+
+    def test_generators_commute_with_every_term(self):
+        operator = jordan_wigner(4).encode(h2_hamiltonian())
+        for generator in find_z2_symmetries(operator):
+            for term, _ in operator.items():
+                assert generator.commutes_with(term)
+
+    def test_generators_mutually_commute(self):
+        operator = bravyi_kitaev(6).encode(hubbard_chain(3))
+        generators = find_z2_symmetries(operator)
+        for i, left in enumerate(generators):
+            for right in generators[i + 1:]:
+                assert left.commutes_with(right)
+
+    def test_symmetryless_operator(self):
+        # X, Y, Z on one qubit: nothing non-trivial commutes with all three
+        operator = (
+            PauliSum.from_label("X", 1.0)
+            + PauliSum.from_label("Y", 0.5)
+            + PauliSum.from_label("Z", 0.25)
+        )
+        assert find_z2_symmetries(operator) == []
+
+
+class TestPlan:
+    def test_pivots_distinct(self):
+        operator = jordan_wigner(4).encode(h2_hamiltonian())
+        generators = find_z2_symmetries(operator)
+        plan = build_tapering_plan(generators, 4)
+        assert len(set(plan.pivot_qubits)) == plan.num_removed
+
+    def test_pivot_exclusive_after_reduction(self):
+        operator = jordan_wigner(4).encode(h2_hamiltonian())
+        generators = find_z2_symmetries(operator)
+        plan = build_tapering_plan(generators, 4)
+        for i, (qubit, name) in enumerate(
+            zip(plan.pivot_qubits, plan.pivot_operators)
+        ):
+            sigma = PauliString.single(4, qubit, name)
+            for j, tau in enumerate(plan.generators):
+                if i == j:
+                    assert tau.anticommutes_with(sigma)
+                else:
+                    assert tau.commutes_with(sigma)
+
+
+class TestRotation:
+    def test_rotation_preserves_spectrum(self):
+        operator = jordan_wigner(4).encode(h2_hamiltonian())
+        generators = find_z2_symmetries(operator)
+        plan = build_tapering_plan(generators, 4)
+        rotated = rotate_operator(operator, plan)
+        assert np.allclose(_spectrum(rotated), _spectrum(operator), atol=1e-9)
+
+    def test_pivot_qubits_carry_only_sigma(self):
+        operator = jordan_wigner(4).encode(h2_hamiltonian())
+        generators = find_z2_symmetries(operator)
+        plan = build_tapering_plan(generators, 4)
+        rotated = rotate_operator(operator, plan)
+        for term, _ in rotated.items():
+            for qubit, name in zip(plan.pivot_qubits, plan.pivot_operators):
+                assert term.operator(qubit) in ("I", name)
+
+
+class TestTapering:
+    def test_h2_sector_spectra_tile_original(self):
+        operator = jordan_wigner(4).encode(h2_hamiltonian())
+        sectors = taper_all_sectors(operator)
+        combined = np.sort(
+            np.concatenate([_spectrum(op) for op in sectors.values()])
+        )
+        assert np.allclose(combined, _spectrum(operator), atol=1e-8)
+
+    def test_h2_ground_energy_in_some_sector(self):
+        operator = jordan_wigner(4).encode(h2_hamiltonian())
+        ground = _spectrum(operator)[0]
+        sectors = taper_all_sectors(operator)
+        best = min(_spectrum(op)[0] for op in sectors.values())
+        assert best == pytest.approx(ground, abs=1e-8)
+
+    def test_h2_tapers_to_one_qubit(self):
+        operator = jordan_wigner(4).encode(h2_hamiltonian())
+        sectors = taper_all_sectors(operator)
+        assert all(op.num_qubits == 1 for op in sectors.values())
+
+    def test_tapering_works_for_bk_encoding_too(self):
+        operator = bravyi_kitaev(4).encode(h2_hamiltonian())
+        sectors = taper_all_sectors(operator)
+        combined = np.sort(
+            np.concatenate([_spectrum(op) for op in sectors.values()])
+        )
+        assert np.allclose(combined, _spectrum(operator), atol=1e-8)
+
+    def test_hubbard_tapering(self):
+        operator = jordan_wigner(6).encode(hubbard_chain(3))
+        generators = find_z2_symmetries(operator)
+        assert generators  # particle-parity symmetries exist
+        sectors = taper_all_sectors(operator, generators)
+        combined = np.sort(
+            np.concatenate([_spectrum(op) for op in sectors.values()])
+        )
+        assert np.allclose(combined, _spectrum(operator), atol=1e-8)
+
+    def test_no_symmetries_returns_original(self):
+        operator = (
+            PauliSum.from_label("X", 1.0)
+            + PauliSum.from_label("Y", 0.5)
+            + PauliSum.from_label("Z", 0.25)
+        )
+        sectors = taper_all_sectors(operator)
+        assert list(sectors) == [()]
+        assert sectors[()] is operator
+
+    def test_bad_sector_rejected(self):
+        operator = jordan_wigner(4).encode(h2_hamiltonian())
+        generators = find_z2_symmetries(operator)
+        plan = build_tapering_plan(generators, 4)
+        with pytest.raises(ValueError):
+            taper_with_plan(operator, plan, (1,))
+        with pytest.raises(ValueError):
+            taper_with_plan(operator, plan, (1, 0, 1))
