@@ -1,0 +1,89 @@
+"""Compilation-store benchmark — cold compile vs. cache hit vs. warm start.
+
+Not a paper table; measures the subsystem the serving/batching roadmap
+items build on.  Three timings per mode count:
+
+* **cold** — full SAT descent, empty cache.
+* **hit** — the same job answered from the populated cache (should be
+  file-read time, zero SAT calls).
+* **warm** — the cache seeded with an *unproved* baseline-quality entry,
+  so the descent restarts from it rather than from Bravyi-Kitaev.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+
+from _harness import budget_seconds, max_modes, report
+
+from repro.core import (
+    METHOD_INDEPENDENT,
+    CompilationResult,
+    FermihedralCompiler,
+    FermihedralConfig,
+    SolverBudget,
+)
+from repro.core.descent import DescentResult
+from repro.encodings import bravyi_kitaev
+from repro.store import CompilationCache
+
+
+def _unproved_entry(num_modes: int) -> CompilationResult:
+    encoding = bravyi_kitaev(num_modes)
+    descent = DescentResult(
+        encoding=encoding,
+        weight=encoding.total_majorana_weight,
+        proved_optimal=False,
+        steps=[],
+    )
+    return CompilationResult(
+        encoding=encoding,
+        method="full-sat/independent",
+        weight=encoding.total_majorana_weight,
+        proved_optimal=False,
+        descent=descent,
+    )
+
+
+def main() -> None:
+    config = FermihedralConfig(
+        budget=SolverBudget(time_budget_s=budget_seconds(30.0))
+    )
+    rows = ["modes  cold_s    hit_s     warm_s    cold_calls  warm_calls"]
+    for num_modes in range(1, max_modes(4) + 1):
+        with tempfile.TemporaryDirectory() as root:
+            cache = CompilationCache(root)
+            started = time.monotonic()
+            cold = FermihedralCompiler(num_modes, config, cache=cache)
+            cold_result = cold.compile(method=METHOD_INDEPENDENT)
+            cold_s = time.monotonic() - started
+
+            started = time.monotonic()
+            hot = FermihedralCompiler(num_modes, config, cache=cache)
+            hot.compile(method=METHOD_INDEPENDENT)
+            hit_s = time.monotonic() - started
+            assert hot.last_cache_status == "hit"
+
+        with tempfile.TemporaryDirectory() as root:
+            cache = CompilationCache(root)
+            key = cache.key_for(
+                num_modes=num_modes, config=config, method=METHOD_INDEPENDENT
+            )
+            cache.put(key, _unproved_entry(num_modes))
+            started = time.monotonic()
+            warm = FermihedralCompiler(num_modes, config, cache=cache)
+            warm_result = warm.compile(method=METHOD_INDEPENDENT)
+            warm_s = time.monotonic() - started
+            assert warm.last_cache_status == "warm-start"
+
+        rows.append(
+            f"{num_modes:<6d} {cold_s:<9.3f} {hit_s:<9.4f} {warm_s:<9.3f} "
+            f"{cold_result.descent.sat_calls:<11d} "
+            f"{warm_result.descent.sat_calls:<10d}"
+        )
+    report("store_cache", "\n".join(rows))
+
+
+if __name__ == "__main__":
+    main()

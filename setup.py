@@ -1,3 +1,33 @@
-from setuptools import setup
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+README = Path(__file__).parent / "README.md"
+
+setup(
+    name="fermihedral-repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Fermihedral: On the Optimal Compilation for "
+        "Fermion-to-Qubit Encoding' (ASPLOS 2024): SAT-optimal encodings, "
+        "a persistent compilation cache, and a batch compiler"
+    ),
+    long_description=README.read_text() if README.exists() else "",
+    long_description_content_type="text/markdown",
+    url="https://arxiv.org/abs/2403.17794",
+    packages=find_packages(where="src"),
+    package_dir={"": "src"},
+    python_requires=">=3.10",
+    install_requires=["networkx", "numpy"],
+    extras_require={"test": ["pytest", "hypothesis"]},
+    entry_points={"console_scripts": ["repro=repro.cli:main"]},
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Scientific/Engineering :: Physics",
+    ],
+)

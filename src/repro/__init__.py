@@ -52,6 +52,13 @@ from repro.fermion import (
     syk_hamiltonian,
 )
 from repro.paulis import PauliString, PauliSum
+from repro.store import (
+    BatchCompiler,
+    CompilationCache,
+    CompileJob,
+    compilation_key,
+    default_cache_dir,
+)
 from repro.simulator import (
     NoiseModel,
     diagonalize,
@@ -66,7 +73,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AnnealingSchedule",
+    "BatchCompiler",
+    "CompilationCache",
     "CompilationResult",
+    "CompileJob",
     "FermihedralCompiler",
     "FermihedralConfig",
     "FermionOperator",
@@ -80,6 +90,8 @@ __all__ = [
     "SolverBudget",
     "anneal_pairing",
     "bravyi_kitaev",
+    "compilation_key",
+    "default_cache_dir",
     "descend",
     "diagonalize",
     "expectation_pauli_sum",

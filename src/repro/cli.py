@@ -2,28 +2,38 @@
 
 Subcommands::
 
-    python -m repro solve     --modes 3 [--model hubbard:3] [options]
+    python -m repro solve     --modes 3 [--model hubbard:3] [--cache DIR]
     python -m repro baselines --modes 4 [--model h2]
     python -m repro compile   --model h2 --encoding bk [--time 1.0]
     python -m repro verify    --encoding-file enc.json
+    python -m repro batch     jobs.json [--model h2 ...] [--cache DIR]
+    python -m repro cache     {ls,show,gc} [--dir DIR]
 
 Model specs: ``h2``, ``hubbard:<sites>``, ``hubbard:<rows>x<cols>``,
-``syk:<modes>``, ``electronic:<modes>``.
+``syk:<modes>``, ``electronic:<modes>``, ``tv:<sites>``.
+
+The ``cache`` directory defaults to ``$REPRO_CACHE_DIR`` or
+``~/.cache/fermihedral`` for the ``cache`` subcommand; ``solve`` and
+``batch`` only persist when ``--cache`` is passed explicitly.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
+from pathlib import Path
 
 from repro.analysis.tables import format_table
 from repro.circuits import greedy_cancellation_order, optimize_circuit, trotter_circuit
 from repro.core import (
+    METHOD_ANNEALING,
+    METHOD_FULL_SAT,
+    METHOD_INDEPENDENT,
+    FermihedralCompiler,
     FermihedralConfig,
     SolverBudget,
-    solve_full_sat,
-    solve_hamiltonian_independent,
-    solve_sat_annealing,
     verify_encoding,
 )
 from repro.encodings import (
@@ -42,6 +52,7 @@ from repro.fermion import (
     syk_hamiltonian,
     tv_chain,
 )
+from repro.store import BatchCompiler, CompilationCache, CompileJob, default_cache_dir
 
 _BASELINE_BUILDERS = {
     "jw": jordan_wigner,
@@ -49,6 +60,16 @@ _BASELINE_BUILDERS = {
     "parity": parity_encoding,
     "tt": ternary_tree,
 }
+
+#: CLI method spellings accepted in ``--method`` and batch job files.
+_METHOD_ALIASES = {
+    "full-sat": METHOD_FULL_SAT,
+    "sat-anl": METHOD_ANNEALING,
+    "sat+annealing": METHOD_ANNEALING,
+    "independent": METHOD_INDEPENDENT,
+}
+
+_MODEL_HELP = "h2 | hubbard:<n> | hubbard:<r>x<c> | syk:<n> | electronic:<n> | tv:<sites>"
 
 
 def parse_model(spec: str):
@@ -91,6 +112,26 @@ def _config_from_args(args) -> FermihedralConfig:
     )
 
 
+def _add_solver_options(parser: argparse.ArgumentParser) -> None:
+    """Constraint/budget flags shared by ``solve`` and ``batch``."""
+    parser.add_argument("--no-alg", action="store_true",
+                        help="drop the algebraic-independence clauses and "
+                             "rank-check models instead (paper Section 4.1)")
+    parser.add_argument("--no-vacuum", action="store_true",
+                        help="drop the vacuum-preservation clauses")
+    parser.add_argument("--exact-vacuum", action="store_true",
+                        help="use the exact vacuum constraint instead of the "
+                             "paper's sufficient condition")
+    parser.add_argument("--strategy", choices=("linear", "bisection"),
+                        default="linear",
+                        help="descent loop: the paper's Algorithm 1 (linear) "
+                             "or binary search (bisection)")
+    parser.add_argument("--budget-s", type=float, default=60.0, metavar="SECONDS",
+                        help="time budget per SAT call (default: 60)")
+    parser.add_argument("--max-conflicts", type=int, default=None, metavar="N",
+                        help="conflict budget per SAT call (default: unlimited)")
+
+
 def _resolve_encoding(name: str, num_modes: int):
     if name in _BASELINE_BUILDERS:
         return _BASELINE_BUILDERS[name](num_modes)
@@ -100,35 +141,62 @@ def _resolve_encoding(name: str, num_modes: int):
     return load_encoding(name)
 
 
+def _print_result_summary(result, mid_lines: tuple[str, ...] = (),
+                          post_lines: tuple[str, ...] = ()) -> None:
+    """The shared ``solve`` / ``cache show`` result block.
+
+    ``mid_lines`` print between the headline fields and the solver stats;
+    ``post_lines`` print after the stats, before the Majorana strings.
+    """
+    print(f"method:          {result.method}")
+    print(f"weight:          {result.weight}")
+    print(f"proved optimal:  {result.proved_optimal}")
+    for line in mid_lines:
+        print(line)
+    print(f"SAT calls:       {result.descent.sat_calls}"
+          f" (solve {result.descent.solve_time_s:.2f}s)")
+    if result.annealing is not None:
+        print(f"annealing:       {result.annealing.initial_weight} -> "
+              f"{result.annealing.weight} "
+              f"({result.annealing.accepted_moves} accepted moves)")
+    for line in post_lines:
+        print(line)
+    print("majorana strings:")
+    for index, string in enumerate(result.encoding.strings):
+        print(f"  m_{index:<3d} {string.label()}")
+
+
 def cmd_solve(args) -> int:
     config = _config_from_args(args)
+    cache = CompilationCache(args.cache) if args.cache else None
     if args.model:
         hamiltonian = parse_model(args.model)
         if args.modes and args.modes != hamiltonian.num_modes:
             print(f"error: model has {hamiltonian.num_modes} modes, --modes says "
                   f"{args.modes}", file=sys.stderr)
             return 2
-        if args.method == "sat-anl":
-            result = solve_sat_annealing(hamiltonian, config)
-        else:
-            result = solve_full_sat(hamiltonian, config)
+        method = METHOD_ANNEALING if args.method == "sat-anl" else METHOD_FULL_SAT
+        compiler = FermihedralCompiler(hamiltonian.num_modes, config, cache=cache)
+        result = compiler.compile(method=method, hamiltonian=hamiltonian)
     else:
         if not args.modes:
             print("error: --modes or --model is required", file=sys.stderr)
             return 2
-        result = solve_hamiltonian_independent(args.modes, config)
+        compiler = FermihedralCompiler(args.modes, config, cache=cache)
+        result = compiler.compile(method=METHOD_INDEPENDENT)
 
     report = result.verify()
-    print(f"method:          {result.method}")
-    print(f"weight:          {result.weight}")
-    print(f"proved optimal:  {result.proved_optimal}")
-    print(f"valid:           {report.valid}")
-    print(f"vacuum:          {report.vacuum_preservation}")
-    print(f"SAT calls:       {result.descent.sat_calls}"
-          f" (solve {result.descent.solve_time_s:.2f}s)")
-    print("majorana strings:")
-    for index, string in enumerate(result.encoding.strings):
-        print(f"  m_{index:<3d} {string.label()}")
+    post = ()
+    if cache is not None:
+        post = (f"cache:           {compiler.last_cache_status} ({args.cache})",)
+    _print_result_summary(
+        result,
+        mid_lines=(
+            f"valid:           {report.valid}",
+            f"vacuum:          {report.vacuum_preservation}",
+        ),
+        post_lines=post,
+    )
     if args.output:
         save_encoding(result.encoding, args.output)
         print(f"saved encoding to {args.output}")
@@ -186,6 +254,180 @@ def cmd_verify(args) -> int:
     return 0 if report.valid else 1
 
 
+# -- batch -------------------------------------------------------------------
+
+
+def _job_from_spec(spec: dict, args) -> CompileJob:
+    """Build a :class:`CompileJob` from one batch-file dictionary."""
+    if not isinstance(spec, dict):
+        raise ValueError(f"each job must be a JSON object, got {spec!r}")
+    method_name = spec.get("method", args.method)
+    method = _METHOD_ALIASES.get(method_name)
+    if method is None:
+        raise ValueError(
+            f"unknown method {method_name!r}; expected one of "
+            f"{sorted(_METHOD_ALIASES)}"
+        )
+    model = spec.get("model")
+    modes = spec.get("modes")
+    if model is not None and method != METHOD_INDEPENDENT:
+        hamiltonian, num_modes = parse_model(model), None
+    elif model is not None:
+        raise ValueError("independent jobs take 'modes', not 'model'")
+    elif modes is not None:
+        if method != METHOD_INDEPENDENT:
+            raise ValueError(f"method {method_name!r} needs a 'model'")
+        hamiltonian, num_modes = None, int(modes)
+    else:
+        raise ValueError("each job needs a 'model' or 'modes' field")
+    return CompileJob(
+        method=method,
+        hamiltonian=hamiltonian,
+        num_modes=num_modes,
+        schedule=None,
+        seed=int(spec.get("seed", 2024)),
+        label=spec.get("label", model),
+    )
+
+
+def _jobs_from_args(args) -> list[CompileJob]:
+    specs: list[dict] = []
+    if args.jobs:
+        text = sys.stdin.read() if args.jobs == "-" else Path(args.jobs).read_text()
+        data = json.loads(text)
+        if not isinstance(data, list):
+            raise ValueError("the jobs file must hold a JSON list of job objects")
+        specs.extend(data)
+    specs.extend({"model": model, "method": args.method} for model in args.model)
+    if not specs:
+        raise ValueError("no jobs: pass a jobs file and/or --model")
+    return [_job_from_spec(spec, args) for spec in specs]
+
+
+def cmd_batch(args) -> int:
+    jobs = _jobs_from_args(args)
+    cache = CompilationCache(args.cache) if args.cache else None
+    compiler = BatchCompiler(
+        cache=cache,
+        max_workers=args.workers,
+        default_config=_config_from_args(args),
+    )
+    report = compiler.compile(jobs)
+
+    rows = []
+    for outcome in report.outcomes:
+        result = outcome.result
+        rows.append([
+            outcome.job.display,
+            outcome.job.method,
+            outcome.status,
+            result.weight if result else "-",
+            result.proved_optimal if result else "-",
+            f"{outcome.elapsed_s:.2f}",
+        ])
+    print(format_table(
+        ["job", "method", "status", "weight", "optimal", "time (s)"], rows
+    ))
+    print(report.summary() + f" in {report.elapsed_s:.2f}s")
+    for outcome in report.outcomes:
+        if outcome.status == "error":
+            print(f"error [{outcome.job.display}]: {outcome.error}", file=sys.stderr)
+    if cache is not None:
+        stats = cache.stats
+        print(f"cache: {stats.hits} hits, {stats.misses} misses, "
+              f"{stats.warm_starts} warm starts, {stats.stores} stores "
+              f"({args.cache})")
+    return 0 if report.ok else 1
+
+
+# -- cache -------------------------------------------------------------------
+
+
+def _format_age(seconds: float) -> str:
+    if seconds < 120:
+        return f"{seconds:.0f}s"
+    if seconds < 7200:
+        return f"{seconds / 60:.0f}m"
+    if seconds < 172800:
+        return f"{seconds / 3600:.0f}h"
+    return f"{seconds / 86400:.0f}d"
+
+
+def cmd_cache_ls(args) -> int:
+    cache = CompilationCache(args.dir)
+    entries = cache.entries()
+    if not entries:
+        print(f"cache at {cache.root} is empty")
+        return 0
+    now = time.time()
+    rows = []
+    for info in entries:
+        rows.append([
+            info.key[:12],
+            "?" if info.corrupted else info.num_modes,
+            "corrupted" if info.corrupted else info.method,
+            "-" if info.weight is None else info.weight,
+            "-" if info.proved_optimal is None else info.proved_optimal,
+            _format_age(max(0.0, now - info.created_at)),
+            info.size_bytes,
+        ])
+    print(format_table(
+        ["key", "modes", "method", "weight", "optimal", "age", "bytes"], rows
+    ))
+    print(f"{len(entries)} entries at {cache.root}")
+    return 0
+
+
+def cmd_cache_show(args) -> int:
+    cache = CompilationCache(args.dir)
+    matches = cache.find(args.key)
+    if not matches:
+        print(f"error: no cache entry matches {args.key!r}", file=sys.stderr)
+        return 2
+    if len(matches) > 1:
+        print(f"error: {args.key!r} is ambiguous "
+              f"({len(matches)} entries):", file=sys.stderr)
+        for info in matches:
+            print(f"  {info.key}", file=sys.stderr)
+        return 2
+    info = matches[0]
+    if info.corrupted:
+        print(f"key:             {info.key}")
+        print(f"path:            {info.path}")
+        print("status:          corrupted (run 'repro cache gc' to remove)")
+        return 1
+    result = cache.get(info.key)
+    if result is None:
+        print(f"error: entry {info.key} could not be decoded", file=sys.stderr)
+        return 1
+    if args.json:
+        print(info.path.read_text(), end="")
+        return 0
+    print(f"key:             {info.key}")
+    print(f"path:            {info.path}")
+    _print_result_summary(
+        result, mid_lines=(f"modes:           {result.encoding.num_modes}",)
+    )
+    return 0
+
+
+def cmd_cache_gc(args) -> int:
+    cache = CompilationCache(args.dir)
+    report = cache.gc(
+        drop_unproved=args.drop_unproved,
+        max_entries=args.max_entries,
+        dry_run=args.dry_run,
+    )
+    verb = "would remove" if report.dry_run else "removed"
+    print(f"{verb} {len(report.removed)} entries ({report.removed_bytes} bytes), "
+          f"kept {report.kept}")
+    if report.temp_files_removed:
+        print(f"{verb} {report.temp_files_removed} stale temp files")
+    for info in report.removed:
+        print(f"  {info.key[:12]}  {report.reasons.get(info.key, '?')}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -193,37 +435,142 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    solve = subparsers.add_parser("solve", help="find an optimal encoding")
-    solve.add_argument("--modes", type=int, default=None)
-    solve.add_argument("--model", default=None,
-                       help="h2 | hubbard:<n> | hubbard:<r>x<c> | syk:<n> | electronic:<n> | tv:<sites>")
-    solve.add_argument("--method", choices=("full-sat", "sat-anl"), default="full-sat")
-    solve.add_argument("--no-alg", action="store_true",
-                       help="drop algebraic-independence clauses (Section 4.1)")
-    solve.add_argument("--no-vacuum", action="store_true")
-    solve.add_argument("--exact-vacuum", action="store_true")
-    solve.add_argument("--strategy", choices=("linear", "bisection"), default="linear")
-    solve.add_argument("--budget-s", type=float, default=60.0)
-    solve.add_argument("--max-conflicts", type=int, default=None)
-    solve.add_argument("--output", default=None, help="save encoding JSON here")
+    solve = subparsers.add_parser(
+        "solve",
+        help="find an optimal encoding",
+        description="Run the SAT weight descent for an optimal encoding, "
+                    "Hamiltonian-independent (--modes) or Hamiltonian-"
+                    "dependent (--model).",
+    )
+    solve.add_argument("--modes", type=int, default=None, metavar="N",
+                       help="mode count for a Hamiltonian-independent solve")
+    solve.add_argument("--model", default=None, metavar="SPEC", help=_MODEL_HELP)
+    solve.add_argument("--method", choices=("full-sat", "sat-anl"),
+                       default="full-sat",
+                       help="Hamiltonian-dependent strategy: weight in the SAT "
+                            "objective (full-sat) or independent SAT optimum "
+                            "plus annealed pairing (sat-anl)")
+    _add_solver_options(solve)
+    solve.add_argument("--cache", default=None, metavar="DIR",
+                       help="memoize results in a persistent compilation "
+                            "cache at DIR (hit: zero SAT calls; unproved "
+                            "entries warm-start the descent)")
+    solve.add_argument("--output", default=None, metavar="FILE",
+                       help="save the encoding as JSON here")
     solve.set_defaults(handler=cmd_solve)
 
-    baselines = subparsers.add_parser("baselines", help="tabulate baseline weights")
-    baselines.add_argument("--modes", type=int, default=None)
-    baselines.add_argument("--model", default=None)
+    baselines = subparsers.add_parser(
+        "baselines",
+        help="tabulate baseline weights",
+        description="Compare the textbook encodings (JW, BK, parity, ternary "
+                    "tree) by Majorana weight and, with --model, by encoded-"
+                    "Hamiltonian weight.",
+    )
+    baselines.add_argument("--modes", type=int, default=None, metavar="N",
+                           help="mode count to tabulate")
+    baselines.add_argument("--model", default=None, metavar="SPEC",
+                           help=_MODEL_HELP)
     baselines.set_defaults(handler=cmd_baselines)
 
-    compile_parser = subparsers.add_parser("compile", help="compile a Trotter circuit")
-    compile_parser.add_argument("--model", required=True)
+    compile_parser = subparsers.add_parser(
+        "compile",
+        help="compile a Trotter circuit",
+        description="Encode a model with a chosen encoding and report gate "
+                    "counts of the optimized Trotter circuit.",
+    )
+    compile_parser.add_argument("--model", required=True, metavar="SPEC",
+                                help=_MODEL_HELP)
     compile_parser.add_argument("--encoding", default="bk",
-                                help="jw | bk | parity | tt | random[:seed] | <file.json>")
-    compile_parser.add_argument("--time", type=float, default=1.0)
-    compile_parser.add_argument("--steps", type=int, default=1)
+                                help="jw | bk | parity | tt | random[:seed] | "
+                                     "<file.json> (default: bk)")
+    compile_parser.add_argument("--time", type=float, default=1.0,
+                                help="evolution time (default: 1.0)")
+    compile_parser.add_argument("--steps", type=int, default=1,
+                                help="Trotter steps (default: 1)")
     compile_parser.set_defaults(handler=cmd_compile)
 
-    verify = subparsers.add_parser("verify", help="verify an encoding JSON file")
-    verify.add_argument("encoding_file")
+    verify = subparsers.add_parser(
+        "verify",
+        help="verify an encoding JSON file",
+        description="Re-check anticommutativity, algebraic independence, and "
+                    "vacuum preservation of a saved encoding.",
+    )
+    verify.add_argument("encoding_file", help="encoding JSON produced by "
+                                              "'repro solve --output'")
     verify.set_defaults(handler=cmd_verify)
+
+    batch = subparsers.add_parser(
+        "batch",
+        help="compile many jobs concurrently, deduplicated through the cache",
+        description="Fan a list of compilation jobs across worker threads. "
+                    "Jobs with identical fingerprints are compiled once; with "
+                    "--cache, results persist across runs. Jobs come from a "
+                    "JSON file (a list of objects with 'model' or 'modes', "
+                    "plus optional 'method', 'seed', 'label') and/or repeated "
+                    "--model flags.",
+    )
+    batch.add_argument("jobs", nargs="?", default=None,
+                       help="JSON job-list file, or '-' for stdin")
+    batch.add_argument("--model", action="append", default=[], metavar="SPEC",
+                       help=f"add one job compiling {_MODEL_HELP} (repeatable)")
+    batch.add_argument("--method",
+                       choices=("full-sat", "sat-anl", "independent"),
+                       default="full-sat",
+                       help="method for jobs that do not specify one "
+                            "(default: full-sat)")
+    batch.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="worker threads (default: executor default)")
+    batch.add_argument("--cache", default=None, metavar="DIR",
+                       help="persistent compilation cache directory")
+    _add_solver_options(batch)
+    batch.set_defaults(handler=cmd_batch)
+
+    cache_parser = subparsers.add_parser(
+        "cache",
+        help="inspect or prune the compilation cache",
+        description="Manage the persistent compilation cache used by "
+                    "'solve --cache' and 'batch --cache'.",
+    )
+    cache_sub = cache_parser.add_subparsers(dest="cache_command", required=True)
+
+    def _add_dir(sub):
+        sub.add_argument("--dir", default=str(default_cache_dir()), metavar="DIR",
+                         help="cache directory (default: $REPRO_CACHE_DIR or "
+                              "~/.cache/fermihedral)")
+
+    cache_ls = cache_sub.add_parser(
+        "ls", help="list cache entries",
+        description="List every cached compilation result, flagging "
+                    "corrupted entries.",
+    )
+    _add_dir(cache_ls)
+    cache_ls.set_defaults(handler=cmd_cache_ls)
+
+    cache_show = cache_sub.add_parser(
+        "show", help="show one cache entry",
+        description="Print one cached result, looked up by unique key prefix.",
+    )
+    cache_show.add_argument("key", help="entry key (any unique prefix)")
+    cache_show.add_argument("--json", action="store_true",
+                            help="dump the raw entry JSON instead of a summary")
+    _add_dir(cache_show)
+    cache_show.set_defaults(handler=cmd_cache_show)
+
+    cache_gc = cache_sub.add_parser(
+        "gc", help="prune the cache",
+        description="Remove corrupted entries, and optionally unproved "
+                    "results or everything beyond a size limit.",
+    )
+    cache_gc.add_argument("--drop-unproved", action="store_true",
+                          help="also evict results never proved optimal "
+                               "(keeps sat+annealing entries, which are "
+                               "final for their seed)")
+    cache_gc.add_argument("--max-entries", type=int, default=None, metavar="N",
+                          help="keep at most the N newest surviving entries")
+    cache_gc.add_argument("--dry-run", action="store_true",
+                          help="report what would be removed without deleting")
+    _add_dir(cache_gc)
+    cache_gc.set_defaults(handler=cmd_cache_gc)
 
     return parser
 
@@ -234,7 +581,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
-    except (ValueError, FileNotFoundError) as error:
+    except (ValueError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 

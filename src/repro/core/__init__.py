@@ -2,8 +2,12 @@
 
 from repro.core.annealing import AnnealingResult, anneal_pairing, hamiltonian_weight_under_order
 from repro.core.config import (
+    COMPILE_METHODS,
     HAMILTONIAN_DEPENDENT,
     HAMILTONIAN_INDEPENDENT,
+    METHOD_ANNEALING,
+    METHOD_FULL_SAT,
+    METHOD_INDEPENDENT,
     AnnealingSchedule,
     FermihedralConfig,
     SolverBudget,
@@ -22,6 +26,7 @@ from repro.core.verify import VerificationReport, verify_encoding
 __all__ = [
     "AnnealingResult",
     "AnnealingSchedule",
+    "COMPILE_METHODS",
     "CompilationResult",
     "DescentResult",
     "DescentStep",
@@ -30,6 +35,9 @@ __all__ = [
     "FermihedralEncoder",
     "HAMILTONIAN_DEPENDENT",
     "HAMILTONIAN_INDEPENDENT",
+    "METHOD_ANNEALING",
+    "METHOD_FULL_SAT",
+    "METHOD_INDEPENDENT",
     "OPERATOR_BITS",
     "SolverBudget",
     "VerificationReport",

@@ -9,6 +9,16 @@ HAMILTONIAN_INDEPENDENT = "hamiltonian-independent"
 #: Objective selector: minimize the encoded-Hamiltonian weight (Section 3.7).
 HAMILTONIAN_DEPENDENT = "hamiltonian-dependent"
 
+#: Compile method: Hamiltonian-independent SAT descent (Section 3.6).
+METHOD_INDEPENDENT = "independent"
+#: Compile method: Hamiltonian-dependent "Full SAT" descent (Section 3.7).
+METHOD_FULL_SAT = "full-sat"
+#: Compile method: independent SAT optimum + annealed pairing (Section 4.2).
+METHOD_ANNEALING = "sat+annealing"
+#: All compile-method tags, as used by :class:`FermihedralCompiler.compile`
+#: and the ``repro.store`` fingerprints.
+COMPILE_METHODS = (METHOD_INDEPENDENT, METHOD_FULL_SAT, METHOD_ANNEALING)
+
 
 @dataclass(frozen=True)
 class SolverBudget:

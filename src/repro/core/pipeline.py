@@ -9,20 +9,41 @@
   (Tables 4/5).
 
 :class:`FermihedralCompiler` bundles them behind one object for the
-examples and benchmarks.
+examples and benchmarks.  Constructed with a
+:class:`repro.store.cache.CompilationCache`, it memoizes results on disk:
+
+* **hit** — a cached result whose optimality was proved (or any cached
+  ``sat+annealing`` result, which is deterministic for its seed) is
+  returned as-is, performing zero SAT calls;
+* **warm start** — a cached result that was *not* proved optimal seeds
+  :func:`~repro.core.descent.descend`'s starting bound in place of the
+  textbook baseline, so a rerun resumes tightening from where the last
+  run stopped rather than from Bravyi-Kitaev;
+* **miss** — a fresh compile, stored on completion.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.annealing import AnnealingResult, anneal_pairing
 from repro.core.baselines import best_baseline
-from repro.core.config import AnnealingSchedule, FermihedralConfig
+from repro.core.config import (
+    COMPILE_METHODS,
+    METHOD_ANNEALING,
+    METHOD_FULL_SAT,
+    METHOD_INDEPENDENT,
+    AnnealingSchedule,
+    FermihedralConfig,
+)
 from repro.core.descent import DescentResult, descend
 from repro.core.verify import VerificationReport, verify_encoding
 from repro.encodings.base import MajoranaEncoding
 from repro.fermion.hamiltonians import FermionicHamiltonian
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.store.cache import CompilationCache
 
 
 @dataclass
@@ -54,10 +75,15 @@ def _as_fermihedral(encoding: MajoranaEncoding) -> MajoranaEncoding:
 def solve_hamiltonian_independent(
     num_modes: int,
     config: FermihedralConfig | None = None,
+    baseline: MajoranaEncoding | None = None,
 ) -> CompilationResult:
-    """Minimize the total Pauli weight of the 2N Majorana strings."""
+    """Minimize the total Pauli weight of the 2N Majorana strings.
+
+    ``baseline`` overrides the automatic baseline selection; the cache
+    passes a previously found encoding here to warm-start the descent.
+    """
     config = config or FermihedralConfig()
-    baseline = best_baseline(num_modes, config)
+    baseline = baseline or best_baseline(num_modes, config)
     result = descend(num_modes, config=config, baseline=baseline)
     method = "full-sat" if config.algebraic_independence else "sat-wo-alg"
     return CompilationResult(
@@ -72,10 +98,11 @@ def solve_hamiltonian_independent(
 def solve_full_sat(
     hamiltonian: FermionicHamiltonian,
     config: FermihedralConfig | None = None,
+    baseline: MajoranaEncoding | None = None,
 ) -> CompilationResult:
     """Minimize the encoded weight of a specific Hamiltonian in SAT."""
     config = config or FermihedralConfig()
-    baseline = best_baseline(hamiltonian.num_modes, config, hamiltonian)
+    baseline = baseline or best_baseline(hamiltonian.num_modes, config, hamiltonian)
     result = descend(
         hamiltonian.num_modes, config=config, hamiltonian=hamiltonian, baseline=baseline
     )
@@ -94,10 +121,11 @@ def solve_sat_annealing(
     config: FermihedralConfig | None = None,
     schedule: AnnealingSchedule | None = None,
     seed: int = 2024,
+    baseline: MajoranaEncoding | None = None,
 ) -> CompilationResult:
     """SAT + Anl.: independent SAT optimum, then annealed pair assignment."""
     config = config or FermihedralConfig()
-    baseline = best_baseline(hamiltonian.num_modes, config)
+    baseline = baseline or best_baseline(hamiltonian.num_modes, config)
     independent = descend(hamiltonian.num_modes, config=config, baseline=baseline)
     annealed = anneal_pairing(
         independent.encoding, hamiltonian, schedule=schedule, seed=seed
@@ -113,7 +141,18 @@ def solve_sat_annealing(
 
 
 class FermihedralCompiler:
-    """Facade over the three solving strategies.
+    """Facade over the three solving strategies, with optional memoization.
+
+    Args:
+        num_modes: number of fermionic modes every job must match.
+        config: constraint/budget configuration shared by all jobs.
+        cache: a :class:`repro.store.cache.CompilationCache`; when given,
+            every compile consults and populates it (see the module
+            docstring for the hit / warm-start / miss semantics).
+
+    After each :meth:`compile` call, :attr:`last_cache_status` records how
+    the cache participated: ``"disabled"``, ``"hit"``, ``"warm-start"``,
+    or ``"miss"``.
 
     Example:
         >>> compiler = FermihedralCompiler(num_modes=2)
@@ -122,18 +161,24 @@ class FermihedralCompiler:
         True
     """
 
-    def __init__(self, num_modes: int, config: FermihedralConfig | None = None):
+    def __init__(
+        self,
+        num_modes: int,
+        config: FermihedralConfig | None = None,
+        cache: CompilationCache | None = None,
+    ):
         if num_modes < 1:
             raise ValueError("num_modes must be positive")
         self.num_modes = num_modes
         self.config = config or FermihedralConfig()
+        self.cache = cache
+        self.last_cache_status: str | None = None
 
     def hamiltonian_independent(self) -> CompilationResult:
-        return solve_hamiltonian_independent(self.num_modes, self.config)
+        return self.compile(method=METHOD_INDEPENDENT)
 
     def full_sat(self, hamiltonian: FermionicHamiltonian) -> CompilationResult:
-        self._check_modes(hamiltonian)
-        return solve_full_sat(hamiltonian, self.config)
+        return self.compile(method=METHOD_FULL_SAT, hamiltonian=hamiltonian)
 
     def sat_with_annealing(
         self,
@@ -141,8 +186,90 @@ class FermihedralCompiler:
         schedule: AnnealingSchedule | None = None,
         seed: int = 2024,
     ) -> CompilationResult:
-        self._check_modes(hamiltonian)
-        return solve_sat_annealing(hamiltonian, self.config, schedule, seed)
+        return self.compile(
+            method=METHOD_ANNEALING,
+            hamiltonian=hamiltonian,
+            schedule=schedule,
+            seed=seed,
+        )
+
+    def compile(
+        self,
+        method: str = METHOD_INDEPENDENT,
+        hamiltonian: FermionicHamiltonian | None = None,
+        schedule: AnnealingSchedule | None = None,
+        seed: int = 2024,
+        cache_key: str | None = None,
+    ) -> CompilationResult:
+        """Run one compilation job through the cache (when enabled).
+
+        Args:
+            method: one of :data:`repro.core.config.COMPILE_METHODS`.
+            hamiltonian: required for the Hamiltonian-dependent methods
+                (``full-sat`` and ``sat+annealing``); must be ``None`` for
+                ``independent``.
+            schedule: cooling schedule for ``sat+annealing``.
+            seed: annealing RNG seed for ``sat+annealing``.
+            cache_key: precomputed fingerprint of this exact job (an
+                optimization for callers like the batch compiler that
+                already fingerprinted it); must equal what
+                ``cache.key_for`` would return for these arguments.
+        """
+        if method not in COMPILE_METHODS:
+            raise ValueError(
+                f"unknown compile method {method!r}; expected one of {COMPILE_METHODS}"
+            )
+        if method == METHOD_INDEPENDENT:
+            if hamiltonian is not None:
+                raise ValueError("the independent method takes no Hamiltonian")
+        else:
+            if hamiltonian is None:
+                raise ValueError(f"method {method!r} requires a Hamiltonian")
+            self._check_modes(hamiltonian)
+
+        if self.cache is None:
+            self.last_cache_status = "disabled"
+            return self._solve(method, hamiltonian, schedule, seed, baseline=None)
+
+        key = cache_key or self.cache.key_for(
+            num_modes=self.num_modes,
+            config=self.config,
+            hamiltonian=hamiltonian,
+            method=method,
+            schedule=schedule,
+            seed=seed,
+        )
+        cached = self.cache.get(key)
+        if cached is not None and (cached.proved_optimal or method == METHOD_ANNEALING):
+            self.last_cache_status = "hit"
+            return cached
+        baseline = cached.encoding if cached is not None else None
+        if baseline is not None:
+            self.last_cache_status = "warm-start"
+            self.cache.note_warm_start()
+        else:
+            self.last_cache_status = "miss"
+        result = self._solve(method, hamiltonian, schedule, seed, baseline)
+        self.cache.put(key, result)
+        return result
+
+    def _solve(
+        self,
+        method: str,
+        hamiltonian: FermionicHamiltonian | None,
+        schedule: AnnealingSchedule | None,
+        seed: int,
+        baseline: MajoranaEncoding | None,
+    ) -> CompilationResult:
+        if method == METHOD_INDEPENDENT:
+            return solve_hamiltonian_independent(
+                self.num_modes, self.config, baseline=baseline
+            )
+        if method == METHOD_FULL_SAT:
+            return solve_full_sat(hamiltonian, self.config, baseline=baseline)
+        return solve_sat_annealing(
+            hamiltonian, self.config, schedule, seed, baseline=baseline
+        )
 
     def _check_modes(self, hamiltonian: FermionicHamiltonian) -> None:
         if hamiltonian.num_modes != self.num_modes:

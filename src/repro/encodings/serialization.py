@@ -1,19 +1,41 @@
-"""JSON (de)serialization of encodings.
+"""JSON (de)serialization of encodings and full compilation results.
 
 The artifact the compiler produces — an ordered list of Majorana Pauli
 strings — is exactly what downstream toolchains need to persist; the JSON
 schema keeps it human-readable and versioned.
+
+Two schemas live here:
+
+* **encoding schema** (``format_version``): just the Majorana strings, the
+  long-standing interchange format of ``repro solve --output`` and
+  ``repro verify``.
+* **result schema** (``result_format_version``): a full
+  :class:`repro.core.pipeline.CompilationResult` — encoding, method,
+  weight, optimality proof status, the complete descent trace, and the
+  annealing/verification records when present.  This is what the
+  ``repro.store`` compilation cache persists, so cached entries can be
+  returned as first-class results (descent step counts included) without
+  re-running the solver.
+
+The result (de)serializers import the core dataclasses lazily: ``repro.core``
+imports this package's siblings, and keeping the dependency one-way at
+module-import time avoids a cycle.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.encodings.base import MajoranaEncoding
 from repro.paulis.strings import PauliString
 
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.core.pipeline import CompilationResult
+
 _FORMAT_VERSION = 1
+_RESULT_FORMAT_VERSION = 1
 
 
 def encoding_to_dict(encoding: MajoranaEncoding) -> dict:
@@ -47,3 +69,146 @@ def save_encoding(encoding: MajoranaEncoding, path: str | Path) -> None:
 def load_encoding(path: str | Path, validate: bool = True) -> MajoranaEncoding:
     """Read an encoding from a JSON file (validated by default)."""
     return encoding_from_dict(json.loads(Path(path).read_text()), validate=validate)
+
+
+# -- full compilation results -------------------------------------------------
+
+
+def result_to_dict(result: CompilationResult) -> dict:
+    """Plain-data form of a full compilation result (result schema v1)."""
+    descent = result.descent
+    data: dict = {
+        "result_format_version": _RESULT_FORMAT_VERSION,
+        "encoding": encoding_to_dict(result.encoding),
+        "method": result.method,
+        "weight": result.weight,
+        "proved_optimal": result.proved_optimal,
+        "descent": {
+            "encoding": encoding_to_dict(descent.encoding),
+            "weight": descent.weight,
+            "proved_optimal": descent.proved_optimal,
+            "steps": [
+                {
+                    "bound": step.bound,
+                    "status": step.status,
+                    "achieved_weight": step.achieved_weight,
+                    "elapsed_s": step.elapsed_s,
+                    "conflicts": step.conflicts,
+                    "repairs": step.repairs,
+                }
+                for step in descent.steps
+            ],
+            "construct_time_s": descent.construct_time_s,
+            "solve_time_s": descent.solve_time_s,
+            "repairs": descent.repairs,
+            "strategy": descent.strategy,
+        },
+        "annealing": None,
+        "verification": None,
+    }
+    if result.annealing is not None:
+        annealing = result.annealing
+        data["annealing"] = {
+            "encoding": encoding_to_dict(annealing.encoding),
+            "weight": annealing.weight,
+            "initial_weight": annealing.initial_weight,
+            "mode_order": list(annealing.mode_order),
+            "accepted_moves": annealing.accepted_moves,
+            "attempted_moves": annealing.attempted_moves,
+            "history": list(annealing.history),
+        }
+    if result.verification is not None:
+        verification = result.verification
+        data["verification"] = {
+            "anticommutativity": verification.anticommutativity,
+            "algebraic_independence": verification.algebraic_independence,
+            "vacuum_preservation": verification.vacuum_preservation,
+            "violations": list(verification.violations),
+        }
+    return data
+
+
+def result_from_dict(data: dict, validate: bool = True) -> CompilationResult:
+    """Rebuild a compilation result from :func:`result_to_dict` output.
+
+    Args:
+        data: a result-schema dictionary.
+        validate: re-check the encoding constraints while rebuilding the
+            Majorana strings (recommended for data read from disk).
+
+    Raises:
+        ValueError: on an unknown schema version or malformed payload.
+    """
+    from repro.core.annealing import AnnealingResult
+    from repro.core.descent import DescentResult, DescentStep
+    from repro.core.pipeline import CompilationResult
+    from repro.core.verify import VerificationReport
+
+    version = data.get("result_format_version")
+    if version != _RESULT_FORMAT_VERSION:
+        raise ValueError(f"unsupported result format version: {version!r}")
+
+    descent_data = data["descent"]
+    descent = DescentResult(
+        encoding=encoding_from_dict(descent_data["encoding"], validate=validate),
+        weight=descent_data["weight"],
+        proved_optimal=descent_data["proved_optimal"],
+        steps=[
+            DescentStep(
+                bound=step["bound"],
+                status=step["status"],
+                achieved_weight=step["achieved_weight"],
+                elapsed_s=step["elapsed_s"],
+                conflicts=step["conflicts"],
+                repairs=step.get("repairs", 0),
+            )
+            for step in descent_data["steps"]
+        ],
+        construct_time_s=descent_data["construct_time_s"],
+        solve_time_s=descent_data["solve_time_s"],
+        repairs=descent_data["repairs"],
+        strategy=descent_data["strategy"],
+    )
+
+    annealing = None
+    if data.get("annealing") is not None:
+        annealing_data = data["annealing"]
+        annealing = AnnealingResult(
+            encoding=encoding_from_dict(annealing_data["encoding"], validate=validate),
+            weight=annealing_data["weight"],
+            initial_weight=annealing_data["initial_weight"],
+            mode_order=list(annealing_data["mode_order"]),
+            accepted_moves=annealing_data["accepted_moves"],
+            attempted_moves=annealing_data["attempted_moves"],
+            history=list(annealing_data["history"]),
+        )
+
+    verification = None
+    if data.get("verification") is not None:
+        verification_data = data["verification"]
+        verification = VerificationReport(
+            anticommutativity=verification_data["anticommutativity"],
+            algebraic_independence=verification_data["algebraic_independence"],
+            vacuum_preservation=verification_data["vacuum_preservation"],
+            violations=list(verification_data["violations"]),
+        )
+
+    return CompilationResult(
+        encoding=encoding_from_dict(data["encoding"], validate=validate),
+        method=data["method"],
+        weight=data["weight"],
+        proved_optimal=data["proved_optimal"],
+        descent=descent,
+        annealing=annealing,
+        verification=verification,
+    )
+
+
+def save_result(result: CompilationResult, path: str | Path) -> None:
+    """Write a full compilation result to a JSON file."""
+    Path(path).write_text(json.dumps(result_to_dict(result), indent=2) + "\n")
+
+
+def load_result(path: str | Path, validate: bool = True) -> CompilationResult:
+    """Read a full compilation result from a JSON file."""
+    return result_from_dict(json.loads(Path(path).read_text()), validate=validate)

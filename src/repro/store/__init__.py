@@ -1,0 +1,56 @@
+"""Persistent compilation store: fingerprints, on-disk cache, batch compile.
+
+The SAT descent is expensive but deterministic, and its product — an
+optimal encoding plus its provenance — is a small JSON document.  This
+package turns that asymmetry into a subsystem:
+
+* :mod:`repro.store.fingerprint` — stable content keys for compilation
+  jobs (``(num_modes, config, canonical Hamiltonian support, method)``).
+* :mod:`repro.store.cache` — :class:`CompilationCache`, a content-addressed
+  on-disk memo of full :class:`~repro.core.pipeline.CompilationResult`s
+  with hit / warm-start / corrupted-entry handling.
+* :mod:`repro.store.batch` — :class:`BatchCompiler`, a concurrent
+  front-end that deduplicates a job list through the cache.
+
+See ``docs/ARCHITECTURE.md`` for the fingerprint and schema design.
+"""
+
+from repro.store.batch import (
+    JOB_STATUSES,
+    BatchCompiler,
+    BatchReport,
+    CompileJob,
+    JobOutcome,
+)
+from repro.store.cache import (
+    CacheEntryInfo,
+    CacheStats,
+    CompilationCache,
+    GcReport,
+    default_cache_dir,
+)
+from repro.store.fingerprint import (
+    FINGERPRINT_VERSION,
+    canonical_config,
+    canonical_hamiltonian,
+    compilation_key,
+    job_payload,
+)
+
+__all__ = [
+    "BatchCompiler",
+    "BatchReport",
+    "CacheEntryInfo",
+    "CacheStats",
+    "CompilationCache",
+    "CompileJob",
+    "FINGERPRINT_VERSION",
+    "GcReport",
+    "JOB_STATUSES",
+    "JobOutcome",
+    "canonical_config",
+    "canonical_hamiltonian",
+    "compilation_key",
+    "default_cache_dir",
+    "job_payload",
+]

@@ -1,0 +1,254 @@
+"""Batch compilation: fan a job list across workers, deduplicated by key.
+
+The SAT descent dominates wall-clock time, so a batch front-end has two
+cheap wins before it ever parallelizes:
+
+1. **Deduplication** — jobs are fingerprinted first; only one
+   representative per distinct key is compiled, and duplicates share its
+   result (status ``"deduplicated"``).  Because the fingerprint ignores
+   Hamiltonian coefficients, a sweep over e.g. bond lengths of the same
+   molecule collapses to a single solve.
+2. **Caching** — each worker runs a cache-enabled
+   :class:`~repro.core.pipeline.FermihedralCompiler`, so keys already in
+   the persistent store return instantly across batch invocations.
+
+Workers are threads (``concurrent.futures.ThreadPoolExecutor``): the jobs
+share the cache object and results need no pickling.  The pure-Python
+solver holds the GIL while it works, so parallelism here mostly overlaps
+I/O and bookkeeping today — but the interface is the contract the
+ROADMAP's sharding/serving items build on, and a process pool can slot in
+behind it later.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.core.config import (
+    COMPILE_METHODS,
+    METHOD_INDEPENDENT,
+    AnnealingSchedule,
+    FermihedralConfig,
+)
+from repro.core.pipeline import CompilationResult, FermihedralCompiler
+from repro.fermion.hamiltonians import FermionicHamiltonian
+from repro.store.cache import CompilationCache
+from repro.store.fingerprint import compilation_key
+
+#: Job statuses a :class:`BatchReport` can contain.
+JOB_STATUSES = ("compiled", "warm-start", "cache-hit", "deduplicated", "error")
+
+
+@dataclass(frozen=True)
+class CompileJob:
+    """One unit of batch work.
+
+    Either a Hamiltonian-dependent job (``hamiltonian`` set, ``num_modes``
+    inferred) or a Hamiltonian-independent one (``num_modes`` set).
+
+    Attributes:
+        method: one of :data:`repro.core.config.COMPILE_METHODS`.
+        hamiltonian: target Hamiltonian for the dependent methods.
+        num_modes: mode count for the ``independent`` method.
+        config: per-job config override (falls back to the batch default).
+        schedule: annealing schedule (``sat+annealing`` only).
+        seed: annealing RNG seed (``sat+annealing`` only).
+        label: display name for reports; defaults to the Hamiltonian name
+            or ``"<N> modes"``.
+    """
+
+    method: str = METHOD_INDEPENDENT
+    hamiltonian: FermionicHamiltonian | None = None
+    num_modes: int | None = None
+    config: FermihedralConfig | None = None
+    schedule: AnnealingSchedule | None = None
+    seed: int = 2024
+    label: str | None = None
+
+    def __post_init__(self):
+        if self.method not in COMPILE_METHODS:
+            raise ValueError(
+                f"unknown compile method {self.method!r}; "
+                f"expected one of {COMPILE_METHODS}"
+            )
+        if self.method == METHOD_INDEPENDENT:
+            if self.hamiltonian is not None:
+                raise ValueError("independent jobs take no Hamiltonian")
+            if self.num_modes is None:
+                raise ValueError("independent jobs need num_modes")
+        else:
+            if self.hamiltonian is None:
+                raise ValueError(f"{self.method!r} jobs need a Hamiltonian")
+            if (
+                self.num_modes is not None
+                and self.num_modes != self.hamiltonian.num_modes
+            ):
+                raise ValueError(
+                    f"num_modes={self.num_modes} contradicts the Hamiltonian's "
+                    f"{self.hamiltonian.num_modes} modes"
+                )
+
+    @property
+    def modes(self) -> int:
+        """The job's mode count, however it was specified."""
+        if self.hamiltonian is not None:
+            return self.hamiltonian.num_modes
+        return self.num_modes
+
+    @property
+    def display(self) -> str:
+        """Human-readable job name for batch reports."""
+        if self.label:
+            return self.label
+        if self.hamiltonian is not None:
+            return self.hamiltonian.name
+        return f"{self.num_modes} modes"
+
+
+@dataclass
+class JobOutcome:
+    """The per-job row of a :class:`BatchReport`."""
+
+    job: CompileJob
+    key: str
+    status: str
+    result: CompilationResult | None = None
+    error: str | None = None
+    elapsed_s: float = 0.0
+
+
+@dataclass
+class BatchReport:
+    """Everything a batch run produced, in input job order."""
+
+    outcomes: list[JobOutcome] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def counts(self) -> dict[str, int]:
+        """Jobs per status, statuses with zero jobs omitted."""
+        tally: dict[str, int] = {}
+        for outcome in self.outcomes:
+            tally[outcome.status] = tally.get(outcome.status, 0) + 1
+        return tally
+
+    @property
+    def ok(self) -> bool:
+        return all(outcome.status != "error" for outcome in self.outcomes)
+
+    def summary(self) -> str:
+        """One-line roll-up, e.g. ``4 jobs: 2 compiled, 1 cache-hit, 1 deduplicated``."""
+        parts = [
+            f"{count} {status}"
+            for status, count in sorted(self.counts.items())
+        ]
+        return f"{len(self.outcomes)} jobs: " + ", ".join(parts)
+
+
+class BatchCompiler:
+    """Compile many jobs concurrently, deduplicating through the cache.
+
+    Args:
+        cache: shared persistent cache; ``None`` still deduplicates within
+            the batch but persists nothing.
+        max_workers: thread-pool size (default: executor's own default).
+        default_config: config applied to jobs that carry none.
+    """
+
+    def __init__(
+        self,
+        cache: CompilationCache | None = None,
+        max_workers: int | None = None,
+        default_config: FermihedralConfig | None = None,
+    ):
+        self.cache = cache
+        self.max_workers = max_workers
+        self.default_config = default_config or FermihedralConfig()
+
+    def _job_config(self, job: CompileJob) -> FermihedralConfig:
+        return job.config or self.default_config
+
+    def _job_key(self, job: CompileJob) -> str:
+        return compilation_key(
+            num_modes=job.modes,
+            config=self._job_config(job),
+            hamiltonian=job.hamiltonian,
+            method=job.method,
+            schedule=job.schedule,
+            seed=job.seed,
+        )
+
+    def _run_one(self, job: CompileJob, key: str) -> JobOutcome:
+        started = time.monotonic()
+        try:
+            compiler = FermihedralCompiler(
+                job.modes, self._job_config(job), cache=self.cache
+            )
+            result = compiler.compile(
+                method=job.method,
+                hamiltonian=job.hamiltonian,
+                schedule=job.schedule,
+                seed=job.seed,
+                cache_key=key,
+            )
+            status = {
+                "hit": "cache-hit",
+                "warm-start": "warm-start",
+            }.get(compiler.last_cache_status, "compiled")
+            return JobOutcome(
+                job=job,
+                key=key,
+                status=status,
+                result=result,
+                elapsed_s=time.monotonic() - started,
+            )
+        except Exception as error:  # surfaced per-job, batch keeps going
+            return JobOutcome(
+                job=job,
+                key=key,
+                status="error",
+                error=f"{type(error).__name__}: {error}",
+                elapsed_s=time.monotonic() - started,
+            )
+
+    def compile(self, jobs: list[CompileJob]) -> BatchReport:
+        """Run a job list; returns outcomes in the input order.
+
+        Jobs sharing a fingerprint are compiled once: the first occurrence
+        runs (``compiled`` / ``warm-start`` / ``cache-hit``), later ones
+        report ``deduplicated`` and share its result object.
+        """
+        started = time.monotonic()
+        keys = [self._job_key(job) for job in jobs]
+        primary_index: dict[str, int] = {}
+        for index, key in enumerate(keys):
+            primary_index.setdefault(key, index)
+
+        primary_outcomes: dict[str, JobOutcome] = {}
+        unique = [(keys[i], jobs[i]) for i in sorted(primary_index.values())]
+        if unique:
+            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                futures = {
+                    key: pool.submit(self._run_one, job, key) for key, job in unique
+                }
+                for key, future in futures.items():
+                    primary_outcomes[key] = future.result()
+
+        outcomes: list[JobOutcome] = []
+        for index, (job, key) in enumerate(zip(jobs, keys)):
+            primary = primary_outcomes[key]
+            if index == primary_index[key]:
+                outcomes.append(primary)
+            elif primary.status == "error":
+                outcomes.append(
+                    JobOutcome(job=job, key=key, status="error", error=primary.error)
+                )
+            else:
+                outcomes.append(
+                    JobOutcome(
+                        job=job, key=key, status="deduplicated", result=primary.result
+                    )
+                )
+        return BatchReport(outcomes=outcomes, elapsed_s=time.monotonic() - started)

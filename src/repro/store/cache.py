@@ -1,0 +1,383 @@
+"""Persistent, content-addressed compilation cache.
+
+Entries live under a root directory, sharded by the first two hex chars of
+their fingerprint key::
+
+    <root>/ab/abcdef...0123.json
+
+Each entry is a small, versioned JSON document wrapping a full
+:class:`~repro.core.pipeline.CompilationResult` (result schema of
+:mod:`repro.encodings.serialization`) plus descriptive job metadata for
+``repro cache ls``.  Writes are atomic (temp file + ``os.replace``) so a
+crashed or concurrent writer can never leave a half-written entry behind;
+readers treat anything unparseable as a miss and count it as corrupted.
+
+The cache is safe to share across threads — :class:`BatchCompiler` hands
+one instance to every worker — and across processes on the same
+filesystem, because the key is content-addressed: two processes that race
+to store the same key write equivalent entries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator
+
+from repro.store.fingerprint import compilation_key
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.core.config import AnnealingSchedule, FermihedralConfig
+    from repro.core.pipeline import CompilationResult
+    from repro.fermion.hamiltonians import FermionicHamiltonian
+
+_ENTRY_FORMAT_VERSION = 1
+
+#: Age (seconds) after which an orphaned ``.tmp`` writer file is fair game
+#: for gc; any live put() completes in well under this.
+_STALE_TEMP_S = 3600.0
+
+
+def default_cache_dir() -> Path:
+    """The conventional cache location: ``$REPRO_CACHE_DIR`` or
+    ``~/.cache/fermihedral``."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "fermihedral"
+
+
+@dataclass
+class CacheStats:
+    """Counters accumulated by one :class:`CompilationCache` instance.
+
+    ``hits`` counts entries found and decoded; a hit that is then used
+    only to seed a warm-started descent also increments ``warm_starts``
+    (the pipeline records that).  ``corrupted`` counts entries that were
+    present but unreadable — they behave as misses.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    warm_starts: int = 0
+    corrupted: int = 0
+
+
+@dataclass(frozen=True)
+class CacheEntryInfo:
+    """Summary of one on-disk entry, as listed by ``repro cache ls``."""
+
+    key: str
+    path: Path
+    num_modes: int | None
+    method: str | None
+    weight: int | None
+    proved_optimal: bool | None
+    created_at: float
+    size_bytes: int
+    corrupted: bool = False
+
+
+@dataclass
+class GcReport:
+    """What a :meth:`CompilationCache.gc` pass removed and kept."""
+
+    removed: list[CacheEntryInfo] = field(default_factory=list)
+    #: Why each entry was evicted: key -> "corrupted" | "unproved" | "over-limit".
+    reasons: dict[str, str] = field(default_factory=dict)
+    kept: int = 0
+    dry_run: bool = False
+    temp_files_removed: int = 0
+
+    @property
+    def removed_bytes(self) -> int:
+        return sum(entry.size_bytes for entry in self.removed)
+
+
+class CompilationCache:
+    """Content-addressed store of compilation results.
+
+    Args:
+        root: directory holding the entries; created on first use.
+        validate: re-validate encoding constraints when decoding entries.
+            Leave on unless the caller re-verifies results itself.
+
+    High-level use pairs :meth:`key_for` with :meth:`get`/:meth:`put`;
+    :class:`~repro.core.pipeline.FermihedralCompiler` does this when
+    constructed with ``cache=``.
+    """
+
+    def __init__(self, root: str | Path, validate: bool = True):
+        self.root = Path(root)
+        self.validate = validate
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+
+    # -- keys -----------------------------------------------------------------
+
+    def key_for(
+        self,
+        num_modes: int,
+        config: FermihedralConfig,
+        hamiltonian: FermionicHamiltonian | None = None,
+        method: str = "independent",
+        schedule: AnnealingSchedule | None = None,
+        seed: int | None = None,
+    ) -> str:
+        """Fingerprint a compilation job (see :mod:`repro.store.fingerprint`)."""
+        return compilation_key(num_modes, config, hamiltonian, method, schedule, seed)
+
+    def path_for(self, key: str) -> Path:
+        """On-disk location of a key's entry (whether or not it exists)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- read side ------------------------------------------------------------
+
+    def _decode_entry(self, path: Path, key: str) -> CompilationResult:
+        """Fully decode one entry file, raising ``ValueError``-family
+        exceptions on any corruption (the single source of truth for what
+        counts as a readable entry)."""
+        from repro.encodings.serialization import result_from_dict
+
+        data = json.loads(path.read_text())
+        if data.get("entry_format_version") != _ENTRY_FORMAT_VERSION:
+            raise ValueError("unknown entry format version")
+        if data.get("key") != key:
+            raise ValueError("entry key does not match its filename")
+        return result_from_dict(data["result"], validate=self.validate)
+
+    def get(self, key: str) -> CompilationResult | None:
+        """Fetch a cached result, or ``None`` on miss.
+
+        Corrupted entries (unreadable JSON, schema mismatch, key mismatch,
+        invalid encodings) are counted in ``stats.corrupted`` and reported
+        as misses; ``gc()`` removes them.
+        """
+        path = self.path_for(key)
+        if not path.exists():
+            with self._lock:
+                self.stats.misses += 1
+            return None
+        try:
+            result = self._decode_entry(path, key)
+        except OSError:
+            with self._lock:
+                self.stats.misses += 1
+            return None
+        except (ValueError, KeyError, TypeError):
+            with self._lock:
+                self.stats.corrupted += 1
+                self.stats.misses += 1
+            return None
+        with self._lock:
+            self.stats.hits += 1
+        return result
+
+    def note_warm_start(self) -> None:
+        """Record that a hit was consumed as a warm-start seed (thread-safe)."""
+        with self._lock:
+            self.stats.warm_starts += 1
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entry_paths())
+
+    # -- write side -----------------------------------------------------------
+
+    def put(self, key: str, result: CompilationResult) -> Path:
+        """Persist a result under ``key`` atomically; returns the entry path."""
+        from repro.encodings.serialization import result_to_dict
+
+        entry = {
+            "entry_format_version": _ENTRY_FORMAT_VERSION,
+            "key": key,
+            "created_at": time.time(),
+            "job": {
+                "num_modes": result.encoding.num_modes,
+                "method": result.method,
+            },
+            "result": result_to_dict(result),
+        }
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        text = json.dumps(entry, indent=2) + "\n"
+        handle, temp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "w") as stream:
+                stream.write(text)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        with self._lock:
+            self.stats.stores += 1
+        return path
+
+    # -- maintenance ----------------------------------------------------------
+
+    def _entry_paths(self) -> Iterator[Path]:
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if not shard.is_dir():
+                continue
+            yield from sorted(shard.glob("*.json"))
+
+    def _info_for(self, path: Path) -> CacheEntryInfo | None:
+        """Summarize one entry file; ``None`` when it vanished under a
+        concurrent writer.  Reads only the summary fields — cheap, but
+        blind to corruption deep inside the result payload (``gc()`` does
+        the full decode)."""
+        key = path.stem
+        try:
+            stat = path.stat()
+        except OSError:
+            return None  # vanished under a concurrent gc
+        try:
+            data = json.loads(path.read_text())
+            if data.get("entry_format_version") != _ENTRY_FORMAT_VERSION:
+                raise ValueError("unknown entry format version")
+            if data.get("key") != key:
+                raise ValueError("entry key does not match its filename")
+            result = data["result"]
+            return CacheEntryInfo(
+                key=key,
+                path=path,
+                num_modes=data.get("job", {}).get("num_modes"),
+                method=result.get("method"),
+                weight=result.get("weight"),
+                proved_optimal=result.get("proved_optimal"),
+                created_at=data.get("created_at", stat.st_mtime),
+                size_bytes=stat.st_size,
+            )
+        except OSError:
+            return None  # vanished under a concurrent gc
+        except (ValueError, KeyError, TypeError):
+            return CacheEntryInfo(
+                key=key,
+                path=path,
+                num_modes=None,
+                method=None,
+                weight=None,
+                proved_optimal=None,
+                created_at=stat.st_mtime,
+                size_bytes=stat.st_size,
+                corrupted=True,
+            )
+
+    def entries(self) -> list[CacheEntryInfo]:
+        """Summaries of every entry, corrupted ones flagged rather than hidden.
+
+        Entries removed by a concurrent writer between listing and reading
+        are silently skipped.
+        """
+        infos = []
+        for path in self._entry_paths():
+            info = self._info_for(path)
+            if info is not None:
+                infos.append(info)
+        return infos
+
+    def find(self, key_prefix: str) -> list[CacheEntryInfo]:
+        """Entries whose key starts with ``key_prefix``.
+
+        Matches on filenames first (keys are content-addressed), so only
+        the matching entries are ever read.
+        """
+        infos = []
+        for path in self._entry_paths():
+            if not path.stem.startswith(key_prefix):
+                continue
+            info = self._info_for(path)
+            if info is not None:
+                infos.append(info)
+        return infos
+
+    def gc(
+        self,
+        drop_unproved: bool = False,
+        max_entries: int | None = None,
+        dry_run: bool = False,
+    ) -> GcReport:
+        """Prune the store.
+
+        Corrupted entries are always removed — each survivor of the cheap
+        summary check is fully decoded, so corruption buried in the result
+        payload is caught too — as are temp files abandoned by crashed
+        writers (older than :data:`_STALE_TEMP_S`, so a live writer's
+        in-flight temp survives).  ``drop_unproved`` also evicts
+        results whose optimality was never proved and that therefore only
+        ever serve as warm starts — excluding ``sat+annealing`` entries,
+        which are unproved by nature but count as full hits.
+        ``max_entries`` keeps at most that many of the
+        newest surviving entries.  ``dry_run`` reports without deleting.
+        """
+        from repro.core.config import METHOD_ANNEALING
+
+        report = GcReport(dry_run=dry_run)
+        now = time.time()
+        for shard in self.root.glob("*/"):
+            for temp in shard.glob(".*.tmp"):
+                try:
+                    if now - temp.stat().st_mtime < _STALE_TEMP_S:
+                        continue
+                    report.temp_files_removed += 1
+                    if not dry_run:
+                        temp.unlink()
+                except OSError:
+                    pass
+        def evict(info: CacheEntryInfo, reason: str) -> None:
+            report.removed.append(info)
+            report.reasons[info.key] = reason
+
+        survivors = []
+        for info in self.entries():
+            corrupted = info.corrupted
+            if not corrupted:
+                # entries() only reads summary fields; a gc pass can afford
+                # the full decode, so deep corruption is caught here too.
+                try:
+                    self._decode_entry(info.path, info.key)
+                except OSError:
+                    continue  # vanished under a concurrent writer
+                except (ValueError, KeyError, TypeError):
+                    corrupted = True
+            if corrupted:
+                evict(info, "corrupted")
+                continue
+            # sat+annealing results are never "proved" yet serve as full
+            # hits (deterministic for their seed), so drop_unproved must
+            # not evict them.
+            evictable_unproved = (
+                info.proved_optimal is False and info.method != METHOD_ANNEALING
+            )
+            if drop_unproved and evictable_unproved:
+                evict(info, "unproved")
+            else:
+                survivors.append(info)
+        if max_entries is not None and len(survivors) > max_entries:
+            survivors.sort(key=lambda info: info.created_at, reverse=True)
+            for info in survivors[max_entries:]:
+                evict(info, "over-limit")
+            survivors = survivors[:max_entries]
+        report.kept = len(survivors)
+        if not dry_run:
+            for info in report.removed:
+                try:
+                    info.path.unlink()
+                except OSError:
+                    pass
+        return report

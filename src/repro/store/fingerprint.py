@@ -1,0 +1,123 @@
+"""Stable content fingerprints for compilation jobs.
+
+The SAT descent is fully deterministic given ``(num_modes, config,
+Hamiltonian, method)`` — and, for the annealing method, the cooling
+schedule and RNG seed.  A compilation cache therefore needs exactly one
+thing from this module: a collision-resistant key that is *identical*
+for equivalent jobs and *different* for jobs that could produce different
+results.
+
+Canonicalization choices:
+
+* **Hamiltonians** fingerprint as their sorted set of canonical Majorana
+  support monomials, not their coefficients.  Every weight objective in
+  the compiler (SAT indicators, annealing energy) depends only on *which*
+  monomials appear — two Hamiltonians with the same support (e.g. H2 at
+  two bond lengths) compile to the same encoding, and the cache treats
+  them as the same job.
+* **Configs** fingerprint field-by-field, budgets included: a
+  budget-starved run may legitimately return a different (unproved)
+  result than a generous one.
+* The payload is serialized as minified, key-sorted JSON and hashed with
+  SHA-256; the hex digest is the cache key.  ``FINGERPRINT_VERSION`` is
+  part of the payload, so any future canonicalization change invalidates
+  old keys instead of silently colliding with them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+
+from repro.core.config import (
+    COMPILE_METHODS,
+    METHOD_ANNEALING,
+    AnnealingSchedule,
+    FermihedralConfig,
+)
+from repro.fermion.hamiltonians import FermionicHamiltonian
+
+FINGERPRINT_VERSION = 1
+
+
+def canonical_config(config: FermihedralConfig) -> dict:
+    """Plain-data form of a config, stable across sessions.
+
+    Derived field-by-field from the dataclass so a future config field
+    changes the fingerprint automatically (fails closed) instead of
+    silently colliding with pre-existing keys.
+    """
+    return dataclasses.asdict(config)
+
+
+def canonical_hamiltonian(hamiltonian: FermionicHamiltonian) -> list[list[int]]:
+    """Sorted support monomials — all the compiler ever reads of a Hamiltonian."""
+    return sorted([list(monomial) for monomial in hamiltonian.monomials])
+
+
+def canonical_schedule(schedule: AnnealingSchedule) -> dict:
+    """Plain-data form of an annealing schedule."""
+    return {
+        "initial_temperature": schedule.initial_temperature,
+        "final_temperature": schedule.final_temperature,
+        "temperature_step": schedule.temperature_step,
+        "iterations_per_step": schedule.iterations_per_step,
+        "boltzmann_constant": schedule.boltzmann_constant,
+    }
+
+
+def job_payload(
+    num_modes: int,
+    config: FermihedralConfig,
+    hamiltonian: FermionicHamiltonian | None = None,
+    method: str = "independent",
+    schedule: AnnealingSchedule | None = None,
+    seed: int | None = None,
+) -> dict:
+    """The canonical, JSON-serializable identity of one compilation job.
+
+    Args:
+        num_modes: number of fermionic modes.
+        config: full compiler configuration (budget included).
+        hamiltonian: target Hamiltonian for the dependent methods; must be
+            ``None`` for the ``independent`` method.
+        method: one of :data:`repro.core.config.COMPILE_METHODS`.
+        schedule: annealing schedule; only fingerprinted for the
+            ``sat+annealing`` method (defaults applied there).
+        seed: annealing RNG seed; only fingerprinted for ``sat+annealing``.
+    """
+    if method not in COMPILE_METHODS:
+        raise ValueError(
+            f"unknown compile method {method!r}; expected one of {COMPILE_METHODS}"
+        )
+    payload: dict = {
+        "fingerprint_version": FINGERPRINT_VERSION,
+        "num_modes": num_modes,
+        "method": method,
+        "config": canonical_config(config),
+        "hamiltonian": (
+            None if hamiltonian is None else canonical_hamiltonian(hamiltonian)
+        ),
+        "annealing": None,
+    }
+    if method == METHOD_ANNEALING:
+        payload["annealing"] = {
+            "schedule": canonical_schedule(schedule or AnnealingSchedule()),
+            "seed": seed if seed is not None else 2024,
+        }
+    return payload
+
+
+def compilation_key(
+    num_modes: int,
+    config: FermihedralConfig,
+    hamiltonian: FermionicHamiltonian | None = None,
+    method: str = "independent",
+    schedule: AnnealingSchedule | None = None,
+    seed: int | None = None,
+) -> str:
+    """SHA-256 hex key identifying one compilation job (see module docs)."""
+    payload = job_payload(num_modes, config, hamiltonian, method, schedule, seed)
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()

@@ -158,3 +158,135 @@ class TestCliCommands:
     def test_missing_file_error_path(self, capsys):
         code = main(["verify", "/nonexistent/enc.json"])
         assert code == 2
+
+
+class TestCacheCli:
+    def _solve_cached(self, tmp_path):
+        return main([
+            "solve", "--modes", "2", "--budget-s", "30",
+            "--cache", str(tmp_path / "cache"),
+        ])
+
+    def test_solve_cache_miss_then_hit(self, capsys, tmp_path):
+        assert self._solve_cached(tmp_path) == 0
+        assert "cache:           miss" in capsys.readouterr().out
+        assert self._solve_cached(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "cache:           hit" in out
+        assert "weight:          6" in out
+
+    def test_cache_ls_empty(self, capsys, tmp_path):
+        code = main(["cache", "ls", "--dir", str(tmp_path / "none")])
+        assert code == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_cache_ls_and_show(self, capsys, tmp_path):
+        self._solve_cached(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "ls", "--dir", str(tmp_path / "cache")]) == 0
+        out = capsys.readouterr().out
+        assert "1 entries" in out
+        assert "full-sat/independent" in out
+        key = out.splitlines()[2].split("|")[0].strip()
+        assert main(["cache", "show", key, "--dir", str(tmp_path / "cache")]) == 0
+        out = capsys.readouterr().out
+        assert "proved optimal:  True" in out
+        assert "majorana strings:" in out
+
+    def test_cache_show_json(self, capsys, tmp_path):
+        self._solve_cached(tmp_path)
+        capsys.readouterr()
+        code = main(["cache", "show", "", "--json",
+                     "--dir", str(tmp_path / "cache")])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["entry_format_version"] == 1
+        assert data["result"]["weight"] == 6
+
+    def test_cache_show_json_corrupted_entry_fails(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        self._solve_cached(tmp_path)
+        entry = next((cache_dir).glob("*/*.json"))
+        entry.write_text("{broken")
+        capsys.readouterr()
+        code = main(["cache", "show", entry.stem[:8], "--json",
+                     "--dir", str(cache_dir)])
+        assert code == 1
+        assert "corrupted" in capsys.readouterr().out
+
+    def test_cache_show_json_deep_corruption_fails(self, capsys, tmp_path):
+        """--json must not dump an entry whose inner result payload is
+        undecodable, even though the wrapper JSON parses."""
+        cache_dir = tmp_path / "cache"
+        self._solve_cached(tmp_path)
+        entry = next(cache_dir.glob("*/*.json"))
+        data = json.loads(entry.read_text())
+        data["result"]["result_format_version"] = 999
+        entry.write_text(json.dumps(data))
+        capsys.readouterr()
+        code = main(["cache", "show", entry.stem[:8], "--json",
+                     "--dir", str(cache_dir)])
+        assert code == 1
+        assert "could not be decoded" in capsys.readouterr().err
+
+    def test_cache_show_missing_prefix(self, capsys, tmp_path):
+        self._solve_cached(tmp_path)
+        capsys.readouterr()
+        code = main(["cache", "show", "zzzz", "--dir", str(tmp_path / "cache")])
+        assert code == 2
+        assert "no cache entry" in capsys.readouterr().err
+
+    def test_cache_gc_reports(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        self._solve_cached(tmp_path)
+        (cache_dir / "zz").mkdir(parents=True)
+        (cache_dir / "zz" / ("z" * 64 + ".json")).write_text("junk")
+        capsys.readouterr()
+        code = main(["cache", "gc", "--dir", str(cache_dir)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "removed 1 entries" in out
+        assert "corrupted" in out
+
+
+class TestBatchCli:
+    def test_batch_jobs_file_dedups(self, capsys, tmp_path):
+        jobs = tmp_path / "jobs.json"
+        jobs.write_text(json.dumps([
+            {"modes": 2, "method": "independent"},
+            {"modes": 2, "method": "independent", "label": "again"},
+        ]))
+        code = main([
+            "batch", str(jobs), "--budget-s", "30",
+            "--cache", str(tmp_path / "cache"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "deduplicated" in out
+        assert "2 jobs" in out
+        assert "1 stores" in out
+
+    def test_batch_requires_jobs(self, capsys):
+        code = main(["batch"])
+        assert code == 2
+        assert "no jobs" in capsys.readouterr().err
+
+    def test_batch_rejects_bad_method(self, capsys, tmp_path):
+        jobs = tmp_path / "jobs.json"
+        jobs.write_text(json.dumps([{"modes": 2, "method": "psychic"}]))
+        assert main(["batch", str(jobs)]) == 2
+
+    def test_batch_rejects_model_for_independent(self, capsys, tmp_path):
+        jobs = tmp_path / "jobs.json"
+        jobs.write_text(json.dumps([{"model": "h2", "method": "independent"}]))
+        assert main(["batch", str(jobs)]) == 2
+
+    def test_batch_rejects_non_list_file(self, capsys, tmp_path):
+        jobs = tmp_path / "jobs.json"
+        jobs.write_text(json.dumps({"model": "h2"}))
+        assert main(["batch", str(jobs)]) == 2
+
+    def test_batch_directory_as_jobs_file(self, capsys, tmp_path):
+        code = main(["batch", str(tmp_path)])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
