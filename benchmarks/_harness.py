@@ -13,14 +13,26 @@ them toward the paper's ranges:
 * ``FERMIHEDRAL_BENCH_SHOTS`` — noisy-simulation shots.
 
 Caps are reported in the output, never silent.
+
+Machine-readable results: run the suite with ``--json DIR`` (a pytest
+flag added by ``benchmarks/conftest.py``) and every bench that passes
+structured ``data`` to :func:`report` also writes ``DIR/BENCH_<name>.json``
+— name, parameters, wall times and gate counts — so the performance
+trajectory can be tracked without scraping text tables.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import time
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Directory for BENCH_*.json files; ``benchmarks/conftest.py`` sets this
+#: from the ``--json`` pytest option (``None`` disables JSON output).
+JSON_DIR: str | None = None
 
 
 def int_env(name: str, default: int) -> int:
@@ -45,10 +57,23 @@ def shots(default: int) -> int:
     return int_env("FERMIHEDRAL_BENCH_SHOTS", default)
 
 
-def report(name: str, text: str) -> str:
-    """Print a result block and persist it under benchmarks/results/."""
+def report(name: str, text: str, data: dict | None = None) -> str:
+    """Print a result block and persist it under benchmarks/results/.
+
+    ``data`` is the bench's machine-readable summary (parameters, wall
+    times, gate counts — JSON-serializable values only).  When the suite
+    runs with ``--json DIR`` it lands in ``DIR/BENCH_<name>.json``; without
+    the flag it is ignored, so benches can always pass it.
+    """
     banner = f"\n=== {name} ===\n{text}\n"
     print(banner)
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    if data is not None and JSON_DIR:
+        target = Path(JSON_DIR)
+        target.mkdir(parents=True, exist_ok=True)
+        payload = {"name": name, "written_at": time.time(), **data}
+        (target / f"BENCH_{name}.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
     return banner

@@ -1,0 +1,144 @@
+"""Hardware-aware vs weight-only encodings, routed onto real topologies.
+
+Following Chien & Klassen (arXiv:2210.05652) and Williams de la Bastida et
+al. (arXiv:2512.13580): the encoding that minimizes abstract Pauli weight
+is not automatically the one that minimizes *routed* two-qubit gate count
+once a device's coupling graph is in play.
+
+Two arms per (model, device) case, scored by the same
+:class:`~repro.hardware.cost.HardwareCostModel` (identical synthesis,
+layout and SWAP-insertion pipeline, so the comparison is apples-to-apples):
+
+* **weight-only** — the plain Full-SAT optimum, compiled ignoring the
+  device, then routed;
+* **hardware-aware** — the device-bound compiler: connectivity-weighted
+  SAT objective plus routed-cost candidate selection.  The portfolio
+  explicitly includes the weight-only optimum, so by construction the
+  hardware-aware arm's routed CNOT count never exceeds the weight-only
+  arm's — the asserted invariant; the interesting number is how often
+  (and by how much) it is strictly better.
+
+Cases: H2 (4 modes) across a line, a grid, a heavy-hex cell and
+all-to-all; 2x2 Fermi-Hubbard (8 modes) on the 3x3 grid of the ISSUE's
+acceptance scenario.
+"""
+
+from __future__ import annotations
+
+import time
+
+from _harness import budget_seconds, max_modes, report
+
+from repro.analysis.tables import format_table
+from repro.core import FermihedralCompiler, FermihedralConfig, SolverBudget, solve_full_sat
+from repro.encodings import bravyi_kitaev
+from repro.fermion import h2_hamiltonian, hubbard_lattice
+from repro.hardware import HardwareCostModel, get_device
+
+MODES_CAP = max_modes(8)
+
+
+def _cases():
+    h2 = h2_hamiltonian()
+    hubbard = hubbard_lattice(2, 2)
+    candidates = [
+        ("H2", h2, "linear-5"),
+        ("H2", h2, "grid-2x3"),
+        ("H2", h2, "heavy-hex-1x1"),
+        ("H2", h2, "all-to-all-4"),
+        ("2x2 Hubbard", hubbard, "grid-3x3"),
+    ]
+    return [(name, h, device) for name, h, device in candidates
+            if h.num_modes <= MODES_CAP]
+
+
+def _config(num_modes: int) -> FermihedralConfig:
+    return FermihedralConfig(
+        algebraic_independence=num_modes <= 4,
+        budget=SolverBudget(time_budget_s=budget_seconds(15.0)),
+    )
+
+
+def test_hardware_routing(benchmark):
+    rows = []
+    json_cases = []
+    for name, hamiltonian, device in _cases():
+        topology = get_device(device)
+        model = HardwareCostModel(topology)
+
+        started = time.monotonic()
+        weight_only = solve_full_sat(hamiltonian, _config(hamiltonian.num_modes))
+        weight_cost = model.cost_of_encoding(weight_only.encoding, hamiltonian)
+        weight_elapsed = time.monotonic() - started
+
+        started = time.monotonic()
+        compiler = FermihedralCompiler(
+            hamiltonian.num_modes, _config(hamiltonian.num_modes), device=topology
+        )
+        aware = compiler.full_sat(hamiltonian)
+        # Portfolio step: also score the weight-only optimum, and report
+        # whichever encoding wins — weight and routed cost always describe
+        # the same encoding.
+        chosen, aware_cost = model.best_encoding(
+            [aware.encoding, weight_only.encoding], hamiltonian
+        )
+        aware_weight = chosen.hamiltonian_pauli_weight(hamiltonian)
+        aware_elapsed = time.monotonic() - started
+
+        # Real invariant of the device-bound pipeline: it never routes
+        # worse than a textbook baseline it could have had for free.
+        assert aware.hardware.two_qubit_count <= model.cost_of_encoding(
+            bravyi_kitaev(hamiltonian.num_modes), hamiltonian
+        ).two_qubit_count
+        # Portfolio guarantee (by construction, since the weight-only
+        # optimum is a candidate): the acceptance criterion's <=.
+        assert aware_cost.two_qubit_count <= weight_cost.two_qubit_count
+
+        rows.append([
+            name, device,
+            weight_only.weight, weight_cost.two_qubit_count, weight_cost.depth,
+            aware_weight, aware_cost.two_qubit_count, aware_cost.depth,
+            aware_cost.swap_count,
+        ])
+        json_cases.append({
+            "model": name,
+            "device": device,
+            "weight_only": {
+                "weight": weight_only.weight,
+                "routed_two_qubit": weight_cost.two_qubit_count,
+                "depth": weight_cost.depth,
+                "swaps": weight_cost.swap_count,
+                "wall_time_s": weight_elapsed,
+            },
+            "hardware_aware": {
+                "weight": aware_weight,
+                "routed_two_qubit": aware_cost.two_qubit_count,
+                "depth": aware_cost.depth,
+                "swaps": aware_cost.swap_count,
+                "pipeline_routed_two_qubit": aware.hardware.two_qubit_count,
+                "wall_time_s": aware_elapsed,
+            },
+        })
+
+    table = format_table(
+        ["case", "device",
+         "W-only weight", "W-only 2q", "W-only depth",
+         "HW weight", "HW 2q", "HW depth", "HW swaps"],
+        rows,
+    )
+    report(
+        "hardware_routing",
+        table,
+        data={
+            "params": {
+                "modes_cap": MODES_CAP,
+                "budget_s": budget_seconds(15.0),
+            },
+            "cases": json_cases,
+        },
+    )
+
+    # Steady-state cost of the routing pass itself (no SAT in the loop).
+    h2 = h2_hamiltonian()
+    linear = HardwareCostModel(get_device("linear-5"))
+    benchmark(linear.cost_of_encoding, bravyi_kitaev(4), h2)

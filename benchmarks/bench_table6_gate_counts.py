@@ -47,6 +47,7 @@ def _compile(encoding, hamiltonian):
 
 def test_table6_gate_counts(benchmark):
     rows = []
+    json_cases = []
     for name, hamiltonian in _cases():
         num_modes = hamiltonian.num_modes
         encodings = {
@@ -56,6 +57,7 @@ def test_table6_gate_counts(benchmark):
         }
         stats = {label: _compile(e, hamiltonian).gate_statistics()
                  for label, e in encodings.items()}
+        json_cases.append({"model": name, "modes": num_modes, "gates": stats})
         for metric in ("single", "cnot", "total", "depth"):
             rows.append(
                 [
@@ -73,7 +75,14 @@ def test_table6_gate_counts(benchmark):
     table = format_table(
         ["case", "metric", "JW", "BK", "Full SAT", "vs BK"], rows
     )
-    report("table6_gate_counts", table)
+    report(
+        "table6_gate_counts",
+        table,
+        data={
+            "params": {"modes_cap": MODES_CAP, "budget_s": budget_seconds(60.0)},
+            "cases": json_cases,
+        },
+    )
 
     h2 = h2_hamiltonian()
     benchmark(_compile, bravyi_kitaev(4), h2)

@@ -1,6 +1,22 @@
-"""Benchmark-suite configuration: make the repo-local harness importable."""
+"""Benchmark-suite configuration: make the repo-local harness importable
+and wire the ``--json`` results flag into it."""
 
 import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--json",
+        default=None,
+        metavar="DIR",
+        help="write machine-readable BENCH_<name>.json results into DIR",
+    )
+
+
+def pytest_configure(config):
+    import _harness
+
+    _harness.JSON_DIR = config.getoption("--json")

@@ -1,0 +1,80 @@
+"""Hardware-aware compilation walkthrough.
+
+Compiles H2 for two very different machines — a 5-qubit line
+(``ibmq-manila``) and an all-to-all trapped-ion device — and shows why the
+device belongs in the objective:
+
+1. inspect a device topology and the per-qubit objective weights it
+   induces;
+2. route the textbook baselines onto it and compare *routed* two-qubit
+   gate counts with abstract Pauli weights;
+3. run the device-bound ``FermihedralCompiler`` and read the routed cost
+   off the result;
+4. see that the same job on a different device gets a different cache
+   fingerprint.
+
+Run:  PYTHONPATH=src python examples/hardware_aware_compile.py
+"""
+
+from repro import FermihedralCompiler, FermihedralConfig, SolverBudget
+from repro.analysis import compare_routed_cost, format_table
+from repro.encodings import bravyi_kitaev, jordan_wigner
+from repro.fermion import h2_hamiltonian
+from repro.hardware import HardwareCostModel, connectivity_weights, get_device
+from repro.store import compilation_key
+
+h2 = h2_hamiltonian()
+config = FermihedralConfig(budget=SolverBudget(time_budget_s=20.0))
+
+# -- 1. a device is a coupling graph with a metric ---------------------------
+
+manila = get_device("ibmq-manila")
+print(f"{manila.name}: {manila.num_qubits} qubits, diameter {manila.diameter}")
+print(f"  couplers: {list(manila.edges)}")
+print(f"  objective weights for 4 logical qubits: "
+      f"{list(connectivity_weights(manila, h2.num_modes))}")
+print("  (end-of-line qubits are farther from everything, so Paulis living "
+      "there cost more)\n")
+
+# -- 2. abstract weight vs routed cost for the baselines ---------------------
+
+rows = []
+for device_name in ("ibmq-manila", "all-to-all-4"):
+    comparison = compare_routed_cost(
+        "H2", h2, jordan_wigner(h2.num_modes), bravyi_kitaev(h2.num_modes),
+        get_device(device_name),
+    )
+    rows.append(comparison.row())
+print(format_table(list(comparison.HEADERS), rows))
+print("(JW vs BK can flip order between devices — weight alone does not "
+      "decide)\n")
+
+# -- 3. the device-bound compiler --------------------------------------------
+
+for device_name in ("ibmq-manila", "all-to-all-4"):
+    compiler = FermihedralCompiler(h2.num_modes, config, device=device_name)
+    result = compiler.full_sat(h2)
+    hardware = result.hardware
+    print(f"{device_name}: weight={result.weight} "
+          f"routed 2q={hardware.two_qubit_count} "
+          f"(swaps={hardware.swap_count}, depth={hardware.depth})")
+
+    # The compiler never returns an encoding that routes worse than a
+    # textbook baseline it could have had for free:
+    model = HardwareCostModel(get_device(device_name))
+    bk_cost = model.cost_of_encoding(bravyi_kitaev(h2.num_modes), h2)
+    assert hardware.two_qubit_count <= bk_cost.two_qubit_count
+print()
+
+# -- 4. fingerprints are per-device ------------------------------------------
+
+key_line = compilation_key(h2.num_modes, config, h2, "full-sat",
+                           device=get_device("ibmq-manila"))
+key_ion = compilation_key(h2.num_modes, config, h2, "full-sat",
+                          device=get_device("all-to-all-4"))
+key_free = compilation_key(h2.num_modes, config, h2, "full-sat")
+print(f"cache key on ibmq-manila:  {key_line[:16]}...")
+print(f"cache key on all-to-all-4: {key_ion[:16]}...")
+print(f"cache key device-free:     {key_free[:16]}...")
+assert len({key_line, key_ion, key_free}) == 3
+print("three different jobs, three different cache entries")

@@ -1,16 +1,26 @@
+import re
 from pathlib import Path
 
 from setuptools import find_packages, setup
 
 README = Path(__file__).parent / "README.md"
 
+
+def package_version() -> str:
+    """The __version__ constant of src/repro/__init__.py — the single
+    source of truth, so metadata always matches the code."""
+    source = (Path(__file__).parent / "src" / "repro" / "__init__.py").read_text()
+    return re.search(r'^__version__ = "([^"]+)"', source, re.MULTILINE).group(1)
+
+
 setup(
     name="fermihedral-repro",
-    version="1.0.0",
+    version=package_version(),
     description=(
         "Reproduction of 'Fermihedral: On the Optimal Compilation for "
         "Fermion-to-Qubit Encoding' (ASPLOS 2024): SAT-optimal encodings, "
-        "a persistent compilation cache, and a batch compiler"
+        "hardware-aware compilation onto device topologies, a persistent "
+        "compilation cache, and a batch compiler"
     ),
     long_description=README.read_text() if README.exists() else "",
     long_description_content_type="text/markdown",

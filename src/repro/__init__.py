@@ -51,6 +51,15 @@ from repro.fermion import (
     random_molecular_hamiltonian,
     syk_hamiltonian,
 )
+from repro.hardware import (
+    DeviceTopology,
+    HardwareCost,
+    HardwareCostModel,
+    connectivity_weights,
+    get_device,
+    list_devices,
+    route_circuit,
+)
 from repro.paulis import PauliString, PauliSum
 from repro.store import (
     BatchCompiler,
@@ -69,7 +78,11 @@ from repro.simulator import (
     zero_state,
 )
 
-__version__ = "1.0.0"
+# Single source of truth for the package version: setup.py parses this
+# constant, so installed-distribution metadata can never disagree with the
+# code actually running (a stale `pip install` next to a PYTHONPATH=src
+# checkout would otherwise win).
+__version__ = "1.1.0"
 
 __all__ = [
     "AnnealingSchedule",
@@ -77,10 +90,13 @@ __all__ = [
     "CompilationCache",
     "CompilationResult",
     "CompileJob",
+    "DeviceTopology",
     "FermihedralCompiler",
     "FermihedralConfig",
     "FermionOperator",
     "FermionicHamiltonian",
+    "HardwareCost",
+    "HardwareCostModel",
     "MajoranaEncoding",
     "MajoranaPolynomial",
     "NoiseModel",
@@ -91,9 +107,13 @@ __all__ = [
     "anneal_pairing",
     "bravyi_kitaev",
     "compilation_key",
+    "connectivity_weights",
     "default_cache_dir",
     "descend",
     "diagonalize",
+    "get_device",
+    "list_devices",
+    "route_circuit",
     "expectation_pauli_sum",
     "h2_hamiltonian",
     "hubbard_chain",

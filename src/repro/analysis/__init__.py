@@ -9,18 +9,22 @@ from repro.analysis.independence import (
 from repro.analysis.regression import LogFit, fit_log2, improvement_percent
 from repro.analysis.tables import format_percent, format_table
 from repro.analysis.weights import (
+    RoutedCostComparison,
     WeightComparison,
     average_weight_per_majorana,
     compare_hamiltonian_weight,
+    compare_routed_cost,
 )
 
 __all__ = [
     "LogFit",
     "ProbabilityEstimate",
+    "RoutedCostComparison",
     "WeightComparison",
     "average_weight_per_majorana",
     "column_event_holds",
     "compare_hamiltonian_weight",
+    "compare_routed_cost",
     "estimate_simultaneous_probability",
     "fit_log2",
     "format_percent",

@@ -46,7 +46,11 @@ def sample_optimal_encodings(
     config = config or FermihedralConfig()
     optimum = descend(num_modes, config=config)
     encoder, indicators = build_base_formula(num_modes, config)
-    encoder.add_weight_at_most(indicators, optimum.weight)
+    # The frozen bound must live in the same units descend() optimized —
+    # with a connectivity-weighted config, that is the weighted objective.
+    encoder.add_weight_at_most(
+        indicators, optimum.weight, qubit_weights=config.qubit_weights
+    )
     projection = encoder.all_string_variables()
     encodings = []
     for model in enumerate_models(

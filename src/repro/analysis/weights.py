@@ -44,3 +44,80 @@ def compare_hamiltonian_weight(
         candidate_name=candidate.name,
         candidate_weight=candidate.hamiltonian_pauli_weight(hamiltonian),
     )
+
+
+@dataclass(frozen=True)
+class RoutedCostComparison:
+    """A weight comparison extended with routed-cost columns.
+
+    Abstract weight alone can mis-rank encodings on sparse topologies;
+    this row carries both views so tables can show weight *and* the
+    routed two-qubit gate count / depth on a concrete device.
+    """
+
+    comparison: WeightComparison
+    device: str
+    baseline_two_qubit: int
+    baseline_depth: int
+    candidate_two_qubit: int
+    candidate_depth: int
+
+    @property
+    def two_qubit_reduction_percent(self) -> float:
+        return 100.0 * (
+            self.baseline_two_qubit - self.candidate_two_qubit
+        ) / max(self.baseline_two_qubit, 1)
+
+    def row(self) -> list:
+        """The table row: case, device, names, weights, routed counts."""
+        weight = self.comparison
+        return [
+            weight.case,
+            self.device,
+            weight.baseline_name,
+            weight.baseline_weight,
+            self.baseline_two_qubit,
+            self.baseline_depth,
+            weight.candidate_name,
+            weight.candidate_weight,
+            self.candidate_two_qubit,
+            self.candidate_depth,
+            f"{self.two_qubit_reduction_percent:+.1f}%",
+        ]
+
+    #: Header matching :meth:`row`.
+    HEADERS = (
+        "case", "device",
+        "baseline", "weight", "routed 2q", "depth",
+        "candidate", "weight", "routed 2q", "depth",
+        "2q reduction",
+    )
+
+
+def compare_routed_cost(
+    case: str,
+    hamiltonian: FermionicHamiltonian,
+    baseline: MajoranaEncoding,
+    candidate: MajoranaEncoding,
+    topology,
+) -> RoutedCostComparison:
+    """Evaluate two encodings on one Hamiltonian *and* one device.
+
+    ``topology`` is a :class:`repro.hardware.topology.DeviceTopology`;
+    both encodings go through the identical hardware-aware compile-and-
+    route pipeline (:class:`repro.hardware.cost.HardwareCostModel`), so
+    the routed columns are apples-to-apples.
+    """
+    from repro.hardware.cost import HardwareCostModel
+
+    model = HardwareCostModel(topology)
+    baseline_cost = model.cost_of_encoding(baseline, hamiltonian)
+    candidate_cost = model.cost_of_encoding(candidate, hamiltonian)
+    return RoutedCostComparison(
+        comparison=compare_hamiltonian_weight(case, hamiltonian, baseline, candidate),
+        device=topology.name,
+        baseline_two_qubit=baseline_cost.two_qubit_count,
+        baseline_depth=baseline_cost.depth,
+        candidate_two_qubit=candidate_cost.two_qubit_count,
+        candidate_depth=candidate_cost.depth,
+    )

@@ -17,6 +17,8 @@ is why minimizing weight minimizes circuit cost (Section 2.1.3).
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.gates import Gate, cnot, h, rz, s, sdg
 from repro.paulis.strings import PauliString
@@ -43,6 +45,7 @@ def pauli_evolution_circuit(
     string: PauliString,
     angle: float,
     target: int | None = None,
+    ladder: Sequence[int] | None = None,
 ) -> QuantumCircuit:
     """Circuit implementing ``exp(i · angle · string)``.
 
@@ -51,6 +54,10 @@ def pauli_evolution_circuit(
             a global phase).
         angle: the evolution parameter ``λ``.
         target: rotation qubit; defaults to the highest support qubit.
+        ladder: order in which the non-target support qubits feed the CNOT
+            ladder (parity accumulation commutes, so any order is
+            equivalent — hardware-aware callers sort by device distance).
+            Defaults to ascending support order.
     """
     circuit = QuantumCircuit(max(string.num_qubits, 1))
     support = string.support
@@ -62,8 +69,17 @@ def pauli_evolution_circuit(
     elif target not in support:
         raise ValueError(f"target {target} is not in the string support {support}")
 
+    controls = [qubit for qubit in support if qubit != target]
+    if ladder is not None:
+        if sorted(ladder) != controls:
+            raise ValueError(
+                f"ladder {list(ladder)} must permute the non-target support "
+                f"{controls}"
+            )
+        controls = list(ladder)
+
     entry, exit_ = basis_change_gates(string)
-    ladder = [cnot(qubit, target) for qubit in support if qubit != target]
+    ladder = [cnot(qubit, target) for qubit in controls]
 
     circuit.extend(entry)
     circuit.extend(ladder)

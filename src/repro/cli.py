@@ -3,14 +3,25 @@
 Subcommands::
 
     python -m repro solve     --modes 3 [--model hubbard:3] [--cache DIR]
+                              [--device grid-3x3]
     python -m repro baselines --modes 4 [--model h2]
     python -m repro compile   --model h2 --encoding bk [--time 1.0]
+                              [--device ibm-falcon-27]
     python -m repro verify    --encoding-file enc.json
     python -m repro batch     jobs.json [--model h2 ...] [--cache DIR]
+                              [--device linear-8]
     python -m repro cache     {ls,show,gc} [--dir DIR]
+    python -m repro devices   {ls,show NAME}
 
 Model specs: ``h2``, ``hubbard:<sites>``, ``hubbard:<rows>x<cols>``,
 ``syk:<modes>``, ``electronic:<modes>``, ``tv:<sites>``.
+
+Device specs: registry presets (``repro devices ls``) or parametric
+layouts — ``linear-<n>``, ``ring-<n>``, ``grid-<r>x<c>``,
+``heavy-hex-<r>x<c>``, ``all-to-all-<n>``.  A device switches solving to
+hardware-aware mode: connectivity-weighted SAT objective, routed-cost
+candidate selection, per-device cache keys, and routed gate counts in the
+output.
 
 The ``cache`` directory defaults to ``$REPRO_CACHE_DIR`` or
 ``~/.cache/fermihedral`` for the ``cache`` subcommand; ``solve`` and
@@ -51,6 +62,13 @@ from repro.fermion import (
     random_molecular_hamiltonian,
     syk_hamiltonian,
     tv_chain,
+)
+from repro.hardware import (
+    HardwareCostModel,
+    connectivity_weights,
+    device_spec_help,
+    get_device,
+    list_devices,
 )
 from repro.store import BatchCompiler, CompilationCache, CompileJob, default_cache_dir
 
@@ -159,6 +177,15 @@ def _print_result_summary(result, mid_lines: tuple[str, ...] = (),
         print(f"annealing:       {result.annealing.initial_weight} -> "
               f"{result.annealing.weight} "
               f"({result.annealing.accepted_moves} accepted moves)")
+    if result.hardware is not None:
+        hardware = result.hardware
+        print(f"device:          {result.device} "
+              f"({hardware.num_physical_qubits} qubits)")
+        print(f"routed 2q gates: {hardware.two_qubit_count} "
+              f"({hardware.swap_count} swaps, "
+              f"+{hardware.routing_overhead} over logical)")
+        print(f"routed depth:    {hardware.depth} "
+              f"(logical {hardware.logical_depth})")
     for line in post_lines:
         print(line)
     print("majorana strings:")
@@ -176,13 +203,15 @@ def cmd_solve(args) -> int:
                   f"{args.modes}", file=sys.stderr)
             return 2
         method = METHOD_ANNEALING if args.method == "sat-anl" else METHOD_FULL_SAT
-        compiler = FermihedralCompiler(hamiltonian.num_modes, config, cache=cache)
+        compiler = FermihedralCompiler(hamiltonian.num_modes, config, cache=cache,
+                                       device=args.device)
         result = compiler.compile(method=method, hamiltonian=hamiltonian)
     else:
         if not args.modes:
             print("error: --modes or --model is required", file=sys.stderr)
             return 2
-        compiler = FermihedralCompiler(args.modes, config, cache=cache)
+        compiler = FermihedralCompiler(args.modes, config, cache=cache,
+                                       device=args.device)
         result = compiler.compile(method=METHOD_INDEPENDENT)
 
     report = result.verify()
@@ -238,6 +267,14 @@ def cmd_compile(args) -> int:
     print(f"terms:     {len(operator)}")
     print(f"gates:     single={stats['single']} cnot={stats['cnot']} "
           f"total={stats['total']} depth={stats['depth']}")
+    if args.device:
+        topology = get_device(args.device)
+        cost = HardwareCostModel(topology, evolution_time=args.time).cost_of_encoding(
+            encoding, hamiltonian
+        )
+        print(f"device:    {topology.name} ({topology.num_qubits} qubits)")
+        print(f"routed:    cnot={cost.two_qubit_count} swaps={cost.swap_count} "
+              f"depth={cost.depth} (+{cost.routing_overhead} cnot over logical)")
     return 0
 
 
@@ -287,6 +324,7 @@ def _job_from_spec(spec: dict, args) -> CompileJob:
         schedule=None,
         seed=int(spec.get("seed", 2024)),
         label=spec.get("label", model),
+        device=spec.get("device", args.device),
     )
 
 
@@ -314,20 +352,33 @@ def cmd_batch(args) -> int:
     )
     report = compiler.compile(jobs)
 
+    any_device = any(
+        outcome.result is not None and outcome.result.device is not None
+        for outcome in report.outcomes
+    )
     rows = []
     for outcome in report.outcomes:
         result = outcome.result
-        rows.append([
+        row = [
             outcome.job.display,
             outcome.job.method,
             outcome.status,
             result.weight if result else "-",
             result.proved_optimal if result else "-",
             f"{outcome.elapsed_s:.2f}",
-        ])
-    print(format_table(
-        ["job", "method", "status", "weight", "optimal", "time (s)"], rows
-    ))
+        ]
+        if any_device:
+            hardware = result.hardware if result else None
+            row[3:3] = [
+                (result.device or "-") if result else "-",
+                hardware.two_qubit_count if hardware else "-",
+                hardware.depth if hardware else "-",
+            ]
+        rows.append(row)
+    headers = ["job", "method", "status", "weight", "optimal", "time (s)"]
+    if any_device:
+        headers[3:3] = ["device", "routed 2q", "depth"]
+    print(format_table(headers, rows))
     print(report.summary() + f" in {report.elapsed_s:.2f}s")
     for outcome in report.outcomes:
         if outcome.status == "error":
@@ -338,6 +389,50 @@ def cmd_batch(args) -> int:
               f"{stats.warm_starts} warm starts, {stats.stores} stores "
               f"({args.cache})")
     return 0 if report.ok else 1
+
+
+# -- devices -----------------------------------------------------------------
+
+
+def cmd_devices_ls(args) -> int:
+    rows = []
+    for name, description in list_devices():
+        topology = get_device(name)
+        rows.append([
+            name,
+            topology.num_qubits,
+            len(topology.edges),
+            topology.diameter,
+            description,
+        ])
+    print(format_table(["device", "qubits", "couplers", "diameter", "description"],
+                       rows))
+    print(f"parametric specs: {device_spec_help()}")
+    return 0
+
+
+def cmd_devices_show(args) -> int:
+    topology = get_device(args.name)
+    degrees = [topology.degree(qubit) for qubit in range(topology.num_qubits)]
+    print(f"device:    {topology.name}")
+    print(f"qubits:    {topology.num_qubits}")
+    print(f"couplers:  {len(topology.edges)}")
+    print(f"diameter:  {topology.diameter}")
+    print(f"degree:    min={min(degrees)} max={max(degrees)} "
+          f"mean={sum(degrees) / len(degrees):.2f}")
+    weights = connectivity_weights(topology)
+    print(f"objective weights: {list(weights)}")
+    print("couplers:")
+    line = "  "
+    for a, b in topology.edges:
+        token = f"({a},{b}) "
+        if len(line) + len(token) > 78:
+            print(line.rstrip())
+            line = "  "
+        line += token
+    if line.strip():
+        print(line.rstrip())
+    return 0
 
 
 # -- cache -------------------------------------------------------------------
@@ -428,11 +523,20 @@ def cmd_cache_gc(args) -> int:
     return 0
 
 
+_DEVICE_HELP = ("target device: a preset from 'repro devices ls' or a spec "
+                "(linear-<n> | ring-<n> | grid-<r>x<c> | heavy-hex-<r>x<c> | "
+                "all-to-all-<n>); enables hardware-aware compilation")
+
+
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Fermihedral: SAT-optimal fermion-to-qubit encoding compiler",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     solve = subparsers.add_parser(
@@ -451,6 +555,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "objective (full-sat) or independent SAT optimum "
                             "plus annealed pairing (sat-anl)")
     _add_solver_options(solve)
+    solve.add_argument("--device", default=None, metavar="NAME", help=_DEVICE_HELP)
     solve.add_argument("--cache", default=None, metavar="DIR",
                        help="memoize results in a persistent compilation "
                             "cache at DIR (hit: zero SAT calls; unproved "
@@ -487,6 +592,9 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="evolution time (default: 1.0)")
     compile_parser.add_argument("--steps", type=int, default=1,
                                 help="Trotter steps (default: 1)")
+    compile_parser.add_argument("--device", default=None, metavar="NAME",
+                                help=_DEVICE_HELP + " (reports the routed cost "
+                                     "of one Trotter step)")
     compile_parser.set_defaults(handler=cmd_compile)
 
     verify = subparsers.add_parser(
@@ -522,6 +630,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker threads (default: executor default)")
     batch.add_argument("--cache", default=None, metavar="DIR",
                        help="persistent compilation cache directory")
+    batch.add_argument("--device", default=None, metavar="NAME",
+                       help=_DEVICE_HELP + " (jobs may override it with their "
+                            "own 'device' field)")
     _add_solver_options(batch)
     batch.set_defaults(handler=cmd_batch)
 
@@ -571,6 +682,30 @@ def build_parser() -> argparse.ArgumentParser:
                           help="report what would be removed without deleting")
     _add_dir(cache_gc)
     cache_gc.set_defaults(handler=cmd_cache_gc)
+
+    devices_parser = subparsers.add_parser(
+        "devices",
+        help="list or inspect target device topologies",
+        description="Browse the device registry used by --device: realistic "
+                    "presets plus parametric layouts (linear, ring, grid, "
+                    "heavy-hex, all-to-all).",
+    )
+    devices_sub = devices_parser.add_subparsers(dest="devices_command",
+                                                required=True)
+    devices_ls = devices_sub.add_parser(
+        "ls", help="list device presets",
+        description="Tabulate every registry preset with its size, coupler "
+                    "count and diameter.",
+    )
+    devices_ls.set_defaults(handler=cmd_devices_ls)
+    devices_show = devices_sub.add_parser(
+        "show", help="show one device topology",
+        description="Print a device's coupling graph, degree profile and "
+                    "the per-qubit objective weights it induces.",
+    )
+    devices_show.add_argument("name", help="preset name or parametric spec "
+                                           "(e.g. grid-3x3)")
+    devices_show.set_defaults(handler=cmd_devices_show)
 
     return parser
 

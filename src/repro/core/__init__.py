@@ -12,7 +12,13 @@ from repro.core.config import (
     FermihedralConfig,
     SolverBudget,
 )
-from repro.core.descent import DescentResult, DescentStep, build_base_formula, descend
+from repro.core.descent import (
+    DescentResult,
+    DescentStep,
+    build_base_formula,
+    descend,
+    measured_weight,
+)
 from repro.core.encoder import OPERATOR_BITS, FermihedralEncoder
 from repro.core.pipeline import (
     CompilationResult,
@@ -45,6 +51,7 @@ __all__ = [
     "build_base_formula",
     "descend",
     "hamiltonian_weight_under_order",
+    "measured_weight",
     "solve_full_sat",
     "solve_hamiltonian_independent",
     "solve_sat_annealing",

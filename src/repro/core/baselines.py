@@ -60,17 +60,32 @@ def best_baseline(
     Hamiltonian-independent: argmin of summed Majorana weight.
     Hamiltonian-dependent: argmin of encoded weight after a quick
     pairing anneal of each candidate.
+
+    When the config carries a connectivity-weighted objective
+    (``qubit_weights``), candidates are compared by that weighted measure
+    — the same quantity the descent's starting bound is taken from — so
+    the seed is tight for the objective actually being optimized.
     """
+    from repro.core.descent import measured_weight
+
     candidates = candidate_baselines(num_modes, config.vacuum_preservation)
     if hamiltonian is None:
-        return min(candidates, key=lambda encoding: encoding.total_majorana_weight)
+        return min(
+            candidates,
+            key=lambda encoding: measured_weight(
+                encoding, qubit_weights=config.qubit_weights
+            ),
+        )
     best: MajoranaEncoding | None = None
     best_weight = None
     for candidate in candidates:
         annealed = anneal_pairing(
             candidate, hamiltonian, schedule=_QUICK_SCHEDULE, seed=seed
         )
-        if best_weight is None or annealed.weight < best_weight:
-            best_weight = annealed.weight
+        weight = measured_weight(
+            annealed.encoding, hamiltonian, config.qubit_weights
+        )
+        if best_weight is None or weight < best_weight:
+            best_weight = weight
             best = annealed.encoding
     return best

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 #: Objective selector: minimize summed Majorana-string weight (Section 3.6).
@@ -58,6 +59,13 @@ class FermihedralConfig:
         strategy: descent loop flavour — ``"linear"`` (the paper's
             Algorithm 1) or ``"bisection"`` (binary search between a
             structural lower bound and the best model; an ablation).
+        qubit_weights: connectivity-weighted objective — per-qubit positive
+            integer multipliers applied to every weight indicator, so the
+            descent minimizes ``Σ w[q] · [operator at q ≠ I]`` instead of
+            plain Pauli weight.  Derived from a device coupling graph by
+            :func:`repro.hardware.cost.connectivity_weights`; ``None``
+            keeps the paper's uniform objective.  Length must equal the
+            mode count of the job using this config.
     """
 
     algebraic_independence: bool = True
@@ -68,21 +76,24 @@ class FermihedralConfig:
     budget: SolverBudget = field(default_factory=SolverBudget)
     max_repairs: int = 32
     strategy: str = "linear"
+    qubit_weights: tuple[int, ...] | None = None
 
     def __post_init__(self):
         if self.strategy not in ("linear", "bisection"):
             raise ValueError(f"unknown descent strategy: {self.strategy!r}")
+        if self.qubit_weights is not None:
+            weights = tuple(int(weight) for weight in self.qubit_weights)
+            if not weights or any(weight < 1 for weight in weights):
+                raise ValueError("qubit_weights must be positive integers")
+            object.__setattr__(self, "qubit_weights", weights)
 
     def without_algebraic_independence(self) -> "FermihedralConfig":
-        return FermihedralConfig(
-            algebraic_independence=False,
-            vacuum_preservation=self.vacuum_preservation,
-            exact_vacuum=self.exact_vacuum,
-            start_weight=self.start_weight,
-            warm_start=self.warm_start,
-            budget=self.budget,
-            max_repairs=self.max_repairs,
-            strategy=self.strategy,
+        return dataclasses.replace(self, algebraic_independence=False)
+
+    def with_qubit_weights(self, weights) -> "FermihedralConfig":
+        """This config with a connectivity-weighted objective installed."""
+        return dataclasses.replace(
+            self, qubit_weights=None if weights is None else tuple(weights)
         )
 
 

@@ -65,22 +65,48 @@ class DescentResult:
         return len(self.steps)
 
 
-def _measured_weight(
-    encoding: MajoranaEncoding, hamiltonian: FermionicHamiltonian | None
+def measured_weight(
+    encoding: MajoranaEncoding,
+    hamiltonian: FermionicHamiltonian | None = None,
+    qubit_weights: tuple[int, ...] | None = None,
 ) -> int:
+    """The descent objective value of an encoding.
+
+    Uniform: summed Majorana weight, or the encoded-Hamiltonian weight.
+    With ``qubit_weights`` (the connectivity-weighted objective), every
+    non-identity position on qubit ``q`` contributes ``qubit_weights[q]``
+    instead of 1 — exactly what the weighted SAT indicators count.
+    """
+    if qubit_weights is None:
+        if hamiltonian is None:
+            return encoding.total_majorana_weight
+        return encoding.hamiltonian_pauli_weight(hamiltonian)
     if hamiltonian is None:
-        return encoding.total_majorana_weight
-    return encoding.hamiltonian_pauli_weight(hamiltonian)
+        return sum(
+            qubit_weights[qubit]
+            for string in encoding.strings
+            for qubit in string.support
+        )
+    total = 0
+    for monomial in hamiltonian.monomials:
+        image, _ = encoding.monomial_image(monomial)
+        total += sum(qubit_weights[qubit] for qubit in image.support)
+    return total
 
 
 def _structural_lower_bound(
-    num_modes: int, hamiltonian: FermionicHamiltonian | None
+    num_modes: int,
+    hamiltonian: FermionicHamiltonian | None,
+    qubit_weights: tuple[int, ...] | None = None,
 ) -> int:
     """A weight no valid encoding can beat: every Majorana string (or
-    every encoded Hamiltonian monomial) is non-identity, so weighs >= 1."""
+    every encoded Hamiltonian monomial) is non-identity, so weighs at
+    least 1 — or at least the cheapest qubit's multiplier when the
+    objective is connectivity-weighted."""
+    unit = 1 if qubit_weights is None else min(qubit_weights)
     if hamiltonian is None:
-        return 2 * num_modes
-    return max(len(hamiltonian.monomials), 1)
+        return 2 * num_modes * unit
+    return max(len(hamiltonian.monomials), 1) * unit
 
 
 def build_base_formula(
@@ -137,7 +163,9 @@ class _BoundSolver:
         for clause in self.blocking:
             working.add_clause(clause)
         base_formula, self.encoder.formula = self.encoder.formula, working
-        self.encoder.add_weight_at_most(self.indicators, bound)
+        self.encoder.add_weight_at_most(
+            self.indicators, bound, qubit_weights=self.config.qubit_weights
+        )
         self.encoder.formula = base_formula
 
         level_repairs = 0
@@ -174,7 +202,9 @@ class _BoundSolver:
                 self.phases = {
                     v: result.model[v] for v in self.encoder.all_string_variables()
                 }
-            achieved = _measured_weight(candidate, self.hamiltonian)
+            achieved = measured_weight(
+                candidate, self.hamiltonian, self.config.qubit_weights
+            )
             step = DescentStep(bound, result.status, achieved, result.elapsed_s,
                                result.conflicts, level_repairs)
             return step, candidate
@@ -198,6 +228,11 @@ def descend(
             phases; defaults to Bravyi-Kitaev, as in the paper.
     """
     config = config or FermihedralConfig()
+    if config.qubit_weights is not None and len(config.qubit_weights) != num_modes:
+        raise ValueError(
+            f"config.qubit_weights has {len(config.qubit_weights)} entries, "
+            f"the job has {num_modes} modes"
+        )
     baseline = baseline or bravyi_kitaev(num_modes)
 
     construct_start = time.monotonic()
@@ -208,12 +243,12 @@ def descend(
     bound_solver = _BoundSolver(encoder, indicators, config, hamiltonian, phases)
 
     best_encoding = baseline
-    best_weight = _measured_weight(baseline, hamiltonian)
+    best_weight = measured_weight(baseline, hamiltonian, config.qubit_weights)
     steps: list[DescentStep] = []
     proved_optimal = False
 
     if config.strategy == BISECTION:
-        lower = _structural_lower_bound(num_modes, hamiltonian)
+        lower = _structural_lower_bound(num_modes, hamiltonian, config.qubit_weights)
         upper = best_weight  # best known achievable
         if config.start_weight is not None:
             upper = min(upper, max(config.start_weight, lower))
@@ -229,11 +264,15 @@ def descend(
                 lower = bound + 1
             else:
                 break  # budget exhausted: cannot conclude
-        proved_optimal = lower == upper and lower >= _structural_lower_bound(
-            num_modes, hamiltonian
-        ) and (not steps or steps[-1].status in ("SAT", "UNSAT"))
-        if lower != upper:
-            proved_optimal = False
+        # Optimality needs the interval closed AND the returned encoding
+        # sitting exactly on it: a start_weight clamped below the true
+        # optimum can close [lower, upper] without ever probing the range
+        # up to the baseline's weight — that is exhaustion, not a proof.
+        proved_optimal = (
+            lower == upper
+            and best_weight == upper
+            and (not steps or steps[-1].status in ("SAT", "UNSAT"))
+        )
     else:
         next_bound = best_weight - 1
         if config.start_weight is not None:
@@ -246,7 +285,13 @@ def descend(
                 best_weight = step.achieved_weight
                 next_bound = step.achieved_weight - 1
                 continue
-            proved_optimal = step.status == "UNSAT"
+            # UNSAT is a proof only when the failed bound sits directly
+            # below the returned weight; an UNSAT at a start_weight far
+            # under the baseline leaves the gap (bound, best_weight)
+            # unexplored.
+            proved_optimal = (
+                step.status == "UNSAT" and next_bound == best_weight - 1
+            )
             break
 
     return DescentResult(

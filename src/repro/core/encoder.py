@@ -26,7 +26,7 @@ from __future__ import annotations
 from repro.encodings.base import MajoranaEncoding
 from repro.fermion.hamiltonians import FermionicHamiltonian
 from repro.paulis.strings import PauliString
-from repro.sat.cardinality import add_at_most_k
+from repro.sat.cardinality import add_at_most_k, add_at_most_k_weighted
 from repro.sat.cnf import CnfFormula
 from repro.sat.tseitin import encode_and, encode_or, encode_xor, encode_xor_many
 
@@ -277,9 +277,38 @@ class FermihedralEncoder:
                 indicators.append(encode_or(formula, bit1, bit2))
         return indicators
 
-    def add_weight_at_most(self, indicators: list[int], bound: int) -> None:
-        """Cardinality constraint ``sum(indicators) <= bound``."""
-        add_at_most_k(self.formula, indicators, bound)
+    def add_weight_at_most(
+        self,
+        indicators: list[int],
+        bound: int,
+        qubit_weights: "tuple[int, ...] | None" = None,
+    ) -> None:
+        """Cardinality constraint on the weight objective.
+
+        Uniform (``qubit_weights is None``): ``sum(indicators) <= bound``.
+        Connectivity-weighted: indicator ``i`` belongs to qubit
+        ``i % num_modes`` (both indicator families enumerate qubits
+        innermost), and the constraint becomes
+        ``sum(qubit_weights[i % N] * indicators[i]) <= bound`` — the
+        hardware-aware objective of :mod:`repro.hardware.cost`.
+        """
+        if qubit_weights is None:
+            add_at_most_k(self.formula, indicators, bound)
+            return
+        if len(qubit_weights) != self.num_modes:
+            raise ValueError(
+                f"qubit_weights has {len(qubit_weights)} entries, encoder has "
+                f"{self.num_modes} qubits"
+            )
+        if len(indicators) % self.num_modes != 0:
+            raise ValueError(
+                "indicator count is not a multiple of the qubit count"
+            )
+        weights = [
+            qubit_weights[index % self.num_modes]
+            for index in range(len(indicators))
+        ]
+        add_at_most_k_weighted(self.formula, indicators, weights, bound)
 
     # -- model decoding -------------------------------------------------------------------------
 

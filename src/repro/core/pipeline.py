@@ -20,6 +20,18 @@ examples and benchmarks.  Constructed with a
   textbook baseline, so a rerun resumes tightening from where the last
   run stopped rather than from Bravyi-Kitaev;
 * **miss** — a fresh compile, stored on completion.
+
+**Hardware-aware mode.**  Constructed with a ``device`` (a
+:class:`repro.hardware.topology.DeviceTopology` or a registry name such
+as ``"grid-3x3"``), the compiler grounds the whole pipeline in that
+device: the descent objective becomes the connectivity-weighted weight
+(:func:`repro.hardware.cost.connectivity_weights` →
+``FermihedralConfig.qubit_weights``), the SAT result competes against the
+admissible textbook baselines on *routed* two-qubit gate count
+(:class:`repro.hardware.cost.HardwareCostModel`), and the returned
+:class:`CompilationResult` carries the winning encoding's
+:class:`~repro.hardware.cost.HardwareCost`.  Cache fingerprints include
+the device, so results for different topologies never collide.
 """
 
 from __future__ import annotations
@@ -28,7 +40,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.core.annealing import AnnealingResult, anneal_pairing
-from repro.core.baselines import best_baseline
+from repro.core.baselines import best_baseline, candidate_baselines
 from repro.core.config import (
     COMPILE_METHODS,
     METHOD_ANNEALING,
@@ -37,10 +49,17 @@ from repro.core.config import (
     AnnealingSchedule,
     FermihedralConfig,
 )
-from repro.core.descent import DescentResult, descend
+from repro.core.descent import DescentResult, descend, measured_weight
 from repro.core.verify import VerificationReport, verify_encoding
 from repro.encodings.base import MajoranaEncoding
 from repro.fermion.hamiltonians import FermionicHamiltonian
+from repro.hardware import (
+    DeviceTopology,
+    HardwareCost,
+    HardwareCostModel,
+    connectivity_weights,
+    resolve_device,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - type hints only
     from repro.store.cache import CompilationCache
@@ -48,7 +67,15 @@ if TYPE_CHECKING:  # pragma: no cover - type hints only
 
 @dataclass
 class CompilationResult:
-    """An encoding together with how it was obtained and how it verifies."""
+    """An encoding together with how it was obtained and how it verifies.
+
+    In hardware-aware mode (compiled through a device-bound
+    :class:`FermihedralCompiler`), ``weight`` is normalized to the plain,
+    unweighted objective value of the returned encoding so it stays
+    comparable across devices; the connectivity-weighted objective the
+    descent actually tightened lives in ``descent.weight``, ``device``
+    names the topology, and ``hardware`` holds the routed gate counts.
+    """
 
     encoding: MajoranaEncoding
     method: str
@@ -57,11 +84,30 @@ class CompilationResult:
     descent: DescentResult
     annealing: AnnealingResult | None = None
     verification: VerificationReport | None = None
+    device: str | None = None
+    hardware: HardwareCost | None = None
 
     def verify(self) -> VerificationReport:
         if self.verification is None:
             self.verification = verify_encoding(self.encoding)
         return self.verification
+
+
+def hardware_config(
+    config: FermihedralConfig,
+    topology: DeviceTopology | None,
+    num_modes: int,
+) -> FermihedralConfig:
+    """The effective config of a job targeting ``topology``.
+
+    A device installs its connectivity weights into the objective unless
+    the caller pinned explicit ``qubit_weights`` already; without a device
+    the config passes through unchanged.  The compiler and the batch
+    fingerprinter share this so their cache keys always agree.
+    """
+    if topology is None or config.qubit_weights is not None:
+        return config
+    return config.with_qubit_weights(connectivity_weights(topology, num_modes))
 
 
 def _as_fermihedral(encoding: MajoranaEncoding) -> MajoranaEncoding:
@@ -149,6 +195,11 @@ class FermihedralCompiler:
         cache: a :class:`repro.store.cache.CompilationCache`; when given,
             every compile consults and populates it (see the module
             docstring for the hit / warm-start / miss semantics).
+        device: target topology for hardware-aware compilation — a
+            :class:`~repro.hardware.topology.DeviceTopology` or a name
+            resolvable by :func:`repro.hardware.devices.get_device`
+            (``"grid-3x3"``, ``"ibm-falcon-27"``, ...).  Jobs may also
+            override it per call via ``compile(..., device=...)``.
 
     After each :meth:`compile` call, :attr:`last_cache_status` records how
     the cache participated: ``"disabled"``, ``"hit"``, ``"warm-start"``,
@@ -166,13 +217,26 @@ class FermihedralCompiler:
         num_modes: int,
         config: FermihedralConfig | None = None,
         cache: CompilationCache | None = None,
+        device: str | DeviceTopology | None = None,
     ):
         if num_modes < 1:
             raise ValueError("num_modes must be positive")
         self.num_modes = num_modes
         self.config = config or FermihedralConfig()
         self.cache = cache
+        self.device = resolve_device(device)
+        self._check_device(self.device)
         self.last_cache_status: str | None = None
+
+    def _check_device(self, topology: DeviceTopology | None) -> None:
+        if topology is not None and topology.num_qubits < self.num_modes:
+            raise ValueError(
+                f"device {topology.name!r} has {topology.num_qubits} qubits, "
+                f"the encoding needs {self.num_modes}"
+            )
+
+    def _device_config(self, topology: DeviceTopology | None) -> FermihedralConfig:
+        return hardware_config(self.config, topology, self.num_modes)
 
     def hamiltonian_independent(self) -> CompilationResult:
         return self.compile(method=METHOD_INDEPENDENT)
@@ -200,6 +264,7 @@ class FermihedralCompiler:
         schedule: AnnealingSchedule | None = None,
         seed: int = 2024,
         cache_key: str | None = None,
+        device: str | DeviceTopology | None = None,
     ) -> CompilationResult:
         """Run one compilation job through the cache (when enabled).
 
@@ -213,7 +278,12 @@ class FermihedralCompiler:
             cache_key: precomputed fingerprint of this exact job (an
                 optimization for callers like the batch compiler that
                 already fingerprinted it); must equal what
-                ``cache.key_for`` would return for these arguments.
+                ``cache.key_for`` would return for the *device-effective*
+                config — ``hardware_config(config, device, num_modes)`` —
+                and the resolved device, which is what this method
+                computes itself when the argument is omitted.
+            device: per-call override of the compiler's target topology
+                (see the constructor); ``None`` uses the compiler's own.
         """
         if method not in COMPILE_METHODS:
             raise ValueError(
@@ -227,20 +297,26 @@ class FermihedralCompiler:
                 raise ValueError(f"method {method!r} requires a Hamiltonian")
             self._check_modes(hamiltonian)
 
+        topology = self.device if device is None else resolve_device(device)
+        self._check_device(topology)
+        config = self._device_config(topology)
+
         if self.cache is None:
             self.last_cache_status = "disabled"
-            return self._solve(method, hamiltonian, schedule, seed, baseline=None)
+            result = self._solve(method, hamiltonian, schedule, seed, None, config)
+            return self._finish_hardware(result, topology, hamiltonian, config)
 
         key = cache_key or self.cache.key_for(
             num_modes=self.num_modes,
-            config=self.config,
+            config=config,
             hamiltonian=hamiltonian,
             method=method,
             schedule=schedule,
             seed=seed,
+            device=topology,
         )
         cached = self.cache.get(key)
-        if cached is not None and (cached.proved_optimal or method == METHOD_ANNEALING):
+        if cached is not None and self._is_final(cached, method, topology):
             self.last_cache_status = "hit"
             return cached
         baseline = cached.encoding if cached is not None else None
@@ -249,7 +325,8 @@ class FermihedralCompiler:
             self.cache.note_warm_start()
         else:
             self.last_cache_status = "miss"
-        result = self._solve(method, hamiltonian, schedule, seed, baseline)
+        result = self._solve(method, hamiltonian, schedule, seed, baseline, config)
+        result = self._finish_hardware(result, topology, hamiltonian, config)
         self.cache.put(key, result)
         return result
 
@@ -260,16 +337,69 @@ class FermihedralCompiler:
         schedule: AnnealingSchedule | None,
         seed: int,
         baseline: MajoranaEncoding | None,
+        config: FermihedralConfig | None = None,
     ) -> CompilationResult:
+        config = config or self.config
         if method == METHOD_INDEPENDENT:
             return solve_hamiltonian_independent(
-                self.num_modes, self.config, baseline=baseline
+                self.num_modes, config, baseline=baseline
             )
         if method == METHOD_FULL_SAT:
-            return solve_full_sat(hamiltonian, self.config, baseline=baseline)
+            return solve_full_sat(hamiltonian, config, baseline=baseline)
         return solve_sat_annealing(
-            hamiltonian, self.config, schedule, seed, baseline=baseline
+            hamiltonian, config, schedule, seed, baseline=baseline
         )
+
+    @staticmethod
+    def _is_final(
+        cached: CompilationResult,
+        method: str,
+        topology: DeviceTopology | None,
+    ) -> bool:
+        """Whether a cached result can be returned as-is (a true hit).
+
+        ``proved_optimal`` covers the plain methods; ``sat+annealing`` is
+        deterministic for its schedule and seed.  A hardware-aware job is
+        also final once its *descent* proved the weighted optimum — the
+        routed-cost candidate selection that may have replaced the descent
+        winner (clearing ``proved_optimal``) is deterministic given the
+        device, so re-running could only reproduce the same answer.
+        """
+        if cached.proved_optimal or method == METHOD_ANNEALING:
+            return True
+        return topology is not None and cached.descent.proved_optimal
+
+    def _finish_hardware(
+        self,
+        result: CompilationResult,
+        topology: DeviceTopology | None,
+        hamiltonian: FermionicHamiltonian | None,
+        config: FermihedralConfig,
+    ) -> CompilationResult:
+        """Ground a fresh result in the target device (no-op without one).
+
+        The descent winner competes with the admissible textbook baselines
+        on routed two-qubit gate count — hardware-aware compilation never
+        returns an encoding that routes worse than a constructive one it
+        could have had for free.  ``weight`` is normalized to the plain
+        objective of whichever encoding wins, and the routed cost is
+        attached.
+        """
+        if topology is None:
+            return result
+        model = HardwareCostModel(topology)
+        candidates = [result.encoding] + candidate_baselines(
+            self.num_modes, config.vacuum_preservation
+        )
+        best, cost = model.best_encoding(candidates, hamiltonian)
+        if best is not result.encoding:
+            result.encoding = _as_fermihedral(best)
+            result.proved_optimal = False
+            result.verification = None
+        result.weight = measured_weight(result.encoding, hamiltonian)
+        result.device = topology.name
+        result.hardware = cost
+        return result
 
     def _check_modes(self, hamiltonian: FermionicHamiltonian) -> None:
         if hamiltonian.num_modes != self.num_modes:

@@ -105,6 +105,8 @@ def result_to_dict(result: CompilationResult) -> dict:
         },
         "annealing": None,
         "verification": None,
+        "device": result.device,
+        "hardware": None if result.hardware is None else result.hardware.as_dict(),
     }
     if result.annealing is not None:
         annealing = result.annealing
@@ -193,6 +195,12 @@ def result_from_dict(data: dict, validate: bool = True) -> CompilationResult:
             violations=list(verification_data["violations"]),
         )
 
+    hardware = None
+    if data.get("hardware") is not None:
+        from repro.hardware.cost import HardwareCost
+
+        hardware = HardwareCost.from_dict(data["hardware"])
+
     return CompilationResult(
         encoding=encoding_from_dict(data["encoding"], validate=validate),
         method=data["method"],
@@ -201,6 +209,8 @@ def result_from_dict(data: dict, validate: bool = True) -> CompilationResult:
         descent=descent,
         annealing=annealing,
         verification=verification,
+        device=data.get("device"),
+        hardware=hardware,
     )
 
 

@@ -1,0 +1,69 @@
+"""Hardware-aware compilation: device topologies, routing, routed-cost models.
+
+Fermihedral minimizes abstract Pauli weight; this subsystem grounds the
+objective in a target device.  It provides:
+
+* :mod:`repro.hardware.topology` — :class:`DeviceTopology` coupling graphs
+  (linear, ring, grid, heavy-hex, all-to-all) with BFS distance metrics;
+* :mod:`repro.hardware.devices` — a named registry (``ibmq-manila``,
+  ``ibm-falcon-27``, ``ionq-aria-25``, ...) plus parametric specs such as
+  ``grid-3x3``;
+* :mod:`repro.hardware.routing` — greedy SWAP-insertion routing with
+  interaction-aware initial layouts;
+* :mod:`repro.hardware.cost` — :class:`HardwareCostModel` (routed CNOT
+  count and depth of an encoding's compiled circuit) and
+  :func:`connectivity_weights`, which feed the SAT layer's
+  connectivity-weighted descent objective
+  (``FermihedralConfig.qubit_weights``).
+
+The compiler facade consumes all of it: ``FermihedralCompiler(device=...)``
+or ``compile(..., device=...)`` switch the whole pipeline — objective,
+candidate selection, cache fingerprints, reporting — to the routed-cost
+view.
+"""
+
+from repro.hardware.cost import HardwareCost, HardwareCostModel, connectivity_weights
+from repro.hardware.devices import (
+    device_spec_help,
+    get_device,
+    list_devices,
+    resolve_device,
+)
+from repro.hardware.routing import (
+    RoutingResult,
+    greedy_layout,
+    interaction_weights,
+    layout_for_circuit,
+    route_circuit,
+)
+from repro.hardware.topology import (
+    DeviceTopology,
+    TopologyError,
+    all_to_all_topology,
+    grid_topology,
+    heavy_hex_topology,
+    linear_topology,
+    ring_topology,
+)
+
+__all__ = [
+    "DeviceTopology",
+    "HardwareCost",
+    "HardwareCostModel",
+    "RoutingResult",
+    "TopologyError",
+    "all_to_all_topology",
+    "connectivity_weights",
+    "device_spec_help",
+    "get_device",
+    "greedy_layout",
+    "grid_topology",
+    "heavy_hex_topology",
+    "interaction_weights",
+    "layout_for_circuit",
+    "linear_topology",
+    "list_devices",
+    "resolve_device",
+    "ring_topology",
+    "route_circuit",
+]

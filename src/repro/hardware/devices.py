@@ -1,0 +1,133 @@
+"""Named device registry and device-spec parsing.
+
+Two kinds of names resolve to a :class:`~repro.hardware.topology.DeviceTopology`:
+
+* **presets** — realistic machines, e.g. ``ibmq-manila`` (5-qubit line),
+  ``ibm-falcon-27`` (IBM's 27-qubit heavy-hex Falcon coupling map, as on
+  ``ibm_hanoi``/``ibmq_montreal``), ``ionq-aria-25`` (25 all-to-all
+  trapped ions);
+* **parametric specs** — ``linear-<n>``, ``ring-<n>``, ``grid-<r>x<c>``,
+  ``heavy-hex-<r>x<c>``, ``all-to-all-<n>``, built on demand, so the CLI's
+  ``--device grid-3x3`` needs no registration step.
+
+Presets shadow parametric parses (lookup tries the registry first), and
+both paths cache the built topology — distances are precomputed, so
+repeated lookups stay cheap.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.topology import (
+    DeviceTopology,
+    TopologyError,
+    all_to_all_topology,
+    grid_topology,
+    heavy_hex_topology,
+    linear_topology,
+    ring_topology,
+)
+
+#: The published coupling map of IBM's 27-qubit Falcon processors
+#: (ibm_hanoi, ibmq_montreal, ...): a distance-3 heavy-hex patch.
+_FALCON_27_EDGES = (
+    (0, 1), (1, 2), (1, 4), (2, 3), (3, 5), (4, 7), (5, 8), (6, 7), (7, 10),
+    (8, 9), (8, 11), (10, 12), (11, 14), (12, 13), (12, 15), (13, 14),
+    (14, 16), (15, 18), (16, 19), (17, 18), (18, 21), (19, 20), (19, 22),
+    (21, 23), (22, 25), (23, 24), (24, 25), (25, 26),
+)
+
+#: Preset builders: name -> (description, zero-argument constructor).
+_PRESETS: dict[str, tuple[str, object]] = {
+    "ibmq-manila": (
+        "IBM Quantum Falcon r5.11L: 5 qubits in a line",
+        lambda: linear_topology(5, name="ibmq-manila"),
+    ),
+    "ibm-falcon-27": (
+        "IBM Falcon r4/r5 27-qubit heavy-hex (ibm_hanoi coupling map)",
+        lambda: DeviceTopology(27, _FALCON_27_EDGES, name="ibm-falcon-27"),
+    ),
+    "ionq-aria-25": (
+        "IonQ Aria: 25 trapped-ion qubits, all-to-all connectivity",
+        lambda: all_to_all_topology(25, name="ionq-aria-25"),
+    ),
+    "sycamore-like-grid-4x4": (
+        "4x4 square lattice patch (Google Sycamore style)",
+        lambda: grid_topology(4, 4, name="sycamore-like-grid-4x4"),
+    ),
+}
+
+_SPEC_HELP = (
+    "linear-<n> | ring-<n> | grid-<r>x<c> | heavy-hex-<r>x<c> | all-to-all-<n>"
+)
+
+_cache: dict[str, DeviceTopology] = {}
+
+
+def device_spec_help() -> str:
+    """One-line syntax summary of the parametric device specs."""
+    return _SPEC_HELP
+
+
+def list_devices() -> list[tuple[str, str]]:
+    """``(name, description)`` rows for every preset, sorted by name."""
+    return sorted((name, entry[0]) for name, entry in _PRESETS.items())
+
+
+def _parse_spec(spec: str) -> DeviceTopology | None:
+    """Build a topology from a parametric name, or ``None`` if the name
+    does not match any spec family."""
+    family, _, parameter = spec.rpartition("-")
+    if family == "grid" or family == "heavy-hex":
+        if "x" not in parameter:
+            raise TopologyError(f"{family} spec needs <rows>x<cols>: {spec!r}")
+        try:
+            rows, cols = (int(part) for part in parameter.split("x", 1))
+        except ValueError as error:
+            raise TopologyError(f"bad {family} dimensions in {spec!r}") from error
+        builder = grid_topology if family == "grid" else heavy_hex_topology
+        return builder(rows, cols)
+    if family in ("linear", "ring", "all-to-all"):
+        try:
+            count = int(parameter)
+        except ValueError as error:
+            raise TopologyError(f"bad qubit count in {spec!r}") from error
+        return {
+            "linear": linear_topology,
+            "ring": ring_topology,
+            "all-to-all": all_to_all_topology,
+        }[family](count)
+    return None
+
+
+def get_device(name: str) -> DeviceTopology:
+    """Resolve a preset name or parametric spec to a topology.
+
+    Raises:
+        TopologyError: unknown name, or a spec with invalid parameters.
+    """
+    key = name.strip().lower()
+    cached = _cache.get(key)
+    if cached is not None:
+        return cached
+    preset = _PRESETS.get(key)
+    if preset is not None:
+        topology = preset[1]()
+    else:
+        topology = _parse_spec(key)
+        if topology is None:
+            known = ", ".join(sorted(_PRESETS))
+            raise TopologyError(
+                f"unknown device {name!r}; expected a preset ({known}) "
+                f"or a spec ({_SPEC_HELP})"
+            )
+    _cache[key] = topology
+    return topology
+
+
+def resolve_device(device: "str | DeviceTopology | None") -> DeviceTopology | None:
+    """Normalize a user-facing device argument: name, topology, or ``None``."""
+    if device is None or isinstance(device, DeviceTopology):
+        return device
+    if isinstance(device, str):
+        return get_device(device)
+    raise TypeError(f"device must be a name or DeviceTopology, got {type(device).__name__}")

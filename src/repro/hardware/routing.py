@@ -1,0 +1,242 @@
+"""SWAP-insertion routing of logical circuits onto device topologies.
+
+The Figure-3 synthesis emits CNOT ladders between arbitrary qubit pairs;
+real devices only couple neighbors.  This pass maps a logical circuit onto
+a :class:`~repro.hardware.topology.DeviceTopology` by maintaining a
+logical→physical layout and, for every non-adjacent CNOT, walking the
+control along the canonical shortest path with SWAPs (each decomposed
+into its three-CNOT identity, so :attr:`QuantumCircuit.cnot_count` *is*
+the routed two-qubit gate count).
+
+The router is greedy and non-restoring: SWAPs permute the layout and stay
+permuted, so a CNOT ladder into a shared target drags its controls into a
+connected patch around the target — later rungs reuse the shortened
+distances.  That is the "nearest-neighbor Steiner-ish" behaviour the cost
+model relies on; an exact Steiner-tree router would do better still, but
+greedy keeps routing deterministic and linear in ``gates × diameter``.
+
+:func:`greedy_layout` picks the initial placement: logical qubits that
+interact often are placed close together, seeded from the device's
+most-central qubit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate, cnot
+from repro.hardware.topology import DeviceTopology, TopologyError
+
+
+@dataclass(frozen=True)
+class RoutingResult:
+    """A routed circuit plus the layout bookkeeping that produced it.
+
+    Attributes:
+        circuit: the physical circuit on ``topology.num_qubits`` qubits;
+            SWAPs appear as three-CNOT sequences.
+        topology: the device routed onto.
+        initial_layout: logical qubit ``i`` starts at physical
+            ``initial_layout[i]``.
+        final_layout: where each logical qubit ends up after the inserted
+            SWAPs.
+        swap_count: SWAPs inserted (each contributes 3 CNOTs).
+        logical_two_qubit_count: CNOTs in the input circuit, for overhead
+            reporting.
+        logical_depth: depth of the input circuit before routing.
+    """
+
+    circuit: QuantumCircuit
+    topology: DeviceTopology
+    initial_layout: tuple[int, ...]
+    final_layout: tuple[int, ...]
+    swap_count: int
+    logical_two_qubit_count: int
+    logical_depth: int
+
+    @property
+    def two_qubit_count(self) -> int:
+        """Routed CNOT count: logical CNOTs plus 3 per inserted SWAP."""
+        return self.circuit.cnot_count
+
+    @property
+    def depth(self) -> int:
+        return self.circuit.depth
+
+    @property
+    def routing_overhead(self) -> int:
+        """Extra two-qubit gates the topology forced on the circuit."""
+        return self.two_qubit_count - self.logical_two_qubit_count
+
+
+def _check_layout(layout: list[int], num_logical: int, topology: DeviceTopology) -> None:
+    if len(layout) != num_logical:
+        raise TopologyError(
+            f"layout places {len(layout)} qubits, circuit has {num_logical}"
+        )
+    if len(set(layout)) != len(layout):
+        raise TopologyError("layout maps two logical qubits to one physical qubit")
+    for physical in layout:
+        if not 0 <= physical < topology.num_qubits:
+            raise TopologyError(
+                f"layout uses physical qubit {physical} outside the device"
+            )
+
+
+def route_circuit(
+    circuit: QuantumCircuit,
+    topology: DeviceTopology,
+    initial_layout: "list[int] | tuple[int, ...] | None" = None,
+) -> RoutingResult:
+    """Map a logical circuit onto the device, inserting SWAPs as needed.
+
+    Args:
+        circuit: logical circuit; needs ``num_qubits <= topology.num_qubits``.
+        topology: target coupling graph.
+        initial_layout: logical→physical placement; defaults to the
+            identity on the first ``num_qubits`` physical qubits.  Use
+            :func:`greedy_layout` for an interaction-aware placement.
+
+    The routed circuit acts on all device qubits; unused ones stay idle,
+    so it equals the logical circuit up to the final layout permutation.
+    """
+    if circuit.num_qubits > topology.num_qubits:
+        raise TopologyError(
+            f"circuit needs {circuit.num_qubits} qubits, device "
+            f"{topology.name!r} has {topology.num_qubits}"
+        )
+    if initial_layout is None:
+        layout = list(range(circuit.num_qubits))
+    else:
+        layout = [int(q) for q in initial_layout]
+        _check_layout(layout, circuit.num_qubits, topology)
+
+    physical_of = list(layout)  # logical -> physical
+    logical_at: list[int | None] = [None] * topology.num_qubits
+    for logical, physical in enumerate(physical_of):
+        logical_at[physical] = logical
+
+    routed = QuantumCircuit(topology.num_qubits)
+    swaps = 0
+
+    def swap(a: int, b: int) -> None:
+        """Exchange the (logical) contents of adjacent physical qubits."""
+        nonlocal swaps
+        routed.append(cnot(a, b))
+        routed.append(cnot(b, a))
+        routed.append(cnot(a, b))
+        swaps += 1
+        left, right = logical_at[a], logical_at[b]
+        logical_at[a], logical_at[b] = right, left
+        if left is not None:
+            physical_of[left] = b
+        if right is not None:
+            physical_of[right] = a
+
+    for gate in circuit:
+        if not gate.is_two_qubit:
+            routed.append(
+                Gate(gate.name, (physical_of[gate.qubits[0]],), gate.parameter)
+            )
+            continue
+        control, target = gate.qubits
+        while topology.distance(physical_of[control], physical_of[target]) > 1:
+            here = physical_of[control]
+            swap(here, topology.next_hop(here, physical_of[target]))
+        routed.append(cnot(physical_of[control], physical_of[target]))
+
+    return RoutingResult(
+        circuit=routed,
+        topology=topology,
+        initial_layout=tuple(layout),
+        final_layout=tuple(physical_of),
+        swap_count=swaps,
+        logical_two_qubit_count=circuit.cnot_count,
+        logical_depth=circuit.depth,
+    )
+
+
+# -- initial layout ----------------------------------------------------------
+
+
+def interaction_weights(circuit: QuantumCircuit) -> dict[tuple[int, int], int]:
+    """How often each logical qubit pair shares a two-qubit gate."""
+    weights: dict[tuple[int, int], int] = {}
+    for gate in circuit:
+        if gate.is_two_qubit:
+            a, b = gate.qubits
+            pair = (min(a, b), max(a, b))
+            weights[pair] = weights.get(pair, 0) + 1
+    return weights
+
+
+def greedy_layout(
+    weights: dict[tuple[int, int], int],
+    num_logical: int,
+    topology: DeviceTopology,
+) -> tuple[int, ...]:
+    """Interaction-aware initial placement (deterministic).
+
+    The most-interacting logical qubit goes to the device's most central
+    physical qubit (minimal summed distance to all others); every
+    subsequent logical qubit — in descending order of interaction with
+    already-placed ones — takes the free physical qubit minimizing the
+    weighted distance to its placed partners.  Isolated logical qubits
+    fill the remaining free slots in index order.
+    """
+    if num_logical > topology.num_qubits:
+        raise TopologyError(
+            f"cannot place {num_logical} logical qubits on "
+            f"{topology.num_qubits} physical qubits"
+        )
+    total = [0] * num_logical
+    for (a, b), count in weights.items():
+        if not (0 <= a < num_logical and 0 <= b < num_logical):
+            raise TopologyError(f"interaction pair ({a}, {b}) outside the circuit")
+        total[a] += count
+        total[b] += count
+
+    placed: dict[int, int] = {}  # logical -> physical
+    free = set(range(topology.num_qubits))
+    unplaced = set(range(num_logical))
+
+    def centrality(physical: int) -> int:
+        return sum(topology.distance(physical, other)
+                   for other in range(topology.num_qubits))
+
+    while unplaced:
+        if not placed:
+            # Heaviest logical qubit onto the most central physical qubit.
+            logical = max(unplaced, key=lambda q: (total[q], -q))
+            physical = min(free, key=lambda p: (centrality(p), p))
+        else:
+            def attachment(q: int) -> int:
+                return sum(
+                    count for (a, b), count in weights.items()
+                    if (a == q and b in placed) or (b == q and a in placed)
+                )
+            logical = max(unplaced, key=lambda q: (attachment(q), -q))
+            if attachment(logical) == 0:
+                physical = min(free)
+            else:
+                def placement_cost(p: int) -> int:
+                    return sum(
+                        count * topology.distance(p, placed[b if a == logical else a])
+                        for (a, b), count in weights.items()
+                        if (a == logical and b in placed)
+                        or (b == logical and a in placed)
+                    )
+                physical = min(free, key=lambda p: (placement_cost(p), p))
+        placed[logical] = physical
+        free.discard(physical)
+        unplaced.discard(logical)
+
+    return tuple(placed[logical] for logical in range(num_logical))
+
+
+def layout_for_circuit(
+    circuit: QuantumCircuit, topology: DeviceTopology
+) -> tuple[int, ...]:
+    """Greedy layout derived from a circuit's own CNOT interaction graph."""
+    return greedy_layout(interaction_weights(circuit), circuit.num_qubits, topology)

@@ -1,0 +1,235 @@
+"""Device coupling graphs with all-pairs shortest-path metrics.
+
+Fermihedral's abstract objective counts Pauli weight, but on hardware the
+cost of a weight-``w`` evolution block depends on *where* its support
+qubits sit: a CNOT between qubits at coupling-graph distance ``d`` needs
+``d - 1`` SWAPs of routing overhead.  :class:`DeviceTopology` is the
+ground truth the routing and cost layers consult — an undirected,
+connected coupling graph with precomputed BFS distances and deterministic
+shortest paths.
+
+Builders cover the layouts that dominate current machines:
+
+* :func:`linear_topology` — a 1-D chain (early IBM devices, many QA
+  testbeds);
+* :func:`ring_topology` — a cycle;
+* :func:`grid_topology` — a rows×cols square lattice (Google Sycamore
+  style);
+* :func:`heavy_hex_topology` — a hexagonal lattice with a qubit on every
+  edge (IBM's heavy-hex family: degree ≤ 3 everywhere);
+* :func:`all_to_all_topology` — a complete graph (trapped-ion devices),
+  on which routing degenerates to the abstract circuit.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Sequence
+
+
+class TopologyError(ValueError):
+    """Raised for malformed coupling graphs or out-of-range qubits."""
+
+
+def _canonical_edges(edges: Iterable[Sequence[int]]) -> tuple[tuple[int, int], ...]:
+    seen: set[tuple[int, int]] = set()
+    for edge in edges:
+        try:
+            a, b = int(edge[0]), int(edge[1])
+        except (TypeError, ValueError, IndexError) as error:
+            raise TopologyError(f"malformed edge {edge!r}") from error
+        if a == b:
+            raise TopologyError(f"self-loop on qubit {a}")
+        seen.add((min(a, b), max(a, b)))
+    return tuple(sorted(seen))
+
+
+class DeviceTopology:
+    """An undirected, connected qubit coupling graph.
+
+    Args:
+        num_qubits: number of physical qubits, labelled ``0..n-1``.
+        edges: iterable of qubit pairs that support a native two-qubit gate.
+        name: display name used in tables, fingerprints and ``repro devices``.
+
+    Distances are BFS hop counts, precomputed for all pairs at
+    construction (device graphs are small — tens of qubits).
+    """
+
+    def __init__(self, num_qubits: int, edges: Iterable[Sequence[int]],
+                 name: str = "custom"):
+        if num_qubits < 1:
+            raise TopologyError("a device needs at least one qubit")
+        self.name = name
+        self.num_qubits = num_qubits
+        self.edges = _canonical_edges(edges)
+        for a, b in self.edges:
+            if a < 0 or b >= num_qubits:
+                raise TopologyError(
+                    f"edge ({a}, {b}) outside qubits 0..{num_qubits - 1}"
+                )
+        neighbors: list[list[int]] = [[] for _ in range(num_qubits)]
+        for a, b in self.edges:
+            neighbors[a].append(b)
+            neighbors[b].append(a)
+        self._neighbors = tuple(tuple(sorted(adjacent)) for adjacent in neighbors)
+        self._distances = tuple(self._bfs(source) for source in range(num_qubits))
+        if num_qubits > 1 and any(
+            distance < 0 for row in self._distances for distance in row
+        ):
+            raise TopologyError(f"coupling graph {name!r} is not connected")
+
+    def _bfs(self, source: int) -> tuple[int, ...]:
+        distances = [-1] * self.num_qubits
+        distances[source] = 0
+        queue = deque([source])
+        while queue:
+            current = queue.popleft()
+            for neighbor in self._neighbors[current]:
+                if distances[neighbor] < 0:
+                    distances[neighbor] = distances[current] + 1
+                    queue.append(neighbor)
+        return tuple(distances)
+
+    # -- metric -----------------------------------------------------------
+
+    def _check(self, qubit: int) -> None:
+        if not 0 <= qubit < self.num_qubits:
+            raise TopologyError(
+                f"qubit {qubit} outside 0..{self.num_qubits - 1} on {self.name!r}"
+            )
+
+    def neighbors(self, qubit: int) -> tuple[int, ...]:
+        """Qubits sharing a coupler with ``qubit``, ascending."""
+        self._check(qubit)
+        return self._neighbors[qubit]
+
+    def degree(self, qubit: int) -> int:
+        self._check(qubit)
+        return len(self._neighbors[qubit])
+
+    def distance(self, a: int, b: int) -> int:
+        """Coupling-graph hop count between two qubits."""
+        self._check(a)
+        self._check(b)
+        return self._distances[a][b]
+
+    def is_adjacent(self, a: int, b: int) -> bool:
+        return self.distance(a, b) == 1
+
+    def next_hop(self, source: int, target: int) -> int:
+        """The first step of the canonical shortest path ``source → target``.
+
+        Deterministic: among neighbors strictly closer to ``target``, the
+        smallest index wins, so routed circuits are reproducible.
+        """
+        self._check(source)
+        self._check(target)
+        if source == target:
+            raise TopologyError("next_hop needs distinct qubits")
+        remaining = self.distance(source, target)
+        for neighbor in self._neighbors[source]:
+            if self._distances[neighbor][target] == remaining - 1:
+                return neighbor
+        raise TopologyError("no path — graph is not connected")  # pragma: no cover
+
+    def shortest_path(self, a: int, b: int) -> list[int]:
+        """The canonical shortest path, endpoints included."""
+        path = [a]
+        while path[-1] != b:
+            path.append(self.next_hop(path[-1], b))
+        return path
+
+    @property
+    def diameter(self) -> int:
+        """Largest pairwise distance."""
+        return max(max(row) for row in self._distances)
+
+    def __repr__(self) -> str:
+        return (
+            f"DeviceTopology({self.name!r}, qubits={self.num_qubits}, "
+            f"edges={len(self.edges)})"
+        )
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, DeviceTopology)
+            and self.num_qubits == other.num_qubits
+            and self.edges == other.edges
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.num_qubits, self.edges))
+
+
+# -- builders ---------------------------------------------------------------
+
+
+def linear_topology(num_qubits: int, name: str | None = None) -> DeviceTopology:
+    """A 1-D nearest-neighbor chain ``0 - 1 - ... - n-1``."""
+    if num_qubits < 1:
+        raise TopologyError("a chain needs at least one qubit")
+    edges = [(i, i + 1) for i in range(num_qubits - 1)]
+    return DeviceTopology(num_qubits, edges, name or f"linear-{num_qubits}")
+
+
+def ring_topology(num_qubits: int, name: str | None = None) -> DeviceTopology:
+    """A cycle: the chain plus the wrap-around coupler."""
+    if num_qubits < 3:
+        raise TopologyError("a ring needs at least three qubits")
+    edges = [(i, (i + 1) % num_qubits) for i in range(num_qubits)]
+    return DeviceTopology(num_qubits, edges, name or f"ring-{num_qubits}")
+
+
+def grid_topology(rows: int, cols: int, name: str | None = None) -> DeviceTopology:
+    """A ``rows × cols`` square lattice; qubit ``r * cols + c`` sits at
+    ``(r, c)``."""
+    if rows < 1 or cols < 1:
+        raise TopologyError("grid dimensions must be positive")
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            qubit = r * cols + c
+            if c + 1 < cols:
+                edges.append((qubit, qubit + 1))
+            if r + 1 < rows:
+                edges.append((qubit, qubit + cols))
+    return DeviceTopology(rows * cols, edges, name or f"grid-{rows}x{cols}")
+
+
+def heavy_hex_topology(rows: int = 1, cols: int = 1,
+                       name: str | None = None) -> DeviceTopology:
+    """A heavy-hex lattice: ``rows × cols`` hexagon cells with an extra
+    qubit on every edge, so no qubit exceeds degree 3 (IBM's layout choice
+    for frequency-collision avoidance).
+
+    Built from the hexagonal lattice by subdividing each coupler; a single
+    cell is a 12-qubit ring, larger tilings share cell walls.
+    """
+    if rows < 1 or cols < 1:
+        raise TopologyError("heavy-hex dimensions must be positive")
+    # Hexagonal lattice vertices on an axial grid, then subdivide edges.
+    import networkx as nx
+
+    hexagonal = nx.hexagonal_lattice_graph(rows, cols)
+    vertices = sorted(hexagonal.nodes())
+    index = {vertex: position for position, vertex in enumerate(vertices)}
+    base_edges = sorted(
+        (min(index[u], index[v]), max(index[u], index[v]))
+        for u, v in hexagonal.edges()
+    )
+    edges = []
+    next_qubit = len(vertices)
+    for u, v in base_edges:  # one bridge qubit per hexagon edge
+        edges.append((u, next_qubit))
+        edges.append((next_qubit, v))
+        next_qubit += 1
+    return DeviceTopology(next_qubit, edges, name or f"heavy-hex-{rows}x{cols}")
+
+
+def all_to_all_topology(num_qubits: int, name: str | None = None) -> DeviceTopology:
+    """A complete coupling graph — trapped-ion style; routing is free."""
+    if num_qubits < 1:
+        raise TopologyError("a device needs at least one qubit")
+    edges = [(i, j) for i in range(num_qubits) for j in range(i + 1, num_qubits)]
+    return DeviceTopology(num_qubits, edges, name or f"all-to-all-{num_qubits}")

@@ -32,8 +32,9 @@ from repro.core.config import (
     AnnealingSchedule,
     FermihedralConfig,
 )
-from repro.core.pipeline import CompilationResult, FermihedralCompiler
+from repro.core.pipeline import CompilationResult, FermihedralCompiler, hardware_config
 from repro.fermion.hamiltonians import FermionicHamiltonian
+from repro.hardware import DeviceTopology, resolve_device
 from repro.store.cache import CompilationCache
 from repro.store.fingerprint import compilation_key
 
@@ -57,6 +58,9 @@ class CompileJob:
         seed: annealing RNG seed (``sat+annealing`` only).
         label: display name for reports; defaults to the Hamiltonian name
             or ``"<N> modes"``.
+        device: target topology name (or
+            :class:`~repro.hardware.topology.DeviceTopology`) for a
+            hardware-aware job; ``None`` compiles device-free.
     """
 
     method: str = METHOD_INDEPENDENT
@@ -66,6 +70,7 @@ class CompileJob:
     schedule: AnnealingSchedule | None = None
     seed: int = 2024
     label: str | None = None
+    device: "str | DeviceTopology | None" = None
 
     def __post_init__(self):
         if self.method not in COMPILE_METHODS:
@@ -171,20 +176,23 @@ class BatchCompiler:
         return job.config or self.default_config
 
     def _job_key(self, job: CompileJob) -> str:
+        topology = resolve_device(job.device)
         return compilation_key(
             num_modes=job.modes,
-            config=self._job_config(job),
+            config=hardware_config(self._job_config(job), topology, job.modes),
             hamiltonian=job.hamiltonian,
             method=job.method,
             schedule=job.schedule,
             seed=job.seed,
+            device=topology,
         )
 
     def _run_one(self, job: CompileJob, key: str) -> JobOutcome:
         started = time.monotonic()
         try:
             compiler = FermihedralCompiler(
-                job.modes, self._job_config(job), cache=self.cache
+                job.modes, self._job_config(job), cache=self.cache,
+                device=job.device,
             )
             result = compiler.compile(
                 method=job.method,
@@ -221,10 +229,21 @@ class BatchCompiler:
         report ``deduplicated`` and share its result object.
         """
         started = time.monotonic()
-        keys = [self._job_key(job) for job in jobs]
+        # Fingerprinting itself can fail per job (unknown device name, a
+        # device smaller than the mode count); such jobs become error
+        # outcomes instead of aborting the batch.
+        keys: list[str | None] = []
+        key_errors: dict[int, str] = {}
+        for index, job in enumerate(jobs):
+            try:
+                keys.append(self._job_key(job))
+            except Exception as error:
+                keys.append(None)
+                key_errors[index] = f"{type(error).__name__}: {error}"
         primary_index: dict[str, int] = {}
         for index, key in enumerate(keys):
-            primary_index.setdefault(key, index)
+            if key is not None:
+                primary_index.setdefault(key, index)
 
         primary_outcomes: dict[str, JobOutcome] = {}
         unique = [(keys[i], jobs[i]) for i in sorted(primary_index.values())]
@@ -238,6 +257,12 @@ class BatchCompiler:
 
         outcomes: list[JobOutcome] = []
         for index, (job, key) in enumerate(zip(jobs, keys)):
+            if key is None:
+                outcomes.append(
+                    JobOutcome(job=job, key="", status="error",
+                               error=key_errors[index])
+                )
+                continue
             primary = primary_outcomes[key]
             if index == primary_index[key]:
                 outcomes.append(primary)

@@ -35,6 +35,7 @@ if TYPE_CHECKING:  # pragma: no cover - type hints only
     from repro.core.config import AnnealingSchedule, FermihedralConfig
     from repro.core.pipeline import CompilationResult
     from repro.fermion.hamiltonians import FermionicHamiltonian
+    from repro.hardware.topology import DeviceTopology
 
 _ENTRY_FORMAT_VERSION = 1
 
@@ -129,9 +130,12 @@ class CompilationCache:
         method: str = "independent",
         schedule: AnnealingSchedule | None = None,
         seed: int | None = None,
+        device: "DeviceTopology | None" = None,
     ) -> str:
         """Fingerprint a compilation job (see :mod:`repro.store.fingerprint`)."""
-        return compilation_key(num_modes, config, hamiltonian, method, schedule, seed)
+        return compilation_key(
+            num_modes, config, hamiltonian, method, schedule, seed, device
+        )
 
     def path_for(self, key: str) -> Path:
         """On-disk location of a key's entry (whether or not it exists)."""

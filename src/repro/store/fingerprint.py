@@ -18,6 +18,11 @@ Canonicalization choices:
 * **Configs** fingerprint field-by-field, budgets included: a
   budget-starved run may legitimately return a different (unproved)
   result than a generous one.
+* **Devices** fingerprint by *shape* — qubit count plus the canonical
+  edge list — not by display name: routing and the connectivity-weighted
+  objective see only the coupling graph, so two names for the same graph
+  are the same job, while any topological difference (the thing that can
+  change routed cost) produces a distinct key.
 * The payload is serialized as minified, key-sorted JSON and hashed with
   SHA-256; the hex digest is the cache key.  ``FINGERPRINT_VERSION`` is
   part of the payload, so any future canonicalization change invalidates
@@ -37,8 +42,10 @@ from repro.core.config import (
     FermihedralConfig,
 )
 from repro.fermion.hamiltonians import FermionicHamiltonian
+from repro.hardware.topology import DeviceTopology
 
-FINGERPRINT_VERSION = 1
+#: v2 added the ``device`` entry (hardware-aware compilation).
+FINGERPRINT_VERSION = 2
 
 
 def canonical_config(config: FermihedralConfig) -> dict:
@@ -54,6 +61,18 @@ def canonical_config(config: FermihedralConfig) -> dict:
 def canonical_hamiltonian(hamiltonian: FermionicHamiltonian) -> list[list[int]]:
     """Sorted support monomials — all the compiler ever reads of a Hamiltonian."""
     return sorted([list(monomial) for monomial in hamiltonian.monomials])
+
+
+def canonical_device(topology: DeviceTopology) -> dict:
+    """Plain-data shape of a device: qubit count + canonical edge list.
+
+    Deliberately name-free (see the module docstring) — the graph is the
+    only thing routing and the weighted objective consume.
+    """
+    return {
+        "num_qubits": topology.num_qubits,
+        "edges": [list(edge) for edge in topology.edges],
+    }
 
 
 def canonical_schedule(schedule: AnnealingSchedule) -> dict:
@@ -74,6 +93,7 @@ def job_payload(
     method: str = "independent",
     schedule: AnnealingSchedule | None = None,
     seed: int | None = None,
+    device: DeviceTopology | None = None,
 ) -> dict:
     """The canonical, JSON-serializable identity of one compilation job.
 
@@ -86,6 +106,8 @@ def job_payload(
         schedule: annealing schedule; only fingerprinted for the
             ``sat+annealing`` method (defaults applied there).
         seed: annealing RNG seed; only fingerprinted for ``sat+annealing``.
+        device: target topology for hardware-aware jobs; two jobs that
+            differ only in device shape never share a key.
     """
     if method not in COMPILE_METHODS:
         raise ValueError(
@@ -100,6 +122,7 @@ def job_payload(
             None if hamiltonian is None else canonical_hamiltonian(hamiltonian)
         ),
         "annealing": None,
+        "device": None if device is None else canonical_device(device),
     }
     if method == METHOD_ANNEALING:
         payload["annealing"] = {
@@ -116,8 +139,11 @@ def compilation_key(
     method: str = "independent",
     schedule: AnnealingSchedule | None = None,
     seed: int | None = None,
+    device: DeviceTopology | None = None,
 ) -> str:
     """SHA-256 hex key identifying one compilation job (see module docs)."""
-    payload = job_payload(num_modes, config, hamiltonian, method, schedule, seed)
+    payload = job_payload(
+        num_modes, config, hamiltonian, method, schedule, seed, device
+    )
     text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(text.encode("utf-8")).hexdigest()

@@ -63,3 +63,31 @@ class TestSynthesis:
     def test_invalid_target_rejected(self):
         with pytest.raises(ValueError):
             pauli_evolution_circuit(PauliString.from_label("XI"), 0.1, target=0)
+
+
+class TestLadderOrder:
+    """The ladder parameter reorders parity accumulation without changing
+    the implemented unitary (used by the hardware-aware synthesizer)."""
+
+    def test_reordered_ladder_same_unitary(self):
+        from repro.simulator import circuit_unitary
+
+        string = PauliString.from_label("XZZY")
+        default = pauli_evolution_circuit(string, 0.37)
+        reordered = pauli_evolution_circuit(string, 0.37, target=3,
+                                            ladder=[2, 0, 1])
+        assert _phase_equal(circuit_unitary(default),
+                            circuit_unitary(reordered))
+
+    def test_ladder_must_permute_non_target_support(self):
+        string = PauliString.from_label("XZZY")
+        with pytest.raises(ValueError):
+            pauli_evolution_circuit(string, 0.1, target=3, ladder=[0, 1])
+        with pytest.raises(ValueError):
+            pauli_evolution_circuit(string, 0.1, target=3, ladder=[0, 1, 3])
+
+    def test_ladder_controls_emitted_in_requested_order(self):
+        string = PauliString.from_label("ZZZ")
+        circuit = pauli_evolution_circuit(string, 0.1, target=0, ladder=[2, 1])
+        cnots = [gate for gate in circuit if gate.is_two_qubit]
+        assert [gate.qubits[0] for gate in cnots[:2]] == [2, 1]

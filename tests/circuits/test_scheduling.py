@@ -111,3 +111,70 @@ class TestEndToEndImprovement:
         unitary = circuit_unitary(optimize_circuit(scheduled))
         assert np.allclose(unitary @ unitary.conj().T, np.eye(4), atol=1e-9)
         assert len(scheduled) == len(plain)
+
+
+# -- property-based coverage --------------------------------------------------
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+_labels = st.text(alphabet="IXYZ", min_size=1, max_size=6)
+
+
+def _pair_of_labels():
+    return _labels.flatmap(
+        lambda left: st.tuples(
+            st.just(left), st.text(alphabet="IXYZ", min_size=len(left),
+                                   max_size=len(left))
+        )
+    )
+
+
+class TestAffinityProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(_pair_of_labels())
+    def test_symmetric(self, labels):
+        left = PauliString.from_label(labels[0])
+        right = PauliString.from_label(labels[1])
+        assert cancellation_affinity(left, right) == cancellation_affinity(
+            right, left
+        )
+
+    @settings(max_examples=200, deadline=None)
+    @given(_pair_of_labels())
+    def test_bounded_by_min_weight(self, labels):
+        left = PauliString.from_label(labels[0])
+        right = PauliString.from_label(labels[1])
+        affinity = cancellation_affinity(left, right)
+        assert 0 <= affinity <= min(left.weight, right.weight)
+
+    @settings(max_examples=100, deadline=None)
+    @given(_labels)
+    def test_self_affinity_is_weight(self, label):
+        string = PauliString.from_label(label)
+        assert cancellation_affinity(string, string) == string.weight
+
+
+class TestGreedyOrderProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.text(alphabet="IXYZ", min_size=3, max_size=3),
+                    min_size=1, max_size=8, unique=True))
+    def test_orders_every_non_identity_term_once_deterministically(self, labels):
+        operator = PauliSum.zero(3)
+        for position, label in enumerate(labels):
+            operator = operator + PauliSum.from_label(label, 0.5 + position)
+        first = greedy_cancellation_order(operator)
+        second = greedy_cancellation_order(operator)
+        assert first == second
+        expected = sorted(label for label in labels if label != "III")
+        assert sorted(string.label() for string in first) == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.text(alphabet="IXYZ", min_size=2, max_size=2),
+                    min_size=1, max_size=6, unique=True))
+    def test_identity_never_scheduled(self, labels):
+        operator = PauliSum.identity(2, 2.0)
+        for label in labels:
+            operator = operator + PauliSum.from_label(label, 0.25)
+        order = greedy_cancellation_order(operator)
+        assert all(not string.is_identity for string in order)

@@ -76,6 +76,19 @@ class TestBudgets:
         assert result.steps[0].bound == 6
         assert result.weight == 6
 
+    def test_start_weight_below_optimum_is_not_a_proof(self):
+        """UNSAT at a start_weight below the true optimum (6 for 2 modes)
+        leaves the range up to the baseline unexplored — the returned
+        baseline (BK, weight 7) must not be reported as proved optimal."""
+        for strategy in ("linear", "bisection"):
+            config = FermihedralConfig(
+                start_weight=4, strategy=strategy,
+                budget=SolverBudget(time_budget_s=30),
+            )
+            result = descend(2, config=config)
+            assert result.weight == bravyi_kitaev(2).total_majorana_weight
+            assert not result.proved_optimal, strategy
+
 
 class TestHamiltonianDependent:
     def test_hubbard_2site_beats_bk(self, fast_config):

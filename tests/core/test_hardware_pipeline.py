@@ -1,0 +1,235 @@
+"""Tests for hardware-aware compilation through the pipeline facade:
+connectivity-weighted descent, routed-cost candidate selection, per-device
+caching, and result serialization."""
+
+import pytest
+
+from repro.core import (
+    FermihedralCompiler,
+    FermihedralConfig,
+    SolverBudget,
+    descend,
+    measured_weight,
+)
+from repro.core.baselines import candidate_baselines
+from repro.core.pipeline import hardware_config
+from repro.encodings import bravyi_kitaev
+from repro.encodings.serialization import result_from_dict, result_to_dict
+from repro.fermion import h2_hamiltonian
+from repro.hardware import (
+    HardwareCostModel,
+    all_to_all_topology,
+    connectivity_weights,
+    get_device,
+    grid_topology,
+    linear_topology,
+)
+from repro.store import CompilationCache
+
+_FAST = FermihedralConfig(budget=SolverBudget(time_budget_s=30.0))
+
+
+class TestMeasuredWeight:
+    def test_uniform_matches_legacy_metrics(self):
+        encoding = bravyi_kitaev(4)
+        assert measured_weight(encoding) == encoding.total_majorana_weight
+        h2 = h2_hamiltonian()
+        assert measured_weight(encoding, h2) == encoding.hamiltonian_pauli_weight(h2)
+
+    def test_uniform_weights_scale_linearly(self):
+        encoding = bravyi_kitaev(3)
+        assert (
+            measured_weight(encoding, qubit_weights=(3, 3, 3))
+            == 3 * encoding.total_majorana_weight
+        )
+
+    def test_skewed_weights_count_support_qubits(self):
+        encoding = bravyi_kitaev(2)  # strings on qubits {0, 1}
+        plain = measured_weight(encoding)
+        weighted = measured_weight(encoding, qubit_weights=(1, 2))
+        # every qubit-1 position now counts twice
+        qubit_one_hits = sum(1 for s in encoding.strings if 1 in s.support)
+        assert weighted == plain + qubit_one_hits
+
+    def test_hamiltonian_weighted_sums_monomial_images(self):
+        encoding = bravyi_kitaev(4)
+        h2 = h2_hamiltonian()
+        total = 0
+        for monomial in h2.monomials:
+            image, _ = encoding.monomial_image(monomial)
+            total += sum((2, 1, 1, 2)[q] for q in image.support)
+        assert measured_weight(encoding, h2, (2, 1, 1, 2)) == total
+
+
+class TestWeightedDescent:
+    def test_uniform_weights_double_the_optimum(self):
+        plain = descend(2, config=_FAST)
+        doubled = descend(2, config=_FAST.with_qubit_weights((2, 2)))
+        assert plain.proved_optimal and doubled.proved_optimal
+        assert doubled.weight == 2 * plain.weight
+
+    def test_skewed_weights_prove_weighted_optimum(self):
+        result = descend(2, config=_FAST.with_qubit_weights((1, 3)))
+        assert result.proved_optimal
+        assert result.weight == measured_weight(
+            result.encoding, qubit_weights=(1, 3)
+        )
+
+    def test_weight_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            descend(3, config=_FAST.with_qubit_weights((1, 2)))
+
+    def test_config_validates_weights(self):
+        with pytest.raises(ValueError):
+            FermihedralConfig(qubit_weights=(1, 0))
+        with pytest.raises(ValueError):
+            FermihedralConfig(qubit_weights=())
+
+    def test_config_normalizes_to_int_tuple(self):
+        config = FermihedralConfig(qubit_weights=[1, 2])
+        assert config.qubit_weights == (1, 2)
+
+
+class TestHardwareConfig:
+    def test_no_device_passes_through(self):
+        assert hardware_config(_FAST, None, 4) is _FAST
+
+    def test_device_installs_connectivity_weights(self):
+        line = linear_topology(5)
+        config = hardware_config(_FAST, line, 4)
+        assert config.qubit_weights == connectivity_weights(line, 4)
+
+    def test_pinned_weights_win_over_device(self):
+        pinned = _FAST.with_qubit_weights((1, 1, 1, 7))
+        assert hardware_config(pinned, linear_topology(5), 4) is pinned
+
+
+class TestDeviceBoundCompiler:
+    def test_result_carries_device_and_hardware(self):
+        compiler = FermihedralCompiler(2, _FAST, device="grid-2x2")
+        result = compiler.hamiltonian_independent()
+        assert result.device == "grid-2x2"
+        assert result.hardware is not None
+        assert result.hardware.two_qubit_count >= 0
+        # weight is normalized to the plain objective
+        assert result.weight == result.encoding.total_majorana_weight
+
+    def test_never_routes_worse_than_any_baseline(self):
+        h2 = h2_hamiltonian()
+        device = get_device("ibmq-manila")
+        compiler = FermihedralCompiler(4, _FAST, device=device)
+        result = compiler.full_sat(h2)
+        model = HardwareCostModel(device)
+        for baseline in candidate_baselines(4, _FAST.vacuum_preservation):
+            assert (result.hardware.two_qubit_count
+                    <= model.cost_of_encoding(baseline, h2).two_qubit_count)
+
+    def test_per_call_device_override(self):
+        compiler = FermihedralCompiler(2, _FAST)
+        plain = compiler.compile()
+        assert plain.device is None and plain.hardware is None
+        routed = compiler.compile(device="linear-2")
+        assert routed.device == "linear-2"
+
+    def test_device_smaller_than_encoding_rejected(self):
+        with pytest.raises(ValueError):
+            FermihedralCompiler(4, _FAST, device="linear-3")
+        compiler = FermihedralCompiler(4, _FAST)
+        with pytest.raises(ValueError):
+            compiler.compile(device="linear-3")
+
+    def test_device_accepts_topology_object(self):
+        compiler = FermihedralCompiler(2, _FAST, device=all_to_all_topology(2))
+        result = compiler.hamiltonian_independent()
+        assert result.hardware.swap_count == 0
+
+
+class TestDeviceCache:
+    def test_no_cross_device_hits(self, tmp_path):
+        cache = CompilationCache(tmp_path)
+        first = FermihedralCompiler(3, _FAST, cache=cache, device="linear-3")
+        first.compile()
+        assert first.last_cache_status == "miss"
+
+        other_shape = FermihedralCompiler(3, _FAST, cache=cache,
+                                          device="all-to-all-3")
+        other_shape.compile()
+        assert other_shape.last_cache_status == "miss"
+
+        device_free = FermihedralCompiler(3, _FAST, cache=cache)
+        device_free.compile()
+        assert device_free.last_cache_status == "miss"
+
+    def test_same_shape_hits(self, tmp_path):
+        cache = CompilationCache(tmp_path)
+        FermihedralCompiler(3, _FAST, cache=cache, device="ring-3").compile()
+        again = FermihedralCompiler(3, _FAST, cache=cache, device="ring-3")
+        result = again.compile()
+        assert again.last_cache_status == "hit"
+        assert result.device == "ring-3"
+        assert result.hardware is not None
+
+    def test_baseline_winner_with_proved_descent_still_hits(self, tmp_path):
+        """A device job whose routed-cost selection replaced the descent
+        winner has proved_optimal=False, but is still final (the selection
+        is deterministic) — reruns must hit, not re-descend."""
+        import dataclasses
+
+        from repro.encodings import jordan_wigner
+
+        cache = CompilationCache(tmp_path)
+        device = get_device("grid-2x2")
+        compiler = FermihedralCompiler(2, _FAST, cache=cache, device=device)
+        fresh = compiler.compile()
+        assert fresh.descent.proved_optimal
+
+        # Simulate the baseline-wins outcome on the stored entry: swap in a
+        # baseline encoding and clear the headline proof flag.
+        key = cache.key_for(
+            num_modes=2, config=hardware_config(_FAST, device, 2),
+            method="independent", device=device,
+        )
+        doctored = dataclasses.replace(
+            fresh, encoding=jordan_wigner(2), proved_optimal=False
+        )
+        cache.put(key, doctored)
+
+        rerun = FermihedralCompiler(2, _FAST, cache=cache, device=device)
+        result = rerun.compile()
+        assert rerun.last_cache_status == "hit"
+        assert result.proved_optimal is False
+
+    def test_unproved_descent_without_device_still_warm_starts(self, tmp_path):
+        starved = FermihedralConfig(budget=SolverBudget(max_conflicts=1))
+        cache = CompilationCache(tmp_path)
+        FermihedralCompiler(3, starved, cache=cache, device="linear-3").compile()
+        again = FermihedralCompiler(3, starved, cache=cache, device="linear-3")
+        again.compile()
+        assert again.last_cache_status == "warm-start"
+
+    def test_hardware_fields_survive_the_cache_round_trip(self, tmp_path):
+        cache = CompilationCache(tmp_path)
+        compiler = FermihedralCompiler(2, _FAST, cache=cache, device="grid-2x2")
+        fresh = compiler.compile()
+        cached = FermihedralCompiler(2, _FAST, cache=cache,
+                                     device="grid-2x2").compile()
+        assert cached.hardware == fresh.hardware
+        assert cached.device == fresh.device
+
+
+class TestResultSerialization:
+    def test_device_fields_round_trip(self):
+        compiler = FermihedralCompiler(2, _FAST, device="grid-2x2")
+        result = compiler.hamiltonian_independent()
+        rebuilt = result_from_dict(result_to_dict(result))
+        assert rebuilt.device == result.device
+        assert rebuilt.hardware == result.hardware
+
+    def test_legacy_payload_without_device_fields_loads(self):
+        result = FermihedralCompiler(2, _FAST).hamiltonian_independent()
+        data = result_to_dict(result)
+        del data["device"]
+        del data["hardware"]
+        rebuilt = result_from_dict(data)
+        assert rebuilt.device is None
+        assert rebuilt.hardware is None

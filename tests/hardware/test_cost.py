@@ -1,0 +1,121 @@
+"""Tests for the hardware cost model and connectivity weights."""
+
+import pytest
+
+from repro.encodings import bravyi_kitaev, jordan_wigner
+from repro.fermion import h2_hamiltonian
+from repro.hardware import (
+    HardwareCost,
+    HardwareCostModel,
+    TopologyError,
+    all_to_all_topology,
+    connectivity_weights,
+    grid_topology,
+    linear_topology,
+)
+from repro.paulis import PauliSum
+
+
+class TestConnectivityWeights:
+    def test_all_to_all_is_uniform(self):
+        weights = connectivity_weights(all_to_all_topology(6), 6)
+        assert len(set(weights)) == 1
+
+    def test_line_ends_cost_more(self):
+        weights = connectivity_weights(linear_topology(5), 5)
+        assert weights[0] > weights[2]
+        assert weights == tuple(reversed(weights))  # symmetric chain
+
+    def test_weights_are_positive_integers(self):
+        for weights in (
+            connectivity_weights(grid_topology(3, 3)),
+            connectivity_weights(linear_topology(8), 4),
+        ):
+            assert all(isinstance(w, int) and w >= 1 for w in weights)
+
+    def test_single_logical_qubit(self):
+        assert connectivity_weights(linear_topology(3), 1) == (1,)
+
+    def test_logical_count_capped_by_device(self):
+        with pytest.raises(TopologyError):
+            connectivity_weights(linear_topology(3), 4)
+
+    def test_restricted_to_logical_prefix(self):
+        # with 2 logical qubits on a 5-line, only qubits 0 and 1 matter —
+        # they are equally connected, so both get the unit weight
+        assert connectivity_weights(linear_topology(5), 2) == (1, 1)
+
+    def test_best_connected_qubit_costs_one(self):
+        for topology in (linear_topology(7), grid_topology(3, 3)):
+            assert min(connectivity_weights(topology)) == 1
+
+
+class TestHardwareCost:
+    def test_dict_round_trip(self):
+        cost = HardwareCost(
+            device="linear-5", num_physical_qubits=5, two_qubit_count=59,
+            swap_count=9, depth=73, single_qubit_count=26,
+            logical_two_qubit_count=32, logical_depth=50,
+        )
+        assert HardwareCost.from_dict(cost.as_dict()) == cost
+
+    def test_routing_overhead(self):
+        cost = HardwareCost("d", 4, 10, 2, 9, 3, 4, 8)
+        assert cost.routing_overhead == 6
+
+    def test_sort_key_orders_by_two_qubit_first(self):
+        cheap = HardwareCost("d", 4, 10, 0, 99, 99, 10, 99)
+        costly = HardwareCost("d", 4, 11, 0, 1, 1, 11, 1)
+        assert cheap.sort_key < costly.sort_key
+
+
+class TestHardwareCostModel:
+    def test_all_to_all_has_zero_overhead(self):
+        model = HardwareCostModel(all_to_all_topology(4))
+        cost = model.cost_of_encoding(bravyi_kitaev(4), h2_hamiltonian())
+        assert cost.swap_count == 0
+        assert cost.routing_overhead == 0
+
+    def test_sparse_device_costs_at_least_logical(self):
+        model = HardwareCostModel(linear_topology(5))
+        cost = model.cost_of_encoding(bravyi_kitaev(4), h2_hamiltonian())
+        assert cost.two_qubit_count >= cost.logical_two_qubit_count
+        assert cost.device == "linear-5"
+        assert cost.num_physical_qubits == 5
+
+    def test_hamiltonian_independent_proxy(self):
+        model = HardwareCostModel(linear_topology(4))
+        cost = model.cost_of_encoding(jordan_wigner(4))
+        assert cost.two_qubit_count >= 0
+        assert cost.logical_two_qubit_count > 0
+
+    def test_operator_larger_than_device_rejected(self):
+        model = HardwareCostModel(linear_topology(3))
+        with pytest.raises(TopologyError):
+            model.cost_of_operator(PauliSum.from_label("XXXX", 1.0))
+
+    def test_best_encoding_picks_minimum(self):
+        model = HardwareCostModel(linear_topology(5))
+        h2 = h2_hamiltonian()
+        candidates = [jordan_wigner(4), bravyi_kitaev(4)]
+        best, cost = model.best_encoding(candidates, h2)
+        all_costs = [model.cost_of_encoding(c, h2) for c in candidates]
+        assert cost.two_qubit_count == min(c.two_qubit_count for c in all_costs)
+        assert best in candidates
+
+    def test_best_encoding_tie_keeps_first(self):
+        model = HardwareCostModel(all_to_all_topology(4))
+        bk = bravyi_kitaev(4)
+        same = bravyi_kitaev(4)
+        best, _ = model.best_encoding([bk, same], h2_hamiltonian())
+        assert best is bk
+
+    def test_best_encoding_needs_candidates(self):
+        with pytest.raises(ValueError):
+            HardwareCostModel(linear_topology(2)).best_encoding([])
+
+    def test_deterministic(self):
+        model = HardwareCostModel(grid_topology(2, 2))
+        h2 = h2_hamiltonian()
+        assert (model.cost_of_encoding(bravyi_kitaev(4), h2)
+                == model.cost_of_encoding(bravyi_kitaev(4), h2))

@@ -1,0 +1,81 @@
+"""Tests for the named device registry and spec parsing."""
+
+import pytest
+
+from repro.hardware import (
+    DeviceTopology,
+    TopologyError,
+    get_device,
+    linear_topology,
+    list_devices,
+    resolve_device,
+)
+
+
+class TestPresets:
+    def test_registry_is_non_empty_and_sorted(self):
+        names = [name for name, _ in list_devices()]
+        assert names == sorted(names)
+        assert "ibm-falcon-27" in names
+
+    def test_every_preset_builds(self):
+        for name, _ in list_devices():
+            topology = get_device(name)
+            assert topology.num_qubits >= 1
+
+    def test_falcon_is_heavy_hex_shaped(self):
+        falcon = get_device("ibm-falcon-27")
+        assert falcon.num_qubits == 27
+        assert len(falcon.edges) == 28
+        assert max(falcon.degree(q) for q in range(27)) == 3
+
+    def test_ionq_is_all_to_all(self):
+        aria = get_device("ionq-aria-25")
+        assert aria.diameter == 1
+
+    def test_lookup_is_cached(self):
+        assert get_device("ibmq-manila") is get_device("ibmq-manila")
+
+    def test_case_insensitive(self):
+        assert get_device("IBMQ-Manila").name == "ibmq-manila"
+
+
+class TestSpecs:
+    @pytest.mark.parametrize("spec, qubits", [
+        ("linear-7", 7),
+        ("ring-5", 5),
+        ("grid-3x3", 9),
+        ("grid-2x4", 8),
+        ("heavy-hex-1x1", 12),
+        ("all-to-all-6", 6),
+    ])
+    def test_parametric_specs(self, spec, qubits):
+        assert get_device(spec).num_qubits == qubits
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(TopologyError):
+            get_device("torus-4x4")
+
+    def test_bad_grid_dimensions_rejected(self):
+        with pytest.raises(TopologyError):
+            get_device("grid-3")
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(TopologyError):
+            get_device("linear-abc")
+
+
+class TestResolve:
+    def test_none_passes_through(self):
+        assert resolve_device(None) is None
+
+    def test_topology_passes_through(self):
+        line = linear_topology(3)
+        assert resolve_device(line) is line
+
+    def test_string_resolves(self):
+        assert isinstance(resolve_device("grid-2x2"), DeviceTopology)
+
+    def test_other_types_rejected(self):
+        with pytest.raises(TypeError):
+            resolve_device(5)

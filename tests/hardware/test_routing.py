@@ -1,0 +1,140 @@
+"""Tests for SWAP-insertion routing and layout selection."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, cnot, h, rz, trotter_circuit
+from repro.hardware import (
+    TopologyError,
+    all_to_all_topology,
+    greedy_layout,
+    grid_topology,
+    interaction_weights,
+    layout_for_circuit,
+    linear_topology,
+    route_circuit,
+)
+from repro.paulis import PauliSum
+from repro.simulator import run_circuit, zero_state
+
+
+def _permuted_state(state, final_layout, num_physical):
+    """Embed a logical state onto physical qubits per the final layout."""
+    amplitudes = np.zeros(2**num_physical, dtype=complex)
+    for index in range(len(state)):
+        physical_index = 0
+        for logical in range(len(final_layout)):
+            if (index >> logical) & 1:
+                physical_index |= 1 << final_layout[logical]
+        amplitudes[physical_index] = state[index]
+    return amplitudes
+
+
+class TestRouteCircuit:
+    def test_adjacent_gates_pass_through(self):
+        circuit = QuantumCircuit(3, [h(0), cnot(0, 1), cnot(1, 2)])
+        result = route_circuit(circuit, linear_topology(3))
+        assert result.swap_count == 0
+        assert result.two_qubit_count == 2
+        assert result.final_layout == (0, 1, 2)
+
+    def test_distant_cnot_inserts_swaps(self):
+        circuit = QuantumCircuit(4, [cnot(0, 3)])
+        result = route_circuit(circuit, linear_topology(4))
+        assert result.swap_count == 2  # distance 3 -> 2 swaps
+        assert result.two_qubit_count == 7  # 2 * 3 + 1
+        assert result.routing_overhead == 6
+
+    def test_all_to_all_is_free(self):
+        circuit = QuantumCircuit(4, [cnot(0, 3), cnot(1, 2), cnot(0, 2)])
+        result = route_circuit(circuit, all_to_all_topology(4))
+        assert result.swap_count == 0
+        assert result.two_qubit_count == circuit.cnot_count
+
+    def test_single_qubit_gates_follow_the_layout(self):
+        circuit = QuantumCircuit(2, [rz(1, 0.5)])
+        result = route_circuit(circuit, linear_topology(4), initial_layout=(2, 3))
+        assert result.circuit.gates[0].qubits == (3,)
+
+    def test_routed_state_equals_logical_state_up_to_layout(self):
+        """The strong invariant: routing only permutes qubits."""
+        operator = (
+            PauliSum.from_label("XZY", 0.3)
+            + PauliSum.from_label("ZXX", 0.7)
+            + PauliSum.from_label("YYI", 0.4)
+        )
+        logical = trotter_circuit(operator, 1.0)
+        topology = grid_topology(2, 3)
+        result = route_circuit(logical, topology, initial_layout=(4, 0, 3))
+
+        logical_state = run_circuit(logical, zero_state(3))
+        routed_state = run_circuit(result.circuit, zero_state(6))
+        expected = _permuted_state(logical_state, result.final_layout, 6)
+        assert np.allclose(expected, routed_state, atol=1e-9)
+
+    def test_circuit_larger_than_device_rejected(self):
+        with pytest.raises(TopologyError):
+            route_circuit(QuantumCircuit(5), linear_topology(3))
+
+    def test_duplicate_layout_rejected(self):
+        with pytest.raises(TopologyError):
+            route_circuit(QuantumCircuit(2), linear_topology(3),
+                          initial_layout=(1, 1))
+
+    def test_layout_outside_device_rejected(self):
+        with pytest.raises(TopologyError):
+            route_circuit(QuantumCircuit(2), linear_topology(3),
+                          initial_layout=(0, 3))
+
+    def test_deterministic(self):
+        circuit = QuantumCircuit(4, [cnot(0, 3), cnot(3, 1), cnot(2, 0)])
+        first = route_circuit(circuit, linear_topology(5))
+        second = route_circuit(circuit, linear_topology(5))
+        assert [repr(g) for g in first.circuit] == [repr(g) for g in second.circuit]
+
+
+class TestInteractionWeights:
+    def test_counts_pairs_unordered(self):
+        circuit = QuantumCircuit(3, [cnot(0, 1), cnot(1, 0), cnot(1, 2)])
+        assert interaction_weights(circuit) == {(0, 1): 2, (1, 2): 1}
+
+    def test_single_qubit_gates_ignored(self):
+        assert interaction_weights(QuantumCircuit(2, [h(0), rz(1, 0.2)])) == {}
+
+
+class TestGreedyLayout:
+    def test_is_an_injective_placement(self):
+        layout = greedy_layout({(0, 1): 3, (1, 2): 1}, 3, grid_topology(2, 3))
+        assert len(set(layout)) == 3
+        assert all(0 <= q < 6 for q in layout)
+
+    def test_heavy_pair_placed_adjacent(self):
+        line = linear_topology(6)
+        layout = greedy_layout({(0, 1): 10, (2, 3): 1}, 4, line)
+        assert line.distance(layout[0], layout[1]) == 1
+
+    def test_too_many_logical_qubits_rejected(self):
+        with pytest.raises(TopologyError):
+            greedy_layout({}, 4, linear_topology(3))
+
+    def test_pair_outside_circuit_rejected(self):
+        with pytest.raises(TopologyError):
+            greedy_layout({(0, 5): 1}, 3, linear_topology(6))
+        with pytest.raises(TopologyError):
+            greedy_layout({(1, -1): 1}, 3, linear_topology(6))
+
+    def test_layout_reduces_swaps_versus_identity(self):
+        """On a line, a circuit whose hot pair is (0, 3) should route with
+        fewer SWAPs after the greedy placement."""
+        gates = [cnot(0, 3)] * 4
+        circuit = QuantumCircuit(4, gates)
+        line = linear_topology(4)
+        identity = route_circuit(circuit, line)
+        placed = route_circuit(circuit, line,
+                               initial_layout=layout_for_circuit(circuit, line))
+        assert placed.swap_count <= identity.swap_count
+
+    def test_deterministic(self):
+        weights = {(0, 1): 2, (1, 2): 2, (0, 3): 1}
+        grid = grid_topology(3, 3)
+        assert greedy_layout(weights, 4, grid) == greedy_layout(weights, 4, grid)

@@ -1,0 +1,128 @@
+"""Tests for device coupling graphs and their metrics."""
+
+import pytest
+
+from repro.hardware import (
+    DeviceTopology,
+    TopologyError,
+    all_to_all_topology,
+    grid_topology,
+    heavy_hex_topology,
+    linear_topology,
+    ring_topology,
+)
+
+
+class TestConstruction:
+    def test_basic_graph(self):
+        topology = DeviceTopology(3, [(0, 1), (1, 2)], name="v")
+        assert topology.num_qubits == 3
+        assert topology.edges == ((0, 1), (1, 2))
+
+    def test_edges_are_canonicalized(self):
+        topology = DeviceTopology(3, [(2, 1), (1, 0), (0, 1)])
+        assert topology.edges == ((0, 1), (1, 2))
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(TopologyError):
+            DeviceTopology(2, [(0, 0)])
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(TopologyError):
+            DeviceTopology(2, [(0, 2)])
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(TopologyError):
+            DeviceTopology(4, [(0, 1), (2, 3)])
+
+    def test_single_qubit_allowed(self):
+        assert linear_topology(1).num_qubits == 1
+
+    def test_equality_is_shape(self):
+        assert linear_topology(2) == DeviceTopology(2, [(0, 1)], name="other")
+        assert hash(linear_topology(3)) == hash(linear_topology(3))
+        assert linear_topology(3) != ring_topology(3)
+
+
+class TestMetric:
+    def test_linear_distances(self):
+        line = linear_topology(5)
+        assert line.distance(0, 4) == 4
+        assert line.distance(2, 2) == 0
+        assert line.diameter == 4
+
+    def test_ring_wraps(self):
+        ring = ring_topology(6)
+        assert ring.distance(0, 5) == 1
+        assert ring.distance(0, 3) == 3
+        assert ring.diameter == 3
+
+    def test_grid_manhattan(self):
+        grid = grid_topology(3, 3)
+        assert grid.distance(0, 8) == 4  # corner to corner
+        assert grid.distance(0, 4) == 2
+
+    def test_all_to_all(self):
+        full = all_to_all_topology(5)
+        assert full.diameter == 1
+        assert full.degree(0) == 4
+
+    def test_neighbors_sorted(self):
+        grid = grid_topology(3, 3)
+        assert grid.neighbors(4) == (1, 3, 5, 7)
+
+    def test_shortest_path_is_valid(self):
+        grid = grid_topology(3, 3)
+        path = grid.shortest_path(0, 8)
+        assert path[0] == 0 and path[-1] == 8
+        assert len(path) == grid.distance(0, 8) + 1
+        for a, b in zip(path, path[1:]):
+            assert grid.is_adjacent(a, b)
+
+    def test_next_hop_deterministic_smallest_neighbor(self):
+        grid = grid_topology(3, 3)
+        # both 1 and 3 reduce the distance to 8; the smaller index wins
+        assert grid.next_hop(0, 8) == 1
+
+    def test_next_hop_same_qubit_rejected(self):
+        with pytest.raises(TopologyError):
+            linear_topology(3).next_hop(1, 1)
+
+    def test_qubit_range_checked(self):
+        with pytest.raises(TopologyError):
+            linear_topology(3).distance(0, 3)
+
+
+class TestHeavyHex:
+    def test_single_cell_is_twelve_qubit_ring(self):
+        cell = heavy_hex_topology(1, 1)
+        assert cell.num_qubits == 12
+        assert all(cell.degree(q) == 2 for q in range(12))
+        assert cell.diameter == 6
+
+    def test_degree_capped_at_three(self):
+        lattice = heavy_hex_topology(2, 2)
+        assert max(lattice.degree(q) for q in range(lattice.num_qubits)) <= 3
+
+    def test_bridge_qubits_have_degree_two(self):
+        lattice = heavy_hex_topology(1, 2)
+        # every edge qubit (index >= vertex count) bridges exactly two vertices
+        vertex_count = lattice.num_qubits - len(lattice.edges) // 2
+        assert all(
+            lattice.degree(q) == 2 for q in range(vertex_count, lattice.num_qubits)
+        )
+
+
+class TestBuilderValidation:
+    def test_ring_needs_three(self):
+        with pytest.raises(TopologyError):
+            ring_topology(2)
+
+    def test_grid_positive(self):
+        with pytest.raises(TopologyError):
+            grid_topology(0, 3)
+
+    def test_default_names(self):
+        assert linear_topology(4).name == "linear-4"
+        assert grid_topology(2, 3).name == "grid-2x3"
+        assert all_to_all_topology(6).name == "all-to-all-6"

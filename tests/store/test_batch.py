@@ -122,3 +122,51 @@ class TestBatchCompiler:
         report = BatchCompiler(default_config=fast_config).compile([])
         assert report.outcomes == []
         assert report.ok
+
+
+class TestDeviceJobs:
+    def _fast(self):
+        from repro.core import SolverBudget
+
+        return FermihedralConfig(budget=SolverBudget(time_budget_s=30.0))
+
+    def test_different_devices_not_deduplicated(self):
+        compiler = BatchCompiler(default_config=self._fast())
+        report = compiler.compile([
+            CompileJob(method=METHOD_INDEPENDENT, num_modes=2),
+            CompileJob(method=METHOD_INDEPENDENT, num_modes=2,
+                       device="grid-2x2"),
+        ])
+        assert report.ok
+        assert [o.status for o in report.outcomes] == ["compiled", "compiled"]
+        assert report.outcomes[0].result.device is None
+        assert report.outcomes[1].result.device == "grid-2x2"
+        assert report.outcomes[1].result.hardware is not None
+
+    def test_same_device_deduplicated(self):
+        compiler = BatchCompiler(default_config=self._fast())
+        report = compiler.compile([
+            CompileJob(method=METHOD_INDEPENDENT, num_modes=2,
+                       device="grid-2x2"),
+            CompileJob(method=METHOD_INDEPENDENT, num_modes=2,
+                       device="grid-2x2", label="duplicate"),
+        ])
+        assert report.counts == {"compiled": 1, "deduplicated": 1}
+
+    def test_bad_device_is_isolated_per_job(self):
+        """A typo'd or too-small device fails its own job at fingerprint
+        time without aborting the rest of the batch."""
+        compiler = BatchCompiler(default_config=self._fast())
+        report = compiler.compile([
+            CompileJob(method=METHOD_INDEPENDENT, num_modes=2,
+                       device="gird-3x3"),
+            CompileJob(method=METHOD_INDEPENDENT, num_modes=4,
+                       device="linear-3"),
+            CompileJob(method=METHOD_INDEPENDENT, num_modes=2),
+        ])
+        assert [o.status for o in report.outcomes] == [
+            "error", "error", "compiled",
+        ]
+        assert "unknown device" in report.outcomes[0].error
+        assert report.outcomes[2].result is not None
+        assert not report.ok

@@ -98,6 +98,42 @@ class TestSensitivity:
         ) == compilation_key(4, config, h2, METHOD_FULL_SAT, seed=2)
 
 
+class TestDeviceSensitivity:
+    def test_device_shapes_change_the_key(self):
+        from repro.hardware import all_to_all_topology, linear_topology
+
+        config = FermihedralConfig()
+        keys = {
+            compilation_key(3, config),
+            compilation_key(3, config, device=linear_topology(3)),
+            compilation_key(3, config, device=all_to_all_topology(3)),
+        }
+        assert len(keys) == 3
+
+    def test_device_name_does_not_change_the_key(self):
+        """Fingerprints key on the coupling graph, not the display name."""
+        from repro.hardware import DeviceTopology, linear_topology
+
+        config = FermihedralConfig()
+        named = DeviceTopology(3, [(0, 1), (1, 2)], name="my-favorite-chain")
+        assert compilation_key(3, config, device=named) == compilation_key(
+            3, config, device=linear_topology(3)
+        )
+
+    def test_same_shape_same_key(self):
+        from repro.hardware import ring_topology
+
+        config = FermihedralConfig()
+        assert compilation_key(3, config, device=ring_topology(3)) == (
+            compilation_key(3, config, device=ring_topology(3))
+        )
+
+    def test_qubit_weights_change_the_key(self):
+        base = FermihedralConfig()
+        weighted = base.with_qubit_weights((1, 2, 1))
+        assert compilation_key(3, base) != compilation_key(3, weighted)
+
+
 class TestPayload:
     def test_unknown_method_rejected(self):
         with pytest.raises(ValueError):

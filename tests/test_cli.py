@@ -290,3 +290,98 @@ class TestBatchCli:
         code = main(["batch", str(tmp_path)])
         assert code == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestVersion:
+    def test_version_flag_prints_and_exits_zero(self, capsys):
+        import pytest as _pytest
+
+        with _pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        import repro
+
+        assert f"repro {repro.__version__}" in capsys.readouterr().out
+
+
+class TestDevicesCli:
+    def test_devices_ls(self, capsys):
+        code = main(["devices", "ls"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ibm-falcon-27" in out
+        assert "ionq-aria-25" in out
+        assert "parametric specs" in out
+
+    def test_devices_show_preset(self, capsys):
+        code = main(["devices", "show", "ibmq-manila"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "qubits:    5" in out
+        assert "couplers:" in out
+        assert "objective weights" in out
+
+    def test_devices_show_parametric(self, capsys):
+        code = main(["devices", "show", "grid-3x3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "qubits:    9" in out
+        assert "diameter:  4" in out
+
+    def test_devices_show_unknown(self, capsys):
+        code = main(["devices", "show", "vaporware-9000"])
+        assert code == 2
+        assert "unknown device" in capsys.readouterr().err
+
+
+class TestDeviceFlows:
+    def test_solve_with_device_reports_routed_cost(self, capsys):
+        code = main([
+            "solve", "--modes", "2", "--device", "grid-2x2", "--budget-s", "30",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "device:          grid-2x2 (4 qubits)" in out
+        assert "routed 2q gates:" in out
+        assert "routed depth:" in out
+
+    def test_solve_with_too_small_device(self, capsys):
+        code = main(["solve", "--modes", "4", "--device", "linear-3"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_solve_device_cache_round_trip(self, capsys, tmp_path):
+        argv = [
+            "solve", "--modes", "2", "--device", "linear-2", "--budget-s", "30",
+            "--cache", str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        assert "cache:           miss" in capsys.readouterr().out
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "cache:           hit" in out
+        assert "routed 2q gates:" in out
+
+    def test_compile_with_device(self, capsys):
+        code = main([
+            "compile", "--model", "h2", "--encoding", "bk",
+            "--device", "ibmq-manila",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "device:    ibmq-manila (5 qubits)" in out
+        assert "routed:" in out
+
+    def test_batch_with_device_adds_columns(self, capsys, tmp_path):
+        jobs = tmp_path / "jobs.json"
+        jobs.write_text(json.dumps([
+            {"modes": 2, "method": "independent"},
+            {"modes": 2, "method": "independent", "device": "grid-2x2"},
+        ]))
+        code = main(["batch", str(jobs), "--budget-s", "30",
+                     "--device", "linear-2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "routed 2q" in out
+        assert "grid-2x2" in out
+        assert "linear-2" in out

@@ -1,0 +1,58 @@
+"""Packaging checks: every package ships, the console script exists, and
+the version constants agree."""
+
+import re
+from pathlib import Path
+
+from setuptools import find_packages
+
+REPO_ROOT = Path(__file__).parent.parent
+SETUP_PY = (REPO_ROOT / "setup.py").read_text()
+
+
+class TestPackages:
+    def test_all_source_packages_are_discovered(self):
+        packages = set(find_packages(where=str(REPO_ROOT / "src")))
+        expected = {
+            "repro",
+            "repro.analysis",
+            "repro.circuits",
+            "repro.core",
+            "repro.encodings",
+            "repro.fermion",
+            "repro.hardware",
+            "repro.paulis",
+            "repro.sat",
+            "repro.simulator",
+            "repro.store",
+            "repro.tapering",
+        }
+        assert expected <= packages
+
+    def test_every_package_directory_has_an_init(self):
+        source = REPO_ROOT / "src" / "repro"
+        for directory in source.iterdir():
+            if directory.is_dir() and any(directory.glob("*.py")):
+                assert (directory / "__init__.py").exists(), directory
+
+
+class TestMetadata:
+    def test_console_script_registered(self):
+        assert "repro=repro.cli:main" in SETUP_PY.replace(" ", "")
+
+    def test_setup_py_reads_version_from_the_package(self):
+        """setup.py must parse __version__ from src/repro/__init__.py (the
+        single source of truth) rather than pin its own copy."""
+        import repro
+
+        assert "version=package_version()" in SETUP_PY.replace(" ", "")
+        source = (REPO_ROOT / "src" / "repro" / "__init__.py").read_text()
+        match = re.search(r'^__version__ = "([^"]+)"', source, re.MULTILINE)
+        assert match and match.group(1) == repro.__version__
+
+    def test_cli_version_action_uses_package_version(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        actions = {action.dest: action for action in parser._actions}
+        assert "version" in actions
