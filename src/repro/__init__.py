@@ -60,6 +60,7 @@ from repro.hardware import (
     list_devices,
     route_circuit,
 )
+from repro.parallel import PortfolioSolver, ProcessBatchExecutor
 from repro.paulis import PauliString, PauliSum
 from repro.store import (
     BatchCompiler,
@@ -102,6 +103,8 @@ __all__ = [
     "NoiseModel",
     "PauliString",
     "PauliSum",
+    "PortfolioSolver",
+    "ProcessBatchExecutor",
     "QuantumCircuit",
     "SolverBudget",
     "anneal_pairing",

@@ -3,15 +3,25 @@
 Subcommands::
 
     python -m repro solve     --modes 3 [--model hubbard:3] [--cache DIR]
-                              [--device grid-3x3]
+                              [--device grid-3x3] [--portfolio 4] [--stats]
     python -m repro baselines --modes 4 [--model h2]
     python -m repro compile   --model h2 --encoding bk [--time 1.0]
                               [--device ibm-falcon-27]
     python -m repro verify    --encoding-file enc.json
     python -m repro batch     jobs.json [--model h2 ...] [--cache DIR]
-                              [--device linear-8]
+                              [--device linear-8] [--jobs 4]
     python -m repro cache     {ls,show,gc} [--dir DIR]
     python -m repro devices   {ls,show NAME}
+
+Parallelism: ``--portfolio N`` races N diversified solver processes on
+every SAT call (deterministic logical-time racing; first definitive
+answer wins); ``batch --jobs N`` fans unique jobs across N worker
+processes with a parent-side cache fast path and a live per-job status
+line on stderr.  Given enough budget per SAT call, neither knob changes
+achieved weights or optimality proofs — only wall-clock time.  When a
+budget *is* exhausted, more parallelism can only answer more (a
+diversified racer may finish a bound the reference solver could not),
+never contradict a serial answer.
 
 Model specs: ``h2``, ``hubbard:<sites>``, ``hubbard:<rows>x<cols>``,
 ``syk:<modes>``, ``electronic:<modes>``, ``tv:<sites>``.
@@ -127,6 +137,9 @@ def _config_from_args(args) -> FermihedralConfig:
         budget=SolverBudget(
             max_conflicts=args.max_conflicts, time_budget_s=args.budget_s
         ),
+        incremental=not args.no_incremental,
+        portfolio=args.portfolio or 1,
+        jobs=getattr(args, "jobs_n", None) or 1,
     )
 
 
@@ -148,6 +161,16 @@ def _add_solver_options(parser: argparse.ArgumentParser) -> None:
                         help="time budget per SAT call (default: 60)")
     parser.add_argument("--max-conflicts", type=int, default=None, metavar="N",
                         help="conflict budget per SAT call (default: unlimited)")
+    parser.add_argument("--portfolio", type=int, default=None, metavar="N",
+                        help="race N diversified solver processes on every "
+                             "SAT call; deterministic first-answer-wins "
+                             "(default: 1, in-process)")
+    parser.add_argument("--no-incremental", action="store_true",
+                        help="rebuild the SAT instance at every descent "
+                             "bound instead of reusing one incremental "
+                             "instance with assumption-activated bounds "
+                             "(ignored with --portfolio > 1, which always "
+                             "races one persistent instance)")
 
 
 def _resolve_encoding(name: str, num_modes: int):
@@ -193,8 +216,36 @@ def _print_result_summary(result, mid_lines: tuple[str, ...] = (),
         print(f"  m_{index:<3d} {string.label()}")
 
 
+def _print_solver_stats(result) -> None:
+    """The ``solve --stats`` block: search effort per descent step."""
+    descent = result.descent
+    print("solver statistics:")
+    print(f"  conflicts:     {descent.total_conflicts}")
+    print(f"  decisions:     {descent.total_decisions}")
+    print(f"  propagations:  {descent.total_propagations}")
+    print(f"  restarts:      {descent.total_restarts}")
+    print(f"  construct:     {descent.construct_time_s:.2f}s")
+    rows = [
+        [step.bound, step.status,
+         "-" if step.achieved_weight is None else step.achieved_weight,
+         step.conflicts, step.decisions, step.propagations, step.restarts,
+         f"{step.elapsed_s:.2f}"]
+        for step in descent.steps
+    ]
+    if rows:
+        print(format_table(
+            ["bound", "status", "achieved", "conflicts", "decisions",
+             "propagations", "restarts", "time (s)"],
+            rows,
+        ))
+
+
 def cmd_solve(args) -> int:
     config = _config_from_args(args)
+    # --jobs is an alias for --portfolio; an explicit --portfolio (even
+    # --portfolio 1) always wins.
+    if args.jobs and args.jobs > 1 and args.portfolio is None:
+        config = config.with_parallelism(portfolio=args.jobs)
     cache = CompilationCache(args.cache) if args.cache else None
     if args.model:
         hamiltonian = parse_model(args.model)
@@ -226,6 +277,8 @@ def cmd_solve(args) -> int:
         ),
         post_lines=post,
     )
+    if args.stats:
+        _print_solver_stats(result)
     if args.output:
         save_encoding(result.encoding, args.output)
         print(f"saved encoding to {args.output}")
@@ -343,12 +396,21 @@ def _jobs_from_args(args) -> list[CompileJob]:
 
 
 def cmd_batch(args) -> int:
+    from repro.parallel.events import format_event
+
     jobs = _jobs_from_args(args)
     cache = CompilationCache(args.cache) if args.cache else None
+
+    def live_status(event) -> None:
+        # Progress goes to stderr so stdout stays a clean result table.
+        print(format_event(event), file=sys.stderr, flush=True)
+
     compiler = BatchCompiler(
         cache=cache,
         max_workers=args.workers,
         default_config=_config_from_args(args),
+        jobs=args.jobs_n,
+        on_event=None if args.quiet else live_status,
     )
     report = compiler.compile(jobs)
 
@@ -555,6 +617,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "objective (full-sat) or independent SAT optimum "
                             "plus annealed pairing (sat-anl)")
     _add_solver_options(solve)
+    solve.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="worker processes for this solve (alias for "
+                            "--portfolio, which wins if both are given)")
+    solve.add_argument("--stats", action="store_true",
+                       help="print solver statistics (conflicts, decisions, "
+                            "propagations, restarts) per descent step")
     solve.add_argument("--device", default=None, metavar="NAME", help=_DEVICE_HELP)
     solve.add_argument("--cache", default=None, metavar="DIR",
                        help="memoize results in a persistent compilation "
@@ -610,9 +678,12 @@ def build_parser() -> argparse.ArgumentParser:
     batch = subparsers.add_parser(
         "batch",
         help="compile many jobs concurrently, deduplicated through the cache",
-        description="Fan a list of compilation jobs across worker threads. "
+        description="Fan a list of compilation jobs across workers. "
                     "Jobs with identical fingerprints are compiled once; with "
-                    "--cache, results persist across runs. Jobs come from a "
+                    "--cache, results persist across runs and already-final "
+                    "entries short-circuit in the parent. --jobs N uses N "
+                    "worker processes (real CPU parallelism); otherwise a "
+                    "thread pool runs the batch. Jobs come from a "
                     "JSON file (a list of objects with 'model' or 'modes', "
                     "plus optional 'method', 'seed', 'label') and/or repeated "
                     "--model flags.",
@@ -626,8 +697,14 @@ def build_parser() -> argparse.ArgumentParser:
                        default="full-sat",
                        help="method for jobs that do not specify one "
                             "(default: full-sat)")
+    batch.add_argument("--jobs", type=int, default=None, metavar="N", dest="jobs_n",
+                       help="worker processes (default: 1 = thread pool); "
+                            "identical results at any N, only faster")
     batch.add_argument("--workers", type=int, default=None, metavar="N",
-                       help="worker threads (default: executor default)")
+                       help="worker threads when --jobs is not given "
+                            "(default: executor default)")
+    batch.add_argument("--quiet", action="store_true",
+                       help="suppress the live per-job status line on stderr")
     batch.add_argument("--cache", default=None, metavar="DIR",
                        help="persistent compilation cache directory")
     batch.add_argument("--device", default=None, metavar="NAME",

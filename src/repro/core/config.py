@@ -20,6 +20,17 @@ METHOD_ANNEALING = "sat+annealing"
 #: and the ``repro.store`` fingerprints.
 COMPILE_METHODS = (METHOD_INDEPENDENT, METHOD_FULL_SAT, METHOD_ANNEALING)
 
+#: :class:`FermihedralConfig` fields that choose an *execution strategy*
+#: rather than a problem: given enough budget per SAT call they change
+#: only which of several equally-optimal models a run returns (and how
+#: fast), never the achieved weight or the optimality proof; when a
+#: budget is exhausted, more parallelism can only finish more bounds,
+#: never contradict fewer.  ``repro.store.fingerprint`` excludes them
+#: from cache keys so serial, incremental, portfolio and multi-process
+#: runs of one job all share a cache entry (sound because unproved
+#: results are warm-start seeds, never final hits).
+EXECUTION_ONLY_FIELDS = ("incremental", "portfolio", "jobs")
+
 
 @dataclass(frozen=True)
 class SolverBudget:
@@ -66,6 +77,23 @@ class FermihedralConfig:
             :func:`repro.hardware.cost.connectivity_weights`; ``None``
             keeps the paper's uniform objective.  Length must equal the
             mode count of the job using this config.
+        incremental: solve the descent ladder on one incremental SAT
+            instance — the weight bound becomes a per-call assumption and
+            learned clauses survive from one rung to the next — instead
+            of rebuilding the CNF from scratch at every bound.  Identical
+            optima either way; ``False`` restores the cold-start loop.
+        portfolio: number of diversified solver processes racing each SAT
+            call (:mod:`repro.parallel.portfolio`).  ``1`` solves
+            in-process with the reference configuration.
+        jobs: default worker-process count for batch executors consuming
+            this config (:mod:`repro.parallel.executor`); ``1`` is serial.
+
+        ``incremental``, ``portfolio`` and ``jobs`` are execution-strategy
+        knobs (:data:`EXECUTION_ONLY_FIELDS`): with enough budget they
+        change only how fast the run reaches the same weight and proof
+        (under an exhausted budget, more parallelism can only answer
+        more, never contradict), so they are excluded from cache
+        fingerprints.
     """
 
     algebraic_independence: bool = True
@@ -77,10 +105,17 @@ class FermihedralConfig:
     max_repairs: int = 32
     strategy: str = "linear"
     qubit_weights: tuple[int, ...] | None = None
+    incremental: bool = True
+    portfolio: int = 1
+    jobs: int = 1
 
     def __post_init__(self):
         if self.strategy not in ("linear", "bisection"):
             raise ValueError(f"unknown descent strategy: {self.strategy!r}")
+        if self.portfolio < 1:
+            raise ValueError("portfolio must be at least 1 worker")
+        if self.jobs < 1:
+            raise ValueError("jobs must be at least 1 process")
         if self.qubit_weights is not None:
             weights = tuple(int(weight) for weight in self.qubit_weights)
             if not weights or any(weight < 1 for weight in weights):
@@ -94,6 +129,21 @@ class FermihedralConfig:
         """This config with a connectivity-weighted objective installed."""
         return dataclasses.replace(
             self, qubit_weights=None if weights is None else tuple(weights)
+        )
+
+    def with_parallelism(
+        self,
+        portfolio: int | None = None,
+        jobs: int | None = None,
+        incremental: bool | None = None,
+    ) -> "FermihedralConfig":
+        """This config with execution-strategy knobs overridden (``None``
+        keeps the current value)."""
+        return dataclasses.replace(
+            self,
+            portfolio=self.portfolio if portfolio is None else portfolio,
+            jobs=self.jobs if jobs is None else jobs,
+            incremental=self.incremental if incremental is None else incremental,
         )
 
 

@@ -12,6 +12,15 @@ encoding is found by iterated bound tightening.  Two strategies:
   one) and the best model found.  Fewer SAT calls when the baseline starts
   far above the optimum; each call may be harder.
 
+Either strategy runs on one of two engines.  The default incremental
+engine builds the CNF and a shared cardinality ladder once and answers
+each bound with a one-literal assumption on a persistent solver (learned
+clauses survive between rungs); ``config.incremental = False`` restores
+the cold-start loop that rebuilds the instance per bound, and
+``config.portfolio > 1`` races the persistent instance across
+diversified worker processes.  The engines visit the same bound/status
+trajectory and return the same optima.
+
 In the w/o-Alg configuration (Section 4.1) each SAT model is additionally
 rank-checked; the rare algebraically-dependent models (probability
 ``4^-N``) are excluded with a blocking clause and the bound is retried —
@@ -37,7 +46,13 @@ BISECTION = "bisection"
 
 @dataclass
 class DescentStep:
-    """One SAT call inside the descent loop."""
+    """One SAT call inside the descent loop.
+
+    Carries the solver statistics of the (final) solver run at this bound
+    — conflicts, decisions, propagations, restarts — so ``repro solve
+    --stats`` and the benchmarks can report search effort, not just wall
+    time.
+    """
 
     bound: int
     status: str
@@ -45,6 +60,9 @@ class DescentStep:
     elapsed_s: float
     conflicts: int
     repairs: int = 0
+    decisions: int = 0
+    propagations: int = 0
+    restarts: int = 0
 
 
 @dataclass
@@ -63,6 +81,22 @@ class DescentResult:
     @property
     def sat_calls(self) -> int:
         return len(self.steps)
+
+    @property
+    def total_conflicts(self) -> int:
+        return sum(step.conflicts for step in self.steps)
+
+    @property
+    def total_decisions(self) -> int:
+        return sum(step.decisions for step in self.steps)
+
+    @property
+    def total_propagations(self) -> int:
+        return sum(step.propagations for step in self.steps)
+
+    @property
+    def total_restarts(self) -> int:
+        return sum(step.restarts for step in self.steps)
 
 
 def measured_weight(
@@ -136,9 +170,33 @@ def build_base_formula(
     return encoder, indicators
 
 
+def _step_from_result(
+    bound: int, result, achieved_weight: int | None, repairs: int,
+    status: str | None = None,
+) -> DescentStep:
+    """A :class:`DescentStep` carrying the solver statistics of ``result``."""
+    return DescentStep(
+        bound=bound,
+        status=status or result.status,
+        achieved_weight=achieved_weight,
+        elapsed_s=result.elapsed_s,
+        conflicts=result.conflicts,
+        repairs=repairs,
+        decisions=result.decisions,
+        propagations=result.propagations,
+        restarts=result.restarts,
+    )
+
+
 class _BoundSolver:
     """Answers "is there a valid encoding of weight <= bound?" with the
-    w/o-Alg repair loop and warm-start phase bookkeeping."""
+    w/o-Alg repair loop and warm-start phase bookkeeping.
+
+    Cold-start variant: every bound rebuilds the CNF (base formula copy +
+    a baked-in cardinality constraint) and a fresh solver.  Kept as the
+    ``config.incremental = False`` fallback and as the reference the
+    incremental engine is validated against.
+    """
 
     def __init__(
         self,
@@ -156,6 +214,12 @@ class _BoundSolver:
         self.blocking: list[list[int]] = []
         self.total_repairs = 0
         self.solve_time_s = 0.0
+
+    def prepare(self, max_bound: int) -> None:
+        """No setup needed: each bound builds its own instance."""
+
+    def close(self) -> None:
+        """No persistent resources to release."""
 
     def solve_at(self, bound: int) -> tuple[DescentStep, MajoranaEncoding | None]:
         """One bound query; repairs dependent models until clean or capped."""
@@ -178,9 +242,7 @@ class _BoundSolver:
             self.solve_time_s += result.elapsed_s
 
             if result.is_unsat or not result.is_sat:
-                step = DescentStep(bound, result.status, None, result.elapsed_s,
-                                   result.conflicts, level_repairs)
-                return step, None
+                return _step_from_result(bound, result, None, level_repairs), None
 
             candidate = self.encoder.decode(result.model)
             if not self.config.algebraic_independence and not (
@@ -192,9 +254,8 @@ class _BoundSolver:
                 self.blocking.append(clause)
                 working.add_clause(clause)
                 if level_repairs > self.config.max_repairs:
-                    step = DescentStep(bound, "REPAIR-LIMIT", None,
-                                       result.elapsed_s, result.conflicts,
-                                       level_repairs)
+                    step = _step_from_result(bound, result, None, level_repairs,
+                                             status="REPAIR-LIMIT")
                     return step, None
                 continue
 
@@ -205,9 +266,122 @@ class _BoundSolver:
             achieved = measured_weight(
                 candidate, self.hamiltonian, self.config.qubit_weights
             )
-            step = DescentStep(bound, result.status, achieved, result.elapsed_s,
-                               result.conflicts, level_repairs)
-            return step, candidate
+            return _step_from_result(bound, result, achieved, level_repairs), candidate
+
+
+class _IncrementalBoundSolver:
+    """Assumption-based incremental variant of :class:`_BoundSolver`.
+
+    One persistent SAT instance answers every rung of the weight ladder:
+    :meth:`prepare` installs a shared cardinality counter wide enough for
+    the loosest bound the descent will ever ask about, and each
+    :meth:`solve_at` call is then a single one-literal assumption against
+    the same clause database.  Learned clauses, branching activities and
+    saved phases all survive between bounds, so the ladder's later (and
+    harder) rungs start from everything the earlier rungs discovered.
+    Blocking clauses from the w/o-Alg repair loop are added to the live
+    instance and persist for the rest of the descent, exactly like the
+    cold-start loop's replayed ``blocking`` list.
+
+    With ``config.portfolio > 1`` the persistent instance is raced by a
+    deterministic portfolio of diversified worker processes
+    (:class:`repro.parallel.portfolio.PortfolioSolver`) instead of a
+    single in-process solver; both backends share the
+    ``solve(assumptions=...)`` / ``add_clause`` / ``set_phases`` surface.
+    """
+
+    def __init__(
+        self,
+        encoder: FermihedralEncoder,
+        indicators: list[int],
+        config: FermihedralConfig,
+        hamiltonian: FermionicHamiltonian | None,
+        phases: dict[int, bool] | None,
+    ):
+        self.encoder = encoder
+        self.indicators = indicators
+        self.config = config
+        self.hamiltonian = hamiltonian
+        self.phases = phases
+        self.total_repairs = 0
+        self.solve_time_s = 0.0
+        self._selectors: list[int] | None = None
+        self._solver = None
+
+    def prepare(self, max_bound: int) -> None:
+        """Build the bound ladder and the persistent solver (idempotent).
+
+        ``max_bound`` must be at least the largest bound any later
+        :meth:`solve_at` call will request.
+        """
+        if self._selectors is not None:
+            return
+        self._selectors = self.encoder.weight_ladder(
+            self.indicators, max(max_bound, 0), self.config.qubit_weights
+        )
+        if self.config.portfolio > 1:
+            from repro.parallel.portfolio import PortfolioSolver
+
+            self._solver = PortfolioSolver(
+                self.encoder.formula,
+                workers=self.config.portfolio,
+                seed_phases=self.phases,
+            )
+        else:
+            self._solver = CdclSolver(self.encoder.formula, seed_phases=self.phases)
+
+    def close(self) -> None:
+        """Release the solver backend (portfolio worker processes)."""
+        if self._solver is not None:
+            closer = getattr(self._solver, "close", None)
+            if closer is not None:
+                closer()
+            self._solver = None
+
+    def solve_at(self, bound: int) -> tuple[DescentStep, MajoranaEncoding | None]:
+        """One bound query under a single ladder assumption."""
+        if self._selectors is None:
+            raise RuntimeError("prepare() must run before solve_at()")
+        if bound >= len(self._selectors):
+            raise RuntimeError(
+                f"bound {bound} exceeds the prepared ladder "
+                f"(max {len(self._selectors) - 1})"
+            )
+        selector = self._selectors[bound]
+
+        level_repairs = 0
+        while True:
+            result = self._solver.solve(
+                max_conflicts=self.config.budget.max_conflicts,
+                time_budget_s=self.config.budget.time_budget_s,
+                assumptions=(selector,),
+            )
+            self.solve_time_s += result.elapsed_s
+
+            if result.is_unsat or not result.is_sat:
+                return _step_from_result(bound, result, None, level_repairs), None
+
+            candidate = self.encoder.decode(result.model)
+            if not self.config.algebraic_independence and not (
+                are_algebraically_independent(candidate.strings)
+            ):
+                level_repairs += 1
+                self.total_repairs += 1
+                self._solver.add_clause(self.encoder.blocking_clause(result.model))
+                if level_repairs > self.config.max_repairs:
+                    step = _step_from_result(bound, result, None, level_repairs,
+                                             status="REPAIR-LIMIT")
+                    return step, None
+                continue
+
+            if self.config.warm_start:
+                self._solver.set_phases({
+                    v: result.model[v] for v in self.encoder.all_string_variables()
+                })
+            achieved = measured_weight(
+                candidate, self.hamiltonian, self.config.qubit_weights
+            )
+            return _step_from_result(bound, result, achieved, level_repairs), candidate
 
 
 def descend(
@@ -240,59 +414,73 @@ def descend(
     construct_time = time.monotonic() - construct_start
 
     phases = encoder.encoding_assignment(baseline) if config.warm_start else None
-    bound_solver = _BoundSolver(encoder, indicators, config, hamiltonian, phases)
+    engine = (
+        _IncrementalBoundSolver
+        if (config.incremental or config.portfolio > 1)
+        else _BoundSolver
+    )
+    bound_solver = engine(encoder, indicators, config, hamiltonian, phases)
 
     best_encoding = baseline
     best_weight = measured_weight(baseline, hamiltonian, config.qubit_weights)
     steps: list[DescentStep] = []
     proved_optimal = False
 
-    if config.strategy == BISECTION:
-        lower = _structural_lower_bound(num_modes, hamiltonian, config.qubit_weights)
-        upper = best_weight  # best known achievable
-        if config.start_weight is not None:
-            upper = min(upper, max(config.start_weight, lower))
-        while lower < upper:
-            bound = (lower + upper - 1) // 2
-            step, candidate = bound_solver.solve_at(bound)
-            steps.append(step)
-            if candidate is not None:
-                best_encoding = candidate
-                best_weight = step.achieved_weight
-                upper = step.achieved_weight
-            elif step.status == "UNSAT":
-                lower = bound + 1
-            else:
-                break  # budget exhausted: cannot conclude
-        # Optimality needs the interval closed AND the returned encoding
-        # sitting exactly on it: a start_weight clamped below the true
-        # optimum can close [lower, upper] without ever probing the range
-        # up to the baseline's weight — that is exhaustion, not a proof.
-        proved_optimal = (
-            lower == upper
-            and best_weight == upper
-            and (not steps or steps[-1].status in ("SAT", "UNSAT"))
-        )
-    else:
-        next_bound = best_weight - 1
-        if config.start_weight is not None:
-            next_bound = min(next_bound, config.start_weight)
-        while next_bound >= 0:
-            step, candidate = bound_solver.solve_at(next_bound)
-            steps.append(step)
-            if candidate is not None:
-                best_encoding = candidate
-                best_weight = step.achieved_weight
-                next_bound = step.achieved_weight - 1
-                continue
-            # UNSAT is a proof only when the failed bound sits directly
-            # below the returned weight; an UNSAT at a start_weight far
-            # under the baseline leaves the gap (bound, best_weight)
-            # unexplored.
+    try:
+        if config.strategy == BISECTION:
+            lower = _structural_lower_bound(num_modes, hamiltonian, config.qubit_weights)
+            upper = best_weight  # best known achievable
+            if config.start_weight is not None:
+                upper = min(upper, max(config.start_weight, lower))
+            if lower < upper:
+                # Bounds move both ways inside [lower, upper); the ladder
+                # only needs to cover the loosest one.
+                bound_solver.prepare(upper - 1)
+            while lower < upper:
+                bound = (lower + upper - 1) // 2
+                step, candidate = bound_solver.solve_at(bound)
+                steps.append(step)
+                if candidate is not None:
+                    best_encoding = candidate
+                    best_weight = step.achieved_weight
+                    upper = step.achieved_weight
+                elif step.status == "UNSAT":
+                    lower = bound + 1
+                else:
+                    break  # budget exhausted: cannot conclude
+            # Optimality needs the interval closed AND the returned encoding
+            # sitting exactly on it: a start_weight clamped below the true
+            # optimum can close [lower, upper] without ever probing the range
+            # up to the baseline's weight — that is exhaustion, not a proof.
             proved_optimal = (
-                step.status == "UNSAT" and next_bound == best_weight - 1
+                lower == upper
+                and best_weight == upper
+                and (not steps or steps[-1].status in ("SAT", "UNSAT"))
             )
-            break
+        else:
+            next_bound = best_weight - 1
+            if config.start_weight is not None:
+                next_bound = min(next_bound, config.start_weight)
+            if next_bound >= 0:
+                bound_solver.prepare(next_bound)  # linear bounds only tighten
+            while next_bound >= 0:
+                step, candidate = bound_solver.solve_at(next_bound)
+                steps.append(step)
+                if candidate is not None:
+                    best_encoding = candidate
+                    best_weight = step.achieved_weight
+                    next_bound = step.achieved_weight - 1
+                    continue
+                # UNSAT is a proof only when the failed bound sits directly
+                # below the returned weight; an UNSAT at a start_weight far
+                # under the baseline leaves the gap (bound, best_weight)
+                # unexplored.
+                proved_optimal = (
+                    step.status == "UNSAT" and next_bound == best_weight - 1
+                )
+                break
+    finally:
+        bound_solver.close()
 
     return DescentResult(
         encoding=best_encoding,

@@ -26,7 +26,12 @@ from __future__ import annotations
 from repro.encodings.base import MajoranaEncoding
 from repro.fermion.hamiltonians import FermionicHamiltonian
 from repro.paulis.strings import PauliString
-from repro.sat.cardinality import add_at_most_k, add_at_most_k_weighted
+from repro.sat.cardinality import (
+    add_at_most_k,
+    add_at_most_k_weighted,
+    add_at_most_ladder,
+    add_weighted_ladder,
+)
 from repro.sat.cnf import CnfFormula
 from repro.sat.tseitin import encode_and, encode_or, encode_xor, encode_xor_many
 
@@ -309,6 +314,39 @@ class FermihedralEncoder:
             for index in range(len(indicators))
         ]
         add_at_most_k_weighted(self.formula, indicators, weights, bound)
+
+    def weight_ladder(
+        self,
+        indicators: list[int],
+        max_bound: int,
+        qubit_weights: "tuple[int, ...] | None" = None,
+    ) -> list[int]:
+        """Assumption-activated weight bounds for incremental descent.
+
+        Builds one shared cardinality counter over the objective
+        indicators (weighted exactly as :meth:`add_weight_at_most` would
+        weight them) and returns ``selectors`` where assuming
+        ``selectors[b]`` enforces objective ``<= b``, for every
+        ``b in 0..max_bound``.  The descent ladder then re-solves a single
+        CNF with a different one-literal assumption per rung instead of
+        rebuilding the instance.
+        """
+        if qubit_weights is None:
+            return add_at_most_ladder(self.formula, indicators, max_bound)
+        if len(qubit_weights) != self.num_modes:
+            raise ValueError(
+                f"qubit_weights has {len(qubit_weights)} entries, encoder has "
+                f"{self.num_modes} qubits"
+            )
+        if len(indicators) % self.num_modes != 0:
+            raise ValueError(
+                "indicator count is not a multiple of the qubit count"
+            )
+        weights = [
+            qubit_weights[index % self.num_modes]
+            for index in range(len(indicators))
+        ]
+        return add_weighted_ladder(self.formula, indicators, weights, max_bound)
 
     # -- model decoding -------------------------------------------------------------------------
 

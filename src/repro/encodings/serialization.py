@@ -95,6 +95,9 @@ def result_to_dict(result: CompilationResult) -> dict:
                     "elapsed_s": step.elapsed_s,
                     "conflicts": step.conflicts,
                     "repairs": step.repairs,
+                    "decisions": step.decisions,
+                    "propagations": step.propagations,
+                    "restarts": step.restarts,
                 }
                 for step in descent.steps
             ],
@@ -163,6 +166,9 @@ def result_from_dict(data: dict, validate: bool = True) -> CompilationResult:
                 elapsed_s=step["elapsed_s"],
                 conflicts=step["conflicts"],
                 repairs=step.get("repairs", 0),
+                decisions=step.get("decisions", 0),
+                propagations=step.get("propagations", 0),
+                restarts=step.get("restarts", 0),
             )
             for step in descent_data["steps"]
         ],

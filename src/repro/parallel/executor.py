@@ -1,0 +1,177 @@
+"""Process-pool batch executor with fingerprint-aware scheduling.
+
+:class:`ProcessBatchExecutor` runs *unique* compilation jobs — the batch
+front-end (:class:`repro.store.batch.BatchCompiler`) has already
+fingerprinted and deduplicated them — across a pool of worker processes.
+Scheduling is fingerprint-aware in two places:
+
+* **parent-side cache fast path** — before a job is dispatched at all,
+  the parent consults the shared :class:`~repro.store.cache
+  .CompilationCache`; a final cached result becomes a ``cache-hit``
+  outcome with zero processes involved, so a warm batch costs one JSON
+  read per job;
+* **worker-side warm start** — dispatched jobs run a cache-enabled
+  :class:`~repro.core.pipeline.FermihedralCompiler` against the same
+  cache directory, so unproved entries still seed the descent.
+
+Failures are isolated per job: an exception inside a worker comes back as
+an ``error`` outcome for that key and the rest of the batch proceeds.  A
+hard worker crash (the pool breaking) errors only the jobs that were
+still in flight.
+
+Progress is reported through :mod:`repro.parallel.events` callbacks, in
+the parent, as futures resolve.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from pathlib import Path
+
+from repro.core.config import FermihedralConfig
+from repro.core.pipeline import FermihedralCompiler
+from repro.hardware import resolve_device
+from repro.parallel.events import EventCallback, JobFinished, JobStarted
+from repro.store.batch import CompileJob, JobOutcome, run_compile_job
+from repro.store.cache import CompilationCache
+
+
+def _compile_in_worker(
+    job: CompileJob,
+    key: str,
+    config: FermihedralConfig,
+    cache_root: str | None,
+) -> JobOutcome:
+    """Worker-process body: reopen the cache by directory, then run the
+    same :func:`repro.store.batch.run_compile_job` the thread pool uses
+    (exceptions already folded into an ``error`` outcome there).  The
+    outcome travels back to the parent by pickle, like any pool return
+    value."""
+    cache = CompilationCache(cache_root) if cache_root else None
+    return run_compile_job(job, config, cache, key)
+
+
+class ProcessBatchExecutor:
+    """Fan unique ``(key, job)`` pairs across worker processes.
+
+    Args:
+        jobs: worker-process count (must be >= 1; ``1`` still uses a
+            single-process pool, which keeps the execution path uniform).
+        cache: shared compilation cache; enables the parent fast path and
+            worker-side persistence.  Workers reopen it by directory, so
+            the cache object itself never crosses the process boundary.
+        default_config: config for jobs that carry none.
+        on_event: :mod:`repro.parallel.events` callback.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 2,
+        cache: CompilationCache | None = None,
+        default_config: FermihedralConfig | None = None,
+        on_event: EventCallback | None = None,
+    ):
+        if jobs < 1:
+            raise ValueError("executor needs at least one worker process")
+        self.jobs = jobs
+        self.cache = cache
+        self.default_config = default_config or FermihedralConfig()
+        self.on_event = on_event
+
+    def _emit(self, event) -> None:
+        if self.on_event is not None:
+            self.on_event(event)
+
+    def _job_config(self, job: CompileJob) -> FermihedralConfig:
+        return job.config or self.default_config
+
+    def _parent_fast_path(self, job: CompileJob, key: str) -> JobOutcome | None:
+        """A final cached result short-circuits dispatch entirely."""
+        if self.cache is None:
+            return None
+        started = time.monotonic()
+        cached = self.cache.get(key)
+        if cached is None:
+            return None
+        topology = resolve_device(job.device)
+        if not FermihedralCompiler._is_final(cached, job.method, topology):
+            return None  # worker will warm-start from it instead
+        return JobOutcome(
+            job=job,
+            key=key,
+            status="cache-hit",
+            result=cached,
+            elapsed_s=time.monotonic() - started,
+        )
+
+    def run(self, work: list[tuple[str, CompileJob]]) -> dict[str, JobOutcome]:
+        """Execute unique jobs; returns outcomes by fingerprint key.
+
+        ``work`` must already be deduplicated (one entry per key); the
+        executor asserts nothing about ordering and reports completion in
+        whatever order workers finish.
+        """
+        total = len(work)
+        outcomes: dict[str, JobOutcome] = {}
+        pending: list[tuple[int, str, CompileJob]] = []
+
+        for index, (key, job) in enumerate(work):
+            fast = self._parent_fast_path(job, key)
+            if fast is not None:
+                outcomes[key] = fast
+                self._emit(JobStarted(index, total, job.display, key))
+                self._emit(JobFinished(
+                    index, total, job.display, key, fast.status,
+                    fast.elapsed_s,
+                    weight=None if fast.result is None else fast.result.weight,
+                ))
+            else:
+                pending.append((index, key, job))
+
+        if not pending:
+            return outcomes
+
+        cache_root = None if self.cache is None else str(Path(self.cache.root))
+        # fork shares the already-imported interpreter image with the
+        # workers; where unavailable (non-POSIX), the default start
+        # method still works, just with a slower cold start.
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        with ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(pending)), mp_context=context
+        ) as pool:
+            futures = {}
+            for index, key, job in pending:
+                future = pool.submit(
+                    _compile_in_worker, job, key, self._job_config(job), cache_root
+                )
+                futures[future] = (index, key, job)
+                self._emit(JobStarted(index, total, job.display, key))
+
+            not_done = set(futures)
+            while not_done:
+                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index, key, job = futures[future]
+                    try:
+                        outcome = future.result()
+                    except Exception as crash:  # pool broke / unpicklable result
+                        outcome = JobOutcome(
+                            job=job,
+                            key=key,
+                            status="error",
+                            error=f"{type(crash).__name__}: {crash}",
+                        )
+                    outcomes[key] = outcome
+                    self._emit(JobFinished(
+                        index, total, job.display, key, outcome.status,
+                        outcome.elapsed_s,
+                        weight=None if outcome.result is None
+                        else outcome.result.weight,
+                        error=outcome.error,
+                    ))
+        return outcomes

@@ -45,6 +45,12 @@ class PauliString:
     def __setattr__(self, name, value):
         raise AttributeError("PauliString is immutable")
 
+    def __reduce__(self):
+        # The immutability guard blocks pickle's default slot restoration;
+        # rebuild through the constructor instead (results cross process
+        # boundaries in the parallel executor).
+        return (PauliString, (self.num_qubits, self.x_mask, self.z_mask))
+
     # -- constructors -----------------------------------------------------
 
     @classmethod

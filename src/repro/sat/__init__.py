@@ -1,6 +1,11 @@
 """SAT substrate: CNF construction, Tseitin gadgets, cardinality, CDCL solver."""
 
-from repro.sat.cardinality import add_at_most_k, add_at_most_k_weighted
+from repro.sat.cardinality import (
+    add_at_most_k,
+    add_at_most_k_weighted,
+    add_at_most_ladder,
+    add_weighted_ladder,
+)
 from repro.sat.cnf import CnfFormula, evaluate_clause, evaluate_formula
 from repro.sat.dpll import dpll_solve
 from repro.sat.enumerate import enumerate_models
@@ -24,6 +29,8 @@ __all__ = [
     "SolveResult",
     "add_at_most_k",
     "add_at_most_k_weighted",
+    "add_at_most_ladder",
+    "add_weighted_ladder",
     "assert_or_true",
     "assert_xor_true",
     "dpll_solve",

@@ -51,6 +51,75 @@ def add_at_most_k(formula: CnfFormula, literals: Sequence[int], bound: int) -> N
     # already forbid reaching bound + 1.
 
 
+def add_at_most_ladder(
+    formula: CnfFormula, literals: Sequence[int], max_bound: int
+) -> list[int]:
+    """Sequential counter whose bound is chosen per solve call, not baked in.
+
+    Builds the Sinz registers for ``literals`` once, with **no** overflow
+    clauses, and returns ``selectors`` of length ``max_bound + 1`` where
+    assuming ``selectors[b]`` (as a solver assumption, or by adding it as
+    a unit clause) enforces ``sum(literals) <= b``.  This is the standard
+    incremental-SAT idiom for descending cardinality bounds: one clause
+    database serves every rung of the weight ladder, so learned clauses
+    survive from one bound to the next.
+
+    Bounds ``b >= len(literals)`` are vacuous; their selector is a fresh
+    always-true literal, so callers can index ``selectors`` uniformly.
+    """
+    count = len(literals)
+    if max_bound < 0:
+        raise ValueError("max_bound must be non-negative")
+    width = min(max_bound + 1, count)
+
+    tautology: int | None = None
+    if max_bound + 1 > width:
+        tautology = formula.new_variable()
+        formula.add_unit(tautology)
+    if width == 0:
+        return [tautology] * (max_bound + 1)
+
+    # registers[i][j] <=> at least (j+1) of literals[0..i] are true
+    registers = [[formula.new_variable() for _ in range(width)] for _ in range(count)]
+
+    formula.add_clause((-literals[0], registers[0][0]))
+    for j in range(1, width):
+        formula.add_unit(-registers[0][j])
+
+    for i in range(1, count):
+        formula.add_clause((-literals[i], registers[i][0]))
+        formula.add_clause((-registers[i - 1][0], registers[i][0]))
+        for j in range(1, width):
+            formula.add_clause((-literals[i], -registers[i - 1][j - 1], registers[i][j]))
+            formula.add_clause((-registers[i - 1][j], registers[i][j]))
+
+    selectors = [-registers[count - 1][b] for b in range(width)]
+    selectors.extend([tautology] * (max_bound + 1 - width))
+    return selectors
+
+
+def add_weighted_ladder(
+    formula: CnfFormula,
+    literals: Sequence[int],
+    weights: Sequence[int],
+    max_bound: int,
+) -> list[int]:
+    """Weighted variant of :func:`add_at_most_ladder`.
+
+    Assuming ``selectors[b]`` enforces ``sum(weights[i] * literals[i]) <= b``
+    — each literal repeated ``weights[i]`` times in the shared counter,
+    mirroring :func:`add_at_most_k_weighted`.
+    """
+    if len(weights) != len(literals):
+        raise ValueError("weights and literals must have equal length")
+    if any(weight < 0 for weight in weights):
+        raise ValueError("weights must be non-negative")
+    expanded: list[int] = []
+    for literal, weight in zip(literals, weights):
+        expanded.extend([literal] * weight)
+    return add_at_most_ladder(formula, expanded, max_bound)
+
+
 def add_at_most_k_weighted(
     formula: CnfFormula,
     literals: Sequence[int],

@@ -9,6 +9,20 @@ solver: given enough budget it returns ``SAT`` with a model or ``UNSAT``;
 with a conflict or wall-clock budget it may return ``UNKNOWN``, which the
 descent loop in :mod:`repro.core.descent` treats as "stop tightening".
 
+The solver is **incremental**: :meth:`CdclSolver.solve` may be called many
+times on one instance, optionally under *assumptions* (literals held fixed
+for that call only, MiniSat's ``solve(assumps)``), and clauses may be added
+between calls with :meth:`CdclSolver.add_clause`.  Learned clauses, saved
+phases and branching activities all survive across calls, which is what
+makes the weight-descent ladder in :mod:`repro.core.descent` cheap: one
+CNF, one clause database, a tightening bound expressed as a one-literal
+assumption per step.
+
+Branching, restarts and phase polarity are parameterizable so a portfolio
+(:mod:`repro.parallel.portfolio`) can race diversified copies of the same
+instance; the defaults reproduce the original single-configuration solver
+exactly.
+
 Literals are DIMACS integers at the API boundary and are encoded internally
 as ``2*v`` (positive) / ``2*v + 1`` (negative) for array indexing.
 """
@@ -16,6 +30,7 @@ as ``2*v`` (positive) / ``2*v + 1`` (negative) for array indexing.
 from __future__ import annotations
 
 import heapq
+import random
 import time
 from dataclasses import dataclass
 
@@ -32,7 +47,13 @@ _RESTART_BASE = 128
 
 @dataclass
 class SolveResult:
-    """Outcome of a solver run."""
+    """Outcome of a solver run.
+
+    ``under_assumptions`` distinguishes an ``UNSAT`` that only holds for
+    the assumption set of that call from a proof that the formula itself
+    is unsatisfiable (``False``).  The counters are per-call, not
+    lifetime: an incremental solver resets them at each :meth:`solve`.
+    """
 
     status: str
     model: dict[int, bool] | None = None
@@ -41,6 +62,8 @@ class SolveResult:
     propagations: int = 0
     restarts: int = 0
     elapsed_s: float = 0.0
+    under_assumptions: bool = False
+    learned_clauses: int = 0
 
     @property
     def is_sat(self) -> bool:
@@ -81,15 +104,37 @@ def luby(index: int) -> int:
 
 
 class CdclSolver:
-    """One-shot CDCL solver over a :class:`CnfFormula`.
+    """Incremental CDCL solver over a :class:`CnfFormula`.
 
     Args:
         formula: the CNF instance; not mutated.
         seed_phases: optional initial saved phases ``{variable: bool}`` —
             warm-starting descent iterations near the previous model.
+        restart_base: Luby restart multiplier (conflicts per unit).
+        activity_decay: VSIDS decay factor in ``(0, 1)``.
+        phase_default: polarity branched first for variables without a
+            saved phase (``False`` reproduces the original solver).
+        random_seed: seed for the random-branching RNG; ``None`` disables
+            random branching regardless of ``random_branch_freq``.
+        random_branch_freq: probability a decision picks a uniformly
+            random unassigned variable instead of the VSIDS maximum.
+
+    The four tuning knobs exist for portfolio diversification
+    (:mod:`repro.parallel.portfolio`); all defaults together are the
+    reference configuration.
     """
 
-    def __init__(self, formula: CnfFormula, seed_phases: dict[int, bool] | None = None):
+    def __init__(
+        self,
+        formula: CnfFormula,
+        seed_phases: dict[int, bool] | None = None,
+        *,
+        restart_base: int = _RESTART_BASE,
+        activity_decay: float = _ACTIVITY_DECAY,
+        phase_default: bool = False,
+        random_seed: int | None = None,
+        random_branch_freq: float = 0.0,
+    ):
         self.num_vars = formula.num_variables
         n = self.num_vars
         self.assign_lit = [0] * (2 * n + 2)   # per encoded literal: 1 true, -1 false, 0 free
@@ -101,7 +146,7 @@ class CdclSolver:
         self.watches: list[list[_Clause]] = [[] for _ in range(2 * n + 2)]
         self.activity = [0.0] * (n + 1)
         self.var_inc = 1.0
-        self.saved_phase = [False] * (n + 1)
+        self.saved_phase = [phase_default] * (n + 1)
         self.order_heap: list[tuple[float, int]] = [(0.0, v) for v in range(1, n + 1)]
         heapq.heapify(self.order_heap)
         self.clauses: list[_Clause] = []
@@ -109,6 +154,12 @@ class CdclSolver:
         self.clause_inc = 1.0
         self.root_conflict = False
         self.propagation_count = 0
+        self.restart_base = restart_base
+        self.activity_decay = activity_decay
+        if not 0.0 <= random_branch_freq <= 1.0:
+            raise ValueError("random_branch_freq must lie in [0, 1]")
+        self.random_branch_freq = random_branch_freq if random_seed is not None else 0.0
+        self._rng = random.Random(random_seed) if random_seed is not None else None
 
         if seed_phases:
             for variable, phase in seed_phases.items():
@@ -117,6 +168,30 @@ class CdclSolver:
 
         for clause_lits in formula.clauses():
             self._add_problem_clause(clause_lits)
+
+    # -- incremental interface -------------------------------------------------
+
+    def add_clause(self, literals) -> None:
+        """Add one DIMACS clause to the live instance (incremental use).
+
+        Valid between :meth:`solve` calls: the solver backtracks to the
+        root level, installs the clause, and performs any root-level
+        propagation it triggers.  Clauses over variables the solver does
+        not know are rejected — the variable pool is fixed at
+        construction.
+        """
+        clause = list(literals)
+        for literal in clause:
+            if literal == 0 or abs(literal) > self.num_vars:
+                raise ValueError(f"literal {literal} is not in this solver's pool")
+        self._backtrack(0)
+        self._add_problem_clause(clause)
+
+    def set_phases(self, phases: dict[int, bool]) -> None:
+        """Overwrite saved phases (warm-start hints) for the given variables."""
+        for variable, phase in phases.items():
+            if 1 <= variable <= self.num_vars:
+                self.saved_phase[variable] = phase
 
     # -- literal helpers ------------------------------------------------------
 
@@ -219,9 +294,16 @@ class CdclSolver:
         heapq.heappush(self.order_heap, (-self.activity[variable], variable))
 
     def _decay_activities(self) -> None:
-        self.var_inc /= _ACTIVITY_DECAY
+        self.var_inc /= self.activity_decay
 
     def _pick_branch_variable(self) -> int | None:
+        if self._rng is not None and self._rng.random() < self.random_branch_freq:
+            # Diversification: a bounded number of uniform draws; falls
+            # through to VSIDS when they all land on assigned variables.
+            for _ in range(8):
+                variable = self._rng.randint(1, self.num_vars)
+                if self.assign_lit[variable << 1] == 0:
+                    return variable
         while self.order_heap:
             _, variable = heapq.heappop(self.order_heap)
             if self.assign_lit[variable << 1] == 0:
@@ -362,8 +444,24 @@ class CdclSolver:
         self,
         max_conflicts: int | None = None,
         time_budget_s: float | None = None,
+        assumptions: "list[int] | tuple[int, ...] | None" = None,
     ) -> SolveResult:
-        """Run the search until SAT/UNSAT or a budget is exhausted."""
+        """Run the search until SAT/UNSAT or a budget is exhausted.
+
+        May be called repeatedly on one instance; learned clauses, phases
+        and activities carry over, so related calls get cheaper.
+
+        Args:
+            max_conflicts: per-call conflict budget (``None`` unlimited).
+            time_budget_s: per-call wall-clock budget.  Note that budgets
+                make the *stopping point* wall-clock-dependent; conflict
+                budgets keep the call fully deterministic.
+            assumptions: DIMACS literals held true for this call only.
+                ``UNSAT`` with ``under_assumptions=True`` means no model
+                extends the assumptions; the formula itself may still be
+                satisfiable.  A model returned under assumptions always
+                satisfies them.
+        """
         start = time.monotonic()
         deadline = None if time_budget_s is None else start + time_budget_s
         self.propagation_count = 0
@@ -371,8 +469,17 @@ class CdclSolver:
         decisions = 0
         restarts = 0
         max_learned = max(4000, 2 * len(self.clauses))
+        assumed: list[int] = []
+        for literal in assumptions or ():
+            if literal == 0 or abs(literal) > self.num_vars:
+                raise ValueError(f"assumption {literal} is not in this solver's pool")
+            assumed.append(self._encode(literal))
 
-        def result(status: str, model: dict[int, bool] | None = None) -> SolveResult:
+        def result(
+            status: str,
+            model: dict[int, bool] | None = None,
+            under_assumptions: bool = False,
+        ) -> SolveResult:
             return SolveResult(
                 status=status,
                 model=model,
@@ -381,14 +488,19 @@ class CdclSolver:
                 propagations=self.propagation_count,
                 restarts=restarts,
                 elapsed_s=time.monotonic() - start,
+                under_assumptions=under_assumptions,
+                learned_clauses=len(self.learned),
             )
 
+        # A previous call may have left the trail at a decision level.
+        self._backtrack(0)
         if self.root_conflict:
             return result(UNSAT)
         if self._propagate() is not None:
+            self.root_conflict = True
             return result(UNSAT)
 
-        restart_limit = luby(1) * _RESTART_BASE
+        restart_limit = luby(1) * self.restart_base
         conflicts_since_restart = 0
 
         while True:
@@ -397,6 +509,7 @@ class CdclSolver:
                 conflicts += 1
                 conflicts_since_restart += 1
                 if len(self.trail_lim) == 0:
+                    self.root_conflict = True
                     return result(UNSAT)
                 learnt, backtrack_level = self._analyze(conflict)
                 self._backtrack(backtrack_level)
@@ -413,10 +526,24 @@ class CdclSolver:
             if conflicts_since_restart >= restart_limit:
                 restarts += 1
                 conflicts_since_restart = 0
-                restart_limit = luby(restarts + 1) * _RESTART_BASE
+                restart_limit = luby(restarts + 1) * self.restart_base
                 self._backtrack(0)
                 if len(self.learned) > max_learned:
                     self._reduce_learned()
+                continue
+
+            if len(self.trail_lim) < len(assumed):
+                # Assert the next assumption as a pseudo-decision.  An
+                # already-true assumption still opens its own (empty)
+                # decision level so backtracking bookkeeping stays aligned
+                # with the assumption index.
+                encoded = assumed[len(self.trail_lim)]
+                value = self.assign_lit[encoded]
+                if value == -1:
+                    return result(UNSAT, under_assumptions=True)
+                self.trail_lim.append(len(self.trail))
+                if value == 0:
+                    self._enqueue(encoded, None)
                 continue
 
             variable = self._pick_branch_variable()
@@ -437,8 +564,11 @@ def solve_formula(
     max_conflicts: int | None = None,
     time_budget_s: float | None = None,
     seed_phases: dict[int, bool] | None = None,
+    assumptions: "list[int] | tuple[int, ...] | None" = None,
 ) -> SolveResult:
     """Convenience wrapper: build a fresh :class:`CdclSolver` and run it."""
     return CdclSolver(formula, seed_phases=seed_phases).solve(
-        max_conflicts=max_conflicts, time_budget_s=time_budget_s
+        max_conflicts=max_conflicts,
+        time_budget_s=time_budget_s,
+        assumptions=assumptions,
     )

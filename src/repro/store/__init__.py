@@ -10,7 +10,9 @@ package turns that asymmetry into a subsystem:
   on-disk memo of full :class:`~repro.core.pipeline.CompilationResult`s
   with hit / warm-start / corrupted-entry handling.
 * :mod:`repro.store.batch` — :class:`BatchCompiler`, a concurrent
-  front-end that deduplicates a job list through the cache.
+  front-end that deduplicates a job list through the cache and fans the
+  unique jobs across threads or worker processes
+  (:mod:`repro.parallel.executor`).
 
 See ``docs/ARCHITECTURE.md`` for the fingerprint and schema design.
 """

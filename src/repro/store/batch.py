@@ -12,18 +12,21 @@ cheap wins before it ever parallelizes:
    :class:`~repro.core.pipeline.FermihedralCompiler`, so keys already in
    the persistent store return instantly across batch invocations.
 
-Workers are threads (``concurrent.futures.ThreadPoolExecutor``): the jobs
-share the cache object and results need no pickling.  The pure-Python
-solver holds the GIL while it works, so parallelism here mostly overlaps
-I/O and bookkeeping today — but the interface is the contract the
-ROADMAP's sharding/serving items build on, and a process pool can slot in
-behind it later.
+Execution is pluggable.  With ``jobs > 1`` the unique jobs fan out
+across **worker processes** (:class:`repro.parallel.executor
+.ProcessBatchExecutor`) — real CPU parallelism for the GIL-holding
+pure-Python solver, with a parent-side cache fast path and per-job
+failure isolation.  Otherwise the legacy thread pool runs them (the
+jobs then share one cache object and results need no pickling).  Both
+paths emit :mod:`repro.parallel.events` through ``on_event``, which the
+CLI renders as a live per-job status line.
 """
 
 from __future__ import annotations
 
+import os
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 
 from repro.core.config import (
@@ -152,14 +155,68 @@ class BatchReport:
         return f"{len(self.outcomes)} jobs: " + ", ".join(parts)
 
 
+def run_compile_job(
+    job: CompileJob,
+    config: FermihedralConfig,
+    cache: CompilationCache | None,
+    key: str,
+) -> JobOutcome:
+    """One cache-enabled compile, exceptions folded into an ``error`` outcome.
+
+    The single execution body shared by the thread pool (cache object in
+    hand) and the process executor's workers (cache reopened by
+    directory), so the two paths can never drift in status mapping or
+    error handling.
+    """
+    started = time.monotonic()
+    try:
+        compiler = FermihedralCompiler(
+            job.modes, config, cache=cache, device=job.device
+        )
+        result = compiler.compile(
+            method=job.method,
+            hamiltonian=job.hamiltonian,
+            schedule=job.schedule,
+            seed=job.seed,
+            cache_key=key,
+        )
+        status = {
+            "hit": "cache-hit",
+            "warm-start": "warm-start",
+        }.get(compiler.last_cache_status, "compiled")
+        return JobOutcome(
+            job=job,
+            key=key,
+            status=status,
+            result=result,
+            elapsed_s=time.monotonic() - started,
+        )
+    except Exception as error:  # surfaced per-job, batch keeps going
+        return JobOutcome(
+            job=job,
+            key=key,
+            status="error",
+            error=f"{type(error).__name__}: {error}",
+            elapsed_s=time.monotonic() - started,
+        )
+
+
 class BatchCompiler:
     """Compile many jobs concurrently, deduplicating through the cache.
 
     Args:
         cache: shared persistent cache; ``None`` still deduplicates within
             the batch but persists nothing.
-        max_workers: thread-pool size (default: executor's own default).
+        max_workers: thread-pool size (default: executor's own default);
+            only used when the batch runs on threads.
         default_config: config applied to jobs that carry none.
+        jobs: worker-*process* count.  ``jobs > 1`` routes the unique jobs
+            through :class:`repro.parallel.executor.ProcessBatchExecutor`
+            instead of the thread pool; ``None`` falls back to
+            ``default_config.jobs``.  Results are identical either way —
+            same weights, same optimality proofs — the executors only
+            change how fast they arrive.
+        on_event: :mod:`repro.parallel.events` callback for live progress.
     """
 
     def __init__(
@@ -167,10 +224,20 @@ class BatchCompiler:
         cache: CompilationCache | None = None,
         max_workers: int | None = None,
         default_config: FermihedralConfig | None = None,
+        jobs: int | None = None,
+        on_event=None,
     ):
         self.cache = cache
         self.max_workers = max_workers
         self.default_config = default_config or FermihedralConfig()
+        self.jobs = self.default_config.jobs if jobs is None else jobs
+        if self.jobs < 1:
+            raise ValueError("jobs must be at least 1 process")
+        self.on_event = on_event
+
+    def _emit(self, event) -> None:
+        if self.on_event is not None:
+            self.on_event(event)
 
     def _job_config(self, job: CompileJob) -> FermihedralConfig:
         return job.config or self.default_config
@@ -188,38 +255,50 @@ class BatchCompiler:
         )
 
     def _run_one(self, job: CompileJob, key: str) -> JobOutcome:
-        started = time.monotonic()
-        try:
-            compiler = FermihedralCompiler(
-                job.modes, self._job_config(job), cache=self.cache,
-                device=job.device,
-            )
-            result = compiler.compile(
-                method=job.method,
-                hamiltonian=job.hamiltonian,
-                schedule=job.schedule,
-                seed=job.seed,
-                cache_key=key,
-            )
-            status = {
-                "hit": "cache-hit",
-                "warm-start": "warm-start",
-            }.get(compiler.last_cache_status, "compiled")
-            return JobOutcome(
-                job=job,
-                key=key,
-                status=status,
-                result=result,
-                elapsed_s=time.monotonic() - started,
-            )
-        except Exception as error:  # surfaced per-job, batch keeps going
-            return JobOutcome(
-                job=job,
-                key=key,
-                status="error",
-                error=f"{type(error).__name__}: {error}",
-                elapsed_s=time.monotonic() - started,
-            )
+        return run_compile_job(job, self._job_config(job), self.cache, key)
+
+    def _run_unique_threads(
+        self, unique: list[tuple[str, CompileJob]]
+    ) -> dict[str, JobOutcome]:
+        """Legacy thread-pool execution of the deduplicated job list."""
+        from repro.parallel.events import JobFinished, JobStarted
+
+        total = len(unique)
+        primary_outcomes: dict[str, JobOutcome] = {}
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            futures = {}
+            for index, (key, job) in enumerate(unique):
+                futures[pool.submit(self._run_one, job, key)] = (index, key, job)
+                self._emit(JobStarted(index, total, job.display, key))
+            not_done = set(futures)
+            while not_done:
+                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index, key, job = futures[future]
+                    outcome = future.result()
+                    primary_outcomes[key] = outcome
+                    self._emit(JobFinished(
+                        index, total, job.display, key, outcome.status,
+                        outcome.elapsed_s,
+                        weight=None if outcome.result is None
+                        else outcome.result.weight,
+                        error=outcome.error,
+                    ))
+        return primary_outcomes
+
+    def _run_unique_processes(
+        self, unique: list[tuple[str, CompileJob]]
+    ) -> dict[str, JobOutcome]:
+        """Process-pool execution (the ``jobs > 1`` path)."""
+        from repro.parallel.executor import ProcessBatchExecutor
+
+        executor = ProcessBatchExecutor(
+            jobs=self.jobs,
+            cache=self.cache,
+            default_config=self.default_config,
+            on_event=self.on_event,
+        )
+        return executor.run(unique)
 
     def compile(self, jobs: list[CompileJob]) -> BatchReport:
         """Run a job list; returns outcomes in the input order.
@@ -228,6 +307,8 @@ class BatchCompiler:
         runs (``compiled`` / ``warm-start`` / ``cache-hit``), later ones
         report ``deduplicated`` and share its result object.
         """
+        from repro.parallel.events import BatchFinished, BatchStarted
+
         started = time.monotonic()
         # Fingerprinting itself can fail per job (unknown device name, a
         # device smaller than the mode count); such jobs become error
@@ -245,15 +326,26 @@ class BatchCompiler:
             if key is not None:
                 primary_index.setdefault(key, index)
 
-        primary_outcomes: dict[str, JobOutcome] = {}
         unique = [(keys[i], jobs[i]) for i in sorted(primary_index.values())]
+        if self.jobs > 1:
+            workers = self.jobs
+        elif self.max_workers is not None:
+            workers = self.max_workers
+        else:
+            # ThreadPoolExecutor's own default worker count
+            workers = min(32, (os.cpu_count() or 1) + 4)
+        self._emit(BatchStarted(
+            total=len(jobs),
+            unique=len(unique),
+            deduplicated=len(jobs) - len(unique) - len(key_errors),
+            workers=min(workers, max(len(unique), 1)),
+        ))
+        primary_outcomes: dict[str, JobOutcome] = {}
         if unique:
-            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-                futures = {
-                    key: pool.submit(self._run_one, job, key) for key, job in unique
-                }
-                for key, future in futures.items():
-                    primary_outcomes[key] = future.result()
+            if self.jobs > 1:
+                primary_outcomes = self._run_unique_processes(unique)
+            else:
+                primary_outcomes = self._run_unique_threads(unique)
 
         outcomes: list[JobOutcome] = []
         for index, (job, key) in enumerate(zip(jobs, keys)):
@@ -276,4 +368,8 @@ class BatchCompiler:
                         job=job, key=key, status="deduplicated", result=primary.result
                     )
                 )
-        return BatchReport(outcomes=outcomes, elapsed_s=time.monotonic() - started)
+        report = BatchReport(outcomes=outcomes, elapsed_s=time.monotonic() - started)
+        self._emit(BatchFinished(
+            total=len(outcomes), elapsed_s=report.elapsed_s, counts=report.counts
+        ))
+        return report

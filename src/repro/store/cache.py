@@ -15,7 +15,13 @@ readers treat anything unparseable as a miss and count it as corrupted.
 The cache is safe to share across threads — :class:`BatchCompiler` hands
 one instance to every worker — and across processes on the same
 filesystem, because the key is content-addressed: two processes that race
-to store the same key write equivalent entries.
+to store the same key write equivalent entries.  The parallel batch
+executor leans on this: every worker process opens the same directory,
+readers treat an entry GC'd from under them (``FileNotFoundError`` between
+the existence check and the read) as a plain miss, and writers recreate a
+shard directory a concurrent ``gc()``/cleanup removed mid-``put``.  Cache
+objects themselves pickle by directory — the in-memory lock and counters
+stay process-local.
 """
 
 from __future__ import annotations
@@ -120,6 +126,17 @@ class CompilationCache:
         self.stats = CacheStats()
         self._lock = threading.Lock()
 
+    def __getstate__(self) -> dict:
+        """Pickle by directory: locks are process-local, and a worker's
+        hit/miss counters should start at zero, not at the parent's."""
+        return {"root": self.root, "validate": self.validate}
+
+    def __setstate__(self, state: dict) -> None:
+        self.root = state["root"]
+        self.validate = state["validate"]
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+
     # -- keys -----------------------------------------------------------------
 
     def key_for(
@@ -211,21 +228,35 @@ class CompilationCache:
             "result": result_to_dict(result),
         }
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         text = json.dumps(entry, indent=2) + "\n"
-        handle, temp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=f".{key[:8]}.", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(handle, "w") as stream:
-                stream.write(text)
-            os.replace(temp_name, path)
-        except BaseException:
+        # One retry: a concurrent cleanup may remove the shard directory
+        # between mkdir and the write/replace below; recreating it once
+        # closes that race (a second removal mid-retry is a real error).
+        for attempt in (0, 1):
+            path.parent.mkdir(parents=True, exist_ok=True)
             try:
-                os.unlink(temp_name)
-            except OSError:
-                pass
-            raise
+                handle, temp_name = tempfile.mkstemp(
+                    dir=path.parent, prefix=f".{key[:8]}.", suffix=".tmp"
+                )
+            except FileNotFoundError:
+                if attempt == 0:
+                    continue
+                raise
+            try:
+                with os.fdopen(handle, "w") as stream:
+                    stream.write(text)
+                os.replace(temp_name, path)
+                break
+            except FileNotFoundError:
+                if attempt == 0:
+                    continue
+                raise
+            except BaseException:
+                try:
+                    os.unlink(temp_name)
+                except OSError:
+                    pass
+                raise
         with self._lock:
             self.stats.stores += 1
         return path

@@ -37,6 +37,7 @@ import json
 
 from repro.core.config import (
     COMPILE_METHODS,
+    EXECUTION_ONLY_FIELDS,
     METHOD_ANNEALING,
     AnnealingSchedule,
     FermihedralConfig,
@@ -53,9 +54,18 @@ def canonical_config(config: FermihedralConfig) -> dict:
 
     Derived field-by-field from the dataclass so a future config field
     changes the fingerprint automatically (fails closed) instead of
-    silently colliding with pre-existing keys.
+    silently colliding with pre-existing keys.  Execution-strategy fields
+    (:data:`repro.core.config.EXECUTION_ONLY_FIELDS` — incremental,
+    portfolio, jobs) are excluded: they decide *how* a job is solved, not
+    *what* it computes.  Any of several equally-optimal encodings may come
+    back, but the achieved weight and optimality proof are invariant, which
+    is the identity the cache promises — and serial / incremental /
+    portfolio / multi-process runs of one job must share an entry.
     """
-    return dataclasses.asdict(config)
+    data = dataclasses.asdict(config)
+    for name in EXECUTION_ONLY_FIELDS:
+        data.pop(name, None)
+    return data
 
 
 def canonical_hamiltonian(hamiltonian: FermionicHamiltonian) -> list[list[int]]:

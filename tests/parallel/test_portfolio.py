@@ -1,0 +1,157 @@
+"""Portfolio racing: correctness, determinism, incremental surface."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.config import FermihedralConfig
+from repro.core.descent import descend
+from repro.parallel.portfolio import (
+    PortfolioSolver,
+    SolverStrategy,
+    diversified_strategies,
+)
+from repro.sat import CdclSolver, CnfFormula, dpll_solve, evaluate_formula
+
+
+def _random_formula(seed: int, num_vars: int, num_clauses: int) -> CnfFormula:
+    rng = random.Random(seed)
+    formula = CnfFormula()
+    formula.new_variables(num_vars)
+    for _ in range(num_clauses):
+        width = rng.randint(1, 3)
+        formula.add_clause(
+            rng.choice([-1, 1]) * rng.randint(1, num_vars) for _ in range(width)
+        )
+    return formula
+
+
+def _pigeonhole(pigeons: int, holes: int) -> CnfFormula:
+    formula = CnfFormula()
+    slot = {}
+    for p in range(pigeons):
+        for h in range(holes):
+            slot[p, h] = formula.new_variable()
+    for p in range(pigeons):
+        formula.add_clause(slot[p, h] for h in range(holes))
+    for h in range(holes):
+        for p1, p2 in itertools.combinations(range(pigeons), 2):
+            formula.add_clause((-slot[p1, h], -slot[p2, h]))
+    return formula
+
+
+class TestStrategies:
+    def test_worker_zero_is_reference(self):
+        strategies = diversified_strategies(4)
+        assert strategies[0] == SolverStrategy.reference()
+        assert len(strategies) == 4
+        assert len({s.name for s in strategies}) == 4
+
+    def test_deterministic_assignment(self):
+        assert diversified_strategies(5) == diversified_strategies(5)
+
+    def test_rejects_empty_portfolio(self):
+        with pytest.raises(ValueError):
+            diversified_strategies(0)
+        formula = CnfFormula()
+        formula.new_variable()
+        with pytest.raises(ValueError):
+            PortfolioSolver(formula, workers=0)
+
+
+class TestRacing:
+    def test_single_worker_equals_reference_solver(self):
+        formula = _random_formula(7, 8, 20)
+        reference = CdclSolver(formula).solve()
+        with PortfolioSolver(formula, workers=1) as portfolio:
+            raced = portfolio.solve()
+        assert raced.status == reference.status
+        assert raced.model == reference.model
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_statuses_match_dpll(self, workers):
+        for seed in range(10):
+            formula = _random_formula(seed, 7, 18)
+            expected = dpll_solve(formula).status
+            with PortfolioSolver(formula, workers=workers) as portfolio:
+                result = portfolio.solve()
+            assert result.status == expected, seed
+            if result.is_sat:
+                assert evaluate_formula(formula, result.model)
+
+    def test_run_to_run_model_determinism(self):
+        formula = _random_formula(21, 9, 20)
+        models = []
+        for _ in range(2):
+            with PortfolioSolver(formula, workers=3, round_conflicts=4) as p:
+                result = p.solve()
+                models.append(result.model)
+        assert models[0] == models[1]
+
+    def test_unsat_race(self):
+        formula = _pigeonhole(5, 4)
+        with PortfolioSolver(formula, workers=3) as portfolio:
+            result = portfolio.solve()
+        assert result.is_unsat and not result.under_assumptions
+
+    def test_conflict_budget_returns_unknown(self):
+        formula = _pigeonhole(7, 6)
+        with PortfolioSolver(formula, workers=2, round_conflicts=8) as portfolio:
+            result = portfolio.solve(max_conflicts=16)
+        assert result.status == "UNKNOWN"
+        assert result.conflicts > 0  # both members actually worked
+
+    def test_incremental_surface(self):
+        formula = CnfFormula()
+        a, b, c = formula.new_variables(3)
+        formula.add_clause((a, b, c))
+        with PortfolioSolver(formula, workers=2) as portfolio:
+            first = portfolio.solve()
+            assert first.is_sat
+            # blocking clauses broadcast to every member
+            portfolio.add_clause([
+                (-v if first.model[v] else v) for v in (a, b, c)
+            ])
+            second = portfolio.solve()
+            assert second.is_sat and second.model != first.model
+            under = portfolio.solve(assumptions=[-a, -b, -c])
+            assert under.is_unsat and under.under_assumptions
+            portfolio.set_phases({a: True, b: True, c: True})
+            assert portfolio.solve().is_sat
+
+    def test_close_is_idempotent(self):
+        formula = CnfFormula()
+        formula.new_variable()
+        portfolio = PortfolioSolver(formula, workers=2)
+        portfolio.close()
+        portfolio.close()
+
+
+class TestDescentDeterminism:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_same_optimum_at_any_width(self, workers):
+        result = descend(2, FermihedralConfig(portfolio=workers))
+        assert result.weight == 6
+        assert result.proved_optimal
+
+    def test_three_modes_weight_and_proof_agree(self):
+        outcomes = {
+            workers: descend(3, FermihedralConfig(portfolio=workers))
+            for workers in (1, 2, 4)
+        }
+        weights = {r.weight for r in outcomes.values()}
+        assert weights == {11}
+        assert all(r.proved_optimal for r in outcomes.values())
+        # identical bound trajectories: statuses are objective per bound
+        trajectories = {
+            w: [(s.bound, s.status) for s in r.steps] for w, r in outcomes.items()
+        }
+        assert trajectories[1] == trajectories[2] == trajectories[4]
+
+    def test_fixed_width_reproducible_encoding(self):
+        first = descend(2, FermihedralConfig(portfolio=2))
+        second = descend(2, FermihedralConfig(portfolio=2))
+        assert [s.label() for s in first.encoding.strings] == [
+            s.label() for s in second.encoding.strings
+        ]
