@@ -17,7 +17,10 @@ Parallelism: ``--portfolio N`` races N diversified solver processes on
 every SAT call (deterministic logical-time racing; first definitive
 answer wins); ``batch --jobs N`` fans unique jobs across N worker
 processes with a parent-side cache fast path and a live per-job status
-line on stderr.  Given enough budget per SAT call, neither knob changes
+line on stderr.  SAT instances are simplified before solving
+(``--no-preprocess`` opts out) and ``solve --profile`` wraps the whole
+pipeline in cProfile.  Given enough budget per SAT call, none of these
+knobs changes
 achieved weights or optimality proofs — only wall-clock time.  When a
 budget *is* exhausted, more parallelism can only answer more (a
 diversified racer may finish a bound the reference solver could not),
@@ -140,6 +143,7 @@ def _config_from_args(args) -> FermihedralConfig:
         incremental=not args.no_incremental,
         portfolio=args.portfolio or 1,
         jobs=getattr(args, "jobs_n", None) or 1,
+        preprocess=not args.no_preprocess,
     )
 
 
@@ -171,6 +175,11 @@ def _add_solver_options(parser: argparse.ArgumentParser) -> None:
                              "instance with assumption-activated bounds "
                              "(ignored with --portfolio > 1, which always "
                              "races one persistent instance)")
+    parser.add_argument("--no-preprocess", action="store_true",
+                        help="solve the raw CNF instead of simplifying it "
+                             "first (unit propagation, subsumption, bounded "
+                             "variable elimination); identical results, "
+                             "usually slower")
 
 
 def _resolve_encoding(name: str, num_modes: int):
@@ -225,6 +234,8 @@ def _print_solver_stats(result) -> None:
     print(f"  propagations:  {descent.total_propagations}")
     print(f"  restarts:      {descent.total_restarts}")
     print(f"  construct:     {descent.construct_time_s:.2f}s")
+    if descent.preprocess_time_s:
+        print(f"  preprocess:    {descent.preprocess_time_s:.2f}s")
     rows = [
         [step.bound, step.status,
          "-" if step.achieved_weight is None else step.achieved_weight,
@@ -238,6 +249,24 @@ def _print_solver_stats(result) -> None:
              "propagations", "restarts", "time (s)"],
             rows,
         ))
+
+
+def _profiled(run):
+    """Run ``run()`` under cProfile; returns (result, top-20 stats text)."""
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        value = run()
+    finally:
+        profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(20)
+    return value, buffer.getvalue()
 
 
 def cmd_solve(args) -> int:
@@ -256,14 +285,19 @@ def cmd_solve(args) -> int:
         method = METHOD_ANNEALING if args.method == "sat-anl" else METHOD_FULL_SAT
         compiler = FermihedralCompiler(hamiltonian.num_modes, config, cache=cache,
                                        device=args.device)
-        result = compiler.compile(method=method, hamiltonian=hamiltonian)
+        run = lambda: compiler.compile(method=method, hamiltonian=hamiltonian)  # noqa: E731
     else:
         if not args.modes:
             print("error: --modes or --model is required", file=sys.stderr)
             return 2
         compiler = FermihedralCompiler(args.modes, config, cache=cache,
                                        device=args.device)
-        result = compiler.compile(method=METHOD_INDEPENDENT)
+        run = lambda: compiler.compile(method=METHOD_INDEPENDENT)  # noqa: E731
+
+    if args.profile:
+        result, profile_text = _profiled(run)
+    else:
+        result, profile_text = run(), None
 
     report = result.verify()
     post = ()
@@ -279,6 +313,9 @@ def cmd_solve(args) -> int:
     )
     if args.stats:
         _print_solver_stats(result)
+    if profile_text is not None:
+        print("profile (top 20 by cumulative time):")
+        print(profile_text, end="")
     if args.output:
         save_encoding(result.encoding, args.output)
         print(f"saved encoding to {args.output}")
@@ -623,6 +660,9 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--stats", action="store_true",
                        help="print solver statistics (conflicts, decisions, "
                             "propagations, restarts) per descent step")
+    solve.add_argument("--profile", action="store_true",
+                       help="run the pipeline under cProfile and print the "
+                            "top-20 functions by cumulative time")
     solve.add_argument("--device", default=None, metavar="NAME", help=_DEVICE_HELP)
     solve.add_argument("--cache", default=None, metavar="DIR",
                        help="memoize results in a persistent compilation "

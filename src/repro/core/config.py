@@ -25,11 +25,14 @@ COMPILE_METHODS = (METHOD_INDEPENDENT, METHOD_FULL_SAT, METHOD_ANNEALING)
 #: only which of several equally-optimal models a run returns (and how
 #: fast), never the achieved weight or the optimality proof; when a
 #: budget is exhausted, more parallelism can only finish more bounds,
-#: never contradict fewer.  ``repro.store.fingerprint`` excludes them
-#: from cache keys so serial, incremental, portfolio and multi-process
-#: runs of one job all share a cache entry (sound because unproved
-#: results are warm-start seeds, never final hits).
-EXECUTION_ONLY_FIELDS = ("incremental", "portfolio", "jobs")
+#: never contradict fewer.  ``preprocess`` belongs here too: CNF
+#: simplification is satisfiability-preserving per bound (models are
+#: reconstructed onto the original variables), so achieved weights and
+#: optimality proofs are invariant.  ``repro.store.fingerprint`` excludes
+#: them from cache keys so serial, incremental, portfolio, multi-process
+#: and preprocessed runs of one job all share a cache entry (sound
+#: because unproved results are warm-start seeds, never final hits).
+EXECUTION_ONLY_FIELDS = ("incremental", "portfolio", "jobs", "preprocess")
 
 
 @dataclass(frozen=True)
@@ -87,13 +90,21 @@ class FermihedralConfig:
             in-process with the reference configuration.
         jobs: default worker-process count for batch executors consuming
             this config (:mod:`repro.parallel.executor`); ``1`` is serial.
+        preprocess: simplify the CNF (:mod:`repro.sat.preprocess` — unit
+            propagation, subsumption, bounded variable elimination) before
+            building the incremental descent solver and every portfolio
+            worker.  Encoding variables and ladder selectors are frozen,
+            and SAT models are reconstructed onto the original variables,
+            so decoded encodings, achieved weights and optimality proofs
+            are unchanged; only solve time drops.  ``False``
+            (``--no-preprocess``) solves the raw instance.
 
-        ``incremental``, ``portfolio`` and ``jobs`` are execution-strategy
-        knobs (:data:`EXECUTION_ONLY_FIELDS`): with enough budget they
-        change only how fast the run reaches the same weight and proof
-        (under an exhausted budget, more parallelism can only answer
-        more, never contradict), so they are excluded from cache
-        fingerprints.
+        ``incremental``, ``portfolio``, ``jobs`` and ``preprocess`` are
+        execution-strategy knobs (:data:`EXECUTION_ONLY_FIELDS`): with
+        enough budget they change only how fast the run reaches the same
+        weight and proof (under an exhausted budget, more parallelism can
+        only answer more, never contradict), so they are excluded from
+        cache fingerprints.
     """
 
     algebraic_independence: bool = True
@@ -108,6 +119,7 @@ class FermihedralConfig:
     incremental: bool = True
     portfolio: int = 1
     jobs: int = 1
+    preprocess: bool = True
 
     def __post_init__(self):
         if self.strategy not in ("linear", "bisection"):
@@ -136,6 +148,7 @@ class FermihedralConfig:
         portfolio: int | None = None,
         jobs: int | None = None,
         incremental: bool | None = None,
+        preprocess: bool | None = None,
     ) -> "FermihedralConfig":
         """This config with execution-strategy knobs overridden (``None``
         keeps the current value)."""
@@ -144,6 +157,7 @@ class FermihedralConfig:
             portfolio=self.portfolio if portfolio is None else portfolio,
             jobs=self.jobs if jobs is None else jobs,
             incremental=self.incremental if incremental is None else incremental,
+            preprocess=self.preprocess if preprocess is None else preprocess,
         )
 
 

@@ -77,6 +77,9 @@ class DescentResult:
     solve_time_s: float = 0.0
     repairs: int = 0
     strategy: str = LINEAR
+    #: One-time CNF simplification cost (0.0 when preprocessing is off or
+    #: the engine is the cold loop, which never preprocesses).
+    preprocess_time_s: float = 0.0
 
     @property
     def sat_calls(self) -> int:
@@ -283,6 +286,15 @@ class _IncrementalBoundSolver:
     instance and persist for the rest of the descent, exactly like the
     cold-start loop's replayed ``blocking`` list.
 
+    With ``config.preprocess`` (the default) the instance handed to the
+    solver backend is first simplified by :func:`repro.sat.preprocess.
+    preprocess` — encoding variables and ladder selectors frozen, so
+    assumptions, repair blocking clauses and warm-start phases keep their
+    meaning — and every SAT model is lifted back onto the original
+    variables before decoding.  Preprocessing happens once per descent,
+    ahead of solver construction, so a portfolio pays it once and every
+    worker starts from the smaller formula.
+
     With ``config.portfolio > 1`` the persistent instance is raced by a
     deterministic portfolio of diversified worker processes
     (:class:`repro.parallel.portfolio.PortfolioSolver`) instead of a
@@ -305,7 +317,9 @@ class _IncrementalBoundSolver:
         self.phases = phases
         self.total_repairs = 0
         self.solve_time_s = 0.0
+        self.preprocess_time_s = 0.0
         self._selectors: list[int] | None = None
+        self._reconstruct = None
         self._solver = None
 
     def prepare(self, max_bound: int) -> None:
@@ -319,16 +333,31 @@ class _IncrementalBoundSolver:
         self._selectors = self.encoder.weight_ladder(
             self.indicators, max(max_bound, 0), self.config.qubit_weights
         )
+        formula = self.encoder.formula
+        if self.config.preprocess:
+            from repro.sat.preprocess import preprocess
+
+            # Everything the descent talks to the solver about afterwards
+            # must survive simplification: the encoding bits (decode,
+            # blocking clauses, warm-start phases) and the ladder
+            # selectors (per-rung assumptions).
+            frozen = set(self.encoder.all_string_variables())
+            frozen.update(abs(selector) for selector in self._selectors)
+            started = time.monotonic()
+            simplified = preprocess(formula, frozen=frozen)
+            self.preprocess_time_s = time.monotonic() - started
+            self._reconstruct = simplified.reconstruct
+            formula = simplified.formula
         if self.config.portfolio > 1:
             from repro.parallel.portfolio import PortfolioSolver
 
             self._solver = PortfolioSolver(
-                self.encoder.formula,
+                formula,
                 workers=self.config.portfolio,
                 seed_phases=self.phases,
             )
         else:
-            self._solver = CdclSolver(self.encoder.formula, seed_phases=self.phases)
+            self._solver = CdclSolver(formula, seed_phases=self.phases)
 
     def close(self) -> None:
         """Release the solver backend (portfolio worker processes)."""
@@ -361,13 +390,19 @@ class _IncrementalBoundSolver:
             if result.is_unsat or not result.is_sat:
                 return _step_from_result(bound, result, None, level_repairs), None
 
-            candidate = self.encoder.decode(result.model)
+            model = result.model
+            if self._reconstruct is not None:
+                # Lift the simplified-instance model back onto the original
+                # variable pool (eliminated variables get consistent values)
+                # before anything downstream reads it.
+                model = self._reconstruct(model)
+            candidate = self.encoder.decode(model)
             if not self.config.algebraic_independence and not (
                 are_algebraically_independent(candidate.strings)
             ):
                 level_repairs += 1
                 self.total_repairs += 1
-                self._solver.add_clause(self.encoder.blocking_clause(result.model))
+                self._solver.add_clause(self.encoder.blocking_clause(model))
                 if level_repairs > self.config.max_repairs:
                     step = _step_from_result(bound, result, None, level_repairs,
                                              status="REPAIR-LIMIT")
@@ -376,7 +411,7 @@ class _IncrementalBoundSolver:
 
             if self.config.warm_start:
                 self._solver.set_phases({
-                    v: result.model[v] for v in self.encoder.all_string_variables()
+                    v: model[v] for v in self.encoder.all_string_variables()
                 })
             achieved = measured_weight(
                 candidate, self.hamiltonian, self.config.qubit_weights
@@ -491,4 +526,5 @@ def descend(
         solve_time_s=bound_solver.solve_time_s,
         repairs=bound_solver.total_repairs,
         strategy=config.strategy,
+        preprocess_time_s=getattr(bound_solver, "preprocess_time_s", 0.0),
     )

@@ -30,9 +30,10 @@ from repro.sat.cardinality import (
     add_at_most_k,
     add_at_most_k_weighted,
     add_at_most_ladder,
-    add_weighted_ladder,
+    predict_sequential_ladder,
 )
 from repro.sat.cnf import CnfFormula
+from repro.sat.totalizer import add_totalizer_ladder, predict_totalizer_ladder
 from repro.sat.tseitin import encode_and, encode_or, encode_xor, encode_xor_many
 
 #: Operator truth table of the paper's Eq. 7: label -> (bit1, bit2).
@@ -320,6 +321,7 @@ class FermihedralEncoder:
         indicators: list[int],
         max_bound: int,
         qubit_weights: "tuple[int, ...] | None" = None,
+        encoding: str = "auto",
     ) -> list[int]:
         """Assumption-activated weight bounds for incremental descent.
 
@@ -330,23 +332,48 @@ class FermihedralEncoder:
         ``b in 0..max_bound``.  The descent ladder then re-solves a single
         CNF with a different one-literal assumption per rung instead of
         rebuilding the instance.
+
+        ``encoding`` picks the counter: ``"sequential"`` (Sinz),
+        ``"totalizer"`` (Bailleux-Boutobza merge tree), or ``"auto"``
+        (default) which compares the exact predicted clause counts of the
+        two — :func:`repro.sat.cardinality.predict_sequential_ladder` vs
+        :func:`repro.sat.totalizer.predict_totalizer_ladder` — and emits
+        the smaller.  Both honour the identical selector contract, so the
+        choice is invisible to descent.
         """
         if qubit_weights is None:
-            return add_at_most_ladder(self.formula, indicators, max_bound)
-        if len(qubit_weights) != self.num_modes:
-            raise ValueError(
-                f"qubit_weights has {len(qubit_weights)} entries, encoder has "
-                f"{self.num_modes} qubits"
+            literals = list(indicators)
+        else:
+            if len(qubit_weights) != self.num_modes:
+                raise ValueError(
+                    f"qubit_weights has {len(qubit_weights)} entries, encoder has "
+                    f"{self.num_modes} qubits"
+                )
+            if len(indicators) % self.num_modes != 0:
+                raise ValueError(
+                    "indicator count is not a multiple of the qubit count"
+                )
+            # Weighted counting = each literal repeated ``weight`` times in
+            # the shared counter, mirroring ``add_at_most_k_weighted``.
+            literals = [
+                literal
+                for index, literal in enumerate(indicators)
+                for _ in range(qubit_weights[index % self.num_modes])
+            ]
+        if encoding == "auto":
+            _, sequential_clauses = predict_sequential_ladder(len(literals), max_bound)
+            _, totalizer_clauses = predict_totalizer_ladder(len(literals), max_bound)
+            encoding = (
+                "totalizer" if totalizer_clauses < sequential_clauses else "sequential"
             )
-        if len(indicators) % self.num_modes != 0:
-            raise ValueError(
-                "indicator count is not a multiple of the qubit count"
-            )
-        weights = [
-            qubit_weights[index % self.num_modes]
-            for index in range(len(indicators))
-        ]
-        return add_weighted_ladder(self.formula, indicators, weights, max_bound)
+        if encoding == "sequential":
+            return add_at_most_ladder(self.formula, literals, max_bound)
+        if encoding == "totalizer":
+            return add_totalizer_ladder(self.formula, literals, max_bound)
+        raise ValueError(
+            f"unknown ladder encoding {encoding!r}; "
+            "expected 'auto', 'sequential' or 'totalizer'"
+        )
 
     # -- model decoding -------------------------------------------------------------------------
 

@@ -103,6 +103,7 @@ def result_to_dict(result: CompilationResult) -> dict:
             ],
             "construct_time_s": descent.construct_time_s,
             "solve_time_s": descent.solve_time_s,
+            "preprocess_time_s": descent.preprocess_time_s,
             "repairs": descent.repairs,
             "strategy": descent.strategy,
         },
@@ -174,6 +175,7 @@ def result_from_dict(data: dict, validate: bool = True) -> CompilationResult:
         ],
         construct_time_s=descent_data["construct_time_s"],
         solve_time_s=descent_data["solve_time_s"],
+        preprocess_time_s=descent_data.get("preprocess_time_s", 0.0),
         repairs=descent_data["repairs"],
         strategy=descent_data["strategy"],
     )

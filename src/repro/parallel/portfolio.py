@@ -34,6 +34,11 @@ the incremental interface (``solve(assumptions=...)`` per descent rung,
 ``add_clause`` for repair blocking clauses, ``set_phases`` for warm
 starts) carries learned clauses across calls inside every worker, just
 like the in-process incremental engine.
+
+The formula a portfolio is built from is whatever the caller hands it:
+the incremental descent engine preprocesses the instance first
+(:mod:`repro.sat.preprocess`), so the simplification cost is paid once
+in the parent and every worker process inherits the smaller formula.
 """
 
 from __future__ import annotations

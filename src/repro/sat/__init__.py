@@ -1,15 +1,24 @@
-"""SAT substrate: CNF construction, Tseitin gadgets, cardinality, CDCL solver."""
+"""SAT substrate: CNF construction, Tseitin gadgets, cardinality encodings
+(sequential counter and totalizer), SatELite-style preprocessing, and the
+flattened CDCL solver."""
 
 from repro.sat.cardinality import (
     add_at_most_k,
     add_at_most_k_weighted,
     add_at_most_ladder,
     add_weighted_ladder,
+    predict_sequential_ladder,
 )
 from repro.sat.cnf import CnfFormula, evaluate_clause, evaluate_formula
 from repro.sat.dpll import dpll_solve
 from repro.sat.enumerate import enumerate_models
+from repro.sat.preprocess import PreprocessResult, PreprocessStats, preprocess
 from repro.sat.solver import SAT, UNKNOWN, UNSAT, CdclSolver, SolveResult, luby, solve_formula
+from repro.sat.totalizer import (
+    add_totalizer_at_most_k,
+    add_totalizer_ladder,
+    predict_totalizer_ladder,
+)
 from repro.sat.tseitin import (
     assert_or_true,
     assert_xor_true,
@@ -26,10 +35,14 @@ __all__ = [
     "UNSAT",
     "CdclSolver",
     "CnfFormula",
+    "PreprocessResult",
+    "PreprocessStats",
     "SolveResult",
     "add_at_most_k",
     "add_at_most_k_weighted",
     "add_at_most_ladder",
+    "add_totalizer_at_most_k",
+    "add_totalizer_ladder",
     "add_weighted_ladder",
     "assert_or_true",
     "assert_xor_true",
@@ -43,5 +56,8 @@ __all__ = [
     "evaluate_clause",
     "evaluate_formula",
     "luby",
+    "predict_sequential_ladder",
+    "predict_totalizer_ladder",
+    "preprocess",
     "solve_formula",
 ]

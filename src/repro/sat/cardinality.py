@@ -32,23 +32,43 @@ def add_at_most_k(formula: CnfFormula, literals: Sequence[int], bound: int) -> N
             formula.add_unit(-literal)
         return
 
-    # registers[i][j] <=> at least (j+1) of literals[0..i] are true
-    registers = [[formula.new_variable() for _ in range(bound)] for _ in range(count)]
+    # registers[i][j] <=> at least (j+1) of literals[0..i] are true.
+    # The last literal needs no register row of its own: only the
+    # overflow clause below ever reads row ``count - 2``, so allocating
+    # row ``count - 1`` would waste ``bound`` variables and ``2 * bound``
+    # clauses per constraint.
+    registers = [[formula.new_variable() for _ in range(bound)] for _ in range(count - 1)]
 
     formula.add_clause((-literals[0], registers[0][0]))
     for j in range(1, bound):
         formula.add_unit(-registers[0][j])
 
-    for i in range(1, count):
+    for i in range(1, count - 1):
         formula.add_clause((-literals[i], registers[i][0]))
         formula.add_clause((-registers[i - 1][0], registers[i][0]))
         for j in range(1, bound):
             formula.add_clause((-literals[i], -registers[i - 1][j - 1], registers[i][j]))
             formula.add_clause((-registers[i - 1][j], registers[i][j]))
         formula.add_clause((-literals[i], -registers[i - 1][bound - 1]))
+    formula.add_clause((-literals[count - 1], -registers[count - 2][bound - 1]))
 
-    # The final row is not referenced again; the overflow clauses above
-    # already forbid reaching bound + 1.
+
+def predict_sequential_ladder(count: int, max_bound: int) -> tuple[int, int]:
+    """Exact ``(auxiliary_variables, clauses)`` of :func:`add_at_most_ladder`.
+
+    Lets the encoding chooser in
+    :meth:`repro.core.encoder.FermihedralEncoder.weight_ladder` compare
+    the sequential counter against the totalizer
+    (:func:`repro.sat.totalizer.predict_totalizer_ladder`) without
+    building either.
+    """
+    width = min(max_bound + 1, count)
+    tautology = 1 if max_bound + 1 > width else 0
+    if width == 0:
+        return tautology, tautology
+    variables = tautology + count * width
+    clauses = tautology + width + (count - 1) * 2 * width
+    return variables, clauses
 
 
 def add_at_most_ladder(

@@ -1,0 +1,552 @@
+"""CNF simplification (SatELite-style) with model reconstruction.
+
+Modern SAT solvers owe much of their speed to formula preprocessing
+(Eén & Biere 2005): the Tseitin-heavy instances the Fermihedral encoder
+emits are full of single-use gate variables, subsumed clauses and
+root-level units, and shrinking the formula before search multiplies
+every downstream engine — the sequential solver, the incremental descent
+ladder and every portfolio worker all propagate over the simplified
+clause database.
+
+Techniques, applied to fixpoint (bounded by ``max_rounds``):
+
+* **root unit propagation** — unit clauses fix their variable; satisfied
+  clauses are dropped and falsified literals removed everywhere.
+* **pure-literal elimination** — a variable occurring with one polarity
+  only is the degenerate case of variable elimination below (its
+  resolvent set is empty).
+* **subsumption and self-subsuming resolution** — a clause ``C ⊆ D``
+  deletes ``D``; a clause ``C = {l} ∪ A`` with ``D ⊇ {-l} ∪ A``
+  strengthens ``D`` to ``D \\ {-l}``.  Signature-based filtering keeps
+  the candidate scans cheap.
+* **equivalent-literal substitution** — strongly connected components of
+  the binary implication graph are collapsed onto one representative per
+  class.  Tseitin instances are full of these: every unit-forced XOR
+  output (the encoder's anticommutativity constraints) turns its gate
+  definition into a pair of equivalences.
+* **bounded variable elimination (NiVER/SatELite)** — a variable whose
+  non-tautological resolvent set is no larger than the clause set it
+  replaces is resolved away.
+
+**Frozen variables.**  Simplification must not outrun the caller's
+interface to the formula: any variable that later appears in solver
+*assumptions* (the descent ladder's bound selectors), in incrementally
+added clauses (repair blocking clauses over the encoding variables), or
+in phase hints must be declared ``frozen``.  Frozen variables are never
+eliminated, and when unit propagation fixes one at the root its unit
+clause is re-emitted into the simplified formula, so a later assumption
+of the opposite polarity still (correctly) answers UNSAT instead of
+silently contradicting the reconstruction.
+
+**Model reconstruction.**  Eliminated variables vanish from the
+simplified formula, so a model of it says nothing about them (the solver
+reports arbitrary values).  :meth:`PreprocessResult.reconstruct` replays
+the elimination trail backwards — fixed variables take their forced
+value, eliminated variables take whatever value satisfies their saved
+clauses — yielding a model of the *original* formula.  Decoding
+(:meth:`repro.core.encoder.FermihedralEncoder.decode`) therefore runs on
+reconstructed models and never observes the simplification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.sat.cnf import CnfFormula
+
+#: Per-variable occurrence cap for the variable-elimination scan; a
+#: variable busier than this is never a good elimination candidate and
+#: checking it would make the resolvent scan quadratic.
+DEFAULT_BVE_OCCURRENCE_LIMIT = 20
+
+
+@dataclass
+class PreprocessStats:
+    """What the pipeline did, for logs and benchmark output."""
+
+    original_variables: int = 0
+    original_clauses: int = 0
+    simplified_clauses: int = 0
+    fixed_variables: int = 0
+    eliminated_variables: int = 0
+    substituted_variables: int = 0
+    subsumed_clauses: int = 0
+    strengthened_clauses: int = 0
+    rounds: int = 0
+    unsat: bool = False
+
+    def summary(self) -> str:
+        return (
+            f"{self.original_clauses} -> {self.simplified_clauses} clauses "
+            f"({self.fixed_variables} fixed, "
+            f"{self.eliminated_variables} eliminated, "
+            f"{self.substituted_variables} substituted, "
+            f"{self.subsumed_clauses} subsumed, "
+            f"{self.strengthened_clauses} strengthened, "
+            f"{self.rounds} rounds)"
+        )
+
+
+class PreprocessResult:
+    """A simplified formula plus the recipe for undoing it on models.
+
+    The simplified :attr:`formula` shares the original's variable pool
+    (``num_variables`` is unchanged), so literals, assumptions and added
+    clauses keep their meaning; only the clause set shrinks.
+    """
+
+    def __init__(
+        self,
+        formula: CnfFormula,
+        records: list[tuple],
+        stats: PreprocessStats,
+        frozen: frozenset[int],
+    ):
+        self.formula = formula
+        self.stats = stats
+        self.frozen = frozen
+        self._records = records
+
+    @property
+    def unsat(self) -> bool:
+        """True when preprocessing already refuted the formula."""
+        return self.stats.unsat
+
+    def reconstruct(self, model: dict[int, bool]) -> dict[int, bool]:
+        """Extend a model of the simplified formula to the original one.
+
+        The input is not mutated.  Values the solver reported for
+        eliminated variables are overwritten — they were unconstrained in
+        the simplified formula and only the replayed elimination trail
+        knows a value consistent with the original clauses.
+        """
+        extended = dict(model)
+        for record in reversed(self._records):
+            kind, variable, payload = record
+            if kind == "fixed":
+                extended[variable] = payload
+                continue
+            if kind == "equiv":
+                representative = extended.get(abs(payload), False)
+                extended[variable] = representative if payload > 0 else not representative
+                continue
+            # Eliminated variable: any saved clause not already satisfied
+            # by the other variables forces the polarity that satisfies
+            # it; if all are satisfied either value works (False chosen).
+            value = False
+            for clause in payload:
+                satisfied = False
+                forced = False
+                for literal in clause:
+                    other = abs(literal)
+                    if other == variable:
+                        forced = literal > 0
+                        continue
+                    if extended.get(other, False) == (literal > 0):
+                        satisfied = True
+                        break
+                if not satisfied:
+                    value = forced
+                    if value:
+                        break
+            extended[variable] = value
+        return extended
+
+
+def _signature(clause: Iterable[int]) -> int:
+    """64-bit subsumption filter: ``sig(C) & ~sig(D)`` nonzero ⇒ C ⊄ D."""
+    sig = 0
+    for literal in clause:
+        sig |= 1 << ((literal * 2 if literal > 0 else -literal * 2 + 1) % 61)
+    return sig
+
+
+class _Simplifier:
+    """Mutable working state of one preprocessing run."""
+
+    def __init__(self, formula: CnfFormula, frozen: frozenset[int]):
+        self.num_variables = formula.num_variables
+        self.frozen = frozen
+        self.clauses: list[set[int] | None] = []
+        self.sigs: list[int] = []  # cached subsumption signatures, per index
+        self.touched: list[int] = []  # clauses new/changed since last subsumption
+        self.occurs: dict[int, set[int]] = {}
+        self.fixed: dict[int, bool] = {}
+        self.unit_queue: list[int] = []
+        self.records: list[tuple] = []
+        self.stats = PreprocessStats(
+            original_variables=formula.num_variables,
+            original_clauses=formula.num_clauses,
+        )
+        for clause in formula.clauses():
+            literals = set(clause)
+            if any(-literal in literals for literal in literals):
+                continue  # tautology
+            if len(literals) == 1:
+                self.unit_queue.append(next(iter(literals)))
+                continue
+            self._add_clause(literals)
+
+    # -- clause bookkeeping ---------------------------------------------------
+
+    def _add_clause(self, literals: set[int]) -> int:
+        index = len(self.clauses)
+        self.clauses.append(literals)
+        self.sigs.append(_signature(literals))
+        self.touched.append(index)
+        for literal in literals:
+            self.occurs.setdefault(literal, set()).add(index)
+        return index
+
+    def _remove_clause(self, index: int) -> None:
+        literals = self.clauses[index]
+        if literals is None:
+            return
+        self.clauses[index] = None
+        for literal in literals:
+            bucket = self.occurs.get(literal)
+            if bucket is not None:
+                bucket.discard(index)
+
+    def _unlink_literal(self, index: int, literal: int) -> None:
+        self.clauses[index].discard(literal)
+        self.sigs[index] = _signature(self.clauses[index])
+        bucket = self.occurs.get(literal)
+        if bucket is not None:
+            bucket.discard(index)
+
+    # -- unit propagation -----------------------------------------------------
+
+    def propagate_units(self) -> bool:
+        """Apply queued root units to fixpoint; False on refutation."""
+        while self.unit_queue:
+            literal = self.unit_queue.pop()
+            variable = abs(literal)
+            value = literal > 0
+            known = self.fixed.get(variable)
+            if known is not None:
+                if known != value:
+                    self.stats.unsat = True
+                    return False
+                continue
+            self.fixed[variable] = value
+            self.stats.fixed_variables += 1
+            for index in list(self.occurs.get(literal, ())):
+                self._remove_clause(index)
+            for index in list(self.occurs.get(-literal, ())):
+                self._unlink_literal(index, -literal)
+                remaining = self.clauses[index]
+                if not remaining:
+                    self.stats.unsat = True
+                    return False
+                if len(remaining) == 1:
+                    self.unit_queue.append(next(iter(remaining)))
+                    self._remove_clause(index)
+        return True
+
+    # -- subsumption ----------------------------------------------------------
+
+    def subsumption_round(self) -> bool:
+        """Queue-driven backward subsumption + self-subsuming resolution.
+
+        Only clauses created or changed since the previous round are used
+        as subsumers (backward subsumption); the first round seeds the
+        queue with everything.  Returns True when any clause was removed
+        or strengthened.
+        """
+        changed = False
+        queue = [index for index in self.touched if self.clauses[index] is not None]
+        self.touched = []
+        while queue:
+            index = queue.pop()
+            clause = self.clauses[index]
+            if clause is None:
+                continue
+            sig = self.sigs[index]
+            sigs = self.sigs
+            # Scan candidates through the rarest literal's occurrence list.
+            pivot = min(clause, key=lambda lit: len(self.occurs.get(lit, ())))
+            for other_index in list(self.occurs.get(pivot, ())):
+                if other_index == index:
+                    continue
+                if sig & ~sigs[other_index]:
+                    continue
+                other = self.clauses[other_index]
+                if other is None or len(other) < len(clause):
+                    continue
+                if clause <= other:
+                    self._remove_clause(other_index)
+                    self.stats.subsumed_clauses += 1
+                    changed = True
+            # Self-subsuming resolution: C = A ∪ {l}, D ⊇ A ∪ {-l}.
+            for literal in list(clause):
+                rest = clause - {literal}
+                rest_sig = _signature(rest)
+                for other_index in list(self.occurs.get(-literal, ())):
+                    if rest_sig & ~sigs[other_index]:
+                        continue
+                    other = self.clauses[other_index]
+                    if other is None or len(other) < len(clause):
+                        continue
+                    if rest <= other:
+                        self._unlink_literal(other_index, -literal)
+                        self.stats.strengthened_clauses += 1
+                        changed = True
+                        strengthened = self.clauses[other_index]
+                        if len(strengthened) == 1:
+                            self.unit_queue.append(next(iter(strengthened)))
+                            self._remove_clause(other_index)
+                        else:
+                            queue.append(other_index)
+                            self.touched.append(other_index)
+                if self.clauses[index] is None:
+                    break
+        return changed
+
+    # -- equivalent-literal substitution --------------------------------------
+
+    def _binary_implication_graph(self) -> dict[int, list[int]]:
+        """Edges ``-a -> b`` and ``-b -> a`` for every binary clause."""
+        graph: dict[int, list[int]] = {}
+        for clause in self.clauses:
+            if clause is None or len(clause) != 2:
+                continue
+            first, second = clause
+            graph.setdefault(-first, []).append(second)
+            graph.setdefault(-second, []).append(first)
+        return graph
+
+    @staticmethod
+    def _strongly_connected(graph: dict[int, list[int]]) -> dict[int, int]:
+        """Iterative Tarjan; maps each literal to its component id."""
+        index_of: dict[int, int] = {}
+        low: dict[int, int] = {}
+        component: dict[int, int] = {}
+        on_stack: set[int] = set()
+        stack: list[int] = []
+        counter = 0
+        components = 0
+        for root in graph:
+            if root in index_of:
+                continue
+            work = [(root, 0)]
+            while work:
+                node, edge_index = work[-1]
+                if edge_index == 0:
+                    index_of[node] = low[node] = counter
+                    counter += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                advanced = False
+                successors = graph.get(node, ())
+                while edge_index < len(successors):
+                    successor = successors[edge_index]
+                    edge_index += 1
+                    if successor not in index_of:
+                        work[-1] = (node, edge_index)
+                        work.append((successor, 0))
+                        advanced = True
+                        break
+                    if successor in on_stack:
+                        low[node] = min(low[node], index_of[successor])
+                if advanced:
+                    continue
+                work.pop()
+                if low[node] == index_of[node]:
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component[member] = components
+                        if member == node:
+                            break
+                    components += 1
+                if work:
+                    parent, _ = work[-1]
+                    low[parent] = min(low[parent], low[node])
+        return component
+
+    def substitute_equivalences(self) -> bool:
+        """Collapse binary-implication SCCs onto one representative each.
+
+        Frozen variables are never rewritten (their literals must keep
+        their meaning for later assumptions/clauses); they are preferred
+        as representatives instead.  Returns True when any variable was
+        substituted.
+        """
+        graph = self._binary_implication_graph()
+        if not graph:
+            return False
+        component = self._strongly_connected(graph)
+        classes: dict[int, list[int]] = {}
+        for literal, comp in component.items():
+            classes.setdefault(comp, []).append(literal)
+        changed = False
+        substituted: set[int] = set()  # each class appears twice (mirrored)
+        for members in classes.values():
+            if len(members) < 2:
+                continue
+            variables = {abs(literal) for literal in members}
+            if len(variables) < len(members):
+                # v and -v share a component: the formula is refuted.
+                self.stats.unsat = True
+                return changed
+            # Deterministic representative: frozen first, then smallest.
+            representative = min(
+                members, key=lambda lit: (abs(lit) not in self.frozen, abs(lit), lit < 0)
+            )
+            for literal in members:
+                variable = abs(literal)
+                if literal == representative or variable in self.frozen:
+                    continue
+                if variable in self.fixed or variable in substituted:
+                    continue
+                substituted.add(variable)
+                # literal ≡ representative, so  v ≡ ±representative.
+                replacement = representative if literal > 0 else -representative
+                self.records.append(("equiv", variable, replacement))
+                self.stats.substituted_variables += 1
+                self._substitute(variable, replacement)
+                changed = True
+                if self.stats.unsat:
+                    return changed
+        return changed
+
+    def _substitute(self, variable: int, replacement: int) -> None:
+        """Rewrite every occurrence of ``variable`` with ``replacement``."""
+        for literal, new_literal in ((variable, replacement), (-variable, -replacement)):
+            for index in list(self.occurs.get(literal, ())):
+                clause = self.clauses[index]
+                if clause is None:
+                    continue
+                self._unlink_literal(index, literal)
+                if new_literal in clause:
+                    pass  # duplicate collapses
+                elif -new_literal in clause:
+                    self._remove_clause(index)  # tautology
+                    continue
+                else:
+                    clause.add(new_literal)
+                    self.sigs[index] = _signature(clause)
+                    self.occurs.setdefault(new_literal, set()).add(index)
+                if len(clause) == 1:
+                    self.unit_queue.append(next(iter(clause)))
+                    self._remove_clause(index)
+                else:
+                    self.touched.append(index)
+
+    # -- bounded variable elimination ----------------------------------------
+
+    def eliminate_variables(self, occurrence_limit: int) -> bool:
+        """One NiVER sweep; pure literals fall out as the zero-resolvent
+        case.  Returns True when any variable was eliminated."""
+        changed = False
+        for variable in range(1, self.num_variables + 1):
+            if variable in self.frozen or variable in self.fixed:
+                continue
+            pos = self.occurs.get(variable, set())
+            neg = self.occurs.get(-variable, set())
+            if not pos and not neg:
+                continue
+            if len(pos) + len(neg) > occurrence_limit:
+                continue
+            pos_clauses = [self.clauses[i] for i in pos]
+            neg_clauses = [self.clauses[i] for i in neg]
+            resolvents: list[set[int]] = []
+            acceptable = True
+            for positive in pos_clauses:
+                for negative in neg_clauses:
+                    resolvent = (positive - {variable}) | (negative - {-variable})
+                    if any(-literal in resolvent for literal in resolvent):
+                        continue
+                    resolvents.append(resolvent)
+                    if len(resolvents) > len(pos) + len(neg):
+                        acceptable = False
+                        break
+                if not acceptable:
+                    break
+            if not acceptable:
+                continue
+            saved = [tuple(sorted(clause)) for clause in pos_clauses + neg_clauses]
+            self.records.append(("elim", variable, saved))
+            self.stats.eliminated_variables += 1
+            for index in list(pos) + list(neg):
+                self._remove_clause(index)
+            for resolvent in resolvents:
+                if len(resolvent) == 1:
+                    self.unit_queue.append(next(iter(resolvent)))
+                else:
+                    self._add_clause(resolvent)
+            changed = True
+        return changed
+
+    # -- output ---------------------------------------------------------------
+
+    def build_result(self) -> PreprocessResult:
+        formula = CnfFormula()
+        formula.new_variables(self.num_variables)
+        if self.stats.unsat:
+            # A refuted instance is represented by an explicit
+            # contradiction over the shared pool so any solver built from
+            # it answers UNSAT immediately (and assumption literals stay
+            # in range).
+            if self.num_variables >= 1:
+                formula.add_unit(1)
+                formula.add_unit(-1)
+            self.stats.simplified_clauses = formula.num_clauses
+            return PreprocessResult(formula, [], self.stats, self.frozen)
+        for variable, value in sorted(self.fixed.items()):
+            if variable in self.frozen:
+                # The solver must still know the forced value: assumptions
+                # and added clauses may mention frozen variables later.
+                formula.add_unit(variable if value else -variable)
+            else:
+                self.records.append(("fixed", variable, value))
+        for clause in self.clauses:
+            if clause is not None:
+                formula.add_clause(sorted(clause))
+        self.stats.simplified_clauses = formula.num_clauses
+        return PreprocessResult(formula, self.records, self.stats, self.frozen)
+
+
+def preprocess(
+    formula: CnfFormula,
+    frozen: "Sequence[int] | Iterable[int]" = (),
+    *,
+    max_rounds: int = 10,
+    bve_occurrence_limit: int = DEFAULT_BVE_OCCURRENCE_LIMIT,
+) -> PreprocessResult:
+    """Simplify ``formula``, never touching the ``frozen`` variables.
+
+    Args:
+        formula: the instance to simplify (not mutated).
+        frozen: variables (or literals — signs are ignored) that must
+            survive: everything later used in assumptions, added clauses,
+            or phase hints.  Model values of frozen variables are
+            identical before and after reconstruction.
+        max_rounds: cap on UP → subsumption → elimination fixpoint rounds.
+        bve_occurrence_limit: skip eliminating variables with more total
+            occurrences than this.
+
+    Returns a :class:`PreprocessResult`; ``result.formula`` preserves the
+    variable pool, ``result.reconstruct`` lifts models back to the
+    original formula, and ``result.unsat`` short-circuits refuted inputs.
+    """
+    frozen_set = frozenset(abs(int(literal)) for literal in frozen)
+    simplifier = _Simplifier(formula, frozen_set)
+    for _ in range(max_rounds):
+        simplifier.stats.rounds += 1
+        if not simplifier.propagate_units():
+            break
+        changed = simplifier.substitute_equivalences()
+        if simplifier.stats.unsat or not simplifier.propagate_units():
+            break
+        changed |= simplifier.subsumption_round()
+        if not simplifier.propagate_units():
+            break
+        changed |= simplifier.eliminate_variables(bve_occurrence_limit)
+        if not simplifier.propagate_units():
+            break
+        if not changed and not simplifier.unit_queue:
+            break
+    return simplifier.build_result()

@@ -23,6 +23,35 @@ Branching, restarts and phase polarity are parameterizable so a portfolio
 instance; the defaults reproduce the original single-configuration solver
 exactly.
 
+Hot-loop layout — flat, not object-per-clause
+---------------------------------------------
+
+Propagation dominates solve time, so the clause database is a single
+contiguous ``list[int]`` arena (:attr:`CdclSolver.db`) instead of per-clause
+Python objects.  A clause is referenced by its arena offset (*cref*):
+``db[cref]`` is a packed header ``size << 1 | learned`` and
+``db[cref + 1 : cref + 1 + size]`` are the encoded literals, with the two
+watched literals in slots 0 and 1.  Watch lists are flat, too: for every
+encoded literal, ``watches[lit]`` is ``[cref0, blocker0, cref1, blocker1,
+...]`` where the *blocker* is some other literal of the clause (usually the
+other watch) — when the blocker is already true the clause is satisfied and
+the propagation loop skips it without ever touching the arena, which is the
+common case.  Literal truth values live in a flat ``bytearray``
+(:attr:`CdclSolver.assign`, ``0`` free / ``1`` true / ``2`` false) indexed
+by encoded literal.  Clause activities and LBD scores — touched only on
+conflicts — live in side dicts keyed by cref; learned-clause reduction
+tombstones dead crefs and compacts the arena when more than half of it is
+garbage.
+
+Binary clauses — the bulk of a Tseitin-heavy instance — never enter the
+watch machinery at all.  A clause ``(a, b)`` becomes two implication-list
+entries: ``bins[¬a]`` contains ``b`` and ``bins[¬b]`` contains ``a``
+(indexed by the falsified encoded literal), so propagating them is one
+array scan with no relocation and no arena traffic.  Their *reasons* are
+encoded in-band as negative values (``reason = -other_literal - 1``), and
+a binary conflict is materialized into a fixed two-literal scratch slot of
+the arena (``cref == 1``) for conflict analysis to consume.
+
 Literals are DIMACS integers at the API boundary and are encoded internally
 as ``2*v`` (positive) / ``2*v + 1`` (negative) for array indexing.
 """
@@ -43,6 +72,9 @@ UNKNOWN = "UNKNOWN"
 _ACTIVITY_RESCALE = 1e100
 _ACTIVITY_DECAY = 0.95
 _RESTART_BASE = 128
+
+#: :attr:`CdclSolver.assign` cell states (indexed by encoded literal).
+_FREE, _TRUE, _FALSE = 0, 1, 2
 
 
 @dataclass
@@ -72,18 +104,6 @@ class SolveResult:
     @property
     def is_unsat(self) -> bool:
         return self.status == UNSAT
-
-
-class _Clause:
-    """Mutable clause: positions 0/1 are the watched literals."""
-
-    __slots__ = ("lits", "learned", "activity", "lbd")
-
-    def __init__(self, lits: list[int], learned: bool = False):
-        self.lits = lits
-        self.learned = learned
-        self.activity = 0.0
-        self.lbd = 0
 
 
 def luby(index: int) -> int:
@@ -137,20 +157,34 @@ class CdclSolver:
     ):
         self.num_vars = formula.num_variables
         n = self.num_vars
-        self.assign_lit = [0] * (2 * n + 2)   # per encoded literal: 1 true, -1 false, 0 free
+        self.assign = bytearray(2 * n + 2)    # per encoded literal: _FREE/_TRUE/_FALSE
         self.level = [0] * (n + 1)
-        self.reason: list[_Clause | None] = [None] * (n + 1)
+        self.reason = [0] * (n + 1)           # cref per variable; 0 = no reason
         self.trail: list[int] = []
         self.trail_lim: list[int] = []
         self.qhead = 0
-        self.watches: list[list[_Clause]] = [[] for _ in range(2 * n + 2)]
+        self.watches: list[list[int]] = [[] for _ in range(2 * n + 2)]
         self.activity = [0.0] * (n + 1)
         self.var_inc = 1.0
         self.saved_phase = [phase_default] * (n + 1)
-        self.order_heap: list[tuple[float, int]] = [(0.0, v) for v in range(1, n + 1)]
-        heapq.heapify(self.order_heap)
-        self.clauses: list[_Clause] = []
-        self.learned: list[_Clause] = []
+        # Variables that appear in no clause need never be decided: models
+        # report their saved phase directly.  Preprocessed instances leave
+        # many eliminated variables in the pool (literal numbering must
+        # survive), so branching only over constrained variables keeps the
+        # search space at the simplified instance's true size.
+        self.in_use = bytearray(n + 1)
+        self.order_heap: list[tuple[float, int]] = []
+        # Arena cell 0 is a sentinel ("no reason"); cells 1..3 are the
+        # scratch clause binary conflicts are materialized into.
+        self.db: list[int] = [0, 2 << 1, 0, 0]
+        self.bins: list[list[int]] = [[] for _ in range(2 * n + 2)]
+        self.clauses: list[int] = []          # problem crefs (3+ literals)
+        self.num_problem_clauses = 0          # binaries included
+        self.learned: list[int] = []          # learned crefs (3+ literals)
+        self.learned_binaries = 0
+        self.c_act: dict[int, float] = {}     # learned-clause activities
+        self.c_lbd: dict[int, int] = {}       # learned-clause LBD scores
+        self._garbage = 0                     # tombstoned arena cells
         self.clause_inc = 1.0
         self.root_conflict = False
         self.propagation_count = 0
@@ -199,8 +233,28 @@ class CdclSolver:
     def _encode(literal: int) -> int:
         return (literal << 1) if literal > 0 else ((-literal) << 1) | 1
 
-    def _value(self, encoded: int) -> int:
-        return self.assign_lit[encoded]
+    # -- clause arena ----------------------------------------------------------
+
+    def _alloc(self, lits: list[int], learned: bool) -> int:
+        db = self.db
+        cref = len(db)
+        db.append(len(lits) << 1 | int(learned))
+        db.extend(lits)
+        return cref
+
+    def _mark_used(self, encoded: int) -> None:
+        variable = encoded >> 1
+        if not self.in_use[variable]:
+            self.in_use[variable] = 1
+            heapq.heappush(self.order_heap, (-self.activity[variable], variable))
+
+    def _watch(self, cref: int, lit0: int, lit1: int) -> None:
+        watch = self.watches[lit0]
+        watch.append(cref)
+        watch.append(lit1)
+        watch = self.watches[lit1]
+        watch.append(cref)
+        watch.append(lit0)
 
     # -- setup ------------------------------------------------------------------
 
@@ -217,71 +271,145 @@ class CdclSolver:
             elif previous != encoded:
                 return  # tautology: v OR NOT v
         # Drop root-falsified literals eagerly; keep semantics identical.
-        lits = [lit for lit in lits if not (self._value(lit) == -1 and self.level[lit >> 1] == 0)]
-        if any(self._value(lit) == 1 and self.level[lit >> 1] == 0 for lit in lits):
+        assign = self.assign
+        level = self.level
+        lits = [lit for lit in lits if not (assign[lit] == _FALSE and level[lit >> 1] == 0)]
+        if any(assign[lit] == _TRUE and level[lit >> 1] == 0 for lit in lits):
             return
         if not lits:
             self.root_conflict = True
             return
+        for lit in lits:
+            self._mark_used(lit)
         if len(lits) == 1:
-            if self._value(lits[0]) == -1:
+            if assign[lits[0]] == _FALSE:
                 self.root_conflict = True
-            elif self._value(lits[0]) == 0:
-                self._enqueue(lits[0], None)
-                if self._propagate() is not None:
+            elif assign[lits[0]] == _FREE:
+                self._enqueue(lits[0], 0)
+                if self._propagate():
                     self.root_conflict = True
             return
-        clause = _Clause(lits)
-        self.clauses.append(clause)
-        self.watches[lits[0]].append(clause)
-        self.watches[lits[1]].append(clause)
+        self.num_problem_clauses += 1
+        if len(lits) == 2:
+            # ``bins`` is indexed by the falsified in-clause literal.
+            self.bins[lits[0]].append(lits[1])
+            self.bins[lits[1]].append(lits[0])
+            return
+        cref = self._alloc(lits, learned=False)
+        self.clauses.append(cref)
+        self._watch(cref, lits[0], lits[1])
 
     # -- assignment / propagation --------------------------------------------------
 
-    def _enqueue(self, encoded: int, reason: _Clause | None) -> None:
+    def _enqueue(self, encoded: int, reason: int) -> None:
         variable = encoded >> 1
-        self.assign_lit[encoded] = 1
-        self.assign_lit[encoded ^ 1] = -1
+        self.assign[encoded] = _TRUE
+        self.assign[encoded ^ 1] = _FALSE
         self.level[variable] = len(self.trail_lim)
         self.reason[variable] = reason
         self.trail.append(encoded)
 
-    def _propagate(self) -> _Clause | None:
+    def _propagate(self) -> int:
+        """Propagate the trail to fixpoint; returns a conflict cref or 0."""
+        db = self.db
+        assign = self.assign
+        watches = self.watches
+        bins = self.bins
+        trail = self.trail
+        level = self.level
+        reason = self.reason
+        current_level = len(self.trail_lim)
+        qhead = self.qhead
         propagations = 0
-        while self.qhead < len(self.trail):
-            lit = self.trail[self.qhead]
-            self.qhead += 1
+        while qhead < len(trail):
+            lit = trail[qhead]
+            qhead += 1
             propagations += 1
             falsified = lit ^ 1
-            old_watchers = self.watches[falsified]
-            kept: list[_Clause] = []
-            self.watches[falsified] = kept
-            assign_lit = self.assign_lit
-            for position, clause in enumerate(old_watchers):
-                lits = clause.lits
-                if lits[0] == falsified:
-                    lits[0], lits[1] = lits[1], lits[0]
-                first = lits[0]
-                if assign_lit[first] == 1:
-                    kept.append(clause)
+            # Binary implications first: cheapest, and any unit they force
+            # prunes the long-clause scan below.
+            for implied in bins[falsified]:
+                value = assign[implied]
+                if value == _TRUE:
                     continue
+                if value == _FALSE:
+                    db[2] = implied
+                    db[3] = falsified
+                    self.qhead = qhead
+                    self.propagation_count += propagations
+                    return 1
+                variable = implied >> 1
+                assign[implied] = _TRUE
+                assign[implied ^ 1] = _FALSE
+                level[variable] = current_level
+                reason[variable] = -falsified - 1
+                trail.append(implied)
+            ws = watches[falsified]
+            i = j = 0
+            end = len(ws)
+            while i < end:
+                cref = ws[i]
+                blocker = ws[i + 1]
+                if assign[blocker] == _TRUE:
+                    ws[j] = cref
+                    ws[j + 1] = blocker
+                    j += 2
+                    i += 2
+                    continue
+                base = cref + 1
+                first = db[base]
+                if first == falsified:
+                    first = db[base + 1]
+                    db[base] = first
+                    db[base + 1] = falsified
+                if assign[first] == _TRUE:
+                    ws[j] = cref
+                    ws[j + 1] = first
+                    j += 2
+                    i += 2
+                    continue
+                stop = base + (db[cref] >> 1)
+                k = base + 2
                 moved = False
-                for k in range(2, len(lits)):
-                    if assign_lit[lits[k]] != -1:
-                        lits[1], lits[k] = lits[k], lits[1]
-                        self.watches[lits[1]].append(clause)
+                while k < stop:
+                    other = db[k]
+                    if assign[other] != _FALSE:
+                        db[base + 1] = other
+                        db[k] = falsified
+                        moved_watch = watches[other]
+                        moved_watch.append(cref)
+                        moved_watch.append(first)
                         moved = True
                         break
+                    k += 1
                 if moved:
+                    i += 2
                     continue
-                kept.append(clause)
-                if assign_lit[first] == -1:
-                    kept.extend(old_watchers[position + 1:])
+                ws[j] = cref
+                ws[j + 1] = first
+                j += 2
+                i += 2
+                if assign[first] == _FALSE:
+                    # Conflict: keep the remaining watchers and report.
+                    while i < end:
+                        ws[j] = ws[i]
+                        ws[j + 1] = ws[i + 1]
+                        j += 2
+                        i += 2
+                    del ws[j:]
+                    self.qhead = qhead
                     self.propagation_count += propagations
-                    return clause
-                self._enqueue(first, clause)
+                    return cref
+                variable = first >> 1
+                assign[first] = _TRUE
+                assign[first ^ 1] = _FALSE
+                level[variable] = current_level
+                reason[variable] = cref
+                trail.append(first)
+            del ws[j:]
+        self.qhead = qhead
         self.propagation_count += propagations
-        return None
+        return 0
 
     # -- branching ------------------------------------------------------------------
 
@@ -302,41 +430,52 @@ class CdclSolver:
             # through to VSIDS when they all land on assigned variables.
             for _ in range(8):
                 variable = self._rng.randint(1, self.num_vars)
-                if self.assign_lit[variable << 1] == 0:
+                if self.assign[variable << 1] == _FREE and self.in_use[variable]:
                     return variable
         while self.order_heap:
             _, variable = heapq.heappop(self.order_heap)
-            if self.assign_lit[variable << 1] == 0:
+            if self.assign[variable << 1] == _FREE:
                 return variable
         for variable in range(1, self.num_vars + 1):
-            if self.assign_lit[variable << 1] == 0:
+            if self.assign[variable << 1] == _FREE and self.in_use[variable]:
                 return variable
         return None
 
     # -- conflict analysis --------------------------------------------------------------
 
-    def _analyze(self, conflict: _Clause) -> tuple[list[int], int]:
+    def _analyze(self, conflict: int) -> tuple[list[int], int]:
         """First-UIP analysis with clause minimization.
 
         Returns (learnt clause, backtrack level).
         """
+        db = self.db
+        level = self.level
+        reason = self.reason
         learnt: list[int] = [0]
         seen = bytearray(self.num_vars + 1)
         current_level = len(self.trail_lim)
         path_count = 0
         resolved_lit = -1
         index = len(self.trail) - 1
-        clause = conflict
+        cref = conflict
 
         while True:
-            clause.activity += self.clause_inc
-            start = 0 if resolved_lit == -1 else 1
-            for encoded in clause.lits[start:]:
+            if cref < 0:
+                # Implicit binary reason: lits[1:] is the single stored
+                # literal (lits[0] is the implied literal, skipped).
+                antecedents = (-cref - 1,)
+            else:
+                header = db[cref]
+                if header & 1:
+                    self.c_act[cref] += self.clause_inc
+                start = cref + 1 if resolved_lit == -1 else cref + 2
+                antecedents = db[start:cref + 1 + (header >> 1)]
+            for encoded in antecedents:
                 variable = encoded >> 1
-                if not seen[variable] and self.level[variable] > 0:
+                if not seen[variable] and level[variable] > 0:
                     seen[variable] = 1
                     self._bump_variable(variable)
-                    if self.level[variable] >= current_level:
+                    if level[variable] >= current_level:
                         path_count += 1
                     else:
                         learnt.append(encoded)
@@ -348,7 +487,7 @@ class CdclSolver:
             index -= 1
             if path_count <= 0:
                 break
-            clause = self.reason[variable]
+            cref = reason[variable]
 
         learnt[0] = resolved_lit ^ 1
 
@@ -356,10 +495,10 @@ class CdclSolver:
         # clause (MiniSat's recursive litRedundant with abstract levels).
         abstract_levels = 0
         for encoded in learnt[1:]:
-            abstract_levels |= 1 << (self.level[encoded >> 1] & 31)
+            abstract_levels |= 1 << (level[encoded >> 1] & 31)
         minimized = [learnt[0]]
         for encoded in learnt[1:]:
-            if self.reason[encoded >> 1] is None or not self._literal_redundant(
+            if reason[encoded >> 1] == 0 or not self._literal_redundant(
                 encoded, seen, abstract_levels
             ):
                 minimized.append(encoded)
@@ -370,26 +509,33 @@ class CdclSolver:
         # Find the second-highest decision level and watch that literal.
         max_index = 1
         for k in range(2, len(learnt)):
-            if self.level[learnt[k] >> 1] > self.level[learnt[max_index] >> 1]:
+            if level[learnt[k] >> 1] > level[learnt[max_index] >> 1]:
                 max_index = k
         learnt[1], learnt[max_index] = learnt[max_index], learnt[1]
-        return learnt, self.level[learnt[1] >> 1]
+        return learnt, level[learnt[1] >> 1]
 
     def _literal_redundant(self, literal: int, seen: bytearray, abstract_levels: int) -> bool:
         """True when ``literal``'s implication closure lies inside the learnt
         clause — it can then be removed without weakening the clause."""
+        db = self.db
+        level = self.level
+        reason = self.reason
         stack = [literal]
         newly_marked: list[int] = []
         while stack:
             top = stack.pop()
-            reason = self.reason[top >> 1]
-            for encoded in reason.lits[1:]:
+            cref = reason[top >> 1]
+            if cref < 0:
+                antecedents = (-cref - 1,)
+            else:
+                antecedents = db[cref + 2:cref + 1 + (db[cref] >> 1)]
+            for encoded in antecedents:
                 variable = encoded >> 1
-                if seen[variable] or self.level[variable] == 0:
+                if seen[variable] or level[variable] == 0:
                     continue
                 if (
-                    self.reason[variable] is not None
-                    and (1 << (self.level[variable] & 31)) & abstract_levels
+                    reason[variable] != 0
+                    and (1 << (level[variable] & 31)) & abstract_levels
                 ):
                     seen[variable] = 1
                     newly_marked.append(variable)
@@ -404,11 +550,12 @@ class CdclSolver:
         if len(self.trail_lim) <= target_level:
             return
         boundary = self.trail_lim[target_level]
+        assign = self.assign
         for encoded in reversed(self.trail[boundary:]):
             variable = encoded >> 1
-            self.assign_lit[encoded] = 0
-            self.assign_lit[encoded ^ 1] = 0
-            self.reason[variable] = None
+            assign[encoded] = _FREE
+            assign[encoded ^ 1] = _FREE
+            self.reason[variable] = 0
             self.saved_phase[variable] = (encoded & 1) == 0
             heapq.heappush(self.order_heap, (-self.activity[variable], variable))
         del self.trail[boundary:]
@@ -417,26 +564,76 @@ class CdclSolver:
 
     def _record_learnt(self, learnt: list[int]) -> None:
         if len(learnt) == 1:
-            self._enqueue(learnt[0], None)
+            self._enqueue(learnt[0], 0)
             return
-        clause = _Clause(learnt, learned=True)
-        clause.lbd = len({self.level[encoded >> 1] for encoded in learnt})
-        self.learned.append(clause)
-        self.watches[learnt[0]].append(clause)
-        self.watches[learnt[1]].append(clause)
-        self._enqueue(learnt[0], clause)
+        if len(learnt) == 2:
+            # Learned binaries join the implication lists permanently —
+            # they are exactly the LBD <= 2 clauses reduction never drops.
+            self.bins[learnt[0]].append(learnt[1])
+            self.bins[learnt[1]].append(learnt[0])
+            self.learned_binaries += 1
+            self._enqueue(learnt[0], -learnt[1] - 1)
+            return
+        cref = self._alloc(learnt, learned=True)
+        level = self.level
+        self.c_act[cref] = 0.0
+        self.c_lbd[cref] = len({level[encoded >> 1] for encoded in learnt})
+        self.learned.append(cref)
+        self._watch(cref, learnt[0], learnt[1])
+        self._enqueue(learnt[0], cref)
 
     def _reduce_learned(self) -> None:
-        locked = {id(self.reason[encoded >> 1]) for encoded in self.trail if self.reason[encoded >> 1]}
-        self.learned.sort(key=lambda c: (c.lbd, -c.activity))
+        locked = {self.reason[encoded >> 1] for encoded in self.trail}
+        locked.discard(0)
+        c_act = self.c_act
+        c_lbd = self.c_lbd
+        self.learned.sort(key=lambda cref: (c_lbd[cref], -c_act[cref]))
         keep_count = len(self.learned) // 2
         keep, drop = self.learned[:keep_count], self.learned[keep_count:]
-        survivors = [clause for clause in drop if id(clause) in locked or clause.lbd <= 2]
-        removed = {id(clause) for clause in drop if id(clause) not in locked and clause.lbd > 2}
+        survivors = [cref for cref in drop if cref in locked or c_lbd[cref] <= 2]
+        removed = {cref for cref in drop if cref not in locked and c_lbd[cref] > 2}
         self.learned = keep + survivors
-        if removed:
-            for watch_list in self.watches:
-                watch_list[:] = [clause for clause in watch_list if id(clause) not in removed]
+        if not removed:
+            return
+        db = self.db
+        for watch_list in self.watches:
+            j = 0
+            for i in range(0, len(watch_list), 2):
+                cref = watch_list[i]
+                if cref not in removed:
+                    watch_list[j] = cref
+                    watch_list[j + 1] = watch_list[i + 1]
+                    j += 2
+            del watch_list[j:]
+        for cref in removed:
+            self._garbage += (db[cref] >> 1) + 1
+            del c_act[cref]
+            del c_lbd[cref]
+        if 2 * self._garbage > len(db):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the arena without tombstoned clauses, remapping crefs."""
+        old_db = self.db
+        new_db = old_db[:4]  # sentinel + binary-conflict scratch slot
+        mapping: dict[int, int] = {0: 0}
+        for group in (self.clauses, self.learned):
+            for index, cref in enumerate(group):
+                size = old_db[cref] >> 1
+                new_cref = len(new_db)
+                mapping[cref] = new_cref
+                new_db.extend(old_db[cref:cref + 1 + size])
+                group[index] = new_cref
+        self.db = new_db
+        self._garbage = 0
+        self.c_act = {mapping[cref]: act for cref, act in self.c_act.items()}
+        self.c_lbd = {mapping[cref]: lbd for cref, lbd in self.c_lbd.items()}
+        # Negative entries are in-band binary reasons; they name literals,
+        # not arena offsets, and survive compaction unchanged.
+        self.reason = [r if r <= 0 else mapping[r] for r in self.reason]
+        for watch_list in self.watches:
+            for i in range(0, len(watch_list), 2):
+                watch_list[i] = mapping[watch_list[i]]
 
     # -- main loop -----------------------------------------------------------------------
 
@@ -468,7 +665,7 @@ class CdclSolver:
         conflicts = 0
         decisions = 0
         restarts = 0
-        max_learned = max(4000, 2 * len(self.clauses))
+        max_learned = max(4000, 2 * self.num_problem_clauses)
         assumed: list[int] = []
         for literal in assumptions or ():
             if literal == 0 or abs(literal) > self.num_vars:
@@ -489,23 +686,24 @@ class CdclSolver:
                 restarts=restarts,
                 elapsed_s=time.monotonic() - start,
                 under_assumptions=under_assumptions,
-                learned_clauses=len(self.learned),
+                learned_clauses=len(self.learned) + self.learned_binaries,
             )
 
         # A previous call may have left the trail at a decision level.
         self._backtrack(0)
         if self.root_conflict:
             return result(UNSAT)
-        if self._propagate() is not None:
+        if self._propagate():
             self.root_conflict = True
             return result(UNSAT)
 
         restart_limit = luby(1) * self.restart_base
         conflicts_since_restart = 0
+        assign = self.assign
 
         while True:
             conflict = self._propagate()
-            if conflict is not None:
+            if conflict:
                 conflicts += 1
                 conflicts_since_restart += 1
                 if len(self.trail_lim) == 0:
@@ -538,25 +736,29 @@ class CdclSolver:
                 # decision level so backtracking bookkeeping stays aligned
                 # with the assumption index.
                 encoded = assumed[len(self.trail_lim)]
-                value = self.assign_lit[encoded]
-                if value == -1:
+                value = assign[encoded]
+                if value == _FALSE:
                     return result(UNSAT, under_assumptions=True)
                 self.trail_lim.append(len(self.trail))
-                if value == 0:
-                    self._enqueue(encoded, None)
+                if value == _FREE:
+                    self._enqueue(encoded, 0)
                 continue
 
             variable = self._pick_branch_variable()
             if variable is None:
+                saved_phase = self.saved_phase
+                # Unconstrained variables are never decided; they take
+                # their saved phase, exactly as a decision on them would.
                 model = {
-                    v: self.assign_lit[v << 1] == 1
+                    v: saved_phase[v] if assign[v << 1] == _FREE
+                    else assign[v << 1] == _TRUE
                     for v in range(1, self.num_vars + 1)
                 }
                 return result(SAT, model)
             decisions += 1
             self.trail_lim.append(len(self.trail))
             encoded = (variable << 1) | (0 if self.saved_phase[variable] else 1)
-            self._enqueue(encoded, None)
+            self._enqueue(encoded, 0)
 
 
 def solve_formula(

@@ -106,3 +106,41 @@ class TestHamiltonianDependent:
         config = FermihedralConfig(budget=SolverBudget(time_budget_s=30))
         result = descend(4, config=config, hamiltonian=hamiltonian)
         assert result.encoding.hamiltonian_pauli_weight(hamiltonian) == result.weight
+
+
+class TestPreprocessing:
+    """CNF preprocessing is an execution-only knob: same optima, same
+    proofs, decoded models always valid."""
+
+    @pytest.mark.parametrize("num_modes", [2, 3])
+    def test_preprocess_preserves_optimum_and_proof(self, num_modes):
+        results = {}
+        for preprocess in (True, False):
+            config = FermihedralConfig(
+                preprocess=preprocess, budget=SolverBudget(time_budget_s=30)
+            )
+            results[preprocess] = descend(num_modes, config)
+        assert results[True].weight == results[False].weight
+        assert results[True].proved_optimal == results[False].proved_optimal
+        for result in results.values():
+            assert verify_encoding(result.encoding).valid
+
+    def test_preprocess_with_repair_loop(self):
+        """w/o-Alg mode adds blocking clauses over frozen encoding
+        variables to the live (preprocessed) instance."""
+        config = FermihedralConfig(
+            algebraic_independence=False,
+            budget=SolverBudget(time_budget_s=30),
+        )
+        result = descend(2, config)
+        assert result.proved_optimal
+        assert verify_encoding(result.encoding).valid
+
+    def test_preprocess_with_qubit_weights(self):
+        config = FermihedralConfig(
+            qubit_weights=(1, 2), budget=SolverBudget(time_budget_s=30)
+        )
+        plain = descend(2, config.with_parallelism(preprocess=False))
+        simplified = descend(2, config)
+        assert simplified.weight == plain.weight
+        assert simplified.proved_optimal == plain.proved_optimal

@@ -1,0 +1,183 @@
+"""Totalizer cardinality: bound semantics, ladder selector contract, size
+predictions, and agreement with the sequential counter."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat import (
+    CdclSolver,
+    CnfFormula,
+    add_at_most_ladder,
+    add_totalizer_at_most_k,
+    add_totalizer_ladder,
+    dpll_solve,
+    predict_sequential_ladder,
+    predict_totalizer_ladder,
+)
+
+
+class TestAtMostK:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 7), st.integers(0, 7), st.integers(0, 127))
+    def test_agrees_with_popcount(self, n, k, assignment_bits):
+        bits = [(assignment_bits >> i) & 1 == 1 for i in range(n)]
+        formula = CnfFormula()
+        inputs = formula.new_variables(n)
+        add_totalizer_at_most_k(formula, inputs, k)
+        for variable, bit in zip(inputs, bits):
+            formula.add_unit(variable if bit else -variable)
+        assert dpll_solve(formula).is_sat == (sum(bits) <= k)
+
+    def test_model_counts_match_sequential(self):
+        """Both encodings admit exactly the same projections onto the
+        input variables."""
+        from math import comb
+
+        for n, k in ((3, 1), (4, 2), (5, 3)):
+            satisfiable = 0
+            for bits in itertools.product([False, True], repeat=n):
+                formula = CnfFormula()
+                inputs = formula.new_variables(n)
+                add_totalizer_at_most_k(formula, inputs, k)
+                for variable, bit in zip(inputs, bits):
+                    formula.add_unit(variable if bit else -variable)
+                if dpll_solve(formula).is_sat:
+                    satisfiable += 1
+            assert satisfiable == sum(comb(n, i) for i in range(k + 1))
+
+    def test_bound_above_length_is_noop(self):
+        formula = CnfFormula()
+        inputs = formula.new_variables(3)
+        add_totalizer_at_most_k(formula, inputs, 5)
+        assert formula.num_clauses == 0
+
+    def test_bound_zero_forces_all_false(self):
+        formula = CnfFormula()
+        inputs = formula.new_variables(3)
+        add_totalizer_at_most_k(formula, inputs, 0)
+        result = dpll_solve(formula)
+        assert result.is_sat
+        assert not any(result.model[v] for v in inputs)
+
+    def test_negative_bound_rejected(self):
+        formula = CnfFormula()
+        inputs = formula.new_variables(2)
+        with pytest.raises(ValueError):
+            add_totalizer_at_most_k(formula, inputs, -1)
+
+
+class TestLadder:
+    def test_ladder_bounds_match_bruteforce(self):
+        rng = random.Random(7)
+        for _ in range(40):
+            count = rng.randint(1, 6)
+            formula = CnfFormula()
+            literals = formula.new_variables(count)
+            max_bound = rng.randint(0, count + 2)
+            selectors = add_totalizer_ladder(formula, literals, max_bound)
+            assert len(selectors) == max_bound + 1
+            forced = [v for v in literals if rng.random() < 0.5]
+            solver = CdclSolver(formula)
+            for bound in range(max_bound + 1):
+                result = solver.solve(assumptions=[selectors[bound]] + forced)
+                assert result.is_sat == (len(forced) <= bound)
+                if result.is_sat:
+                    assert sum(result.model[v] for v in literals) <= bound
+
+    def test_same_selector_contract_as_sequential(self):
+        """Any descent loop built on one ladder runs unchanged on the
+        other: selectors enforce the same bounds."""
+        for builder in (add_at_most_ladder, add_totalizer_ladder):
+            formula = CnfFormula()
+            literals = formula.new_variables(6)
+            formula.add_clause(literals[:3])
+            formula.add_clause(literals[3:])
+            selectors = builder(formula, literals, 6)
+            solver = CdclSolver(formula)
+            statuses = [
+                solver.solve(assumptions=[selectors[b]]).status
+                for b in range(6, -1, -1)
+            ]
+            assert statuses == ["SAT"] * 5 + ["UNSAT", "UNSAT"]
+
+    def test_vacuous_bounds_are_tautological(self):
+        formula = CnfFormula()
+        a, b = formula.new_variables(2)
+        selectors = add_totalizer_ladder(formula, [a, b], 4)
+        solver = CdclSolver(formula)
+        result = solver.solve(assumptions=[selectors[4], a, b])
+        assert result.is_sat
+
+    def test_empty_literals(self):
+        formula = CnfFormula()
+        selectors = add_totalizer_ladder(formula, [], 2)
+        assert len(selectors) == 3
+        solver = CdclSolver(formula)
+        assert solver.solve(assumptions=[selectors[0]]).is_sat
+
+    def test_negative_bound_rejected(self):
+        formula = CnfFormula()
+        a = formula.new_variable()
+        with pytest.raises(ValueError):
+            add_totalizer_ladder(formula, [a], -1)
+
+
+class TestPrediction:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 40), st.integers(0, 30))
+    def test_totalizer_prediction_is_exact(self, count, max_bound):
+        formula = CnfFormula()
+        literals = formula.new_variables(count)
+        variables_before = formula.num_variables
+        clauses_before = formula.num_clauses
+        add_totalizer_ladder(formula, literals, max_bound)
+        predicted_vars, predicted_clauses = predict_totalizer_ladder(count, max_bound)
+        assert formula.num_variables - variables_before == predicted_vars
+        assert formula.num_clauses - clauses_before == predicted_clauses
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 40), st.integers(0, 30))
+    def test_sequential_prediction_is_exact(self, count, max_bound):
+        formula = CnfFormula()
+        literals = formula.new_variables(count)
+        variables_before = formula.num_variables
+        clauses_before = formula.num_clauses
+        add_at_most_ladder(formula, literals, max_bound)
+        predicted_vars, predicted_clauses = predict_sequential_ladder(count, max_bound)
+        assert formula.num_variables - variables_before == predicted_vars
+        assert formula.num_clauses - clauses_before == predicted_clauses
+
+    def test_totalizer_wins_for_small_bounds_over_many_literals(self):
+        _, sequential = predict_sequential_ladder(72, 38)
+        _, totalizer = predict_totalizer_ladder(72, 38)
+        assert totalizer < sequential
+
+
+class TestEncoderChooser:
+    def test_weight_ladder_encodings_agree(self):
+        from repro.core.encoder import FermihedralEncoder
+
+        statuses = {}
+        for encoding in ("sequential", "totalizer", "auto"):
+            encoder = FermihedralEncoder(2)
+            encoder.add_anticommutativity()
+            indicators = encoder.majorana_weight_indicators()
+            selectors = encoder.weight_ladder(indicators, 8, encoding=encoding)
+            solver = CdclSolver(encoder.formula)
+            statuses[encoding] = [
+                solver.solve(assumptions=[selectors[b]]).status
+                for b in range(8, -1, -1)
+            ]
+        assert statuses["sequential"] == statuses["totalizer"] == statuses["auto"]
+
+    def test_unknown_encoding_rejected(self):
+        from repro.core.encoder import FermihedralEncoder
+
+        encoder = FermihedralEncoder(2)
+        indicators = encoder.majorana_weight_indicators()
+        with pytest.raises(ValueError):
+            encoder.weight_ladder(indicators, 4, encoding="unary")
