@@ -1,0 +1,202 @@
+"""Service-layer benchmark — warm request throughput over HTTP.
+
+Not a paper table; measures the front door the serving roadmap items
+build on.  A real daemon is started on an ephemeral port with a
+pre-warmed cache, then hammered by concurrent clients — the workload
+shape of many users compiling against one shared cache, where every
+request is answered without a SAT call.  The two submission paths are
+measured separately because they exercise different machinery:
+
+* **submit-hit** — ``POST /jobs`` of a *first-seen* fingerprint whose
+  result is already in the cache: fingerprinting + a real cache read
+  and decode, answered synchronously.  (Each request uses a distinct
+  pre-warmed fingerprint so the in-memory registry can never answer.)
+* **submit-dedup** — ``POST /jobs`` of a fingerprint the registry
+  already owns: the in-memory collapse path duplicate-heavy traffic
+  takes.
+* **poll** — ``GET /jobs/<id>`` *with* the full result payload
+  (serialization + transport of the versioned result schema).
+* **poll-light** — ``GET /jobs/<id>?result=0`` (queue-state polling).
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py --json DIR
+
+or under pytest (``python -m pytest benchmarks/bench_service_throughput.py``)
+for a scaled-down smoke version.  ``FERMIHEDRAL_BENCH_SHOTS`` resizes
+the request count.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import _harness
+from _harness import int_env, report
+
+from repro.core import FermihedralCompiler, FermihedralConfig, SolverBudget
+from repro.service import CompilationService, ServiceClient, ServiceServer
+from repro.store import CompilationCache
+
+#: Concurrent client threads (the HTTP server is threaded too).
+CLIENTS = 8
+
+
+def _timed_loop(client_count: int, requests: int, make_call) -> float:
+    """Run ``requests`` calls across ``client_count`` threads; returns req/s."""
+    counter = iter(range(requests))
+    lock = threading.Lock()
+
+    def worker():
+        while True:
+            with lock:
+                if next(counter, None) is None:
+                    return
+            make_call()
+
+    threads = [threading.Thread(target=worker) for _ in range(client_count)]
+    started = time.monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return requests / max(time.monotonic() - started, 1e-9)
+
+
+def _prewarm_distinct_keys(cache_dir: Path, config, count: int) -> list[dict]:
+    """``count`` distinct cache-hit specs, each its own fingerprint.
+
+    One real compile produces the result; it is then stored under the
+    keys of ``count`` budget-variant jobs (the budget is part of the
+    fingerprint, so each variant is a distinct first-seen submission
+    that must be answered by an actual cache read, never by the
+    in-memory registry).
+    """
+    import dataclasses
+
+    from repro.core import SolverBudget as Budget
+
+    cache = CompilationCache(cache_dir)
+    result = FermihedralCompiler(2, config, cache=cache).compile(
+        method="independent"
+    )
+    specs = []
+    base_s = config.budget.time_budget_s
+    for offset in range(1, count + 1):
+        budget_s = base_s + offset
+        variant = dataclasses.replace(config, budget=Budget(time_budget_s=budget_s))
+        cache.put(
+            cache.key_for(num_modes=2, config=variant, method="independent"),
+            result,
+        )
+        specs.append({
+            "modes": 2, "method": "independent",
+            "config": {"budget_s": budget_s},
+        })
+    return specs
+
+
+def run_bench(requests: int, budget_s: float) -> dict:
+    config = FermihedralConfig(budget=SolverBudget(time_budget_s=budget_s))
+    with tempfile.TemporaryDirectory() as root:
+        cache_dir = Path(root) / "cache"
+        hit_specs = _prewarm_distinct_keys(cache_dir, config, requests)
+
+        service = CompilationService(
+            cache=CompilationCache(cache_dir),
+            default_config=config,
+            use_processes=False,  # hits never reach a worker anyway
+            queue_limit=max(64, requests),
+            max_records=2 * requests + 64,
+        ).start()
+        server = ServiceServer(("127.0.0.1", 0), service)
+        thread = threading.Thread(target=server.serve_until_stopped, daemon=True)
+        thread.start()
+        try:
+            client = ServiceClient(server.url, timeout=30.0)
+            spec = {"modes": 2, "method": "independent"}
+            record = client.submit(spec)
+            assert record["status"] == "done", "expected a synchronous hit"
+            job_id = record["id"]
+
+            remaining = iter(hit_specs)
+            pick = threading.Lock()
+
+            def submit_hit():
+                with pick:
+                    hit_spec = next(remaining)
+                assert client.submit(hit_spec)["status"] == "done"
+
+            def submit_dedup():
+                assert client.submit(spec)["status"] == "done"
+
+            def poll():
+                client.job(job_id)
+
+            def poll_light():
+                client.job(job_id, include_result=False)
+
+            submit_hit_rps = _timed_loop(CLIENTS, requests, submit_hit)
+            stats = client.stats()["counters"]
+            assert stats["cache_hits"] >= requests, \
+                "submit-hit arm was not answered from the cache"
+            submit_dedup_rps = _timed_loop(CLIENTS, requests, submit_dedup)
+            poll_rps = _timed_loop(CLIENTS, requests, poll)
+            poll_light_rps = _timed_loop(CLIENTS, requests, poll_light)
+        finally:
+            client.shutdown(drain=False)
+            thread.join(timeout=30.0)
+    return {
+        "requests": requests,
+        "clients": CLIENTS,
+        "submit_hit_rps": round(submit_hit_rps, 1),
+        "submit_dedup_rps": round(submit_dedup_rps, 1),
+        "poll_rps": round(poll_rps, 1),
+        "poll_light_rps": round(poll_light_rps, 1),
+    }
+
+
+def _report(data: dict) -> None:
+    lines = [
+        f"workload: {data['requests']} requests x {data['clients']} "
+        f"concurrent clients, warm cache (modes=2)",
+        f"submit (first-seen key, real cache read) "
+        f"{data['submit_hit_rps']:8.1f} req/s",
+        f"submit (duplicate key, registry dedup)   "
+        f"{data['submit_dedup_rps']:8.1f} req/s",
+        f"poll   (GET /jobs/<id>, full result)     "
+        f"{data['poll_rps']:8.1f} req/s",
+        f"poll   (GET /jobs/<id>?result=0)         "
+        f"{data['poll_light_rps']:8.1f} req/s",
+    ]
+    report("service_throughput", "\n".join(lines), data=data)
+
+
+def test_service_throughput():
+    data = run_bench(
+        requests=int_env("FERMIHEDRAL_BENCH_SHOTS", 200), budget_s=30.0
+    )
+    _report(data)
+    # Sanity floor, far below any healthy machine: the service must not
+    # be orders of magnitude slower than a bare file read.
+    assert data["submit_hit_rps"] > 20
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", default=None, metavar="DIR",
+                        help="also write BENCH_service_throughput.json here")
+    parser.add_argument("--requests", type=int,
+                        default=int_env("FERMIHEDRAL_BENCH_SHOTS", 500))
+    arguments = parser.parse_args()
+    if arguments.json:
+        _harness.JSON_DIR = arguments.json
+    _report(run_bench(requests=arguments.requests, budget_s=30.0))

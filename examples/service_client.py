@@ -1,0 +1,79 @@
+"""Drive the compilation service end to end, in one process.
+
+Starts a daemon on an ephemeral port (exactly what ``repro serve``
+does), submits a burst of jobs containing duplicates through the typed
+client, polls them to completion, and shows the dedup/cache counters.
+Against a long-running shared daemon you would skip the server setup and
+just point ``ServiceClient`` at its URL (or set ``$REPRO_SERVICE_URL``).
+
+Run:
+    PYTHONPATH=src python examples/service_client.py
+"""
+
+import tempfile
+import threading
+
+from repro.core import FermihedralConfig, SolverBudget
+from repro.service import CompilationService, ServiceClient, ServiceServer
+from repro.store import CompilationCache
+
+JOBS = [
+    {"modes": 2, "method": "independent"},
+    {"modes": 3, "method": "independent"},
+    {"modes": 2, "method": "independent", "label": "duplicate of the first"},
+    {"model": "h2", "method": "sat-anl", "config": {"budget_s": 60}},
+]
+
+
+def main() -> None:
+    cache_dir = tempfile.mkdtemp(prefix="fermihedral-service-")
+    service = CompilationService(
+        cache=CompilationCache(cache_dir),
+        default_config=FermihedralConfig(
+            budget=SolverBudget(time_budget_s=60.0)
+        ),
+        jobs=2,                     # worker processes draining the queue
+        queue_limit=16,             # submissions beyond this get HTTP 429
+    ).start()
+    server = ServiceServer(("127.0.0.1", 0), service)
+    threading.Thread(target=server.serve_until_stopped, daemon=True).start()
+    print(f"service listening at {server.url} (cache: {cache_dir})\n")
+
+    client = ServiceClient(server.url)
+
+    # Submit everything first — the queue is asynchronous, duplicates
+    # collapse onto one job id, and nothing blocks until we poll.
+    submitted = []
+    for spec in JOBS:
+        record = client.submit(spec)
+        submitted.append(record)
+        note = "deduplicated" if record["deduplicated"] else record["status"]
+        print(f"submitted {record['label'] or record['modes']}: "
+              f"{record['id'][:12]} ({note})")
+
+    print("\npolling:")
+    for record in submitted:
+        final = client.wait(record["id"], timeout=600.0)
+        result = client.result(final)
+        print(f"  {final['label'] or final['modes']}: {final['outcome']}, "
+              f"weight {result.weight}, optimal={result.proved_optimal}")
+
+    # A repeat submission is now answered from the finished record; a
+    # fresh daemon over the same cache directory would answer it as a
+    # synchronous cache hit instead.
+    repeat = client.submit(JOBS[0])
+    print(f"\nrepeat submission: status={repeat['status']} "
+          f"(deduplicated={repeat['deduplicated']})")
+
+    stats = client.stats()
+    print(f"counters: {stats['counters']}")
+    print(f"health:   {client.healthz()['state']}, "
+          f"{stats['jobs']} by state")
+
+    client.shutdown()  # drain accepted jobs, then stop serving
+    service.join(timeout=30.0)
+    print("service stopped")
+
+
+if __name__ == "__main__":
+    main()

@@ -20,7 +20,8 @@ setup(
         "Reproduction of 'Fermihedral: On the Optimal Compilation for "
         "Fermion-to-Qubit Encoding' (ASPLOS 2024): SAT-optimal encodings, "
         "hardware-aware compilation onto device topologies, a persistent "
-        "compilation cache, and a batch compiler"
+        "compilation cache, a batch compiler, and an HTTP compilation "
+        "service"
     ),
     long_description=README.read_text() if README.exists() else "",
     long_description_content_type="text/markdown",

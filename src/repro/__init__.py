@@ -62,6 +62,7 @@ from repro.hardware import (
 )
 from repro.parallel import PortfolioSolver, ProcessBatchExecutor
 from repro.paulis import PauliString, PauliSum
+from repro.service import CompilationService, ServiceClient
 from repro.store import (
     BatchCompiler,
     CompilationCache,
@@ -83,13 +84,14 @@ from repro.simulator import (
 # constant, so installed-distribution metadata can never disagree with the
 # code actually running (a stale `pip install` next to a PYTHONPATH=src
 # checkout would otherwise win).
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AnnealingSchedule",
     "BatchCompiler",
     "CompilationCache",
     "CompilationResult",
+    "CompilationService",
     "CompileJob",
     "DeviceTopology",
     "FermihedralCompiler",
@@ -106,6 +108,7 @@ __all__ = [
     "PortfolioSolver",
     "ProcessBatchExecutor",
     "QuantumCircuit",
+    "ServiceClient",
     "SolverBudget",
     "anneal_pairing",
     "bravyi_kitaev",

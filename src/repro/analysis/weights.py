@@ -26,6 +26,10 @@ class WeightComparison:
 
     @property
     def reduction_percent(self) -> float:
+        # An identity-only Hamiltonian encodes to weight 0 under every
+        # encoding; there is nothing to reduce, not a division to take.
+        if self.baseline_weight == 0:
+            return 0.0
         return 100.0 * (self.baseline_weight - self.candidate_weight) / self.baseline_weight
 
 

@@ -12,6 +12,16 @@ Subcommands::
                               [--device linear-8] [--jobs 4]
     python -m repro cache     {ls,show,gc} [--dir DIR]
     python -m repro devices   {ls,show NAME}
+    python -m repro serve     [--port 8765] [--cache DIR] [--jobs 4]
+    python -m repro submit    --model h2 [--wait] [--url URL]
+    python -m repro jobs      {ls,show ID} [--url URL]
+    python -m repro shutdown  [--no-drain] [--url URL]
+
+The service verbs talk to a ``repro serve`` daemon: a JSON-over-HTTP
+job queue that deduplicates submissions by fingerprint, answers
+cache hits synchronously, and fans the rest across worker processes.
+``--url`` defaults to ``$REPRO_SERVICE_URL`` or
+``http://127.0.0.1:8765``.
 
 Parallelism: ``--portfolio N`` races N diversified solver processes on
 every SAT call (deterministic logical-time racing; first definitive
@@ -68,14 +78,7 @@ from repro.encodings import (
     ternary_tree,
 )
 from repro.encodings.serialization import load_encoding, save_encoding
-from repro.fermion import (
-    h2_hamiltonian,
-    hubbard_chain,
-    hubbard_lattice,
-    random_molecular_hamiltonian,
-    syk_hamiltonian,
-    tv_chain,
-)
+from repro.fermion.catalog import MODEL_SPEC_HELP, parse_model
 from repro.hardware import (
     HardwareCostModel,
     connectivity_weights,
@@ -83,7 +86,13 @@ from repro.hardware import (
     get_device,
     list_devices,
 )
-from repro.store import BatchCompiler, CompilationCache, CompileJob, default_cache_dir
+from repro.store import (
+    BatchCompiler,
+    CompilationCache,
+    CompileJob,
+    default_cache_dir,
+    job_from_spec,
+)
 
 _BASELINE_BUILDERS = {
     "jw": jordan_wigner,
@@ -92,43 +101,7 @@ _BASELINE_BUILDERS = {
     "tt": ternary_tree,
 }
 
-#: CLI method spellings accepted in ``--method`` and batch job files.
-_METHOD_ALIASES = {
-    "full-sat": METHOD_FULL_SAT,
-    "sat-anl": METHOD_ANNEALING,
-    "sat+annealing": METHOD_ANNEALING,
-    "independent": METHOD_INDEPENDENT,
-}
-
-_MODEL_HELP = "h2 | hubbard:<n> | hubbard:<r>x<c> | syk:<n> | electronic:<n> | tv:<sites>"
-
-
-def parse_model(spec: str):
-    """Build a Hamiltonian from a ``family[:params]`` spec string."""
-    family, _, parameter = spec.partition(":")
-    family = family.lower()
-    if family == "h2":
-        return h2_hamiltonian()
-    if family == "hubbard":
-        if not parameter:
-            raise ValueError("hubbard needs sites: hubbard:3 or hubbard:2x2")
-        if "x" in parameter:
-            rows, cols = (int(part) for part in parameter.split("x", 1))
-            return hubbard_lattice(rows, cols)
-        return hubbard_chain(int(parameter))
-    if family == "syk":
-        if not parameter:
-            raise ValueError("syk needs a mode count: syk:4")
-        return syk_hamiltonian(int(parameter))
-    if family == "electronic":
-        if not parameter:
-            raise ValueError("electronic needs a mode count: electronic:6")
-        return random_molecular_hamiltonian(int(parameter))
-    if family == "tv":
-        if not parameter:
-            raise ValueError("tv needs a site count: tv:4")
-        return tv_chain(int(parameter))
-    raise ValueError(f"unknown model family: {family!r}")
+_MODEL_HELP = MODEL_SPEC_HELP
 
 
 def _config_from_args(args) -> FermihedralConfig:
@@ -384,41 +357,7 @@ def cmd_verify(args) -> int:
 # -- batch -------------------------------------------------------------------
 
 
-def _job_from_spec(spec: dict, args) -> CompileJob:
-    """Build a :class:`CompileJob` from one batch-file dictionary."""
-    if not isinstance(spec, dict):
-        raise ValueError(f"each job must be a JSON object, got {spec!r}")
-    method_name = spec.get("method", args.method)
-    method = _METHOD_ALIASES.get(method_name)
-    if method is None:
-        raise ValueError(
-            f"unknown method {method_name!r}; expected one of "
-            f"{sorted(_METHOD_ALIASES)}"
-        )
-    model = spec.get("model")
-    modes = spec.get("modes")
-    if model is not None and method != METHOD_INDEPENDENT:
-        hamiltonian, num_modes = parse_model(model), None
-    elif model is not None:
-        raise ValueError("independent jobs take 'modes', not 'model'")
-    elif modes is not None:
-        if method != METHOD_INDEPENDENT:
-            raise ValueError(f"method {method_name!r} needs a 'model'")
-        hamiltonian, num_modes = None, int(modes)
-    else:
-        raise ValueError("each job needs a 'model' or 'modes' field")
-    return CompileJob(
-        method=method,
-        hamiltonian=hamiltonian,
-        num_modes=num_modes,
-        schedule=None,
-        seed=int(spec.get("seed", 2024)),
-        label=spec.get("label", model),
-        device=spec.get("device", args.device),
-    )
-
-
-def _jobs_from_args(args) -> list[CompileJob]:
+def _jobs_from_args(args, base_config: FermihedralConfig) -> list[CompileJob]:
     specs: list[dict] = []
     if args.jobs:
         text = sys.stdin.read() if args.jobs == "-" else Path(args.jobs).read_text()
@@ -429,13 +368,22 @@ def _jobs_from_args(args) -> list[CompileJob]:
     specs.extend({"model": model, "method": args.method} for model in args.model)
     if not specs:
         raise ValueError("no jobs: pass a jobs file and/or --model")
-    return [_job_from_spec(spec, args) for spec in specs]
+    return [
+        job_from_spec(
+            spec,
+            default_method=args.method,
+            default_device=args.device,
+            base_config=base_config,
+        )
+        for spec in specs
+    ]
 
 
 def cmd_batch(args) -> int:
     from repro.parallel.events import format_event
 
-    jobs = _jobs_from_args(args)
+    default_config = _config_from_args(args)
+    jobs = _jobs_from_args(args, default_config)
     cache = CompilationCache(args.cache) if args.cache else None
 
     def live_status(event) -> None:
@@ -445,7 +393,7 @@ def cmd_batch(args) -> int:
     compiler = BatchCompiler(
         cache=cache,
         max_workers=args.workers,
-        default_config=_config_from_args(args),
+        default_config=default_config,
         jobs=args.jobs_n,
         on_event=None if args.quiet else live_status,
     )
@@ -482,6 +430,9 @@ def cmd_batch(args) -> int:
     for outcome in report.outcomes:
         if outcome.status == "error":
             print(f"error [{outcome.job.display}]: {outcome.error}", file=sys.stderr)
+        elif outcome.cache_error:
+            print(f"warning [{outcome.job.display}]: result not cached "
+                  f"({outcome.cache_error})", file=sys.stderr)
     if cache is not None:
         stats = cache.stats
         print(f"cache: {stats.hits} hits, {stats.misses} misses, "
@@ -620,6 +571,175 @@ def cmd_cache_gc(args) -> int:
     for info in report.removed:
         print(f"  {info.key[:12]}  {report.reasons.get(info.key, '?')}")
     return 0
+
+
+# -- service -----------------------------------------------------------------
+
+
+def cmd_serve(args) -> int:
+    import signal
+
+    from repro.service import CompilationService, ServiceServer
+
+    cache = CompilationCache(args.cache) if args.cache else None
+    service = CompilationService(
+        cache=cache,
+        default_config=_config_from_args(args),
+        jobs=args.jobs_n or 1,
+        queue_limit=args.queue_limit,
+        default_device=args.device,
+    ).start()
+    server = ServiceServer((args.host, args.port), service, verbose=args.verbose)
+
+    def handle_signal(signum, frame):
+        # First signal: graceful drain; a second one cancels queued jobs
+        # too (jobs already on a worker always run to completion).
+        if service.state == "serving":
+            print("shutting down: draining accepted jobs "
+                  "(signal again to cancel queued ones)", file=sys.stderr)
+            server.request_shutdown(drain=True)
+        else:
+            print("shutting down: cancelling queued jobs", file=sys.stderr)
+            server.request_shutdown(drain=False)
+
+    signal.signal(signal.SIGTERM, handle_signal)
+    signal.signal(signal.SIGINT, handle_signal)
+    print(f"repro service at {server.url}")
+    print(f"  cache:       {args.cache or 'disabled'}")
+    print(f"  workers:     {service.jobs} "
+          f"({service.healthz()['execution']})")
+    print(f"  queue limit: {service.queue_limit}", flush=True)
+    server.serve_until_stopped()
+    print("service stopped")
+    return 0
+
+
+def _submit_spec_from_args(args) -> dict:
+    spec: dict = {}
+    if args.model:
+        spec["model"] = args.model
+    if args.modes:
+        spec["modes"] = args.modes
+    spec["method"] = args.method or (
+        "independent" if args.modes else "full-sat"
+    )
+    if args.device:
+        spec["device"] = args.device
+    if args.seed is not None:
+        spec["seed"] = args.seed
+    if args.label:
+        spec["label"] = args.label
+    config: dict = {}
+    if args.budget_s is not None:
+        config["budget_s"] = args.budget_s
+    if args.max_conflicts is not None:
+        config["max_conflicts"] = args.max_conflicts
+    if config:
+        spec["config"] = config
+    return spec
+
+
+def cmd_submit(args) -> int:
+    from repro.service import JobFailedError, ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        record = client.submit(_submit_spec_from_args(args))
+        note = " (deduplicated)" if record.get("deduplicated") else ""
+        print(f"job:    {record['id']}")
+        print(f"status: {record['status']}{note}", flush=True)
+        if not args.wait:
+            return 0
+        record = client.wait(record["id"], timeout=args.timeout)
+        result = client.result(record)
+    except JobFailedError as failure:
+        print(f"error: {failure}", file=sys.stderr)
+        return 1
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"outcome:         {record['outcome']}")
+    _print_result_summary(result)
+    return 0
+
+
+def cmd_jobs_ls(args) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    try:
+        jobs = ServiceClient(args.url).jobs()
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not jobs:
+        print(f"no jobs at {args.url or 'the service'}")
+        return 0
+    rows = [
+        [
+            job["id"][:12],
+            job["label"],
+            job["method"],
+            job["status"],
+            job["outcome"] or "-",
+            "-" if job["weight"] is None else job["weight"],
+            "-" if job["proved_optimal"] is None else job["proved_optimal"],
+            job["submissions"],
+            f"{job['elapsed_s']:.2f}",
+        ]
+        for job in jobs
+    ]
+    print(format_table(
+        ["job", "label", "method", "status", "outcome", "weight",
+         "optimal", "submits", "time (s)"],
+        rows,
+    ))
+    return 0
+
+
+def cmd_jobs_show(args) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        record = client.job(args.id)
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(record, indent=2))
+        return 0
+    print(f"job:             {record['id']}")
+    print(f"label:           {record['label']}")
+    print(f"status:          {record['status']}")
+    if record["outcome"]:
+        print(f"outcome:         {record['outcome']}")
+    if record["error"]:
+        print(f"error:           {record['error']}")
+    if record["cache_error"]:
+        print(f"cache error:     {record['cache_error']}")
+    print(f"submissions:     {record['submissions']}")
+    if record.get("result") is not None:
+        _print_result_summary(client.result(record))
+        return 0
+    return 0 if record["status"] != "failed" else 1
+
+
+def cmd_shutdown(args) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    try:
+        reply = ServiceClient(args.url).shutdown(drain=not args.no_drain)
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    verb = "cancelling" if args.no_drain else "draining"
+    print(f"shutdown accepted: {verb} {reply['queued']} queued job(s), "
+          f"{reply['running']} running")
+    return 0
+
+
+_URL_HELP = ("service URL (default: $REPRO_SERVICE_URL or "
+             "http://127.0.0.1:8765)")
 
 
 _DEVICE_HELP = ("target device: a preset from 'repro devices ls' or a spec "
@@ -799,6 +919,115 @@ def build_parser() -> argparse.ArgumentParser:
                           help="report what would be removed without deleting")
     _add_dir(cache_gc)
     cache_gc.set_defaults(handler=cmd_cache_gc)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the compilation service daemon",
+        description="Serve a JSON-over-HTTP compilation API: POST /jobs "
+                    "submits a job spec (deduplicated by fingerprint; cache "
+                    "hits answer synchronously), GET /jobs/<id> polls it, "
+                    "GET /healthz and /stats report liveness and counters, "
+                    "POST /shutdown drains and exits. Jobs fan out across "
+                    "--jobs worker processes; a full queue answers 429.",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="bind port; 0 picks an ephemeral one "
+                            "(default: 8765)")
+    serve.add_argument("--jobs", type=int, default=None, metavar="N",
+                       dest="jobs_n",
+                       help="worker processes draining the queue "
+                            "(default: 1)")
+    serve.add_argument("--queue-limit", type=int, default=64, metavar="N",
+                       help="bound on active (queued + running) jobs; "
+                            "submissions beyond it get HTTP 429 "
+                            "(default: 64)")
+    serve.add_argument("--cache", default=None, metavar="DIR",
+                       help="persistent compilation cache backing the "
+                            "service (hits answer without queueing)")
+    serve.add_argument("--device", default=None, metavar="NAME",
+                       help=_DEVICE_HELP + " (jobs may override it with "
+                            "their own 'device' field)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request to stderr")
+    _add_solver_options(serve)
+    serve.set_defaults(handler=cmd_serve)
+
+    submit = subparsers.add_parser(
+        "submit",
+        help="submit one job to a running service",
+        description="POST one compilation job to a 'repro serve' daemon "
+                    "and print its id; --wait polls until it finishes and "
+                    "prints the result.",
+    )
+    submit.add_argument("--url", default=None, help=_URL_HELP)
+    submit.add_argument("--model", default=None, metavar="SPEC",
+                        help=_MODEL_HELP)
+    submit.add_argument("--modes", type=int, default=None, metavar="N",
+                        help="mode count for a Hamiltonian-independent job")
+    submit.add_argument("--method",
+                        choices=("full-sat", "sat-anl", "independent"),
+                        default=None,
+                        help="compile method (default: full-sat with "
+                             "--model, independent with --modes)")
+    submit.add_argument("--device", default=None, metavar="NAME",
+                        help=_DEVICE_HELP)
+    submit.add_argument("--seed", type=int, default=None, metavar="N",
+                        help="annealing RNG seed (sat-anl only)")
+    submit.add_argument("--label", default=None,
+                        help="display name in job listings")
+    submit.add_argument("--budget-s", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-SAT-call time budget override")
+    submit.add_argument("--max-conflicts", type=int, default=None, metavar="N",
+                        help="per-SAT-call conflict budget override")
+    submit.add_argument("--wait", action="store_true",
+                        help="poll until the job finishes and print the "
+                             "result")
+    submit.add_argument("--timeout", type=float, default=3600.0,
+                        metavar="SECONDS",
+                        help="--wait deadline (default: 3600)")
+    submit.set_defaults(handler=cmd_submit)
+
+    jobs_parser = subparsers.add_parser(
+        "jobs",
+        help="list or inspect jobs on a running service",
+        description="Query a 'repro serve' daemon's job registry.",
+    )
+    jobs_sub = jobs_parser.add_subparsers(dest="jobs_command", required=True)
+    jobs_ls = jobs_sub.add_parser(
+        "ls", help="list all jobs",
+        description="Tabulate every job the service has accepted, newest "
+                    "last.",
+    )
+    jobs_ls.add_argument("--url", default=None, help=_URL_HELP)
+    jobs_ls.set_defaults(handler=cmd_jobs_ls)
+    jobs_show = jobs_sub.add_parser(
+        "show", help="show one job",
+        description="Print one job record (any unique id prefix), "
+                    "including its full result once done.",
+    )
+    jobs_show.add_argument("id", help="job id (any unique prefix)")
+    jobs_show.add_argument("--json", action="store_true",
+                           help="dump the raw wire record instead of a "
+                                "summary")
+    jobs_show.add_argument("--url", default=None, help=_URL_HELP)
+    jobs_show.set_defaults(handler=cmd_jobs_show)
+
+    shutdown = subparsers.add_parser(
+        "shutdown",
+        help="gracefully stop a running service",
+        description="Ask a 'repro serve' daemon to stop: intake closes "
+                    "immediately, accepted jobs finish (unless "
+                    "--no-drain), then the daemon exits.",
+    )
+    shutdown.add_argument("--url", default=None, help=_URL_HELP)
+    shutdown.add_argument("--no-drain", action="store_true",
+                          help="cancel still-queued jobs instead of "
+                               "finishing them (running jobs always "
+                               "complete)")
+    shutdown.set_defaults(handler=cmd_shutdown)
 
     devices_parser = subparsers.add_parser(
         "devices",

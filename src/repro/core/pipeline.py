@@ -203,7 +203,12 @@ class FermihedralCompiler:
 
     After each :meth:`compile` call, :attr:`last_cache_status` records how
     the cache participated: ``"disabled"``, ``"hit"``, ``"warm-start"``,
-    or ``"miss"``.
+    ``"miss"``, or ``"store-failed"`` — the last meaning the compilation
+    itself succeeded but persisting it did not (unwritable or vanished
+    cache directory); the result is still returned and
+    :attr:`last_cache_error` carries the reason.  Cache persistence is
+    deliberately best-effort: a broken cache directory must never discard
+    a finished compilation nor take down a batch or service worker.
 
     Example:
         >>> compiler = FermihedralCompiler(num_modes=2)
@@ -227,6 +232,7 @@ class FermihedralCompiler:
         self.device = resolve_device(device)
         self._check_device(self.device)
         self.last_cache_status: str | None = None
+        self.last_cache_error: str | None = None
 
     def _check_device(self, topology: DeviceTopology | None) -> None:
         if topology is not None and topology.num_qubits < self.num_modes:
@@ -300,6 +306,7 @@ class FermihedralCompiler:
         topology = self.device if device is None else resolve_device(device)
         self._check_device(topology)
         config = self._device_config(topology)
+        self.last_cache_error = None
 
         if self.cache is None:
             self.last_cache_status = "disabled"
@@ -327,7 +334,14 @@ class FermihedralCompiler:
             self.last_cache_status = "miss"
         result = self._solve(method, hamiltonian, schedule, seed, baseline, config)
         result = self._finish_hardware(result, topology, hamiltonian, config)
-        self.cache.put(key, result)
+        try:
+            self.cache.put(key, result)
+        except OSError as error:
+            # Persistence is best-effort (see the class docstring): an
+            # unwritable or vanished cache directory downgrades to a
+            # store-failed status instead of discarding the result.
+            self.last_cache_status = "store-failed"
+            self.last_cache_error = f"{type(error).__name__}: {error}"
         return result
 
     def _solve(

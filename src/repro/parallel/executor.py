@@ -26,8 +26,10 @@ the parent, as futures resolve.
 from __future__ import annotations
 
 import multiprocessing
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
 
 from repro.core.config import FermihedralConfig
@@ -64,6 +66,28 @@ class ProcessBatchExecutor:
             the cache object itself never crosses the process boundary.
         default_config: config for jobs that carry none.
         on_event: :mod:`repro.parallel.events` callback.
+        on_outcome: called with each :class:`~repro.store.batch.JobOutcome`
+            in the parent as soon as its job resolves (fast path included),
+            before the matching ``JobFinished`` event.  Events carry only
+            display data; this hook hands the full outcome — result object
+            and all — to callers that track per-job state incrementally,
+            the way the service daemon feeds its job queue.
+
+    By default every :meth:`run` call creates and tears down its own
+    pool — the right shape for a one-shot batch.  Long-lived callers
+    (the service daemon drains its queue through one executor for its
+    whole lifetime) use the executor as a context manager instead::
+
+        with ProcessBatchExecutor(jobs=4, cache=cache) as executor:
+            executor.run(first_batch)
+            executor.run(second_batch)   # same worker processes
+
+    which keeps one persistent pool across ``run`` calls.  A pool broken
+    by a hard worker crash is replaced on the next ``run``, so one
+    crashed job never poisons the executor for the batches after it.
+    On a persistent pool, concurrent ``run`` calls from different
+    threads are safe — the service daemon issues one ``run`` per job
+    slot so a slow job never blocks the others' dispatch.
     """
 
     def __init__(
@@ -72,6 +96,7 @@ class ProcessBatchExecutor:
         cache: CompilationCache | None = None,
         default_config: FermihedralConfig | None = None,
         on_event: EventCallback | None = None,
+        on_outcome=None,
     ):
         if jobs < 1:
             raise ValueError("executor needs at least one worker process")
@@ -79,10 +104,47 @@ class ProcessBatchExecutor:
         self.cache = cache
         self.default_config = default_config or FermihedralConfig()
         self.on_event = on_event
+        self.on_outcome = on_outcome
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_broken = False
+        #: Serializes broken-pool replacement: concurrent run() calls on
+        #: one persistent pool (the service dispatches one run per job)
+        #: must not both swap the pool in.
+        self._pool_guard = threading.Lock()
+
+    # -- persistent-pool lifecycle --------------------------------------------
+
+    def _make_pool(self, max_workers: int) -> ProcessPoolExecutor:
+        # fork shares the already-imported interpreter image with the
+        # workers; where unavailable (non-POSIX), the default start
+        # method still works, just with a slower cold start.
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        return ProcessPoolExecutor(max_workers=max_workers, mp_context=context)
+
+    def __enter__(self) -> "ProcessBatchExecutor":
+        self._pool = self._make_pool(self.jobs)
+        self._pool_broken = False
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut the persistent pool down (no-op outside a ``with`` block)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
 
     def _emit(self, event) -> None:
         if self.on_event is not None:
             self.on_event(event)
+
+    def _deliver(self, outcome: JobOutcome) -> None:
+        if self.on_outcome is not None:
+            self.on_outcome(outcome)
 
     def _job_config(self, job: CompileJob) -> FermihedralConfig:
         return job.config or self.default_config
@@ -121,6 +183,7 @@ class ProcessBatchExecutor:
             fast = self._parent_fast_path(job, key)
             if fast is not None:
                 outcomes[key] = fast
+                self._deliver(fast)
                 self._emit(JobStarted(index, total, job.display, key))
                 self._emit(JobFinished(
                     index, total, job.display, key, fast.status,
@@ -133,45 +196,77 @@ class ProcessBatchExecutor:
         if not pending:
             return outcomes
 
+        if self._pool is not None:
+            with self._pool_guard:
+                if self._pool_broken:
+                    # Replace a pool a previous run's hard crash broke.
+                    self._pool.shutdown()
+                    self._pool = self._make_pool(self.jobs)
+                    self._pool_broken = False
+                pool = self._pool
+            self._dispatch(pool, pending, total, outcomes)
+        else:
+            with self._make_pool(min(self.jobs, len(pending))) as pool:
+                self._dispatch(pool, pending, total, outcomes)
+        return outcomes
+
+    def _dispatch(
+        self,
+        pool: ProcessPoolExecutor,
+        pending: list[tuple[int, str, CompileJob]],
+        total: int,
+        outcomes: dict[str, JobOutcome],
+    ) -> None:
+        """Run the non-fast-path jobs on ``pool``, folding every failure —
+        a job exception, an unpicklable result, the pool itself breaking —
+        into per-key ``error`` outcomes."""
         cache_root = None if self.cache is None else str(Path(self.cache.root))
-        # fork shares the already-imported interpreter image with the
-        # workers; where unavailable (non-POSIX), the default start
-        # method still works, just with a slower cold start.
-        methods = multiprocessing.get_all_start_methods()
-        context = multiprocessing.get_context(
-            "fork" if "fork" in methods else None
-        )
-        with ProcessPoolExecutor(
-            max_workers=min(self.jobs, len(pending)), mp_context=context
-        ) as pool:
-            futures = {}
-            for index, key, job in pending:
+        futures = {}
+        for index, key, job in pending:
+            self._emit(JobStarted(index, total, job.display, key))
+            try:
                 future = pool.submit(
                     _compile_in_worker, job, key, self._job_config(job), cache_root
                 )
-                futures[future] = (index, key, job)
-                self._emit(JobStarted(index, total, job.display, key))
+            except Exception as crash:  # pool already broken / shut down
+                self._pool_broken = True
+                outcome = JobOutcome(
+                    job=job,
+                    key=key,
+                    status="error",
+                    error=f"{type(crash).__name__}: {crash}",
+                )
+                outcomes[key] = outcome
+                self._deliver(outcome)
+                self._emit(JobFinished(
+                    index, total, job.display, key, outcome.status, 0.0,
+                    error=outcome.error,
+                ))
+                continue
+            futures[future] = (index, key, job)
 
-            not_done = set(futures)
-            while not_done:
-                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
-                for future in done:
-                    index, key, job = futures[future]
-                    try:
-                        outcome = future.result()
-                    except Exception as crash:  # pool broke / unpicklable result
-                        outcome = JobOutcome(
-                            job=job,
-                            key=key,
-                            status="error",
-                            error=f"{type(crash).__name__}: {crash}",
-                        )
-                    outcomes[key] = outcome
-                    self._emit(JobFinished(
-                        index, total, job.display, key, outcome.status,
-                        outcome.elapsed_s,
-                        weight=None if outcome.result is None
-                        else outcome.result.weight,
-                        error=outcome.error,
-                    ))
-        return outcomes
+        not_done = set(futures)
+        while not_done:
+            done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+            for future in done:
+                index, key, job = futures[future]
+                try:
+                    outcome = future.result()
+                except Exception as crash:  # pool broke / unpicklable result
+                    if isinstance(crash, BrokenProcessPool):
+                        self._pool_broken = True
+                    outcome = JobOutcome(
+                        job=job,
+                        key=key,
+                        status="error",
+                        error=f"{type(crash).__name__}: {crash}",
+                    )
+                outcomes[key] = outcome
+                self._deliver(outcome)
+                self._emit(JobFinished(
+                    index, total, job.display, key, outcome.status,
+                    outcome.elapsed_s,
+                    weight=None if outcome.result is None
+                    else outcome.result.weight,
+                    error=outcome.error,
+                ))

@@ -1,0 +1,73 @@
+"""Compilation service: an async job-queue daemon over the batch engine.
+
+The long-lived front door the one-shot CLI lacked.  ``repro serve``
+exposes a JSON-over-HTTP API whose jobs are deduplicated by the same
+fingerprints the cache uses, answered synchronously on cache hits, and
+drained through the parallel batch executor otherwise:
+
+* :mod:`repro.service.jobs` — :class:`JobRecord`, the per-fingerprint
+  job lifecycle (``queued → running → done | failed``) and wire form.
+* :mod:`repro.service.daemon` — :class:`CompilationService`, the queue,
+  dedup, backpressure, dispatcher thread, and graceful drain.
+* :mod:`repro.service.server` — :class:`ServiceServer`, the stdlib
+  threaded HTTP layer (``POST /jobs``, ``GET /jobs[/<id>]``,
+  ``GET /healthz``, ``GET /stats``, ``POST /shutdown``).
+* :mod:`repro.service.client` — :class:`ServiceClient`, the typed
+  client every CLI verb and example script drives.
+
+See ``docs/ARCHITECTURE.md`` ("The service layer") for the request
+lifecycle diagram.
+"""
+
+from repro.service.client import (
+    SERVICE_URL_ENV,
+    JobFailedError,
+    ServiceClient,
+    ServiceError,
+    service_url,
+)
+from repro.service.daemon import (
+    DEFAULT_MAX_RECORDS,
+    DEFAULT_QUEUE_LIMIT,
+    AmbiguousJobIdError,
+    CompilationService,
+    QueueFullError,
+    ServiceRejection,
+    ServiceStats,
+    ServiceUnavailableError,
+)
+from repro.service.jobs import (
+    ACTIVE_STATES,
+    DONE,
+    FAILED,
+    JOB_STATES,
+    QUEUED,
+    RUNNING,
+    JobRecord,
+)
+from repro.service.server import DEFAULT_PORT, ServiceServer
+
+__all__ = [
+    "ACTIVE_STATES",
+    "AmbiguousJobIdError",
+    "CompilationService",
+    "DEFAULT_MAX_RECORDS",
+    "DEFAULT_PORT",
+    "DEFAULT_QUEUE_LIMIT",
+    "DONE",
+    "FAILED",
+    "JOB_STATES",
+    "JobFailedError",
+    "JobRecord",
+    "QUEUED",
+    "QueueFullError",
+    "RUNNING",
+    "SERVICE_URL_ENV",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceRejection",
+    "ServiceServer",
+    "ServiceStats",
+    "ServiceUnavailableError",
+    "service_url",
+]

@@ -1,0 +1,185 @@
+"""Thin typed client for the compilation service (stdlib ``urllib``).
+
+:class:`ServiceClient` speaks the wire format of
+:mod:`repro.service.server` and decodes finished jobs back into
+first-class :class:`~repro.core.pipeline.CompilationResult` objects via
+the versioned result schema — so a batch script can swap a local
+``FermihedralCompiler`` for a remote service by changing one line.
+
+Example::
+
+    client = ServiceClient("http://127.0.0.1:8765")
+    record = client.submit({"model": "h2"})
+    record = client.wait(record["id"], timeout=600)
+    result = client.result(record)          # a CompilationResult
+    print(result.weight, result.proved_optimal)
+
+Every CLI verb (``repro submit``, ``repro jobs``, ``repro shutdown``)
+drives this class, so scripts and the command line can never disagree
+about the protocol.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import urllib.error
+import urllib.request
+from typing import TYPE_CHECKING
+
+from repro.service.server import DEFAULT_PORT
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.core.pipeline import CompilationResult
+
+#: Environment override consulted when no URL is given explicitly.
+SERVICE_URL_ENV = "REPRO_SERVICE_URL"
+
+
+def service_url(explicit: str | None = None) -> str:
+    """Resolve the service base URL: argument > $REPRO_SERVICE_URL > default."""
+    url = explicit or os.environ.get(SERVICE_URL_ENV) \
+        or f"http://127.0.0.1:{DEFAULT_PORT}"
+    return url.rstrip("/")
+
+
+class ServiceError(RuntimeError):
+    """An HTTP-level or protocol-level failure talking to the service.
+
+    ``status`` carries the HTTP code when one was received (``None`` for
+    transport failures such as a connection refusal).
+    """
+
+    def __init__(self, message: str, status: int | None = None):
+        super().__init__(message)
+        self.status = status
+
+
+class JobFailedError(ServiceError):
+    """A polled job finished ``failed``; ``record`` is its wire form."""
+
+    def __init__(self, record: dict):
+        super().__init__(
+            f"job {record.get('id', '?')[:12]} failed: "
+            f"{record.get('error') or 'unknown error'}"
+        )
+        self.record = record
+
+
+class ServiceClient:
+    """Synchronous client for one service endpoint.
+
+    Args:
+        base_url: service root (default: ``$REPRO_SERVICE_URL`` or
+            ``http://127.0.0.1:8765``).
+        timeout: per-request socket timeout in seconds.
+    """
+
+    def __init__(self, base_url: str | None = None, timeout: float = 10.0):
+        self.base_url = service_url(base_url)
+        self.timeout = timeout
+
+    # -- transport ------------------------------------------------------------
+
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            url, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                body = response.read()
+        except urllib.error.HTTPError as error:
+            raise ServiceError(
+                self._error_message(error), status=error.code
+            ) from None
+        except urllib.error.URLError as error:
+            raise ServiceError(
+                f"service unreachable at {self.base_url}: {error.reason}"
+            ) from None
+        try:
+            return json.loads(body)
+        except json.JSONDecodeError as error:
+            raise ServiceError(f"invalid JSON from {url}: {error}") from None
+
+    @staticmethod
+    def _error_message(error: urllib.error.HTTPError) -> str:
+        try:
+            payload = json.loads(error.read())
+            message = payload.get("error")
+        except (json.JSONDecodeError, OSError, AttributeError):
+            message = None
+        return message or f"HTTP {error.code}: {error.reason}"
+
+    # -- API ------------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def submit(self, spec: dict) -> dict:
+        """Submit one job spec; returns its record summary (no result)."""
+        return self._request("POST", "/jobs", payload=spec)
+
+    def job(self, job_id: str, include_result: bool = True) -> dict:
+        suffix = "" if include_result else "?result=0"
+        return self._request("GET", f"/jobs/{job_id}{suffix}")
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def shutdown(self, drain: bool = True) -> dict:
+        return self._request("POST", "/shutdown", payload={"drain": drain})
+
+    # -- conveniences ---------------------------------------------------------
+
+    def wait(self, job_id: str, timeout: float = 3600.0,
+             poll_s: float = 0.25) -> dict:
+        """Poll until the job finishes; returns the final record.
+
+        Raises :class:`JobFailedError` when it finished ``failed`` and
+        :class:`ServiceError` on timeout.  Polls without the result
+        payload and fetches it once, on completion.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id, include_result=False)
+            if record["status"] == "failed":
+                raise JobFailedError(record)
+            if record["status"] == "done":
+                return self.job(job_id)
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"timed out after {timeout}s waiting for job "
+                    f"{job_id[:12]} (status {record['status']})"
+                )
+            time.sleep(poll_s)
+
+    def result(self, record_or_id: dict | str) -> "CompilationResult":
+        """Decode a finished job into a :class:`CompilationResult`."""
+        from repro.encodings.serialization import result_from_dict
+
+        record = record_or_id
+        if isinstance(record, str):
+            record = self.job(record)
+        payload = record.get("result")
+        if payload is None:
+            raise ServiceError(
+                f"job {record.get('id', '?')[:12]} has no result "
+                f"(status {record.get('status')})"
+            )
+        return result_from_dict(payload)
+
+    def submit_and_wait(self, spec: dict, timeout: float = 3600.0,
+                        poll_s: float = 0.25) -> dict:
+        """Submit, then :meth:`wait`; returns the final record."""
+        record = self.submit(spec)
+        return self.wait(record["id"], timeout=timeout, poll_s=poll_s)

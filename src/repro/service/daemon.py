@@ -1,0 +1,608 @@
+"""The compilation service: an async job queue over the batch engine.
+
+:class:`CompilationService` is the long-lived core behind ``repro
+serve``.  It accepts plain-data job specs (the grammar of
+:func:`repro.store.batch.job_from_spec`), deduplicates them by
+fingerprint, answers already-final work synchronously from the
+:class:`~repro.store.cache.CompilationCache`, and drains everything else
+through one persistent :class:`~repro.parallel.executor
+.ProcessBatchExecutor` worker pool, one job per worker slot.
+
+Design points, in the order a submission meets them:
+
+* **Dedup is identity.**  The fingerprint key *is* the job id.  A second
+  submission of equivalent work — while the first is queued, running, or
+  already done — returns the same record and never compiles twice.
+* **Cache hits are synchronous.**  A final cached result turns the
+  submission into a ``done`` record before ``POST /jobs`` even returns;
+  warm-startable (unproved) entries still go through a worker, which
+  seeds its descent from them.  The cache read happens *outside* the
+  service lock, so polls and health checks never stall behind disk I/O.
+* **Backpressure is explicit.**  At most ``queue_limit`` jobs may be
+  active (queued + running); beyond that :meth:`submit` raises
+  :class:`QueueFullError`, which the HTTP layer maps to 429.  The paper's
+  compile times are minutes-to-hours per UNSAT-proved optimum — an
+  unbounded queue would just hide an overload until memory ran out.
+* **No head-of-line blocking.**  The dispatcher hands out one job per
+  free worker slot the moment both exist; a slow descent occupies its
+  slot and nothing else.  Short jobs submitted behind it finish first,
+  and their polls say so immediately (the executor's ``on_outcome`` hook
+  finalizes each record the instant its job resolves).
+* **Failures are isolated.**  A job that blows up inside a worker marks
+  only its own record ``failed``; a hard worker crash breaks at most the
+  jobs in flight on the broken pool, and the executor replaces that pool
+  before the next dispatch.  Resubmitting a failed key requeues a fresh
+  attempt.
+* **Memory is bounded.**  Finished records beyond ``max_records`` are
+  evicted oldest-first (their results live in the cache; resubmitting an
+  evicted key is answered as a synchronous cache hit), so a long-lived
+  daemon's registry cannot grow without bound.
+* **Shutdown drains.**  ``shutdown(drain=True)`` stops intake (503),
+  finishes every accepted job, then lets the dispatcher exit;
+  ``drain=False`` also cancels the still-queued jobs.  Jobs already on a
+  worker always run to completion — SAT processes are not preemptible
+  mid-descent.
+
+The service is transport-agnostic: :mod:`repro.service.server` puts the
+JSON-over-HTTP face on it, and tests drive this class directly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.config import METHOD_FULL_SAT, FermihedralConfig
+from repro.core.pipeline import FermihedralCompiler
+from repro.hardware import resolve_device
+from repro.service.jobs import DONE, FAILED, QUEUED, RUNNING, JobRecord
+from repro.store.batch import (
+    CompileJob,
+    JobOutcome,
+    compile_job_key,
+    job_from_spec,
+    run_compile_job,
+)
+from repro.store.cache import CompilationCache
+
+#: Default bound on active (queued + running) jobs.
+DEFAULT_QUEUE_LIMIT = 64
+
+#: Default bound on finished records kept in memory (the cache holds the
+#: results themselves; evicted ids just stop answering ``GET /jobs/<id>``).
+DEFAULT_MAX_RECORDS = 4096
+
+#: Signature of an injectable batch runner (tests use this to count or
+#: sabotage compilations deterministically).
+BatchRunner = Callable[[list[tuple[str, CompileJob]]], "dict[str, JobOutcome]"]
+
+
+class ServiceRejection(Exception):
+    """A submission the service refused; ``http_status`` picks the code."""
+
+    http_status = 400
+
+
+class QueueFullError(ServiceRejection):
+    """Backpressure: the active-job bound is reached (HTTP 429)."""
+
+    http_status = 429
+
+
+class ServiceUnavailableError(ServiceRejection):
+    """The service is draining or stopped and takes no new work (HTTP 503)."""
+
+    http_status = 503
+
+
+class AmbiguousJobIdError(ServiceRejection):
+    """A job-id prefix matched more than one record (HTTP 409)."""
+
+    http_status = 409
+
+
+@dataclass
+class ServiceStats:
+    """Monotonic counters over one service lifetime (``GET /stats``)."""
+
+    submitted: int = 0
+    accepted: int = 0
+    deduplicated: int = 0
+    cache_hits: int = 0
+    completed: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    rejected: int = 0
+    evicted: int = 0
+
+
+class CompilationService:
+    """The queue, registry, and dispatcher behind ``repro serve``.
+
+    Args:
+        cache: persistent result store; enables the synchronous cache-hit
+            path and worker-side memoization.  ``None`` still
+            deduplicates in memory but persists nothing.
+        default_config: config for jobs that do not override one.
+        jobs: worker-process count of the drain pool (= concurrent jobs).
+        queue_limit: bound on active (queued + running) jobs.
+        max_records: bound on finished records kept in the registry.
+        default_method / default_device: applied to specs without those
+            fields, mirroring ``repro batch``'s CLI defaults.
+        use_processes: force the drain engine — ``True`` = the persistent
+            process pool, ``False`` = in-thread compiles (no isolation,
+            but works where ``fork`` does not).  ``None`` picks processes
+            exactly when ``fork`` is available.
+        runner: test seam — replaces the drain engine with a callable
+            mapping a batch to outcomes.
+    """
+
+    def __init__(
+        self,
+        cache: CompilationCache | None = None,
+        default_config: FermihedralConfig | None = None,
+        jobs: int = 1,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
+        max_records: int = DEFAULT_MAX_RECORDS,
+        default_method: str = METHOD_FULL_SAT,
+        default_device=None,
+        use_processes: bool | None = None,
+        runner: BatchRunner | None = None,
+    ):
+        if jobs < 1:
+            raise ValueError("service needs at least one worker")
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be positive")
+        if max_records < 1:
+            raise ValueError("max_records must be positive")
+        self.cache = cache
+        self.default_config = default_config or FermihedralConfig()
+        self.jobs = jobs
+        self.queue_limit = queue_limit
+        self.max_records = max_records
+        self.default_method = default_method
+        self.default_device = default_device
+        self._runner = runner
+        if use_processes is None:
+            import multiprocessing
+
+            use_processes = "fork" in multiprocessing.get_all_start_methods()
+        self._use_processes = use_processes and runner is None
+        self.stats = ServiceStats()
+        self.started_at = time.time()
+
+        self._records: dict[str, JobRecord] = {}
+        self._order: deque[str] = deque()
+        #: ``(key, attempt)`` in completion order — the eviction queue.
+        self._finished_order: deque[tuple[str, int]] = deque()
+        self._queue: deque[str] = deque()
+        #: key -> attempt currently on a worker; guards against a stale
+        #: outcome finishing a record that was requeued in the meantime.
+        self._inflight: dict[str, int] = {}
+        #: Jobs in queued/running state (kept exact so submit() never
+        #: scans the whole registry).
+        self._active_count = 0
+        #: Worker slots currently occupied by a dispatched job.
+        self._active_runs = 0
+        self._wake = threading.Condition()
+        self._state = "serving"  # serving | draining | stopped
+        self._thread: threading.Thread | None = None
+        self._executor = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    def start(self) -> "CompilationService":
+        """Spin up the dispatcher (idempotent); returns ``self``."""
+        if self._thread is not None:
+            return self
+        if self._use_processes:
+            from repro.parallel.executor import ProcessBatchExecutor
+
+            self._executor = ProcessBatchExecutor(
+                jobs=self.jobs,
+                cache=self.cache,
+                default_config=self.default_config,
+                on_outcome=self._handle_outcome,
+            ).__enter__()
+        self._thread = threading.Thread(
+            target=self._drain_loop, name="repro-service-dispatch", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def shutdown(self, drain: bool = True, wait: bool = False,
+                 timeout: float | None = None) -> None:
+        """Stop intake; optionally cancel the queue; optionally block.
+
+        ``drain=True`` lets every queued job run before the dispatcher
+        exits; ``drain=False`` cancels queued jobs (their records turn
+        ``failed`` with a ``cancelled`` message) but still waits out jobs
+        already on a worker.  ``wait=True`` joins the dispatcher.
+        """
+        with self._wake:
+            if self._state == "serving":
+                self._state = "draining"
+            if not drain:
+                while self._queue:
+                    key = self._queue.popleft()
+                    record = self._records[key]
+                    self._finish_record(record, JobOutcome(
+                        job=record.job, key=key, status="error",
+                        error="cancelled: service shut down before the "
+                              "job was dispatched",
+                    ))
+                    self.stats.cancelled += 1
+            self._wake.notify_all()
+        if wait:
+            self.join(timeout)
+
+    def join(self, timeout: float | None = None) -> None:
+        """Wait for the dispatcher to finish (after :meth:`shutdown`)."""
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(self, spec: dict) -> tuple[JobRecord, bool]:
+        """Accept one job spec; returns ``(record, deduplicated)``.
+
+        Raises:
+            ValueError: malformed spec (HTTP 400).
+            ServiceUnavailableError: service draining/stopped (HTTP 503).
+            QueueFullError: active-job bound reached (HTTP 429).
+        """
+        job = job_from_spec(
+            spec,
+            default_method=self.default_method,
+            default_device=self.default_device,
+            base_config=self.default_config,
+            strict=True,
+        )
+        key = compile_job_key(job, self.default_config)
+        with self._wake:
+            existing = self._existing_or_reject(key)
+            if existing is not None:
+                return existing, True
+        # The cache read is real disk I/O — do it without the lock, then
+        # re-check the registry: a racing twin may have submitted the
+        # same key, or the service may have started draining.
+        cached = self._final_cached(job, key)
+        with self._wake:
+            existing = self._existing_or_reject(key)
+            if existing is not None:
+                return existing, True
+            previous = self._records.get(key)  # a failed attempt, if any
+            self.stats.submitted += 1
+            if cached is not None:
+                record = self._install(key, job, previous)
+                self._finish_record(record, JobOutcome(
+                    job=job, key=key, status="cache-hit", result=cached,
+                ))
+                self.stats.cache_hits += 1
+                return record, False
+            if self._active_count >= self.queue_limit:
+                self.stats.rejected += 1
+                raise QueueFullError(
+                    f"queue full: {self._active_count} active jobs (limit "
+                    f"{self.queue_limit}); retry later"
+                )
+            record = self._install(key, job, previous)
+            self._queue.append(key)
+            self.stats.accepted += 1
+            self._wake.notify_all()
+            return record, False
+
+    def _existing_or_reject(self, key: str) -> JobRecord | None:
+        """Under the lock: enforce the intake state, and return the
+        record a duplicate submission collapses onto (``None`` when the
+        key is new or only failed)."""
+        if self._state != "serving":
+            self.stats.rejected += 1
+            raise ServiceUnavailableError(
+                f"service is {self._state}; not accepting jobs"
+            )
+        record = self._records.get(key)
+        if record is not None and record.status != FAILED:
+            # Queued, running, or done: the same work, already owned.
+            record.submissions += 1
+            self.stats.submitted += 1
+            self.stats.deduplicated += 1
+            return record
+        return None
+
+    def _install(self, key: str, job: CompileJob,
+                 previous: JobRecord | None) -> JobRecord:
+        """Fresh active record for ``key`` (resubmitted failures keep
+        their submission tally and bump the attempt generation)."""
+        record = JobRecord(
+            id=key, job=job, status=QUEUED, submitted_at=time.time()
+        )
+        if previous is not None:
+            record.submissions = previous.submissions + 1
+            record.attempt = previous.attempt + 1
+        else:
+            self._order.append(key)
+        self._records[key] = record
+        self._active_count += 1
+        return record
+
+    def _final_cached(self, job: CompileJob, key: str):
+        """A cached result that can answer the submission outright."""
+        if self.cache is None:
+            return None
+        cached = self.cache.get(key)
+        if cached is None:
+            return None
+        topology = resolve_device(job.device)
+        if not FermihedralCompiler._is_final(cached, job.method, topology):
+            return None  # unproved: let a worker warm-start from it
+        return cached
+
+    # -- dispatch -------------------------------------------------------------
+
+    def _can_dispatch(self) -> bool:
+        return bool(self._queue) and self._active_runs < self.jobs
+
+    def _drained(self) -> bool:
+        return (self._state != "serving" and not self._queue
+                and self._active_runs == 0)
+
+    def _drain_loop(self) -> None:
+        """Hand one queued job to each free worker slot as both appear.
+
+        Dispatch is per job, not per batch: a slow descent occupies one
+        slot while later submissions flow past it into the others.
+        """
+        while True:
+            with self._wake:
+                while not self._can_dispatch() and not self._drained():
+                    self._wake.wait()
+                if self._drained():
+                    self._state = "stopped"
+                    self._wake.notify_all()
+                    break
+                key = self._queue.popleft()
+                record = self._records[key]
+                record.status = RUNNING
+                record.started_at = time.time()
+                self._inflight[key] = record.attempt
+                self._active_runs += 1
+                job = record.job
+            threading.Thread(
+                target=self._run_one, args=(key, job),
+                name="repro-service-run", daemon=True,
+            ).start()
+        if self._executor is not None:
+            self._executor.close()
+
+    def _run_one(self, key: str, job: CompileJob) -> None:
+        """One dispatched job, on its own slot thread (the process pool
+        underneath bounds actual CPU parallelism to ``jobs``)."""
+        try:
+            outcomes = self._run_batch([(key, job)])
+            outcome = outcomes.get(key)
+            if outcome is None:
+                outcome = JobOutcome(
+                    job=job, key=key, status="error",
+                    error="worker returned no outcome for this job",
+                )
+        except Exception as error:
+            outcome = JobOutcome(
+                job=job, key=key, status="error",
+                error=f"worker pool failure: {type(error).__name__}: {error}",
+            )
+        self._handle_outcome(outcome)
+        with self._wake:
+            self._active_runs -= 1
+            self._wake.notify_all()
+
+    def _run_batch(self, batch: list[tuple[str, CompileJob]]):
+        if self._runner is not None:
+            return self._runner(batch)
+        if self._executor is not None:
+            return self._executor.run(batch)
+        # In-thread fallback (no fork): same body the thread batch uses.
+        outcomes = {}
+        for key, job in batch:
+            outcomes[key] = run_compile_job(
+                job, job.config or self.default_config, self.cache, key
+            )
+        return outcomes
+
+    def _handle_outcome(self, outcome: JobOutcome) -> None:
+        """Terminal bookkeeping for one job (idempotent; called from the
+        executor's ``on_outcome`` hook as each job resolves, and again
+        defensively from the slot thread)."""
+        with self._wake:
+            record = self._records.get(outcome.key)
+            if record is None or record.finished:
+                return
+            if self._inflight.get(outcome.key) != record.attempt:
+                return  # stale outcome from a superseded attempt
+            del self._inflight[outcome.key]
+            self._finish_record(record, outcome)
+
+    def _finish_record(self, record: JobRecord, outcome: JobOutcome) -> None:
+        """Terminal transition + counters + eviction (lock held)."""
+        record.apply_outcome(outcome, finished_at=time.time())
+        self._active_count -= 1
+        if record.status == FAILED:
+            self.stats.failed += 1
+        else:
+            self.stats.completed += 1
+        self._finished_order.append((record.id, record.attempt))
+        self._evict_finished()
+        self._wake.notify_all()
+
+    def _evict_finished(self) -> None:
+        """Drop the *earliest-finished* records beyond ``max_records``
+        (lock held).  Completion order, not submission order: the record
+        that just finished is always the last eviction candidate, so a
+        submitter's next poll can never find its fresh result already
+        gone.  Evicted results live on in the cache; their ids simply
+        stop resolving, and a resubmission becomes a cache hit."""
+        excess = (len(self._records) - self._active_count) - self.max_records
+        while excess > 0 and self._finished_order:
+            key, attempt = self._finished_order.popleft()
+            record = self._records.get(key)
+            if record is None or not record.finished \
+                    or record.attempt != attempt:
+                continue  # stale entry: already evicted or requeued since
+            del self._records[key]
+            self.stats.evicted += 1
+            excess -= 1
+        # _order keeps evicted keys as tombstones (readers skip them);
+        # compact once they dominate.
+        if len(self._order) > 2 * (len(self._records) + 1):
+            self._order = deque(
+                key for key in self._order if key in self._records
+            )
+
+    # -- introspection --------------------------------------------------------
+
+    def get(self, job_id: str) -> JobRecord | None:
+        with self._wake:
+            return self._records.get(job_id)
+
+    def find(self, prefix: str) -> list[JobRecord]:
+        """Records whose id starts with ``prefix`` (CLI convenience)."""
+        with self._wake:
+            return [
+                self._records[key] for key in self._order
+                if key in self._records and key.startswith(prefix)
+            ]
+
+    def records(self) -> list[JobRecord]:
+        """All records, in first-submission order."""
+        with self._wake:
+            return [
+                self._records[key] for key in self._order
+                if key in self._records
+            ]
+
+    def jobs_wire(self) -> list[dict]:
+        """Summaries of every record, in first-submission order."""
+        with self._wake:
+            return [
+                self._records[key].to_wire(include_result=False)
+                for key in self._order if key in self._records
+            ]
+
+    def record_wire(self, record: JobRecord, include_result: bool = True) -> dict:
+        """A record's wire form, serialized under the service lock so a
+        concurrent terminal transition can never produce a half-updated
+        view (``status: done`` with no result)."""
+        with self._wake:
+            return record.to_wire(include_result)
+
+    def job_wire(self, job_id: str, include_result: bool = True) -> dict | None:
+        with self._wake:
+            record = self._records.get(job_id)
+            return None if record is None else record.to_wire(include_result)
+
+    def lookup_wire(self, job_id: str,
+                    include_result: bool = True) -> dict | None:
+        """Wire form by exact id or unique prefix (``None`` when absent).
+
+        Raises :class:`AmbiguousJobIdError` when a prefix matches more
+        than one record.
+        """
+        with self._wake:
+            record = self._records.get(job_id)
+            if record is None and job_id:
+                matches = [
+                    self._records[key] for key in self._order
+                    if key in self._records and key.startswith(job_id)
+                ]
+                if len(matches) > 1:
+                    raise AmbiguousJobIdError(
+                        f"job id prefix {job_id!r} is ambiguous "
+                        f"({len(matches)} matches)"
+                    )
+                record = matches[0] if matches else None
+            return None if record is None else record.to_wire(include_result)
+
+    def counts(self) -> dict[str, int]:
+        """Jobs per state (zero states omitted)."""
+        with self._wake:
+            tally: dict[str, int] = {}
+            for record in self._records.values():
+                tally[record.status] = tally.get(record.status, 0) + 1
+            return tally
+
+    def healthz(self) -> dict:
+        counts = self.counts()
+        return {
+            "ok": self._state != "stopped",
+            "state": self._state,
+            "uptime_s": time.time() - self.started_at,
+            "queued": counts.get(QUEUED, 0),
+            "running": counts.get(RUNNING, 0),
+            "done": counts.get(DONE, 0),
+            "failed": counts.get(FAILED, 0),
+            "workers": self.jobs,
+            "execution": "processes" if self._use_processes else "in-process",
+        }
+
+    def stats_wire(self) -> dict:
+        stats = self.stats
+        cache: dict = {"enabled": self.cache is not None}
+        if self.cache is not None:
+            cache.update(
+                root=str(self.cache.root),
+                hits=self.cache.stats.hits,
+                misses=self.cache.stats.misses,
+                stores=self.cache.stats.stores,
+                warm_starts=self.cache.stats.warm_starts,
+                corrupted=self.cache.stats.corrupted,
+            )
+        return {
+            "state": self._state,
+            "uptime_s": time.time() - self.started_at,
+            "queue_limit": self.queue_limit,
+            "max_records": self.max_records,
+            "workers": self.jobs,
+            "execution": "processes" if self._use_processes else "in-process",
+            "jobs": self.counts(),
+            "counters": {
+                "submitted": stats.submitted,
+                "accepted": stats.accepted,
+                "deduplicated": stats.deduplicated,
+                "cache_hits": stats.cache_hits,
+                "completed": stats.completed,
+                "failed": stats.failed,
+                "cancelled": stats.cancelled,
+                "rejected": stats.rejected,
+                "evicted": stats.evicted,
+            },
+            "cache": cache,
+        }
+
+    def wait_for(self, job_id: str, timeout: float | None = None) -> JobRecord:
+        """Block until ``job_id`` finishes (in-process convenience; the
+        HTTP client polls instead).  Raises ``KeyError`` for unknown ids
+        and ``TimeoutError`` on expiry."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._wake:
+            while True:
+                record = self._records.get(job_id)
+                if record is None:
+                    raise KeyError(job_id)
+                if record.finished:
+                    return record
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise TimeoutError(
+                            f"job {job_id[:12]} still {record.status} after "
+                            f"{timeout}s"
+                        )
+                self._wake.wait(remaining)

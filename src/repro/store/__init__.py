@@ -18,11 +18,16 @@ See ``docs/ARCHITECTURE.md`` for the fingerprint and schema design.
 """
 
 from repro.store.batch import (
+    CONFIG_SPEC_KEYS,
+    JOB_SPEC_KEYS,
     JOB_STATUSES,
+    METHOD_SPELLINGS,
     BatchCompiler,
     BatchReport,
     CompileJob,
     JobOutcome,
+    config_from_spec,
+    job_from_spec,
 )
 from repro.store.cache import (
     CacheEntryInfo,
@@ -42,17 +47,22 @@ from repro.store.fingerprint import (
 __all__ = [
     "BatchCompiler",
     "BatchReport",
+    "CONFIG_SPEC_KEYS",
     "CacheEntryInfo",
     "CacheStats",
     "CompilationCache",
     "CompileJob",
     "FINGERPRINT_VERSION",
     "GcReport",
+    "JOB_SPEC_KEYS",
     "JOB_STATUSES",
     "JobOutcome",
+    "METHOD_SPELLINGS",
     "canonical_config",
     "canonical_hamiltonian",
     "compilation_key",
+    "config_from_spec",
     "default_cache_dir",
+    "job_from_spec",
     "job_payload",
 ]

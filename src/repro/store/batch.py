@@ -24,6 +24,7 @@ CLI renders as a live per-job status line.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
@@ -31,11 +32,15 @@ from dataclasses import dataclass, field
 
 from repro.core.config import (
     COMPILE_METHODS,
+    METHOD_ANNEALING,
+    METHOD_FULL_SAT,
     METHOD_INDEPENDENT,
     AnnealingSchedule,
     FermihedralConfig,
+    SolverBudget,
 )
 from repro.core.pipeline import CompilationResult, FermihedralCompiler, hardware_config
+from repro.fermion.catalog import parse_model
 from repro.fermion.hamiltonians import FermionicHamiltonian
 from repro.hardware import DeviceTopology, resolve_device
 from repro.store.cache import CompilationCache
@@ -43,6 +48,165 @@ from repro.store.fingerprint import compilation_key
 
 #: Job statuses a :class:`BatchReport` can contain.
 JOB_STATUSES = ("compiled", "warm-start", "cache-hit", "deduplicated", "error")
+
+#: Accepted spellings of the compile methods in job specs — the CLI's
+#: ``--method``, batch job files, and the service wire format all share
+#: this table so a method means the same thing on every front door.
+METHOD_SPELLINGS = {
+    "full-sat": METHOD_FULL_SAT,
+    "sat-anl": METHOD_ANNEALING,
+    "sat+annealing": METHOD_ANNEALING,
+    "independent": METHOD_INDEPENDENT,
+}
+
+#: Fields a job spec may carry; anything else is a typo in strict mode.
+JOB_SPEC_KEYS = ("model", "modes", "method", "seed", "label", "device", "config")
+
+#: Keys of the optional per-job ``config`` override object.
+CONFIG_SPEC_KEYS = (
+    "algebraic_independence",
+    "vacuum_preservation",
+    "exact_vacuum",
+    "strategy",
+    "budget_s",
+    "max_conflicts",
+)
+
+
+def config_from_spec(
+    data: dict, base: FermihedralConfig | None = None
+) -> FermihedralConfig:
+    """A :class:`FermihedralConfig` built from a plain-data override object.
+
+    ``data`` holds a subset of :data:`CONFIG_SPEC_KEYS`; unspecified
+    fields keep the values of ``base`` (the batch or service default
+    config).  Unknown keys are rejected — a silently ignored typo in a
+    job submission would compile the wrong instance.
+    """
+    base = base or FermihedralConfig()
+    if not isinstance(data, dict):
+        raise ValueError(f"'config' must be a JSON object, got {data!r}")
+    unknown = sorted(set(data) - set(CONFIG_SPEC_KEYS))
+    if unknown:
+        raise ValueError(
+            f"unknown config field(s) {', '.join(unknown)}; "
+            f"expected a subset of {CONFIG_SPEC_KEYS}"
+        )
+    for name in ("budget_s", "max_conflicts"):
+        value = data.get(name)
+        if value is None:
+            continue
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValueError(f"{name!r} must be a number, got {value!r}")
+    if data.get("max_conflicts") is not None:
+        data = {**data, "max_conflicts": int(data["max_conflicts"])}
+    budget = base.budget
+    if "budget_s" in data or "max_conflicts" in data:
+        budget = SolverBudget(
+            max_conflicts=data.get("max_conflicts", budget.max_conflicts),
+            time_budget_s=data.get("budget_s", budget.time_budget_s),
+        )
+    return dataclasses.replace(
+        base,
+        algebraic_independence=bool(
+            data.get("algebraic_independence", base.algebraic_independence)
+        ),
+        vacuum_preservation=bool(
+            data.get("vacuum_preservation", base.vacuum_preservation)
+        ),
+        exact_vacuum=bool(data.get("exact_vacuum", base.exact_vacuum)),
+        strategy=data.get("strategy", base.strategy),
+        budget=budget,
+    )
+
+
+def _spec_int(value, name: str) -> int:
+    """Coerce a spec field to int, folding type errors into ValueError
+    so every malformed spec surfaces the same way (HTTP 400)."""
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        raise ValueError(f"{name!r} must be an integer, got {value!r}") from None
+
+
+def job_from_spec(
+    spec: dict,
+    default_method: str = METHOD_FULL_SAT,
+    default_device=None,
+    base_config: FermihedralConfig | None = None,
+    strict: bool = False,
+) -> CompileJob:
+    """Build a :class:`CompileJob` from one plain-data job description.
+
+    The single spec grammar behind ``repro batch`` job files, repeated
+    ``--model`` flags, and the service's ``POST /jobs`` body: a JSON
+    object with ``model`` *or* ``modes``, plus optional ``method``,
+    ``seed``, ``label``, ``device``, and a ``config`` override object
+    (see :func:`config_from_spec`).
+
+    Args:
+        spec: the job description.
+        default_method: method for specs that carry none (any spelling
+            in :data:`METHOD_SPELLINGS`).
+        default_device: device for specs without a ``device`` field; a
+            spec's explicit ``"device": null`` still means device-free.
+        base_config: config that a spec's ``config`` object overrides;
+            specs without one get ``config=None`` (the batch/service
+            default applies).
+        strict: reject unknown spec fields — the service API turns this
+            on so a typoed field is a 400, not a silently different job.
+    """
+    if not isinstance(spec, dict):
+        raise ValueError(f"each job must be a JSON object, got {spec!r}")
+    if strict:
+        unknown = sorted(set(spec) - set(JOB_SPEC_KEYS))
+        if unknown:
+            raise ValueError(
+                f"unknown job field(s) {', '.join(unknown)}; "
+                f"expected a subset of {JOB_SPEC_KEYS}"
+            )
+    method_name = spec.get("method") or default_method
+    if not isinstance(method_name, str):
+        raise ValueError(f"'method' must be a string, got {method_name!r}")
+    method = METHOD_SPELLINGS.get(method_name)
+    if method is None:
+        raise ValueError(
+            f"unknown method {method_name!r}; expected one of "
+            f"{sorted(METHOD_SPELLINGS)}"
+        )
+    model = spec.get("model")
+    if model is not None and not isinstance(model, str):
+        raise ValueError(f"'model' must be a spec string, got {model!r}")
+    label = spec.get("label", model)
+    if label is not None and not isinstance(label, str):
+        raise ValueError(f"'label' must be a string, got {label!r}")
+    device = spec.get("device", default_device)
+    if device is not None and not isinstance(device, (str, DeviceTopology)):
+        raise ValueError(f"'device' must be a device name, got {device!r}")
+    modes = spec.get("modes")
+    if model is not None and method != METHOD_INDEPENDENT:
+        hamiltonian, num_modes = parse_model(model), None
+    elif model is not None:
+        raise ValueError("independent jobs take 'modes', not 'model'")
+    elif modes is not None:
+        if method != METHOD_INDEPENDENT:
+            raise ValueError(f"method {method_name!r} needs a 'model'")
+        hamiltonian, num_modes = None, _spec_int(modes, "modes")
+    else:
+        raise ValueError("each job needs a 'model' or 'modes' field")
+    config = None
+    if spec.get("config") is not None:
+        config = config_from_spec(spec["config"], base_config)
+    return CompileJob(
+        method=method,
+        hamiltonian=hamiltonian,
+        num_modes=num_modes,
+        config=config,
+        schedule=None,
+        seed=_spec_int(spec.get("seed", 2024), "seed"),
+        label=label,
+        device=device,
+    )
 
 
 @dataclass(frozen=True)
@@ -117,7 +281,12 @@ class CompileJob:
 
 @dataclass
 class JobOutcome:
-    """The per-job row of a :class:`BatchReport`."""
+    """The per-job row of a :class:`BatchReport`.
+
+    ``cache_error`` is set when the compilation succeeded but persisting
+    it did not (unwritable or vanished cache directory) — the job is
+    *not* an error in that case; the result is simply not memoized.
+    """
 
     job: CompileJob
     key: str
@@ -125,6 +294,7 @@ class JobOutcome:
     result: CompilationResult | None = None
     error: str | None = None
     elapsed_s: float = 0.0
+    cache_error: str | None = None
 
 
 @dataclass
@@ -155,6 +325,27 @@ class BatchReport:
         return f"{len(self.outcomes)} jobs: " + ", ".join(parts)
 
 
+def compile_job_key(job: CompileJob, default_config: FermihedralConfig) -> str:
+    """Fingerprint of one job under a batch/service default config.
+
+    The single key computation shared by :class:`BatchCompiler`, the
+    parallel executor's callers and the service daemon — all of them must
+    agree with what :meth:`FermihedralCompiler.compile` would compute
+    itself, or cache entries and dedup decisions would drift apart.
+    """
+    topology = resolve_device(job.device)
+    config = job.config or default_config
+    return compilation_key(
+        num_modes=job.modes,
+        config=hardware_config(config, topology, job.modes),
+        hamiltonian=job.hamiltonian,
+        method=job.method,
+        schedule=job.schedule,
+        seed=job.seed,
+        device=topology,
+    )
+
+
 def run_compile_job(
     job: CompileJob,
     config: FermihedralConfig,
@@ -164,9 +355,11 @@ def run_compile_job(
     """One cache-enabled compile, exceptions folded into an ``error`` outcome.
 
     The single execution body shared by the thread pool (cache object in
-    hand) and the process executor's workers (cache reopened by
-    directory), so the two paths can never drift in status mapping or
-    error handling.
+    hand), the process executor's workers (cache reopened by directory),
+    and the service daemon's single-worker path, so none of them can
+    drift in status mapping or error handling.  A cache-store failure
+    (``store-failed``) keeps the job successful — the compiled result is
+    returned with ``cache_error`` noting why it was not persisted.
     """
     started = time.monotonic()
     try:
@@ -190,6 +383,7 @@ def run_compile_job(
             status=status,
             result=result,
             elapsed_s=time.monotonic() - started,
+            cache_error=compiler.last_cache_error,
         )
     except Exception as error:  # surfaced per-job, batch keeps going
         return JobOutcome(
@@ -243,16 +437,7 @@ class BatchCompiler:
         return job.config or self.default_config
 
     def _job_key(self, job: CompileJob) -> str:
-        topology = resolve_device(job.device)
-        return compilation_key(
-            num_modes=job.modes,
-            config=hardware_config(self._job_config(job), topology, job.modes),
-            hamiltonian=job.hamiltonian,
-            method=job.method,
-            schedule=job.schedule,
-            seed=job.seed,
-            device=topology,
-        )
+        return compile_job_key(job, self.default_config)
 
     def _run_one(self, job: CompileJob, key: str) -> JobOutcome:
         return run_compile_job(job, self._job_config(job), self.cache, key)
@@ -275,7 +460,15 @@ class BatchCompiler:
                 done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
                 for future in done:
                     index, key, job = futures[future]
-                    outcome = future.result()
+                    try:
+                        outcome = future.result()
+                    except Exception as crash:  # defensive: keep the batch alive
+                        outcome = JobOutcome(
+                            job=job,
+                            key=key,
+                            status="error",
+                            error=f"{type(crash).__name__}: {crash}",
+                        )
                     primary_outcomes[key] = outcome
                     self._emit(JobFinished(
                         index, total, job.display, key, outcome.status,

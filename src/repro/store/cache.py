@@ -341,6 +341,31 @@ class CompilationCache:
                 infos.append(info)
         return infos
 
+    @staticmethod
+    def _unlink_if_unchanged(path: Path, observed: os.stat_result) -> bool:
+        """Remove ``path`` only if it is still the file ``observed`` described.
+
+        A ``.tmp`` that looked stale when scanned may belong to a *live*
+        writer whose clock is skewed or whose ``put()`` stalled: between
+        the scan's ``stat`` and this removal the writer can finish
+        (``os.replace`` moves the temp onto its entry, so the name
+        vanishes) or the name can be reused by a fresh writer.  Re-check
+        identity (inode + mtime) immediately before unlinking and treat
+        any mismatch or disappearance as "not ours to remove", so gc
+        never deletes — or counts — a temp that was replaced between
+        stat and unlink.
+        """
+        try:
+            fresh = path.stat()
+            if (fresh.st_ino, fresh.st_mtime_ns) != (
+                observed.st_ino, observed.st_mtime_ns
+            ):
+                return False
+            path.unlink()
+        except OSError:
+            return False
+        return True
+
     def gc(
         self,
         drop_unproved: bool = False,
@@ -353,7 +378,11 @@ class CompilationCache:
         summary check is fully decoded, so corruption buried in the result
         payload is caught too — as are temp files abandoned by crashed
         writers (older than :data:`_STALE_TEMP_S`, so a live writer's
-        in-flight temp survives).  ``drop_unproved`` also evicts
+        in-flight temp survives; removal re-checks the file's identity
+        right before unlinking, so a temp the writer replaced between
+        stat and unlink is neither deleted nor counted, and a stalled
+        writer that loses its temp anyway recovers through ``put()``'s
+        retry).  ``drop_unproved`` also evicts
         results whose optimality was never proved and that therefore only
         ever serve as warm starts — excluding ``sat+annealing`` entries,
         which are unproved by nature but count as full hits.
@@ -367,13 +396,15 @@ class CompilationCache:
         for shard in self.root.glob("*/"):
             for temp in shard.glob(".*.tmp"):
                 try:
-                    if now - temp.stat().st_mtime < _STALE_TEMP_S:
-                        continue
-                    report.temp_files_removed += 1
-                    if not dry_run:
-                        temp.unlink()
+                    observed = temp.stat()
                 except OSError:
-                    pass
+                    continue  # already replaced or removed
+                if now - observed.st_mtime < _STALE_TEMP_S:
+                    continue
+                if dry_run:
+                    report.temp_files_removed += 1
+                elif self._unlink_if_unchanged(temp, observed):
+                    report.temp_files_removed += 1
         def evict(info: CacheEntryInfo, reason: str) -> None:
             report.removed.append(info)
             report.reasons[info.key] = reason

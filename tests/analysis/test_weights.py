@@ -1,0 +1,52 @@
+"""Weight-comparison metrics, including the zero-baseline edge case."""
+
+from repro.analysis.weights import (
+    WeightComparison,
+    average_weight_per_majorana,
+    compare_hamiltonian_weight,
+)
+from repro.encodings import bravyi_kitaev, jordan_wigner
+from repro.fermion import h2_hamiltonian
+
+
+def _comparison(baseline_weight: int, candidate_weight: int) -> WeightComparison:
+    return WeightComparison(
+        case="test",
+        num_modes=2,
+        baseline_name="jw",
+        baseline_weight=baseline_weight,
+        candidate_name="fermihedral",
+        candidate_weight=candidate_weight,
+    )
+
+
+class TestReductionPercent:
+    def test_plain_reduction(self):
+        assert _comparison(10, 7).reduction_percent == 30.0
+
+    def test_zero_baseline_does_not_divide(self):
+        # An identity-only Hamiltonian has weight 0 under every encoding;
+        # this used to raise ZeroDivisionError.
+        assert _comparison(0, 0).reduction_percent == 0.0
+
+    def test_negative_reduction(self):
+        assert _comparison(10, 12).reduction_percent == -20.0
+
+
+class TestCompareHamiltonianWeight:
+    def test_h2_row(self):
+        hamiltonian = h2_hamiltonian()
+        row = compare_hamiltonian_weight(
+            "H2", hamiltonian, jordan_wigner(4), bravyi_kitaev(4)
+        )
+        assert row.num_modes == 4
+        assert row.baseline_weight > 0
+        # Whatever the numbers, the property must be finite and defined.
+        assert isinstance(row.reduction_percent, float)
+
+
+def test_average_weight_per_majorana():
+    encoding = jordan_wigner(2)
+    assert average_weight_per_majorana(encoding) == (
+        encoding.total_majorana_weight / 4
+    )

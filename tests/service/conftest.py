@@ -1,0 +1,10 @@
+"""Shared fixtures for the service tests."""
+
+import pytest
+
+from repro.core import FermihedralConfig, SolverBudget
+
+
+@pytest.fixture
+def fast_config():
+    return FermihedralConfig(budget=SolverBudget(time_budget_s=30.0))

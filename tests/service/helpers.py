@@ -1,0 +1,36 @@
+"""Stub results and outcomes shared by the service tests."""
+
+from repro.core import CompilationResult
+from repro.core.descent import DescentResult
+from repro.encodings import bravyi_kitaev
+from repro.store.batch import JobOutcome
+
+
+def dummy_result(num_modes: int = 2) -> CompilationResult:
+    """A small, valid result for stub runners (no SAT call involved)."""
+    encoding = bravyi_kitaev(num_modes)
+    descent = DescentResult(
+        encoding=encoding,
+        weight=encoding.total_majorana_weight,
+        proved_optimal=True,
+        steps=[],
+    )
+    return CompilationResult(
+        encoding=encoding,
+        method="full-sat/independent",
+        weight=encoding.total_majorana_weight,
+        proved_optimal=True,
+        descent=descent,
+    )
+
+
+def compiled_outcome(key, job, status="compiled", error=None):
+    """A stub JobOutcome matching what a worker would hand back."""
+    return JobOutcome(
+        job=job,
+        key=key,
+        status=status,
+        result=None if status == "error" else dummy_result(job.modes),
+        error=error,
+        elapsed_s=0.01,
+    )

@@ -1,0 +1,137 @@
+"""The service CLI verbs (submit / jobs / shutdown) and daemon lifecycle."""
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.service import CompilationService, ServiceServer
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+@pytest.fixture
+def live_server(fast_config, tmp_path):
+    """An in-thread daemon; yields its URL."""
+    from repro.store import CompilationCache
+
+    service = CompilationService(
+        cache=CompilationCache(tmp_path / "cache"),
+        default_config=fast_config,
+        use_processes=False,
+    ).start()
+    server = ServiceServer(("127.0.0.1", 0), service)
+    thread = threading.Thread(target=server.serve_until_stopped, daemon=True)
+    thread.start()
+    yield server.url
+    service.shutdown(drain=False)
+    server.shutdown()
+    thread.join(timeout=10.0)
+    server.server_close()
+
+
+class TestSubmitCommand:
+    def test_submit_and_wait(self, live_server, capsys):
+        code = main([
+            "submit", "--url", live_server, "--modes", "2", "--wait",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "job:" in out
+        assert "weight:          6" in out
+        assert "proved optimal:  True" in out
+
+    def test_submit_without_wait_prints_id(self, live_server, capsys):
+        code = main(["submit", "--url", live_server, "--modes", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "status:" in out
+
+    def test_submit_bad_spec_is_error(self, live_server, capsys):
+        code = main(["submit", "--url", live_server, "--model", "nosuch:2"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_submit_unreachable_service(self, capsys):
+        code = main([
+            "submit", "--url", "http://127.0.0.1:9", "--modes", "2",
+        ])
+        assert code == 2
+        assert "unreachable" in capsys.readouterr().err
+
+
+class TestJobsCommands:
+    def test_ls_and_show(self, live_server, capsys):
+        assert main([
+            "submit", "--url", live_server, "--modes", "2", "--wait",
+        ]) == 0
+        capsys.readouterr()
+
+        assert main(["jobs", "ls", "--url", live_server]) == 0
+        table = capsys.readouterr().out
+        assert "2 modes" in table and "done" in table
+
+        # show by unique prefix, via the id printed in the table
+        job_id = table.splitlines()[2].split("|")[0].strip()
+        assert main(["jobs", "show", job_id, "--url", live_server]) == 0
+        shown = capsys.readouterr().out
+        assert "majorana strings:" in shown
+
+    def test_ls_empty(self, live_server, capsys):
+        assert main(["jobs", "ls", "--url", live_server]) == 0
+        assert "no jobs" in capsys.readouterr().out
+
+
+class TestShutdownCommand:
+    def test_shutdown_via_cli(self, live_server, capsys):
+        assert main(["shutdown", "--url", live_server]) == 0
+        assert "shutdown accepted" in capsys.readouterr().out
+
+
+class TestServeProcess:
+    """The real daemon as a subprocess: startup banner and SIGTERM drain."""
+
+    def _wait_for_url(self, process) -> str:
+        deadline = time.monotonic() + 30.0
+        first = process.stdout.readline()
+        assert first, "serve printed nothing"
+        url = first.split()[-1]
+        assert url.startswith("http://")
+        assert time.monotonic() < deadline
+        return url
+
+    def test_sigterm_drains_gracefully(self, tmp_path):
+        env = dict(os.environ, PYTHONPATH=REPO_SRC, PYTHONUNBUFFERED="1")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--cache", str(tmp_path / "cache"), "--budget-s", "30"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            env=env,
+        )
+        try:
+            url = self._wait_for_url(process)
+            from repro.service import ServiceClient
+
+            client = ServiceClient(url, timeout=10.0)
+            record = client.submit({"modes": 2, "method": "independent"})
+            process.send_signal(signal.SIGTERM)
+            stdout, stderr = process.communicate(timeout=60.0)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+        assert process.returncode == 0
+        assert "draining" in stderr
+        assert "service stopped" in stdout
+        # The accepted job was finished, not dropped: its result is in
+        # the cache a later service/CLI run would reuse.
+        from repro.store import CompilationCache
+
+        cache = CompilationCache(tmp_path / "cache")
+        assert record["id"] in cache

@@ -1,0 +1,110 @@
+"""gc's stale-temp handling: staleness, the stat/unlink race, counting."""
+
+import os
+import time
+
+from repro.store import cache as cache_module
+from repro.store.cache import CompilationCache
+
+
+def _make_temp(root, age_s: float, name: str = ".deadbeef.12345.tmp"):
+    shard = root / "de"
+    shard.mkdir(parents=True, exist_ok=True)
+    temp = shard / name
+    temp.write_text("half-written entry")
+    stamp = time.time() - age_s
+    os.utime(temp, (stamp, stamp))
+    return temp
+
+
+class TestStaleTempRemoval:
+    def test_fresh_temp_survives(self, tmp_path):
+        cache = CompilationCache(tmp_path)
+        temp = _make_temp(tmp_path, age_s=1.0)
+        report = cache.gc()
+        assert report.temp_files_removed == 0
+        assert temp.exists()
+
+    def test_stale_temp_removed_and_counted(self, tmp_path):
+        cache = CompilationCache(tmp_path)
+        temp = _make_temp(tmp_path, age_s=cache_module._STALE_TEMP_S + 10)
+        report = cache.gc()
+        assert report.temp_files_removed == 1
+        assert not temp.exists()
+
+    def test_dry_run_counts_without_deleting(self, tmp_path):
+        cache = CompilationCache(tmp_path)
+        temp = _make_temp(tmp_path, age_s=cache_module._STALE_TEMP_S + 10)
+        report = cache.gc(dry_run=True)
+        assert report.dry_run and report.temp_files_removed == 1
+        assert temp.exists()
+
+
+class TestUnlinkIfUnchanged:
+    """The removal primitive that closes the stat/unlink race."""
+
+    def test_unchanged_file_removed(self, tmp_path):
+        path = tmp_path / ".x.tmp"
+        path.write_text("x")
+        observed = path.stat()
+        assert CompilationCache._unlink_if_unchanged(path, observed) is True
+        assert not path.exists()
+
+    def test_replaced_between_stat_and_unlink_kept(self, tmp_path):
+        # A writer finishing (os.replace) removes the temp name and a new
+        # writer may recreate it: the mtime/inode no longer match what gc
+        # observed, so the fresh file must be left alone and not counted.
+        path = tmp_path / ".x.tmp"
+        path.write_text("old writer")
+        observed = path.stat()
+        path.unlink()
+        path.write_text("new writer")  # same name, different file
+        assert CompilationCache._unlink_if_unchanged(path, observed) is False
+        assert path.exists()
+        assert path.read_text() == "new writer"
+
+    def test_mtime_refresh_kept(self, tmp_path):
+        # A stalled put() that resumes (or a clock-skewed writer syncing)
+        # bumps the mtime in place; gc must treat that as "not stale
+        # after all".
+        path = tmp_path / ".x.tmp"
+        path.write_text("stalled writer")
+        old = time.time() - 10_000
+        os.utime(path, (old, old))
+        observed = path.stat()
+        os.utime(path, None)  # writer touches the file again
+        assert CompilationCache._unlink_if_unchanged(path, observed) is False
+        assert path.exists()
+
+    def test_vanished_file_not_counted(self, tmp_path):
+        path = tmp_path / ".x.tmp"
+        path.write_text("x")
+        observed = path.stat()
+        path.unlink()  # writer completed: temp renamed onto its entry
+        assert CompilationCache._unlink_if_unchanged(path, observed) is False
+
+
+class TestGcRace:
+    def test_temp_replaced_mid_gc_not_counted(self, tmp_path, monkeypatch):
+        """Simulate the writer completing between gc's stat and unlink."""
+        cache = CompilationCache(tmp_path)
+        temp = _make_temp(tmp_path, age_s=cache_module._STALE_TEMP_S + 10)
+
+        real = CompilationCache._unlink_if_unchanged
+
+        def racing(path, observed):
+            # The writer finishes its put() right before removal: the
+            # temp is replaced onto the entry path (unlink + fresh file
+            # models the same name-level effect).
+            if path == temp and path.exists():
+                path.unlink()
+                path.write_text("a brand-new writer's temp")
+            return real(path, observed)
+
+        monkeypatch.setattr(
+            CompilationCache, "_unlink_if_unchanged", staticmethod(racing)
+        )
+        report = cache.gc()
+        assert report.temp_files_removed == 0
+        assert temp.exists()
+        assert temp.read_text() == "a brand-new writer's temp"
