@@ -22,6 +22,10 @@ Three workloads:
   the preprocessed and raw arms perform the identical logical quantum of
   work.  This is the CI regression gate: the preprocessed arm slower
   than the raw arm beyond a small noise tolerance fails the run.
+* **proof-overhead** — the same fixed rung with and without DRAT proof
+  logging (``proof=True``).  Identical conflict budget, identical raw
+  instance; the wall ratio isolates the cost of emission and a second CI
+  gate keeps it under 15%.
 * **solver-health** — pigeonhole UNSAT and random 3-SAT at the phase
   transition, the classic pure-solver microbenchmarks.
 
@@ -56,6 +60,11 @@ from repro.sat import CnfFormula, solve_formula
 #: Noise tolerance of the preprocessed-vs-raw gate: machine jitter must
 #: not fail CI, a real regression must.
 GATE_TOLERANCE = 1.10
+
+#: Budget for DRAT proof logging on the fixed rung: emission is two list
+#: appends per learned/deleted clause, so anything beyond 15% means the
+#: hot path regressed (e.g. logging leaked into propagation).
+PROOF_GATE_TOLERANCE = 1.15
 
 #: PR 3 reference numbers on the development machine (same workloads,
 #: same process pattern, best of 2), kept so the results file shows the
@@ -215,6 +224,52 @@ def bench_ladder_rung(modes: int, max_conflicts: int) -> dict:
     return out
 
 
+def bench_proof_overhead(modes: int, max_conflicts: int) -> dict:
+    """The fixed hard rung with and without DRAT proof logging.
+
+    Both arms burn the identical conflict budget on the identical raw
+    instance, so the wall ratio isolates what ``--proof`` costs the
+    search itself.  The proof arm also reports how much trace it banked.
+    """
+    from repro.core.descent import build_base_formula, measured_weight
+    from repro.encodings.bravyi_kitaev import bravyi_kitaev
+    from repro.sat.drat import ProofLog
+    from repro.sat.solver import CdclSolver
+
+    config = FermihedralConfig(algebraic_independence=False)
+    baseline = bravyi_kitaev(modes)
+    bound = 2 * 2 * modes
+    out: dict = {"modes": modes, "bound": bound, "max_conflicts": max_conflicts}
+    statuses = {}
+    for arm in ("plain", "proof"):
+        log = ProofLog() if arm == "proof" else None
+        started = time.monotonic()
+        encoder, indicators = build_base_formula(modes, config)
+        selectors = encoder.weight_ladder(
+            indicators, measured_weight(baseline) - 1)
+        solver = CdclSolver(
+            encoder.formula,
+            seed_phases=encoder.encoding_assignment(baseline),
+            proof=log,
+        )
+        result = solver.solve(
+            max_conflicts=max_conflicts, assumptions=(selectors[bound],))
+        wall = time.monotonic() - started
+        statuses[arm] = result.status
+        out[f"{arm}_wall_s"] = round(wall, 3)
+        out[f"{arm}_status"] = result.status
+        out[f"{arm}_conflicts"] = result.conflicts
+        if log is not None:
+            out["proof_lines_banked"] = len(log)
+    definitive = {s for s in statuses.values() if s in ("SAT", "UNSAT")}
+    assert len(definitive) <= 1, f"proof arm contradicts: {statuses}"
+    out["overhead_ratio"] = round(
+        out["proof_wall_s"] / max(out["plain_wall_s"], 1e-9), 3)
+    out["gate_ok"] = (
+        out["proof_wall_s"] <= out["plain_wall_s"] * PROOF_GATE_TOLERANCE)
+    return out
+
+
 def bench_solver_health() -> dict:
     started = time.monotonic()
     assert solve_formula(_pigeonhole(7, 6)).is_unsat
@@ -286,6 +341,11 @@ def main(argv: list[str] | None = None) -> int:
     report("sat_ladder_rung", _format(rung), data=rung)
     sections.append(("ladder-rung", rung))
 
+    overhead = bench_proof_overhead(args.modes, args.max_conflicts)
+    report("sat_proof_overhead", _format(overhead), data=overhead)
+    sections.append(("proof-overhead", overhead))
+
+    failed = False
     if not rung["gate_ok"]:
         print(
             f"FAIL: preprocessed rung ({rung['preprocessed_wall_s']}s) is "
@@ -293,6 +353,16 @@ def main(argv: list[str] | None = None) -> int:
             f"{GATE_TOLERANCE}x noise tolerance",
             file=sys.stderr,
         )
+        failed = True
+    if not overhead["gate_ok"]:
+        print(
+            f"FAIL: proof logging ({overhead['proof_wall_s']}s) slowed the "
+            f"rung ({overhead['plain_wall_s']}s) beyond the "
+            f"{PROOF_GATE_TOLERANCE}x budget",
+            file=sys.stderr,
+        )
+        failed = True
+    if failed:
         return 1
     for name, data in sections:
         print(f"ok: {name}")
@@ -315,6 +385,12 @@ def test_bench_descent_full_small():
 def test_bench_descent_ladder_small():
     data = bench_descent_ladder(modes=4, max_conflicts=2000)
     assert data["preprocessed_conflicts"] >= 0
+
+
+def test_bench_proof_overhead_small():
+    data = bench_proof_overhead(modes=4, max_conflicts=500)
+    assert data["plain_status"] == data["proof_status"]
+    assert data["proof_lines_banked"] > 0
 
 
 def test_bench_ladder_rung_small():

@@ -8,6 +8,7 @@ Subcommands::
     python -m repro compile   --model h2 --encoding bk [--time 1.0]
                               [--device ibm-falcon-27]
     python -m repro verify    --encoding-file enc.json
+    python -m repro verify-proof ARTIFACT [--dir DIR]
     python -m repro batch     jobs.json [--model h2 ...] [--cache DIR]
                               [--device linear-8] [--jobs 4]
     python -m repro cache     {ls,show,gc} [--dir DIR]
@@ -28,8 +29,10 @@ every SAT call (deterministic logical-time racing; first definitive
 answer wins); ``batch --jobs N`` fans unique jobs across N worker
 processes with a parent-side cache fast path and a live per-job status
 line on stderr.  SAT instances are simplified before solving
-(``--no-preprocess`` opts out) and ``solve --profile`` wraps the whole
-pipeline in cProfile.  Given enough budget per SAT call, none of these
+(``--no-preprocess`` opts out), ``solve --profile`` wraps the whole
+pipeline in cProfile, and ``solve --proof`` captures a DRAT certificate
+of the optimality-proving UNSAT answer that ``repro verify-proof``
+re-checks independently.  Given enough budget per SAT call, none of these
 knobs changes
 achieved weights or optimality proofs — only wall-clock time.  When a
 budget *is* exhausted, more parallelism can only answer more (a
@@ -117,6 +120,7 @@ def _config_from_args(args) -> FermihedralConfig:
         portfolio=args.portfolio or 1,
         jobs=getattr(args, "jobs_n", None) or 1,
         preprocess=not args.no_preprocess,
+        proof=getattr(args, "proof", False),
     )
 
 
@@ -153,6 +157,10 @@ def _add_solver_options(parser: argparse.ArgumentParser) -> None:
                              "first (unit propagation, subsumption, bounded "
                              "variable elimination); identical results, "
                              "usually slower")
+    parser.add_argument("--proof", action="store_true",
+                        help="capture a DRAT certificate of the descent's "
+                             "final UNSAT answer (the optimality proof), "
+                             "re-checkable with 'repro verify-proof'")
 
 
 def _resolve_encoding(name: str, num_modes: int):
@@ -248,6 +256,10 @@ def cmd_solve(args) -> int:
     # --portfolio 1) always wins.
     if args.jobs and args.jobs > 1 and args.portfolio is None:
         config = config.with_parallelism(portfolio=args.jobs)
+    # --proof-out implies --proof: asking for the artifact is asking for
+    # the capture.
+    if args.proof_out:
+        config = config.with_parallelism(proof=True)
     cache = CompilationCache(args.cache) if args.cache else None
     if args.model:
         hamiltonian = parse_model(args.model)
@@ -273,16 +285,26 @@ def cmd_solve(args) -> int:
         result, profile_text = run(), None
 
     report = result.verify()
-    post = ()
+    post = []
     if cache is not None:
-        post = (f"cache:           {compiler.last_cache_status} ({args.cache})",)
+        post.append(f"cache:           {compiler.last_cache_status} ({args.cache})")
+    if result.proof is not None:
+        post.append(f"proof:           sha256 {result.proof['sha256'][:12]} "
+                    f"({result.proof['drat_lines']} DRAT lines, "
+                    f"bound {result.proof['bound']})")
+    elif config.proof:
+        if compiler.last_cache_status == "hit":
+            reason = "the cached result was computed without --proof"
+        else:
+            reason = "the descent never proved UNSAT"
+        post.append(f"proof:           not captured ({reason})")
     _print_result_summary(
         result,
         mid_lines=(
             f"valid:           {report.valid}",
             f"vacuum:          {report.vacuum_preservation}",
         ),
-        post_lines=post,
+        post_lines=tuple(post),
     )
     if args.stats:
         _print_solver_stats(result)
@@ -292,6 +314,23 @@ def cmd_solve(args) -> int:
     if args.output:
         save_encoding(result.encoding, args.output)
         print(f"saved encoding to {args.output}")
+    if result.proof is not None:
+        trace = getattr(result.descent, "proof_trace", None)
+        if trace is None and cache is not None:
+            # Cache hit: the trace lives in the cache's proofs/ directory.
+            trace = cache.get_proof(result.proof["sha256"])
+        artifact = result.proof.get("artifact")
+        if args.proof_out or artifact is None:
+            out = args.proof_out or f"proof-{result.proof['sha256'][:12]}.json"
+            if trace is None:
+                print("error: the proof trace is not available to write "
+                      "(cached metadata without a stored artifact)",
+                      file=sys.stderr)
+                return 1
+            _write_proof_artifact(trace, out)
+            print(f"saved proof to {out}")
+        else:
+            print(f"proof artifact:  {artifact}")
     return 0
 
 
@@ -339,6 +378,66 @@ def cmd_compile(args) -> int:
         print(f"routed:    cnot={cost.two_qubit_count} swaps={cost.swap_count} "
               f"depth={cost.depth} (+{cost.routing_overhead} cnot over logical)")
     return 0
+
+
+def _write_proof_artifact(trace, path: str | Path) -> None:
+    """Write a proof trace exactly as the cache stores it (canonical JSON),
+    so the file's sha256 discipline matches ``verify-proof``'s."""
+    Path(path).write_text(json.dumps(trace.to_dict(), sort_keys=True) + "\n")
+
+
+def cmd_verify_proof(args) -> int:
+    from repro.sat.drat import ProofTrace, check_trace
+
+    path = Path(args.artifact)
+    if path.exists():
+        trace = ProofTrace.from_dict(json.loads(path.read_text()))
+        source = str(path)
+        # Content-addressed file names double as integrity checks.
+        stem = path.stem
+        if len(stem) == 64 and all(c in "0123456789abcdef" for c in stem) \
+                and trace.sha256() != stem:
+            print(f"artifact:        {source}")
+            print("verdict:         FAILED (content does not match the "
+                  "artifact's content address)")
+            return 1
+    else:
+        cache = CompilationCache(args.dir)
+        matches = [sha for sha in cache.proof_shas()
+                   if sha.startswith(args.artifact)]
+        if not matches:
+            print(f"error: no file or cached proof matches {args.artifact!r}",
+                  file=sys.stderr)
+            return 2
+        if len(matches) > 1:
+            print(f"error: {args.artifact!r} is ambiguous "
+                  f"({len(matches)} proofs):", file=sys.stderr)
+            for sha in matches:
+                print(f"  {sha}", file=sys.stderr)
+            return 2
+        trace = cache.get_proof(matches[0])
+        source = str(cache.proof_path(matches[0]))
+        if trace is None:
+            print(f"artifact:        {source}")
+            print("verdict:         FAILED (artifact is corrupted or "
+                  "unreadable)")
+            return 1
+    print(f"artifact:        {source}")
+    print(f"sha256:          {trace.sha256()}")
+    print(f"variables:       {trace.num_variables}")
+    print(f"assumptions:     {len(trace.assumptions)}")
+    print(f"axioms:          {len(trace.axioms)}")
+    print(f"proof lines:     {trace.num_proof_lines}")
+    for key in ("bound", "engine"):
+        if key in trace.meta:
+            print(f"{key + ':':<17}{trace.meta[key]}")
+    verdict = check_trace(trace)
+    if verdict.ok:
+        print(f"verdict:         OK ({verdict.checked_additions} additions "
+              f"checked in {verdict.steps} steps)")
+        return 0
+    print(f"verdict:         FAILED ({verdict.reason})")
+    return 1
 
 
 def cmd_verify(args) -> int:
@@ -790,6 +889,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "entries warm-start the descent)")
     solve.add_argument("--output", default=None, metavar="FILE",
                        help="save the encoding as JSON here")
+    solve.add_argument("--proof-out", default=None, metavar="FILE",
+                       help="save the optimality-proof artifact as JSON here "
+                            "(implies --proof); without it, --proof stores "
+                            "the artifact in the cache or next to the "
+                            "working directory")
     solve.set_defaults(handler=cmd_solve)
 
     baselines = subparsers.add_parser(
@@ -834,6 +938,26 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("encoding_file", help="encoding JSON produced by "
                                               "'repro solve --output'")
     verify.set_defaults(handler=cmd_verify)
+
+    verify_proof = subparsers.add_parser(
+        "verify-proof",
+        help="re-check a DRAT optimality-proof artifact",
+        description="Independently verify a proof artifact produced by "
+                    "'repro solve --proof': replay its DRAT derivation "
+                    "against the embedded CNF with a backward RUP/RAT "
+                    "checker that shares no code with the solver. Accepts "
+                    "a file path or a (prefix of a) sha256 resolved "
+                    "against the cache's proofs/ directory.",
+    )
+    verify_proof.add_argument("artifact",
+                              help="proof JSON file, or a unique sha256 "
+                                   "prefix of a cache-stored proof")
+    verify_proof.add_argument("--dir", default=str(default_cache_dir()),
+                              metavar="DIR",
+                              help="cache directory for sha lookups "
+                                   "(default: $REPRO_CACHE_DIR or "
+                                   "~/.cache/fermihedral)")
+    verify_proof.set_defaults(handler=cmd_verify_proof)
 
     batch = subparsers.add_parser(
         "batch",

@@ -28,11 +28,13 @@ COMPILE_METHODS = (METHOD_INDEPENDENT, METHOD_FULL_SAT, METHOD_ANNEALING)
 #: never contradict fewer.  ``preprocess`` belongs here too: CNF
 #: simplification is satisfiability-preserving per bound (models are
 #: reconstructed onto the original variables), so achieved weights and
-#: optimality proofs are invariant.  ``repro.store.fingerprint`` excludes
-#: them from cache keys so serial, incremental, portfolio, multi-process
-#: and preprocessed runs of one job all share a cache entry (sound
-#: because unproved results are warm-start seeds, never final hits).
-EXECUTION_ONLY_FIELDS = ("incremental", "portfolio", "jobs", "preprocess")
+#: optimality proofs are invariant.  ``proof`` is pure observation: it
+#: records what the solver did without changing a single decision.
+#: ``repro.store.fingerprint`` excludes them from cache keys so serial,
+#: incremental, portfolio, multi-process and preprocessed runs of one job
+#: all share a cache entry (sound because unproved results are warm-start
+#: seeds, never final hits).
+EXECUTION_ONLY_FIELDS = ("incremental", "portfolio", "jobs", "preprocess", "proof")
 
 
 @dataclass(frozen=True)
@@ -98,13 +100,21 @@ class FermihedralConfig:
             so decoded encodings, achieved weights and optimality proofs
             are unchanged; only solve time drops.  ``False``
             (``--no-preprocess``) solves the raw instance.
+        proof: capture a DRAT proof trace of the descent's optimality-
+            proving UNSAT answer (:mod:`repro.sat.drat`).  The trace
+            certifies the *original* CNF — preprocessing steps are logged
+            too — and can be re-verified independently with ``repro
+            verify-proof``.  Off by default: emission costs a little
+            memory and time on UNSAT-heavy runs, and the artifact is only
+            needed when the result must be auditable.
 
-        ``incremental``, ``portfolio``, ``jobs`` and ``preprocess`` are
-        execution-strategy knobs (:data:`EXECUTION_ONLY_FIELDS`): with
-        enough budget they change only how fast the run reaches the same
-        weight and proof (under an exhausted budget, more parallelism can
-        only answer more, never contradict), so they are excluded from
-        cache fingerprints.
+        ``incremental``, ``portfolio``, ``jobs``, ``preprocess`` and
+        ``proof`` are execution-strategy knobs
+        (:data:`EXECUTION_ONLY_FIELDS`): with enough budget they change
+        only how fast the run reaches the same weight and proof (under an
+        exhausted budget, more parallelism can only answer more, never
+        contradict) or what is recorded about it, so they are excluded
+        from cache fingerprints.
     """
 
     algebraic_independence: bool = True
@@ -120,6 +130,7 @@ class FermihedralConfig:
     portfolio: int = 1
     jobs: int = 1
     preprocess: bool = True
+    proof: bool = False
 
     def __post_init__(self):
         if self.strategy not in ("linear", "bisection"):
@@ -149,6 +160,7 @@ class FermihedralConfig:
         jobs: int | None = None,
         incremental: bool | None = None,
         preprocess: bool | None = None,
+        proof: bool | None = None,
     ) -> "FermihedralConfig":
         """This config with execution-strategy knobs overridden (``None``
         keeps the current value)."""
@@ -158,6 +170,7 @@ class FermihedralConfig:
             jobs=self.jobs if jobs is None else jobs,
             incremental=self.incremental if incremental is None else incremental,
             preprocess=self.preprocess if preprocess is None else preprocess,
+            proof=self.proof if proof is None else proof,
         )
 
 

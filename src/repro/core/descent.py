@@ -80,6 +80,10 @@ class DescentResult:
     #: One-time CNF simplification cost (0.0 when preprocessing is off or
     #: the engine is the cold loop, which never preprocesses).
     preprocess_time_s: float = 0.0
+    #: DRAT certificate of the final UNSAT rung (``config.proof`` on and
+    #: the descent reached an UNSAT answer); check it with
+    #: :func:`repro.sat.drat.check_trace`.  ``None`` otherwise.
+    proof_trace: "object | None" = None
 
     @property
     def sat_calls(self) -> int:
@@ -217,6 +221,7 @@ class _BoundSolver:
         self.blocking: list[list[int]] = []
         self.total_repairs = 0
         self.solve_time_s = 0.0
+        self.last_unsat_trace = None
 
     def prepare(self, max_bound: int) -> None:
         """No setup needed: each bound builds its own instance."""
@@ -237,7 +242,12 @@ class _BoundSolver:
 
         level_repairs = 0
         while True:
-            solver = CdclSolver(working, seed_phases=self.phases)
+            log = None
+            if self.config.proof:
+                from repro.sat.drat import ProofLog
+
+                log = ProofLog()
+            solver = CdclSolver(working, seed_phases=self.phases, proof=log)
             result = solver.solve(
                 max_conflicts=self.config.budget.max_conflicts,
                 time_budget_s=self.config.budget.time_budget_s,
@@ -245,6 +255,15 @@ class _BoundSolver:
             self.solve_time_s += result.elapsed_s
 
             if result.is_unsat or not result.is_sat:
+                if result.is_unsat and log is not None:
+                    from repro.sat.drat import build_trace
+
+                    # The cold loop bakes the bound (and any blocking
+                    # clauses) into ``working``, so the trace is
+                    # self-contained with no assumptions.
+                    self.last_unsat_trace = build_trace(
+                        working, log, meta={"bound": bound, "engine": "cold"}
+                    )
                 return _step_from_result(bound, result, None, level_repairs), None
 
             candidate = self.encoder.decode(result.model)
@@ -318,9 +337,12 @@ class _IncrementalBoundSolver:
         self.total_repairs = 0
         self.solve_time_s = 0.0
         self.preprocess_time_s = 0.0
+        self.last_unsat_trace = None
         self._selectors: list[int] | None = None
         self._reconstruct = None
         self._solver = None
+        self._proof_log = None
+        self._base_formula = None
 
     def prepare(self, max_bound: int) -> None:
         """Build the bound ladder and the persistent solver (idempotent).
@@ -334,6 +356,14 @@ class _IncrementalBoundSolver:
             self.indicators, max(max_bound, 0), self.config.qubit_weights
         )
         formula = self.encoder.formula
+        if self.config.proof:
+            from repro.sat.drat import ProofLog
+
+            # One log spans preprocessing and every solver call, and the
+            # trace certifies the pre-simplification instance — the CNF a
+            # reader can rebuild from the encoder's published constraints.
+            self._proof_log = ProofLog()
+            self._base_formula = formula
         if self.config.preprocess:
             from repro.sat.preprocess import preprocess
 
@@ -344,7 +374,7 @@ class _IncrementalBoundSolver:
             frozen = set(self.encoder.all_string_variables())
             frozen.update(abs(selector) for selector in self._selectors)
             started = time.monotonic()
-            simplified = preprocess(formula, frozen=frozen)
+            simplified = preprocess(formula, frozen=frozen, proof=self._proof_log)
             self.preprocess_time_s = time.monotonic() - started
             self._reconstruct = simplified.reconstruct
             formula = simplified.formula
@@ -355,9 +385,12 @@ class _IncrementalBoundSolver:
                 formula,
                 workers=self.config.portfolio,
                 seed_phases=self.phases,
+                proof=self._proof_log,
             )
         else:
-            self._solver = CdclSolver(formula, seed_phases=self.phases)
+            self._solver = CdclSolver(
+                formula, seed_phases=self.phases, proof=self._proof_log
+            )
 
     def close(self) -> None:
         """Release the solver backend (portfolio worker processes)."""
@@ -388,6 +421,19 @@ class _IncrementalBoundSolver:
             self.solve_time_s += result.elapsed_s
 
             if result.is_unsat or not result.is_sat:
+                if result.is_unsat and self._proof_log is not None:
+                    from repro.sat.drat import build_trace
+
+                    # Overwritten on every UNSAT rung: the descent's
+                    # optimality proof is always the *last* UNSAT answer
+                    # (linear stops there; bisection's final raise of the
+                    # lower bound is its last UNSAT too).
+                    self.last_unsat_trace = build_trace(
+                        self._base_formula,
+                        self._proof_log,
+                        assumptions=(selector,),
+                        meta={"bound": bound, "engine": "incremental"},
+                    )
                 return _step_from_result(bound, result, None, level_repairs), None
 
             model = result.model
@@ -527,4 +573,5 @@ def descend(
         repairs=bound_solver.total_repairs,
         strategy=config.strategy,
         preprocess_time_s=getattr(bound_solver, "preprocess_time_s", 0.0),
+        proof_trace=bound_solver.last_unsat_trace,
     )

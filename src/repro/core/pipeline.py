@@ -86,6 +86,13 @@ class CompilationResult:
     verification: VerificationReport | None = None
     device: str | None = None
     hardware: HardwareCost | None = None
+    #: Optimality-proof metadata when the job ran with ``proof=True`` and
+    #: the descent captured an UNSAT certificate: the trace's content
+    #: address (``sha256``), its size (``drat_lines``), the refuted bound,
+    #: the engine that produced it, and — when a cache persisted the full
+    #: artifact — its ``artifact`` path, consumable by
+    #: ``repro verify-proof``.  ``None`` when no proof was captured.
+    proof: dict | None = None
 
     def verify(self) -> VerificationReport:
         if self.verification is None:
@@ -311,7 +318,9 @@ class FermihedralCompiler:
         if self.cache is None:
             self.last_cache_status = "disabled"
             result = self._solve(method, hamiltonian, schedule, seed, None, config)
-            return self._finish_hardware(result, topology, hamiltonian, config)
+            result = self._finish_hardware(result, topology, hamiltonian, config)
+            self._attach_proof(result)
+            return result
 
         key = cache_key or self.cache.key_for(
             num_modes=self.num_modes,
@@ -334,6 +343,7 @@ class FermihedralCompiler:
             self.last_cache_status = "miss"
         result = self._solve(method, hamiltonian, schedule, seed, baseline, config)
         result = self._finish_hardware(result, topology, hamiltonian, config)
+        self._attach_proof(result)
         try:
             self.cache.put(key, result)
         except OSError as error:
@@ -363,6 +373,35 @@ class FermihedralCompiler:
         return solve_sat_annealing(
             hamiltonian, config, schedule, seed, baseline=baseline
         )
+
+    def _attach_proof(self, result: CompilationResult) -> None:
+        """Summarize (and, with a cache, persist) the descent's DRAT trace.
+
+        The metadata dict travels with the result and its cache entry; the
+        full trace is content-addressed under the cache's ``proofs/``
+        directory so ``repro verify-proof`` can re-check it later.  Like
+        result persistence, artifact persistence is best-effort: a broken
+        cache directory downgrades to ``store-failed`` instead of
+        discarding the finished compilation.
+        """
+        trace = getattr(result.descent, "proof_trace", None)
+        if trace is None:
+            return
+        proof = {
+            "sha256": trace.sha256(),
+            "drat_lines": trace.num_proof_lines,
+            "bound": trace.meta.get("bound"),
+            "engine": trace.meta.get("engine"),
+        }
+        if self.cache is not None:
+            try:
+                _, path = self.cache.put_proof(trace)
+            except OSError as error:
+                self.last_cache_status = "store-failed"
+                self.last_cache_error = f"{type(error).__name__}: {error}"
+            else:
+                proof["artifact"] = str(path)
+        result.proof = proof
 
     @staticmethod
     def _is_final(

@@ -111,6 +111,7 @@ def result_to_dict(result: CompilationResult) -> dict:
         "verification": None,
         "device": result.device,
         "hardware": None if result.hardware is None else result.hardware.as_dict(),
+        "proof": result.proof,
     }
     if result.annealing is not None:
         annealing = result.annealing
@@ -219,6 +220,7 @@ def result_from_dict(data: dict, validate: bool = True) -> CompilationResult:
         verification=verification,
         device=data.get("device"),
         hardware=hardware,
+        proof=data.get("proof"),
     )
 
 

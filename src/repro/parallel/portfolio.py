@@ -87,7 +87,10 @@ class SolverStrategy:
         return cls()
 
     def build(
-        self, formula: CnfFormula, seed_phases: dict[int, bool] | None = None
+        self,
+        formula: CnfFormula,
+        seed_phases: dict[int, bool] | None = None,
+        proof=None,
     ) -> CdclSolver:
         return CdclSolver(
             formula,
@@ -97,6 +100,7 @@ class SolverStrategy:
             phase_default=self.phase_default,
             random_seed=self.random_seed,
             random_branch_freq=self.random_branch_freq,
+            proof=proof,
         )
 
 
@@ -135,10 +139,16 @@ def diversified_strategies(workers: int) -> list[SolverStrategy]:
 
 
 def _worker_main(conn, formula: CnfFormula, strategy: SolverStrategy,
-                 seed_phases: dict[int, bool] | None) -> None:
+                 seed_phases: dict[int, bool] | None,
+                 emit_proof: bool = False) -> None:
     """Worker process loop: build one persistent solver, serve commands."""
     try:
-        solver = strategy.build(formula, seed_phases=seed_phases)
+        log = None
+        if emit_proof:
+            from repro.sat.drat import ProofLog
+
+            log = ProofLog()
+        solver = strategy.build(formula, seed_phases=seed_phases, proof=log)
     except Exception as error:  # pragma: no cover - construction is simple
         conn.send(("error", f"{type(error).__name__}: {error}"))
         conn.close()
@@ -156,6 +166,12 @@ def _worker_main(conn, formula: CnfFormula, strategy: SolverStrategy,
                 result = solver.solve(
                     max_conflicts=max_conflicts, assumptions=assumptions
                 )
+                # A winner's refutation is only checkable against that
+                # worker's own clause-derivation history, so an UNSAT
+                # reply ships the full cumulative log.
+                proof_payload = None
+                if log is not None and result.status == UNSAT:
+                    proof_payload = (list(log.lines), list(log.axioms))
                 conn.send((
                     "result",
                     result.status,
@@ -164,6 +180,7 @@ def _worker_main(conn, formula: CnfFormula, strategy: SolverStrategy,
                     (result.conflicts, result.decisions,
                      result.propagations, result.restarts),
                     len(solver.learned),
+                    proof_payload,
                 ))
             elif command == "add":
                 solver.add_clause(message[1])
@@ -196,6 +213,12 @@ class PortfolioSolver:
         strategies: explicit per-worker tunings; defaults to
             :func:`diversified_strategies`.
         round_conflicts: logical round length (see the module docstring).
+        proof: optional :class:`repro.sat.drat.ProofLog`.  Lines already
+            in the log at construction (the preprocessor's) are treated
+            as an immutable prefix; after every UNSAT answer the suffix
+            is replaced with the *winning worker's* cumulative solver
+            log, so the shared log always describes one coherent
+            derivation history — the winner's.
 
     If worker processes cannot be spawned at all (restricted sandboxes),
     the portfolio degrades to the in-process reference solver and sets
@@ -210,6 +233,7 @@ class PortfolioSolver:
         seed_phases: dict[int, bool] | None = None,
         strategies: list[SolverStrategy] | None = None,
         round_conflicts: int = DEFAULT_ROUND_CONFLICTS,
+        proof=None,
     ):
         if workers < 1:
             raise ValueError("a portfolio needs at least one worker")
@@ -217,6 +241,9 @@ class PortfolioSolver:
             raise ValueError("round_conflicts must be positive")
         self.workers = workers
         self.round_conflicts = round_conflicts
+        self._proof = proof
+        self._proof_line_prefix = 0 if proof is None else len(proof.lines)
+        self._proof_axiom_prefix = 0 if proof is None else len(proof.axioms)
         self.strategies = strategies or diversified_strategies(workers)
         if len(self.strategies) != workers:
             raise ValueError(
@@ -229,7 +256,7 @@ class PortfolioSolver:
         self._pipes: list = []
 
         if workers == 1:
-            self._local = self.strategies[0].build(formula, seed_phases)
+            self._local = self.strategies[0].build(formula, seed_phases, proof=proof)
             return
         try:
             context = multiprocessing.get_context()
@@ -237,7 +264,8 @@ class PortfolioSolver:
                 parent_conn, child_conn = context.Pipe()
                 process = context.Process(
                     target=_worker_main,
-                    args=(child_conn, formula, strategy, seed_phases),
+                    args=(child_conn, formula, strategy, seed_phases,
+                          proof is not None),
                     daemon=True,
                 )
                 process.start()
@@ -257,7 +285,7 @@ class PortfolioSolver:
                 stacklevel=2,
             )
             self.degraded = True
-            self._local = self.strategies[0].build(formula, seed_phases)
+            self._local = self.strategies[0].build(formula, seed_phases, proof=proof)
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -368,15 +396,31 @@ class PortfolioSolver:
             spent += slice_budget
             winner = None
             for index, reply in enumerate(replies):
-                _, status, model, under_assumptions, stats, learned = reply
+                _, status, model, under_assumptions, stats, learned, proof_payload = reply
                 conflicts += stats[0]
                 decisions += stats[1]
                 propagations += stats[2]
                 restarts += stats[3]
                 if winner is None and status in (SAT, UNSAT):
-                    winner = (index, status, model, under_assumptions, learned)
+                    winner = (index, status, model, under_assumptions, learned,
+                              proof_payload)
             if winner is not None:
-                index, status, model, under_assumptions, winner_learned = winner
+                (index, status, model, under_assumptions, winner_learned,
+                 proof_payload) = winner
+                if self._proof is not None and proof_payload is not None:
+                    # Splice the winner's cumulative solver log in after
+                    # the immutable (preprocessor) prefix; repeated UNSAT
+                    # answers keep overwriting with the latest winner's
+                    # complete history.
+                    winner_lines, winner_axioms = proof_payload
+                    del self._proof.lines[self._proof_line_prefix:]
+                    self._proof.lines.extend(
+                        (tag, tuple(lits)) for tag, lits in winner_lines
+                    )
+                    del self._proof.axioms[self._proof_axiom_prefix:]
+                    self._proof.axioms.extend(
+                        tuple(clause) for clause in winner_axioms
+                    )
                 return SolveResult(
                     status=status,
                     model=model,

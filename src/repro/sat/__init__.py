@@ -1,6 +1,6 @@
 """SAT substrate: CNF construction, Tseitin gadgets, cardinality encodings
-(sequential counter and totalizer), SatELite-style preprocessing, and the
-flattened CDCL solver."""
+(sequential counter and totalizer), SatELite-style preprocessing, the
+flattened CDCL solver, and DRAT proof logging/checking."""
 
 from repro.sat.cardinality import (
     add_at_most_k,
@@ -11,6 +11,16 @@ from repro.sat.cardinality import (
 )
 from repro.sat.cnf import CnfFormula, evaluate_clause, evaluate_formula
 from repro.sat.dpll import dpll_solve
+from repro.sat.drat import (
+    ProofCheckResult,
+    ProofLog,
+    ProofTrace,
+    build_trace,
+    check_drat,
+    check_trace,
+    parse_drat,
+    serialize_drat,
+)
 from repro.sat.enumerate import enumerate_models
 from repro.sat.preprocess import PreprocessResult, PreprocessStats, preprocess
 from repro.sat.solver import SAT, UNKNOWN, UNSAT, CdclSolver, SolveResult, luby, solve_formula
@@ -37,6 +47,9 @@ __all__ = [
     "CnfFormula",
     "PreprocessResult",
     "PreprocessStats",
+    "ProofCheckResult",
+    "ProofLog",
+    "ProofTrace",
     "SolveResult",
     "add_at_most_k",
     "add_at_most_k_weighted",
@@ -46,6 +59,9 @@ __all__ = [
     "add_weighted_ladder",
     "assert_or_true",
     "assert_xor_true",
+    "build_trace",
+    "check_drat",
+    "check_trace",
     "dpll_solve",
     "encode_and",
     "encode_or",
@@ -56,8 +72,10 @@ __all__ = [
     "evaluate_clause",
     "evaluate_formula",
     "luby",
+    "parse_drat",
     "predict_sequential_ladder",
     "predict_totalizer_ladder",
     "preprocess",
+    "serialize_drat",
     "solve_formula",
 ]

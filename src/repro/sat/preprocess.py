@@ -163,11 +163,24 @@ def _signature(clause: Iterable[int]) -> int:
 
 
 class _Simplifier:
-    """Mutable working state of one preprocessing run."""
+    """Mutable working state of one preprocessing run.
 
-    def __init__(self, formula: CnfFormula, frozen: frozenset[int]):
+    When ``proof`` is given, every clause the simplifier derives is
+    emitted as a DRAT addition *before* the clause it replaces is
+    emitted as a deletion, so an independent checker replaying the log
+    against the **original** formula always finds the justifying clauses
+    still active.  Each technique's additions are RUP by construction:
+    strengthened clauses via the unit (or the self-subsuming partner)
+    that justified them, substituted clauses via the equivalence
+    binaries (emitted for *all* planned pairs before any rewriting, while
+    the implication paths that prove them are still intact), elimination
+    resolvents via their two parents.  Units are never deleted.
+    """
+
+    def __init__(self, formula: CnfFormula, frozen: frozenset[int], proof=None):
         self.num_variables = formula.num_variables
         self.frozen = frozen
+        self.proof = proof
         self.clauses: list[set[int] | None] = []
         self.sigs: list[int] = []  # cached subsumption signatures, per index
         self.touched: list[int] = []  # clauses new/changed since last subsumption
@@ -220,6 +233,7 @@ class _Simplifier:
 
     def propagate_units(self) -> bool:
         """Apply queued root units to fixpoint; False on refutation."""
+        proof = self.proof
         while self.unit_queue:
             literal = self.unit_queue.pop()
             variable = abs(literal)
@@ -227,21 +241,34 @@ class _Simplifier:
             known = self.fixed.get(variable)
             if known is not None:
                 if known != value:
+                    if proof is not None:
+                        # Both polarities are active units: UP refutes.
+                        proof.add(())
                     self.stats.unsat = True
                     return False
                 continue
             self.fixed[variable] = value
             self.stats.fixed_variables += 1
             for index in list(self.occurs.get(literal, ())):
+                if proof is not None and self.clauses[index] is not None:
+                    proof.delete(sorted(self.clauses[index]))
                 self._remove_clause(index)
             for index in list(self.occurs.get(-literal, ())):
+                old = sorted(self.clauses[index]) if proof is not None else None
                 self._unlink_literal(index, -literal)
                 remaining = self.clauses[index]
                 if not remaining:
+                    if proof is not None:
+                        proof.add(())
                     self.stats.unsat = True
                     return False
+                if proof is not None:
+                    proof.add(sorted(remaining))
+                    proof.delete(old)
                 if len(remaining) == 1:
                     self.unit_queue.append(next(iter(remaining)))
+                    # Bookkeeping removal only: the emitted unit addition
+                    # stays active in the checker (units are never deleted).
                     self._remove_clause(index)
         return True
 
@@ -256,6 +283,7 @@ class _Simplifier:
         or strengthened.
         """
         changed = False
+        proof = self.proof
         queue = [index for index in self.touched if self.clauses[index] is not None]
         self.touched = []
         while queue:
@@ -276,6 +304,8 @@ class _Simplifier:
                 if other is None or len(other) < len(clause):
                     continue
                 if clause <= other:
+                    if proof is not None:
+                        proof.delete(sorted(other))
                     self._remove_clause(other_index)
                     self.stats.subsumed_clauses += 1
                     changed = True
@@ -290,10 +320,14 @@ class _Simplifier:
                     if other is None or len(other) < len(clause):
                         continue
                     if rest <= other:
+                        old = sorted(other) if proof is not None else None
                         self._unlink_literal(other_index, -literal)
                         self.stats.strengthened_clauses += 1
                         changed = True
                         strengthened = self.clauses[other_index]
+                        if proof is not None:
+                            proof.add(sorted(strengthened))
+                            proof.delete(old)
                         if len(strengthened) == 1:
                             self.unit_queue.append(next(iter(strengthened)))
                             self._remove_clause(other_index)
@@ -381,7 +415,14 @@ class _Simplifier:
         classes: dict[int, list[int]] = {}
         for literal, comp in component.items():
             classes.setdefault(comp, []).append(literal)
-        changed = False
+
+        # Phase 1: plan every substitution (and detect refuted classes)
+        # before rewriting anything.  Proof emission depends on this
+        # split: the equivalence binaries ``v ≡ r`` are RUP through the
+        # binary implication paths of the *untouched* clause set, and a
+        # substitution performed early would cut the paths later pairs
+        # need.
+        plans: list[tuple[int, int]] = []  # (variable, replacement)
         substituted: set[int] = set()  # each class appears twice (mirrored)
         for members in classes.values():
             if len(members) < 2:
@@ -389,8 +430,15 @@ class _Simplifier:
             variables = {abs(literal) for literal in members}
             if len(variables) < len(members):
                 # v and -v share a component: the formula is refuted.
+                if self.proof is not None:
+                    contradicted = next(
+                        lit for lit in members if -lit in members
+                    )
+                    self.proof.add((-contradicted,))
+                    self.proof.add((contradicted,))
+                    self.proof.add(())
                 self.stats.unsat = True
-                return changed
+                return False
             # Deterministic representative: frozen first, then smallest.
             representative = min(
                 members, key=lambda lit: (abs(lit) not in self.frozen, abs(lit), lit < 0)
@@ -404,31 +452,49 @@ class _Simplifier:
                 substituted.add(variable)
                 # literal ≡ representative, so  v ≡ ±representative.
                 replacement = representative if literal > 0 else -representative
-                self.records.append(("equiv", variable, replacement))
-                self.stats.substituted_variables += 1
-                self._substitute(variable, replacement)
-                changed = True
-                if self.stats.unsat:
-                    return changed
+                plans.append((variable, replacement))
+        if self.proof is not None:
+            for variable, replacement in plans:
+                self.proof.add((-variable, replacement))
+                self.proof.add((variable, -replacement))
+
+        # Phase 2: perform the planned rewrites.
+        changed = False
+        for variable, replacement in plans:
+            self.records.append(("equiv", variable, replacement))
+            self.stats.substituted_variables += 1
+            self._substitute(variable, replacement)
+            changed = True
+            if self.stats.unsat:
+                return changed
         return changed
 
     def _substitute(self, variable: int, replacement: int) -> None:
         """Rewrite every occurrence of ``variable`` with ``replacement``."""
+        proof = self.proof
         for literal, new_literal in ((variable, replacement), (-variable, -replacement)):
             for index in list(self.occurs.get(literal, ())):
                 clause = self.clauses[index]
                 if clause is None:
                     continue
+                old = sorted(clause) if proof is not None else None
                 self._unlink_literal(index, literal)
                 if new_literal in clause:
                     pass  # duplicate collapses
                 elif -new_literal in clause:
+                    if proof is not None:
+                        proof.delete(old)
                     self._remove_clause(index)  # tautology
                     continue
                 else:
                     clause.add(new_literal)
                     self.sigs[index] = _signature(clause)
                     self.occurs.setdefault(new_literal, set()).add(index)
+                if proof is not None:
+                    # RUP through the equivalence binary lit -> new_literal
+                    # emitted before any rewriting, plus the old clause.
+                    proof.add(sorted(clause))
+                    proof.delete(old)
                 if len(clause) == 1:
                     self.unit_queue.append(next(iter(clause)))
                     self._remove_clause(index)
@@ -470,6 +536,13 @@ class _Simplifier:
             saved = [tuple(sorted(clause)) for clause in pos_clauses + neg_clauses]
             self.records.append(("elim", variable, saved))
             self.stats.eliminated_variables += 1
+            if self.proof is not None:
+                # Resolvent additions first (each is RUP via its two
+                # still-active parents), parent deletions second.
+                for resolvent in resolvents:
+                    self.proof.add(sorted(resolvent))
+                for clause in saved:
+                    self.proof.delete(clause)
             for index in list(pos) + list(neg):
                 self._remove_clause(index)
             for resolvent in resolvents:
@@ -515,6 +588,7 @@ def preprocess(
     *,
     max_rounds: int = 10,
     bve_occurrence_limit: int = DEFAULT_BVE_OCCURRENCE_LIMIT,
+    proof=None,
 ) -> PreprocessResult:
     """Simplify ``formula``, never touching the ``frozen`` variables.
 
@@ -527,13 +601,18 @@ def preprocess(
         max_rounds: cap on UP → subsumption → elimination fixpoint rounds.
         bve_occurrence_limit: skip eliminating variables with more total
             occurrences than this.
+        proof: optional :class:`repro.sat.drat.ProofLog`.  Every
+            simplification step is logged as DRAT add/delete lines, so a
+            refutation of the *simplified* formula found by a downstream
+            solver writing to the same log checks against the *original*
+            formula (see :class:`_Simplifier`).
 
     Returns a :class:`PreprocessResult`; ``result.formula`` preserves the
     variable pool, ``result.reconstruct`` lifts models back to the
     original formula, and ``result.unsat`` short-circuits refuted inputs.
     """
     frozen_set = frozenset(abs(int(literal)) for literal in frozen)
-    simplifier = _Simplifier(formula, frozen_set)
+    simplifier = _Simplifier(formula, frozen_set, proof=proof)
     for _ in range(max_rounds):
         simplifier.stats.rounds += 1
         if not simplifier.propagate_units():

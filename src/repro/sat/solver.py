@@ -138,6 +138,13 @@ class CdclSolver:
             random branching regardless of ``random_branch_freq``.
         random_branch_freq: probability a decision picks a uniformly
             random unassigned variable instead of the VSIDS maximum.
+        proof: optional :class:`repro.sat.drat.ProofLog`.  When set, every
+            learnt clause is logged as a DRAT addition, every clause the
+            reduction pass drops as a DRAT deletion, and every clause
+            injected through :meth:`add_clause` as a premise axiom — an
+            UNSAT answer then has a complete, independently checkable
+            refutation (see :mod:`repro.sat.drat`).  ``None`` (the
+            default) keeps emission entirely out of the hot path.
 
     The four tuning knobs exist for portfolio diversification
     (:mod:`repro.parallel.portfolio`); all defaults together are the
@@ -154,7 +161,9 @@ class CdclSolver:
         phase_default: bool = False,
         random_seed: int | None = None,
         random_branch_freq: float = 0.0,
+        proof=None,
     ):
+        self.proof = proof
         self.num_vars = formula.num_variables
         n = self.num_vars
         self.assign = bytearray(2 * n + 2)    # per encoded literal: _FREE/_TRUE/_FALSE
@@ -218,6 +227,11 @@ class CdclSolver:
         for literal in clause:
             if literal == 0 or abs(literal) > self.num_vars:
                 raise ValueError(f"literal {literal} is not in this solver's pool")
+        if self.proof is not None:
+            # Mid-run problem clauses (blocking clauses, repairs) join the
+            # checker's premise set: RUP is monotone in the premises, so
+            # the trace refutes exactly the conjunction the solver saw.
+            self.proof.axiom(clause)
         self._backtrack(0)
         self._add_problem_clause(clause)
 
@@ -232,6 +246,10 @@ class CdclSolver:
     @staticmethod
     def _encode(literal: int) -> int:
         return (literal << 1) if literal > 0 else ((-literal) << 1) | 1
+
+    @staticmethod
+    def _decode(encoded: int) -> int:
+        return -(encoded >> 1) if encoded & 1 else (encoded >> 1)
 
     # -- clause arena ----------------------------------------------------------
 
@@ -563,6 +581,12 @@ class CdclSolver:
         self.qhead = len(self.trail)
 
     def _record_learnt(self, learnt: list[int]) -> None:
+        if self.proof is not None:
+            # First-UIP clauses (minimized included) are RUP against the
+            # clause set at learn time, assumptions never resolved in —
+            # the emission order alone makes the trace checkable.
+            decode = self._decode
+            self.proof.add([decode(encoded) for encoded in learnt])
         if len(learnt) == 1:
             self._enqueue(learnt[0], 0)
             return
@@ -596,6 +620,13 @@ class CdclSolver:
         if not removed:
             return
         db = self.db
+        if self.proof is not None:
+            decode = self._decode
+            for cref in sorted(removed):
+                size = db[cref] >> 1
+                self.proof.delete(
+                    [decode(encoded) for encoded in db[cref + 1:cref + 1 + size]]
+                )
         for watch_list in self.watches:
             j = 0
             for i in range(0, len(watch_list), 2):

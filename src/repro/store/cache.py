@@ -42,8 +42,15 @@ if TYPE_CHECKING:  # pragma: no cover - type hints only
     from repro.core.pipeline import CompilationResult
     from repro.fermion.hamiltonians import FermionicHamiltonian
     from repro.hardware.topology import DeviceTopology
+    from repro.sat.drat import ProofTrace
 
 _ENTRY_FORMAT_VERSION = 1
+
+#: Subdirectory of the cache root holding DRAT proof artifacts, stored
+#: content-addressed by their own SHA-256 (not by job fingerprint: the
+#: proof describes one concrete refutation, and a result entry points at
+#: it through ``CompilationResult.proof["sha256"]``).
+_PROOFS_DIR = "proofs"
 
 #: Age (seconds) after which an orphaned ``.tmp`` writer file is fair game
 #: for gc; any live put() completes in well under this.
@@ -158,6 +165,10 @@ class CompilationCache:
         """On-disk location of a key's entry (whether or not it exists)."""
         return self.root / key[:2] / f"{key}.json"
 
+    def proof_path(self, sha: str) -> Path:
+        """On-disk location of a proof artifact (whether or not it exists)."""
+        return self.root / _PROOFS_DIR / f"{sha}.json"
+
     # -- read side ------------------------------------------------------------
 
     def _decode_entry(self, path: Path, key: str) -> CompilationResult:
@@ -261,14 +272,81 @@ class CompilationCache:
             self.stats.stores += 1
         return path
 
+    # -- proof artifacts -------------------------------------------------------
+
+    def put_proof(self, trace: "ProofTrace") -> tuple[str, Path]:
+        """Persist a DRAT proof artifact content-addressed; returns
+        ``(sha256, path)``.
+
+        The filename *is* the content hash, so concurrent writers of the
+        same trace write identical bytes and the write is idempotent.
+        """
+        sha = trace.sha256()
+        path = self.proof_path(sha)
+        text = json.dumps(trace.to_dict(), sort_keys=True) + "\n"
+        for attempt in (0, 1):
+            path.parent.mkdir(parents=True, exist_ok=True)
+            try:
+                handle, temp_name = tempfile.mkstemp(
+                    dir=path.parent, prefix=f".{sha[:8]}.", suffix=".tmp"
+                )
+            except FileNotFoundError:
+                if attempt == 0:
+                    continue
+                raise
+            try:
+                with os.fdopen(handle, "w") as stream:
+                    stream.write(text)
+                os.replace(temp_name, path)
+                break
+            except FileNotFoundError:
+                if attempt == 0:
+                    continue
+                raise
+            except BaseException:
+                try:
+                    os.unlink(temp_name)
+                except OSError:
+                    pass
+                raise
+        return sha, path
+
+    def get_proof(self, sha: str) -> "ProofTrace | None":
+        """Load a proof artifact by content hash; ``None`` on miss.
+
+        The artifact's hash is recomputed and compared against the
+        filename, so a corrupted or tampered file reads as a miss rather
+        than as a plausible-looking certificate.
+        """
+        from repro.sat.drat import ProofTrace
+
+        path = self.proof_path(sha)
+        try:
+            data = json.loads(path.read_text())
+            trace = ProofTrace.from_dict(data)
+        except OSError:
+            return None
+        except (ValueError, KeyError, TypeError):
+            return None
+        if trace.sha256() != sha:
+            return None
+        return trace
+
+    def proof_shas(self) -> list[str]:
+        """Content hashes of every stored proof artifact (sorted)."""
+        proofs = self.root / _PROOFS_DIR
+        if not proofs.is_dir():
+            return []
+        return sorted(path.stem for path in proofs.glob("*.json"))
+
     # -- maintenance ----------------------------------------------------------
 
     def _entry_paths(self) -> Iterator[Path]:
         if not self.root.is_dir():
             return
         for shard in sorted(self.root.iterdir()):
-            if not shard.is_dir():
-                continue
+            if not shard.is_dir() or shard.name == _PROOFS_DIR:
+                continue  # proof artifacts are not result entries
             yield from sorted(shard.glob("*.json"))
 
     def _info_for(self, path: Path) -> CacheEntryInfo | None:

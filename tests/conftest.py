@@ -8,6 +8,14 @@ from hypothesis import strategies as st
 from repro.core import FermihedralConfig, SolverBudget
 from repro.paulis import PauliString
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running fuzz/battery tests for the nightly lane "
+        "(deselect with '-m \"not slow\"'; also gated on REPRO_SLOW_TESTS)",
+    )
+
+
 #: Strategy: a Pauli label of bounded length.
 pauli_labels = st.text(alphabet="IXYZ", min_size=1, max_size=6)
 

@@ -1,0 +1,159 @@
+"""End-to-end tests for optimality-proof capture through the pipeline.
+
+The tentpole property: a ``proof=True`` run whose descent proves
+optimality yields a :class:`repro.sat.drat.ProofTrace` that the
+independent checker accepts — for every descent engine (cold and
+incremental, with and without preprocessing, linear and bisection,
+portfolio racing) — and the compiler/cache layers carry the artifact
+without perturbing fingerprints.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core import FermihedralCompiler, FermihedralConfig, SolverBudget, descend
+from repro.encodings.serialization import result_from_dict, result_to_dict
+from repro.fermion import tv_chain
+from repro.sat.drat import check_trace
+from repro.store import CompilationCache
+
+
+def _proof_config(**overrides) -> FermihedralConfig:
+    settings = dict(
+        proof=True,
+        budget=SolverBudget(max_conflicts=200_000, time_budget_s=60),
+    )
+    settings.update(overrides)
+    return FermihedralConfig(**settings)
+
+
+class TestDescentEngines:
+    @pytest.mark.parametrize("incremental", [True, False])
+    @pytest.mark.parametrize("preprocess", [True, False])
+    def test_every_engine_emits_a_checkable_trace(self, incremental, preprocess):
+        config = _proof_config(incremental=incremental, preprocess=preprocess)
+        result = descend(2, config=config)
+        assert result.proved_optimal
+        assert result.proof_trace is not None
+        verdict = check_trace(result.proof_trace)
+        assert verdict.ok, verdict.reason
+        engine = "incremental" if incremental else "cold"
+        assert result.proof_trace.meta["engine"] == engine
+        # The certified bound is the last refuted rung: optimum - 1.
+        assert result.proof_trace.meta["bound"] == result.weight - 1
+
+    def test_bisection_strategy_traces(self):
+        result = descend(2, config=_proof_config(strategy="bisection"))
+        assert result.proved_optimal
+        assert result.proof_trace is not None
+        assert check_trace(result.proof_trace).ok
+
+    def test_portfolio_winner_trace_verifies(self):
+        result = descend(2, config=_proof_config(portfolio=2))
+        assert result.proved_optimal
+        assert result.proof_trace is not None
+        verdict = check_trace(result.proof_trace)
+        assert verdict.ok, verdict.reason
+
+    def test_proof_off_captures_nothing(self):
+        result = descend(2, config=_proof_config(proof=False))
+        assert result.proved_optimal
+        assert result.proof_trace is None
+
+    def test_hamiltonian_dependent_trace(self):
+        result = descend(
+            2, config=_proof_config(), hamiltonian=tv_chain(2)
+        )
+        assert result.proved_optimal
+        assert result.proof_trace is not None
+        assert check_trace(result.proof_trace).ok
+
+
+class TestCompilerAndCache:
+    def test_compile_stores_a_checkable_artifact(self, tmp_path):
+        cache = CompilationCache(tmp_path / "cache")
+        compiler = FermihedralCompiler(2, _proof_config(), cache=cache)
+        result = compiler.hamiltonian_independent()
+        assert result.proved_optimal
+        assert result.proof is not None
+        sha = result.proof["sha256"]
+        assert result.proof["artifact"] == str(cache.proof_path(sha))
+        trace = cache.get_proof(sha)
+        assert trace is not None
+        assert trace.sha256() == sha
+        assert check_trace(trace).ok
+        assert result.proof["drat_lines"] == trace.num_proof_lines
+
+    def test_cache_hit_round_trips_proof_metadata(self, tmp_path):
+        cache = CompilationCache(tmp_path / "cache")
+        first = FermihedralCompiler(2, _proof_config(), cache=cache)
+        stored = first.hamiltonian_independent()
+        again = FermihedralCompiler(2, _proof_config(), cache=cache)
+        result = again.hamiltonian_independent()
+        assert again.last_cache_status == "hit"
+        assert result.proof == stored.proof
+
+    def test_compile_without_cache_still_attaches_metadata(self):
+        compiler = FermihedralCompiler(2, _proof_config())
+        result = compiler.hamiltonian_independent()
+        assert result.proof is not None
+        assert "artifact" not in result.proof
+        assert check_trace(result.descent.proof_trace).ok
+
+    def test_corrupted_artifact_reads_as_miss(self, tmp_path):
+        cache = CompilationCache(tmp_path / "cache")
+        compiler = FermihedralCompiler(2, _proof_config(), cache=cache)
+        result = compiler.hamiltonian_independent()
+        sha = result.proof["sha256"]
+        path = cache.proof_path(sha)
+        data = json.loads(path.read_text())
+        data["num_variables"] += 1
+        path.write_text(json.dumps(data, sort_keys=True) + "\n")
+        assert cache.get_proof(sha) is None
+
+    def test_gc_leaves_proof_artifacts_alone(self, tmp_path):
+        cache = CompilationCache(tmp_path / "cache")
+        compiler = FermihedralCompiler(2, _proof_config(), cache=cache)
+        result = compiler.hamiltonian_independent()
+        sha = result.proof["sha256"]
+        report = cache.gc()
+        assert not report.removed
+        assert cache.get_proof(sha) is not None
+
+    def test_put_proof_is_idempotent(self, tmp_path):
+        cache = CompilationCache(tmp_path / "cache")
+        compiler = FermihedralCompiler(2, _proof_config(), cache=cache)
+        trace = compiler.hamiltonian_independent().descent.proof_trace
+        sha_a, path_a = cache.put_proof(trace)
+        sha_b, path_b = cache.put_proof(trace)
+        assert (sha_a, path_a) == (sha_b, path_b)
+        assert cache.proof_shas() == [sha_a]
+
+    def test_fingerprint_ignores_the_proof_knob(self, tmp_path):
+        cache = CompilationCache(tmp_path / "cache")
+        on = _proof_config()
+        off = dataclasses.replace(on, proof=False)
+        key_on = cache.key_for(num_modes=2, config=on, hamiltonian=None,
+                               method="independent", schedule=None,
+                               seed=2024, device=None)
+        key_off = cache.key_for(num_modes=2, config=off, hamiltonian=None,
+                                method="independent", schedule=None,
+                                seed=2024, device=None)
+        assert key_on == key_off
+
+    def test_result_serialization_round_trips_proof(self):
+        compiler = FermihedralCompiler(2, _proof_config())
+        result = compiler.hamiltonian_independent()
+        clone = result_from_dict(json.loads(json.dumps(result_to_dict(result))))
+        assert clone.proof == result.proof
+
+    def test_results_without_proof_serialize_as_before(self):
+        compiler = FermihedralCompiler(2, _proof_config(proof=False))
+        result = compiler.hamiltonian_independent()
+        data = result_to_dict(result)
+        assert data["proof"] is None
+        assert result_from_dict(data).proof is None

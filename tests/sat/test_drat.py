@@ -1,0 +1,325 @@
+"""Property battery for DRAT proof emission and the independent checker.
+
+Every UNSAT answer the CDCL solver gives — with or without assumptions,
+with or without preprocessing in front — must come with a trace the
+:mod:`repro.sat.drat` checker accepts against the *original* CNF, and
+corrupted traces must be rejected.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat import (
+    UNSAT,
+    CnfFormula,
+    CdclSolver,
+    ProofLog,
+    ProofTrace,
+    build_trace,
+    check_drat,
+    check_trace,
+    dpll_solve,
+    evaluate_formula,
+    parse_drat,
+    preprocess,
+    serialize_drat,
+)
+
+
+@st.composite
+def cnf_instances(draw):
+    """A small random CNF: (num_vars, clauses), biased toward UNSAT."""
+    num_vars = draw(st.integers(2, 7))
+    literals = st.integers(1, num_vars).flatmap(
+        lambda v: st.sampled_from([v, -v])
+    )
+    clause = st.lists(literals, min_size=1, max_size=3, unique_by=abs)
+    clauses = draw(st.lists(clause, min_size=1, max_size=4 * num_vars))
+    return num_vars, [tuple(c) for c in clauses]
+
+
+@st.composite
+def cnf_with_assumptions(draw):
+    num_vars, clauses = draw(cnf_instances())
+    variables = draw(
+        st.lists(st.integers(1, num_vars), max_size=3, unique=True)
+    )
+    signs = draw(st.lists(st.booleans(), min_size=len(variables),
+                          max_size=len(variables)))
+    assumptions = tuple(
+        v if sign else -v for v, sign in zip(variables, signs)
+    )
+    return num_vars, clauses, assumptions
+
+
+def _build(num_vars, clauses) -> CnfFormula:
+    formula = CnfFormula()
+    formula.new_variables(num_vars)
+    formula.add_clauses(clauses)
+    return formula
+
+
+def _solve_logged(num_vars, clauses, assumptions=(), use_preprocess=False):
+    """Solve the way the descent does, returning (status, trace | None)."""
+    formula = _build(num_vars, clauses)
+    log = ProofLog()
+    meta = {"instance": "fuzz"}
+    if use_preprocess:
+        pre = preprocess(
+            formula, frozen=[abs(lit) for lit in assumptions], proof=log
+        )
+        if pre.unsat:
+            return UNSAT, build_trace(formula, log, assumptions, meta)
+        solver = CdclSolver(pre.formula, proof=log)
+    else:
+        solver = CdclSolver(formula, proof=log)
+    result = solver.solve(assumptions=list(assumptions))
+    if result.is_unsat:
+        return UNSAT, build_trace(formula, log, assumptions, meta)
+    return result.status, None
+
+
+def _drop_empty_clause(trace: ProofTrace) -> ProofTrace:
+    """The trace with its refuting empty-clause addition removed."""
+    steps = [s for s in parse_drat(trace.proof) if s != ("a", ())]
+    return ProofTrace(
+        num_variables=trace.num_variables,
+        cnf=trace.cnf,
+        assumptions=trace.assumptions,
+        axioms=trace.axioms,
+        proof=serialize_drat(steps),
+        meta=trace.meta,
+    )
+
+
+class TestUnsatTracesCheck:
+    @settings(max_examples=60, deadline=None)
+    @given(cnf_instances())
+    def test_plain_unsat_trace_verifies(self, instance):
+        num_vars, clauses = instance
+        status, trace = _solve_logged(num_vars, clauses)
+        assert status == dpll_solve(_build(num_vars, clauses)).status
+        if trace is not None:
+            verdict = check_trace(trace)
+            assert verdict.ok, verdict.reason
+            # ...and removing the refutation must break it.
+            assert not check_trace(_drop_empty_clause(trace))
+
+    @settings(max_examples=60, deadline=None)
+    @given(cnf_with_assumptions())
+    def test_unsat_under_assumptions_verifies(self, instance):
+        num_vars, clauses, assumptions = instance
+        status, trace = _solve_logged(num_vars, clauses, assumptions)
+        if trace is not None:
+            verdict = check_trace(trace)
+            assert verdict.ok, verdict.reason
+
+    @settings(max_examples=60, deadline=None)
+    @given(cnf_with_assumptions())
+    def test_preprocessed_unsat_verifies_against_original(self, instance):
+        num_vars, clauses, assumptions = instance
+        status, trace = _solve_logged(
+            num_vars, clauses, assumptions, use_preprocess=True
+        )
+        plain_status, _ = _solve_logged(num_vars, clauses, assumptions)
+        assert status == plain_status
+        if trace is not None:
+            # The embedded CNF is the *original* formula, so a pass here
+            # certifies the whole preprocess-then-solve chain.
+            assert trace.cnf == _build(num_vars, clauses).to_dimacs()
+            verdict = check_trace(trace)
+            assert verdict.ok, verdict.reason
+
+    @settings(max_examples=30, deadline=None)
+    @given(cnf_instances())
+    def test_sat_answers_evaluate(self, instance):
+        num_vars, clauses = instance
+        formula = _build(num_vars, clauses)
+        log = ProofLog()
+        solver = CdclSolver(formula, proof=log)
+        result = solver.solve()
+        if result.is_sat:
+            assert evaluate_formula(formula, result.model)
+
+
+# A crafted asymmetric instance where flipping the first learned literal
+# is *guaranteed* to break the proof: the formula forces x=False (any
+# x=True branch contradicts via z), so "x" is not RUP while "-x" is.
+_CRAFTED_CNF = [
+    (-1, 3), (-1, -3),          # x -> z and x -> -z: x must be False
+    (1, 2, 4), (1, 2, -4),      # with x False, a (=2) must be True...
+    (1, -2, 4), (1, -2, -4),    # ...and also False: UNSAT
+]
+
+
+def _crafted_premises():
+    return [tuple(c) for c in _CRAFTED_CNF]
+
+
+class TestMutationsRejected:
+    def test_crafted_trace_passes(self):
+        steps = [("a", (-1,)), ("a", (2,)), ("a", ())]
+        assert check_drat(_crafted_premises(), steps)
+
+    def test_flipped_literal_fails(self):
+        steps = [("a", (1,)), ("a", (2,)), ("a", ())]
+        verdict = check_drat(_crafted_premises(), steps)
+        assert not verdict.ok
+        assert "neither RUP nor RAT" in verdict.reason
+
+    def test_dropped_line_fails(self):
+        steps = [("a", (-1,)), ("a", ())]
+        # Without the (2) step, UP from the remaining clauses cannot
+        # close the refutation.
+        assert not check_drat(_crafted_premises(), steps)
+
+    def test_missing_empty_clause_fails(self):
+        steps = [("a", (-1,)), ("a", (2,))]
+        verdict = check_drat(_crafted_premises(), steps)
+        assert not verdict.ok
+        assert "empty clause" in verdict.reason
+
+    def test_corrupted_artifact_json_is_rejected(self):
+        status, trace = _solve_logged(1, [(1,), (-1,)])
+        assert trace is not None
+        data = trace.to_dict()
+        data["proof"] = data["proof"].replace("0", "x", 1)
+        corrupted = ProofTrace.from_dict(data)
+        verdict = check_trace(corrupted)
+        assert not verdict.ok
+        assert "malformed DRAT" in verdict.reason
+
+    def test_out_of_range_literal_rejected(self):
+        status, trace = _solve_logged(1, [(1,), (-1,)])
+        data = trace.to_dict()
+        data["assumptions"] = [99]
+        verdict = check_trace(ProofTrace.from_dict(data))
+        assert not verdict.ok
+        assert "out of range" in verdict.reason
+
+
+class TestCheckerUnits:
+    def test_deletion_weakens_but_refutation_survives(self):
+        premises = [(1,), (-1,), (1, 2)]
+        steps = [("d", (1, 2)), ("a", ())]
+        assert check_drat(premises, steps)
+
+    def test_deleting_a_needed_clause_breaks_the_proof(self):
+        premises = [(1,), (-1,)]
+        steps = [("d", (1,)), ("a", ())]
+        assert not check_drat(premises, steps)
+
+    def test_unmatched_deletion_is_ignored(self):
+        premises = [(1,), (-1,)]
+        steps = [("d", (5, 6)), ("a", ())]
+        assert check_drat(premises, steps)
+
+    def test_tautological_addition_is_fine(self):
+        premises = [(1,), (-1,)]
+        steps = [("a", (2, -2)), ("a", ())]
+        assert check_drat(premises, steps)
+
+    def test_rat_on_first_literal(self):
+        from repro.sat.drat import _DratChecker
+
+        # (1, 2) is not RUP against (-1, -2, 3), but it is RAT on its
+        # first literal: the only resolvent is tautological (blocked
+        # clause).  Against (-1, 3) the resolvent (2, 3) is neither
+        # tautological nor RUP, so RAT must fail.
+        blocked = _DratChecker([(-1, -2, 3)])
+        assert not blocked._check_rup((1, 2))
+        assert blocked._check_rat((1, 2))
+        open_resolvent = _DratChecker([(-1, 3)])
+        assert not open_resolvent._check_rat((1, 2))
+
+    def test_empty_premise_refutation(self):
+        assert check_drat([()], [("a", ())])
+
+
+class TestFormatRoundTrips:
+    def test_serialize_parse_round_trip(self):
+        lines = [("a", (1, -2)), ("d", (3,)), ("a", ())]
+        assert parse_drat(serialize_drat(lines)) == lines
+
+    def test_parse_rejects_missing_terminator(self):
+        with pytest.raises(ValueError):
+            parse_drat("1 2\n")
+
+    def test_parse_rejects_interior_zero(self):
+        with pytest.raises(ValueError):
+            parse_drat("1 0 2 0\n")
+
+    def test_parse_skips_comments_and_blanks(self):
+        assert parse_drat("c hi\n\n1 0\n") == [("a", (1,))]
+
+    def test_trace_dict_round_trip_preserves_sha(self):
+        status, trace = _solve_logged(2, [(1,), (-1, 2), (-2,)])
+        assert trace is not None
+        clone = ProofTrace.from_dict(json.loads(json.dumps(trace.to_dict())))
+        assert clone == trace
+        assert clone.sha256() == trace.sha256()
+
+    def test_unknown_format_version_rejected(self):
+        with pytest.raises(ValueError):
+            ProofTrace.from_dict({"proof_format_version": 99})
+
+
+class TestFrozenAssumptionRegression:
+    """Preprocess-derived root units contradicted by an assumption.
+
+    The preprocessor propagates (a) through (-a, v) and re-emits the
+    frozen variable v as a unit; a later solve under the assumption -v
+    is refuted at the root, possibly with zero learned clauses.  The
+    trace must still check against the *original* formula because the
+    preprocessor logged the derivation of (v).
+    """
+
+    def test_contradicted_frozen_unit_yields_checkable_trace(self):
+        formula = CnfFormula()
+        a, v = formula.new_variables(2)
+        formula.add_clause((a,))
+        formula.add_clause((-a, v))
+        log = ProofLog()
+        pre = preprocess(formula, frozen=[v], proof=log)
+        assert not pre.unsat
+        solver = CdclSolver(pre.formula, proof=log)
+        result = solver.solve(assumptions=[-v])
+        assert result.is_unsat
+        assert result.under_assumptions
+        trace = build_trace(formula, log, assumptions=(-v,))
+        verdict = check_trace(trace)
+        assert verdict.ok, verdict.reason
+
+    def test_same_shape_without_preprocessing(self):
+        formula = CnfFormula()
+        a, v = formula.new_variables(2)
+        formula.add_clause((a,))
+        formula.add_clause((-a, v))
+        log = ProofLog()
+        solver = CdclSolver(formula, proof=log)
+        result = solver.solve(assumptions=[-v])
+        assert result.is_unsat
+        trace = build_trace(formula, log, assumptions=(-v,))
+        assert check_trace(trace).ok
+
+
+class TestMidRunAxioms:
+    def test_add_clause_hoisted_as_premise(self):
+        formula = CnfFormula()
+        a, b = formula.new_variables(2)
+        formula.add_clause((a, b))
+        log = ProofLog()
+        solver = CdclSolver(formula, proof=log)
+        assert solver.solve().is_sat
+        solver.add_clause((-a,))
+        solver.add_clause((-b,))
+        result = solver.solve()
+        assert result.is_unsat
+        trace = build_trace(formula, log)
+        assert trace.axioms == ((-a,), (-b,))
+        assert check_trace(trace).ok

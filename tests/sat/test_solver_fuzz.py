@@ -1,0 +1,116 @@
+"""Differential solver fuzzing: CDCL vs. DPLL vs. the proof checker.
+
+Three independent oracles must agree on every random instance:
+
+* the production :class:`CdclSolver` (watched literals, learning, VSIDS),
+* the reference :mod:`repro.sat.dpll` solver (plain recursion),
+* on UNSAT, the :mod:`repro.sat.drat` checker's verdict on the emitted
+  trace — a disagreement means either a solver bug or a proof-emission
+  bug, and either way the optimality story is broken.
+
+Instances are drawn from a seeded PRNG so every run (and every CI
+failure) is reproducible from the printed seed.  The small sweep runs in
+the tier-1 suite; the wide sweep is marked ``slow`` for the nightly lane
+and additionally gated on ``REPRO_SLOW_TESTS`` so plain full-suite runs
+stay fast.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.sat import (
+    CdclSolver,
+    CnfFormula,
+    ProofLog,
+    build_trace,
+    check_trace,
+    dpll_solve,
+    evaluate_formula,
+    preprocess,
+)
+
+_SEED = 0x5EED_2024
+
+
+def _random_instance(rng: random.Random):
+    num_vars = rng.randint(2, 9)
+    num_clauses = rng.randint(1, 4 * num_vars)
+    clauses = []
+    for _ in range(num_clauses):
+        width = rng.randint(1, 3)
+        variables = rng.sample(range(1, num_vars + 1), min(width, num_vars))
+        clauses.append(tuple(v if rng.random() < 0.5 else -v for v in variables))
+    assumptions = ()
+    if rng.random() < 0.4:
+        count = rng.randint(1, min(3, num_vars))
+        variables = rng.sample(range(1, num_vars + 1), count)
+        assumptions = tuple(v if rng.random() < 0.5 else -v for v in variables)
+    return num_vars, clauses, assumptions
+
+
+def _check_one(rng: random.Random, trial: int) -> None:
+    num_vars, clauses, assumptions = _random_instance(rng)
+    use_preprocess = rng.random() < 0.5
+    context = (f"trial {trial}: vars={num_vars} clauses={clauses} "
+               f"assumptions={assumptions} preprocess={use_preprocess}")
+
+    formula = CnfFormula()
+    formula.new_variables(num_vars)
+    formula.add_clauses(clauses)
+
+    # Reference verdict: DPLL on the formula plus assumption units.
+    reference = CnfFormula()
+    reference.new_variables(num_vars)
+    reference.add_clauses(clauses)
+    for lit in assumptions:
+        reference.add_clause((lit,))
+    expected = dpll_solve(reference)
+
+    log = ProofLog()
+    if use_preprocess:
+        pre = preprocess(
+            formula, frozen=[abs(lit) for lit in assumptions], proof=log
+        )
+        if pre.unsat:
+            assert expected.is_unsat, context
+            trace = build_trace(formula, log, assumptions)
+            verdict = check_trace(trace)
+            assert verdict.ok, f"{context}: {verdict.reason}"
+            return
+        solver = CdclSolver(pre.formula, proof=log)
+        reconstruct = pre.reconstruct
+    else:
+        solver = CdclSolver(formula, proof=log)
+        reconstruct = None
+
+    result = solver.solve(assumptions=list(assumptions))
+    assert result.status == expected.status, context
+    if result.is_sat:
+        model = result.model if reconstruct is None else reconstruct(result.model)
+        assert evaluate_formula(formula, model), context
+        assert all(model[abs(lit)] == (lit > 0) for lit in assumptions), context
+    else:
+        trace = build_trace(formula, log, assumptions)
+        verdict = check_trace(trace)
+        assert verdict.ok, f"{context}: {verdict.reason}"
+
+
+def test_differential_fuzz_small():
+    rng = random.Random(_SEED)
+    for trial in range(150):
+        _check_one(rng, trial)
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_SLOW_TESTS"),
+    reason="wide fuzz sweep only runs in the nightly lane (REPRO_SLOW_TESTS=1)",
+)
+def test_differential_fuzz_wide():
+    rng = random.Random(_SEED + 1)
+    for trial in range(2000):
+        _check_one(rng, trial)

@@ -249,6 +249,105 @@ class TestCacheCli:
         assert "corrupted" in out
 
 
+class TestProofCli:
+    def test_solve_proof_writes_default_artifact(self, capsys, tmp_path,
+                                                 monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main(["solve", "--modes", "2", "--budget-s", "30", "--proof"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "proof:           sha256 " in out
+        artifacts = list(tmp_path.glob("proof-*.json"))
+        assert len(artifacts) == 1
+        assert main(["verify-proof", str(artifacts[0])]) == 0
+        assert "verdict:         OK" in capsys.readouterr().out
+
+    def test_proof_out_implies_proof(self, capsys, tmp_path):
+        artifact = tmp_path / "opt.json"
+        code = main(["solve", "--modes", "2", "--budget-s", "30",
+                     "--proof-out", str(artifact)])
+        assert code == 0
+        assert artifact.exists()
+        assert f"saved proof to {artifact}" in capsys.readouterr().out
+        assert main(["verify-proof", str(artifact)]) == 0
+
+    def test_solve_proof_with_cache_stores_and_resolves_sha(self, capsys,
+                                                            tmp_path):
+        cache_dir = tmp_path / "cache"
+        code = main(["solve", "--modes", "2", "--budget-s", "30", "--proof",
+                     "--cache", str(cache_dir)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "proof artifact:  " in out
+        sha_prefix = out.split("proof:           sha256 ")[1][:12]
+        code = main(["verify-proof", sha_prefix, "--dir", str(cache_dir)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verdict:         OK" in out
+        assert "assumptions:" in out
+
+    def test_cached_hit_can_still_export_the_artifact(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        assert main(["solve", "--modes", "2", "--budget-s", "30", "--proof",
+                     "--cache", str(cache_dir)]) == 0
+        capsys.readouterr()
+        artifact = tmp_path / "exported.json"
+        code = main(["solve", "--modes", "2", "--budget-s", "30",
+                     "--cache", str(cache_dir), "--proof-out", str(artifact)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cache:           hit" in out
+        assert artifact.exists()
+        assert main(["verify-proof", str(artifact)]) == 0
+
+    def test_corrupted_artifact_is_rejected(self, capsys, tmp_path):
+        artifact = tmp_path / "opt.json"
+        assert main(["solve", "--modes", "2", "--budget-s", "30",
+                     "--proof-out", str(artifact)]) == 0
+        capsys.readouterr()
+        data = json.loads(artifact.read_text())
+        # Drop the refuting empty-clause line — the one mutation every
+        # DRAT checker must catch.
+        lines = data["proof"].splitlines()
+        assert lines[-1].strip() == "0"
+        data["proof"] = "\n".join(lines[:-1]) + "\n"
+        artifact.write_text(json.dumps(data, sort_keys=True) + "\n")
+        code = main(["verify-proof", str(artifact)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAILED" in out
+        # A structurally broken artifact must fail loudly too.
+        artifact.write_text("{not json")
+        assert main(["verify-proof", str(artifact)]) == 2
+
+    def test_corrupted_cache_artifact_is_rejected(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        assert main(["solve", "--modes", "2", "--budget-s", "30", "--proof",
+                     "--cache", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        sha_prefix = out.split("proof:           sha256 ")[1][:12]
+        proof_file = next((cache_dir / "proofs").glob("*.json"))
+        data = json.loads(proof_file.read_text())
+        data["meta"]["bound"] = 99  # any content change breaks the address
+        proof_file.write_text(json.dumps(data, sort_keys=True) + "\n")
+        code = main(["verify-proof", sha_prefix, "--dir", str(cache_dir)])
+        assert code == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_verify_proof_unknown_reference(self, capsys, tmp_path):
+        code = main(["verify-proof", "feedbeef", "--dir", str(tmp_path)])
+        assert code == 2
+        assert "no file or cached proof" in capsys.readouterr().err
+
+    def test_proof_without_unsat_reports_no_capture(self, capsys):
+        # A conflict budget of 1 cannot finish the final UNSAT rung.
+        code = main(["solve", "--modes", "2", "--proof",
+                     "--max-conflicts", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "proof:           not captured" in out
+
+
 class TestBatchCli:
     def test_batch_jobs_file_dedups(self, capsys, tmp_path):
         jobs = tmp_path / "jobs.json"
