@@ -26,6 +26,10 @@ Three workloads:
   logging (``proof=True``).  Identical conflict budget, identical raw
   instance; the wall ratio isolates the cost of emission and a second CI
   gate keeps it under 15%.
+* **telemetry-overhead** — the same fixed rung with and without a live
+  :class:`repro.telemetry.Telemetry` handle on the solver (best of three
+  runs per arm).  Counters sample only at restart boundaries, so a third
+  CI gate holds the overhead under 5%.
 * **solver-health** — pigeonhole UNSAT and random 3-SAT at the phase
   transition, the classic pure-solver microbenchmarks.
 
@@ -65,6 +69,12 @@ GATE_TOLERANCE = 1.10
 #: appends per learned/deleted clause, so anything beyond 15% means the
 #: hot path regressed (e.g. logging leaked into propagation).
 PROOF_GATE_TOLERANCE = 1.15
+
+#: Budget for live telemetry on the fixed rung.  Counters are sampled at
+#: restart boundaries only, never inside propagate/analyze, so the cost
+#: should be unmeasurable; 5% is pure jitter headroom.  Beyond it means
+#: instrumentation leaked into the hot loop.
+TELEMETRY_GATE_TOLERANCE = 1.05
 
 #: PR 3 reference numbers on the development machine (same workloads,
 #: same process pattern, best of 2), kept so the results file shows the
@@ -270,6 +280,62 @@ def bench_proof_overhead(modes: int, max_conflicts: int) -> dict:
     return out
 
 
+def bench_telemetry_overhead(modes: int, max_conflicts: int) -> dict:
+    """The fixed hard rung with and without a live telemetry handle.
+
+    Same shape as :func:`bench_proof_overhead`: identical conflict
+    budget, identical raw instance, best wall of three runs per arm so
+    the tight 5% gate measures instrumentation cost rather than machine
+    jitter.  The telemetry arm also reports how many spans and counter
+    samples it banked, proving the handle was actually live.
+    """
+    from repro.core.descent import build_base_formula, measured_weight
+    from repro.encodings.bravyi_kitaev import bravyi_kitaev
+    from repro.sat.solver import CdclSolver
+    from repro.telemetry import Telemetry
+
+    config = FermihedralConfig(algebraic_independence=False)
+    baseline = bravyi_kitaev(modes)
+    bound = 2 * 2 * modes
+    out: dict = {"modes": modes, "bound": bound, "max_conflicts": max_conflicts}
+    statuses = {}
+    for arm in ("plain", "telemetry"):
+        telemetry = Telemetry() if arm == "telemetry" else None
+        best_wall = None
+        for _ in range(3):
+            started = time.monotonic()
+            encoder, indicators = build_base_formula(modes, config)
+            selectors = encoder.weight_ladder(
+                indicators, measured_weight(baseline) - 1)
+            solver = CdclSolver(
+                encoder.formula,
+                seed_phases=encoder.encoding_assignment(baseline),
+                telemetry=telemetry,
+            )
+            result = solver.solve(
+                max_conflicts=max_conflicts, assumptions=(selectors[bound],))
+            wall = time.monotonic() - started
+            if best_wall is None or wall < best_wall:
+                best_wall = wall
+        statuses[arm] = result.status
+        out[f"{arm}_wall_s"] = round(best_wall, 3)
+        out[f"{arm}_status"] = result.status
+        out[f"{arm}_conflicts"] = result.conflicts
+        if telemetry is not None:
+            rendered = telemetry.render_metrics()
+            out["telemetry_metric_lines"] = sum(
+                1 for line in rendered.splitlines()
+                if line and not line.startswith("#"))
+    definitive = {s for s in statuses.values() if s in ("SAT", "UNSAT")}
+    assert len(definitive) <= 1, f"telemetry arm contradicts: {statuses}"
+    out["overhead_ratio"] = round(
+        out["telemetry_wall_s"] / max(out["plain_wall_s"], 1e-9), 3)
+    out["gate_ok"] = (
+        out["telemetry_wall_s"]
+        <= out["plain_wall_s"] * TELEMETRY_GATE_TOLERANCE)
+    return out
+
+
 def bench_solver_health() -> dict:
     started = time.monotonic()
     assert solve_formula(_pigeonhole(7, 6)).is_unsat
@@ -345,6 +411,10 @@ def main(argv: list[str] | None = None) -> int:
     report("sat_proof_overhead", _format(overhead), data=overhead)
     sections.append(("proof-overhead", overhead))
 
+    tele = bench_telemetry_overhead(args.modes, args.max_conflicts)
+    report("sat_telemetry_overhead", _format(tele), data=tele)
+    sections.append(("telemetry-overhead", tele))
+
     failed = False
     if not rung["gate_ok"]:
         print(
@@ -359,6 +429,14 @@ def main(argv: list[str] | None = None) -> int:
             f"FAIL: proof logging ({overhead['proof_wall_s']}s) slowed the "
             f"rung ({overhead['plain_wall_s']}s) beyond the "
             f"{PROOF_GATE_TOLERANCE}x budget",
+            file=sys.stderr,
+        )
+        failed = True
+    if not tele["gate_ok"]:
+        print(
+            f"FAIL: live telemetry ({tele['telemetry_wall_s']}s) slowed the "
+            f"rung ({tele['plain_wall_s']}s) beyond the "
+            f"{TELEMETRY_GATE_TOLERANCE}x budget",
             file=sys.stderr,
         )
         failed = True
@@ -391,6 +469,12 @@ def test_bench_proof_overhead_small():
     data = bench_proof_overhead(modes=4, max_conflicts=500)
     assert data["plain_status"] == data["proof_status"]
     assert data["proof_lines_banked"] > 0
+
+
+def test_bench_telemetry_overhead_small():
+    data = bench_telemetry_overhead(modes=4, max_conflicts=500)
+    assert data["plain_status"] == data["telemetry_status"]
+    assert data["telemetry_metric_lines"] > 0
 
 
 def test_bench_ladder_rung_small():

@@ -1,0 +1,83 @@
+"""Scrape a live compilation service and render a job's span tree.
+
+Starts a daemon on an ephemeral port, compiles one real job through it,
+then surfaces the telemetry three ways:
+
+1. ``GET /metrics`` — the Prometheus text page, filtered down to the
+   solver/cache/queue families a dashboard would alert on;
+2. ``GET /debug/trace/<id>`` — the finished job's span events, relayed
+   from the worker process that compiled it, rendered as a tree;
+3. the in-process ``Telemetry`` handle — the same registry, read
+   directly, no HTTP involved.
+
+Against a long-running shared daemon you would skip the server setup and
+just point ``ServiceClient`` (or ``curl``) at its URL.
+
+Run:
+    PYTHONPATH=src python examples/telemetry_scrape.py
+"""
+
+import tempfile
+import threading
+
+from repro.core import FermihedralConfig, SolverBudget
+from repro.service import CompilationService, ServiceClient, ServiceServer
+from repro.store import CompilationCache
+from repro.telemetry import Telemetry, render_tree
+
+#: Metric-family prefixes worth a dashboard panel each.
+INTERESTING = (
+    "repro_solver_conflicts_total",
+    "repro_solver_propagations_total",
+    "repro_cache_",
+    "repro_service_queue_depth",
+    "repro_service_active_slots",
+    "repro_service_jobs",
+    "repro_service_submit_seconds_count",
+)
+
+
+def main() -> None:
+    telemetry = Telemetry()
+    service = CompilationService(
+        cache=CompilationCache(tempfile.mkdtemp(prefix="fermihedral-tele-")),
+        default_config=FermihedralConfig(
+            budget=SolverBudget(time_budget_s=60.0)
+        ),
+        jobs=2,
+        telemetry=telemetry,
+    ).start()
+    server = ServiceServer(("127.0.0.1", 0), service)
+    threading.Thread(target=server.serve_until_stopped, daemon=True).start()
+    print(f"service listening at {server.url}\n")
+
+    client = ServiceClient(server.url)
+    record = client.submit({"modes": 3, "method": "independent"})
+    final = client.wait(record["id"], timeout=600.0)
+    print(f"compiled {final['id'][:12]}: weight {final['weight']}, "
+          f"optimal={final['proved_optimal']}\n")
+
+    # 1. The scrape, as Prometheus (or plain curl) would see it.
+    print("-- /metrics (filtered) " + "-" * 40)
+    for line in client.metrics().splitlines():
+        if line.startswith(INTERESTING):
+            print(line)
+
+    # 2. The job's span tree, relayed from the worker that compiled it.
+    print("\n-- /debug/trace/<id> " + "-" * 42)
+    print(render_tree(client.trace(final["id"])["events"]))
+
+    # 3. No HTTP required: the handle we passed in holds the same
+    #    registry the endpoint renders.
+    text = telemetry.render_metrics()
+    families = {line.split()[2] for line in text.splitlines()
+                if line.startswith("# TYPE")}
+    print(f"\nin-process registry holds {len(families)} metric families")
+
+    client.shutdown()
+    service.join(timeout=30.0)
+    print("service stopped")
+
+
+if __name__ == "__main__":
+    main()

@@ -70,6 +70,7 @@ from repro.store import (
     compilation_key,
     default_cache_dir,
 )
+from repro.telemetry import MetricsRegistry, Telemetry, Tracer
 from repro.simulator import (
     NoiseModel,
     diagonalize,
@@ -84,7 +85,7 @@ from repro.simulator import (
 # constant, so installed-distribution metadata can never disagree with the
 # code actually running (a stale `pip install` next to a PYTHONPATH=src
 # checkout would otherwise win).
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AnnealingSchedule",
@@ -102,6 +103,7 @@ __all__ = [
     "HardwareCostModel",
     "MajoranaEncoding",
     "MajoranaPolynomial",
+    "MetricsRegistry",
     "NoiseModel",
     "PauliString",
     "PauliSum",
@@ -110,6 +112,8 @@ __all__ = [
     "QuantumCircuit",
     "ServiceClient",
     "SolverBudget",
+    "Telemetry",
+    "Tracer",
     "anneal_pairing",
     "bravyi_kitaev",
     "compilation_key",

@@ -4,6 +4,7 @@ Subcommands::
 
     python -m repro solve     --modes 3 [--model hubbard:3] [--cache DIR]
                               [--device grid-3x3] [--portfolio 4] [--stats]
+                              [--trace FILE.jsonl]
     python -m repro baselines --modes 4 [--model h2]
     python -m repro compile   --model h2 --encoding bk [--time 1.0]
                               [--device ibm-falcon-27]
@@ -13,9 +14,10 @@ Subcommands::
                               [--device linear-8] [--jobs 4]
     python -m repro cache     {ls,show,gc} [--dir DIR]
     python -m repro devices   {ls,show NAME}
+    python -m repro trace     show FILE.jsonl
     python -m repro serve     [--port 8765] [--cache DIR] [--jobs 4]
     python -m repro submit    --model h2 [--wait] [--url URL]
-    python -m repro jobs      {ls,show ID} [--url URL]
+    python -m repro jobs      {ls,show ID,proof ID} [--url URL]
     python -m repro shutdown  [--no-drain] [--url URL]
 
 The service verbs talk to a ``repro serve`` daemon: a JSON-over-HTTP
@@ -32,7 +34,12 @@ line on stderr.  SAT instances are simplified before solving
 (``--no-preprocess`` opts out), ``solve --profile`` wraps the whole
 pipeline in cProfile, and ``solve --proof`` captures a DRAT certificate
 of the optimality-proving UNSAT answer that ``repro verify-proof``
-re-checks independently.  Given enough budget per SAT call, none of these
+re-checks independently.  ``solve --trace FILE.jsonl`` records the span
+tree of the whole compile (compile → descent → rung → solve) as JSONL
+that ``repro trace show`` renders; a running service additionally
+exposes ``GET /metrics`` (Prometheus text) and ``GET /debug/trace/<id>``,
+and ``repro jobs proof ID`` fetches a served proof and re-checks it
+client-side.  Given enough budget per SAT call, none of these
 knobs changes
 achieved weights or optimality proofs — only wall-clock time.  When a
 budget *is* exhausted, more parallelism can only answer more (a
@@ -261,6 +268,11 @@ def cmd_solve(args) -> int:
     if args.proof_out:
         config = config.with_parallelism(proof=True)
     cache = CompilationCache(args.cache) if args.cache else None
+    telemetry = None
+    if args.trace:
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
     if args.model:
         hamiltonian = parse_model(args.model)
         if args.modes and args.modes != hamiltonian.num_modes:
@@ -269,14 +281,14 @@ def cmd_solve(args) -> int:
             return 2
         method = METHOD_ANNEALING if args.method == "sat-anl" else METHOD_FULL_SAT
         compiler = FermihedralCompiler(hamiltonian.num_modes, config, cache=cache,
-                                       device=args.device)
+                                       device=args.device, telemetry=telemetry)
         run = lambda: compiler.compile(method=method, hamiltonian=hamiltonian)  # noqa: E731
     else:
         if not args.modes:
             print("error: --modes or --model is required", file=sys.stderr)
             return 2
         compiler = FermihedralCompiler(args.modes, config, cache=cache,
-                                       device=args.device)
+                                       device=args.device, telemetry=telemetry)
         run = lambda: compiler.compile(method=METHOD_INDEPENDENT)  # noqa: E731
 
     if args.profile:
@@ -314,6 +326,13 @@ def cmd_solve(args) -> int:
     if args.output:
         save_encoding(result.encoding, args.output)
         print(f"saved encoding to {args.output}")
+    if telemetry is not None:
+        from repro.telemetry import write_jsonl
+
+        events = telemetry.tracer.events()
+        write_jsonl(events, args.trace)
+        print(f"saved trace to {args.trace} ({len(events)} spans; "
+              f"render with 'repro trace show {args.trace}')")
     if result.proof is not None:
         trace = getattr(result.descent, "proof_trace", None)
         if trace is None and cache is not None:
@@ -438,6 +457,14 @@ def cmd_verify_proof(args) -> int:
         return 0
     print(f"verdict:         FAILED ({verdict.reason})")
     return 1
+
+
+def cmd_trace_show(args) -> int:
+    from repro.telemetry import read_jsonl, render_tree
+
+    events = read_jsonl(args.file)
+    print(render_tree(events))
+    return 0
 
 
 def cmd_verify(args) -> int:
@@ -704,6 +731,7 @@ def cmd_serve(args) -> int:
     signal.signal(signal.SIGTERM, handle_signal)
     signal.signal(signal.SIGINT, handle_signal)
     print(f"repro service at {server.url}")
+    print(f"  metrics:     {server.url}/metrics")
     print(f"  cache:       {args.cache or 'disabled'}")
     print(f"  workers:     {service.jobs} "
           f"({service.healthz()['execution']})")
@@ -733,6 +761,8 @@ def _submit_spec_from_args(args) -> dict:
         config["budget_s"] = args.budget_s
     if args.max_conflicts is not None:
         config["max_conflicts"] = args.max_conflicts
+    if args.proof:
+        config["proof"] = True
     if config:
         spec["config"] = config
     return spec
@@ -823,6 +853,46 @@ def cmd_jobs_show(args) -> int:
     return 0 if record["status"] != "failed" else 1
 
 
+def cmd_jobs_proof(args) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        payload = client.proof(args.id)
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    proof = payload.get("proof") or {}
+    print(f"job:             {payload['id']}")
+    if proof.get("sha256"):
+        print(f"sha256:          {proof['sha256']}")
+    print(f"proof lines:     {proof.get('drat_lines', '-')}")
+    for key in ("bound", "engine"):
+        if proof.get(key) is not None:
+            print(f"{key + ':':<17}{proof[key]}")
+    document = payload.get("trace")
+    if args.out:
+        if document is None:
+            print("error: the service holds proof metadata but no trace "
+                  "artifact to save", file=sys.stderr)
+            return 1
+        Path(args.out).write_text(json.dumps(document, sort_keys=True) + "\n")
+        print(f"saved proof to {args.out}")
+    if args.no_verify:
+        return 0
+    try:
+        report = client.verify_proof(payload["id"])
+    except ServiceError as error:
+        print(f"verdict:         UNAVAILABLE ({error})")
+        return 1
+    if report["verified"]:
+        print(f"verdict:         OK ({report['checked_additions']} additions "
+              f"checked in {report['steps']} steps, verified client-side)")
+        return 0
+    print(f"verdict:         FAILED ({report['reason']})")
+    return 1
+
+
 def cmd_shutdown(args) -> int:
     from repro.service import ServiceClient, ServiceError
 
@@ -894,7 +964,28 @@ def build_parser() -> argparse.ArgumentParser:
                             "(implies --proof); without it, --proof stores "
                             "the artifact in the cache or next to the "
                             "working directory")
+    solve.add_argument("--trace", default=None, metavar="FILE.jsonl",
+                       help="record the compile's span tree (compile -> "
+                            "descent -> rung -> solve) as JSONL here; "
+                            "render it with 'repro trace show'")
     solve.set_defaults(handler=cmd_solve)
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="inspect recorded telemetry traces",
+        description="Work with span traces recorded by 'repro solve "
+                    "--trace FILE.jsonl'.",
+    )
+    trace_sub = trace_parser.add_subparsers(dest="trace_command", required=True)
+    trace_show = trace_sub.add_parser(
+        "show", help="render a trace file as a span tree",
+        description="Pretty-print a JSONL trace: one line per span, "
+                    "indented by parent, with durations and attributes "
+                    "(per-rung bound, engine, status, conflicts).",
+    )
+    trace_show.add_argument("file", help="JSONL trace file from "
+                                         "'repro solve --trace'")
+    trace_show.set_defaults(handler=cmd_trace_show)
 
     baselines = subparsers.add_parser(
         "baselines",
@@ -1050,9 +1141,13 @@ def build_parser() -> argparse.ArgumentParser:
         description="Serve a JSON-over-HTTP compilation API: POST /jobs "
                     "submits a job spec (deduplicated by fingerprint; cache "
                     "hits answer synchronously), GET /jobs/<id> polls it, "
+                    "GET /jobs/<id>/proof serves its DRAT certificate, "
                     "GET /healthz and /stats report liveness and counters, "
-                    "POST /shutdown drains and exits. Jobs fan out across "
-                    "--jobs worker processes; a full queue answers 429.",
+                    "GET /metrics exposes the telemetry registry in "
+                    "Prometheus text format, GET /debug/trace/<id> returns "
+                    "a finished job's span events, and POST /shutdown "
+                    "drains and exits. Jobs fan out across --jobs worker "
+                    "processes; a full queue answers 429.",
     )
     serve.add_argument("--host", default="127.0.0.1",
                        help="bind address (default: 127.0.0.1)")
@@ -1104,6 +1199,9 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--budget-s", type=float, default=None,
                         metavar="SECONDS",
                         help="per-SAT-call time budget override")
+    submit.add_argument("--proof", action="store_true",
+                        help="capture a DRAT optimality proof "
+                             "(fetch it later with 'repro jobs proof')")
     submit.add_argument("--max-conflicts", type=int, default=None, metavar="N",
                         help="per-SAT-call conflict budget override")
     submit.add_argument("--wait", action="store_true",
@@ -1138,6 +1236,21 @@ def build_parser() -> argparse.ArgumentParser:
                                 "summary")
     jobs_show.add_argument("--url", default=None, help=_URL_HELP)
     jobs_show.set_defaults(handler=cmd_jobs_show)
+    jobs_proof = jobs_sub.add_parser(
+        "proof", help="fetch and client-side-verify a job's proof",
+        description="Download a finished job's DRAT optimality proof from "
+                    "the service and re-check it locally with the "
+                    "independent checker — the service is never trusted "
+                    "about its own certificates.",
+    )
+    jobs_proof.add_argument("id", help="job id (any unique prefix)")
+    jobs_proof.add_argument("--out", default=None, metavar="FILE",
+                            help="also save the proof artifact as JSON here")
+    jobs_proof.add_argument("--no-verify", action="store_true",
+                            help="fetch metadata (and --out) without running "
+                                 "the checker")
+    jobs_proof.add_argument("--url", default=None, help=_URL_HELP)
+    jobs_proof.set_defaults(handler=cmd_jobs_proof)
 
     shutdown = subparsers.add_parser(
         "shutdown",

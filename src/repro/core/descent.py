@@ -30,6 +30,7 @@ the "negligible failing probability" repair loop.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from repro.core.config import FermihedralConfig
@@ -38,10 +39,17 @@ from repro.encodings.base import MajoranaEncoding
 from repro.encodings.bravyi_kitaev import bravyi_kitaev
 from repro.fermion.hamiltonians import FermionicHamiltonian
 from repro.paulis.symplectic import are_algebraically_independent
-from repro.sat.solver import CdclSolver
+from repro.sat.solver import CdclSolver, SolverStats
 
 LINEAR = "linear"
 BISECTION = "bisection"
+
+
+def _span(telemetry, name: str, **attrs):
+    """A telemetry span, or an inert context when telemetry is off."""
+    if telemetry is None:
+        return nullcontext({})
+    return telemetry.span(name, **attrs)
 
 
 @dataclass
@@ -49,7 +57,7 @@ class DescentStep:
     """One SAT call inside the descent loop.
 
     Carries the solver statistics of the (final) solver run at this bound
-    — conflicts, decisions, propagations, restarts — so ``repro solve
+    — one :class:`~repro.sat.solver.SolverStats` — so ``repro solve
     --stats`` and the benchmarks can report search effort, not just wall
     time.
     """
@@ -58,11 +66,24 @@ class DescentStep:
     status: str
     achieved_weight: int | None
     elapsed_s: float
-    conflicts: int
+    stats: SolverStats = field(default_factory=SolverStats)
     repairs: int = 0
-    decisions: int = 0
-    propagations: int = 0
-    restarts: int = 0
+
+    @property
+    def conflicts(self) -> int:
+        return self.stats.conflicts
+
+    @property
+    def decisions(self) -> int:
+        return self.stats.decisions
+
+    @property
+    def propagations(self) -> int:
+        return self.stats.propagations
+
+    @property
+    def restarts(self) -> int:
+        return self.stats.restarts
 
 
 @dataclass
@@ -187,11 +208,8 @@ def _step_from_result(
         status=status or result.status,
         achieved_weight=achieved_weight,
         elapsed_s=result.elapsed_s,
-        conflicts=result.conflicts,
+        stats=result.stats,
         repairs=repairs,
-        decisions=result.decisions,
-        propagations=result.propagations,
-        restarts=result.restarts,
     )
 
 
@@ -212,12 +230,15 @@ class _BoundSolver:
         config: FermihedralConfig,
         hamiltonian: FermionicHamiltonian | None,
         phases: dict[int, bool] | None,
+        telemetry=None,
     ):
         self.encoder = encoder
         self.indicators = indicators
         self.config = config
         self.hamiltonian = hamiltonian
         self.phases = phases
+        self.telemetry = telemetry
+        self.engine_name = "cold"
         self.blocking: list[list[int]] = []
         self.total_repairs = 0
         self.solve_time_s = 0.0
@@ -247,7 +268,8 @@ class _BoundSolver:
                 from repro.sat.drat import ProofLog
 
                 log = ProofLog()
-            solver = CdclSolver(working, seed_phases=self.phases, proof=log)
+            solver = CdclSolver(working, seed_phases=self.phases, proof=log,
+                                telemetry=self.telemetry)
             result = solver.solve(
                 max_conflicts=self.config.budget.max_conflicts,
                 time_budget_s=self.config.budget.time_budget_s,
@@ -328,12 +350,17 @@ class _IncrementalBoundSolver:
         config: FermihedralConfig,
         hamiltonian: FermionicHamiltonian | None,
         phases: dict[int, bool] | None,
+        telemetry=None,
     ):
         self.encoder = encoder
         self.indicators = indicators
         self.config = config
         self.hamiltonian = hamiltonian
         self.phases = phases
+        self.telemetry = telemetry
+        self.engine_name = (
+            "portfolio" if config.portfolio > 1 else "incremental"
+        )
         self.total_repairs = 0
         self.solve_time_s = 0.0
         self.preprocess_time_s = 0.0
@@ -374,7 +401,9 @@ class _IncrementalBoundSolver:
             frozen = set(self.encoder.all_string_variables())
             frozen.update(abs(selector) for selector in self._selectors)
             started = time.monotonic()
-            simplified = preprocess(formula, frozen=frozen, proof=self._proof_log)
+            simplified = preprocess(formula, frozen=frozen,
+                                    proof=self._proof_log,
+                                    telemetry=self.telemetry)
             self.preprocess_time_s = time.monotonic() - started
             self._reconstruct = simplified.reconstruct
             formula = simplified.formula
@@ -386,10 +415,12 @@ class _IncrementalBoundSolver:
                 workers=self.config.portfolio,
                 seed_phases=self.phases,
                 proof=self._proof_log,
+                telemetry=self.telemetry,
             )
         else:
             self._solver = CdclSolver(
-                formula, seed_phases=self.phases, proof=self._proof_log
+                formula, seed_phases=self.phases, proof=self._proof_log,
+                telemetry=self.telemetry,
             )
 
     def close(self) -> None:
@@ -470,6 +501,7 @@ def descend(
     config: FermihedralConfig | None = None,
     hamiltonian: FermionicHamiltonian | None = None,
     baseline: MajoranaEncoding | None = None,
+    telemetry=None,
 ) -> DescentResult:
     """Run the configured descent strategy.
 
@@ -481,6 +513,10 @@ def descend(
             (Section 3.7); otherwise the Hamiltonian-independent objective.
         baseline: encoding supplying the starting bound and warm-start
             phases; defaults to Bravyi-Kitaev, as in the paper.
+        telemetry: optional :class:`repro.telemetry.Telemetry`; wraps the
+            run in a ``descent`` span with one ``descent.rung`` child per
+            SAT call (bound + engine + status attrs) and threads through
+            to the preprocessor and solver backends.
     """
     config = config or FermihedralConfig()
     if config.qubit_weights is not None and len(config.qubit_weights) != num_modes:
@@ -500,68 +536,87 @@ def descend(
         if (config.incremental or config.portfolio > 1)
         else _BoundSolver
     )
-    bound_solver = engine(encoder, indicators, config, hamiltonian, phases)
+    bound_solver = engine(encoder, indicators, config, hamiltonian, phases,
+                          telemetry=telemetry)
 
     best_encoding = baseline
     best_weight = measured_weight(baseline, hamiltonian, config.qubit_weights)
     steps: list[DescentStep] = []
     proved_optimal = False
 
-    try:
-        if config.strategy == BISECTION:
-            lower = _structural_lower_bound(num_modes, hamiltonian, config.qubit_weights)
-            upper = best_weight  # best known achievable
-            if config.start_weight is not None:
-                upper = min(upper, max(config.start_weight, lower))
-            if lower < upper:
-                # Bounds move both ways inside [lower, upper); the ladder
-                # only needs to cover the loosest one.
-                bound_solver.prepare(upper - 1)
-            while lower < upper:
-                bound = (lower + upper - 1) // 2
-                step, candidate = bound_solver.solve_at(bound)
-                steps.append(step)
-                if candidate is not None:
-                    best_encoding = candidate
-                    best_weight = step.achieved_weight
-                    upper = step.achieved_weight
-                elif step.status == "UNSAT":
-                    lower = bound + 1
-                else:
-                    break  # budget exhausted: cannot conclude
-            # Optimality needs the interval closed AND the returned encoding
-            # sitting exactly on it: a start_weight clamped below the true
-            # optimum can close [lower, upper] without ever probing the range
-            # up to the baseline's weight — that is exhaustion, not a proof.
-            proved_optimal = (
-                lower == upper
-                and best_weight == upper
-                and (not steps or steps[-1].status in ("SAT", "UNSAT"))
-            )
-        else:
-            next_bound = best_weight - 1
-            if config.start_weight is not None:
-                next_bound = min(next_bound, config.start_weight)
-            if next_bound >= 0:
-                bound_solver.prepare(next_bound)  # linear bounds only tighten
-            while next_bound >= 0:
-                step, candidate = bound_solver.solve_at(next_bound)
-                steps.append(step)
-                if candidate is not None:
-                    best_encoding = candidate
-                    best_weight = step.achieved_weight
-                    next_bound = step.achieved_weight - 1
-                    continue
-                # UNSAT is a proof only when the failed bound sits directly
-                # below the returned weight; an UNSAT at a start_weight far
-                # under the baseline leaves the gap (bound, best_weight)
-                # unexplored.
-                proved_optimal = (
-                    step.status == "UNSAT" and next_bound == best_weight - 1
+    def solve_rung(bound: int):
+        with _span(telemetry, "descent.rung", bound=bound,
+                   engine=bound_solver.engine_name) as attrs:
+            step, candidate = bound_solver.solve_at(bound)
+            attrs.update(status=step.status, conflicts=step.conflicts)
+            return step, candidate
+
+    descent_span = _span(telemetry, "descent", modes=num_modes,
+                         strategy=config.strategy,
+                         engine=bound_solver.engine_name)
+    with descent_span as descent_attrs:
+        try:
+            if config.strategy == BISECTION:
+                lower = _structural_lower_bound(
+                    num_modes, hamiltonian, config.qubit_weights
                 )
-                break
-    finally:
-        bound_solver.close()
+                upper = best_weight  # best known achievable
+                if config.start_weight is not None:
+                    upper = min(upper, max(config.start_weight, lower))
+                if lower < upper:
+                    # Bounds move both ways inside [lower, upper); the ladder
+                    # only needs to cover the loosest one.
+                    with _span(telemetry, "descent.prepare"):
+                        bound_solver.prepare(upper - 1)
+                while lower < upper:
+                    bound = (lower + upper - 1) // 2
+                    step, candidate = solve_rung(bound)
+                    steps.append(step)
+                    if candidate is not None:
+                        best_encoding = candidate
+                        best_weight = step.achieved_weight
+                        upper = step.achieved_weight
+                    elif step.status == "UNSAT":
+                        lower = bound + 1
+                    else:
+                        break  # budget exhausted: cannot conclude
+                # Optimality needs the interval closed AND the returned
+                # encoding sitting exactly on it: a start_weight clamped
+                # below the true optimum can close [lower, upper] without
+                # ever probing the range up to the baseline's weight — that
+                # is exhaustion, not a proof.
+                proved_optimal = (
+                    lower == upper
+                    and best_weight == upper
+                    and (not steps or steps[-1].status in ("SAT", "UNSAT"))
+                )
+            else:
+                next_bound = best_weight - 1
+                if config.start_weight is not None:
+                    next_bound = min(next_bound, config.start_weight)
+                if next_bound >= 0:
+                    with _span(telemetry, "descent.prepare"):
+                        bound_solver.prepare(next_bound)  # bounds only tighten
+                while next_bound >= 0:
+                    step, candidate = solve_rung(next_bound)
+                    steps.append(step)
+                    if candidate is not None:
+                        best_encoding = candidate
+                        best_weight = step.achieved_weight
+                        next_bound = step.achieved_weight - 1
+                        continue
+                    # UNSAT is a proof only when the failed bound sits
+                    # directly below the returned weight; an UNSAT at a
+                    # start_weight far under the baseline leaves the gap
+                    # (bound, best_weight) unexplored.
+                    proved_optimal = (
+                        step.status == "UNSAT" and next_bound == best_weight - 1
+                    )
+                    break
+        finally:
+            bound_solver.close()
+        descent_attrs.update(weight=best_weight, proved_optimal=proved_optimal,
+                             sat_calls=len(steps))
 
     return DescentResult(
         encoding=best_encoding,

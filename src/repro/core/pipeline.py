@@ -129,6 +129,7 @@ def solve_hamiltonian_independent(
     num_modes: int,
     config: FermihedralConfig | None = None,
     baseline: MajoranaEncoding | None = None,
+    telemetry=None,
 ) -> CompilationResult:
     """Minimize the total Pauli weight of the 2N Majorana strings.
 
@@ -137,7 +138,8 @@ def solve_hamiltonian_independent(
     """
     config = config or FermihedralConfig()
     baseline = baseline or best_baseline(num_modes, config)
-    result = descend(num_modes, config=config, baseline=baseline)
+    result = descend(num_modes, config=config, baseline=baseline,
+                     telemetry=telemetry)
     method = "full-sat" if config.algebraic_independence else "sat-wo-alg"
     return CompilationResult(
         encoding=_as_fermihedral(result.encoding),
@@ -152,12 +154,14 @@ def solve_full_sat(
     hamiltonian: FermionicHamiltonian,
     config: FermihedralConfig | None = None,
     baseline: MajoranaEncoding | None = None,
+    telemetry=None,
 ) -> CompilationResult:
     """Minimize the encoded weight of a specific Hamiltonian in SAT."""
     config = config or FermihedralConfig()
     baseline = baseline or best_baseline(hamiltonian.num_modes, config, hamiltonian)
     result = descend(
-        hamiltonian.num_modes, config=config, hamiltonian=hamiltonian, baseline=baseline
+        hamiltonian.num_modes, config=config, hamiltonian=hamiltonian,
+        baseline=baseline, telemetry=telemetry,
     )
     method = "full-sat" if config.algebraic_independence else "sat-wo-alg"
     return CompilationResult(
@@ -175,11 +179,13 @@ def solve_sat_annealing(
     schedule: AnnealingSchedule | None = None,
     seed: int = 2024,
     baseline: MajoranaEncoding | None = None,
+    telemetry=None,
 ) -> CompilationResult:
     """SAT + Anl.: independent SAT optimum, then annealed pair assignment."""
     config = config or FermihedralConfig()
     baseline = baseline or best_baseline(hamiltonian.num_modes, config)
-    independent = descend(hamiltonian.num_modes, config=config, baseline=baseline)
+    independent = descend(hamiltonian.num_modes, config=config, baseline=baseline,
+                          telemetry=telemetry)
     annealed = anneal_pairing(
         independent.encoding, hamiltonian, schedule=schedule, seed=seed
     )
@@ -207,6 +213,12 @@ class FermihedralCompiler:
             resolvable by :func:`repro.hardware.devices.get_device`
             (``"grid-3x3"``, ``"ibm-falcon-27"``, ...).  Jobs may also
             override it per call via ``compile(..., device=...)``.
+        telemetry: a :class:`repro.telemetry.Telemetry` handle; when
+            given, every compile opens a ``compile`` span, the descent and
+            solver layers record their own spans and metrics beneath it,
+            and the cache mirrors its hit/miss counters into the handle's
+            registry.  ``None`` (the default) keeps the whole pipeline on
+            its zero-overhead path.
 
     After each :meth:`compile` call, :attr:`last_cache_status` records how
     the cache participated: ``"disabled"``, ``"hit"``, ``"warm-start"``,
@@ -230,12 +242,16 @@ class FermihedralCompiler:
         config: FermihedralConfig | None = None,
         cache: CompilationCache | None = None,
         device: str | DeviceTopology | None = None,
+        telemetry=None,
     ):
         if num_modes < 1:
             raise ValueError("num_modes must be positive")
         self.num_modes = num_modes
         self.config = config or FermihedralConfig()
         self.cache = cache
+        self.telemetry = telemetry
+        if cache is not None and telemetry is not None:
+            cache.set_telemetry(telemetry)
         self.device = resolve_device(device)
         self._check_device(self.device)
         self.last_cache_status: str | None = None
@@ -315,6 +331,36 @@ class FermihedralCompiler:
         config = self._device_config(topology)
         self.last_cache_error = None
 
+        if self.telemetry is None:
+            return self._compile_inner(
+                method, hamiltonian, schedule, seed, cache_key, topology, config
+            )
+        with self.telemetry.span(
+            "compile",
+            method=method,
+            modes=self.num_modes,
+            device="" if topology is None else topology.name,
+        ) as attrs:
+            result = self._compile_inner(
+                method, hamiltonian, schedule, seed, cache_key, topology, config
+            )
+            attrs.update(
+                cache=self.last_cache_status,
+                weight=result.weight,
+                proved_optimal=result.proved_optimal,
+            )
+            return result
+
+    def _compile_inner(
+        self,
+        method: str,
+        hamiltonian: FermionicHamiltonian | None,
+        schedule: AnnealingSchedule | None,
+        seed: int,
+        cache_key: str | None,
+        topology: DeviceTopology | None,
+        config: FermihedralConfig,
+    ) -> CompilationResult:
         if self.cache is None:
             self.last_cache_status = "disabled"
             result = self._solve(method, hamiltonian, schedule, seed, None, config)
@@ -352,7 +398,15 @@ class FermihedralCompiler:
             # store-failed status instead of discarding the result.
             self.last_cache_status = "store-failed"
             self.last_cache_error = f"{type(error).__name__}: {error}"
+            self._note_store_failure()
         return result
+
+    def _note_store_failure(self) -> None:
+        if self.telemetry is not None:
+            self.telemetry.counter(
+                "repro_cache_store_failures_total",
+                "cache writes that failed (best-effort persistence)",
+            ).inc()
 
     def _solve(
         self,
@@ -366,12 +420,15 @@ class FermihedralCompiler:
         config = config or self.config
         if method == METHOD_INDEPENDENT:
             return solve_hamiltonian_independent(
-                self.num_modes, config, baseline=baseline
+                self.num_modes, config, baseline=baseline, telemetry=self.telemetry
             )
         if method == METHOD_FULL_SAT:
-            return solve_full_sat(hamiltonian, config, baseline=baseline)
+            return solve_full_sat(
+                hamiltonian, config, baseline=baseline, telemetry=self.telemetry
+            )
         return solve_sat_annealing(
-            hamiltonian, config, schedule, seed, baseline=baseline
+            hamiltonian, config, schedule, seed, baseline=baseline,
+            telemetry=self.telemetry,
         )
 
     def _attach_proof(self, result: CompilationResult) -> None:
@@ -399,6 +456,7 @@ class FermihedralCompiler:
             except OSError as error:
                 self.last_cache_status = "store-failed"
                 self.last_cache_error = f"{type(error).__name__}: {error}"
+                self._note_store_failure()
             else:
                 proof["artifact"] = str(path)
         result.proof = proof

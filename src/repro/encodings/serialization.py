@@ -150,6 +150,7 @@ def result_from_dict(data: dict, validate: bool = True) -> CompilationResult:
     from repro.core.descent import DescentResult, DescentStep
     from repro.core.pipeline import CompilationResult
     from repro.core.verify import VerificationReport
+    from repro.sat.solver import SolverStats
 
     version = data.get("result_format_version")
     if version != _RESULT_FORMAT_VERSION:
@@ -166,11 +167,13 @@ def result_from_dict(data: dict, validate: bool = True) -> CompilationResult:
                 status=step["status"],
                 achieved_weight=step["achieved_weight"],
                 elapsed_s=step["elapsed_s"],
-                conflicts=step["conflicts"],
+                stats=SolverStats(
+                    conflicts=step.get("conflicts", 0),
+                    decisions=step.get("decisions", 0),
+                    propagations=step.get("propagations", 0),
+                    restarts=step.get("restarts", 0),
+                ),
                 repairs=step.get("repairs", 0),
-                decisions=step.get("decisions", 0),
-                propagations=step.get("propagations", 0),
-                restarts=step.get("restarts", 0),
             )
             for step in descent_data["steps"]
         ],

@@ -45,14 +45,29 @@ def _compile_in_worker(
     key: str,
     config: FermihedralConfig,
     cache_root: str | None,
+    relay_telemetry: bool = False,
 ) -> JobOutcome:
     """Worker-process body: reopen the cache by directory, then run the
     same :func:`repro.store.batch.run_compile_job` the thread pool uses
     (exceptions already folded into an ``error`` outcome there).  The
     outcome travels back to the parent by pickle, like any pool return
-    value."""
+    value.
+
+    With ``relay_telemetry`` the job records into a worker-local
+    :class:`~repro.telemetry.Telemetry` whose drained contents ride home
+    on :attr:`JobOutcome.telemetry` — spans and metric deltas cross the
+    process boundary as plain data, and the parent merges them exactly
+    once."""
     cache = CompilationCache(cache_root) if cache_root else None
-    return run_compile_job(job, config, cache, key)
+    telemetry = None
+    if relay_telemetry:
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
+    outcome = run_compile_job(job, config, cache, key, telemetry=telemetry)
+    if telemetry is not None:
+        outcome.telemetry = telemetry.drain_relay()
+    return outcome
 
 
 class ProcessBatchExecutor:
@@ -72,6 +87,13 @@ class ProcessBatchExecutor:
             display data; this hook hands the full outcome — result object
             and all — to callers that track per-job state incrementally,
             the way the service daemon feeds its job queue.
+        telemetry: a :class:`repro.telemetry.Telemetry` handle.  Worker
+            processes then record into their own handle and the executor
+            absorbs each job's relay payload (spans tagged with the job
+            label, metric deltas merged additively) into this one as the
+            outcome arrives — before ``on_outcome`` runs, which still
+            sees the raw payload on :attr:`~repro.store.batch.JobOutcome
+            .telemetry` for per-job trace storage.
 
     By default every :meth:`run` call creates and tears down its own
     pool — the right shape for a one-shot batch.  Long-lived callers
@@ -97,6 +119,7 @@ class ProcessBatchExecutor:
         default_config: FermihedralConfig | None = None,
         on_event: EventCallback | None = None,
         on_outcome=None,
+        telemetry=None,
     ):
         if jobs < 1:
             raise ValueError("executor needs at least one worker process")
@@ -105,6 +128,9 @@ class ProcessBatchExecutor:
         self.default_config = default_config or FermihedralConfig()
         self.on_event = on_event
         self.on_outcome = on_outcome
+        self.telemetry = telemetry
+        if cache is not None and telemetry is not None:
+            cache.set_telemetry(telemetry)
         self._pool: ProcessPoolExecutor | None = None
         self._pool_broken = False
         #: Serializes broken-pool replacement: concurrent run() calls on
@@ -226,7 +252,8 @@ class ProcessBatchExecutor:
             self._emit(JobStarted(index, total, job.display, key))
             try:
                 future = pool.submit(
-                    _compile_in_worker, job, key, self._job_config(job), cache_root
+                    _compile_in_worker, job, key, self._job_config(job), cache_root,
+                    self.telemetry is not None,
                 )
             except Exception as crash:  # pool already broken / shut down
                 self._pool_broken = True
@@ -260,6 +287,14 @@ class ProcessBatchExecutor:
                         key=key,
                         status="error",
                         error=f"{type(crash).__name__}: {crash}",
+                    )
+                if self.telemetry is not None and outcome.telemetry:
+                    # Merge the worker's spans and metric deltas into the
+                    # parent handle exactly once; the raw payload stays on
+                    # the outcome for per-job trace consumers (the service
+                    # daemon's /debug/trace endpoint).
+                    self.telemetry.absorb_relay(
+                        outcome.telemetry, extra={"job": job.display}
                     )
                 outcomes[key] = outcome
                 self._deliver(outcome)

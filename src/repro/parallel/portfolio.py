@@ -57,6 +57,7 @@ from repro.sat.solver import (
     UNSAT,
     CdclSolver,
     SolveResult,
+    SolverStats,
 )
 
 #: Conflicts each worker spends per round between synchronization
@@ -91,6 +92,7 @@ class SolverStrategy:
         formula: CnfFormula,
         seed_phases: dict[int, bool] | None = None,
         proof=None,
+        telemetry=None,
     ) -> CdclSolver:
         return CdclSolver(
             formula,
@@ -101,6 +103,7 @@ class SolverStrategy:
             random_seed=self.random_seed,
             random_branch_freq=self.random_branch_freq,
             proof=proof,
+            telemetry=telemetry,
         )
 
 
@@ -140,7 +143,9 @@ def diversified_strategies(workers: int) -> list[SolverStrategy]:
 
 def _worker_main(conn, formula: CnfFormula, strategy: SolverStrategy,
                  seed_phases: dict[int, bool] | None,
-                 emit_proof: bool = False) -> None:
+                 emit_proof: bool = False,
+                 relay_telemetry: bool = False,
+                 worker_index: int = 0) -> None:
     """Worker process loop: build one persistent solver, serve commands."""
     try:
         log = None
@@ -148,7 +153,13 @@ def _worker_main(conn, formula: CnfFormula, strategy: SolverStrategy,
             from repro.sat.drat import ProofLog
 
             log = ProofLog()
-        solver = strategy.build(formula, seed_phases=seed_phases, proof=log)
+        telemetry = None
+        if relay_telemetry:
+            from repro.telemetry import Telemetry
+
+            telemetry = Telemetry()
+        solver = strategy.build(formula, seed_phases=seed_phases, proof=log,
+                                telemetry=telemetry)
     except Exception as error:  # pragma: no cover - construction is simple
         conn.send(("error", f"{type(error).__name__}: {error}"))
         conn.close()
@@ -163,9 +174,20 @@ def _worker_main(conn, formula: CnfFormula, strategy: SolverStrategy,
         try:
             if command == "solve":
                 _, assumptions, max_conflicts = message
-                result = solver.solve(
-                    max_conflicts=max_conflicts, assumptions=assumptions
-                )
+                if telemetry is None:
+                    result = solver.solve(
+                        max_conflicts=max_conflicts, assumptions=assumptions
+                    )
+                else:
+                    with telemetry.span("portfolio.slice",
+                                        worker=worker_index,
+                                        strategy=strategy.name) as attrs:
+                        result = solver.solve(
+                            max_conflicts=max_conflicts,
+                            assumptions=assumptions,
+                        )
+                        attrs.update(status=result.status,
+                                     conflicts=result.stats.conflicts)
                 # A winner's refutation is only checkable against that
                 # worker's own clause-derivation history, so an UNSAT
                 # reply ships the full cumulative log.
@@ -177,10 +199,10 @@ def _worker_main(conn, formula: CnfFormula, strategy: SolverStrategy,
                     result.status,
                     result.model,
                     result.under_assumptions,
-                    (result.conflicts, result.decisions,
-                     result.propagations, result.restarts),
+                    result.stats,
                     len(solver.learned),
                     proof_payload,
+                    None if telemetry is None else telemetry.drain_relay(),
                 ))
             elif command == "add":
                 solver.add_clause(message[1])
@@ -219,6 +241,12 @@ class PortfolioSolver:
             is replaced with the *winning worker's* cumulative solver
             log, so the shared log always describes one coherent
             derivation history — the winner's.
+        telemetry: optional :class:`repro.telemetry.Telemetry`.  Each
+            worker then runs its own local telemetry, wraps every solve
+            slice in a ``portfolio.slice`` span, and ships the drained
+            events/metric deltas back with each round's reply; the
+            parent absorbs them tagged with the logical round and worker
+            index, so merged traces arrive exactly once, in round order.
 
     If worker processes cannot be spawned at all (restricted sandboxes),
     the portfolio degrades to the in-process reference solver and sets
@@ -234,6 +262,7 @@ class PortfolioSolver:
         strategies: list[SolverStrategy] | None = None,
         round_conflicts: int = DEFAULT_ROUND_CONFLICTS,
         proof=None,
+        telemetry=None,
     ):
         if workers < 1:
             raise ValueError("a portfolio needs at least one worker")
@@ -241,6 +270,8 @@ class PortfolioSolver:
             raise ValueError("round_conflicts must be positive")
         self.workers = workers
         self.round_conflicts = round_conflicts
+        self.telemetry = telemetry
+        self._round = 0  # logical rounds issued over the solver's lifetime
         self._proof = proof
         self._proof_line_prefix = 0 if proof is None else len(proof.lines)
         self._proof_axiom_prefix = 0 if proof is None else len(proof.axioms)
@@ -256,16 +287,18 @@ class PortfolioSolver:
         self._pipes: list = []
 
         if workers == 1:
-            self._local = self.strategies[0].build(formula, seed_phases, proof=proof)
+            self._local = self.strategies[0].build(formula, seed_phases,
+                                                   proof=proof,
+                                                   telemetry=telemetry)
             return
         try:
             context = multiprocessing.get_context()
-            for strategy in self.strategies:
+            for index, strategy in enumerate(self.strategies):
                 parent_conn, child_conn = context.Pipe()
                 process = context.Process(
                     target=_worker_main,
                     args=(child_conn, formula, strategy, seed_phases,
-                          proof is not None),
+                          proof is not None, telemetry is not None, index),
                     daemon=True,
                 )
                 process.start()
@@ -285,7 +318,9 @@ class PortfolioSolver:
                 stacklevel=2,
             )
             self.degraded = True
-            self._local = self.strategies[0].build(formula, seed_phases, proof=proof)
+            self._local = self.strategies[0].build(formula, seed_phases,
+                                                   proof=proof,
+                                                   telemetry=telemetry)
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -384,7 +419,7 @@ class PortfolioSolver:
         deadline = None if time_budget_s is None else start + time_budget_s
         assumptions = tuple(assumptions or ())
         spent = 0  # per-member conflicts issued so far
-        conflicts = decisions = propagations = restarts = 0
+        total = SolverStats()
 
         while True:
             slice_budget = self.round_conflicts
@@ -392,15 +427,22 @@ class PortfolioSolver:
                 slice_budget = min(slice_budget, max_conflicts - spent)
                 if slice_budget <= 0:
                     break
+            logical_round = self._round
+            self._round += 1
             replies = self._broadcast(("solve", assumptions, slice_budget))
             spent += slice_budget
             winner = None
             for index, reply in enumerate(replies):
-                _, status, model, under_assumptions, stats, learned, proof_payload = reply
-                conflicts += stats[0]
-                decisions += stats[1]
-                propagations += stats[2]
-                restarts += stats[3]
+                (_, status, model, under_assumptions, stats, learned,
+                 proof_payload, tele_payload) = reply
+                total = total + stats
+                if self.telemetry is not None and tele_payload:
+                    # Round-major, worker-minor absorption order: merged
+                    # events land exactly once, ordered by logical round.
+                    self.telemetry.absorb_relay(
+                        tele_payload,
+                        extra={"round": logical_round, "worker": index},
+                    )
                 if winner is None and status in (SAT, UNSAT):
                     winner = (index, status, model, under_assumptions, learned,
                               proof_payload)
@@ -424,10 +466,7 @@ class PortfolioSolver:
                 return SolveResult(
                     status=status,
                     model=model,
-                    conflicts=conflicts,
-                    decisions=decisions,
-                    propagations=propagations,
-                    restarts=restarts,
+                    stats=total,
                     elapsed_s=time.monotonic() - start,
                     under_assumptions=under_assumptions,
                     learned_clauses=winner_learned,
@@ -438,9 +477,6 @@ class PortfolioSolver:
         return SolveResult(
             status=UNKNOWN,
             model=None,
-            conflicts=conflicts,
-            decisions=decisions,
-            propagations=propagations,
-            restarts=restarts,
+            stats=total,
             elapsed_s=time.monotonic() - start,
         )

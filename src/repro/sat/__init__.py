@@ -23,7 +23,16 @@ from repro.sat.drat import (
 )
 from repro.sat.enumerate import enumerate_models
 from repro.sat.preprocess import PreprocessResult, PreprocessStats, preprocess
-from repro.sat.solver import SAT, UNKNOWN, UNSAT, CdclSolver, SolveResult, luby, solve_formula
+from repro.sat.solver import (
+    SAT,
+    UNKNOWN,
+    UNSAT,
+    CdclSolver,
+    SolveResult,
+    SolverStats,
+    luby,
+    solve_formula,
+)
 from repro.sat.totalizer import (
     add_totalizer_at_most_k,
     add_totalizer_ladder,
@@ -51,6 +60,7 @@ __all__ = [
     "ProofLog",
     "ProofTrace",
     "SolveResult",
+    "SolverStats",
     "add_at_most_k",
     "add_at_most_k_weighted",
     "add_at_most_ladder",

@@ -589,6 +589,7 @@ def preprocess(
     max_rounds: int = 10,
     bve_occurrence_limit: int = DEFAULT_BVE_OCCURRENCE_LIMIT,
     proof=None,
+    telemetry=None,
 ) -> PreprocessResult:
     """Simplify ``formula``, never touching the ``frozen`` variables.
 
@@ -606,6 +607,11 @@ def preprocess(
             refutation of the *simplified* formula found by a downstream
             solver writing to the same log checks against the *original*
             formula (see :class:`_Simplifier`).
+        telemetry: optional :class:`repro.telemetry.Telemetry`.  When
+            set, the run is wrapped in a ``preprocess`` span and the
+            per-technique removal counts (fixed / eliminated /
+            substituted variables, subsumed / strengthened clauses) are
+            mirrored into labelled counters after the fixpoint loop.
 
     Returns a :class:`PreprocessResult`; ``result.formula`` preserves the
     variable pool, ``result.reconstruct`` lifts models back to the
@@ -613,19 +619,48 @@ def preprocess(
     """
     frozen_set = frozenset(abs(int(literal)) for literal in frozen)
     simplifier = _Simplifier(formula, frozen_set, proof=proof)
-    for _ in range(max_rounds):
-        simplifier.stats.rounds += 1
-        if not simplifier.propagate_units():
-            break
-        changed = simplifier.substitute_equivalences()
-        if simplifier.stats.unsat or not simplifier.propagate_units():
-            break
-        changed |= simplifier.subsumption_round()
-        if not simplifier.propagate_units():
-            break
-        changed |= simplifier.eliminate_variables(bve_occurrence_limit)
-        if not simplifier.propagate_units():
-            break
-        if not changed and not simplifier.unit_queue:
-            break
-    return simplifier.build_result()
+    if telemetry is None:
+        from contextlib import nullcontext
+
+        span = nullcontext({})
+    else:
+        span = telemetry.span("preprocess",
+                              variables=formula.num_variables,
+                              clauses=formula.num_clauses)
+    with span as attrs:
+        for _ in range(max_rounds):
+            simplifier.stats.rounds += 1
+            if not simplifier.propagate_units():
+                break
+            changed = simplifier.substitute_equivalences()
+            if simplifier.stats.unsat or not simplifier.propagate_units():
+                break
+            changed |= simplifier.subsumption_round()
+            if not simplifier.propagate_units():
+                break
+            changed |= simplifier.eliminate_variables(bve_occurrence_limit)
+            if not simplifier.propagate_units():
+                break
+            if not changed and not simplifier.unit_queue:
+                break
+        result = simplifier.build_result()
+        if telemetry is not None:
+            stats = result.stats
+            attrs.update(rounds=stats.rounds,
+                         simplified_clauses=stats.simplified_clauses)
+            removed = telemetry.counter(
+                "repro_preprocess_removed_total",
+                "variables/clauses removed by the preprocessor, by technique")
+            for technique, count in (
+                ("fixed_variables", stats.fixed_variables),
+                ("eliminated_variables", stats.eliminated_variables),
+                ("substituted_variables", stats.substituted_variables),
+                ("subsumed_clauses", stats.subsumed_clauses),
+                ("strengthened_clauses", stats.strengthened_clauses),
+            ):
+                if count:
+                    removed.labels(technique=technique).inc(count)
+            telemetry.counter(
+                "repro_preprocess_runs_total", "preprocessor invocations"
+            ).inc()
+    return result

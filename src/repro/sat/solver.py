@@ -61,7 +61,7 @@ from __future__ import annotations
 import heapq
 import random
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.sat.cnf import CnfFormula
 
@@ -77,6 +77,36 @@ _RESTART_BASE = 128
 _FREE, _TRUE, _FALSE = 0, 1, 2
 
 
+@dataclass(frozen=True)
+class SolverStats:
+    """Search-effort counters shared by every layer that reports them.
+
+    One vocabulary across :class:`SolveResult`, descent steps, and
+    portfolio worker replies; addition aggregates contributions.
+    """
+
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+    restarts: int = 0
+
+    def __add__(self, other: "SolverStats") -> "SolverStats":
+        return SolverStats(
+            conflicts=self.conflicts + other.conflicts,
+            decisions=self.decisions + other.decisions,
+            propagations=self.propagations + other.propagations,
+            restarts=self.restarts + other.restarts,
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "conflicts": self.conflicts,
+            "decisions": self.decisions,
+            "propagations": self.propagations,
+            "restarts": self.restarts,
+        }
+
+
 @dataclass
 class SolveResult:
     """Outcome of a solver run.
@@ -89,13 +119,26 @@ class SolveResult:
 
     status: str
     model: dict[int, bool] | None = None
-    conflicts: int = 0
-    decisions: int = 0
-    propagations: int = 0
-    restarts: int = 0
+    stats: SolverStats = field(default_factory=SolverStats)
     elapsed_s: float = 0.0
     under_assumptions: bool = False
     learned_clauses: int = 0
+
+    @property
+    def conflicts(self) -> int:
+        return self.stats.conflicts
+
+    @property
+    def decisions(self) -> int:
+        return self.stats.decisions
+
+    @property
+    def propagations(self) -> int:
+        return self.stats.propagations
+
+    @property
+    def restarts(self) -> int:
+        return self.stats.restarts
 
     @property
     def is_sat(self) -> bool:
@@ -145,6 +188,13 @@ class CdclSolver:
             UNSAT answer then has a complete, independently checkable
             refutation (see :mod:`repro.sat.drat`).  ``None`` (the
             default) keeps emission entirely out of the hot path.
+        telemetry: optional :class:`repro.telemetry.Telemetry`.  When
+            set, the solver mirrors its counters (conflicts, decisions,
+            propagations, restarts) into the metrics registry and keeps
+            a learned-DB-size gauge fresh — sampled only at restart
+            boundaries and call exit, never inside the inner loop, so
+            the overhead discipline matches proof logging: ``None``
+            costs nothing.
 
     The four tuning knobs exist for portfolio diversification
     (:mod:`repro.parallel.portfolio`); all defaults together are the
@@ -162,8 +212,27 @@ class CdclSolver:
         random_seed: int | None = None,
         random_branch_freq: float = 0.0,
         proof=None,
+        telemetry=None,
     ):
         self.proof = proof
+        self.telemetry = telemetry
+        if telemetry is not None:
+            metrics = telemetry.metrics
+            self._tele_conflicts = metrics.counter(
+                "repro_solver_conflicts_total", "CDCL conflicts")
+            self._tele_decisions = metrics.counter(
+                "repro_solver_decisions_total", "CDCL decisions")
+            self._tele_propagations = metrics.counter(
+                "repro_solver_propagations_total", "CDCL unit propagations")
+            self._tele_restarts = metrics.counter(
+                "repro_solver_restarts_total", "CDCL restarts")
+            self._tele_learned = metrics.gauge(
+                "repro_solver_learned_clauses",
+                "learned clauses currently kept")
+            self._tele_rate = metrics.gauge(
+                "repro_solver_conflict_rate",
+                "conflicts per second over the most recent solve call")
+            self._tele_sampled = [0, 0, 0, 0]
         self.num_vars = formula.num_variables
         n = self.num_vars
         self.assign = bytearray(2 * n + 2)    # per encoded literal: _FREE/_TRUE/_FALSE
@@ -666,6 +735,26 @@ class CdclSolver:
             for i in range(0, len(watch_list), 2):
                 watch_list[i] = mapping[watch_list[i]]
 
+    def _sample_telemetry(self, conflicts: int, decisions: int,
+                          restarts: int) -> None:
+        """Mirror counter deltas since the last sample into the registry.
+
+        Called at restart boundaries and call exit only — the inner
+        propagate/analyze loop never touches telemetry.
+        """
+        last = self._tele_sampled
+        if conflicts > last[0]:
+            self._tele_conflicts.inc(conflicts - last[0])
+        if decisions > last[1]:
+            self._tele_decisions.inc(decisions - last[1])
+        if self.propagation_count > last[2]:
+            self._tele_propagations.inc(self.propagation_count - last[2])
+        if restarts > last[3]:
+            self._tele_restarts.inc(restarts - last[3])
+        self._tele_learned.set(len(self.learned) + self.learned_binaries)
+        self._tele_sampled = [conflicts, decisions, self.propagation_count,
+                              restarts]
+
     # -- main loop -----------------------------------------------------------------------
 
     def solve(
@@ -693,6 +782,8 @@ class CdclSolver:
         start = time.monotonic()
         deadline = None if time_budget_s is None else start + time_budget_s
         self.propagation_count = 0
+        if self.telemetry is not None:
+            self._tele_sampled = [0, 0, 0, 0]
         conflicts = 0
         decisions = 0
         restarts = 0
@@ -708,14 +799,21 @@ class CdclSolver:
             model: dict[int, bool] | None = None,
             under_assumptions: bool = False,
         ) -> SolveResult:
+            elapsed = time.monotonic() - start
+            if self.telemetry is not None:
+                self._sample_telemetry(conflicts, decisions, restarts)
+                if elapsed > 0:
+                    self._tele_rate.set(conflicts / elapsed)
             return SolveResult(
                 status=status,
                 model=model,
-                conflicts=conflicts,
-                decisions=decisions,
-                propagations=self.propagation_count,
-                restarts=restarts,
-                elapsed_s=time.monotonic() - start,
+                stats=SolverStats(
+                    conflicts=conflicts,
+                    decisions=decisions,
+                    propagations=self.propagation_count,
+                    restarts=restarts,
+                ),
+                elapsed_s=elapsed,
                 under_assumptions=under_assumptions,
                 learned_clauses=len(self.learned) + self.learned_binaries,
             )
@@ -759,6 +857,8 @@ class CdclSolver:
                 self._backtrack(0)
                 if len(self.learned) > max_learned:
                     self._reduce_learned()
+                if self.telemetry is not None:
+                    self._sample_telemetry(conflicts, decisions, restarts)
                 continue
 
             if len(self.trail_lim) < len(assumed):

@@ -139,6 +139,36 @@ class ServiceClient:
     def shutdown(self, drain: bool = True) -> dict:
         return self._request("POST", "/shutdown", payload={"drain": drain})
 
+    def metrics(self) -> str:
+        """The service's ``/metrics`` page, raw Prometheus text."""
+        url = f"{self.base_url}/metrics"
+        request = urllib.request.Request(
+            url, headers={"Accept": "text/plain"}
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as error:
+            raise ServiceError(
+                self._error_message(error), status=error.code
+            ) from None
+        except urllib.error.URLError as error:
+            raise ServiceError(
+                f"service unreachable at {self.base_url}: {error.reason}"
+            ) from None
+
+    def proof(self, job_id: str) -> dict:
+        """A job's proof metadata and stored DRAT trace document.
+
+        404s (no such job / job captured no proof) surface as
+        :class:`ServiceError` with ``status == 404``.
+        """
+        return self._request("GET", f"/jobs/{job_id}/proof")
+
+    def trace(self, job_id: str) -> dict:
+        """A finished job's span events (``GET /debug/trace/<id>``)."""
+        return self._request("GET", f"/debug/trace/{job_id}")
+
     # -- conveniences ---------------------------------------------------------
 
     def wait(self, job_id: str, timeout: float = 3600.0,
@@ -177,6 +207,48 @@ class ServiceClient:
                 f"(status {record.get('status')})"
             )
         return result_from_dict(payload)
+
+    def verify_proof(self, job_id: str) -> dict:
+        """Fetch a job's served proof and re-check it *client-side*.
+
+        The whole point of a DRAT certificate is that the consumer need
+        not trust the producer: this pulls the stored trace over the wire
+        and runs the independent checker
+        (:func:`repro.sat.drat.check_trace`) locally.  Returns
+        ``{"id", "proof", "verified", "reason", "steps",
+        "checked_additions"}``; a sha256 mismatch between the served
+        document and its advertised content address fails before the
+        checker even runs.
+        """
+        from repro.sat.drat import ProofTrace, check_trace
+
+        payload = self.proof(job_id)
+        document = payload.get("trace")
+        if document is None:
+            raise ServiceError(
+                f"job {payload.get('id', job_id)[:12]} served proof metadata "
+                "but no trace artifact (cache disabled or artifact evicted)"
+            )
+        trace = ProofTrace.from_dict(document)
+        advertised = (payload.get("proof") or {}).get("sha256")
+        if advertised and trace.sha256() != advertised:
+            return {
+                "id": payload["id"],
+                "proof": payload.get("proof"),
+                "verified": False,
+                "reason": "served trace does not match its advertised sha256",
+                "steps": 0,
+                "checked_additions": 0,
+            }
+        report = check_trace(trace)
+        return {
+            "id": payload["id"],
+            "proof": payload.get("proof"),
+            "verified": report.ok,
+            "reason": report.reason,
+            "steps": report.steps,
+            "checked_additions": report.checked_additions,
+        }
 
     def submit_and_wait(self, spec: dict, timeout: float = 3600.0,
                         poll_s: float = 0.25) -> dict:

@@ -138,6 +138,11 @@ class CompilationService:
             exactly when ``fork`` is available.
         runner: test seam — replaces the drain engine with a callable
             mapping a batch to outcomes.
+        telemetry: a :class:`repro.telemetry.Telemetry` handle.  ``None``
+            (the default) creates one — the service is always observable:
+            ``GET /metrics`` renders its registry, worker spans relay
+            into its tracer, and each finished job's span tree is kept
+            (bounded by ``max_records``) for ``GET /debug/trace/<id>``.
     """
 
     def __init__(
@@ -151,6 +156,7 @@ class CompilationService:
         default_device=None,
         use_processes: bool | None = None,
         runner: BatchRunner | None = None,
+        telemetry=None,
     ):
         if jobs < 1:
             raise ValueError("service needs at least one worker")
@@ -192,6 +198,49 @@ class CompilationService:
         self._thread: threading.Thread | None = None
         self._executor = None
 
+        if telemetry is None:
+            from repro.telemetry import Telemetry
+
+            telemetry = Telemetry()
+        self.telemetry = telemetry
+        if cache is not None:
+            cache.set_telemetry(telemetry)
+        #: job id -> relayed span events of its last finished attempt
+        #: (evicted in lockstep with the record registry).
+        self._traces: dict[str, list[dict]] = {}
+        self._submit_latency = telemetry.histogram(
+            "repro_service_submit_seconds", "submit() latency"
+        )
+        self._poll_latency = telemetry.histogram(
+            "repro_service_poll_seconds", "job lookup latency"
+        )
+        telemetry.metrics.add_collect_hook(self._collect_gauges)
+
+    def _collect_gauges(self) -> None:
+        """Scrape-time gauges: queue/slot occupancy and per-state jobs.
+
+        Runs inside ``MetricsRegistry.render()`` so ``GET /metrics``
+        always reports the current queue shape, not the shape at the last
+        state transition.
+        """
+        with self._wake:
+            depth = len(self._queue)
+            active = self._active_runs
+            tally: dict[str, int] = {}
+            for record in self._records.values():
+                tally[record.status] = tally.get(record.status, 0) + 1
+        self.telemetry.gauge(
+            "repro_service_queue_depth", "jobs waiting for a worker slot"
+        ).set(depth)
+        self.telemetry.gauge(
+            "repro_service_active_slots", "worker slots running a job"
+        ).set(active)
+        jobs_gauge = self.telemetry.gauge(
+            "repro_service_jobs", "registry records per state"
+        )
+        for state in (QUEUED, RUNNING, DONE, FAILED):
+            jobs_gauge.labels(state=state).set(tally.get(state, 0))
+
     # -- lifecycle ------------------------------------------------------------
 
     @property
@@ -210,6 +259,7 @@ class CompilationService:
                 cache=self.cache,
                 default_config=self.default_config,
                 on_outcome=self._handle_outcome,
+                telemetry=self.telemetry,
             ).__enter__()
         self._thread = threading.Thread(
             target=self._drain_loop, name="repro-service-dispatch", daemon=True
@@ -258,6 +308,13 @@ class CompilationService:
             ServiceUnavailableError: service draining/stopped (HTTP 503).
             QueueFullError: active-job bound reached (HTTP 429).
         """
+        started = time.monotonic()
+        try:
+            return self._submit(spec)
+        finally:
+            self._submit_latency.observe(time.monotonic() - started)
+
+    def _submit(self, spec: dict) -> tuple[JobRecord, bool]:
         job = job_from_spec(
             spec,
             default_method=self.default_method,
@@ -409,11 +466,22 @@ class CompilationService:
         if self._executor is not None:
             return self._executor.run(batch)
         # In-thread fallback (no fork): same body the thread batch uses.
+        # Each job still records into its own throwaway Telemetry and
+        # relays, so per-job traces exist on every execution engine.
+        from repro.telemetry import Telemetry
+
         outcomes = {}
         for key, job in batch:
-            outcomes[key] = run_compile_job(
-                job, job.config or self.default_config, self.cache, key
+            job_telemetry = Telemetry()
+            outcome = run_compile_job(
+                job, job.config or self.default_config, self.cache, key,
+                telemetry=job_telemetry,
             )
+            outcome.telemetry = job_telemetry.drain_relay()
+            self.telemetry.absorb_relay(
+                outcome.telemetry, extra={"job": job.display}
+            )
+            outcomes[key] = outcome
         return outcomes
 
     def _handle_outcome(self, outcome: JobOutcome) -> None:
@@ -427,6 +495,8 @@ class CompilationService:
             if self._inflight.get(outcome.key) != record.attempt:
                 return  # stale outcome from a superseded attempt
             del self._inflight[outcome.key]
+            if outcome.telemetry and outcome.telemetry.get("events"):
+                self._traces[outcome.key] = outcome.telemetry["events"]
             self._finish_record(record, outcome)
 
     def _finish_record(self, record: JobRecord, outcome: JobOutcome) -> None:
@@ -456,6 +526,7 @@ class CompilationService:
                     or record.attempt != attempt:
                 continue  # stale entry: already evicted or requeued since
             del self._records[key]
+            self._traces.pop(key, None)
             self.stats.evicted += 1
             excess -= 1
         # _order keeps evicted keys as tombstones (readers skip them);
@@ -511,23 +582,127 @@ class CompilationService:
                     include_result: bool = True) -> dict | None:
         """Wire form by exact id or unique prefix (``None`` when absent).
 
-        Raises :class:`AmbiguousJobIdError` when a prefix matches more
-        than one record.
+        Records evicted from the in-memory registry still answer: job ids
+        are cache keys, so an id that no longer resolves in the registry
+        is re-answered from the persistent cache (``"source": "cache"``
+        marks such synthesized records).  Raises
+        :class:`AmbiguousJobIdError` when a prefix matches more than one
+        record or cache entry.
         """
+        started = time.monotonic()
+        try:
+            with self._wake:
+                record = self._records.get(job_id)
+                if record is None and job_id:
+                    matches = [
+                        self._records[key] for key in self._order
+                        if key in self._records and key.startswith(job_id)
+                    ]
+                    if len(matches) > 1:
+                        raise AmbiguousJobIdError(
+                            f"job id prefix {job_id!r} is ambiguous "
+                            f"({len(matches)} matches)"
+                        )
+                    record = matches[0] if matches else None
+                if record is not None:
+                    return record.to_wire(include_result)
+            return self._cache_wire(job_id, include_result)
+        finally:
+            self._poll_latency.observe(time.monotonic() - started)
+
+    def _cache_wire(self, job_id: str, include_result: bool) -> dict | None:
+        """Synthesize a ``done`` record for an evicted-but-cached job id.
+
+        The registry bounds its memory by evicting finished records, but
+        their results (and the ids themselves — fingerprint keys) live on
+        in the cache; a poll for such an id deserves the result, not a
+        404.  Runs outside the service lock: this is disk I/O.
+        """
+        if self.cache is None or not job_id:
+            return None
+        infos = [
+            info for info in self.cache.find(job_id) if not info.corrupted
+        ]
+        if len(infos) > 1:
+            raise AmbiguousJobIdError(
+                f"job id prefix {job_id!r} is ambiguous "
+                f"({len(infos)} cache entries)"
+            )
+        if not infos:
+            return None
+        info = infos[0]
+        wire = {
+            "id": info.key,
+            "status": DONE,
+            "label": None,
+            "method": info.method,
+            "modes": info.num_modes,
+            "device": None,
+            "seed": None,
+            "outcome": "cache-hit",
+            "error": None,
+            "cache_error": None,
+            "submissions": 0,
+            "submitted_at": None,
+            "started_at": None,
+            "finished_at": info.created_at,
+            "elapsed_s": 0.0,
+            "weight": info.weight,
+            "proved_optimal": info.proved_optimal,
+            "source": "cache",
+        }
+        if include_result:
+            result = self.cache.get(info.key)
+            if result is None:
+                return None  # corrupted or vanished between find and get
+            from repro.encodings.serialization import result_to_dict
+
+            wire["result"] = result_to_dict(result)
+            wire["device"] = result.device
+        return wire
+
+    def metrics_text(self) -> str:
+        """The registry in Prometheus text form (``GET /metrics``)."""
+        return self.telemetry.render_metrics()
+
+    def trace_wire(self, job_id: str) -> dict | None:
+        """A finished job's relayed span events, by exact id or prefix."""
         with self._wake:
-            record = self._records.get(job_id)
-            if record is None and job_id:
-                matches = [
-                    self._records[key] for key in self._order
-                    if key in self._records and key.startswith(job_id)
-                ]
+            key, events = job_id, self._traces.get(job_id)
+            if events is None and job_id:
+                matches = [k for k in self._traces if k.startswith(job_id)]
                 if len(matches) > 1:
                     raise AmbiguousJobIdError(
                         f"job id prefix {job_id!r} is ambiguous "
-                        f"({len(matches)} matches)"
+                        f"({len(matches)} traces)"
                     )
-                record = matches[0] if matches else None
-            return None if record is None else record.to_wire(include_result)
+                if matches:
+                    key = matches[0]
+                    events = self._traces[key]
+            if events is None:
+                return None
+            return {"id": key, "events": list(events)}
+
+    def proof_wire(self, job_id: str) -> dict | None:
+        """A finished job's proof metadata plus its stored DRAT trace.
+
+        ``None`` when the id resolves to nothing at all; a resolved job
+        without a proof answers with ``"proof": None`` so the HTTP layer
+        can distinguish *no such job* (404) from *no proof* (404 with a
+        pointed message).  The full trace document is loaded from the
+        cache's content-addressed proof store when present.
+        """
+        wire = self.lookup_wire(job_id, include_result=True)
+        if wire is None:
+            return None
+        result = wire.get("result") or {}
+        proof = result.get("proof")
+        payload = {"id": wire["id"], "proof": proof, "trace": None}
+        if proof and self.cache is not None and proof.get("sha256"):
+            trace = self.cache.get_proof(proof["sha256"])
+            if trace is not None:
+                payload["trace"] = trace.to_dict()
+        return payload
 
     def counts(self) -> dict[str, int]:
         """Jobs per state (zero states omitted)."""

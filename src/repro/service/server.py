@@ -7,9 +7,15 @@ Endpoints::
                           400 malformed spec, 429 queue full, 503 draining
     GET  /jobs            all job summaries (no result payloads)
     GET  /jobs/<id>       one record, full result included once done
-                          (``?result=0`` omits it); any unique id prefix
+                          (``?result=0`` omits it); any unique id prefix;
+                          evicted-but-cached ids are re-answered from the
+                          cache instead of 404ing
+    GET  /jobs/<id>/proof proof metadata + the stored DRAT trace (404
+                          when the job exists but captured no proof)
     GET  /healthz         liveness + queue depth
     GET  /stats           counters, per-state tallies, cache stats
+    GET  /metrics         the telemetry registry, Prometheus text format
+    GET  /debug/trace/<id>  a finished job's span events (JSON)
     POST /shutdown        begin graceful shutdown ({"drain": false} also
                           cancels queued jobs); polls keep working while
                           running jobs finish, then the server exits
@@ -118,6 +124,14 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
     def _send_error_json(self, message: str, status: int) -> None:
         self._send_json({"error": message}, status=status)
 
+    def _send_text(self, text: str, status: int = 200) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; version=0.0.4")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def _read_json(self) -> dict | None:
         """The request body as JSON, or ``None`` after a 400 was sent."""
         length = int(self.headers.get("Content-Length") or 0)
@@ -145,12 +159,46 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             self._send_json(self.service.healthz())
         elif path == "/stats":
             self._send_json(self.service.stats_wire())
+        elif path == "/metrics":
+            self._send_text(self.service.metrics_text())
         elif path == "/jobs":
             self._send_json({"jobs": self.service.jobs_wire()})
+        elif path.startswith("/jobs/") and path.endswith("/proof"):
+            self._get_proof(path[len("/jobs/"):-len("/proof")])
         elif path.startswith("/jobs/"):
             self._get_job(path[len("/jobs/"):], query)
+        elif path.startswith("/debug/trace/"):
+            self._get_trace(path[len("/debug/trace/"):])
         else:
             self._send_error_json(f"no such endpoint: {path}", 404)
+
+    def _get_proof(self, job_id: str) -> None:
+        try:
+            payload = self.service.proof_wire(job_id)
+        except ServiceRejection as rejection:  # ambiguous prefix
+            self._send_error_json(str(rejection), rejection.http_status)
+            return
+        if payload is None:
+            self._send_error_json(f"no such job: {job_id!r}", 404)
+            return
+        if payload.get("proof") is None:
+            self._send_error_json(
+                f"job {job_id!r} captured no proof (submit with "
+                '{"config": {"proof": true}})', 404
+            )
+            return
+        self._send_json(payload)
+
+    def _get_trace(self, job_id: str) -> None:
+        try:
+            payload = self.service.trace_wire(job_id)
+        except ServiceRejection as rejection:  # ambiguous prefix
+            self._send_error_json(str(rejection), rejection.http_status)
+            return
+        if payload is None:
+            self._send_error_json(f"no trace for job: {job_id!r}", 404)
+            return
+        self._send_json(payload)
 
     def _get_job(self, job_id: str, query: str) -> None:
         include_result = "result=0" not in query

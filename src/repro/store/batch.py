@@ -62,7 +62,10 @@ METHOD_SPELLINGS = {
 #: Fields a job spec may carry; anything else is a typo in strict mode.
 JOB_SPEC_KEYS = ("model", "modes", "method", "seed", "label", "device", "config")
 
-#: Keys of the optional per-job ``config`` override object.
+#: Keys of the optional per-job ``config`` override object.  ``proof`` is
+#: an execution-only field (excluded from cache fingerprints), so asking
+#: for a certificate never forks the cache key of an otherwise identical
+#: job.
 CONFIG_SPEC_KEYS = (
     "algebraic_independence",
     "vacuum_preservation",
@@ -70,6 +73,7 @@ CONFIG_SPEC_KEYS = (
     "strategy",
     "budget_s",
     "max_conflicts",
+    "proof",
 )
 
 
@@ -117,6 +121,7 @@ def config_from_spec(
         exact_vacuum=bool(data.get("exact_vacuum", base.exact_vacuum)),
         strategy=data.get("strategy", base.strategy),
         budget=budget,
+        proof=bool(data.get("proof", base.proof)),
     )
 
 
@@ -286,6 +291,11 @@ class JobOutcome:
     ``cache_error`` is set when the compilation succeeded but persisting
     it did not (unwritable or vanished cache directory) — the job is
     *not* an error in that case; the result is simply not memoized.
+
+    ``telemetry`` carries a cross-process relay payload (the worker-side
+    ``Telemetry.drain_relay()`` dict) when the job ran in a worker process
+    with telemetry enabled; in-process executions leave it ``None``
+    because they record straight into the parent handle.
     """
 
     job: CompileJob
@@ -295,6 +305,7 @@ class JobOutcome:
     error: str | None = None
     elapsed_s: float = 0.0
     cache_error: str | None = None
+    telemetry: dict | None = None
 
 
 @dataclass
@@ -351,6 +362,7 @@ def run_compile_job(
     config: FermihedralConfig,
     cache: CompilationCache | None,
     key: str,
+    telemetry=None,
 ) -> JobOutcome:
     """One cache-enabled compile, exceptions folded into an ``error`` outcome.
 
@@ -360,11 +372,17 @@ def run_compile_job(
     drift in status mapping or error handling.  A cache-store failure
     (``store-failed``) keeps the job successful — the compiled result is
     returned with ``cache_error`` noting why it was not persisted.
+
+    ``telemetry`` is handed to the compiler: spans and metrics from the
+    descent land in that handle (in-process callers pass their own; the
+    process executor's workers pass a fresh one and relay its contents
+    back through :attr:`JobOutcome.telemetry`).
     """
     started = time.monotonic()
     try:
         compiler = FermihedralCompiler(
-            job.modes, config, cache=cache, device=job.device
+            job.modes, config, cache=cache, device=job.device,
+            telemetry=telemetry,
         )
         result = compiler.compile(
             method=job.method,
@@ -411,6 +429,10 @@ class BatchCompiler:
             same weights, same optimality proofs — the executors only
             change how fast they arrive.
         on_event: :mod:`repro.parallel.events` callback for live progress.
+        telemetry: a :class:`repro.telemetry.Telemetry` handle shared by
+            all jobs; worker processes relay their spans and metric
+            deltas back into it (see
+            :class:`repro.parallel.executor.ProcessBatchExecutor`).
     """
 
     def __init__(
@@ -420,6 +442,7 @@ class BatchCompiler:
         default_config: FermihedralConfig | None = None,
         jobs: int | None = None,
         on_event=None,
+        telemetry=None,
     ):
         self.cache = cache
         self.max_workers = max_workers
@@ -428,6 +451,7 @@ class BatchCompiler:
         if self.jobs < 1:
             raise ValueError("jobs must be at least 1 process")
         self.on_event = on_event
+        self.telemetry = telemetry
 
     def _emit(self, event) -> None:
         if self.on_event is not None:
@@ -440,7 +464,9 @@ class BatchCompiler:
         return compile_job_key(job, self.default_config)
 
     def _run_one(self, job: CompileJob, key: str) -> JobOutcome:
-        return run_compile_job(job, self._job_config(job), self.cache, key)
+        return run_compile_job(
+            job, self._job_config(job), self.cache, key, telemetry=self.telemetry
+        )
 
     def _run_unique_threads(
         self, unique: list[tuple[str, CompileJob]]
@@ -490,6 +516,7 @@ class BatchCompiler:
             cache=self.cache,
             default_config=self.default_config,
             on_event=self.on_event,
+            telemetry=self.telemetry,
         )
         return executor.run(unique)
 

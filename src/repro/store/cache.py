@@ -121,15 +121,23 @@ class CompilationCache:
         root: directory holding the entries; created on first use.
         validate: re-validate encoding constraints when decoding entries.
             Leave on unless the caller re-verifies results itself.
+        telemetry: optional :class:`repro.telemetry.Telemetry`; every
+            ``stats`` increment is then mirrored into labelled counters
+            (``repro_cache_requests_total{outcome=...}``, stores, warm
+            starts).  Also settable after construction with
+            :meth:`set_telemetry` — the compiler does this so a cache
+            built by the CLI reports through the compiler's handle.
 
     High-level use pairs :meth:`key_for` with :meth:`get`/:meth:`put`;
     :class:`~repro.core.pipeline.FermihedralCompiler` does this when
     constructed with ``cache=``.
     """
 
-    def __init__(self, root: str | Path, validate: bool = True):
+    def __init__(self, root: str | Path, validate: bool = True,
+                 telemetry=None):
         self.root = Path(root)
         self.validate = validate
+        self.telemetry = telemetry
         self.stats = CacheStats()
         self._lock = threading.Lock()
 
@@ -141,8 +149,20 @@ class CompilationCache:
     def __setstate__(self, state: dict) -> None:
         self.root = state["root"]
         self.validate = state["validate"]
+        self.telemetry = None
         self.stats = CacheStats()
         self._lock = threading.Lock()
+
+    def set_telemetry(self, telemetry) -> None:
+        """Attach (or detach, with ``None``) a telemetry handle."""
+        self.telemetry = telemetry
+
+    def _tele_request(self, outcome: str) -> None:
+        if self.telemetry is not None:
+            self.telemetry.counter(
+                "repro_cache_requests_total",
+                "compilation-cache lookups by outcome",
+            ).labels(outcome=outcome).inc()
 
     # -- keys -----------------------------------------------------------------
 
@@ -195,26 +215,36 @@ class CompilationCache:
         if not path.exists():
             with self._lock:
                 self.stats.misses += 1
+            self._tele_request("miss")
             return None
         try:
             result = self._decode_entry(path, key)
         except OSError:
             with self._lock:
                 self.stats.misses += 1
+            self._tele_request("miss")
             return None
         except (ValueError, KeyError, TypeError):
             with self._lock:
                 self.stats.corrupted += 1
                 self.stats.misses += 1
+            self._tele_request("corrupted")
+            self._tele_request("miss")
             return None
         with self._lock:
             self.stats.hits += 1
+        self._tele_request("hit")
         return result
 
     def note_warm_start(self) -> None:
         """Record that a hit was consumed as a warm-start seed (thread-safe)."""
         with self._lock:
             self.stats.warm_starts += 1
+        if self.telemetry is not None:
+            self.telemetry.counter(
+                "repro_cache_warm_starts_total",
+                "cache hits consumed as descent warm starts",
+            ).inc()
 
     def __contains__(self, key: str) -> bool:
         return self.path_for(key).exists()
@@ -270,6 +300,10 @@ class CompilationCache:
                 raise
         with self._lock:
             self.stats.stores += 1
+        if self.telemetry is not None:
+            self.telemetry.counter(
+                "repro_cache_stores_total", "cache entries written"
+            ).inc()
         return path
 
     # -- proof artifacts -------------------------------------------------------

@@ -1,0 +1,91 @@
+"""Observability for the Fermihedral pipeline: metrics + tracing.
+
+One :class:`Telemetry` handle bundles a :class:`MetricsRegistry`
+(counters, gauges, histograms; Prometheus text via ``render_metrics``)
+with a :class:`Tracer` (nested spans, JSONL events).  It is threaded
+*optionally* through the compiler, solver, cache, and service: every
+instrumented site gates on ``telemetry is None``, so a process that
+never constructs one pays nothing — the same zero-cost-when-off
+discipline the solver's DRAT logging established.
+
+Cross-process relay: worker processes (portfolio racers,
+``ProcessBatchExecutor`` children) build their own local ``Telemetry``,
+then :meth:`Telemetry.drain_relay` a plain-data payload back with each
+result over the existing pipe/pickle plumbing.  The parent
+:meth:`Telemetry.absorb_relay`\\ s it — counter/histogram deltas merge
+additively (exactly once, because draining resets the export mark), and
+span ids are remapped into the parent's id space.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricFamily,
+    MetricsRegistry,
+)
+from repro.telemetry.trace import (
+    Tracer,
+    read_jsonl,
+    render_tree,
+    write_jsonl,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "MetricFamily",
+    "MetricsRegistry",
+    "Telemetry",
+    "Tracer",
+    "read_jsonl",
+    "render_tree",
+    "write_jsonl",
+]
+
+
+class Telemetry:
+    """A metrics registry and a tracer behind one handle."""
+
+    def __init__(self, metrics: MetricsRegistry | None = None,
+                 tracer: Tracer | None = None):
+        self.metrics = MetricsRegistry() if metrics is None else metrics
+        self.tracer = Tracer() if tracer is None else tracer
+
+    # -- tracing -----------------------------------------------------------
+
+    def span(self, name: str, **attrs):
+        return self.tracer.span(name, **attrs)
+
+    def context(self, **attrs):
+        return self.tracer.context(**attrs)
+
+    # -- metrics -----------------------------------------------------------
+
+    def counter(self, name: str, help: str = "") -> MetricFamily:
+        return self.metrics.counter(name, help)
+
+    def gauge(self, name: str, help: str = "") -> MetricFamily:
+        return self.metrics.gauge(name, help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: tuple = DEFAULT_LATENCY_BUCKETS) -> MetricFamily:
+        return self.metrics.histogram(name, help, buckets=buckets)
+
+    def render_metrics(self) -> str:
+        return self.metrics.render()
+
+    # -- cross-process relay ----------------------------------------------
+
+    def drain_relay(self) -> dict:
+        """Everything accumulated since the last drain, as plain data."""
+        return {
+            "events": self.tracer.drain(),
+            "metrics": self.metrics.drain_deltas(),
+        }
+
+    def absorb_relay(self, payload, extra: dict | None = None) -> None:
+        """Merge a child process's :meth:`drain_relay` payload."""
+        if not payload:
+            return
+        self.metrics.merge_deltas(payload.get("metrics") or ())
+        self.tracer.ingest(payload.get("events") or (), extra=extra)

@@ -1,0 +1,329 @@
+"""Process-local metrics: counters, gauges, and histograms.
+
+A :class:`MetricsRegistry` owns named metric *families*; a family owns
+one child per label combination (the no-label child is implicit, so
+``registry.counter("x").inc()`` works without ever calling
+:meth:`MetricFamily.labels`).  The design follows the Prometheus client
+data model — ``render()`` emits the text exposition format the
+``/metrics`` endpoint serves — but everything here is stdlib-only.
+
+Two extra affordances support this codebase specifically:
+
+* **collect hooks** (:meth:`MetricsRegistry.add_collect_hook`) run just
+  before every ``render()``, so scrape-time gauges (queue depth, active
+  worker slots) are sampled when asked for instead of being pushed on
+  every mutation.
+* **delta relay** (:meth:`MetricsRegistry.drain_deltas` /
+  :meth:`MetricsRegistry.merge_deltas`): worker processes accumulate
+  locally and ship only the increments since the previous drain, so the
+  parent can merge contributions from many children without double
+  counting.  Counters and histograms merge additively; gauges are
+  last-write-wins.
+
+Instrumented code never pays for a disabled registry: call sites gate on
+``telemetry is None`` (the same zero-cost pattern the solver uses for
+DRAT logging), so a process that never constructs a
+:class:`~repro.telemetry.Telemetry` allocates nothing here.
+"""
+
+from __future__ import annotations
+
+import threading
+
+# Upper bucket bounds (seconds) for latency histograms; +Inf is implicit.
+DEFAULT_LATENCY_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0,
+)
+
+_KINDS = ("counter", "gauge", "histogram")
+
+
+def _escape_label_value(value: str) -> str:
+    return (str(value).replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def _format_labels(items: tuple) -> str:
+    if not items:
+        return ""
+    inner = ",".join(f'{key}="{_escape_label_value(value)}"'
+                     for key, value in items)
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    # Prometheus accepts integers and floats; keep integral values tidy.
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("_lock", "value", "_exported")
+
+    def __init__(self, lock: threading.RLock):
+        self._lock = lock
+        self.value = 0.0
+        self._exported = 0.0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self.value += amount
+
+    def _drain(self) -> float:
+        with self._lock:
+            delta = self.value - self._exported
+            self._exported = self.value
+            return delta
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self, lock: threading.RLock):
+        self._lock = lock
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        with self._lock:
+            self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        with self._lock:
+            self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket distribution of observed values."""
+
+    __slots__ = ("_lock", "bounds", "bucket_counts", "sum", "count",
+                 "_exported")
+
+    def __init__(self, lock: threading.RLock, bounds: tuple):
+        self._lock = lock
+        self.bounds = tuple(bounds)
+        self.bucket_counts = [0] * len(self.bounds)  # per-bucket, not cumulative
+        self.sum = 0.0
+        self.count = 0
+        self._exported = None  # (bucket_counts, sum, count) at last drain
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.sum += value
+            self.count += 1
+            for index, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self.bucket_counts[index] += 1
+                    break
+
+    def _drain(self):
+        with self._lock:
+            previous = self._exported or ([0] * len(self.bounds), 0.0, 0)
+            counts = [now - then
+                      for now, then in zip(self.bucket_counts, previous[0])]
+            delta = (counts, self.sum - previous[1], self.count - previous[2])
+            self._exported = (list(self.bucket_counts), self.sum, self.count)
+            return delta
+
+    def _merge(self, bucket_counts, total, count) -> None:
+        with self._lock:
+            for index, value in enumerate(bucket_counts):
+                if index < len(self.bucket_counts):
+                    self.bucket_counts[index] += value
+            self.sum += total
+            self.count += count
+
+
+class MetricFamily:
+    """All children (label combinations) of one named metric.
+
+    Family-level ``inc``/``set``/``dec``/``observe`` delegate to the
+    implicit no-label child, mirroring the prometheus_client ergonomics.
+    """
+
+    __slots__ = ("kind", "name", "help", "buckets", "_lock", "_children")
+
+    def __init__(self, kind: str, name: str, help: str, lock: threading.RLock,
+                 buckets: tuple = ()):
+        if kind not in _KINDS:
+            raise ValueError(f"unknown metric kind: {kind!r}")
+        self.kind = kind
+        self.name = name
+        self.help = help
+        self.buckets = tuple(buckets)
+        self._lock = lock
+        self._children: dict = {}
+
+    def labels(self, **labelvalues):
+        """The child for one label combination, created on first use."""
+        key = tuple(sorted((str(k), str(v)) for k, v in labelvalues.items()))
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                if self.kind == "counter":
+                    child = Counter(self._lock)
+                elif self.kind == "gauge":
+                    child = Gauge(self._lock)
+                else:
+                    child = Histogram(self._lock, self.buckets)
+                self._children[key] = child
+            return child
+
+    # -- no-label convenience delegation ----------------------------------
+
+    def inc(self, amount: float = 1) -> None:
+        self.labels().inc(amount)
+
+    def dec(self, amount: float = 1) -> None:
+        self.labels().dec(amount)
+
+    def set(self, value: float) -> None:
+        self.labels().set(value)
+
+    def observe(self, value: float) -> None:
+        self.labels().observe(value)
+
+    def children(self) -> list:
+        with self._lock:
+            return sorted(self._children.items())
+
+
+class MetricsRegistry:
+    """A process-local collection of metric families."""
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._families: dict = {}
+        self._hooks: list = []
+
+    def _family(self, kind: str, name: str, help: str,
+                buckets: tuple = ()) -> MetricFamily:
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = MetricFamily(kind, name, help, self._lock, buckets)
+                self._families[name] = family
+            elif family.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {family.kind}"
+                )
+            return family
+
+    def counter(self, name: str, help: str = "") -> MetricFamily:
+        return self._family("counter", name, help)
+
+    def gauge(self, name: str, help: str = "") -> MetricFamily:
+        return self._family("gauge", name, help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: tuple = DEFAULT_LATENCY_BUCKETS) -> MetricFamily:
+        return self._family("histogram", name, help, buckets)
+
+    def add_collect_hook(self, hook) -> None:
+        """Register ``hook()`` to run at the start of every render()."""
+        with self._lock:
+            self._hooks.append(hook)
+
+    def families(self) -> list:
+        with self._lock:
+            return sorted(self._families.items())
+
+    # -- exposition --------------------------------------------------------
+
+    def render(self) -> str:
+        """The registry in Prometheus text exposition format."""
+        with self._lock:
+            hooks = list(self._hooks)
+        for hook in hooks:
+            hook()
+        lines: list = []
+        for name, family in self.families():
+            if family.help:
+                lines.append(f"# HELP {name} {family.help}")
+            lines.append(f"# TYPE {name} {family.kind}")
+            for key, child in family.children():
+                if family.kind == "histogram":
+                    cumulative = 0
+                    for bound, count in zip(child.bounds, child.bucket_counts):
+                        cumulative += count
+                        items = key + (("le", _format_value(float(bound))),)
+                        lines.append(f"{name}_bucket{_format_labels(items)} "
+                                     f"{cumulative}")
+                    items = key + (("le", "+Inf"),)
+                    lines.append(f"{name}_bucket{_format_labels(items)} "
+                                 f"{child.count}")
+                    lines.append(f"{name}_sum{_format_labels(key)} "
+                                 f"{_format_value(child.sum)}")
+                    lines.append(f"{name}_count{_format_labels(key)} "
+                                 f"{child.count}")
+                else:
+                    lines.append(f"{name}{_format_labels(key)} "
+                                 f"{_format_value(child.value)}")
+        return "\n".join(lines) + "\n" if lines else ""
+
+    # -- cross-process relay ----------------------------------------------
+
+    def drain_deltas(self) -> list:
+        """Plain-data increments since the previous drain.
+
+        Counters and histograms report only what accumulated since the
+        last call (and remember it, so repeated drains never double
+        count); gauges report their current value every time.
+        """
+        deltas: list = []
+        for name, family in self.families():
+            for key, child in family.children():
+                labels = dict(key)
+                if family.kind == "counter":
+                    delta = child._drain()
+                    if delta:
+                        deltas.append({"kind": "counter", "name": name,
+                                       "help": family.help, "labels": labels,
+                                       "value": delta})
+                elif family.kind == "gauge":
+                    deltas.append({"kind": "gauge", "name": name,
+                                   "help": family.help, "labels": labels,
+                                   "value": child.value})
+                else:
+                    counts, total, count = child._drain()
+                    if count:
+                        deltas.append({"kind": "histogram", "name": name,
+                                       "help": family.help, "labels": labels,
+                                       "buckets": list(child.bounds),
+                                       "counts": counts, "sum": total,
+                                       "count": count})
+        return deltas
+
+    def merge_deltas(self, deltas) -> None:
+        """Fold :meth:`drain_deltas` output from another process in."""
+        for delta in deltas:
+            kind = delta["kind"]
+            labels = delta.get("labels") or {}
+            if kind == "counter":
+                family = self.counter(delta["name"], delta.get("help", ""))
+                family.labels(**labels).inc(delta["value"])
+            elif kind == "gauge":
+                family = self.gauge(delta["name"], delta.get("help", ""))
+                family.labels(**labels).set(delta["value"])
+            elif kind == "histogram":
+                family = self.histogram(
+                    delta["name"], delta.get("help", ""),
+                    buckets=tuple(delta.get("buckets") or
+                                  DEFAULT_LATENCY_BUCKETS),
+                )
+                family.labels(**labels)._merge(
+                    delta.get("counts") or [], delta.get("sum", 0.0),
+                    delta.get("count", 0),
+                )
+            else:
+                raise ValueError(f"unknown delta kind: {kind!r}")

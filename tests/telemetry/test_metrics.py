@@ -1,0 +1,173 @@
+"""Metrics registry: families, labels, exposition format, delta relay."""
+
+import pytest
+
+from repro.telemetry import MetricsRegistry, Telemetry
+from repro.telemetry.metrics import DEFAULT_LATENCY_BUCKETS
+
+
+class TestCounters:
+    def test_inc_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.labels().value == 5
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("hits_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_get_or_create_returns_same_family(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+
+class TestGauges:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(10)
+        gauge.inc(3)
+        gauge.dec()
+        assert gauge.labels().value == 12
+
+
+class TestHistograms:
+    def test_observe_fills_buckets_and_sum(self):
+        histogram = MetricsRegistry().histogram(
+            "latency_seconds", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            histogram.observe(value)
+        child = histogram.labels()
+        assert child.bucket_counts == [1, 2]  # 5.0 only lands in +Inf
+        assert child.count == 4
+        assert child.sum == pytest.approx(6.05)
+
+    def test_default_buckets_are_latency_shaped(self):
+        histogram = MetricsRegistry().histogram("latency_seconds")
+        assert histogram.buckets == DEFAULT_LATENCY_BUCKETS
+
+
+class TestLabels:
+    def test_label_combinations_are_distinct_children(self):
+        counter = MetricsRegistry().counter("requests_total")
+        counter.labels(outcome="hit").inc(2)
+        counter.labels(outcome="miss").inc()
+        assert counter.labels(outcome="hit").value == 2
+        assert counter.labels(outcome="miss").value == 1
+
+    def test_family_level_ops_hit_the_implicit_child(self):
+        counter = MetricsRegistry().counter("requests_total")
+        counter.inc()
+        assert counter.labels().value == 1
+
+
+class TestRender:
+    def test_counter_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("hits_total", "cache hits").labels(tier="l1").inc(3)
+        text = registry.render()
+        assert "# HELP hits_total cache hits" in text
+        assert "# TYPE hits_total counter" in text
+        assert 'hits_total{tier="l1"} 3' in text
+
+    def test_histogram_exposition_is_cumulative_with_inf(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            histogram.observe(value)
+        text = registry.render()
+        assert 'lat_bucket{le="0.1"} 1' in text
+        assert 'lat_bucket{le="1"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
+        assert "lat_count 3" in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("x").labels(path='a"b\\c').inc()
+        assert 'path="a\\"b\\\\c"' in registry.render()
+
+    def test_collect_hooks_run_at_render_time(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        registry.add_collect_hook(lambda: gauge.set(7))
+        assert "depth 7" in registry.render()
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render() == ""
+
+
+class TestDeltaRelay:
+    def test_counters_drain_exactly_once(self):
+        registry = MetricsRegistry()
+        registry.counter("hits_total").inc(5)
+        first = registry.drain_deltas()
+        assert [d["value"] for d in first if d["kind"] == "counter"] == [5]
+        # Nothing new accumulated: a second drain ships no counter delta.
+        assert not [d for d in registry.drain_deltas()
+                    if d["kind"] == "counter"]
+        registry.counter("hits_total").inc(2)
+        third = registry.drain_deltas()
+        assert [d["value"] for d in third if d["kind"] == "counter"] == [2]
+
+    def test_histograms_drain_exactly_once(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", buckets=(1.0,)).observe(0.5)
+        first = [d for d in registry.drain_deltas() if d["kind"] == "histogram"]
+        assert first[0]["count"] == 1
+        assert not [d for d in registry.drain_deltas()
+                    if d["kind"] == "histogram"]
+
+    def test_merge_reproduces_totals_without_double_count(self):
+        worker = MetricsRegistry()
+        worker.counter("hits_total").inc(3)
+        worker.histogram("lat", buckets=(1.0,)).observe(0.5)
+        worker.gauge("depth").set(4)
+
+        parent = MetricsRegistry()
+        parent.merge_deltas(worker.drain_deltas())
+        parent.merge_deltas(worker.drain_deltas())  # empty second drain
+        worker.counter("hits_total").inc(2)
+        parent.merge_deltas(worker.drain_deltas())
+
+        assert parent.counter("hits_total").labels().value == 5
+        assert parent.histogram("lat").labels().count == 1
+        assert parent.gauge("depth").labels().value == 4
+
+    def test_merge_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().merge_deltas([{"kind": "summary", "name": "x"}])
+
+
+class TestTelemetryFacade:
+    def test_auto_constructs_registry_and_tracer(self):
+        telemetry = Telemetry()
+        assert telemetry.metrics is not None
+        assert telemetry.tracer is not None
+
+    def test_relay_round_trip(self):
+        worker = Telemetry()
+        worker.counter("hits_total").inc(2)
+        with worker.span("work"):
+            pass
+        payload = worker.drain_relay()
+
+        parent = Telemetry()
+        parent.absorb_relay(payload, extra={"job": "j1"})
+        assert parent.counter("hits_total").labels().value == 2
+        events = parent.tracer.events()
+        assert [e["name"] for e in events] == ["work"]
+        assert events[0]["attrs"]["job"] == "j1"
+
+    def test_absorb_relay_tolerates_empty_payload(self):
+        parent = Telemetry()
+        parent.absorb_relay(None)
+        parent.absorb_relay({})
+        assert parent.tracer.events() == []
