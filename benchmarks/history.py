@@ -1,0 +1,84 @@
+"""Runnable front door for the perf-history ledger.
+
+Thin wrapper over :mod:`repro.analysis.perfhistory` so CI (and anyone
+without the console script on PATH) can record and compare benchmark
+runs directly::
+
+    python benchmarks/history.py record --json-dir /tmp/bench-json
+    python benchmarks/history.py compare --json-dir /tmp/bench-json
+
+``repro bench record`` / ``repro bench compare`` drive the same
+functions; this module only resolves the default ledger path relative
+to the repo checkout (``benchmarks/results/history.jsonl``) and maps
+the comparison verdict onto the exit code — non-zero means at least
+one metric regressed beyond the threshold.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+# Runnable both as a script and with benchmarks/ on sys.path.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.perfhistory import (  # noqa: E402
+    DEFAULT_THRESHOLD,
+    compare_runs,
+    format_report,
+    record_run,
+)
+
+DEFAULT_LEDGER = Path(__file__).resolve().parent / "results" / "history.jsonl"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Record benchmark snapshots into the perf-history "
+                    "ledger, or compare a fresh run against the last "
+                    "recorded commit."
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    record = sub.add_parser("record", help="append a run to the ledger")
+    record.add_argument("--json-dir", required=True,
+                        help="directory of BENCH_*.json snapshots "
+                             "(the suite's --json DIR)")
+    record.add_argument("--history", default=str(DEFAULT_LEDGER),
+                        help=f"ledger path (default: {DEFAULT_LEDGER})")
+    record.add_argument("--sha", default=None,
+                        help="override the recorded git sha")
+    record.add_argument("--note", default=None,
+                        help="free-form annotation stored with the run")
+
+    compare = sub.add_parser("compare", help="diff a run against the ledger")
+    compare.add_argument("--json-dir", required=True,
+                         help="directory of BENCH_*.json snapshots")
+    compare.add_argument("--history", default=str(DEFAULT_LEDGER),
+                         help=f"ledger path (default: {DEFAULT_LEDGER})")
+    compare.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                         help="fractional regression threshold "
+                              "(default: 0.10)")
+    compare.add_argument("--sha", default=None,
+                         help="treat this sha as the commit under test")
+
+    args = parser.parse_args(argv)
+    if args.command == "record":
+        entries = record_run(args.json_dir, args.history,
+                             sha=args.sha, note=args.note)
+        if not entries:
+            print(f"error: no BENCH_*.json snapshots in {args.json_dir}",
+                  file=sys.stderr)
+            return 2
+        print(f"recorded {len(entries)} benchmark(s) at sha "
+              f"{entries[0]['sha'][:12]} -> {args.history}")
+        return 0
+    report = compare_runs(args.json_dir, args.history,
+                          threshold=args.threshold, sha=args.sha)
+    print(format_report(report))
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

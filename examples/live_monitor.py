@@ -1,0 +1,125 @@
+"""Stream a running daemon's progress feed while a slow job descends.
+
+Long descents publish heartbeats from the solver's restart boundaries
+onto the daemon's progress bus — current bound, conflicts, conflicts/s,
+rung ETA — and ``GET /events?since=N`` serves that feed as a resumable
+cursor stream (``repro watch`` and ``repro top`` are built on the same
+two endpoints).  This example is the raw version: it long-polls
+``/events`` and prints every event as it arrives, so you can watch the
+ladder tighten rung by rung.
+
+By default it starts its own daemon on an ephemeral port, submits a
+Hubbard-model job slow enough to emit a visible stream, and tails the
+feed until the job finishes.  Point it at a long-running daemon instead
+with ``--url`` (then submit from another terminal, or pass ``--submit``):
+
+Run:
+    PYTHONPATH=src python examples/live_monitor.py
+    PYTHONPATH=src python examples/live_monitor.py --url http://host:8765 \\
+        --submit hubbard:2
+"""
+
+import argparse
+import sys
+import tempfile
+import threading
+
+
+def start_local_daemon():
+    from repro.service import CompilationService, ServiceServer
+    from repro.store import CompilationCache
+
+    cache_dir = tempfile.mkdtemp(prefix="fermihedral-monitor-")
+    service = CompilationService(
+        cache=CompilationCache(cache_dir), jobs=1
+    ).start()
+    server = ServiceServer(("127.0.0.1", 0), service)
+    threading.Thread(target=server.serve_until_stopped, daemon=True).start()
+    return server, service
+
+
+def describe(event: dict) -> str:
+    kind = event.get("kind", "?")
+    job = (event.get("job") or "")[:12]
+    if kind == "heartbeat":
+        parts = [f"bound={event.get('bound')}",
+                 f"conflicts={event.get('conflicts')}"]
+        rate = event.get("conflicts_per_s")
+        if rate is not None:
+            parts.append(f"{rate:.0f}/s")
+        eta = event.get("eta_s")
+        if eta is not None:
+            parts.append(f"eta~{eta:.0f}s")
+        detail = "  ".join(parts)
+    elif kind == "rung":
+        detail = (f"bound={event.get('bound')} -> {event.get('status')} "
+                  f"({event.get('conflicts')} conflicts)")
+    elif kind == "descent":
+        detail = (f"weight={event.get('weight')} "
+                  f"optimal={event.get('proved_optimal')}")
+    elif kind == "job":
+        detail = f"state={event.get('state')}"
+    else:
+        detail = " ".join(f"{k}={v}" for k, v in sorted(event.items())
+                          if k not in ("kind", "job", "seq", "ts"))
+    return f"[{event.get('seq'):>5}] {job:<12} {kind:<10} {detail}"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--url", help="monitor an already-running daemon "
+                        "instead of starting one")
+    parser.add_argument("--submit", default="hubbard:2", metavar="MODEL",
+                        help="model spec to submit (default: hubbard:2, "
+                        "slow enough to stream; '' to only watch)")
+    parser.add_argument("--max-conflicts", type=int, default=20000,
+                        help="per-rung conflict budget for the submitted job")
+    args = parser.parse_args()
+
+    from repro.service import ServiceClient
+
+    server = service = None
+    if args.url:
+        client = ServiceClient(args.url)
+    else:
+        server, service = start_local_daemon()
+        client = ServiceClient(server.url)
+        print(f"daemon listening at {server.url}")
+
+    job_id = None
+    if args.submit:
+        record = client.submit({
+            "model": args.submit,
+            "label": f"monitor:{args.submit}",
+            "config": {"max_conflicts": args.max_conflicts},
+        })
+        job_id = record["id"]
+        print(f"submitted {args.submit}: {job_id[:12]} ({record['status']})")
+
+    print("streaming /events (ctrl-c to stop):\n")
+    cursor = 0
+    try:
+        while True:
+            batch = client.events(since=cursor, timeout=5.0)
+            if batch.get("dropped"):
+                print("  ... feed ring wrapped; resuming from oldest")
+            for event in batch["events"]:
+                print(describe(event))
+            cursor = batch["next"]
+            if job_id:
+                payload = client.progress(job_id)
+                if payload["status"] in ("done", "failed", "cancelled"):
+                    print(f"\njob {job_id[:12]} finished: "
+                          f"{payload['status']}")
+                    break
+    except KeyboardInterrupt:
+        print("\nstopped")
+
+    if service is not None:
+        client.shutdown()
+        service.join(timeout=30.0)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,10 +1,19 @@
-"""Analysis helpers: weight metrics, regression fits, dependence probabilities."""
+"""Analysis helpers: weight metrics, regression fits, dependence
+probabilities, and the benchmark perf-history ledger."""
 
 from repro.analysis.independence import (
     ProbabilityEstimate,
     column_event_holds,
     estimate_simultaneous_probability,
     sample_optimal_encodings,
+)
+from repro.analysis.perfhistory import (
+    ComparisonReport,
+    MetricDelta,
+    compare_runs,
+    format_report,
+    read_history,
+    record_run,
 )
 from repro.analysis.regression import LogFit, fit_log2, improvement_percent
 from repro.analysis.tables import format_percent, format_table
@@ -17,7 +26,9 @@ from repro.analysis.weights import (
 )
 
 __all__ = [
+    "ComparisonReport",
     "LogFit",
+    "MetricDelta",
     "ProbabilityEstimate",
     "RoutedCostComparison",
     "WeightComparison",
@@ -25,10 +36,14 @@ __all__ = [
     "column_event_holds",
     "compare_hamiltonian_weight",
     "compare_routed_cost",
+    "compare_runs",
     "estimate_simultaneous_probability",
     "fit_log2",
     "format_percent",
+    "format_report",
     "format_table",
     "improvement_percent",
+    "read_history",
+    "record_run",
     "sample_optimal_encodings",
 ]

@@ -1,0 +1,310 @@
+"""Perf-history ledger: record benchmark runs, flag regressions.
+
+The benchmark suite already emits machine-readable ``BENCH_<name>.json``
+files when run with ``--json DIR`` (see :mod:`benchmarks._harness`).
+This module turns those one-shot snapshots into a *trajectory*: each
+recorded run appends one line per benchmark to an append-only JSONL
+ledger keyed by git sha, and :func:`compare_runs` diffs a fresh snapshot
+against the most recent entry from a *different* sha — i.e. against the
+last commit that recorded — flagging any metric that moved more than a
+threshold in the bad direction.
+
+Which direction is "bad" is inferred from the metric name:
+
+* higher-is-better — names containing ``per_s`` or ``throughput``
+  (rates); a *drop* beyond the threshold is a regression;
+* lower-is-better — names ending in ``_wall_s``, ``_s``, ``_seconds``,
+  ``_bytes``, or containing ``conflicts``/``propagations`` (costs); a
+  *rise* beyond the threshold is a regression.
+
+The higher-is-better patterns are checked first so ``jobs_per_s`` is a
+rate, not a ``_s`` duration.  Non-numeric and unclassified fields are
+ignored — the ledger stores them anyway, so a future rule can reach
+back in time.
+
+Storage is a single JSONL file (default
+``benchmarks/results/history.jsonl``): one JSON object per line, append
+only, trivially mergeable, and readable with ``jq`` or a text editor.
+Corrupt lines are skipped on read, never fatal — a half-written tail
+from a crashed recorder must not brick the tracker.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Default relative location of the ledger (under the repo's
+#: ``benchmarks/results/``; callers pass an absolute path normally).
+DEFAULT_HISTORY = "benchmarks/results/history.jsonl"
+
+#: Fractional change that counts as a regression (10%).
+DEFAULT_THRESHOLD = 0.10
+
+#: Substrings marking a metric as higher-is-better (checked first).
+_HIGHER_BETTER = ("per_s", "throughput")
+
+#: Name shapes marking a metric as lower-is-better.
+_LOWER_SUFFIXES = ("_wall_s", "_seconds", "_s", "_bytes")
+_LOWER_SUBSTRINGS = ("conflicts", "propagations")
+
+#: Bookkeeping and parameter fields of a BENCH_*.json that are never
+#: metrics (``max_conflicts`` is a budget knob — raising it is a choice,
+#: not a regression).
+_SKIP_FIELDS = frozenset({"name", "written_at", "max_conflicts",
+                          "budget_s", "shots"})
+
+
+def metric_direction(name: str) -> str | None:
+    """``"higher"`` / ``"lower"`` = which way is better; ``None`` = not
+    a tracked metric (statuses, parameters, booleans)."""
+    lowered = name.lower()
+    if any(token in lowered for token in _HIGHER_BETTER):
+        return "higher"
+    if lowered.endswith(_LOWER_SUFFIXES):
+        return "lower"
+    if any(token in lowered for token in _LOWER_SUBSTRINGS):
+        return "lower"
+    return None
+
+
+def git_sha(repo_dir: str | Path | None = None) -> str:
+    """The current HEAD sha, or ``"unknown"`` outside a git checkout."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=None if repo_dir is None else str(repo_dir),
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = completed.stdout.strip()
+    return sha if completed.returncode == 0 and sha else "unknown"
+
+
+def load_snapshots(json_dir: str | Path) -> dict[str, dict]:
+    """All ``BENCH_<name>.json`` files in ``json_dir``, by bench name.
+
+    Unreadable files are skipped (the suite may still be writing).
+    """
+    snapshots: dict[str, dict] = {}
+    for path in sorted(Path(json_dir).glob("BENCH_*.json")):
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            continue
+        if isinstance(data, dict):
+            snapshots[data.get("name") or path.stem[len("BENCH_"):]] = data
+    return snapshots
+
+
+def read_history(path: str | Path) -> list[dict]:
+    """Every well-formed entry in the ledger, oldest first."""
+    entries: list[dict] = []
+    try:
+        text = Path(path).read_text()
+    except OSError:
+        return entries
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except ValueError:
+            continue  # half-written tail; never fatal
+        if isinstance(entry, dict) and "name" in entry:
+            entries.append(entry)
+    return entries
+
+
+def record_run(
+    json_dir: str | Path,
+    history_path: str | Path,
+    sha: str | None = None,
+    note: str | None = None,
+    recorded_at: float | None = None,
+) -> list[dict]:
+    """Append one ledger entry per benchmark snapshot; returns them.
+
+    Each entry is ``{"sha", "recorded_at", "name", "note", "data"}``
+    where ``data`` is the bench's full BENCH_*.json payload.  An empty
+    ``json_dir`` appends nothing and returns ``[]``.
+    """
+    snapshots = load_snapshots(json_dir)
+    if not snapshots:
+        return []
+    sha = sha or git_sha()
+    recorded_at = time.time() if recorded_at is None else recorded_at
+    entries = [
+        {
+            "sha": sha,
+            "recorded_at": recorded_at,
+            "name": name,
+            "note": note,
+            "data": data,
+        }
+        for name, data in sorted(snapshots.items())
+    ]
+    path = Path(history_path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a") as handle:
+        for entry in entries:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entries
+
+
+@dataclass
+class MetricDelta:
+    """One metric compared against its baseline value."""
+
+    bench: str
+    metric: str
+    direction: str          # "higher" | "lower" (which way is better)
+    baseline: float
+    current: float
+    change: float           # signed fractional change vs. baseline
+    regressed: bool
+
+    @property
+    def percent(self) -> float:
+        return 100.0 * self.change
+
+
+@dataclass
+class ComparisonReport:
+    """Everything :func:`compare_runs` decided, ready to print or test."""
+
+    baseline_sha: str | None
+    current_sha: str
+    threshold: float
+    deltas: list[MetricDelta] = field(default_factory=list)
+    missing_baseline: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[MetricDelta]:
+        return [delta for delta in self.deltas if delta.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def _baseline_entries(
+    history: list[dict], current_sha: str
+) -> tuple[str | None, dict[str, dict]]:
+    """The newest recorded run from a sha other than ``current_sha``.
+
+    Entries of one run share a sha and ``recorded_at``; scanning from the
+    tail, the first foreign sha wins and every entry of that run (same
+    sha, walking back while contiguous) becomes the baseline — so
+    re-recording on the current commit never dilutes the comparison
+    with its own numbers.
+    """
+    baseline_sha: str | None = None
+    baseline: dict[str, dict] = {}
+    for entry in reversed(history):
+        sha = entry.get("sha")
+        if sha == current_sha and baseline_sha is None:
+            continue  # skip runs from the commit under test
+        if baseline_sha is None:
+            baseline_sha = sha
+        if sha != baseline_sha:
+            break
+        # Walking backwards: keep the newest entry per bench name.
+        baseline.setdefault(entry["name"], entry.get("data") or {})
+    return baseline_sha, baseline
+
+
+def compare_runs(
+    json_dir: str | Path,
+    history_path: str | Path,
+    threshold: float = DEFAULT_THRESHOLD,
+    sha: str | None = None,
+) -> ComparisonReport:
+    """Diff a fresh snapshot directory against the recorded baseline.
+
+    The baseline is the most recent ledger run whose sha differs from
+    ``sha`` (default: the current HEAD) — comparing a commit against
+    itself would hide every regression.  Benches present now but absent
+    from the baseline land in ``missing_baseline`` (new benches are not
+    failures).  A baseline metric of 0 is compared by absolute change
+    against the threshold instead of a ratio.
+    """
+    current_sha = sha or git_sha()
+    history = read_history(history_path)
+    baseline_sha, baseline = _baseline_entries(history, current_sha)
+    report = ComparisonReport(
+        baseline_sha=baseline_sha,
+        current_sha=current_sha,
+        threshold=threshold,
+    )
+    for name, data in sorted(load_snapshots(json_dir).items()):
+        base = baseline.get(name)
+        if base is None:
+            report.missing_baseline.append(name)
+            continue
+        for metric in sorted(data):
+            if metric in _SKIP_FIELDS:
+                continue
+            direction = metric_direction(metric)
+            if direction is None:
+                continue
+            current_value = data[metric]
+            baseline_value = base.get(metric)
+            if (not isinstance(current_value, (int, float))
+                    or not isinstance(baseline_value, (int, float))
+                    or isinstance(current_value, bool)
+                    or isinstance(baseline_value, bool)):
+                continue
+            if baseline_value:
+                change = (current_value - baseline_value) / abs(baseline_value)
+            else:
+                change = float(current_value)  # vs. zero: absolute change
+            regressed = (
+                change > threshold if direction == "lower"
+                else change < -threshold
+            )
+            report.deltas.append(MetricDelta(
+                bench=name,
+                metric=metric,
+                direction=direction,
+                baseline=float(baseline_value),
+                current=float(current_value),
+                change=change,
+                regressed=regressed,
+            ))
+    return report
+
+
+def format_report(report: ComparisonReport) -> str:
+    """Human-readable comparison, one line per tracked metric."""
+    lines = [
+        f"baseline: {report.baseline_sha or '(none recorded)'}",
+        f"current:  {report.current_sha}",
+        f"threshold: {report.threshold:.0%}",
+    ]
+    if not report.deltas and not report.missing_baseline:
+        lines.append("no comparable metrics (record a baseline first)")
+        return "\n".join(lines)
+    for delta in report.deltas:
+        marker = "REGRESSION" if delta.regressed else "ok"
+        arrow = "↑" if delta.current >= delta.baseline else "↓"
+        lines.append(
+            f"  [{marker:>10}] {delta.bench}.{delta.metric}: "
+            f"{delta.baseline:g} -> {delta.current:g} "
+            f"({arrow}{abs(delta.percent):.1f}%, "
+            f"{delta.direction} is better)"
+        )
+    for name in report.missing_baseline:
+        lines.append(f"  [       new] {name}: no baseline entry")
+    tally = len(report.regressions)
+    lines.append(
+        "result: "
+        + (f"{tally} regression(s) beyond {report.threshold:.0%}"
+           if tally else "no regressions")
+    )
+    return "\n".join(lines)

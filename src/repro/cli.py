@@ -17,8 +17,11 @@ Subcommands::
     python -m repro trace     show FILE.jsonl
     python -m repro serve     [--port 8765] [--cache DIR] [--jobs 4]
     python -m repro submit    --model h2 [--wait] [--url URL]
-    python -m repro jobs      {ls,show ID,proof ID} [--url URL]
+    python -m repro jobs      {ls,show ID,proof ID,forensics ID} [--url URL]
+    python -m repro top       [--once] [--interval 2.0] [--url URL]
+    python -m repro watch     JOB_ID [--url URL]
     python -m repro shutdown  [--no-drain] [--url URL]
+    python -m repro bench     {record,compare} --json-dir DIR
 
 The service verbs talk to a ``repro serve`` daemon: a JSON-over-HTTP
 job queue that deduplicates submissions by fingerprint, answers
@@ -39,7 +42,16 @@ tree of the whole compile (compile → descent → rung → solve) as JSONL
 that ``repro trace show`` renders; a running service additionally
 exposes ``GET /metrics`` (Prometheus text) and ``GET /debug/trace/<id>``,
 and ``repro jobs proof ID`` fetches a served proof and re-checks it
-client-side.  Given enough budget per SAT call, none of these
+client-side.
+
+Observability: ``repro top`` is a live ops console over a running
+service (queue depth, worker slots, cache hit ratio, latency quantiles,
+per-active-job bound and conflict rate), ``repro watch ID`` follows one
+job's progress stream to completion, ``repro jobs forensics ID``
+retrieves the flight-recorder dump of a failed job (breadcrumbs, open
+spans, metrics, traceback), and ``repro bench record/compare`` keeps an
+append-only perf-history ledger that flags >10% regressions between
+commits.  Given enough budget per SAT call, none of these
 knobs changes
 achieved weights or optimality proofs — only wall-clock time.  When a
 budget *is* exhausted, more parallelism can only answer more (a
@@ -907,6 +919,244 @@ def cmd_shutdown(args) -> int:
     return 0
 
 
+# -- live ops console ---------------------------------------------------------
+
+
+def _latency_cells(families: dict, family: str,
+                   quantiles=(0.5, 0.9, 0.99)) -> str:
+    """``p50/p90/p99`` of one latency histogram as ``a/b/c ms``."""
+    from repro.telemetry import histogram_quantile
+
+    info = families.get(family) or {}
+    buckets = [
+        (labels.get("le", "+Inf"), value)
+        for labels, value in (info.get("samples") or {}).get(
+            f"{family}_bucket", ())
+    ]
+    cells = []
+    for q in quantiles:
+        value = histogram_quantile(q, buckets) if buckets else None
+        cells.append("-" if value is None else f"{value * 1000:.1f}")
+    return "/".join(cells) + " ms"
+
+
+def _progress_row(job: dict, progress: dict | None) -> list:
+    snapshot = progress or {}
+    rate = snapshot.get("conflicts_per_s")
+    eta = snapshot.get("eta_s")
+    return [
+        job["id"][:12],
+        job["label"],
+        job["status"],
+        snapshot.get("engine", "-"),
+        "-" if snapshot.get("bound") is None else snapshot["bound"],
+        "-" if snapshot.get("conflicts") is None else snapshot["conflicts"],
+        "-" if rate is None else f"{rate:.0f}/s",
+        "-" if snapshot.get("elapsed_s") is None
+        else f"{snapshot['elapsed_s']:.1f}s",
+        "-" if eta is None else f"{eta:.0f}s",
+    ]
+
+
+def _render_top(client) -> str:
+    """One frame of the ops console: stats + quantiles + active jobs."""
+    from repro.telemetry import parse_prometheus_text
+
+    stats = client.stats()
+    families = parse_prometheus_text(client.metrics())
+    jobs = client.jobs()
+    tallies = stats.get("jobs") or {}
+    counters = stats.get("counters") or {}
+    cache = stats.get("cache") or {}
+
+    lines = [
+        f"repro service at {client.base_url} — state {stats['state']}, "
+        f"up {stats['uptime_s']:.0f}s",
+        f"workers: {stats['workers']} ({stats['execution']})   "
+        f"queued: {tallies.get('queued', 0)}/{stats['queue_limit']}   "
+        f"running: {tallies.get('running', 0)}   "
+        f"done: {tallies.get('done', 0)}   "
+        f"failed: {tallies.get('failed', 0)}",
+    ]
+    if cache.get("enabled"):
+        hits = cache.get("hits", 0)
+        misses = cache.get("misses", 0)
+        total = hits + misses
+        ratio = f" ({100.0 * hits / total:.0f}% hit)" if total else ""
+        lines.append(f"cache: {hits} hits, {misses} misses{ratio}, "
+                     f"{cache.get('warm_starts', 0)} warm starts")
+    else:
+        lines.append("cache: disabled")
+    lines.append(
+        "counters: " + "  ".join(
+            f"{name} {counters.get(name, 0)}"
+            for name in ("submitted", "accepted", "deduplicated",
+                         "cache_hits", "completed", "failed", "rejected")
+        )
+    )
+    lines.append(
+        "latency p50/p90/p99: "
+        f"submit {_latency_cells(families, 'repro_service_submit_seconds')}"
+        f"   poll {_latency_cells(families, 'repro_service_poll_seconds')}"
+    )
+    active = [job for job in jobs if job["status"] in ("queued", "running")]
+    if active:
+        rows = []
+        for job in active:
+            try:
+                progress = client.progress(job["id"]).get("progress")
+            except Exception:  # job may finish between /jobs and here
+                progress = None
+            rows.append(_progress_row(job, progress))
+        lines.append("")
+        lines.append(format_table(
+            ["job", "label", "status", "engine", "bound", "conflicts",
+             "confl/s", "elapsed", "eta"],
+            rows,
+        ))
+    else:
+        lines.append("no active jobs")
+    return "\n".join(lines)
+
+
+def cmd_top(args) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    while True:
+        try:
+            frame = _render_top(client)
+        except ServiceError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        if args.once:
+            print(frame)
+            return 0
+        # Clear + home, repaint, and truncate any taller previous frame.
+        sys.stdout.write("\x1b[H\x1b[2J" + frame + "\n")
+        sys.stdout.flush()
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+
+
+def _format_watch_line(payload: dict) -> str:
+    snapshot = payload.get("progress") or {}
+    parts = [payload["id"][:12], payload["status"]]
+    if snapshot.get("bound") is not None:
+        parts.append(f"bound={snapshot['bound']}")
+    if snapshot.get("conflicts") is not None:
+        rate = snapshot.get("conflicts_per_s")
+        rate_text = "" if rate is None else f" ({rate:.0f}/s)"
+        parts.append(f"conflicts={snapshot['conflicts']}{rate_text}")
+    if snapshot.get("elapsed_s") is not None:
+        parts.append(f"elapsed={snapshot['elapsed_s']:.1f}s")
+    if snapshot.get("eta_s") is not None:
+        parts.append(f"eta={snapshot['eta_s']:.0f}s")
+    if snapshot.get("last_kind") or snapshot.get("kind"):
+        parts.append(f"[{snapshot.get('last_kind') or snapshot.get('kind')}]")
+    return "  ".join(str(part) for part in parts)
+
+
+def cmd_watch(args) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    last_line = None
+    try:
+        while True:
+            payload = client.progress(args.id)
+            line = _format_watch_line(payload)
+            if line != last_line:
+                print(line, flush=True)
+                last_line = line
+            if payload["status"] in ("done", "failed", "cancelled"):
+                return 0 if payload["status"] == "done" else 1
+            time.sleep(args.interval)
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        return 130
+
+
+def cmd_jobs_forensics(args) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        payload = client.forensics(args.id)
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    dump = payload.get("forensics") or {}
+    print(f"job:         {payload['id']}")
+    captured = dump.get("captured_at")
+    if captured is not None:
+        print("captured at: " + time.strftime(
+            "%Y-%m-%d %H:%M:%S", time.localtime(captured)))
+    if dump.get("synthesized"):
+        print("(synthesized dump — the worker crashed before relaying one)")
+    error_text = dump.get("error")
+    if error_text:
+        print("error:")
+        for line in str(error_text).rstrip().splitlines():
+            print(f"  {line}")
+    events = dump.get("events") or []
+    print(f"breadcrumbs ({len(events)}):")
+    for event in events:
+        fields = {
+            key: value for key, value in event.items()
+            if key not in ("level", "message", "ts", "seq")
+        }
+        suffix = f"  {fields}" if fields else ""
+        print(f"  [{event.get('level', '?')}] "
+              f"{event.get('message', event.get('kind', '?'))}{suffix}")
+    spans = dump.get("open_spans") or []
+    if spans:
+        print(f"open spans ({len(spans)}):")
+        for span in spans:
+            age = span.get("age_s")
+            age_text = "-" if age is None else f"{age:.1f}s"
+            print(f"  {span.get('name', '?')}  open {age_text}  "
+                  f"{span.get('attrs') or {}}")
+    metrics_text = dump.get("metrics")
+    if metrics_text:
+        print(f"metrics snapshot: {len(metrics_text.splitlines())} lines "
+              "(--json to see it)")
+    return 0
+
+
+# -- perf history -------------------------------------------------------------
+
+
+def cmd_bench_record(args) -> int:
+    from repro.analysis.perfhistory import record_run
+
+    entries = record_run(args.json_dir, args.history,
+                         sha=args.sha, note=args.note)
+    if not entries:
+        print(f"error: no BENCH_*.json snapshots in {args.json_dir}",
+              file=sys.stderr)
+        return 2
+    print(f"recorded {len(entries)} benchmark(s) at sha "
+          f"{entries[0]['sha'][:12]} -> {args.history}")
+    return 0
+
+
+def cmd_bench_compare(args) -> int:
+    from repro.analysis.perfhistory import compare_runs, format_report
+
+    report = compare_runs(args.json_dir, args.history,
+                          threshold=args.threshold, sha=args.sha)
+    print(format_report(report))
+    return 0 if report.ok else 1
+
+
 _URL_HELP = ("service URL (default: $REPRO_SERVICE_URL or "
              "http://127.0.0.1:8765)")
 
@@ -1251,6 +1501,53 @@ def build_parser() -> argparse.ArgumentParser:
                                  "the checker")
     jobs_proof.add_argument("--url", default=None, help=_URL_HELP)
     jobs_proof.set_defaults(handler=cmd_jobs_proof)
+    jobs_forensics = jobs_sub.add_parser(
+        "forensics", help="fetch a failed job's flight-recorder dump",
+        description="Download the forensics dump the service captured "
+                    "when a job failed: breadcrumb trail, spans still "
+                    "open at the moment of death, a metrics snapshot, "
+                    "and the worker-side traceback.",
+    )
+    jobs_forensics.add_argument("id", help="job id (any unique prefix)")
+    jobs_forensics.add_argument("--json", action="store_true",
+                                help="dump the raw wire payload instead "
+                                     "of a summary")
+    jobs_forensics.add_argument("--url", default=None, help=_URL_HELP)
+    jobs_forensics.set_defaults(handler=cmd_jobs_forensics)
+
+    top = subparsers.add_parser(
+        "top",
+        help="live ops console for a running service",
+        description="Continuously render a running service's vitals: "
+                    "queue depth, worker slots, cache hit ratio, "
+                    "submit/poll latency quantiles (computed client-side "
+                    "from /metrics histograms), and one row per active "
+                    "job with its current bound, conflict rate, and rung "
+                    "ETA.  Ctrl-C exits; --once prints a single frame "
+                    "(scripts, CI smoke tests).",
+    )
+    top.add_argument("--url", default=None, help=_URL_HELP)
+    top.add_argument("--once", action="store_true",
+                     help="print one frame and exit instead of looping")
+    top.add_argument("--interval", type=float, default=2.0,
+                     metavar="SECONDS",
+                     help="refresh period (default: 2.0)")
+    top.set_defaults(handler=cmd_top)
+
+    watch = subparsers.add_parser(
+        "watch",
+        help="follow one job's live progress until it finishes",
+        description="Poll a job's /progress endpoint and print a line "
+                    "whenever its snapshot changes (bound, conflicts, "
+                    "conflict rate, rung ETA).  Exits 0 when the job "
+                    "finishes 'done', 1 on 'failed' or 'cancelled'.",
+    )
+    watch.add_argument("id", help="job id (any unique prefix)")
+    watch.add_argument("--url", default=None, help=_URL_HELP)
+    watch.add_argument("--interval", type=float, default=0.5,
+                       metavar="SECONDS",
+                       help="poll period (default: 0.5)")
+    watch.set_defaults(handler=cmd_watch)
 
     shutdown = subparsers.add_parser(
         "shutdown",
@@ -1289,6 +1586,57 @@ def build_parser() -> argparse.ArgumentParser:
     devices_show.add_argument("name", help="preset name or parametric spec "
                                            "(e.g. grid-3x3)")
     devices_show.set_defaults(handler=cmd_devices_show)
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="record or compare benchmark perf history",
+        description="Track the benchmark suite's performance over time: "
+                    "'record' appends a --json DIR snapshot to the "
+                    "append-only ledger keyed by git sha; 'compare' "
+                    "diffs a fresh snapshot against the last recorded "
+                    "commit and exits non-zero when any metric regressed "
+                    "beyond the threshold.",
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+
+    def _add_bench_common(sub):
+        sub.add_argument("--json-dir", required=True, metavar="DIR",
+                         help="directory of BENCH_*.json snapshots "
+                              "(the benchmark suite's --json DIR)")
+        sub.add_argument("--history",
+                         default="benchmarks/results/history.jsonl",
+                         metavar="FILE",
+                         help="ledger path (default: "
+                              "benchmarks/results/history.jsonl)")
+        sub.add_argument("--sha", default=None,
+                         help="override the git sha (default: "
+                              "'git rev-parse HEAD', or 'unknown')")
+
+    bench_record = bench_sub.add_parser(
+        "record", help="append a benchmark run to the ledger",
+        description="Store every BENCH_*.json in --json-dir as one "
+                    "ledger line each, stamped with the current git sha.",
+    )
+    _add_bench_common(bench_record)
+    bench_record.add_argument("--note", default=None,
+                              help="free-form annotation stored with "
+                                   "the run")
+    bench_record.set_defaults(handler=cmd_bench_record)
+
+    bench_compare = bench_sub.add_parser(
+        "compare", help="diff a benchmark run against the ledger",
+        description="Compare --json-dir against the newest recorded run "
+                    "from a different sha.  Rates (…per_s, …throughput) "
+                    "must not drop and costs (…_wall_s, …conflicts) must "
+                    "not rise by more than --threshold; any violation "
+                    "makes the exit code 1.",
+    )
+    _add_bench_common(bench_compare)
+    bench_compare.add_argument("--threshold", type=float, default=0.10,
+                               metavar="FRACTION",
+                               help="fractional regression threshold "
+                                    "(default: 0.10)")
+    bench_compare.set_defaults(handler=cmd_bench_compare)
 
     return parser
 

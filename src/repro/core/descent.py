@@ -40,6 +40,7 @@ from repro.encodings.bravyi_kitaev import bravyi_kitaev
 from repro.fermion.hamiltonians import FermionicHamiltonian
 from repro.paulis.symplectic import are_algebraically_independent
 from repro.sat.solver import CdclSolver, SolverStats
+from repro.telemetry.progress import RungEtaEstimator
 
 LINEAR = "linear"
 BISECTION = "bisection"
@@ -544,11 +545,37 @@ def descend(
     steps: list[DescentStep] = []
     proved_optimal = False
 
+    progress = getattr(telemetry, "progress", None)
+    eta = RungEtaEstimator()
+    if progress is not None:
+        progress.emit("descent", modes=num_modes, strategy=config.strategy,
+                      engine=bound_solver.engine_name,
+                      start_weight=best_weight)
+
     def solve_rung(bound: int):
         with _span(telemetry, "descent.rung", bound=bound,
                    engine=bound_solver.engine_name) as attrs:
-            step, candidate = bound_solver.solve_at(bound)
+            if progress is not None:
+                # Implicit fields for every heartbeat the solver emits
+                # inside this rung: the current bound/engine, plus the
+                # ladder's conflict estimate so the bus can derive an ETA
+                # from the live conflict rate.
+                with progress.context(
+                        bound=bound, engine=bound_solver.engine_name,
+                        expected_conflicts=eta.expected_conflicts()):
+                    step, candidate = bound_solver.solve_at(bound)
+            else:
+                step, candidate = bound_solver.solve_at(bound)
             attrs.update(status=step.status, conflicts=step.conflicts)
+            if progress is not None:
+                eta.observe(step.conflicts)
+                rate = (step.conflicts / step.elapsed_s
+                        if step.elapsed_s > 0 else 0.0)
+                progress.emit("rung", bound=bound,
+                              engine=bound_solver.engine_name,
+                              status=step.status, conflicts=step.conflicts,
+                              conflicts_per_s=round(rate, 1),
+                              elapsed_s=round(step.elapsed_s, 3))
             return step, candidate
 
     descent_span = _span(telemetry, "descent", modes=num_modes,

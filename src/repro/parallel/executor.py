@@ -26,6 +26,7 @@ the parent, as futures resolve.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -46,6 +47,7 @@ def _compile_in_worker(
     config: FermihedralConfig,
     cache_root: str | None,
     relay_telemetry: bool = False,
+    progress_path: str | None = None,
 ) -> JobOutcome:
     """Worker-process body: reopen the cache by directory, then run the
     same :func:`repro.store.batch.run_compile_job` the thread pool uses
@@ -57,13 +59,17 @@ def _compile_in_worker(
     :class:`~repro.telemetry.Telemetry` whose drained contents ride home
     on :attr:`JobOutcome.telemetry` — spans and metric deltas cross the
     process boundary as plain data, and the parent merges them exactly
-    once."""
+    once.  ``progress_path`` additionally mirrors the job's live
+    progress snapshot into a JSON file the parent can read *while the
+    job runs* — the result pipe only speaks at completion."""
     cache = CompilationCache(cache_root) if cache_root else None
     telemetry = None
     if relay_telemetry:
-        from repro.telemetry import Telemetry
+        from repro.telemetry import FileSnapshotSink, Telemetry
 
         telemetry = Telemetry()
+        if progress_path:
+            telemetry.progress.add_sink(FileSnapshotSink(progress_path))
     outcome = run_compile_job(job, config, cache, key, telemetry=telemetry)
     if telemetry is not None:
         outcome.telemetry = telemetry.drain_relay()
@@ -94,6 +100,11 @@ class ProcessBatchExecutor:
             outcome arrives — before ``on_outcome`` runs, which still
             sees the raw payload on :attr:`~repro.store.batch.JobOutcome
             .telemetry` for per-job trace storage.
+        progress_dir: directory for per-job live progress snapshot files
+            (one ``<key>.json`` per in-flight job, atomically replaced
+            by the worker, removed by the parent when the job resolves).
+            Only meaningful with ``telemetry``; the service daemon reads
+            these for ``GET /jobs/<id>/progress`` on running jobs.
 
     By default every :meth:`run` call creates and tears down its own
     pool — the right shape for a one-shot batch.  Long-lived callers
@@ -120,6 +131,7 @@ class ProcessBatchExecutor:
         on_event: EventCallback | None = None,
         on_outcome=None,
         telemetry=None,
+        progress_dir: str | None = None,
     ):
         if jobs < 1:
             raise ValueError("executor needs at least one worker process")
@@ -129,6 +141,7 @@ class ProcessBatchExecutor:
         self.on_event = on_event
         self.on_outcome = on_outcome
         self.telemetry = telemetry
+        self.progress_dir = progress_dir
         if cache is not None and telemetry is not None:
             cache.set_telemetry(telemetry)
         self._pool: ProcessPoolExecutor | None = None
@@ -174,6 +187,13 @@ class ProcessBatchExecutor:
 
     def _job_config(self, job: CompileJob) -> FermihedralConfig:
         return job.config or self.default_config
+
+    def progress_path(self, key: str) -> str | None:
+        """The live snapshot file the worker for ``key`` mirrors into
+        (``None`` when progress mirroring is off)."""
+        if self.progress_dir is None or self.telemetry is None:
+            return None
+        return str(Path(self.progress_dir) / f"{key}.json")
 
     def _parent_fast_path(self, job: CompileJob, key: str) -> JobOutcome | None:
         """A final cached result short-circuits dispatch entirely."""
@@ -254,6 +274,7 @@ class ProcessBatchExecutor:
                 future = pool.submit(
                     _compile_in_worker, job, key, self._job_config(job), cache_root,
                     self.telemetry is not None,
+                    self.progress_path(key),
                 )
             except Exception as crash:  # pool already broken / shut down
                 self._pool_broken = True
@@ -296,6 +317,14 @@ class ProcessBatchExecutor:
                     self.telemetry.absorb_relay(
                         outcome.telemetry, extra={"job": job.display}
                     )
+                snapshot_path = self.progress_path(key)
+                if snapshot_path is not None:
+                    # The job is over; the relay above carried its final
+                    # progress events, so the live file is now stale.
+                    try:
+                        os.unlink(snapshot_path)
+                    except OSError:
+                        pass
                 outcomes[key] = outcome
                 self._deliver(outcome)
                 self._emit(JobFinished(

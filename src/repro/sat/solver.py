@@ -859,6 +859,18 @@ class CdclSolver:
                     self._reduce_learned()
                 if self.telemetry is not None:
                     self._sample_telemetry(conflicts, decisions, restarts)
+                    progress = getattr(self.telemetry, "progress", None)
+                    if progress is not None:
+                        # Restart boundaries are the only hot-loop touch
+                        # point, and the bus throttles further — most
+                        # calls cost one monotonic-clock read.
+                        elapsed = time.monotonic() - start
+                        progress.heartbeat(
+                            conflicts=conflicts,
+                            conflicts_per_s=(round(conflicts / elapsed, 1)
+                                             if elapsed > 0 else 0.0),
+                            elapsed_s=round(elapsed, 3),
+                        )
                 continue
 
             if len(self.trail_lim) < len(assumed):

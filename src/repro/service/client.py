@@ -82,7 +82,8 @@ class ServiceClient:
 
     # -- transport ------------------------------------------------------------
 
-    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+    def _request(self, method: str, path: str, payload: dict | None = None,
+                 timeout: float | None = None) -> dict:
         url = f"{self.base_url}{path}"
         data = None
         headers = {"Accept": "application/json"}
@@ -92,8 +93,10 @@ class ServiceClient:
         request = urllib.request.Request(
             url, data=data, headers=headers, method=method
         )
+        if timeout is None:
+            timeout = self.timeout
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            with urllib.request.urlopen(request, timeout=timeout) as response:
                 body = response.read()
         except urllib.error.HTTPError as error:
             raise ServiceError(
@@ -168,6 +171,31 @@ class ServiceClient:
     def trace(self, job_id: str) -> dict:
         """A finished job's span events (``GET /debug/trace/<id>``)."""
         return self._request("GET", f"/debug/trace/{job_id}")
+
+    def progress(self, job_id: str) -> dict:
+        """A job's live progress snapshot (``GET /jobs/<id>/progress``)."""
+        return self._request("GET", f"/jobs/{job_id}/progress")
+
+    def forensics(self, job_id: str) -> dict:
+        """A failed job's flight-recorder dump
+        (``GET /jobs/<id>/forensics``); 404s surface as
+        :class:`ServiceError` with ``status == 404``."""
+        return self._request("GET", f"/jobs/{job_id}/forensics")
+
+    def events(self, since: int = 0, timeout: float = 0.0,
+               limit: int = 500) -> dict:
+        """The progress feed after cursor ``since`` (``GET /events``).
+
+        ``timeout`` > 0 long-polls server-side; the socket timeout is
+        widened to cover the poll, so a quiet feed returns an empty
+        batch instead of raising.
+        """
+        path = f"/events?since={int(since)}&limit={int(limit)}"
+        if timeout > 0:
+            path += f"&timeout={timeout:g}"
+        return self._request(
+            "GET", path, timeout=self.timeout + max(0.0, timeout)
+        )
 
     # -- conveniences ---------------------------------------------------------
 

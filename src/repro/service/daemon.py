@@ -49,6 +49,8 @@ JSON-over-HTTP face on it, and tests drive this class directly.
 
 from __future__ import annotations
 
+import shutil
+import tempfile
 import threading
 import time
 from collections import deque
@@ -208,6 +210,12 @@ class CompilationService:
         #: job id -> relayed span events of its last finished attempt
         #: (evicted in lockstep with the record registry).
         self._traces: dict[str, list[dict]] = {}
+        #: job id -> flight-recorder dump of its last *failed* attempt
+        #: (evicted in lockstep with the record registry).
+        self._forensics: dict[str, dict] = {}
+        #: Scratch directory for worker-side live progress snapshot
+        #: files; created in :meth:`start` on the process engine.
+        self._progress_dir: str | None = None
         self._submit_latency = telemetry.histogram(
             "repro_service_submit_seconds", "submit() latency"
         )
@@ -215,6 +223,12 @@ class CompilationService:
             "repro_service_poll_seconds", "job lookup latency"
         )
         telemetry.metrics.add_collect_hook(self._collect_gauges)
+
+    def _emit_job_event(self, key: str, state: str, **fields) -> None:
+        """One lifecycle event into the progress feed — consumers of
+        ``GET /events`` see the full queued → running → done/failed story
+        interleaved with the workers' heartbeats on one cursor."""
+        self.telemetry.progress.emit("job", job=key, state=state, **fields)
 
     def _collect_gauges(self) -> None:
         """Scrape-time gauges: queue/slot occupancy and per-state jobs.
@@ -254,12 +268,14 @@ class CompilationService:
         if self._use_processes:
             from repro.parallel.executor import ProcessBatchExecutor
 
+            self._progress_dir = tempfile.mkdtemp(prefix="repro-progress-")
             self._executor = ProcessBatchExecutor(
                 jobs=self.jobs,
                 cache=self.cache,
                 default_config=self.default_config,
                 on_outcome=self._handle_outcome,
                 telemetry=self.telemetry,
+                progress_dir=self._progress_dir,
             ).__enter__()
         self._thread = threading.Thread(
             target=self._drain_loop, name="repro-service-dispatch", daemon=True
@@ -353,6 +369,7 @@ class CompilationService:
             record = self._install(key, job, previous)
             self._queue.append(key)
             self.stats.accepted += 1
+            self._emit_job_event(key, QUEUED, label=job.display)
             self._wake.notify_all()
             return record, False
 
@@ -432,12 +449,15 @@ class CompilationService:
                 self._inflight[key] = record.attempt
                 self._active_runs += 1
                 job = record.job
+                self._emit_job_event(key, RUNNING, label=job.display)
             threading.Thread(
                 target=self._run_one, args=(key, job),
                 name="repro-service-run", daemon=True,
             ).start()
         if self._executor is not None:
             self._executor.close()
+        if self._progress_dir is not None:
+            shutil.rmtree(self._progress_dir, ignore_errors=True)
 
     def _run_one(self, key: str, job: CompileJob) -> None:
         """One dispatched job, on its own slot thread (the process pool
@@ -473,13 +493,24 @@ class CompilationService:
         outcomes = {}
         for key, job in batch:
             job_telemetry = Telemetry()
+
+            def forward(event, _bus=self.telemetry.progress):
+                _bus.ingest([event])
+
+            # Same-process jobs can stream progress live instead of
+            # waiting for the end-of-job relay.
+            job_telemetry.progress.add_sink(forward)
             outcome = run_compile_job(
                 job, job.config or self.default_config, self.cache, key,
                 telemetry=job_telemetry,
             )
-            outcome.telemetry = job_telemetry.drain_relay()
+            payload = job_telemetry.drain_relay()
+            # Progress already went through the live sink above —
+            # absorbing it again would double every event.
+            payload.pop("progress", None)
+            outcome.telemetry = payload
             self.telemetry.absorb_relay(
-                outcome.telemetry, extra={"job": job.display}
+                payload, extra={"job": job.display}
             )
             outcomes[key] = outcome
         return outcomes
@@ -497,6 +528,20 @@ class CompilationService:
             del self._inflight[outcome.key]
             if outcome.telemetry and outcome.telemetry.get("events"):
                 self._traces[outcome.key] = outcome.telemetry["events"]
+            if outcome.forensics:
+                self._forensics[outcome.key] = outcome.forensics
+            elif outcome.status == "error":
+                # A hard crash (broken pool, killed worker) brings no
+                # recorder dump home — synthesize a minimal one so
+                # ``GET /jobs/<id>/forensics`` still answers.
+                self._forensics[outcome.key] = {
+                    "captured_at": time.time(),
+                    "error": outcome.error,
+                    "events": [],
+                    "open_spans": [],
+                    "metrics": None,
+                    "synthesized": True,
+                }
             self._finish_record(record, outcome)
 
     def _finish_record(self, record: JobRecord, outcome: JobOutcome) -> None:
@@ -508,6 +553,11 @@ class CompilationService:
         else:
             self.stats.completed += 1
         self._finished_order.append((record.id, record.attempt))
+        self._emit_job_event(
+            record.id, record.status, label=record.job.display,
+            outcome=outcome.status, error=outcome.error,
+            elapsed_s=round(outcome.elapsed_s, 3),
+        )
         self._evict_finished()
         self._wake.notify_all()
 
@@ -527,6 +577,8 @@ class CompilationService:
                 continue  # stale entry: already evicted or requeued since
             del self._records[key]
             self._traces.pop(key, None)
+            self._forensics.pop(key, None)
+            self.telemetry.progress.forget(key)
             self.stats.evicted += 1
             excess -= 1
         # _order keeps evicted keys as tombstones (readers skip them);
@@ -682,6 +734,69 @@ class CompilationService:
             if events is None:
                 return None
             return {"id": key, "events": list(events)}
+
+    def progress_wire(self, job_id: str) -> dict | None:
+        """A job's live progress snapshot, by exact id or unique prefix.
+
+        For a *running* process-engine job, the bus snapshot (lifecycle
+        events plus whatever the end-of-job relay has already brought
+        home) is overlaid with the worker's live snapshot file, so the
+        answer carries the current bound, conflict count, and conflict
+        rate mid-descent.  ``None`` when the id resolves to no record.
+        """
+        with self._wake:
+            record = self._records.get(job_id)
+            if record is None and job_id:
+                matches = [
+                    self._records[key] for key in self._order
+                    if key in self._records and key.startswith(job_id)
+                ]
+                if len(matches) > 1:
+                    raise AmbiguousJobIdError(
+                        f"job id prefix {job_id!r} is ambiguous "
+                        f"({len(matches)} matches)"
+                    )
+                record = matches[0] if matches else None
+            if record is None:
+                return None
+            key, status = record.id, record.status
+        snapshot = self.telemetry.progress.snapshot(key) or {}
+        if status == RUNNING and self._executor is not None:
+            path = self._executor.progress_path(key)
+            if path is not None:
+                from repro.telemetry.progress import read_snapshot
+
+                live = read_snapshot(path)
+                if live:
+                    snapshot = {**snapshot, **live}
+        return {"id": key, "status": status, "progress": snapshot or None}
+
+    def events_wire(self, since: int = 0, timeout: float = 0.0,
+                    limit: int = 500) -> dict:
+        """The progress feed after cursor ``since`` (``GET /events``);
+        with ``timeout`` > 0, long-polls for the first new event."""
+        bus = self.telemetry.progress
+        if timeout > 0:
+            return bus.wait_since(since, timeout=timeout, limit=limit)
+        return bus.since(since, limit=limit)
+
+    def forensics_wire(self, job_id: str) -> dict | None:
+        """A failed job's flight-recorder dump, by exact id or prefix."""
+        with self._wake:
+            key, dump = job_id, self._forensics.get(job_id)
+            if dump is None and job_id:
+                matches = [k for k in self._forensics if k.startswith(job_id)]
+                if len(matches) > 1:
+                    raise AmbiguousJobIdError(
+                        f"job id prefix {job_id!r} is ambiguous "
+                        f"({len(matches)} forensics dumps)"
+                    )
+                if matches:
+                    key = matches[0]
+                    dump = self._forensics[key]
+            if dump is None:
+                return None
+            return {"id": key, "forensics": dump}
 
     def proof_wire(self, job_id: str) -> dict | None:
         """A finished job's proof metadata plus its stored DRAT trace.

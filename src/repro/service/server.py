@@ -12,6 +12,14 @@ Endpoints::
                           cache instead of 404ing
     GET  /jobs/<id>/proof proof metadata + the stored DRAT trace (404
                           when the job exists but captured no proof)
+    GET  /jobs/<id>/progress  live progress snapshot (current bound,
+                          conflicts, conflicts/s, rung ETA) for a
+                          running job; last-known state once finished
+    GET  /jobs/<id>/forensics  flight-recorder dump of a failed job
+                          (breadcrumbs, open spans, metrics, traceback)
+    GET  /events          the progress event feed; ``?since=<seq>``
+                          resumes from a cursor, ``?timeout=<s>``
+                          long-polls (capped) for the first new event
     GET  /healthz         liveness + queue depth
     GET  /stats           counters, per-state tallies, cache stats
     GET  /metrics         the telemetry registry, Prometheus text format
@@ -32,11 +40,15 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs
 
 from repro.service.daemon import CompilationService, ServiceRejection
 
 #: Default port of ``repro serve`` / ``repro submit``.
 DEFAULT_PORT = 8765
+
+#: Upper bound on ``GET /events?timeout=`` long-polls (seconds).
+_MAX_EVENT_POLL_S = 30.0
 
 #: Largest request body the server will read (a job spec is < 1 KiB;
 #: anything bigger is a client bug, not a job).
@@ -163,14 +175,63 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             self._send_text(self.service.metrics_text())
         elif path == "/jobs":
             self._send_json({"jobs": self.service.jobs_wire()})
+        elif path == "/events":
+            self._get_events(query)
         elif path.startswith("/jobs/") and path.endswith("/proof"):
             self._get_proof(path[len("/jobs/"):-len("/proof")])
+        elif path.startswith("/jobs/") and path.endswith("/progress"):
+            self._get_progress(path[len("/jobs/"):-len("/progress")])
+        elif path.startswith("/jobs/") and path.endswith("/forensics"):
+            self._get_forensics(path[len("/jobs/"):-len("/forensics")])
         elif path.startswith("/jobs/"):
             self._get_job(path[len("/jobs/"):], query)
         elif path.startswith("/debug/trace/"):
             self._get_trace(path[len("/debug/trace/"):])
         else:
             self._send_error_json(f"no such endpoint: {path}", 404)
+
+    def _get_events(self, query: str) -> None:
+        params = parse_qs(query)
+
+        def _number(name, cast, fallback):
+            try:
+                return cast(params[name][0])
+            except (KeyError, IndexError, ValueError):
+                return fallback
+
+        since = _number("since", int, 0)
+        # Long-poll bound: each waiting request pins one handler thread,
+        # so the server, not the client, decides the worst case.
+        timeout = min(_number("timeout", float, 0.0), _MAX_EVENT_POLL_S)
+        limit = max(1, min(_number("limit", int, 500), 5000))
+        self._send_json(self.service.events_wire(
+            since=since, timeout=timeout, limit=limit
+        ))
+
+    def _get_progress(self, job_id: str) -> None:
+        try:
+            payload = self.service.progress_wire(job_id)
+        except ServiceRejection as rejection:  # ambiguous prefix
+            self._send_error_json(str(rejection), rejection.http_status)
+            return
+        if payload is None:
+            self._send_error_json(f"no such job: {job_id!r}", 404)
+            return
+        self._send_json(payload)
+
+    def _get_forensics(self, job_id: str) -> None:
+        try:
+            payload = self.service.forensics_wire(job_id)
+        except ServiceRejection as rejection:  # ambiguous prefix
+            self._send_error_json(str(rejection), rejection.http_status)
+            return
+        if payload is None:
+            self._send_error_json(
+                f"no forensics for job: {job_id!r} (dumps exist only for "
+                "failed jobs still in the registry)", 404
+            )
+            return
+        self._send_json(payload)
 
     def _get_proof(self, job_id: str) -> None:
         try:

@@ -28,6 +28,7 @@ import dataclasses
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from repro.core.config import (
@@ -45,9 +46,17 @@ from repro.fermion.hamiltonians import FermionicHamiltonian
 from repro.hardware import DeviceTopology, resolve_device
 from repro.store.cache import CompilationCache
 from repro.store.fingerprint import compilation_key
+from repro.telemetry.flight import FlightRecorder
 
 #: Job statuses a :class:`BatchReport` can contain.
 JOB_STATUSES = ("compiled", "warm-start", "cache-hit", "deduplicated", "error")
+
+#: Chaos knob for operational drills: when this environment variable is
+#: set and its value is a substring of a job's *label*, the execution
+#: body raises before compiling — a deterministic way to produce a
+#: genuinely failed job (and exercise the flight-recorder path) without
+#: corrupting inputs.  Workers inherit it through fork.  Off by default.
+CHAOS_ENV = "REPRO_CHAOS_FAIL"
 
 #: Accepted spellings of the compile methods in job specs — the CLI's
 #: ``--method``, batch job files, and the service wire format all share
@@ -296,6 +305,11 @@ class JobOutcome:
     ``Telemetry.drain_relay()`` dict) when the job ran in a worker process
     with telemetry enabled; in-process executions leave it ``None``
     because they record straight into the parent handle.
+
+    ``forensics`` is the flight-recorder dump assembled at failure time
+    (recent breadcrumbs, open spans, a metrics snapshot, the formatted
+    traceback) — ``None`` for successful jobs and for failures that ran
+    without telemetry.
     """
 
     job: CompileJob
@@ -306,6 +320,7 @@ class JobOutcome:
     elapsed_s: float = 0.0
     cache_error: str | None = None
     telemetry: dict | None = None
+    forensics: dict | None = None
 
 
 @dataclass
@@ -376,21 +391,42 @@ def run_compile_job(
     ``telemetry`` is handed to the compiler: spans and metrics from the
     descent land in that handle (in-process callers pass their own; the
     process executor's workers pass a fresh one and relay its contents
-    back through :attr:`JobOutcome.telemetry`).
+    back through :attr:`JobOutcome.telemetry`).  With telemetry on, a
+    per-job :class:`~repro.telemetry.flight.FlightRecorder` additionally
+    shadows the run, and a failing job returns its post-mortem dump in
+    :attr:`JobOutcome.forensics`; progress events emitted anywhere below
+    (descent rungs, solver heartbeats) are tagged with the job key.
     """
     started = time.monotonic()
+    progress = getattr(telemetry, "progress", None)
+    recorder = None
+    if telemetry is not None:
+        recorder = FlightRecorder()
+        telemetry.flight = recorder
+        if progress is not None:
+            progress.add_sink(recorder.watch)
+        recorder.record("info", "job started", job=key, label=job.display)
+    job_context = (progress.context(job=key, label=job.display)
+                   if progress is not None else nullcontext())
     try:
-        compiler = FermihedralCompiler(
-            job.modes, config, cache=cache, device=job.device,
-            telemetry=telemetry,
-        )
-        result = compiler.compile(
-            method=job.method,
-            hamiltonian=job.hamiltonian,
-            schedule=job.schedule,
-            seed=job.seed,
-            cache_key=key,
-        )
+        with job_context:
+            chaos = os.environ.get(CHAOS_ENV)
+            if chaos and chaos in (job.label or ""):
+                raise RuntimeError(
+                    f"chaos fault injected: label {job.label!r} matches "
+                    f"{CHAOS_ENV}={chaos!r}"
+                )
+            compiler = FermihedralCompiler(
+                job.modes, config, cache=cache, device=job.device,
+                telemetry=telemetry,
+            )
+            result = compiler.compile(
+                method=job.method,
+                hamiltonian=job.hamiltonian,
+                schedule=job.schedule,
+                seed=job.seed,
+                cache_key=key,
+            )
         status = {
             "hit": "cache-hit",
             "warm-start": "warm-start",
@@ -404,13 +440,25 @@ def run_compile_job(
             cache_error=compiler.last_cache_error,
         )
     except Exception as error:  # surfaced per-job, batch keeps going
-        return JobOutcome(
+        outcome = JobOutcome(
             job=job,
             key=key,
             status="error",
             error=f"{type(error).__name__}: {error}",
             elapsed_s=time.monotonic() - started,
         )
+        if recorder is not None:
+            recorder.record("error", "job failed", job=key,
+                            error=outcome.error)
+            outcome.forensics = recorder.dump(telemetry, error=error)
+        return outcome
+    finally:
+        # The thread path shares one telemetry handle across jobs — the
+        # recorder and its sink must not outlive this job.
+        if telemetry is not None:
+            telemetry.flight = None
+            if progress is not None:
+                progress.remove_sink(recorder.watch)
 
 
 class BatchCompiler:

@@ -1,28 +1,44 @@
-"""Observability for the Fermihedral pipeline: metrics + tracing.
+"""Observability for the Fermihedral pipeline: metrics, tracing, progress.
 
 One :class:`Telemetry` handle bundles a :class:`MetricsRegistry`
 (counters, gauges, histograms; Prometheus text via ``render_metrics``)
-with a :class:`Tracer` (nested spans, JSONL events).  It is threaded
-*optionally* through the compiler, solver, cache, and service: every
-instrumented site gates on ``telemetry is None``, so a process that
-never constructs one pays nothing — the same zero-cost-when-off
-discipline the solver's DRAT logging established.
+with a :class:`Tracer` (nested spans, JSONL events) and a
+:class:`ProgressBus` (live heartbeat events with cursors and per-job
+snapshots).  It is threaded *optionally* through the compiler, solver,
+cache, and service: every instrumented site gates on ``telemetry is
+None``, so a process that never constructs one pays nothing — the same
+zero-cost-when-off discipline the solver's DRAT logging established.
 
 Cross-process relay: worker processes (portfolio racers,
 ``ProcessBatchExecutor`` children) build their own local ``Telemetry``,
 then :meth:`Telemetry.drain_relay` a plain-data payload back with each
 result over the existing pipe/pickle plumbing.  The parent
 :meth:`Telemetry.absorb_relay`\\ s it — counter/histogram deltas merge
-additively (exactly once, because draining resets the export mark), and
-span ids are remapped into the parent's id space.
+additively (exactly once, because draining resets the export mark),
+span ids are remapped into the parent's id space, and progress events
+are re-sequenced into the parent bus's cursor feed.
+
+A :class:`FlightRecorder` (``telemetry/flight.py``) can additionally be
+attached per job as ``telemetry.flight``; on failure its :meth:`dump`
+combines recent breadcrumbs with the tracer's open spans and a metrics
+snapshot into the post-mortem the service persists.
 """
 
 from __future__ import annotations
 
+from repro.telemetry.flight import FlightRecorder
 from repro.telemetry.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     MetricFamily,
     MetricsRegistry,
+    histogram_quantile,
+    parse_prometheus_text,
+)
+from repro.telemetry.progress import (
+    FileSnapshotSink,
+    ProgressBus,
+    RungEtaEstimator,
+    read_snapshot,
 )
 from repro.telemetry.trace import (
     Tracer,
@@ -33,23 +49,35 @@ from repro.telemetry.trace import (
 
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
+    "FileSnapshotSink",
+    "FlightRecorder",
     "MetricFamily",
     "MetricsRegistry",
+    "ProgressBus",
+    "RungEtaEstimator",
     "Telemetry",
     "Tracer",
+    "histogram_quantile",
+    "parse_prometheus_text",
     "read_jsonl",
+    "read_snapshot",
     "render_tree",
     "write_jsonl",
 ]
 
 
 class Telemetry:
-    """A metrics registry and a tracer behind one handle."""
+    """A metrics registry, a tracer, and a progress bus behind one handle."""
 
     def __init__(self, metrics: MetricsRegistry | None = None,
-                 tracer: Tracer | None = None):
+                 tracer: Tracer | None = None,
+                 progress: ProgressBus | None = None):
         self.metrics = MetricsRegistry() if metrics is None else metrics
         self.tracer = Tracer() if tracer is None else tracer
+        self.progress = ProgressBus() if progress is None else progress
+        #: Per-job flight recorder, attached by ``run_compile_job`` for
+        #: the duration of one job; ``None`` otherwise.
+        self.flight: FlightRecorder | None = None
 
     # -- tracing -----------------------------------------------------------
 
@@ -81,6 +109,7 @@ class Telemetry:
         return {
             "events": self.tracer.drain(),
             "metrics": self.metrics.drain_deltas(),
+            "progress": self.progress.drain(),
         }
 
     def absorb_relay(self, payload, extra: dict | None = None) -> None:
@@ -89,3 +118,4 @@ class Telemetry:
             return
         self.metrics.merge_deltas(payload.get("metrics") or ())
         self.tracer.ingest(payload.get("events") or (), extra=extra)
+        self.progress.ingest(payload.get("progress") or (), extra=extra)

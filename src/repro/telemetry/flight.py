@@ -1,0 +1,89 @@
+"""Flight recorder: a bounded black box that survives job failure.
+
+When a compilation job dies — a solver bug, a poisoned Hamiltonian, an
+injected chaos fault — the traceback alone says *where* it stopped, not
+*what it was doing*.  A :class:`FlightRecorder` rides along with each
+job and keeps the last ``max_events`` breadcrumbs (structured log
+records and progress events), so the failure dump answers the operator
+questions a bare traceback cannot: which rung was in flight, how fast
+conflicts were accumulating, which spans were still open.
+
+The recorder is passive until the moment of failure; :meth:`dump` then
+assembles the post-mortem:
+
+* the ring of recent breadcrumbs, oldest first;
+* spans still open at failure time (from the tracer's open-span
+  registry — a span that never closed is exactly the one that matters);
+* a metrics snapshot (the Prometheus text rendering, so the dump is
+  self-describing without our parser).
+
+``run_compile_job`` attaches a recorder per job and stores the dump on
+the :class:`~repro.store.batch.JobOutcome`; the daemon persists it next
+to the ``JobRecord`` and serves it at ``GET /jobs/<id>/forensics``.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback as _traceback
+from collections import deque
+
+#: Default breadcrumb ring size — enough to cover several rungs of
+#: heartbeats plus the lifecycle events around them.
+DEFAULT_MAX_EVENTS = 256
+
+
+class FlightRecorder:
+    """Bounded breadcrumb ring + failure-time dump assembly."""
+
+    def __init__(self, max_events: int = DEFAULT_MAX_EVENTS):
+        if max_events < 1:
+            raise ValueError("max_events must be positive")
+        self._events: deque[dict] = deque(maxlen=max_events)
+
+    def record(self, level: str, message: str, **fields) -> dict:
+        """Append one structured breadcrumb (a log record)."""
+        event = {"ts": time.time(), "level": level, "message": message}
+        event.update((k, v) for k, v in fields.items() if v is not None)
+        self._events.append(event)
+        return event
+
+    def watch(self, event: dict) -> None:
+        """Progress-bus sink: capture bus events as breadcrumbs."""
+        copy = dict(event)
+        copy.setdefault("level", "progress")
+        self._events.append(copy)
+
+    def events(self) -> list:
+        """Breadcrumbs currently buffered, oldest first."""
+        return [dict(e) for e in self._events]
+
+    def dump(self, telemetry=None, error=None) -> dict:
+        """Assemble the post-mortem document.
+
+        ``error`` may be an exception (formatted with its traceback) or
+        a pre-formatted string.  ``telemetry`` contributes the open-span
+        registry and the metrics snapshot when present.
+        """
+        if isinstance(error, BaseException):
+            error = "".join(_traceback.format_exception(
+                type(error), error, error.__traceback__)).rstrip()
+        dump = {
+            "captured_at": time.time(),
+            "error": error,
+            "events": self.events(),
+            "open_spans": [],
+            "metrics": None,
+        }
+        if telemetry is not None:
+            tracer = getattr(telemetry, "tracer", None)
+            if tracer is not None and hasattr(tracer, "open_spans"):
+                dump["open_spans"] = tracer.open_spans()
+            try:
+                dump["metrics"] = telemetry.render_metrics()
+            except Exception:
+                # The dump is a best-effort artifact assembled while a
+                # job is already failing — a metrics rendering error
+                # must not mask the original fault.
+                pass
+        return dump

@@ -43,6 +43,12 @@ def _escape_label_value(value: str) -> str:
             .replace('"', '\\"'))
 
 
+def _escape_help(text: str) -> str:
+    # HELP text escapes backslash and newline but NOT double quotes —
+    # the exposition format treats them differently from label values.
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _format_labels(items: tuple) -> str:
     if not items:
         return ""
@@ -249,7 +255,7 @@ class MetricsRegistry:
         lines: list = []
         for name, family in self.families():
             if family.help:
-                lines.append(f"# HELP {name} {family.help}")
+                lines.append(f"# HELP {name} {_escape_help(family.help)}")
             lines.append(f"# TYPE {name} {family.kind}")
             for key, child in family.children():
                 if family.kind == "histogram":
@@ -327,3 +333,147 @@ class MetricsRegistry:
                 )
             else:
                 raise ValueError(f"unknown delta kind: {kind!r}")
+
+
+# -- parsing the exposition format back ----------------------------------
+#
+# The ops console (`repro top`) scrapes its own daemon's `/metrics` and
+# needs the submit/poll latency histograms back as numbers.  Round-
+# tripping through the real text format — rather than adding a private
+# JSON side channel — keeps the endpoint honest: if a real scraper
+# couldn't parse it, neither could we.
+
+
+def _unescape_help(text: str) -> str:
+    out: list = []
+    i = 0
+    while i < len(text):
+        char = text[i]
+        if char == "\\" and i + 1 < len(text):
+            nxt = text[i + 1]
+            if nxt == "n":
+                out.append("\n")
+                i += 2
+                continue
+            if nxt == "\\":
+                out.append("\\")
+                i += 2
+                continue
+        out.append(char)
+        i += 1
+    return "".join(out)
+
+
+def _parse_label_block(text: str) -> dict:
+    labels: dict = {}
+    i = 0
+    while i < len(text):
+        while i < len(text) and text[i] in ", ":
+            i += 1
+        if i >= len(text):
+            break
+        eq = text.find("=", i)
+        if eq < 0:
+            raise ValueError(f"malformed label block: {text!r}")
+        name = text[i:eq].strip()
+        i = eq + 1
+        if i >= len(text) or text[i] != '"':
+            raise ValueError(f"malformed label value in: {text!r}")
+        i += 1
+        chars: list = []
+        while i < len(text):
+            char = text[i]
+            if char == "\\" and i + 1 < len(text):
+                nxt = text[i + 1]
+                chars.append({"n": "\n", "\\": "\\", '"': '"'}.get(nxt, nxt))
+                i += 2
+                continue
+            if char == '"':
+                i += 1
+                break
+            chars.append(char)
+            i += 1
+        labels[name] = "".join(chars)
+    return labels
+
+
+def parse_prometheus_text(text: str) -> dict:
+    """Parse text exposition back into families.
+
+    Returns ``{family: {"kind", "help", "samples": {sample_name:
+    [(labels, value), ...]}}}``.  Histogram ``_bucket``/``_sum``/
+    ``_count`` samples group under their declared family name; samples
+    with no TYPE declaration become their own family with ``kind None``.
+    Malformed sample lines are skipped (a scrape racing a restart can
+    truncate mid-line).
+    """
+    families: dict = {}
+
+    def family(name: str) -> dict:
+        return families.setdefault(
+            name, {"kind": None, "help": None, "samples": {}})
+
+    histogram_names: set = set()
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] == "HELP":
+                family(parts[2])["help"] = _unescape_help(
+                    parts[3] if len(parts) > 3 else "")
+            elif len(parts) >= 4 and parts[1] == "TYPE":
+                family(parts[2])["kind"] = parts[3]
+                if parts[3] == "histogram":
+                    histogram_names.add(parts[2])
+            continue
+        try:
+            if "{" in line:
+                name, rest = line.split("{", 1)
+                block, value_text = rest.rsplit("}", 1)
+                labels = _parse_label_block(block)
+            else:
+                name, value_text = line.split(None, 1)
+                labels = {}
+            value = float(value_text)
+        except ValueError:
+            continue
+        owner = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[:-len(suffix)] in histogram_names:
+                owner = name[:-len(suffix)]
+                break
+        family(owner)["samples"].setdefault(name, []).append((labels, value))
+    return families
+
+
+def histogram_quantile(q: float, buckets) -> float | None:
+    """Estimate the ``q``-quantile from cumulative histogram buckets.
+
+    ``buckets`` is an iterable of ``(le, cumulative_count)`` pairs with
+    ``le`` a number or ``"+Inf"``, exactly as a ``_bucket`` sample list
+    yields them.  Linear interpolation within the winning bucket,
+    PromQL-style; values past the last finite bound clamp to it.
+    Returns ``None`` for an empty histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be in [0, 1]")
+    pairs: list = []
+    for le, count in buckets:
+        text = str(le)
+        bound = float("inf") if text in ("+Inf", "inf") else float(le)
+        pairs.append((bound, float(count)))
+    pairs.sort()
+    if not pairs or pairs[-1][1] <= 0:
+        return None
+    target = q * pairs[-1][1]
+    prev_bound, prev_count = 0.0, 0.0
+    for bound, cumulative in pairs:
+        if cumulative >= target:
+            if bound == float("inf") or cumulative == prev_count:
+                return prev_bound if bound == float("inf") else bound
+            fraction = (target - prev_count) / (cumulative - prev_count)
+            return prev_bound + (bound - prev_bound) * fraction
+        prev_bound, prev_count = bound, cumulative
+    return pairs[-1][0]

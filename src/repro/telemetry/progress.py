@@ -1,0 +1,345 @@
+"""Progress streaming: a bounded bus of structured heartbeat events.
+
+The SAT lane of a real Fermihedral instance runs for minutes to hours,
+and until it answers, metrics and spans only describe the *past*.  A
+:class:`ProgressBus` closes that gap: instrumented code emits small
+plain-dict events — a descent starting, a rung finishing, a periodic
+in-flight heartbeat with the current conflict count and rate — and
+consumers read them three ways:
+
+* **cursor feed** — every event gets a monotonically increasing ``seq``;
+  :meth:`ProgressBus.since` returns everything after a cursor and
+  :meth:`ProgressBus.wait_since` long-polls for it (the ``GET /events``
+  endpoint).  The buffer is a bounded ring: a reader that falls further
+  behind than ``max_events`` is told so via ``dropped`` instead of
+  silently missing events.
+* **per-job snapshot** — events carrying a ``job`` field fold into a
+  latest-state dict per job (the ``GET /jobs/<id>/progress`` view).
+* **sinks** — callables invoked with each event as it is emitted; the
+  flight recorder and the executor's cross-process snapshot file both
+  attach this way.
+
+Cross-process relay follows the telemetry relay discipline exactly:
+worker processes emit into their own local bus, :meth:`drain` the raw
+events into the reply payload, and the parent :meth:`ingest`\\ s them —
+re-sequenced into the parent's cursor space, in order, exactly once.
+Because a worker cannot relay *mid-job* over the result pipe, the
+executor additionally gives each worker a :class:`FileSnapshotSink`
+whose atomically-replaced JSON file the daemon reads for live
+in-flight snapshots.
+
+Heartbeats from the solver hot path are throttled here
+(``heartbeat_interval_s``), not at the call site: the solver only calls
+:meth:`heartbeat` at restart boundaries — where it already samples
+telemetry — and the bus turns most of those calls into a single
+monotonic-clock comparison.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import OrderedDict, deque
+from contextlib import contextmanager
+
+#: Default bound on buffered events (the cursor feed's ring size).
+DEFAULT_MAX_EVENTS = 4096
+
+#: Default bound on per-job snapshots kept (oldest-touched evicted).
+DEFAULT_MAX_JOBS = 512
+
+#: Default minimum spacing between ``heartbeat()`` emissions per thread.
+DEFAULT_HEARTBEAT_INTERVAL_S = 0.5
+
+
+class ProgressBus:
+    """Thread-safe bounded event bus with cursors, snapshots, and sinks."""
+
+    def __init__(
+        self,
+        max_events: int = DEFAULT_MAX_EVENTS,
+        max_jobs: int = DEFAULT_MAX_JOBS,
+        heartbeat_interval_s: float = DEFAULT_HEARTBEAT_INTERVAL_S,
+    ):
+        if max_events < 1:
+            raise ValueError("max_events must be positive")
+        if max_jobs < 1:
+            raise ValueError("max_jobs must be positive")
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self._cond = threading.Condition()
+        self._events: deque[dict] = deque(maxlen=max_events)
+        self._next_seq = 1
+        self._snapshots: OrderedDict[str, dict] = OrderedDict()
+        self._max_jobs = max_jobs
+        self._sinks: list = []
+        self._local = threading.local()
+
+    # -- per-thread implicit fields ---------------------------------------
+
+    def _contexts(self) -> list:
+        contexts = getattr(self._local, "contexts", None)
+        if contexts is None:
+            contexts = self._local.contexts = []
+        return contexts
+
+    @contextmanager
+    def context(self, **fields):
+        """Attach implicit fields (job id, bound, engine) to every event
+        this thread emits — or ingests — while the context is active."""
+        contexts = self._contexts()
+        contexts.append({k: v for k, v in fields.items() if v is not None})
+        try:
+            yield
+        finally:
+            contexts.pop()
+
+    def _context_fields(self) -> dict:
+        merged: dict = {}
+        for context in self._contexts():
+            merged.update(context)
+        return merged
+
+    # -- sinks -------------------------------------------------------------
+
+    def add_sink(self, sink) -> None:
+        """Register ``sink(event)`` to run on every emitted event."""
+        with self._cond:
+            self._sinks.append(sink)
+
+    def remove_sink(self, sink) -> None:
+        with self._cond:
+            if sink in self._sinks:
+                self._sinks.remove(sink)
+
+    # -- emission ----------------------------------------------------------
+
+    def emit(self, kind: str, **fields) -> dict:
+        """Record one event; returns it (with ``seq`` and ``ts`` set)."""
+        merged = self._context_fields()
+        merged.update((k, v) for k, v in fields.items() if v is not None)
+        return self._append(kind, time.time(), merged)
+
+    def heartbeat(self, **fields) -> dict | None:
+        """A throttled in-flight ``heartbeat`` event.
+
+        Returns ``None`` (emitting nothing) when the previous heartbeat
+        on this thread is younger than ``heartbeat_interval_s`` — the
+        solver calls this at every restart boundary and almost all calls
+        must cost one clock read.  When the implicit context carries
+        ``expected_conflicts`` (the descent's per-rung estimate) and the
+        fields carry a positive ``conflicts_per_s``, the remaining-time
+        estimate ``eta_s`` is derived here.
+        """
+        now = time.monotonic()
+        last = getattr(self._local, "last_heartbeat", None)
+        if last is not None and now - last < self.heartbeat_interval_s:
+            return None
+        self._local.last_heartbeat = now
+        merged = self._context_fields()
+        merged.update((k, v) for k, v in fields.items() if v is not None)
+        expected = merged.pop("expected_conflicts", None)
+        rate = merged.get("conflicts_per_s") or 0.0
+        if expected is not None and rate > 0:
+            remaining = max(0.0, float(expected) - merged.get("conflicts", 0))
+            merged["eta_s"] = round(remaining / rate, 1)
+        return self._append("heartbeat", time.time(), merged)
+
+    def _append(self, kind: str, ts: float, fields: dict) -> dict:
+        with self._cond:
+            event = {"seq": self._next_seq, "ts": ts, "kind": kind, **fields}
+            self._next_seq += 1
+            self._events.append(event)
+            job = fields.get("job")
+            if job is not None:
+                snapshot = self._snapshots.pop(str(job), {})
+                snapshot.update(fields)
+                snapshot["seq"] = event["seq"]
+                snapshot["ts"] = ts
+                snapshot["last_kind"] = kind
+                self._snapshots[str(job)] = snapshot
+                while len(self._snapshots) > self._max_jobs:
+                    self._snapshots.popitem(last=False)
+            sinks = list(self._sinks)
+            self._cond.notify_all()
+        for sink in sinks:
+            try:
+                sink(event)
+            except Exception:
+                # A broken sink (full disk under a snapshot file, a
+                # misbehaving subscriber) must never take down the solve
+                # it is observing.
+                pass
+        return event
+
+    # -- cursor feed -------------------------------------------------------
+
+    def since(self, cursor: int = 0, limit: int = 500) -> dict:
+        """Events with ``seq > cursor``: ``{"events", "next", "dropped"}``.
+
+        ``next`` is the cursor for the following call; ``dropped`` is
+        true when the ring evicted events the cursor never saw (the
+        reader resumes from the oldest still buffered).
+        """
+        with self._cond:
+            return self._since_locked(cursor, limit)
+
+    def _since_locked(self, cursor: int, limit: int) -> dict:
+        cursor = max(0, int(cursor))
+        newest = self._next_seq - 1
+        oldest = self._events[0]["seq"] if self._events else self._next_seq
+        dropped = cursor + 1 < oldest and newest > cursor
+        events = [dict(e) for e in self._events if e["seq"] > cursor][:limit]
+        next_cursor = events[-1]["seq"] if events else max(cursor, newest)
+        return {"events": events, "next": next_cursor, "dropped": dropped}
+
+    def wait_since(self, cursor: int = 0, timeout: float = 0.0,
+                   limit: int = 500) -> dict:
+        """:meth:`since`, long-polling up to ``timeout`` seconds for the
+        first new event before answering empty."""
+        deadline = time.monotonic() + max(0.0, timeout)
+        with self._cond:
+            while True:
+                batch = self._since_locked(cursor, limit)
+                if batch["events"]:
+                    return batch
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return batch
+                self._cond.wait(remaining)
+
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot(self, job: str) -> dict | None:
+        """Latest merged state of one job (``None`` when never seen)."""
+        with self._cond:
+            snapshot = self._snapshots.get(str(job))
+            return None if snapshot is None else dict(snapshot)
+
+    def snapshots(self) -> dict:
+        """All per-job snapshots, keyed by job id."""
+        with self._cond:
+            return {job: dict(snap) for job, snap in self._snapshots.items()}
+
+    def forget(self, job: str) -> None:
+        """Drop one job's snapshot (registry eviction lockstep)."""
+        with self._cond:
+            self._snapshots.pop(str(job), None)
+
+    # -- cross-process relay ----------------------------------------------
+
+    def drain(self) -> list:
+        """Buffered events as plain data, forgetting them (relay
+        primitive: repeated drains never ship an event twice).  Snapshots
+        are kept — the local process may still be asked about its jobs."""
+        with self._cond:
+            events = [dict(e) for e in self._events]
+            self._events.clear()
+            return events
+
+    def ingest(self, events, extra: dict | None = None) -> list:
+        """Merge events drained from another bus, re-sequenced into this
+        bus's cursor space in their original order.
+
+        Field precedence per event: the ingesting thread's implicit
+        context, then ``extra``, then the event's own fields — so a
+        worker's ``job``/``bound`` tags survive, and the parent can still
+        add what only it knows (round, worker index).
+        """
+        merged: list = []
+        base = self._context_fields()
+        if extra:
+            base = {**base, **extra}
+        for event in events:
+            fields = {
+                k: v for k, v in event.items()
+                if k not in ("seq", "ts", "kind")
+            }
+            fields = {**base, **fields}
+            merged.append(self._append(
+                event.get("kind", "event"), event.get("ts", time.time()),
+                fields,
+            ))
+        return merged
+
+
+class FileSnapshotSink:
+    """A bus sink mirroring the latest merged snapshot into a JSON file.
+
+    The file is written with an atomic replace so a reader never sees a
+    torn document, and writes are throttled to ``min_interval_s`` except
+    for non-heartbeat events (rung completions, terminal transitions),
+    which always flush.  This is the live mid-job channel out of a
+    ``ProcessBatchExecutor`` worker: the result pipe only speaks at
+    completion, a file speaks whenever the daemon cares to read it.
+    """
+
+    def __init__(self, path, min_interval_s: float = 0.5):
+        self.path = str(path)
+        self.min_interval_s = min_interval_s
+        self._snapshot: dict = {}
+        self._last_write = 0.0
+        self._lock = threading.Lock()
+
+    def __call__(self, event: dict) -> None:
+        with self._lock:
+            fields = {
+                k: v for k, v in event.items() if k not in ("seq", "ts")
+            }
+            kind = fields.pop("kind", "event")
+            self._snapshot.update(fields)
+            self._snapshot["last_kind"] = kind
+            self._snapshot["ts"] = event.get("ts", time.time())
+            now = time.monotonic()
+            if (kind == "heartbeat"
+                    and now - self._last_write < self.min_interval_s):
+                return
+            self._last_write = now
+            self._write()
+
+    def _write(self) -> None:
+        tmp = f"{self.path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as handle:
+            json.dump(self._snapshot, handle, sort_keys=True)
+        os.replace(tmp, self.path)
+
+
+def read_snapshot(path) -> dict | None:
+    """Read a :class:`FileSnapshotSink` file; ``None`` when absent or
+    torn (a crash between create and replace can leave junk)."""
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    return data if isinstance(data, dict) else None
+
+
+class RungEtaEstimator:
+    """Predicts a rung's total conflicts from the ladder's history.
+
+    The incremental ladder's rungs get harder as the bound tightens, so
+    a plain mean lags badly; an exponential moving average weighted
+    toward recent rungs tracks the trend.  ``expected_conflicts()`` is
+    ``None`` until the first rung completes — no estimate beats a made-up
+    one.  The heartbeat path divides the remaining conflicts by the
+    live conflict rate to get ``eta_s``.
+    """
+
+    def __init__(self, smoothing: float = 0.5):
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError("smoothing must be in (0, 1]")
+        self.smoothing = smoothing
+        self._ema: float | None = None
+
+    def observe(self, conflicts: int) -> None:
+        """Fold one completed rung's conflict count in."""
+        if self._ema is None:
+            self._ema = float(conflicts)
+        else:
+            self._ema = (self.smoothing * conflicts
+                         + (1.0 - self.smoothing) * self._ema)
+
+    def expected_conflicts(self) -> float | None:
+        return None if self._ema is None else round(self._ema, 1)

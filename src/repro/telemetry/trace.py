@@ -46,6 +46,7 @@ class Tracer:
         self._lock = threading.Lock()
         self._ids = itertools.count(1)
         self._local = threading.local()
+        self._open: dict = {}
 
     # -- per-thread state --------------------------------------------------
 
@@ -76,10 +77,21 @@ class Tracer:
         wall = time.time()
         start = time.monotonic()
         stack.append(span_id)
+        with self._lock:
+            self._open[span_id] = {
+                "name": name,
+                "span_id": span_id,
+                "parent_id": parent_id,
+                "ts": wall,
+                "start_s": start,
+                "attrs": merged,
+            }
         try:
             yield merged
         finally:
             stack.pop()
+            with self._lock:
+                self._open.pop(span_id, None)
             self._record({
                 "name": name,
                 "span_id": span_id,
@@ -112,6 +124,21 @@ class Tracer:
     def events(self) -> list:
         with self._lock:
             return list(self._events)
+
+    def open_spans(self) -> list:
+        """Spans entered but not yet closed, oldest first — the flight
+        recorder captures these at failure time: a span that never
+        closed is exactly the one worth looking at."""
+        now = time.monotonic()
+        with self._lock:
+            spans = []
+            for record in self._open.values():
+                copy = dict(record)
+                copy["attrs"] = dict(record["attrs"])
+                copy["age_s"] = now - record["start_s"]
+                spans.append(copy)
+        spans.sort(key=lambda s: s["start_s"])
+        return spans
 
     def drain(self) -> list:
         """Return all buffered events and forget them (relay primitive)."""
@@ -161,12 +188,23 @@ def write_jsonl(events, path) -> None:
 
 
 def read_jsonl(path) -> list:
-    """Read a JSONL trace file back into a list of event dicts."""
+    """Read a JSONL trace file back into a list of event dicts.
+
+    Malformed lines are skipped: a worker killed mid-write leaves a
+    truncated final line, and a post-mortem reader must still get every
+    span that did land intact.
+    """
     events = []
     for line in Path(path).read_text().splitlines():
         line = line.strip()
-        if line:
-            events.append(json.loads(line))
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(event, dict):
+            events.append(event)
     return events
 
 
@@ -190,11 +228,17 @@ def render_tree(events) -> str:
     by_id = {event["span_id"]: event for event in events}
     children: dict = {}
     roots = []
+    orphans = set()
     for event in events:
         parent = event.get("parent_id")
         if parent is not None and parent in by_id:
             children.setdefault(parent, []).append(event)
         else:
+            # A non-None parent missing from the file means the trace is
+            # incomplete (truncated JSONL from a killed worker): render
+            # the span at root, visibly marked, rather than losing it.
+            if parent is not None:
+                orphans.add(event["span_id"])
             roots.append(event)
 
     def start_key(event):
@@ -207,6 +251,8 @@ def render_tree(events) -> str:
         attrs = _format_attrs(event.get("attrs") or {})
         line = (f"{indent}{event['name']}  "
                 f"{_format_duration(event.get('duration_s', 0.0))}")
+        if event["span_id"] in orphans:
+            line += "  (orphan: parent span missing)"
         if attrs:
             line += f"  [{attrs}]"
         lines.append(line)

@@ -1,0 +1,173 @@
+"""Perf-history ledger: direction rules, baselines, regression gating."""
+
+import json
+
+from repro.analysis.perfhistory import (
+    compare_runs,
+    format_report,
+    git_sha,
+    metric_direction,
+    read_history,
+    record_run,
+)
+
+
+def _snapshot(json_dir, name="sat_ladder_rung", **overrides):
+    data = {
+        "name": name,
+        "written_at": 1.0,
+        "preprocessed_wall_s": 10.0,
+        "raw_wall_s": 20.0,
+        "jobs_per_s": 5.0,
+        "raw_conflicts": 1000,
+        "gate_ok": True,
+        "modes": 6,
+        "max_conflicts": 20000,
+    }
+    data.update(overrides)
+    json_dir.mkdir(exist_ok=True)
+    (json_dir / f"BENCH_{name}.json").write_text(json.dumps(data))
+    return data
+
+
+class TestDirectionRules:
+    def test_rates_are_higher_better(self):
+        assert metric_direction("jobs_per_s") == "higher"
+        assert metric_direction("submit_throughput") == "higher"
+
+    def test_costs_are_lower_better(self):
+        assert metric_direction("preprocessed_wall_s") == "lower"
+        assert metric_direction("raw_conflicts") == "lower"
+        assert metric_direction("peak_bytes") == "lower"
+
+    def test_rate_wins_over_seconds_suffix(self):
+        # "jobs_per_s" ends in "_s" too; the rate pattern must win.
+        assert metric_direction("compiles_per_s") == "higher"
+
+    def test_parameters_are_untracked(self):
+        assert metric_direction("gate_ok") is None
+        assert metric_direction("modes") is None
+        assert metric_direction("bound") is None
+
+
+class TestRecord:
+    def test_record_appends_one_entry_per_bench(self, tmp_path):
+        _snapshot(tmp_path / "run")
+        _snapshot(tmp_path / "run", name="service_throughput",
+                  jobs_per_s=12.0)
+        ledger = tmp_path / "history.jsonl"
+        entries = record_run(tmp_path / "run", ledger, sha="aaa111",
+                             note="seed")
+        assert [e["name"] for e in entries] == [
+            "sat_ladder_rung", "service_throughput"]
+        assert all(e["sha"] == "aaa111" and e["note"] == "seed"
+                   for e in entries)
+        assert read_history(ledger) == entries
+
+    def test_empty_snapshot_dir_records_nothing(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        assert record_run(tmp_path / "empty", tmp_path / "h.jsonl") == []
+        assert not (tmp_path / "h.jsonl").exists()
+
+    def test_corrupt_ledger_lines_are_skipped(self, tmp_path):
+        _snapshot(tmp_path / "run")
+        ledger = tmp_path / "history.jsonl"
+        record_run(tmp_path / "run", ledger, sha="aaa111")
+        with open(ledger, "a") as handle:
+            handle.write('{"half written\n')
+        assert len(read_history(ledger)) == 1
+
+
+class TestCompare:
+    def test_identical_run_is_clean(self, tmp_path):
+        _snapshot(tmp_path / "run")
+        ledger = tmp_path / "history.jsonl"
+        record_run(tmp_path / "run", ledger, sha="aaa111")
+        report = compare_runs(tmp_path / "run", ledger, sha="bbb222")
+        assert report.ok and report.baseline_sha == "aaa111"
+        assert all(not d.regressed for d in report.deltas)
+
+    def test_regressions_flagged_both_directions(self, tmp_path):
+        _snapshot(tmp_path / "base")
+        ledger = tmp_path / "history.jsonl"
+        record_run(tmp_path / "base", ledger, sha="aaa111")
+        # Wall time up 50%, throughput down 50%: both must trip.
+        _snapshot(tmp_path / "now", preprocessed_wall_s=15.0, jobs_per_s=2.5)
+        report = compare_runs(tmp_path / "now", ledger, sha="bbb222")
+        assert not report.ok
+        assert sorted(d.metric for d in report.regressions) == [
+            "jobs_per_s", "preprocessed_wall_s"]
+        text = format_report(report)
+        assert "REGRESSION" in text and "2 regression(s)" in text
+
+    def test_improvement_is_never_a_regression(self, tmp_path):
+        _snapshot(tmp_path / "base")
+        ledger = tmp_path / "history.jsonl"
+        record_run(tmp_path / "base", ledger, sha="aaa111")
+        _snapshot(tmp_path / "now", preprocessed_wall_s=1.0, jobs_per_s=50.0)
+        assert compare_runs(tmp_path / "now", ledger, sha="bbb222").ok
+
+    def test_within_threshold_noise_passes(self, tmp_path):
+        _snapshot(tmp_path / "base")
+        ledger = tmp_path / "history.jsonl"
+        record_run(tmp_path / "base", ledger, sha="aaa111")
+        _snapshot(tmp_path / "now", preprocessed_wall_s=10.9)  # +9%
+        assert compare_runs(tmp_path / "now", ledger, sha="bbb222").ok
+
+    def test_threshold_is_configurable(self, tmp_path):
+        _snapshot(tmp_path / "base")
+        ledger = tmp_path / "history.jsonl"
+        record_run(tmp_path / "base", ledger, sha="aaa111")
+        _snapshot(tmp_path / "now", preprocessed_wall_s=10.9)
+        report = compare_runs(tmp_path / "now", ledger,
+                              threshold=0.05, sha="bbb222")
+        assert not report.ok
+
+    def test_same_sha_entries_are_skipped_as_baseline(self, tmp_path):
+        # Re-recording on the commit under test must not let it become
+        # its own baseline.
+        _snapshot(tmp_path / "base")
+        ledger = tmp_path / "history.jsonl"
+        record_run(tmp_path / "base", ledger, sha="aaa111")
+        _snapshot(tmp_path / "now", preprocessed_wall_s=15.0)
+        record_run(tmp_path / "now", ledger, sha="bbb222")
+        report = compare_runs(tmp_path / "now", ledger, sha="bbb222")
+        assert report.baseline_sha == "aaa111"
+        assert [d.metric for d in report.regressions] == [
+            "preprocessed_wall_s"]
+
+    def test_parameters_never_trip_the_gate(self, tmp_path):
+        _snapshot(tmp_path / "base")
+        ledger = tmp_path / "history.jsonl"
+        record_run(tmp_path / "base", ledger, sha="aaa111")
+        # Doubling the budget knob is a choice, not a regression.
+        _snapshot(tmp_path / "now", max_conflicts=40000)
+        report = compare_runs(tmp_path / "now", ledger, sha="bbb222")
+        assert report.ok
+        assert "max_conflicts" not in {d.metric for d in report.deltas}
+
+    def test_new_bench_is_missing_baseline_not_failure(self, tmp_path):
+        _snapshot(tmp_path / "base")
+        ledger = tmp_path / "history.jsonl"
+        record_run(tmp_path / "base", ledger, sha="aaa111")
+        _snapshot(tmp_path / "now")
+        _snapshot(tmp_path / "now", name="brand_new", fresh_wall_s=1.0)
+        report = compare_runs(tmp_path / "now", ledger, sha="bbb222")
+        assert report.ok
+        assert report.missing_baseline == ["brand_new"]
+
+    def test_empty_ledger_compares_clean(self, tmp_path):
+        _snapshot(tmp_path / "now")
+        report = compare_runs(tmp_path / "now", tmp_path / "none.jsonl",
+                              sha="bbb222")
+        assert report.ok and report.baseline_sha is None
+        assert "(none recorded)" in format_report(report)
+
+
+class TestGitSha:
+    def test_repo_checkout_resolves_a_real_sha(self):
+        sha = git_sha()
+        assert sha == "unknown" or len(sha) == 40
+
+    def test_non_repo_directory_is_unknown(self, tmp_path):
+        assert git_sha(tmp_path) == "unknown"

@@ -135,3 +135,128 @@ class TestServeProcess:
 
         cache = CompilationCache(tmp_path / "cache")
         assert record["id"] in cache
+
+
+class TestTopCommand:
+    def test_top_once_renders_vitals(self, live_server, capsys):
+        assert main([
+            "submit", "--url", live_server, "--modes", "2", "--wait",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["top", "--once", "--url", live_server]) == 0
+        frame = capsys.readouterr().out
+        assert "repro service at" in frame
+        assert "workers:" in frame and "done: 1" in frame
+        assert "latency p50/p90/p99" in frame
+        assert "submit" in frame
+        assert "no active jobs" in frame  # the only job already finished
+
+    def test_top_unreachable_service(self, capsys):
+        code = main(["top", "--once", "--url", "http://127.0.0.1:9"])
+        assert code == 2
+        assert "unreachable" in capsys.readouterr().err
+
+
+class TestWatchCommand:
+    def test_watch_follows_to_done(self, live_server, capsys):
+        assert main(["submit", "--url", live_server, "--modes", "2"]) == 0
+        job_id = capsys.readouterr().out.split()[1]
+        assert main(["watch", job_id[:12], "--url", live_server]) == 0
+        out = capsys.readouterr().out
+        assert "done" in out
+
+    def test_watch_failed_job_exits_one(self, live_server, capsys,
+                                        monkeypatch):
+        from repro.store.batch import CHAOS_ENV
+
+        monkeypatch.setenv(CHAOS_ENV, "chaos")
+        assert main([
+            "submit", "--url", live_server, "--modes", "2",
+            "--label", "chaos-drill",
+        ]) == 0
+        job_id = capsys.readouterr().out.split()[1]
+        assert main(["watch", job_id[:12], "--url", live_server]) == 1
+        assert "failed" in capsys.readouterr().out
+
+    def test_watch_unknown_job(self, live_server, capsys):
+        code = main(["watch", "feedfacefeedface", "--url", live_server])
+        assert code == 2
+        assert "no such job" in capsys.readouterr().err
+
+
+class TestForensicsCommand:
+    def test_forensics_of_a_chaos_failure(self, live_server, capsys,
+                                          monkeypatch):
+        from repro.store.batch import CHAOS_ENV
+
+        monkeypatch.setenv(CHAOS_ENV, "chaos")
+        assert main([
+            "submit", "--url", live_server, "--modes", "2",
+            "--label", "chaos-drill",
+        ]) == 0
+        job_id = capsys.readouterr().out.split()[1]
+        assert main(["watch", job_id, "--url", live_server]) == 1
+        capsys.readouterr()
+
+        assert main(["jobs", "forensics", job_id[:12],
+                     "--url", live_server]) == 0
+        out = capsys.readouterr().out
+        assert "chaos fault injected" in out
+        assert "job started" in out and "job failed" in out
+
+        assert main(["jobs", "forensics", job_id, "--json",
+                     "--url", live_server]) == 0
+        import json as _json
+
+        payload = _json.loads(capsys.readouterr().out)
+        assert payload["forensics"]["events"]
+
+    def test_forensics_of_a_healthy_job_is_an_error(self, live_server,
+                                                    capsys):
+        assert main([
+            "submit", "--url", live_server, "--modes", "2", "--wait",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["jobs", "ls", "--url", live_server]) == 0
+        job_id = capsys.readouterr().out.splitlines()[2].split("|")[0].strip()
+        code = main(["jobs", "forensics", job_id, "--url", live_server])
+        assert code == 2
+        assert "failed jobs" in capsys.readouterr().err
+
+
+class TestBenchCommands:
+    def _snapshot(self, json_dir, wall_s):
+        import json as _json
+
+        json_dir.mkdir(exist_ok=True)
+        (json_dir / "BENCH_demo.json").write_text(_json.dumps({
+            "name": "demo", "written_at": 1.0, "demo_wall_s": wall_s,
+        }))
+
+    def test_record_then_clean_compare(self, tmp_path, capsys):
+        self._snapshot(tmp_path / "run", 10.0)
+        ledger = tmp_path / "history.jsonl"
+        assert main(["bench", "record", "--json-dir", str(tmp_path / "run"),
+                     "--history", str(ledger), "--sha", "aaa111"]) == 0
+        assert "recorded 1 benchmark(s)" in capsys.readouterr().out
+        assert main(["bench", "compare", "--json-dir", str(tmp_path / "run"),
+                     "--history", str(ledger), "--sha", "bbb222"]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_injected_regression_fails_the_gate(self, tmp_path, capsys):
+        self._snapshot(tmp_path / "run", 10.0)
+        ledger = tmp_path / "history.jsonl"
+        assert main(["bench", "record", "--json-dir", str(tmp_path / "run"),
+                     "--history", str(ledger), "--sha", "aaa111"]) == 0
+        self._snapshot(tmp_path / "run", 15.0)  # +50% wall time
+        code = main(["bench", "compare", "--json-dir", str(tmp_path / "run"),
+                     "--history", str(ledger), "--sha", "bbb222"])
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_record_empty_dir_is_an_error(self, tmp_path, capsys):
+        (tmp_path / "empty").mkdir()
+        code = main(["bench", "record", "--json-dir", str(tmp_path / "empty"),
+                     "--history", str(tmp_path / "h.jsonl")])
+        assert code == 2
+        assert "no BENCH_" in capsys.readouterr().err

@@ -176,3 +176,126 @@ class TestEvictedJobLookup:
         with pytest.raises(ServiceError) as excinfo:
             client.job("feedfacefeedface")
         assert excinfo.value.status == 404
+
+
+class TestProgressEndpoint:
+    def test_finished_job_serves_its_last_snapshot(self, serve, fast_config):
+        client = serve(CompilationService(default_config=fast_config, jobs=1))
+        record = client.submit({"modes": 2, "method": "independent"})
+        client.wait(record["id"], timeout=120.0)
+
+        payload = client.progress(record["id"])
+        assert payload["id"] == record["id"]
+        assert payload["status"] == "done"
+        snapshot = payload["progress"]
+        assert snapshot is not None
+        assert snapshot["state"] == "done"
+        assert snapshot["outcome"] == "compiled"
+        # The lifecycle events folded in: the job was seen queued/running
+        # before it finished, all under the same key.
+        assert snapshot["job"] == record["id"]
+
+    def test_progress_prefix_lookup_and_404(self, serve, fast_config):
+        client = serve(CompilationService(default_config=fast_config, jobs=1))
+        record = client.submit({"modes": 2, "method": "independent"})
+        client.wait(record["id"], timeout=120.0)
+        assert client.progress(record["id"][:12])["id"] == record["id"]
+        with pytest.raises(ServiceError) as excinfo:
+            client.progress("feedfacefeedface")
+        assert excinfo.value.status == 404
+
+
+class TestEventsEndpoint:
+    def test_cursor_resume_is_gapless(self, serve, fast_config):
+        client = serve(CompilationService(default_config=fast_config, jobs=1))
+        record = client.submit({"modes": 2, "method": "independent"})
+        client.wait(record["id"], timeout=120.0)
+
+        # Read the feed twice with a cursor handoff: the union must be
+        # exactly the full feed, with no overlap and no gap.
+        first = client.events(since=0, limit=3)
+        rest = client.events(since=first["next"], limit=5000)
+        seqs = ([e["seq"] for e in first["events"]]
+                + [e["seq"] for e in rest["events"]])
+        full = client.events(since=0, limit=5000)
+        assert seqs == [e["seq"] for e in full["events"]]
+        assert len(seqs) == len(set(seqs))
+        kinds = {e["kind"] for e in full["events"]}
+        assert "job" in kinds  # lifecycle transitions are on the feed
+
+    def test_resume_across_ring_eviction_reports_dropped(
+        self, serve, fast_config
+    ):
+        from repro.telemetry import ProgressBus, Telemetry
+
+        telemetry = Telemetry(progress=ProgressBus(max_events=8))
+        client = serve(CompilationService(
+            default_config=fast_config, jobs=1, telemetry=telemetry,
+        ))
+        cursor = client.events(since=0)["next"]
+        for index in range(20):  # overflow the 8-slot ring past the cursor
+            telemetry.progress.emit("tick", index=index)
+
+        batch = client.events(since=cursor)
+        assert batch["dropped"]  # the reader is told, never lied to
+        assert len(batch["events"]) == 8
+        seqs = [e["seq"] for e in batch["events"]]
+        assert seqs == sorted(seqs)
+        assert batch["next"] == seqs[-1]
+        # The handed-back cursor resumes cleanly.
+        assert client.events(since=batch["next"])["events"] == []
+
+    def test_long_poll_waits_for_the_first_event(self, serve, fast_config):
+        import threading
+        import time as _time
+
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
+        client = serve(CompilationService(
+            default_config=fast_config, jobs=1, telemetry=telemetry,
+        ))
+        cursor = client.events(since=0)["next"]
+        threading.Timer(
+            0.2, lambda: telemetry.progress.emit("late", index=1)
+        ).start()
+        started = _time.monotonic()
+        batch = client.events(since=cursor, timeout=10.0)
+        assert [e["kind"] for e in batch["events"]] == ["late"]
+        assert _time.monotonic() - started < 9.0  # returned on the event
+
+
+class TestForensicsEndpoint:
+    def test_chaos_failure_yields_a_retrievable_dump(
+        self, serve, fast_config, monkeypatch
+    ):
+        from repro.store.batch import CHAOS_ENV
+
+        monkeypatch.setenv(CHAOS_ENV, "chaos")
+        client = serve(CompilationService(
+            default_config=fast_config, jobs=1, use_processes=False,
+        ))
+        record = client.submit({
+            "modes": 2, "method": "independent", "label": "chaos-drill",
+        })
+        with pytest.raises(ServiceError):
+            client.wait(record["id"], timeout=120.0)
+
+        payload = client.forensics(record["id"])
+        assert payload["id"] == record["id"]
+        dump = payload["forensics"]
+        assert "chaos fault injected" in dump["error"]
+        messages = [e["message"] for e in dump["events"]]
+        assert "job started" in messages and "job failed" in messages
+        assert dump["metrics"] is not None
+
+    def test_healthy_job_has_no_forensics(self, serve, fast_config):
+        client = serve(CompilationService(
+            default_config=fast_config, jobs=1, use_processes=False,
+        ))
+        record = client.submit({"modes": 2, "method": "independent"})
+        client.wait(record["id"], timeout=120.0)
+        with pytest.raises(ServiceError) as excinfo:
+            client.forensics(record["id"])
+        assert excinfo.value.status == 404
+        assert "failed jobs" in str(excinfo.value)

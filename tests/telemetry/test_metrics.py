@@ -171,3 +171,97 @@ class TestTelemetryFacade:
         parent.absorb_relay(None)
         parent.absorb_relay({})
         assert parent.tracer.events() == []
+
+
+class TestHelpEscaping:
+    def test_help_text_escapes_backslash_and_newline(self):
+        registry = MetricsRegistry()
+        registry.counter("weird_total", "line one\nline two \\ slash").inc()
+        text = registry.render()
+        assert "# HELP weird_total line one\\nline two \\\\ slash" in text
+        # Every line stays a single physical line.
+        assert all(line.startswith(("#", "weird_total"))
+                   for line in text.strip().splitlines())
+
+
+class TestParseExposition:
+    def test_round_trips_own_rendering(self):
+        from repro.telemetry import parse_prometheus_text
+
+        registry = MetricsRegistry()
+        registry.counter(
+            "jobs_total", 'with "quotes" and \\ and\nnewline'
+        ).labels(state="a\nb").inc(3)
+        registry.gauge("depth", "queue depth").set(7)
+        histogram = registry.histogram("lat_seconds", "latency",
+                                       buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+
+        families = parse_prometheus_text(registry.render())
+        jobs = families["jobs_total"]
+        assert jobs["kind"] == "counter"
+        assert jobs["help"] == 'with "quotes" and \\ and\nnewline'
+        (labels, value), = jobs["samples"]["jobs_total"]
+        assert labels == {"state": "a\nb"} and value == 3.0
+        assert families["depth"]["samples"]["depth"] == [({}, 7.0)]
+        lat = families["lat_seconds"]
+        assert lat["kind"] == "histogram"
+        buckets = dict(
+            (labels["le"], value)
+            for labels, value in lat["samples"]["lat_seconds_bucket"]
+        )
+        assert buckets == {"0.1": 1.0, "1": 2.0, "+Inf": 2.0}
+        assert lat["samples"]["lat_seconds_count"] == [({}, 2.0)]
+
+    def test_malformed_lines_are_skipped(self):
+        from repro.telemetry import parse_prometheus_text
+
+        families = parse_prometheus_text(
+            "# TYPE good counter\n"
+            "good 1\n"
+            "torn{state=\"half\n"
+            "not-a-number nan-ish oops extra\n"
+        )
+        assert families["good"]["samples"]["good"] == [({}, 1.0)]
+        assert "torn" not in families
+
+
+class TestHistogramQuantile:
+    def test_interpolates_within_the_winning_bucket(self):
+        from repro.telemetry import histogram_quantile
+
+        # 10 observations <= 1.0, 10 more in (1.0, 2.0].
+        buckets = [("1.0", 10), ("2.0", 20), ("+Inf", 20)]
+        assert histogram_quantile(0.5, buckets) == pytest.approx(1.0)
+        assert histogram_quantile(0.75, buckets) == pytest.approx(1.5)
+        assert histogram_quantile(1.0, buckets) == pytest.approx(2.0)
+
+    def test_tail_clamps_to_last_finite_bound(self):
+        from repro.telemetry import histogram_quantile
+
+        buckets = [("1.0", 5), ("+Inf", 10)]  # half the mass is unbounded
+        assert histogram_quantile(0.99, buckets) == pytest.approx(1.0)
+
+    def test_empty_histogram_is_none_and_bad_q_raises(self):
+        from repro.telemetry import histogram_quantile
+
+        assert histogram_quantile(0.5, []) is None
+        assert histogram_quantile(0.5, [("+Inf", 0)]) is None
+        with pytest.raises(ValueError):
+            histogram_quantile(1.5, [("1.0", 1)])
+
+    def test_quantiles_of_a_live_registry_scrape(self):
+        from repro.telemetry import histogram_quantile, parse_prometheus_text
+
+        registry = MetricsRegistry()
+        histogram = registry.histogram("s", "seconds", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.05, 0.5, 5.0):
+            histogram.observe(value)
+        families = parse_prometheus_text(registry.render())
+        buckets = [
+            (labels["le"], value)
+            for labels, value in families["s"]["samples"]["s_bucket"]
+        ]
+        p50 = histogram_quantile(0.5, buckets)
+        assert 0.0 < p50 <= 1.0

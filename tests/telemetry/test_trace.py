@@ -1,5 +1,7 @@
 """Span tracer: nesting, contexts, ingest remapping, JSONL, rendering."""
 
+import pytest
+
 from repro.telemetry import Tracer, read_jsonl, render_tree, write_jsonl
 
 
@@ -125,3 +127,57 @@ class TestRenderTree:
 
     def test_empty_trace_renders_placeholder(self):
         assert render_tree([]) == "(empty trace)"
+
+
+class TestTolerantRead:
+    def test_malformed_lines_are_skipped(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("compile"):
+            pass
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(tracer.events(), path)
+        with open(path, "a") as handle:
+            handle.write('{"torn": \n')      # crashed writer's tail
+            handle.write("[1, 2, 3]\n")      # valid JSON, not a span
+        events = read_jsonl(path)
+        assert [e["name"] for e in events] == ["compile"]
+
+
+class TestOrphanSpans:
+    def test_orphan_spans_render_as_marked_roots(self):
+        tracer = Tracer()
+        with tracer.span("compile"):
+            with tracer.span("descent.rung", bound=16):
+                pass
+        events = tracer.events()
+        # Simulate a truncated file: the root span's line is lost.
+        orphaned = [e for e in events if e["name"] != "compile"]
+        text = render_tree(orphaned)
+        assert "descent.rung" in text
+        assert "(orphan: parent span missing)" in text
+
+    def test_intact_trees_carry_no_marker(self):
+        tracer = Tracer()
+        with tracer.span("compile"):
+            pass
+        assert "orphan" not in render_tree(tracer.events())
+
+
+class TestOpenSpans:
+    def test_open_spans_visible_until_close(self):
+        tracer = Tracer()
+        with tracer.span("compile", modes=4):
+            with tracer.span("descent.rung", bound=16):
+                open_now = tracer.open_spans()
+        assert [s["name"] for s in open_now] == ["compile", "descent.rung"]
+        assert open_now[0]["age_s"] >= 0
+        assert open_now[1]["attrs"]["bound"] == 16
+        assert open_now[1]["parent_id"] == open_now[0]["span_id"]
+        assert tracer.open_spans() == []  # all closed on exit
+
+    def test_open_spans_survive_an_exception_unwind(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("compile"):
+                raise RuntimeError("boom")
+        assert tracer.open_spans() == []  # finally always unregisters
