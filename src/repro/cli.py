@@ -140,6 +140,7 @@ def _config_from_args(args) -> FermihedralConfig:
         jobs=getattr(args, "jobs_n", None) or 1,
         preprocess=not args.no_preprocess,
         proof=getattr(args, "proof", False),
+        deadline_s=getattr(args, "deadline", None),
     )
 
 
@@ -180,6 +181,12 @@ def _add_solver_options(parser: argparse.ArgumentParser) -> None:
                         help="capture a DRAT certificate of the descent's "
                              "final UNSAT answer (the optimality proof), "
                              "re-checkable with 'repro verify-proof'")
+    parser.add_argument("--deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="whole-job wall-clock deadline; on expiry the "
+                             "best encoding found so far is returned marked "
+                             "degraded instead of failing (execution-only: "
+                             "does not change the cache fingerprint)")
 
 
 def _resolve_encoding(name: str, num_modes: int):
@@ -310,6 +317,13 @@ def cmd_solve(args) -> int:
 
     report = result.verify()
     post = []
+    if result.degraded:
+        target = result.descent.target_bound
+        post.append(
+            "degraded:        deadline expired mid-descent; best-so-far "
+            f"weight {result.weight}"
+            + ("" if target is None else f" (next target bound was {target})")
+        )
     if cache is not None:
         post.append(f"cache:           {compiler.last_cache_status} ({args.cache})")
     if result.proof is not None:
@@ -725,6 +739,7 @@ def cmd_serve(args) -> int:
         default_config=_config_from_args(args),
         jobs=args.jobs_n or 1,
         queue_limit=args.queue_limit,
+        max_attempts=args.max_attempts,
         default_device=args.device,
     ).start()
     server = ServiceServer((args.host, args.port), service, verbose=args.verbose)
@@ -775,6 +790,8 @@ def _submit_spec_from_args(args) -> dict:
         config["max_conflicts"] = args.max_conflicts
     if args.proof:
         config["proof"] = True
+    if getattr(args, "deadline", None) is not None:
+        config["deadline_s"] = args.deadline
     if config:
         spec["config"] = config
     return spec
@@ -1412,6 +1429,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="bound on active (queued + running) jobs; "
                             "submissions beyond it get HTTP 429 "
                             "(default: 64)")
+    serve.add_argument("--max-attempts", type=int, default=3, metavar="N",
+                       help="total attempts per job: retryable failures "
+                            "(killed worker, spawn failure) are requeued "
+                            "with backoff up to N-1 times, resuming from "
+                            "the descent checkpoint (default: 3)")
     serve.add_argument("--cache", default=None, metavar="DIR",
                        help="persistent compilation cache backing the "
                             "service (hits answer without queueing)")
@@ -1454,6 +1476,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "(fetch it later with 'repro jobs proof')")
     submit.add_argument("--max-conflicts", type=int, default=None, metavar="N",
                         help="per-SAT-call conflict budget override")
+    submit.add_argument("--deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="whole-job wall-clock deadline; on expiry the "
+                             "job finishes 'degraded' with the best "
+                             "encoding found so far")
     submit.add_argument("--wait", action="store_true",
                         help="poll until the job finishes and print the "
                              "result")

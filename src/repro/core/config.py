@@ -33,8 +33,13 @@ COMPILE_METHODS = (METHOD_INDEPENDENT, METHOD_FULL_SAT, METHOD_ANNEALING)
 #: ``repro.store.fingerprint`` excludes them from cache keys so serial,
 #: incremental, portfolio, multi-process and preprocessed runs of one job
 #: all share a cache entry (sound because unproved results are warm-start
-#: seeds, never final hits).
-EXECUTION_ONLY_FIELDS = ("incremental", "portfolio", "jobs", "preprocess", "proof")
+#: seeds, never final hits).  ``deadline_s`` is execution-only for the
+#: same reason a time budget would be: it decides when a run stops
+#: tightening, never what the optimum is, and a deadline-degraded result
+#: is unproved, so it stays a warm-start seed rather than a final hit.
+EXECUTION_ONLY_FIELDS = (
+    "incremental", "portfolio", "jobs", "preprocess", "proof", "deadline_s",
+)
 
 
 @dataclass(frozen=True)
@@ -107,9 +112,16 @@ class FermihedralConfig:
             verify-proof``.  Off by default: emission costs a little
             memory and time on UNSAT-heavy runs, and the artifact is only
             needed when the result must be auditable.
+        deadline_s: wall-clock deadline for the whole descent, in seconds
+            (``None`` = none).  Unlike ``budget.time_budget_s`` (a
+            per-SAT-call limit), the deadline spans formula construction
+            and every rung; on expiry the descent returns its best
+            encoding so far marked ``degraded`` — graceful degradation,
+            never an error — with the bound it was still chasing recorded
+            as ``target_bound``.
 
-        ``incremental``, ``portfolio``, ``jobs``, ``preprocess`` and
-        ``proof`` are execution-strategy knobs
+        ``incremental``, ``portfolio``, ``jobs``, ``preprocess``,
+        ``proof`` and ``deadline_s`` are execution-strategy knobs
         (:data:`EXECUTION_ONLY_FIELDS`): with enough budget they change
         only how fast the run reaches the same weight and proof (under an
         exhausted budget, more parallelism can only answer more, never
@@ -131,10 +143,13 @@ class FermihedralConfig:
     jobs: int = 1
     preprocess: bool = True
     proof: bool = False
+    deadline_s: float | None = None
 
     def __post_init__(self):
         if self.strategy not in ("linear", "bisection"):
             raise ValueError(f"unknown descent strategy: {self.strategy!r}")
+        if self.deadline_s is not None and not self.deadline_s > 0:
+            raise ValueError("deadline_s must be positive (or None)")
         if self.portfolio < 1:
             raise ValueError("portfolio must be at least 1 worker")
         if self.jobs < 1:
@@ -172,6 +187,10 @@ class FermihedralConfig:
             preprocess=self.preprocess if preprocess is None else preprocess,
             proof=self.proof if proof is None else proof,
         )
+
+    def with_deadline(self, deadline_s: float | None) -> "FermihedralConfig":
+        """This config with a wall-clock descent deadline installed."""
+        return dataclasses.replace(self, deadline_s=deadline_s)
 
 
 @dataclass(frozen=True)

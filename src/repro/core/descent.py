@@ -33,10 +33,12 @@ import time
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 
+from repro.core.checkpoint import CheckpointSink, DescentCheckpoint
 from repro.core.config import FermihedralConfig
 from repro.core.encoder import FermihedralEncoder
 from repro.encodings.base import MajoranaEncoding
 from repro.encodings.bravyi_kitaev import bravyi_kitaev
+from repro.encodings.serialization import encoding_to_dict, step_to_dict
 from repro.fermion.hamiltonians import FermionicHamiltonian
 from repro.paulis.symplectic import are_algebraically_independent
 from repro.sat.solver import CdclSolver, SolverStats
@@ -44,6 +46,10 @@ from repro.telemetry.progress import RungEtaEstimator
 
 LINEAR = "linear"
 BISECTION = "bisection"
+
+#: Sentinel for ``solve_at(time_budget_s=...)``: "use the config budget".
+#: (``None`` is taken — it means unlimited.)
+_USE_CONFIG = object()
 
 
 def _span(telemetry, name: str, **attrs):
@@ -106,6 +112,16 @@ class DescentResult:
     #: the descent reached an UNSAT answer); check it with
     #: :func:`repro.sat.drat.check_trace`.  ``None`` otherwise.
     proof_trace: "object | None" = None
+    #: The wall-clock deadline (``config.deadline_s``) expired before the
+    #: descent finished tightening: ``encoding`` is the best model found
+    #: in time (never worse than the baseline) and ``target_bound`` is the
+    #: bound still being chased when time ran out.
+    degraded: bool = False
+    target_bound: int | None = None
+    #: This run warm-started from a persisted checkpoint left by an
+    #: earlier (killed or interrupted) attempt; ``steps`` includes the
+    #: prior attempt's completed rungs.
+    resumed: bool = False
 
     @property
     def sat_calls(self) -> int:
@@ -251,8 +267,16 @@ class _BoundSolver:
     def close(self) -> None:
         """No persistent resources to release."""
 
-    def solve_at(self, bound: int) -> tuple[DescentStep, MajoranaEncoding | None]:
-        """One bound query; repairs dependent models until clean or capped."""
+    def solve_at(
+        self, bound: int, time_budget_s=_USE_CONFIG,
+    ) -> tuple[DescentStep, MajoranaEncoding | None]:
+        """One bound query; repairs dependent models until clean or capped.
+
+        ``time_budget_s`` overrides the config's per-call budget for this
+        rung (the descent passes the time left to its deadline).
+        """
+        if time_budget_s is _USE_CONFIG:
+            time_budget_s = self.config.budget.time_budget_s
         working = self.encoder.formula.copy()
         for clause in self.blocking:
             working.add_clause(clause)
@@ -273,7 +297,7 @@ class _BoundSolver:
                                 telemetry=self.telemetry)
             result = solver.solve(
                 max_conflicts=self.config.budget.max_conflicts,
-                time_budget_s=self.config.budget.time_budget_s,
+                time_budget_s=time_budget_s,
             )
             self.solve_time_s += result.elapsed_s
 
@@ -432,8 +456,16 @@ class _IncrementalBoundSolver:
                 closer()
             self._solver = None
 
-    def solve_at(self, bound: int) -> tuple[DescentStep, MajoranaEncoding | None]:
-        """One bound query under a single ladder assumption."""
+    def solve_at(
+        self, bound: int, time_budget_s=_USE_CONFIG,
+    ) -> tuple[DescentStep, MajoranaEncoding | None]:
+        """One bound query under a single ladder assumption.
+
+        ``time_budget_s`` overrides the config's per-call budget for this
+        rung (the descent passes the time left to its deadline).
+        """
+        if time_budget_s is _USE_CONFIG:
+            time_budget_s = self.config.budget.time_budget_s
         if self._selectors is None:
             raise RuntimeError("prepare() must run before solve_at()")
         if bound >= len(self._selectors):
@@ -447,7 +479,7 @@ class _IncrementalBoundSolver:
         while True:
             result = self._solver.solve(
                 max_conflicts=self.config.budget.max_conflicts,
-                time_budget_s=self.config.budget.time_budget_s,
+                time_budget_s=time_budget_s,
                 assumptions=(selector,),
             )
             self.solve_time_s += result.elapsed_s
@@ -503,6 +535,7 @@ def descend(
     hamiltonian: FermionicHamiltonian | None = None,
     baseline: MajoranaEncoding | None = None,
     telemetry=None,
+    checkpoint: "CheckpointSink | None" = None,
 ) -> DescentResult:
     """Run the configured descent strategy.
 
@@ -518,6 +551,18 @@ def descend(
             run in a ``descent`` span with one ``descent.rung`` child per
             SAT call (bound + engine + status attrs) and threads through
             to the preprocessor and solver backends.
+        checkpoint: optional :class:`repro.core.checkpoint.CheckpointSink`.
+            When given, rung progress is persisted after every completed
+            rung (best-effort — a failed save never stops the descent) and
+            a checkpoint left by an earlier killed attempt is loaded
+            first, so the run resumes at the last completed rung instead
+            of the baseline.
+
+    With ``config.deadline_s`` set, the whole run — construction,
+    preprocessing and every rung — races one wall-clock deadline; on
+    expiry the best encoding so far is returned with ``degraded=True``
+    (graceful degradation, never an error) and the unresolved bound in
+    ``target_bound``.
     """
     config = config or FermihedralConfig()
     if config.qubit_weights is not None and len(config.qubit_weights) != num_modes:
@@ -526,6 +571,34 @@ def descend(
             f"the job has {num_modes} modes"
         )
     baseline = baseline or bravyi_kitaev(num_modes)
+
+    # The deadline clocks the whole descent; budget.time_budget_s limits
+    # each SAT call separately.  Per rung, the effective budget is the
+    # smaller of the two.
+    deadline = None
+    if config.deadline_s is not None:
+        deadline = time.monotonic() + config.deadline_s
+
+    resumed_cp = None
+    prior_steps: list[DescentStep] = []
+    prior_solve_time = 0.0
+    prior_repairs = 0
+    if checkpoint is not None:
+        resumed_cp = checkpoint.load()
+        if resumed_cp is not None and resumed_cp.strategy != config.strategy:
+            resumed_cp = None  # different ladder shape: cold-start
+        if resumed_cp is not None:
+            restored = resumed_cp.decode_encoding(num_modes)
+            if restored is None:
+                resumed_cp = None  # unreadable checkpoint: cold-start
+            else:
+                baseline = restored
+                try:
+                    prior_steps = resumed_cp.decode_steps()
+                except (ValueError, KeyError, TypeError):
+                    prior_steps = []
+                prior_solve_time = resumed_cp.solve_time_s
+                prior_repairs = resumed_cp.repairs
 
     construct_start = time.monotonic()
     encoder, indicators = build_base_formula(num_modes, config, hamiltonian)
@@ -542,8 +615,10 @@ def descend(
 
     best_encoding = baseline
     best_weight = measured_weight(baseline, hamiltonian, config.qubit_weights)
-    steps: list[DescentStep] = []
+    steps: list[DescentStep] = list(prior_steps)
     proved_optimal = False
+    deadline_hit = False
+    target_bound: int | None = None
 
     progress = getattr(telemetry, "progress", None)
     eta = RungEtaEstimator()
@@ -551,8 +626,44 @@ def descend(
         progress.emit("descent", modes=num_modes, strategy=config.strategy,
                       engine=bound_solver.engine_name,
                       start_weight=best_weight)
+        if resumed_cp is not None:
+            progress.emit("descent.resume", weight=best_weight,
+                          completed_rungs=len(prior_steps),
+                          next_bound=resumed_cp.next_bound)
+    if resumed_cp is not None and telemetry is not None:
+        telemetry.counter(
+            "repro_descent_resumes_total",
+            "descents resumed from a persisted checkpoint",
+        ).inc()
 
-    def solve_rung(bound: int):
+    def rung_budget() -> tuple[float | None, bool]:
+        """Effective time budget of the next rung: ``(budget, expired)``."""
+        budget_s = config.budget.time_budget_s
+        if deadline is None:
+            return budget_s, False
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            return 0.0, True
+        return (remaining if budget_s is None else min(budget_s, remaining)), False
+
+    def save_checkpoint(next_bound: int, lower: int | None = None,
+                        upper: int | None = None) -> None:
+        if checkpoint is None:
+            return
+        checkpoint.save(DescentCheckpoint(
+            strategy=config.strategy,
+            next_bound=next_bound,
+            encoding=encoding_to_dict(best_encoding),
+            weight=best_weight,
+            steps=[step_to_dict(step) for step in steps],
+            lower=lower,
+            upper=upper,
+            solve_time_s=prior_solve_time + bound_solver.solve_time_s,
+            repairs=prior_repairs + bound_solver.total_repairs,
+            created_at=time.time(),
+        ))
+
+    def solve_rung(bound: int, time_budget_s=_USE_CONFIG):
         with _span(telemetry, "descent.rung", bound=bound,
                    engine=bound_solver.engine_name) as attrs:
             if progress is not None:
@@ -563,9 +674,9 @@ def descend(
                 with progress.context(
                         bound=bound, engine=bound_solver.engine_name,
                         expected_conflicts=eta.expected_conflicts()):
-                    step, candidate = bound_solver.solve_at(bound)
+                    step, candidate = bound_solver.solve_at(bound, time_budget_s)
             else:
-                step, candidate = bound_solver.solve_at(bound)
+                step, candidate = bound_solver.solve_at(bound, time_budget_s)
             attrs.update(status=step.status, conflicts=step.conflicts)
             if progress is not None:
                 eta.observe(step.conflicts)
@@ -590,14 +701,27 @@ def descend(
                 upper = best_weight  # best known achievable
                 if config.start_weight is not None:
                     upper = min(upper, max(config.start_weight, lower))
+                if resumed_cp is not None:
+                    # Restore the surviving search window: SAT rungs shrank
+                    # ``upper`` (the restored baseline already reflects
+                    # that), UNSAT rungs raised ``lower`` — progress a
+                    # cache warm start alone would lose.
+                    if resumed_cp.lower is not None:
+                        lower = max(lower, resumed_cp.lower)
+                    if resumed_cp.upper is not None:
+                        upper = min(upper, resumed_cp.upper)
                 if lower < upper:
                     # Bounds move both ways inside [lower, upper); the ladder
                     # only needs to cover the loosest one.
                     with _span(telemetry, "descent.prepare"):
                         bound_solver.prepare(upper - 1)
                 while lower < upper:
+                    budget_s, expired = rung_budget()
                     bound = (lower + upper - 1) // 2
-                    step, candidate = solve_rung(bound)
+                    if expired:
+                        deadline_hit, target_bound = True, bound
+                        break
+                    step, candidate = solve_rung(bound, budget_s)
                     steps.append(step)
                     if candidate is not None:
                         best_encoding = candidate
@@ -606,7 +730,12 @@ def descend(
                     elif step.status == "UNSAT":
                         lower = bound + 1
                     else:
-                        break  # budget exhausted: cannot conclude
+                        # Budget exhausted: cannot conclude.  Under a
+                        # deadline this is degradation, not exhaustion.
+                        if deadline is not None and time.monotonic() >= deadline:
+                            deadline_hit, target_bound = True, bound
+                        break
+                    save_checkpoint(upper - 1, lower=lower, upper=upper)
                 # Optimality needs the interval closed AND the returned
                 # encoding sitting exactly on it: a start_weight clamped
                 # below the true optimum can close [lower, upper] without
@@ -621,16 +750,23 @@ def descend(
                 next_bound = best_weight - 1
                 if config.start_weight is not None:
                     next_bound = min(next_bound, config.start_weight)
+                if resumed_cp is not None:
+                    next_bound = min(next_bound, resumed_cp.next_bound)
                 if next_bound >= 0:
                     with _span(telemetry, "descent.prepare"):
                         bound_solver.prepare(next_bound)  # bounds only tighten
                 while next_bound >= 0:
-                    step, candidate = solve_rung(next_bound)
+                    budget_s, expired = rung_budget()
+                    if expired:
+                        deadline_hit, target_bound = True, next_bound
+                        break
+                    step, candidate = solve_rung(next_bound, budget_s)
                     steps.append(step)
                     if candidate is not None:
                         best_encoding = candidate
                         best_weight = step.achieved_weight
                         next_bound = step.achieved_weight - 1
+                        save_checkpoint(next_bound)
                         continue
                     # UNSAT is a proof only when the failed bound sits
                     # directly below the returned weight; an UNSAT at a
@@ -639,11 +775,30 @@ def descend(
                     proved_optimal = (
                         step.status == "UNSAT" and next_bound == best_weight - 1
                     )
+                    if not proved_optimal and deadline is not None \
+                            and time.monotonic() >= deadline:
+                        deadline_hit, target_bound = True, next_bound
                     break
         finally:
             bound_solver.close()
         descent_attrs.update(weight=best_weight, proved_optimal=proved_optimal,
-                             sat_calls=len(steps))
+                             sat_calls=len(steps), degraded=deadline_hit)
+
+    if deadline_hit:
+        if progress is not None:
+            progress.emit("descent.degraded", weight=best_weight,
+                          target_bound=target_bound)
+        if telemetry is not None:
+            telemetry.counter(
+                "repro_descent_degraded_total",
+                "descents that returned best-so-far at their deadline",
+            ).inc()
+    elif proved_optimal and checkpoint is not None:
+        # The optimum is proved (and will be cached as final): rung
+        # progress has nothing left to resume.  Unproved returns keep
+        # their checkpoint so a resubmission picks up the surviving
+        # search state (bisection's raised lower bound in particular).
+        checkpoint.clear()
 
     return DescentResult(
         encoding=best_encoding,
@@ -651,9 +806,12 @@ def descend(
         proved_optimal=proved_optimal,
         steps=steps,
         construct_time_s=construct_time,
-        solve_time_s=bound_solver.solve_time_s,
-        repairs=bound_solver.total_repairs,
+        solve_time_s=prior_solve_time + bound_solver.solve_time_s,
+        repairs=prior_repairs + bound_solver.total_repairs,
         strategy=config.strategy,
         preprocess_time_s=getattr(bound_solver, "preprocess_time_s", 0.0),
         proof_trace=bound_solver.last_unsat_trace,
+        degraded=deadline_hit,
+        target_bound=target_bound,
+        resumed=resumed_cp is not None,
     )

@@ -93,6 +93,12 @@ class CompilationResult:
     #: artifact — its ``artifact`` path, consumable by
     #: ``repro verify-proof``.  ``None`` when no proof was captured.
     proof: dict | None = None
+    #: The job's wall-clock deadline expired mid-descent: the encoding is
+    #: the (valid) best found in time, returned instead of an error —
+    #: graceful degradation.  Details in ``descent.degraded`` /
+    #: ``descent.target_bound``.  Degraded results are never proved
+    #: optimal, so the cache treats them as warm-start seeds, not hits.
+    degraded: bool = False
 
     def verify(self) -> VerificationReport:
         if self.verification is None:
@@ -130,16 +136,19 @@ def solve_hamiltonian_independent(
     config: FermihedralConfig | None = None,
     baseline: MajoranaEncoding | None = None,
     telemetry=None,
+    checkpoint=None,
 ) -> CompilationResult:
     """Minimize the total Pauli weight of the 2N Majorana strings.
 
     ``baseline`` overrides the automatic baseline selection; the cache
     passes a previously found encoding here to warm-start the descent.
+    ``checkpoint`` (a :class:`repro.core.checkpoint.CheckpointSink`)
+    enables the descent's crash-resume persistence.
     """
     config = config or FermihedralConfig()
     baseline = baseline or best_baseline(num_modes, config)
     result = descend(num_modes, config=config, baseline=baseline,
-                     telemetry=telemetry)
+                     telemetry=telemetry, checkpoint=checkpoint)
     method = "full-sat" if config.algebraic_independence else "sat-wo-alg"
     return CompilationResult(
         encoding=_as_fermihedral(result.encoding),
@@ -147,6 +156,7 @@ def solve_hamiltonian_independent(
         weight=result.weight,
         proved_optimal=result.proved_optimal,
         descent=result,
+        degraded=result.degraded,
     )
 
 
@@ -155,13 +165,14 @@ def solve_full_sat(
     config: FermihedralConfig | None = None,
     baseline: MajoranaEncoding | None = None,
     telemetry=None,
+    checkpoint=None,
 ) -> CompilationResult:
     """Minimize the encoded weight of a specific Hamiltonian in SAT."""
     config = config or FermihedralConfig()
     baseline = baseline or best_baseline(hamiltonian.num_modes, config, hamiltonian)
     result = descend(
         hamiltonian.num_modes, config=config, hamiltonian=hamiltonian,
-        baseline=baseline, telemetry=telemetry,
+        baseline=baseline, telemetry=telemetry, checkpoint=checkpoint,
     )
     method = "full-sat" if config.algebraic_independence else "sat-wo-alg"
     return CompilationResult(
@@ -170,6 +181,7 @@ def solve_full_sat(
         weight=result.weight,
         proved_optimal=result.proved_optimal,
         descent=result,
+        degraded=result.degraded,
     )
 
 
@@ -180,12 +192,13 @@ def solve_sat_annealing(
     seed: int = 2024,
     baseline: MajoranaEncoding | None = None,
     telemetry=None,
+    checkpoint=None,
 ) -> CompilationResult:
     """SAT + Anl.: independent SAT optimum, then annealed pair assignment."""
     config = config or FermihedralConfig()
     baseline = baseline or best_baseline(hamiltonian.num_modes, config)
     independent = descend(hamiltonian.num_modes, config=config, baseline=baseline,
-                          telemetry=telemetry)
+                          telemetry=telemetry, checkpoint=checkpoint)
     annealed = anneal_pairing(
         independent.encoding, hamiltonian, schedule=schedule, seed=seed
     )
@@ -196,6 +209,9 @@ def solve_sat_annealing(
         proved_optimal=False,
         descent=independent,
         annealing=annealed,
+        # The annealing stage still ran to completion; what is degraded is
+        # the SAT optimum it started from.
+        degraded=independent.degraded,
     )
 
 
@@ -368,6 +384,8 @@ class FermihedralCompiler:
             self._attach_proof(result)
             return result
 
+        from repro.core.checkpoint import CacheCheckpointSink
+
         key = cache_key or self.cache.key_for(
             num_modes=self.num_modes,
             config=config,
@@ -387,7 +405,11 @@ class FermihedralCompiler:
             self.cache.note_warm_start()
         else:
             self.last_cache_status = "miss"
-        result = self._solve(method, hamiltonian, schedule, seed, baseline, config)
+        # The sink shares the entry's fingerprint, so a retried attempt of
+        # the same job (same key) finds its predecessor's rung progress.
+        checkpoint = CacheCheckpointSink(self.cache, key, telemetry=self.telemetry)
+        result = self._solve(method, hamiltonian, schedule, seed, baseline, config,
+                             checkpoint=checkpoint)
         result = self._finish_hardware(result, topology, hamiltonian, config)
         self._attach_proof(result)
         try:
@@ -416,19 +438,22 @@ class FermihedralCompiler:
         seed: int,
         baseline: MajoranaEncoding | None,
         config: FermihedralConfig | None = None,
+        checkpoint=None,
     ) -> CompilationResult:
         config = config or self.config
         if method == METHOD_INDEPENDENT:
             return solve_hamiltonian_independent(
-                self.num_modes, config, baseline=baseline, telemetry=self.telemetry
+                self.num_modes, config, baseline=baseline,
+                telemetry=self.telemetry, checkpoint=checkpoint,
             )
         if method == METHOD_FULL_SAT:
             return solve_full_sat(
-                hamiltonian, config, baseline=baseline, telemetry=self.telemetry
+                hamiltonian, config, baseline=baseline,
+                telemetry=self.telemetry, checkpoint=checkpoint,
             )
         return solve_sat_annealing(
             hamiltonian, config, schedule, seed, baseline=baseline,
-            telemetry=self.telemetry,
+            telemetry=self.telemetry, checkpoint=checkpoint,
         )
 
     def _attach_proof(self, result: CompilationResult) -> None:

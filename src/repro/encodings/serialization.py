@@ -74,6 +74,42 @@ def load_encoding(path: str | Path, validate: bool = True) -> MajoranaEncoding:
 # -- full compilation results -------------------------------------------------
 
 
+def step_to_dict(step) -> dict:
+    """Plain-data form of one :class:`~repro.core.descent.DescentStep`
+    (shared by the result schema and descent checkpoints)."""
+    return {
+        "bound": step.bound,
+        "status": step.status,
+        "achieved_weight": step.achieved_weight,
+        "elapsed_s": step.elapsed_s,
+        "conflicts": step.conflicts,
+        "repairs": step.repairs,
+        "decisions": step.decisions,
+        "propagations": step.propagations,
+        "restarts": step.restarts,
+    }
+
+
+def step_from_dict(step: dict):
+    """Rebuild one descent step from :func:`step_to_dict` output."""
+    from repro.core.descent import DescentStep
+    from repro.sat.solver import SolverStats
+
+    return DescentStep(
+        bound=step["bound"],
+        status=step["status"],
+        achieved_weight=step["achieved_weight"],
+        elapsed_s=step["elapsed_s"],
+        stats=SolverStats(
+            conflicts=step.get("conflicts", 0),
+            decisions=step.get("decisions", 0),
+            propagations=step.get("propagations", 0),
+            restarts=step.get("restarts", 0),
+        ),
+        repairs=step.get("repairs", 0),
+    )
+
+
 def result_to_dict(result: CompilationResult) -> dict:
     """Plain-data form of a full compilation result (result schema v1)."""
     descent = result.descent
@@ -83,29 +119,20 @@ def result_to_dict(result: CompilationResult) -> dict:
         "method": result.method,
         "weight": result.weight,
         "proved_optimal": result.proved_optimal,
+        "degraded": result.degraded,
         "descent": {
             "encoding": encoding_to_dict(descent.encoding),
             "weight": descent.weight,
             "proved_optimal": descent.proved_optimal,
-            "steps": [
-                {
-                    "bound": step.bound,
-                    "status": step.status,
-                    "achieved_weight": step.achieved_weight,
-                    "elapsed_s": step.elapsed_s,
-                    "conflicts": step.conflicts,
-                    "repairs": step.repairs,
-                    "decisions": step.decisions,
-                    "propagations": step.propagations,
-                    "restarts": step.restarts,
-                }
-                for step in descent.steps
-            ],
+            "steps": [step_to_dict(step) for step in descent.steps],
             "construct_time_s": descent.construct_time_s,
             "solve_time_s": descent.solve_time_s,
             "preprocess_time_s": descent.preprocess_time_s,
             "repairs": descent.repairs,
             "strategy": descent.strategy,
+            "degraded": descent.degraded,
+            "target_bound": descent.target_bound,
+            "resumed": descent.resumed,
         },
         "annealing": None,
         "verification": None,
@@ -147,10 +174,9 @@ def result_from_dict(data: dict, validate: bool = True) -> CompilationResult:
         ValueError: on an unknown schema version or malformed payload.
     """
     from repro.core.annealing import AnnealingResult
-    from repro.core.descent import DescentResult, DescentStep
+    from repro.core.descent import DescentResult
     from repro.core.pipeline import CompilationResult
     from repro.core.verify import VerificationReport
-    from repro.sat.solver import SolverStats
 
     version = data.get("result_format_version")
     if version != _RESULT_FORMAT_VERSION:
@@ -161,27 +187,17 @@ def result_from_dict(data: dict, validate: bool = True) -> CompilationResult:
         encoding=encoding_from_dict(descent_data["encoding"], validate=validate),
         weight=descent_data["weight"],
         proved_optimal=descent_data["proved_optimal"],
-        steps=[
-            DescentStep(
-                bound=step["bound"],
-                status=step["status"],
-                achieved_weight=step["achieved_weight"],
-                elapsed_s=step["elapsed_s"],
-                stats=SolverStats(
-                    conflicts=step.get("conflicts", 0),
-                    decisions=step.get("decisions", 0),
-                    propagations=step.get("propagations", 0),
-                    restarts=step.get("restarts", 0),
-                ),
-                repairs=step.get("repairs", 0),
-            )
-            for step in descent_data["steps"]
-        ],
+        steps=[step_from_dict(step) for step in descent_data["steps"]],
         construct_time_s=descent_data["construct_time_s"],
         solve_time_s=descent_data["solve_time_s"],
         preprocess_time_s=descent_data.get("preprocess_time_s", 0.0),
         repairs=descent_data["repairs"],
         strategy=descent_data["strategy"],
+        # resilience fields postdate schema v1 entries; default like any run
+        # that finished cleanly.
+        degraded=descent_data.get("degraded", False),
+        target_bound=descent_data.get("target_bound"),
+        resumed=descent_data.get("resumed", False),
     )
 
     annealing = None
@@ -224,6 +240,7 @@ def result_from_dict(data: dict, validate: bool = True) -> CompilationResult:
         device=data.get("device"),
         hardware=hardware,
         proof=data.get("proof"),
+        degraded=data.get("degraded", False),
     )
 
 

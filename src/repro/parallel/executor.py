@@ -33,6 +33,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
 
+from repro import chaos
 from repro.core.config import FermihedralConfig
 from repro.core.pipeline import FermihedralCompiler
 from repro.hardware import resolve_device
@@ -271,6 +272,7 @@ class ProcessBatchExecutor:
         for index, key, job in pending:
             self._emit(JobStarted(index, total, job.display, key))
             try:
+                chaos.inject("worker.spawn", telemetry=self.telemetry)
                 future = pool.submit(
                     _compile_in_worker, job, key, self._job_config(job), cache_root,
                     self.telemetry is not None,
@@ -283,6 +285,9 @@ class ProcessBatchExecutor:
                     key=key,
                     status="error",
                     error=f"{type(crash).__name__}: {crash}",
+                    # Spawn failures are infrastructure, not the job: the
+                    # next attempt gets a fresh pool.
+                    retryable=True,
                 )
                 outcomes[key] = outcome
                 self._deliver(outcome)
@@ -308,6 +313,11 @@ class ProcessBatchExecutor:
                         key=key,
                         status="error",
                         error=f"{type(crash).__name__}: {crash}",
+                        # A killed worker (broken pool) is worth retrying —
+                        # the replacement pool plus the descent checkpoint
+                        # make the next attempt cheap.  An unpicklable
+                        # result is deterministic; retrying repeats it.
+                        retryable=isinstance(crash, BrokenProcessPool),
                     )
                 if self.telemetry is not None and outcome.telemetry:
                     # Merge the worker's spans and metric deltas into the

@@ -48,6 +48,7 @@ import time
 import warnings
 from dataclasses import dataclass
 
+from repro import chaos
 from repro.sat.cnf import CnfFormula
 from repro.sat.solver import (
     _ACTIVITY_DECAY,
@@ -294,6 +295,9 @@ class PortfolioSolver:
         try:
             context = multiprocessing.get_context()
             for index, strategy in enumerate(self.strategies):
+                # A ChaosFault is a RuntimeError: it walks the same
+                # degrade-to-in-process path a real spawn failure takes.
+                chaos.inject("worker.spawn", telemetry=telemetry)
                 parent_conn, child_conn = context.Pipe()
                 process = context.Process(
                     target=_worker_main,

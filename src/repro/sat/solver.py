@@ -63,6 +63,7 @@ import random
 import time
 from dataclasses import dataclass, field
 
+from repro import chaos
 from repro.sat.cnf import CnfFormula
 
 SAT = "SAT"
@@ -779,6 +780,11 @@ class CdclSolver:
                 satisfiable.  A model returned under assumptions always
                 satisfies them.
         """
+        # One solve call is one descent rung: ``solver.slice`` is the fault
+        # point for dying (or failing) mid-descent.  In kill mode the hit
+        # counter is per-process, so a respawned worker gets a fresh budget
+        # of rungs — exactly what lets a checkpoint-resumed retry converge.
+        chaos.inject("solver.slice", telemetry=self.telemetry)
         start = time.monotonic()
         deadline = None if time_budget_s is None else start + time_budget_s
         self.propagation_count = 0

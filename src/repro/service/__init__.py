@@ -24,9 +24,11 @@ from repro.service.client import (
     JobFailedError,
     ServiceClient,
     ServiceError,
+    WaitTimeout,
     service_url,
 )
 from repro.service.daemon import (
+    DEFAULT_MAX_ATTEMPTS,
     DEFAULT_MAX_RECORDS,
     DEFAULT_QUEUE_LIMIT,
     AmbiguousJobIdError,
@@ -51,6 +53,7 @@ __all__ = [
     "ACTIVE_STATES",
     "AmbiguousJobIdError",
     "CompilationService",
+    "DEFAULT_MAX_ATTEMPTS",
     "DEFAULT_MAX_RECORDS",
     "DEFAULT_PORT",
     "DEFAULT_QUEUE_LIMIT",
@@ -69,5 +72,6 @@ __all__ = [
     "ServiceServer",
     "ServiceStats",
     "ServiceUnavailableError",
+    "WaitTimeout",
     "service_url",
 ]

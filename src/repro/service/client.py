@@ -57,14 +57,47 @@ class ServiceError(RuntimeError):
 
 
 class JobFailedError(ServiceError):
-    """A polled job finished ``failed``; ``record`` is its wire form."""
+    """A polled job finished ``failed``; ``record`` is its wire form.
+
+    ``forensics_path`` points at the failed attempt's flight-recorder
+    dump (:meth:`ServiceClient.forensics` fetches it), so the exception
+    message alone tells an operator where the breadcrumbs are.
+    """
 
     def __init__(self, record: dict):
+        job_id = record.get("id", "?")
         super().__init__(
-            f"job {record.get('id', '?')[:12]} failed: "
-            f"{record.get('error') or 'unknown error'}"
+            f"job {job_id[:12]} failed: "
+            f"{record.get('error') or 'unknown error'} "
+            f"(forensics: GET /jobs/{job_id[:12]}/forensics)"
         )
         self.record = record
+        self.job_id = job_id
+        self.forensics_path = f"/jobs/{job_id}/forensics"
+
+
+class WaitTimeout(ServiceError):
+    """:meth:`ServiceClient.wait` expired before the job finished.
+
+    Distinct from :class:`JobFailedError`: the job is still queued or
+    running server-side — only the client stopped waiting.  ``record``
+    is the last polled wire form.
+    """
+
+    def __init__(self, record: dict, timeout: float):
+        super().__init__(
+            f"timed out after {timeout}s waiting for job "
+            f"{record.get('id', '?')[:12]} (status {record.get('status')})"
+        )
+        self.record = record
+
+
+#: HTTP codes the client treats as transient (retry with backoff).
+_RETRYABLE_HTTP = (429, 503)
+
+#: Never sleep longer than this between request retries, whatever the
+#: server's ``Retry-After`` says.
+_MAX_RETRY_SLEEP_S = 30.0
 
 
 class ServiceClient:
@@ -74,11 +107,24 @@ class ServiceClient:
         base_url: service root (default: ``$REPRO_SERVICE_URL`` or
             ``http://127.0.0.1:8765``).
         timeout: per-request socket timeout in seconds.
+        retries: transparent per-request retries of *transient* failures
+            — connection errors, 429 (queue full) and 503 (draining or a
+            flaky front-end).  ``0`` disables retrying (tests asserting
+            raw backpressure behavior use that).  Submits are safe to
+            retry: job specs are fingerprint-deduplicated server-side,
+            so a retried POST collapses onto the first accepted record.
+        retry_backoff_s: base of the exponential sleep between retries;
+            a server-sent ``Retry-After`` header overrides it (capped).
     """
 
-    def __init__(self, base_url: str | None = None, timeout: float = 10.0):
+    def __init__(self, base_url: str | None = None, timeout: float = 10.0,
+                 retries: int = 2, retry_backoff_s: float = 0.25):
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
         self.base_url = service_url(base_url)
         self.timeout = timeout
+        self.retries = retries
+        self.retry_backoff_s = retry_backoff_s
 
     # -- transport ------------------------------------------------------------
 
@@ -90,26 +136,52 @@ class ServiceClient:
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(
-            url, data=data, headers=headers, method=method
-        )
         if timeout is None:
             timeout = self.timeout
-        try:
-            with urllib.request.urlopen(request, timeout=timeout) as response:
-                body = response.read()
-        except urllib.error.HTTPError as error:
-            raise ServiceError(
-                self._error_message(error), status=error.code
-            ) from None
-        except urllib.error.URLError as error:
-            raise ServiceError(
-                f"service unreachable at {self.base_url}: {error.reason}"
-            ) from None
-        try:
-            return json.loads(body)
-        except json.JSONDecodeError as error:
-            raise ServiceError(f"invalid JSON from {url}: {error}") from None
+        for attempt in range(self.retries + 1):
+            request = urllib.request.Request(
+                url, data=data, headers=headers, method=method
+            )
+            try:
+                with urllib.request.urlopen(request,
+                                            timeout=timeout) as response:
+                    body = response.read()
+            except urllib.error.HTTPError as error:
+                if error.code in _RETRYABLE_HTTP and attempt < self.retries:
+                    self._sleep_before_retry(attempt, error)
+                    continue
+                raise ServiceError(
+                    self._error_message(error), status=error.code
+                ) from None
+            except urllib.error.URLError as error:
+                if attempt < self.retries:
+                    self._sleep_before_retry(attempt)
+                    continue
+                raise ServiceError(
+                    f"service unreachable at {self.base_url}: {error.reason}"
+                ) from None
+            try:
+                return json.loads(body)
+            except json.JSONDecodeError as error:
+                raise ServiceError(
+                    f"invalid JSON from {url}: {error}"
+                ) from None
+        raise AssertionError("unreachable: retry loop always returns/raises")
+
+    def _sleep_before_retry(
+        self, attempt: int, error: "urllib.error.HTTPError | None" = None
+    ) -> None:
+        """Honor the server's ``Retry-After`` when present, otherwise
+        back off exponentially from ``retry_backoff_s``."""
+        delay = self.retry_backoff_s * (2 ** attempt)
+        if error is not None:
+            retry_after = error.headers.get("Retry-After")
+            try:
+                if retry_after is not None:
+                    delay = float(retry_after)
+            except (TypeError, ValueError):
+                pass
+        time.sleep(max(0.0, min(delay, _MAX_RETRY_SLEEP_S)))
 
     @staticmethod
     def _error_message(error: urllib.error.HTTPError) -> str:
@@ -203,9 +275,10 @@ class ServiceClient:
              poll_s: float = 0.25) -> dict:
         """Poll until the job finishes; returns the final record.
 
-        Raises :class:`JobFailedError` when it finished ``failed`` and
-        :class:`ServiceError` on timeout.  Polls without the result
-        payload and fetches it once, on completion.
+        Raises :class:`JobFailedError` (with a forensics pointer) when
+        it finished ``failed`` and :class:`WaitTimeout` when the client
+        gave up first.  Polls without the result payload and fetches it
+        once, on completion.
         """
         deadline = time.monotonic() + timeout
         while True:
@@ -215,10 +288,7 @@ class ServiceClient:
             if record["status"] == "done":
                 return self.job(job_id)
             if time.monotonic() >= deadline:
-                raise ServiceError(
-                    f"timed out after {timeout}s waiting for job "
-                    f"{job_id[:12]} (status {record['status']})"
-                )
+                raise WaitTimeout(record, timeout)
             time.sleep(poll_s)
 
     def result(self, record_or_id: dict | str) -> "CompilationResult":

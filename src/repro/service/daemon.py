@@ -33,6 +33,15 @@ Design points, in the order a submission meets them:
   jobs in flight on the broken pool, and the executor replaces that pool
   before the next dispatch.  Resubmitting a failed key requeues a fresh
   attempt.
+* **Retryable failures are supervised.**  Outcomes whose error names
+  infrastructure rather than the job (a killed worker, a spawn failure —
+  :attr:`repro.store.batch.JobOutcome.retryable`) are requeued
+  automatically with exponential backoff plus deterministic jitter, up
+  to ``max_attempts`` total attempts.  The retried attempt shares the
+  failed one's fingerprint, so it warm-starts from the descent
+  checkpoint its predecessor left in the cache instead of re-proving
+  every bound.  Deterministic failures (a job exception) stay final on
+  the first attempt.
 * **Memory is bounded.**  Finished records beyond ``max_records`` are
   evicted oldest-first (their results live in the cache; resubmitting an
   evicted key is answered as a synchronous cache hit), so a long-lived
@@ -49,6 +58,7 @@ JSON-over-HTTP face on it, and tests drive this class directly.
 
 from __future__ import annotations
 
+import hashlib
 import shutil
 import tempfile
 import threading
@@ -77,6 +87,20 @@ DEFAULT_QUEUE_LIMIT = 64
 #: results themselves; evicted ids just stop answering ``GET /jobs/<id>``).
 DEFAULT_MAX_RECORDS = 4096
 
+#: Default total attempts per job (1 initial + 2 supervised retries).
+DEFAULT_MAX_ATTEMPTS = 3
+
+#: Exponential retry backoff saturates here.
+_RETRY_BACKOFF_CAP_S = 30.0
+
+#: ``Retry-After`` hints never exceed this (seconds).
+_RETRY_AFTER_CAP_S = 300
+
+#: Fraction of ``queue_limit`` above which ``healthz`` reports
+#: ``status: degraded`` (still HTTP 200 — a saturation warning, not an
+#: outage).
+_HEALTH_HIGH_WATER = 0.8
+
 #: Signature of an injectable batch runner (tests use this to count or
 #: sabotage compilations deterministically).
 BatchRunner = Callable[[list[tuple[str, CompileJob]]], "dict[str, JobOutcome]"]
@@ -89,9 +113,18 @@ class ServiceRejection(Exception):
 
 
 class QueueFullError(ServiceRejection):
-    """Backpressure: the active-job bound is reached (HTTP 429)."""
+    """Backpressure: the active-job bound is reached (HTTP 429).
+
+    ``retry_after_s`` is the service's drain-rate estimate of when a slot
+    should free up; the HTTP layer forwards it as a ``Retry-After``
+    header and the client honors it between retries.
+    """
 
     http_status = 429
+
+    def __init__(self, message: str, retry_after_s: float | None = None):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
 
 
 class ServiceUnavailableError(ServiceRejection):
@@ -119,6 +152,8 @@ class ServiceStats:
     cancelled: int = 0
     rejected: int = 0
     evicted: int = 0
+    retried: int = 0
+    degraded: int = 0
 
 
 class CompilationService:
@@ -132,6 +167,13 @@ class CompilationService:
         jobs: worker-process count of the drain pool (= concurrent jobs).
         queue_limit: bound on active (queued + running) jobs.
         max_records: bound on finished records kept in the registry.
+        max_attempts: total attempts per job — 1 means retryable
+            failures are final like any other; N > 1 allows N - 1
+            supervised retries of infrastructure failures.
+        retry_backoff_s: base of the exponential retry backoff (the
+            k-th retry waits ``min(30, base * 2**(k-1))`` seconds plus
+            a deterministic sub-``base`` jitter derived from the job
+            key, so a crashed batch does not thunder back in lockstep).
         default_method / default_device: applied to specs without those
             fields, mirroring ``repro batch``'s CLI defaults.
         use_processes: force the drain engine — ``True`` = the persistent
@@ -154,6 +196,8 @@ class CompilationService:
         jobs: int = 1,
         queue_limit: int = DEFAULT_QUEUE_LIMIT,
         max_records: int = DEFAULT_MAX_RECORDS,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        retry_backoff_s: float = 0.5,
         default_method: str = METHOD_FULL_SAT,
         default_device=None,
         use_processes: bool | None = None,
@@ -166,11 +210,17 @@ class CompilationService:
             raise ValueError("queue_limit must be positive")
         if max_records < 1:
             raise ValueError("max_records must be positive")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be positive")
+        if retry_backoff_s < 0:
+            raise ValueError("retry_backoff_s must be non-negative")
         self.cache = cache
         self.default_config = default_config or FermihedralConfig()
         self.jobs = jobs
         self.queue_limit = queue_limit
         self.max_records = max_records
+        self.max_attempts = max_attempts
+        self.retry_backoff_s = retry_backoff_s
         self.default_method = default_method
         self.default_device = default_device
         self._runner = runner
@@ -190,6 +240,11 @@ class CompilationService:
         #: key -> attempt currently on a worker; guards against a stale
         #: outcome finishing a record that was requeued in the meantime.
         self._inflight: dict[str, int] = {}
+        #: key -> monotonic instant its scheduled retry becomes dispatchable.
+        self._retry_ready: dict[str, float] = {}
+        #: Solver-side durations of recent finishes — the drain-rate
+        #: sample behind the 429 ``Retry-After`` hint.
+        self._recent_finished: deque[float] = deque(maxlen=32)
         #: Jobs in queued/running state (kept exact so submit() never
         #: scans the whole registry).
         self._active_count = 0
@@ -296,8 +351,12 @@ class CompilationService:
             if self._state == "serving":
                 self._state = "draining"
             if not drain:
-                while self._queue:
-                    key = self._queue.popleft()
+                # Queued jobs and backoff-pending retries alike: anything
+                # not yet on a worker is cancelled.
+                pending = list(self._queue) + list(self._retry_ready)
+                self._queue.clear()
+                self._retry_ready.clear()
+                for key in pending:
                     record = self._records[key]
                     self._finish_record(record, JobOutcome(
                         job=record.job, key=key, status="error",
@@ -364,7 +423,8 @@ class CompilationService:
                 self.stats.rejected += 1
                 raise QueueFullError(
                     f"queue full: {self._active_count} active jobs (limit "
-                    f"{self.queue_limit}); retry later"
+                    f"{self.queue_limit}); retry later",
+                    retry_after_s=self._retry_after_hint(),
                 )
             record = self._install(key, job, previous)
             self._queue.append(key)
@@ -407,6 +467,16 @@ class CompilationService:
         self._active_count += 1
         return record
 
+    def _retry_after_hint(self) -> float:
+        """Seconds until a slot plausibly frees up (lock held): the mean
+        recent job duration times how many queue "waves" stand between a
+        new submission and a free worker.  Deliberately coarse — it is a
+        politeness hint for 429 clients, not a promise."""
+        recent = [s for s in self._recent_finished if s > 0]
+        avg = (sum(recent) / len(recent)) if recent else 10.0
+        waves = (self._active_count + self.jobs) // max(self.jobs, 1)
+        return float(min(_RETRY_AFTER_CAP_S, max(1, int(round(avg * waves)))))
+
     def _final_cached(self, job: CompileJob, key: str):
         """A cached result that can answer the submission outright."""
         if self.cache is None:
@@ -426,7 +496,29 @@ class CompilationService:
 
     def _drained(self) -> bool:
         return (self._state != "serving" and not self._queue
-                and self._active_runs == 0)
+                and not self._retry_ready and self._active_runs == 0)
+
+    def _promote_due_retries(self) -> None:
+        """Move retry-scheduled jobs whose backoff has elapsed back onto
+        the dispatch queue (lock held)."""
+        now = time.monotonic()
+        for key in [k for k, ready in self._retry_ready.items()
+                    if ready <= now]:
+            del self._retry_ready[key]
+            record = self._records.get(key)
+            if record is None or record.status != QUEUED:
+                continue  # cancelled or superseded while waiting
+            self._queue.append(key)
+            self._emit_job_event(
+                key, QUEUED, label=record.job.display, retry=record.retries
+            )
+
+    def _next_retry_wait(self) -> float | None:
+        """Seconds until the earliest scheduled retry is due (lock held);
+        ``None`` when nothing is waiting on backoff."""
+        if not self._retry_ready:
+            return None
+        return max(0.0, min(self._retry_ready.values()) - time.monotonic())
 
     def _drain_loop(self) -> None:
         """Hand one queued job to each free worker slot as both appear.
@@ -436,8 +528,11 @@ class CompilationService:
         """
         while True:
             with self._wake:
-                while not self._can_dispatch() and not self._drained():
-                    self._wake.wait()
+                while True:
+                    self._promote_due_retries()
+                    if self._can_dispatch() or self._drained():
+                        break
+                    self._wake.wait(self._next_retry_wait())
                 if self._drained():
                     self._state = "stopped"
                     self._wake.notify_all()
@@ -528,6 +623,9 @@ class CompilationService:
             del self._inflight[outcome.key]
             if outcome.telemetry and outcome.telemetry.get("events"):
                 self._traces[outcome.key] = outcome.telemetry["events"]
+            if self._should_retry(record, outcome):
+                self._schedule_retry(record, outcome)
+                return
             if outcome.forensics:
                 self._forensics[outcome.key] = outcome.forensics
             elif outcome.status == "error":
@@ -544,14 +642,67 @@ class CompilationService:
                 }
             self._finish_record(record, outcome)
 
+    def _should_retry(self, record: JobRecord, outcome: JobOutcome) -> bool:
+        """Retry exactly the failures that blame infrastructure (lock
+        held): the outcome opted in via ``retryable``, the service is
+        still accepting work, and the attempt budget is not spent."""
+        return (
+            outcome.status == "error"
+            and outcome.retryable
+            and self._state == "serving"
+            and record.retries + 1 < self.max_attempts
+        )
+
+    def _schedule_retry(self, record: JobRecord, outcome: JobOutcome) -> None:
+        """Requeue a retryably-failed record with backoff (lock held).
+        The record stays active (it still occupies queue capacity) and
+        its attempt generation is bumped, so any stale outcome from the
+        dead attempt is ignored."""
+        record.retries += 1
+        record.attempt += 1
+        record.status = QUEUED
+        record.started_at = None
+        delay = self._retry_delay(record.id, record.retries)
+        self._retry_ready[record.id] = time.monotonic() + delay
+        self.stats.retried += 1
+        self.telemetry.counter(
+            "repro_service_retries_total",
+            "supervised retries of retryably-failed jobs",
+        ).inc()
+        self._emit_job_event(
+            record.id, "retrying", label=record.job.display,
+            attempt=record.retries + 1, delay_s=round(delay, 3),
+            error=outcome.error,
+        )
+        self._wake.notify_all()
+
+    def _retry_delay(self, key: str, retries: int) -> float:
+        """Exponential backoff plus deterministic per-(key, attempt)
+        jitter — reproducible in tests, desynchronized in production."""
+        base = min(_RETRY_BACKOFF_CAP_S,
+                   self.retry_backoff_s * (2 ** (retries - 1)))
+        digest = hashlib.sha256(f"{key}:{retries}".encode()).hexdigest()
+        jitter = (int(digest[:8], 16) / 0xFFFFFFFF) * self.retry_backoff_s
+        return base + jitter
+
     def _finish_record(self, record: JobRecord, outcome: JobOutcome) -> None:
         """Terminal transition + counters + eviction (lock held)."""
         record.apply_outcome(outcome, finished_at=time.time())
         self._active_count -= 1
+        self._retry_ready.pop(record.id, None)
+        if outcome.elapsed_s > 0:
+            self._recent_finished.append(outcome.elapsed_s)
         if record.status == FAILED:
             self.stats.failed += 1
         else:
             self.stats.completed += 1
+            if outcome.status == "degraded":
+                self.stats.degraded += 1
+                self.telemetry.counter(
+                    "repro_service_degraded_total",
+                    "jobs that finished degraded (deadline expired "
+                    "mid-descent, best-so-far result returned)",
+                ).inc()
         self._finished_order.append((record.id, record.attempt))
         self._emit_job_event(
             record.id, record.status, label=record.job.display,
@@ -701,6 +852,8 @@ class CompilationService:
             "elapsed_s": 0.0,
             "weight": info.weight,
             "proved_optimal": info.proved_optimal,
+            "retries": 0,
+            "degraded": False,
             "source": "cache",
         }
         if include_result:
@@ -829,8 +982,14 @@ class CompilationService:
 
     def healthz(self) -> dict:
         counts = self.counts()
+        active = counts.get(QUEUED, 0) + counts.get(RUNNING, 0)
+        high_water = max(1, int(_HEALTH_HIGH_WATER * self.queue_limit))
         return {
             "ok": self._state != "stopped",
+            # "degraded" above the high-water mark is a saturation
+            # warning for load balancers — still HTTP 200, still serving.
+            "status": ("stopped" if self._state == "stopped"
+                       else "degraded" if active >= high_water else "ok"),
             "state": self._state,
             "uptime_s": time.time() - self.started_at,
             "queued": counts.get(QUEUED, 0),
@@ -871,6 +1030,8 @@ class CompilationService:
                 "cancelled": stats.cancelled,
                 "rejected": stats.rejected,
                 "evicted": stats.evicted,
+                "retried": stats.retried,
+                "degraded": stats.degraded,
             },
             "cache": cache,
         }

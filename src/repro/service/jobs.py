@@ -7,12 +7,18 @@ method, device shape — are handed the *same* record and the compile runs
 once.  Records move through a tiny state machine::
 
     queued ──► running ──► done
-                   │
-                   └─────► failed      (resubmitting a failed key requeues it)
+      ▲            │
+      │            ├─────► failed      (resubmitting a failed key requeues it)
+      └────────────┘
+        retrying: a *retryable* error (worker killed, spawn failure) is
+        requeued by the daemon with backoff until ``max_attempts``; the
+        retried attempt warm-starts from the descent checkpoint.
 
 ``done``/``failed`` carry the terminal :mod:`repro.store.batch` outcome
-status (``compiled`` / ``warm-start`` / ``cache-hit`` / ``error``), so
-the wire format exposes both *where* a job is and *how* it got there.
+status (``compiled`` / ``warm-start`` / ``cache-hit`` / ``degraded`` /
+``error``), so the wire format exposes both *where* a job is and *how*
+it got there.  ``degraded`` is a ``done`` job whose deadline expired
+mid-descent — the result is the valid best encoding found in time.
 
 The wire form of a finished record embeds the full result under the
 versioned result schema of :mod:`repro.encodings.serialization` — the
@@ -87,6 +93,10 @@ class JobRecord:
     #: Dispatch generation — bumped when a failed record is requeued, so
     #: a stale outcome from a superseded attempt cannot finish the fresh one.
     attempt: int = field(default=0)
+    #: Supervised-retry count: how many times the daemon requeued this
+    #: record after a retryable failure (distinct from ``attempt``, which
+    #: also counts client resubmissions of a failed key).
+    retries: int = field(default=0)
 
     @property
     def finished(self) -> bool:
@@ -124,6 +134,9 @@ class JobRecord:
             "elapsed_s": self.elapsed_s,
             "weight": None if result is None else result.weight,
             "proved_optimal": None if result is None else result.proved_optimal,
+            "retries": self.retries,
+            "degraded": False if result is None
+            else getattr(result, "degraded", False),
         }
         if include_result and result is not None:
             from repro.encodings.serialization import result_to_dict

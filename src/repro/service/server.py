@@ -4,7 +4,9 @@ Endpoints::
 
     POST /jobs            submit a job spec; 200 with the job record
                           (``deduplicated`` flags a collapsed submission),
-                          400 malformed spec, 429 queue full, 503 draining
+                          400 malformed spec, 429 queue full (with a
+                          ``Retry-After`` hint derived from the measured
+                          drain rate), 503 draining
     GET  /jobs            all job summaries (no result payloads)
     GET  /jobs/<id>       one record, full result included once done
                           (``?result=0`` omits it); any unique id prefix;
@@ -20,7 +22,9 @@ Endpoints::
     GET  /events          the progress event feed; ``?since=<seq>``
                           resumes from a cursor, ``?timeout=<s>``
                           long-polls (capped) for the first new event
-    GET  /healthz         liveness + queue depth
+    GET  /healthz         liveness + queue depth; ``status`` turns
+                          ``degraded`` (still 200) above the high-water
+                          mark so balancers can shed load early
     GET  /stats           counters, per-state tallies, cache stats
     GET  /metrics         the telemetry registry, Prometheus text format
     GET  /debug/trace/<id>  a finished job's span events (JSON)
@@ -38,10 +42,12 @@ clients never parse HTML tracebacks.
 from __future__ import annotations
 
 import json
+import math
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs
 
+from repro import chaos
 from repro.service.daemon import CompilationService, ServiceRejection
 
 #: Default port of ``repro serve`` / ``repro submit``.
@@ -125,16 +131,34 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
     def service(self) -> CompilationService:
         return self.server.service
 
-    def _send_json(self, payload: dict, status: int = 200) -> None:
+    def _send_json(self, payload: dict, status: int = 200,
+                   headers: dict | None = None) -> None:
         body = json.dumps(payload).encode("utf-8") + b"\n"
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error_json(self, message: str, status: int) -> None:
-        self._send_json({"error": message}, status=status)
+    def _send_error_json(self, message: str, status: int,
+                         retry_after_s: float | None = None) -> None:
+        headers = None
+        if retry_after_s is not None:
+            headers = {"Retry-After": str(int(math.ceil(retry_after_s)))}
+        self._send_json({"error": message}, status=status, headers=headers)
+
+    def _chaos_tripped(self) -> bool:
+        """The ``http.handler`` fault point: a tripped request answers
+        503 + ``Retry-After: 1`` — the shape of a transient front-end
+        failure, which the client's retry loop is expected to absorb."""
+        try:
+            chaos.inject("http.handler", telemetry=self.service.telemetry)
+        except chaos.ChaosFault as fault:
+            self._send_error_json(str(fault), 503, retry_after_s=1)
+            return True
+        return False
 
     def _send_text(self, text: str, status: int = 200) -> None:
         body = text.encode("utf-8")
@@ -166,6 +190,8 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
     # -- routes ---------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        if self._chaos_tripped():
+            return
         path, _, query = self.path.partition("?")
         if path == "/healthz":
             self._send_json(self.service.healthz())
@@ -276,6 +302,8 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         self._send_json(payload)
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        if self._chaos_tripped():
+            return
         path = self.path.partition("?")[0]
         if path == "/jobs":
             self._post_job()
@@ -291,7 +319,10 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         try:
             record, deduplicated = self.service.submit(spec)
         except ServiceRejection as rejection:
-            self._send_error_json(str(rejection), rejection.http_status)
+            self._send_error_json(
+                str(rejection), rejection.http_status,
+                retry_after_s=getattr(rejection, "retry_after_s", None),
+            )
             return
         except (ValueError, TypeError) as error:
             # TypeError covers wrong-typed (but valid-JSON) spec fields

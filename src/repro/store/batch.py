@@ -31,6 +31,7 @@ from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 
+from repro import chaos
 from repro.core.config import (
     COMPILE_METHODS,
     METHOD_ANNEALING,
@@ -48,15 +49,19 @@ from repro.store.cache import CompilationCache
 from repro.store.fingerprint import compilation_key
 from repro.telemetry.flight import FlightRecorder
 
-#: Job statuses a :class:`BatchReport` can contain.
-JOB_STATUSES = ("compiled", "warm-start", "cache-hit", "deduplicated", "error")
+#: Job statuses a :class:`BatchReport` can contain.  ``degraded`` is a
+#: *successful* status: the job's wall-clock deadline expired and the
+#: best-so-far encoding was returned instead of an error.
+JOB_STATUSES = (
+    "compiled", "warm-start", "cache-hit", "deduplicated", "degraded", "error",
+)
 
-#: Chaos knob for operational drills: when this environment variable is
-#: set and its value is a substring of a job's *label*, the execution
-#: body raises before compiling — a deterministic way to produce a
-#: genuinely failed job (and exercise the flight-recorder path) without
-#: corrupting inputs.  Workers inherit it through fork.  Off by default.
-CHAOS_ENV = "REPRO_CHAOS_FAIL"
+#: Legacy chaos knob (pre-``repro.chaos``): when this environment
+#: variable is set and its value is a substring of a job's *label*, the
+#: execution body raises before compiling.  Kept as a back-compat shim —
+#: structured drills use :data:`repro.chaos.CHAOS_ENV` and its named
+#: fault points instead.  Workers inherit either through fork.
+CHAOS_ENV = chaos.LEGACY_CHAOS_ENV
 
 #: Accepted spellings of the compile methods in job specs — the CLI's
 #: ``--method``, batch job files, and the service wire format all share
@@ -71,10 +76,10 @@ METHOD_SPELLINGS = {
 #: Fields a job spec may carry; anything else is a typo in strict mode.
 JOB_SPEC_KEYS = ("model", "modes", "method", "seed", "label", "device", "config")
 
-#: Keys of the optional per-job ``config`` override object.  ``proof`` is
-#: an execution-only field (excluded from cache fingerprints), so asking
-#: for a certificate never forks the cache key of an otherwise identical
-#: job.
+#: Keys of the optional per-job ``config`` override object.  ``proof``
+#: and ``deadline_s`` are execution-only fields (excluded from cache
+#: fingerprints), so asking for a certificate or a deadline never forks
+#: the cache key of an otherwise identical job.
 CONFIG_SPEC_KEYS = (
     "algebraic_independence",
     "vacuum_preservation",
@@ -83,6 +88,7 @@ CONFIG_SPEC_KEYS = (
     "budget_s",
     "max_conflicts",
     "proof",
+    "deadline_s",
 )
 
 
@@ -105,7 +111,7 @@ def config_from_spec(
             f"unknown config field(s) {', '.join(unknown)}; "
             f"expected a subset of {CONFIG_SPEC_KEYS}"
         )
-    for name in ("budget_s", "max_conflicts"):
+    for name in ("budget_s", "max_conflicts", "deadline_s"):
         value = data.get(name)
         if value is None:
             continue
@@ -131,6 +137,7 @@ def config_from_spec(
         strategy=data.get("strategy", base.strategy),
         budget=budget,
         proof=bool(data.get("proof", base.proof)),
+        deadline_s=data.get("deadline_s", base.deadline_s),
     )
 
 
@@ -321,6 +328,12 @@ class JobOutcome:
     cache_error: str | None = None
     telemetry: dict | None = None
     forensics: dict | None = None
+    #: An ``error`` outcome that names infrastructure, not the job: the
+    #: worker died or could not spawn, so the same job may well succeed on
+    #: a fresh attempt.  The service daemon's supervised-retry policy
+    #: requeues only these; deterministic failures (bad spec, solver
+    #: exception) stay final.
+    retryable: bool = False
 
 
 @dataclass
@@ -410,12 +423,8 @@ def run_compile_job(
                    if progress is not None else nullcontext())
     try:
         with job_context:
-            chaos = os.environ.get(CHAOS_ENV)
-            if chaos and chaos in (job.label or ""):
-                raise RuntimeError(
-                    f"chaos fault injected: label {job.label!r} matches "
-                    f"{CHAOS_ENV}={chaos!r}"
-                )
+            chaos.inject("job.run", telemetry=telemetry)
+            chaos.legacy_job_fault(job.label, telemetry=telemetry)
             compiler = FermihedralCompiler(
                 job.modes, config, cache=cache, device=job.device,
                 telemetry=telemetry,
@@ -431,6 +440,8 @@ def run_compile_job(
             "hit": "cache-hit",
             "warm-start": "warm-start",
         }.get(compiler.last_cache_status, "compiled")
+        if result.degraded and status != "cache-hit":
+            status = "degraded"
         return JobOutcome(
             job=job,
             key=key,

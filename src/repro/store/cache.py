@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterator
 
+from repro import chaos
 from repro.store.fingerprint import compilation_key
 
 if TYPE_CHECKING:  # pragma: no cover - type hints only
@@ -51,6 +52,12 @@ _ENTRY_FORMAT_VERSION = 1
 #: proof describes one concrete refutation, and a result entry points at
 #: it through ``CompilationResult.proof["sha256"]``).
 _PROOFS_DIR = "proofs"
+
+#: Subdirectory of the cache root holding descent checkpoints, keyed by
+#: job fingerprint.  A checkpoint is transient execution state (rung
+#: progress of one in-flight descent), not a result: it is excluded from
+#: entry listings and overwritten in place as the descent advances.
+_CHECKPOINTS_DIR = "checkpoints"
 
 #: Age (seconds) after which an orphaned ``.tmp`` writer file is fair game
 #: for gc; any live put() completes in well under this.
@@ -189,6 +196,10 @@ class CompilationCache:
         """On-disk location of a proof artifact (whether or not it exists)."""
         return self.root / _PROOFS_DIR / f"{sha}.json"
 
+    def checkpoint_path(self, key: str) -> Path:
+        """On-disk location of a key's descent checkpoint (if any)."""
+        return self.root / _CHECKPOINTS_DIR / f"{key}.json"
+
     # -- read side ------------------------------------------------------------
 
     def _decode_entry(self, path: Path, key: str) -> CompilationResult:
@@ -212,7 +223,17 @@ class CompilationCache:
         as misses; ``gc()`` removes them.
         """
         path = self.path_for(key)
-        if not path.exists():
+        try:
+            chaos.inject("cache.read", telemetry=self.telemetry)
+            exists = path.exists()
+        except OSError:
+            # An unreadable store (injected or real) degrades to a miss:
+            # the pipeline recomputes instead of failing the job.
+            with self._lock:
+                self.stats.misses += 1
+            self._tele_request("miss")
+            return None
+        if not exists:
             with self._lock:
                 self.stats.misses += 1
             self._tele_request("miss")
@@ -254,30 +275,19 @@ class CompilationCache:
 
     # -- write side -----------------------------------------------------------
 
-    def put(self, key: str, result: CompilationResult) -> Path:
-        """Persist a result under ``key`` atomically; returns the entry path."""
-        from repro.encodings.serialization import result_to_dict
+    @staticmethod
+    def _atomic_write(path: Path, text: str, prefix: str) -> None:
+        """Write ``text`` to ``path`` atomically (temp + ``os.replace``).
 
-        entry = {
-            "entry_format_version": _ENTRY_FORMAT_VERSION,
-            "key": key,
-            "created_at": time.time(),
-            "job": {
-                "num_modes": result.encoding.num_modes,
-                "method": result.method,
-            },
-            "result": result_to_dict(result),
-        }
-        path = self.path_for(key)
-        text = json.dumps(entry, indent=2) + "\n"
-        # One retry: a concurrent cleanup may remove the shard directory
-        # between mkdir and the write/replace below; recreating it once
-        # closes that race (a second removal mid-retry is a real error).
+        One retry: a concurrent cleanup may remove the parent directory
+        between mkdir and the write/replace below; recreating it once
+        closes that race (a second removal mid-retry is a real error).
+        """
         for attempt in (0, 1):
             path.parent.mkdir(parents=True, exist_ok=True)
             try:
                 handle, temp_name = tempfile.mkstemp(
-                    dir=path.parent, prefix=f".{key[:8]}.", suffix=".tmp"
+                    dir=path.parent, prefix=f".{prefix}.", suffix=".tmp"
                 )
             except FileNotFoundError:
                 if attempt == 0:
@@ -298,6 +308,24 @@ class CompilationCache:
                 except OSError:
                     pass
                 raise
+
+    def put(self, key: str, result: CompilationResult) -> Path:
+        """Persist a result under ``key`` atomically; returns the entry path."""
+        from repro.encodings.serialization import result_to_dict
+
+        chaos.inject("cache.write", telemetry=self.telemetry)
+        entry = {
+            "entry_format_version": _ENTRY_FORMAT_VERSION,
+            "key": key,
+            "created_at": time.time(),
+            "job": {
+                "num_modes": result.encoding.num_modes,
+                "method": result.method,
+            },
+            "result": result_to_dict(result),
+        }
+        path = self.path_for(key)
+        self._atomic_write(path, json.dumps(entry, indent=2) + "\n", key[:8])
         with self._lock:
             self.stats.stores += 1
         if self.telemetry is not None:
@@ -318,31 +346,7 @@ class CompilationCache:
         sha = trace.sha256()
         path = self.proof_path(sha)
         text = json.dumps(trace.to_dict(), sort_keys=True) + "\n"
-        for attempt in (0, 1):
-            path.parent.mkdir(parents=True, exist_ok=True)
-            try:
-                handle, temp_name = tempfile.mkstemp(
-                    dir=path.parent, prefix=f".{sha[:8]}.", suffix=".tmp"
-                )
-            except FileNotFoundError:
-                if attempt == 0:
-                    continue
-                raise
-            try:
-                with os.fdopen(handle, "w") as stream:
-                    stream.write(text)
-                os.replace(temp_name, path)
-                break
-            except FileNotFoundError:
-                if attempt == 0:
-                    continue
-                raise
-            except BaseException:
-                try:
-                    os.unlink(temp_name)
-                except OSError:
-                    pass
-                raise
+        self._atomic_write(path, text, sha[:8])
         return sha, path
 
     def get_proof(self, sha: str) -> "ProofTrace | None":
@@ -373,14 +377,48 @@ class CompilationCache:
             return []
         return sorted(path.stem for path in proofs.glob("*.json"))
 
+    # -- descent checkpoints ---------------------------------------------------
+
+    def put_checkpoint(self, key: str, data: dict) -> Path:
+        """Persist a descent checkpoint document for ``key`` atomically.
+
+        Overwrites any previous checkpoint for the key — only the latest
+        rung state matters.  Raises ``OSError`` on failure; callers
+        (:class:`repro.core.checkpoint.CacheCheckpointSink`) treat that as
+        best-effort and keep solving.
+        """
+        chaos.inject("checkpoint.write", telemetry=self.telemetry)
+        path = self.checkpoint_path(key)
+        self._atomic_write(path, json.dumps(data) + "\n", key[:8])
+        return path
+
+    def get_checkpoint(self, key: str) -> dict | None:
+        """Load a key's descent checkpoint document; ``None`` on miss or
+        corruption (a bad checkpoint just means a cold start)."""
+        path = self.checkpoint_path(key)
+        try:
+            data = json.loads(path.read_text())
+        except OSError:
+            return None
+        except ValueError:
+            return None
+        return data if isinstance(data, dict) else None
+
+    def clear_checkpoint(self, key: str) -> None:
+        """Drop a key's checkpoint (after the descent completed)."""
+        try:
+            self.checkpoint_path(key).unlink()
+        except OSError:
+            pass
+
     # -- maintenance ----------------------------------------------------------
 
     def _entry_paths(self) -> Iterator[Path]:
         if not self.root.is_dir():
             return
         for shard in sorted(self.root.iterdir()):
-            if not shard.is_dir() or shard.name == _PROOFS_DIR:
-                continue  # proof artifacts are not result entries
+            if not shard.is_dir() or shard.name in (_PROOFS_DIR, _CHECKPOINTS_DIR):
+                continue  # proof/checkpoint artifacts are not result entries
             yield from sorted(shard.glob("*.json"))
 
     def _info_for(self, path: Path) -> CacheEntryInfo | None:

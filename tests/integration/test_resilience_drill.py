@@ -1,0 +1,80 @@
+"""End-to-end resilience drills against the real service stack.
+
+These run the whole machine — daemon, process pool, cache, checkpoint
+store — under injected faults: a worker SIGKILLed mid-descent must be
+retried and resume from its checkpoint; an expired deadline must return
+a valid best-so-far encoding marked degraded, never an error.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro import chaos
+from repro.core.verify import verify_encoding
+from repro.service import CompilationService
+from repro.store import CompilationCache
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="worker-kill drill needs fork-based process pools",
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_chaos():
+    chaos.reset()
+    yield
+    chaos.reset()
+
+
+@needs_fork
+def test_killed_worker_retries_and_resumes_from_checkpoint(
+    tmp_path, monkeypatch
+):
+    # Every attempt's worker completes exactly one descent rung (and its
+    # checkpoint write) before the chaos engine SIGKILLs it, so each
+    # supervised retry must resume one rung further — the job converges
+    # if and only if checkpoint/resume actually works.
+    monkeypatch.setenv(chaos.CHAOS_ENV, "solver.slice=after:1:kill")
+    chaos.reset()
+    service = CompilationService(
+        cache=CompilationCache(tmp_path), jobs=2,
+        max_attempts=4, retry_backoff_s=0.01,
+    )
+    service.start()
+    try:
+        record, _ = service.submit({"modes": 3, "method": "independent"})
+        final = service.wait_for(record.id, timeout=120.0)
+        assert final.status == "done"
+        assert final.retries >= 1          # at least one worker was killed
+        assert service.stats.retried >= 1
+        result = final.result
+        assert result.proved_optimal
+        assert result.weight == 11         # the known n=3 optimum
+        assert result.descent.resumed      # the winning attempt warm-started
+        assert verify_encoding(result.encoding).valid
+        # The proved run cleared its checkpoint behind itself.
+        assert not service.cache.checkpoint_path(record.id).exists()
+    finally:
+        service.shutdown(drain=False, wait=True)
+
+
+def test_deadline_job_degrades_gracefully_over_the_service(tmp_path):
+    service = CompilationService(cache=CompilationCache(tmp_path), jobs=1)
+    service.start()
+    try:
+        record, _ = service.submit({
+            "modes": 4, "method": "independent",
+            "config": {"deadline_s": 1e-6},
+        })
+        final = service.wait_for(record.id, timeout=60.0)
+        assert final.status == "done"      # degradation is not a failure
+        result = final.result
+        assert result.degraded
+        assert not result.proved_optimal
+        assert verify_encoding(result.encoding).valid
+        assert service.stats.degraded == 1
+        assert service.lookup_wire(record.id)["degraded"] is True
+    finally:
+        service.shutdown(drain=False, wait=True)

@@ -1,0 +1,294 @@
+"""Supervised retries, backpressure hints, and client-side resilience.
+
+Runner-injected daemon tests pin the retry policy down deterministically;
+the HTTP tests at the bottom run the real socket path (Retry-After
+headers, the ``http.handler`` chaos point, typed wait exceptions).
+"""
+
+import dataclasses
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import chaos
+from repro.service import (
+    CompilationService,
+    JobFailedError,
+    QueueFullError,
+    ServiceClient,
+    ServiceError,
+    ServiceServer,
+    WaitTimeout,
+)
+from tests.service.helpers import compiled_outcome
+
+
+def _spec(modes=2, **extra):
+    return {"modes": modes, "method": "independent", **extra}
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_chaos():
+    chaos.reset()
+    yield
+    chaos.reset()
+
+
+class _FlakyRunner:
+    """Fails each key's first ``failures`` attempts, then succeeds.
+
+    ``retryable`` controls whether the induced failures advertise
+    themselves as infrastructure (worth retrying) or deterministic.
+    """
+
+    def __init__(self, failures: int = 1, retryable: bool = True):
+        self.failures = failures
+        self.retryable = retryable
+        self.attempts: dict[str, int] = {}
+
+    def __call__(self, batch):
+        outcomes = {}
+        for key, job in batch:
+            seen = self.attempts.get(key, 0) + 1
+            self.attempts[key] = seen
+            if seen <= self.failures:
+                outcome = compiled_outcome(
+                    key, job, status="error",
+                    error=f"induced infrastructure failure #{seen}",
+                )
+                outcomes[key] = dataclasses.replace(
+                    outcome, retryable=self.retryable
+                )
+            else:
+                outcomes[key] = compiled_outcome(key, job)
+        return outcomes
+
+
+def _service(runner, **kwargs) -> CompilationService:
+    service = CompilationService(runner=runner, retry_backoff_s=0.01,
+                                 **kwargs)
+    service.start()
+    return service
+
+
+class TestSupervisedRetries:
+    def test_retryable_failure_is_requeued_and_succeeds(self):
+        runner = _FlakyRunner(failures=1)
+        service = _service(runner)
+        record, _ = service.submit(_spec())
+        final = service.wait_for(record.id, timeout=10.0)
+        assert final.status == "done"
+        assert final.retries == 1
+        assert final.attempt == 1  # the retry bumped the generation
+        assert runner.attempts[record.id] == 2
+        assert service.stats.retried == 1
+        assert service.stats.failed == 0
+        # The lifecycle is visible on the event feed.
+        events = service.events_wire()["events"]
+        assert any(e.get("kind") == "job" and e.get("state") == "retrying"
+                   for e in events)
+        service.shutdown(wait=True)
+
+    def test_attempts_are_bounded(self):
+        runner = _FlakyRunner(failures=99)
+        service = _service(runner, max_attempts=3)
+        record, _ = service.submit(_spec())
+        final = service.wait_for(record.id, timeout=10.0)
+        assert final.status == "failed"
+        assert final.retries == 2  # 3 attempts total
+        assert runner.attempts[record.id] == 3
+        assert service.stats.retried == 2
+        assert service.stats.failed == 1
+        service.shutdown(wait=True)
+
+    def test_non_retryable_failure_fails_immediately(self):
+        runner = _FlakyRunner(failures=99, retryable=False)
+        service = _service(runner)
+        record, _ = service.submit(_spec())
+        final = service.wait_for(record.id, timeout=10.0)
+        assert final.status == "failed"
+        assert final.retries == 0
+        assert runner.attempts[record.id] == 1
+        assert service.stats.retried == 0
+        service.shutdown(wait=True)
+
+    def test_max_attempts_one_disables_retries(self):
+        runner = _FlakyRunner(failures=1)
+        service = _service(runner, max_attempts=1)
+        record, _ = service.submit(_spec())
+        assert service.wait_for(record.id, timeout=10.0).status == "failed"
+        assert runner.attempts[record.id] == 1
+        service.shutdown(wait=True)
+
+    def test_retry_delay_is_deterministic_and_grows(self):
+        service = CompilationService(runner=_FlakyRunner(),
+                                     retry_backoff_s=0.5)
+        first = service._retry_delay("somekey", 1)
+        assert first == service._retry_delay("somekey", 1)
+        assert 0.5 <= first <= 1.0
+        assert service._retry_delay("somekey", 2) >= 1.0
+        # Jitter desynchronizes distinct keys.
+        assert service._retry_delay("otherkey", 1) != first
+
+    def test_shutdown_without_drain_cancels_pending_retries(self):
+        # A huge backoff parks the retry; shutdown must not wait it out.
+        runner = _FlakyRunner(failures=99)
+        service = CompilationService(runner=runner, retry_backoff_s=60.0)
+        service.start()
+        record, _ = service.submit(_spec())
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if service.get(record.id).retries >= 1:
+                break
+            time.sleep(0.02)
+        else:
+            pytest.fail("job never reached its first retry")
+        service.shutdown(drain=False, wait=True)
+        final = service.get(record.id)
+        assert final.status == "failed"
+        assert "cancelled" in final.error
+        assert service.stats.cancelled == 1
+
+    def test_retries_surface_on_the_wire_form(self):
+        runner = _FlakyRunner(failures=1)
+        service = _service(runner)
+        record, _ = service.submit(_spec())
+        service.wait_for(record.id, timeout=10.0)
+        wire = service.lookup_wire(record.id)
+        assert wire["retries"] == 1
+        assert wire["degraded"] is False
+        assert service.stats_wire()["counters"]["retried"] == 1
+        service.shutdown(wait=True)
+
+
+class TestBackpressureHints:
+    def test_queue_full_error_carries_retry_after(self):
+        gate = threading.Event()
+
+        def runner(batch):
+            assert gate.wait(30.0)
+            return {k: compiled_outcome(k, j) for k, j in batch}
+
+        service = _service(runner, queue_limit=1)
+        service.submit(_spec(2))
+        with pytest.raises(QueueFullError) as excinfo:
+            service.submit(_spec(3))
+        assert excinfo.value.retry_after_s >= 1.0
+        gate.set()
+        service.shutdown(wait=True)
+
+    def test_healthz_degrades_above_high_water(self):
+        gate = threading.Event()
+
+        def runner(batch):
+            assert gate.wait(30.0)
+            return {k: compiled_outcome(k, j) for k, j in batch}
+
+        service = _service(runner, queue_limit=4)
+        assert service.healthz()["status"] == "ok"
+        for modes in (1, 2, 3, 4):
+            service.submit(_spec(modes))
+        health = service.healthz()
+        assert health["status"] == "degraded"
+        assert health["ok"] is True  # degraded is a warning, not an outage
+        gate.set()
+        service.shutdown(wait=True)
+
+
+@pytest.fixture
+def serve():
+    """Factory: server + default (retrying) client; cleans up on exit."""
+    started = []
+
+    def _serve(service: CompilationService, **client_kwargs) -> ServiceClient:
+        service.start()
+        server = ServiceServer(("127.0.0.1", 0), service)
+        thread = threading.Thread(target=server.serve_until_stopped,
+                                  daemon=True)
+        thread.start()
+        started.append((service, server, thread))
+        client_kwargs.setdefault("timeout", 10.0)
+        client_kwargs.setdefault("retry_backoff_s", 0.05)
+        return ServiceClient(server.url, **client_kwargs)
+
+    yield _serve
+    for service, server, thread in started:
+        service.shutdown(drain=False)
+        server.shutdown()
+        thread.join(timeout=10.0)
+        server.server_close()
+
+
+def _stub_runner(batch):
+    return {key: compiled_outcome(key, job) for key, job in batch}
+
+
+class TestHttpResilience:
+    def test_429_response_carries_retry_after_header(self, serve):
+        gate = threading.Event()
+
+        def runner(batch):
+            assert gate.wait(30.0)
+            return _stub_runner(batch)
+
+        client = serve(CompilationService(runner=runner, queue_limit=1),
+                       retries=0)
+        client.submit(_spec(2))
+        request = urllib.request.Request(
+            f"{client.base_url}/jobs",
+            data=b'{"modes": 3, "method": "independent"}',
+            headers={"Content-Type": "application/json"}, method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10.0)
+        assert excinfo.value.code == 429
+        assert int(excinfo.value.headers["Retry-After"]) >= 1
+        gate.set()
+
+    def test_client_absorbs_transient_handler_faults(self, serve):
+        client = serve(CompilationService(runner=_stub_runner), retries=2)
+        chaos.configure("http.handler=once")
+        # First request hits the tripped handler (503 + Retry-After: 1);
+        # the client retries and lands on a healthy one.
+        assert client.healthz()["ok"] is True
+
+    def test_client_without_retries_sees_the_fault(self, serve):
+        client = serve(CompilationService(runner=_stub_runner), retries=0)
+        chaos.configure("http.handler=once")
+        with pytest.raises(ServiceError) as excinfo:
+            client.healthz()
+        assert excinfo.value.status == 503
+        assert "chaos fault injected" in str(excinfo.value)
+
+    def test_wait_timeout_is_typed(self, serve):
+        gate = threading.Event()
+
+        def runner(batch):
+            assert gate.wait(30.0)
+            return _stub_runner(batch)
+
+        client = serve(CompilationService(runner=runner))
+        record = client.submit(_spec())
+        with pytest.raises(WaitTimeout) as excinfo:
+            client.wait(record["id"], timeout=0.3, poll_s=0.05)
+        assert excinfo.value.record["status"] in ("queued", "running")
+        gate.set()
+
+    def test_job_failed_error_points_at_forensics(self, serve):
+        def runner(batch):
+            return {
+                key: compiled_outcome(key, job, status="error",
+                                      error="BoomError: induced")
+                for key, job in batch
+            }
+
+        client = serve(CompilationService(runner=runner, max_attempts=1))
+        record = client.submit(_spec())
+        with pytest.raises(JobFailedError) as excinfo:
+            client.wait(record["id"], timeout=10.0)
+        assert "forensics" in str(excinfo.value)
+        assert excinfo.value.forensics_path == \
+            f"/jobs/{record['id']}/forensics"

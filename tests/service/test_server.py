@@ -34,7 +34,9 @@ def serve():
         thread = threading.Thread(target=server.serve_until_stopped, daemon=True)
         thread.start()
         started.append((service, server, thread))
-        return ServiceClient(server.url, timeout=10.0)
+        # retries=0: these tests assert the raw protocol (a 429 must
+        # surface as a 429, not be absorbed by the client's retry loop).
+        return ServiceClient(server.url, timeout=10.0, retries=0)
 
     yield _serve
     for service, server, thread in started:

@@ -282,7 +282,7 @@ class TestCompilerIntegration:
         real_descend = pipeline_module.descend
 
         def _spy(num_modes, config=None, hamiltonian=None, baseline=None,
-                 telemetry=None):
+                 telemetry=None, checkpoint=None):
             seen_baselines.append(baseline)
             return real_descend(
                 num_modes, config=config, hamiltonian=hamiltonian, baseline=baseline
