@@ -10,6 +10,7 @@ Subcommands::
                               [--device ibm-falcon-27]
     python -m repro verify    --encoding-file enc.json
     python -m repro verify-proof ARTIFACT [--dir DIR]
+    python -m repro lint      [PATH ...] [--json|--sarif] [--explain RULE]
     python -m repro batch     jobs.json [--model h2 ...] [--cache DIR]
                               [--device linear-8] [--jobs 4]
     python -m repro cache     {ls,show,gc} [--dir DIR]
@@ -491,6 +492,42 @@ def cmd_trace_show(args) -> int:
     events = read_jsonl(args.file)
     print(render_tree(events))
     return 0
+
+
+def cmd_lint(args) -> int:
+    from repro.lint import (
+        baseline_dict,
+        explain_rule,
+        load_baseline,
+        run_lint,
+    )
+
+    if args.explain is not None:
+        print(explain_rule(args.explain))
+        return 0
+    paths = args.paths or (["src"] if Path("src").is_dir() else ["."])
+    baseline = load_baseline(args.baseline) if args.baseline else None
+    rules = None
+    if args.rules:
+        rules = [rule.strip() for rule in args.rules.split(",") if rule.strip()]
+    report = run_lint(paths, rules=rules, baseline=baseline)
+    if args.write_baseline:
+        Path(args.write_baseline).write_text(
+            json.dumps(baseline_dict(report), indent=2) + "\n")
+        print(f"baseline with {len(report.findings)} entries written to "
+              f"{args.write_baseline}")
+        return 0
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+    elif args.sarif:
+        print(json.dumps(report.to_sarif(), indent=2))
+    else:
+        print(report.to_text())
+    for entry in report.stale_baseline:
+        print(f"warning: stale baseline entry "
+              f"{entry.get('rule')}:{entry.get('path')} no longer matches "
+              "anything — prune it", file=sys.stderr)
+    return report.exit_code
 
 
 def cmd_verify(args) -> int:
@@ -1316,6 +1353,44 @@ def build_parser() -> argparse.ArgumentParser:
                                    "(default: $REPRO_CACHE_DIR or "
                                    "~/.cache/fermihedral)")
     verify_proof.set_defaults(handler=cmd_verify_proof)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the project-invariant static analyzer",
+        description="Statically check the tree against the project's own "
+                    "invariants: config-field classification (L001), "
+                    "hot-path telemetry gating (L002), stdlib-only layer "
+                    "boundaries (L003), serialization back-compat (L004), "
+                    "worker picklability (L005), and a lock-acquisition "
+                    "race detector over the threaded subsystems "
+                    "(C001 lock-order inversions, C002 unguarded writes "
+                    "to lock-guarded attributes). Exit 1 on any error-"
+                    "severity finding. Suppress a finding inline with "
+                    "'# repro-lint: disable=RULE'.",
+    )
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files or directories to analyze "
+                           "(default: src/ if present, else .)")
+    lint_format = lint.add_mutually_exclusive_group()
+    lint_format.add_argument("--json", action="store_true",
+                             help="machine-readable report "
+                                  "(schema version 1)")
+    lint_format.add_argument("--sarif", action="store_true",
+                             help="SARIF 2.1.0 report for code-scanning "
+                                  "uploads")
+    lint.add_argument("--rules", default=None, metavar="IDS",
+                      help="comma-separated rule-id allowlist "
+                           "(default: all rules)")
+    lint.add_argument("--baseline", default=None, metavar="FILE",
+                      help="accepted-findings file; matching findings are "
+                           "filtered, stale entries warned about")
+    lint.add_argument("--write-baseline", default=None, metavar="FILE",
+                      help="write the current findings as a baseline "
+                           "and exit 0")
+    lint.add_argument("--explain", default=None, metavar="RULE",
+                      help="print one rule's rationale and a minimal "
+                           "violating/fixed example, then exit")
+    lint.set_defaults(handler=cmd_lint)
 
     batch = subparsers.add_parser(
         "batch",

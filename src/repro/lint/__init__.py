@@ -1,0 +1,65 @@
+"""``repro.lint`` — stdlib-only static analysis for the project's own
+invariants.
+
+Two rule families (see ``repro lint --explain RULE`` or the rule table
+in docs/ARCHITECTURE.md):
+
+* **L001–L005** — project contracts: config-field classification,
+  hot-path telemetry gating, stdlib-only layer boundaries,
+  serialization back-compat, worker picklability.
+* **C001–C002** — a static race detector over the threaded subsystems:
+  lock-order inversions and unguarded writes to lock-guarded state.
+
+Inline suppression::
+
+    something_flagged()  # repro-lint: disable=C002
+
+Markers designate analysis scope::
+
+    # repro-lint: hot-path         (function: L002 applies)
+    # repro-lint: worker-shipped   (class: L005 applies)
+"""
+
+from repro.lint.engine import (
+    Finding,
+    JSON_SCHEMA_VERSION,
+    LintReport,
+    Rule,
+    all_rules,
+    baseline_dict,
+    load_baseline,
+    rules_by_id,
+    run_lint,
+)
+
+__all__ = [
+    "Finding",
+    "JSON_SCHEMA_VERSION",
+    "LintReport",
+    "Rule",
+    "all_rules",
+    "baseline_dict",
+    "explain_rule",
+    "load_baseline",
+    "rules_by_id",
+    "run_lint",
+]
+
+
+def explain_rule(rule_id: str) -> str:
+    """Rationale plus a minimal violating/fixed example for one rule."""
+    rule = rules_by_id().get(rule_id)
+    if rule is None:
+        known = ", ".join(sorted(rules_by_id()))
+        raise ValueError(f"unknown rule {rule_id!r} (known: {known})")
+    return "\n".join([
+        f"{rule.id} [{rule.severity}] — {rule.summary}",
+        "",
+        rule.rationale,
+        "",
+        "Violating:",
+        *(f"    {line}" for line in rule.bad_example.rstrip().splitlines()),
+        "",
+        "Fixed:",
+        *(f"    {line}" for line in rule.good_example.rstrip().splitlines()),
+    ])

@@ -1,0 +1,761 @@
+"""Static concurrency analysis (C001/C002): a lock-acquisition graph
+over the threaded subsystems, plus a guarded-attribute write checker.
+
+The analyzer models each ``threading.Lock``/``RLock``/``Condition``
+attribute (and module-level lock) as a node.  ``with self._lock:``
+regions are tracked positionally — a call lexically *after* a ``with``
+block (the ``render()`` copy-then-call-hooks idiom) is correctly outside
+the region.  Calls inside a region add edges from every held lock to
+every lock the callee may transitively acquire; locks handed to other
+constructors (``MetricFamily(..., self._lock)``) are unified so the
+registry's shared-RLock plumbing reads as one node.
+
+* **C001** — a cycle in the may-acquire graph (lock-order inversion:
+  two threads taking the same locks in opposite orders can deadlock),
+  or re-acquisition of a non-reentrant ``Lock`` while already held.
+* **C002** — an attribute written under a class's own lock in one
+  method is *guarded*; writing it elsewhere without the lock is a data
+  race.  ``__init__``/``__setstate__`` are exempt (no concurrent access
+  yet), and so are underscore-helpers whose every resolved call site
+  holds the lock — the codebase's documented "(lock held)" pattern.
+
+The model is deliberately conservative where it cannot resolve a
+callee (first-class functions, hooks, sinks): unknown calls add no
+edges.  That is the right polarity for C001 — the hook idioms the
+codebase uses are exactly the ones that move unknown calls *outside*
+lock regions.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint.engine import Finding, Rule, SEVERITY_ERROR
+from repro.lint.project import (
+    ClassInfo,
+    FunctionInfo,
+    Project,
+    SourceFile,
+    _dotted,
+    annotation_class_name,
+    lock_kind_of_call,
+)
+
+#: Methods where unguarded writes are fine: the object is not yet (or no
+#: longer) shared between threads.
+_WRITE_EXEMPT_METHODS = frozenset({"__init__", "__new__", "__setstate__", "__del__"})
+
+
+class _LockUnion:
+    """Union-find over lock ids, for shared-lock aliasing."""
+
+    def __init__(self):
+        self._parent: dict[str, str] = {}
+
+    def find(self, lock: str) -> str:
+        parent = self._parent.setdefault(lock, lock)
+        if parent != lock:
+            parent = self.find(parent)
+            self._parent[lock] = parent
+        return parent
+
+    def union(self, a: str, b: str) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            # prefer the lexically smaller root so runs are deterministic
+            keep, drop = sorted((ra, rb))
+            self._parent[drop] = keep
+
+
+@dataclass
+class _CallSite:
+    held: tuple[str, ...]
+    callee: str            # scan key of the resolved callee
+    line: int
+
+
+@dataclass
+class _Write:
+    attr: str
+    held: tuple[str, ...]
+    line: int
+
+
+@dataclass
+class _Scan:
+    """Per-function facts gathered by one AST pass."""
+
+    key: str               # "rel::qualname"
+    info: FunctionInfo
+    direct: set[str] = field(default_factory=set)
+    calls: list[_CallSite] = field(default_factory=list)
+    #: (outer, inner, line): *inner* acquired while *outer* held.
+    nested: list[tuple[str, str, int]] = field(default_factory=list)
+    #: non-reentrant lock re-entered directly.
+    reentries: list[tuple[str, int]] = field(default_factory=list)
+    writes: list[_Write] = field(default_factory=list)
+
+
+class _Analyzer:
+    def __init__(self, project: Project):
+        self.project = project
+        self.union = _LockUnion()
+        self.lock_kinds: dict[str, str] = {}
+        self.scans: dict[str, _Scan] = {}
+        self._register_locks()
+
+    # -- lock registry ------------------------------------------------------
+
+    def _register_locks(self) -> None:
+        for info in self.project.classes.values():
+            for attr, kind in info.lock_attrs.items():
+                self.lock_kinds[f"{info.name}.{attr}"] = kind
+        for source_file in self.project.files:
+            for name, kind in source_file.module_locks.items():
+                self.lock_kinds[f"{source_file.rel}::{name}"] = kind
+
+    def kind_of(self, lock: str) -> str:
+        return self.lock_kinds.get(lock, "Lock")
+
+    # -- type inference -----------------------------------------------------
+
+    def _infer(self, expr: ast.expr, scan_locals: dict[str, str],
+               cls: str | None) -> str | None:
+        """Best-effort class name of *expr* (depth-limited by AST shape)."""
+        if isinstance(expr, ast.Name):
+            if expr.id == "self":
+                return cls
+            return scan_locals.get(expr.id)
+        if isinstance(expr, ast.Attribute):
+            base = self._infer(expr.value, scan_locals, cls)
+            if base is None:
+                return None
+            info = self.project.classes.get(base)
+            if info is None:
+                return None
+            return info.attr_types.get(expr.attr)
+        if isinstance(expr, ast.Call):
+            dotted = _dotted(expr.func)
+            if dotted is not None:
+                tail = dotted.split(".")[-1]
+                if tail in self.project.classes and isinstance(expr.func, ast.Name):
+                    return tail
+            callee = self._resolve_call(expr, scan_locals, cls)
+            if callee is not None:
+                return callee.return_class
+        return None
+
+    def _resolve_call(self, call: ast.Call, scan_locals: dict[str, str],
+                      cls: str | None, source_file: SourceFile | None = None
+                      ) -> FunctionInfo | None:
+        func = call.func
+        if isinstance(func, ast.Name):
+            if cls is not None:
+                info = self.project.classes.get(cls)
+            else:
+                info = None
+            if source_file is not None and func.id in source_file.functions:
+                return source_file.functions[func.id]
+            target = self.project.classes.get(func.id)
+            if target is not None:
+                return target.methods.get("__init__")
+            return None
+        if isinstance(func, ast.Attribute):
+            if isinstance(func.value, ast.Name) and source_file is not None:
+                module = self.project.resolve_module_alias(source_file, func.value.id)
+                if module is not None:
+                    return module.functions.get(func.attr)
+            base = self._infer(func.value, scan_locals, cls)
+            if base is not None:
+                info = self.project.classes.get(base)
+                if info is not None:
+                    return info.methods.get(func.attr)
+        return None
+
+    def _resolve_lock(self, expr: ast.expr, scan_locals: dict[str, str],
+                      cls: str | None, source_file: SourceFile) -> str | None:
+        if isinstance(expr, ast.Name):
+            if expr.id in source_file.module_locks:
+                return self.union.find(f"{source_file.rel}::{expr.id}")
+            return None
+        if isinstance(expr, ast.Attribute):
+            base = self._infer(expr.value, scan_locals, cls)
+            if base is None:
+                return None
+            info = self.project.classes.get(base)
+            if info is not None and expr.attr in info.lock_attrs:
+                return self.union.find(f"{base}.{expr.attr}")
+        return None
+
+    # -- aliasing -----------------------------------------------------------
+
+    def unify_shared_locks(self) -> None:
+        """Unify a lock passed into another constructor with the attribute
+        the callee's ``__init__`` stores it under."""
+        for source_file in self.project.files:
+            if source_file.tree is None:
+                continue
+            for cls_info in source_file.classes.values():
+                for method in cls_info.methods.values():
+                    self._unify_in_function(
+                        method.node, cls_info.name, source_file)
+            for function in source_file.functions.values():
+                self._unify_in_function(function.node, None, source_file)
+
+    def _unify_in_function(self, node: ast.FunctionDef, cls: str | None,
+                           source_file: SourceFile) -> None:
+        scan_locals = _param_types(node)
+        for call in ast.walk(node):
+            if not isinstance(call, ast.Call):
+                continue
+            dotted = _dotted(call.func)
+            if dotted is None:
+                continue
+            target = self.project.classes.get(dotted.split(".")[-1])
+            if target is None:
+                continue
+            init = target.methods.get("__init__")
+            if init is None:
+                continue
+            params = [a.arg for a in init.node.args.args if a.arg != "self"]
+            bound: list[tuple[str, ast.expr]] = []
+            for index, arg in enumerate(call.args):
+                if index < len(params):
+                    bound.append((params[index], arg))
+            for keyword in call.keywords:
+                if keyword.arg is not None:
+                    bound.append((keyword.arg, keyword.value))
+            for param, value in bound:
+                lock = self._resolve_lock(value, scan_locals, cls, source_file)
+                if lock is None:
+                    continue
+                stored = _param_stored_as(init.node, param)
+                if stored is not None:
+                    alias = f"{target.name}.{stored}"
+                    self.lock_kinds.setdefault(alias, self.kind_of(lock))
+                    self.union.union(alias, lock)
+
+    # -- scanning -----------------------------------------------------------
+
+    def scan_all(self) -> None:
+        for source_file in self.project.files:
+            if source_file.tree is None:
+                continue
+            for cls_info in source_file.classes.values():
+                for method in cls_info.methods.values():
+                    self._scan_function(method, cls_info.name, source_file)
+            for function in source_file.functions.values():
+                self._scan_function(function, None, source_file)
+
+    def _scan_function(self, info: FunctionInfo, cls: str | None,
+                       source_file: SourceFile) -> None:
+        key = f"{source_file.rel}::{info.qualname}"
+        scan = _Scan(key=key, info=info)
+        self.scans[key] = scan
+        scan_locals = _param_types(info.node)
+        _collect_local_types(info.node, scan_locals, self, cls)
+        self._walk_statements(
+            info.node.body, (), scan, scan_locals, cls, source_file)
+
+    def _walk_statements(self, statements, held: tuple[str, ...], scan: _Scan,
+                         scan_locals, cls, source_file) -> None:
+        for statement in statements:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # a closure runs at an unknown time: scan its body with no
+                # held locks, and do not fold its acquires into ours
+                inner = _Scan(
+                    key=f"{scan.key}.{statement.name}", info=scan.info)
+                self.scans[inner.key] = inner
+                inner_locals = dict(scan_locals)
+                inner_locals.update(_param_types(statement))
+                self._walk_statements(
+                    statement.body, (), inner, inner_locals, cls, source_file)
+                continue
+            if isinstance(statement, (ast.With, ast.AsyncWith)):
+                acquired = list(held)
+                for item in statement.items:
+                    self._walk_expression(
+                        item.context_expr, tuple(acquired), scan,
+                        scan_locals, cls, source_file)
+                    lock = self._resolve_lock(
+                        item.context_expr, scan_locals, cls, source_file)
+                    if lock is not None:
+                        line = item.context_expr.lineno
+                        scan.direct.add(lock)
+                        for outer in acquired:
+                            if outer == lock:
+                                if self.kind_of(lock) == "Lock":
+                                    scan.reentries.append((lock, line))
+                            else:
+                                scan.nested.append((outer, lock, line))
+                        acquired.append(lock)
+                self._walk_statements(
+                    statement.body, tuple(acquired), scan, scan_locals,
+                    cls, source_file)
+                continue
+            if isinstance(statement, ast.If):
+                self._walk_expression(statement.test, held, scan, scan_locals,
+                                      cls, source_file)
+                self._walk_statements(statement.body, held, scan, scan_locals,
+                                      cls, source_file)
+                self._walk_statements(statement.orelse, held, scan,
+                                      scan_locals, cls, source_file)
+                continue
+            if isinstance(statement, (ast.For, ast.AsyncFor)):
+                self._walk_expression(statement.iter, held, scan, scan_locals,
+                                      cls, source_file)
+                self._record_writes(statement.target, held, scan, cls)
+                self._walk_statements(statement.body, held, scan, scan_locals,
+                                      cls, source_file)
+                self._walk_statements(statement.orelse, held, scan,
+                                      scan_locals, cls, source_file)
+                continue
+            if isinstance(statement, ast.While):
+                self._walk_expression(statement.test, held, scan, scan_locals,
+                                      cls, source_file)
+                self._walk_statements(statement.body, held, scan, scan_locals,
+                                      cls, source_file)
+                self._walk_statements(statement.orelse, held, scan,
+                                      scan_locals, cls, source_file)
+                continue
+            if isinstance(statement, ast.Try):
+                for block in (statement.body, statement.orelse,
+                              statement.finalbody):
+                    self._walk_statements(block, held, scan, scan_locals,
+                                          cls, source_file)
+                for handler in statement.handlers:
+                    self._walk_statements(handler.body, held, scan,
+                                          scan_locals, cls, source_file)
+                continue
+            if isinstance(statement, ast.ClassDef):
+                continue
+            if isinstance(statement, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    statement.targets if isinstance(statement, ast.Assign)
+                    else [statement.target]
+                )
+                for target in targets:
+                    self._record_writes(target, held, scan, cls)
+            for child in ast.iter_child_nodes(statement):
+                if isinstance(child, ast.expr):
+                    self._walk_expression(child, held, scan, scan_locals,
+                                          cls, source_file)
+
+    def _record_writes(self, target: ast.expr, held: tuple[str, ...],
+                       scan: _Scan, cls: str | None) -> None:
+        if cls is None:
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._record_writes(element, held, scan, cls)
+            return
+        node = target
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            scan.writes.append(_Write(
+                attr=node.attr, held=held, line=target.lineno))
+
+    def _walk_expression(self, expr: ast.expr, held: tuple[str, ...],
+                         scan: _Scan, scan_locals, cls, source_file) -> None:
+        for node in ast.walk(expr):
+            if isinstance(node, (ast.Lambda,)):
+                continue
+            if isinstance(node, ast.Call):
+                callee = self._resolve_call(node, scan_locals, cls, source_file)
+                if callee is not None:
+                    key = f"{callee.file.rel}::{callee.qualname}"
+                    scan.calls.append(_CallSite(
+                        held=held, callee=key, line=node.lineno))
+
+    # -- graph --------------------------------------------------------------
+
+    def may_acquire(self) -> dict[str, set[str]]:
+        """Transitive may-acquire set per scanned function (fixpoint)."""
+        acquired = {
+            key: {self.union.find(lock) for lock in scan.direct}
+            for key, scan in self.scans.items()
+        }
+        changed = True
+        while changed:
+            changed = False
+            for key, scan in self.scans.items():
+                bucket = acquired[key]
+                before = len(bucket)
+                for call in scan.calls:
+                    bucket |= acquired.get(call.callee, set())
+                if len(bucket) != before:
+                    changed = True
+        return acquired
+
+    def edges(self, acquired) -> dict[tuple[str, str], tuple[str, int, str]]:
+        """Ordered lock pairs with one witness each."""
+        found: dict[tuple[str, str], tuple[str, int, str]] = {}
+        for scan in self.scans.values():
+            rel = scan.info.file.rel
+            for outer, inner, line in scan.nested:
+                pair = (self.union.find(outer), self.union.find(inner))
+                found.setdefault(
+                    pair, (rel, line,
+                           f"{scan.info.qualname} acquires {pair[1]} while "
+                           f"holding {pair[0]}"))
+            for call in scan.calls:
+                targets = acquired.get(call.callee, set())
+                callee_name = call.callee.split("::")[-1]
+                for outer in call.held:
+                    outer_root = self.union.find(outer)
+                    for inner in targets:
+                        if inner == outer_root:
+                            continue
+                        found.setdefault(
+                            (outer_root, inner),
+                            (rel, call.line,
+                             f"{scan.info.qualname} calls {callee_name} "
+                             f"(may acquire {inner}) while holding "
+                             f"{outer_root}"))
+        return found
+
+    def transitive_reentries(self, acquired):
+        """A non-reentrant lock held across a call that may re-acquire it."""
+        hits = []
+        for scan in self.scans.values():
+            for call in scan.calls:
+                targets = acquired.get(call.callee, set())
+                for outer in call.held:
+                    root = self.union.find(outer)
+                    if root in targets and self.kind_of(root) == "Lock":
+                        hits.append((scan, call, root))
+        return hits
+
+
+def _param_types(node: ast.FunctionDef) -> dict[str, str]:
+    types: dict[str, str] = {}
+    args = node.args
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        name = annotation_class_name(arg.annotation)
+        if name is not None:
+            types[arg.arg] = name
+    return types
+
+
+def _collect_local_types(node: ast.FunctionDef, scan_locals: dict[str, str],
+                         analyzer: _Analyzer, cls: str | None) -> None:
+    """``x = KnownClass(...)`` / ``x = self.attr`` local type seeds."""
+    for statement in ast.walk(node):
+        if not isinstance(statement, ast.Assign):
+            continue
+        if len(statement.targets) != 1:
+            continue
+        target = statement.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        inferred = analyzer._infer(statement.value, scan_locals, cls)
+        if inferred is not None:
+            scan_locals.setdefault(target.id, inferred)
+
+
+def _param_stored_as(init: ast.FunctionDef, param: str) -> str | None:
+    """The ``self.<attr>`` a parameter is stored under in ``__init__``."""
+    for statement in ast.walk(init):
+        value = None
+        targets = []
+        if isinstance(statement, ast.Assign):
+            targets, value = statement.targets, statement.value
+        elif isinstance(statement, ast.AnnAssign) and statement.value is not None:
+            targets, value = [statement.target], statement.value
+        if not (isinstance(value, ast.Name) and value.id == param):
+            continue
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                return target.attr
+    return None
+
+
+def _build(project: Project) -> tuple[_Analyzer, dict[str, set[str]]]:
+    analyzer = _Analyzer(project)
+    analyzer.unify_shared_locks()
+    analyzer.scan_all()
+    return analyzer, analyzer.may_acquire()
+
+
+def lock_graph(project: Project) -> dict[tuple[str, str], tuple[str, int, str]]:
+    """The may-acquire ordering edges of *project*.
+
+    Maps ``(outer_lock, inner_lock)`` to one witness ``(path, line,
+    note)``.  Public so tooling and the self-check tests can assert the
+    graph is non-vacuous without reaching into analyzer internals.
+    """
+    analyzer, acquired = _build(project)
+    return analyzer.edges(acquired)
+
+
+# ---------------------------------------------------------------------------
+# C001 — lock-order inversions
+# ---------------------------------------------------------------------------
+
+def _cycles(edges: dict[tuple[str, str], tuple]) -> list[list[str]]:
+    graph: dict[str, set[str]] = {}
+    for (a, b) in edges:
+        graph.setdefault(a, set()).add(b)
+        graph.setdefault(b, set())
+    # Tarjan SCC; every SCC with more than one node (self-edges are
+    # handled separately) is a lock-order inversion.
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    counter = [0]
+    components: list[list[str]] = []
+
+    def strongconnect(node: str) -> None:
+        work = [(node, iter(sorted(graph[node])))]
+        index[node] = low[node] = counter[0]
+        counter[0] += 1
+        stack.append(node)
+        on_stack.add(node)
+        while work:
+            current, successors = work[-1]
+            advanced = False
+            for successor in successors:
+                if successor not in index:
+                    index[successor] = low[successor] = counter[0]
+                    counter[0] += 1
+                    stack.append(successor)
+                    on_stack.add(successor)
+                    work.append((successor, iter(sorted(graph[successor]))))
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    low[current] = min(low[current], index[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[current])
+            if low[current] == index[current]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == current:
+                        break
+                if len(component) > 1:
+                    components.append(sorted(component))
+
+    for node in sorted(graph):
+        if node not in index:
+            strongconnect(node)
+    return components
+
+
+def check_c001(project: Project, rule: Rule) -> list[Finding]:
+    analyzer, acquired = _build(project)
+    edges = analyzer.edges(acquired)
+    findings = []
+    for component in _cycles(edges):
+        members = set(component)
+        witnesses = sorted(
+            f"{path}:{line} ({note})"
+            for (a, b), (path, line, note) in edges.items()
+            if a in members and b in members
+        )
+        path, line, _ = min(
+            (edges[(a, b)] for (a, b) in edges
+             if a in members and b in members),
+            key=lambda item: (item[0], item[1]),
+        )
+        findings.append(Finding(
+            rule=rule.id, severity=rule.severity,
+            path=path, line=line,
+            message=(
+                "lock-order inversion between "
+                + " and ".join(component)
+                + ": these locks are acquired in both orders, so two "
+                "threads can deadlock — witnesses: "
+                + "; ".join(witnesses)
+            ),
+        ))
+    for scan, call, lock in analyzer.transitive_reentries(acquired):
+        callee_name = call.callee.split("::")[-1]
+        findings.append(Finding(
+            rule=rule.id, severity=rule.severity,
+            path=scan.info.file.rel, line=call.line,
+            message=(
+                f"{scan.info.qualname} holds non-reentrant lock {lock} "
+                f"while calling {callee_name}, which may acquire it again "
+                "— self-deadlock"
+            ),
+        ))
+    for scan in analyzer.scans.values():
+        for lock, line in scan.reentries:
+            findings.append(Finding(
+                rule=rule.id, severity=rule.severity,
+                path=scan.info.file.rel, line=line,
+                message=(
+                    f"{scan.info.qualname} re-enters non-reentrant lock "
+                    f"{lock} it already holds — self-deadlock"
+                ),
+            ))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# C002 — writes to lock-guarded attributes from unguarded code
+# ---------------------------------------------------------------------------
+
+def check_c002(project: Project, rule: Rule) -> list[Finding]:
+    analyzer, acquired = _build(project)
+    findings = []
+    for cls_name, cls_info in sorted(project.classes.items()):
+        if not cls_info.lock_attrs:
+            continue
+        own_locks = {
+            analyzer.union.find(f"{cls_name}.{attr}")
+            for attr in cls_info.lock_attrs
+        }
+        method_scans = {
+            name: analyzer.scans.get(
+                f"{cls_info.file.rel}::{cls_name}.{name}")
+            for name in cls_info.methods
+        }
+        # 1. guarded attributes: written at least once with an own lock held
+        guards: dict[str, set[str]] = {}
+        for name, scan in method_scans.items():
+            if scan is None or name in _WRITE_EXEMPT_METHODS:
+                continue
+            for write in scan.writes:
+                held_own = {
+                    analyzer.union.find(lock) for lock in write.held
+                } & own_locks
+                if held_own and write.attr not in cls_info.lock_attrs:
+                    guards.setdefault(write.attr, set()).update(held_own)
+        if not guards:
+            continue
+        # 2. "(lock held)" helpers: every resolved intra-project call site
+        #    of an underscore-method holds one of the class's locks
+        #    (directly, or via another such helper) — fixpoint.
+        call_sites: dict[str, list[tuple[_Scan, _CallSite]]] = {}
+        for scan in analyzer.scans.values():
+            for call in scan.calls:
+                call_sites.setdefault(call.callee, []).append((scan, call))
+        lock_held_by_caller: set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for name in cls_info.methods:
+                if not name.startswith("_") or name in lock_held_by_caller:
+                    continue
+                if name in _WRITE_EXEMPT_METHODS:
+                    continue
+                key = f"{cls_info.file.rel}::{cls_name}.{name}"
+                sites = call_sites.get(key, [])
+                if not sites:
+                    continue
+                def _site_holds(site: tuple[_Scan, _CallSite]) -> bool:
+                    caller_scan, call = site
+                    if {analyzer.union.find(lock) for lock in call.held} & own_locks:
+                        return True
+                    caller_name = caller_scan.key.split("::")[-1]
+                    return (
+                        caller_name.startswith(f"{cls_name}.")
+                        and caller_name.split(".")[-1] in lock_held_by_caller
+                    )
+                if all(_site_holds(site) for site in sites):
+                    lock_held_by_caller.add(name)
+                    changed = True
+        # 3. violations
+        for name, scan in sorted(method_scans.items()):
+            if scan is None or name in _WRITE_EXEMPT_METHODS:
+                continue
+            if name in lock_held_by_caller:
+                continue
+            for write in scan.writes:
+                if write.attr not in guards:
+                    continue
+                held_roots = {analyzer.union.find(lock) for lock in write.held}
+                if held_roots & guards[write.attr]:
+                    continue
+                guard_names = ", ".join(sorted(guards[write.attr]))
+                findings.append(Finding(
+                    rule=rule.id, severity=rule.severity,
+                    path=cls_info.file.rel, line=write.line,
+                    message=(
+                        f"{cls_name}.{name} writes self.{write.attr} "
+                        f"without holding {guard_names}, but other methods "
+                        "only write it under that lock — unsynchronized "
+                        "write to a guarded attribute"
+                    ),
+                ))
+    return findings
+
+
+RULES = [
+    Rule(
+        id="C001",
+        severity=SEVERITY_ERROR,
+        summary="no lock-order inversions across the threaded subsystems",
+        rationale=(
+            "The service, cache, telemetry, and executor layers each hold "
+            "their own lock; deadlock needs only two of them taken in "
+            "opposite orders on two threads. The analyzer builds the "
+            "may-acquire graph from `with self._lock:` regions (calls "
+            "lexically after a with-block are outside it — the "
+            "copy-then-call-hooks idiom reads as safe) and flags any "
+            "cycle, plus non-reentrant Lock re-acquisition."
+        ),
+        bad_example=(
+            "class A:\n"
+            "    def m(self):\n"
+            "        with self._la:\n"
+            "            self.b.n()     # B.n takes B._lb\n"
+            "class B:\n"
+            "    def p(self):\n"
+            "        with self._lb:\n"
+            "            self.a.q()     # A.q takes A._la -> cycle\n"
+        ),
+        good_example=(
+            "    def m(self):\n"
+            "        with self._la:\n"
+            "            payload = self._snapshot()\n"
+            "        self.b.n(payload)  # call moved outside the region\n"
+        ),
+        checker=check_c001,
+    ),
+    Rule(
+        id="C002",
+        severity=SEVERITY_ERROR,
+        summary="lock-guarded attributes are never written unguarded",
+        rationale=(
+            "If one method writes an attribute under the class's lock, "
+            "every write must hold it — a single unguarded store races "
+            "with readers that trust the lock. __init__/__setstate__ are "
+            "exempt (no sharing yet), and so are underscore-helpers whose "
+            "every call site provably holds the lock (the documented "
+            "\"(lock held)\" pattern in the service daemon)."
+        ),
+        bad_example=(
+            "    def run(self):\n"
+            "        with self._guard:\n"
+            "            self._broken = False\n"
+            "    def _dispatch(self):\n"
+            "        self._broken = True    # no lock -> C002\n"
+        ),
+        good_example=(
+            "    def _dispatch(self):\n"
+            "        with self._guard:\n"
+            "            self._broken = True\n"
+        ),
+        checker=check_c002,
+    ),
+]

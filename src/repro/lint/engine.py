@@ -1,0 +1,282 @@
+"""Rule engine for :mod:`repro.lint`: findings, suppression, baselines,
+and the three output formats (human text, JSON, SARIF).
+
+A rule is a :class:`Rule` record — id, severity, one-line summary, a
+rationale, a minimal violating/fixed example pair (``repro lint
+--explain``), and a checker ``Project -> list[Finding]``.  The engine
+runs every enabled checker, drops findings silenced by inline
+``# repro-lint: disable=RULE`` comments or a baseline file, and renders
+the rest.  Exit-code policy: any live finding of severity ``error``
+fails the run; warnings alone do not.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.lint.project import Project, load_project
+
+#: Schema version of the JSON report and baseline formats.
+JSON_SCHEMA_VERSION = 1
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+#: Rule id attached to files the parser rejects.
+PARSE_RULE = "E001"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: rule id, severity, location, message."""
+
+    rule: str
+    severity: str
+    path: str      # project-relative, posix separators
+    line: int
+    message: str
+
+    def baseline_key(self) -> tuple[str, str, str]:
+        """Line-insensitive identity so baselines survive unrelated edits."""
+        return (self.rule, self.path, self.message)
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: metadata plus its checker."""
+
+    id: str
+    severity: str
+    summary: str
+    rationale: str
+    bad_example: str
+    good_example: str
+    checker: "object" = None  # Callable[[Project], list[Finding]]
+
+    def run(self, project: Project) -> list[Finding]:
+        return list(self.checker(project, self))
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, invariant family first."""
+    from repro.lint import concurrency, invariants
+
+    return [*invariants.RULES, *concurrency.RULES]
+
+
+def rules_by_id() -> dict[str, Rule]:
+    return {rule.id: rule for rule in all_rules()}
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: list[Finding]                 # live findings, sorted
+    suppressed: int = 0                     # count silenced inline
+    baselined: int = 0                      # count matched by the baseline
+    stale_baseline: list[dict] = field(default_factory=list)
+    files: int = 0
+    rules: list[str] = field(default_factory=list)
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for f in self.findings if f.severity == SEVERITY_ERROR)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.errors else 0
+
+    # -- renderers ----------------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            "version": JSON_SCHEMA_VERSION,
+            "files": self.files,
+            "rules": self.rules,
+            "findings": [finding.to_dict() for finding in self.findings],
+            "summary": {
+                "errors": self.errors,
+                "warnings": len(self.findings) - self.errors,
+                "suppressed": self.suppressed,
+                "baselined": self.baselined,
+                "stale_baseline": len(self.stale_baseline),
+            },
+        }
+
+    def to_text(self) -> str:
+        lines = []
+        for finding in self.findings:
+            lines.append(
+                f"{finding.path}:{finding.line}: {finding.rule} "
+                f"[{finding.severity}] {finding.message}"
+            )
+        noun = "finding" if len(self.findings) == 1 else "findings"
+        tail = (
+            f"{len(self.findings)} {noun} "
+            f"({self.errors} errors) in {self.files} files"
+        )
+        extras = []
+        if self.suppressed:
+            extras.append(f"{self.suppressed} suppressed inline")
+        if self.baselined:
+            extras.append(f"{self.baselined} baselined")
+        if self.stale_baseline:
+            extras.append(f"{len(self.stale_baseline)} stale baseline entries")
+        if extras:
+            tail += " · " + ", ".join(extras)
+        lines.append(tail)
+        return "\n".join(lines)
+
+    def to_sarif(self) -> dict:
+        """A minimal SARIF 2.1.0 document (one run, one driver)."""
+        rule_ids = sorted({finding.rule for finding in self.findings})
+        known = rules_by_id()
+        sarif_rules = []
+        for rule_id in rule_ids:
+            rule = known.get(rule_id)
+            sarif_rules.append({
+                "id": rule_id,
+                "shortDescription": {
+                    "text": rule.summary if rule else "parse failure",
+                },
+            })
+        results = []
+        for finding in self.findings:
+            results.append({
+                "ruleId": finding.rule,
+                "level": "error" if finding.severity == SEVERITY_ERROR else "warning",
+                "message": {"text": finding.message},
+                "locations": [{
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path},
+                        "region": {"startLine": finding.line},
+                    },
+                }],
+            })
+        return {
+            "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+            "version": "2.1.0",
+            "runs": [{
+                "tool": {"driver": {
+                    "name": "repro-lint",
+                    "rules": sarif_rules,
+                }},
+                "results": results,
+            }],
+        }
+
+
+def load_baseline(path: str) -> list[dict]:
+    """Baseline file: ``{"version": 1, "entries": [{rule, path, message}]}``."""
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    entries = data.get("entries", []) if isinstance(data, dict) else data
+    if not isinstance(entries, list):
+        raise ValueError(f"malformed baseline file: {path}")
+    return [entry for entry in entries if isinstance(entry, dict)]
+
+
+def baseline_dict(report: LintReport) -> dict:
+    """A baseline capturing every live finding of *report*."""
+    return {
+        "version": JSON_SCHEMA_VERSION,
+        "entries": [
+            {"rule": f.rule, "path": f.path, "message": f.message}
+            for f in report.findings
+        ],
+    }
+
+
+def run_lint(
+    paths: list[str],
+    root: str | None = None,
+    rules: list[str] | None = None,
+    baseline: list[dict] | None = None,
+) -> LintReport:
+    """Lint *paths* and return the report.
+
+    Args:
+        paths: files or directories to analyze.
+        root: directory findings are reported relative to (default cwd).
+        rules: rule-id allowlist (``None`` enables everything).
+        baseline: accepted findings (see :func:`load_baseline`); matching
+            live findings are filtered out, and baseline entries that no
+            longer match anything are reported as stale.
+    """
+    project = load_project(paths, root=root)
+    enabled = all_rules()
+    if rules is not None:
+        wanted = set(rules)
+        unknown = wanted - {rule.id for rule in enabled} - {PARSE_RULE}
+        if unknown:
+            raise ValueError(f"unknown rule ids: {', '.join(sorted(unknown))}")
+        enabled = [rule for rule in enabled if rule.id in wanted]
+
+    raw_set: set[Finding] = set()
+    raw: list[Finding] = []
+    for source_file in project.files:
+        if source_file.parse_error is not None:
+            raw.append(Finding(
+                rule=PARSE_RULE, severity=SEVERITY_ERROR,
+                path=source_file.rel, line=1,
+                message=source_file.parse_error,
+            ))
+    for rule in enabled:
+        for finding in rule.run(project):
+            if finding not in raw_set:
+                raw_set.add(finding)
+                raw.append(finding)
+
+    live: list[Finding] = []
+    suppressed = 0
+    for finding in raw:
+        source_file = project.by_rel.get(finding.path)
+        if source_file is not None and source_file.is_suppressed(
+            finding.rule, finding.line
+        ):
+            suppressed += 1
+        else:
+            live.append(finding)
+
+    baselined = 0
+    stale: list[dict] = []
+    if baseline:
+        keys = {
+            (e.get("rule"), e.get("path"), e.get("message")) for e in baseline
+        }
+        kept = []
+        matched: set[tuple] = set()
+        for finding in live:
+            key = finding.baseline_key()
+            if key in keys:
+                baselined += 1
+                matched.add(key)
+            else:
+                kept.append(finding)
+        live = kept
+        stale = [
+            entry for entry in baseline
+            if (entry.get("rule"), entry.get("path"), entry.get("message"))
+            not in matched
+        ]
+
+    live.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    return LintReport(
+        findings=live,
+        suppressed=suppressed,
+        baselined=baselined,
+        stale_baseline=stale,
+        files=len(project.files),
+        rules=[rule.id for rule in enabled],
+    )

@@ -1,0 +1,518 @@
+"""Shared AST project model for :mod:`repro.lint`.
+
+Every rule operates on one :class:`Project`: the parsed ASTs of the
+files under analysis plus the cross-file indexes the analyzers need —
+dataclass field tables (with has-default flags), per-class attribute
+types inferred from ``__init__``, lock attributes, import maps, and the
+``# repro-lint:`` directive comments (suppressions and markers).
+
+Everything here is stdlib-only by construction (``ast`` + ``tokenize``);
+the linter must be runnable on a bare interpreter, before any project
+dependency is importable.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import sys
+import tokenize
+from dataclasses import dataclass, field
+
+#: Comment prefix of every lint directive.
+DIRECTIVE_PREFIX = "repro-lint:"
+
+#: Marker words (``# repro-lint: <word>``) with rule-level meaning.
+MARKER_HOT_PATH = "hot-path"
+MARKER_WORKER_SHIPPED = "worker-shipped"
+
+#: ``threading`` factories whose product is a mutual-exclusion primitive
+#: for the purposes of the concurrency rules.
+_LOCK_FACTORIES = {
+    "Lock": "Lock",
+    "RLock": "RLock",
+    "Condition": "Condition",
+}
+
+
+def _dotted(node: ast.expr) -> str | None:
+    """``a.b.c`` for a pure Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def annotation_class_name(annotation: ast.expr | None) -> str | None:
+    """The bare class name an annotation points at, or ``None``.
+
+    Strips ``Optional[X]``, ``X | None``, string quoting, and dotted
+    module prefixes — ``"CompilationCache | None"`` resolves to
+    ``CompilationCache``.  Unions of two real classes resolve to nothing
+    (ambiguous).
+    """
+    if annotation is None:
+        return None
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        try:
+            annotation = ast.parse(annotation.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+        sides = [annotation.left, annotation.right]
+        names = [annotation_class_name(side) for side in sides]
+        real = [name for name in names if name is not None]
+        return real[0] if len(real) == 1 else None
+    if isinstance(annotation, ast.Subscript):
+        base = _dotted(annotation.value)
+        if base and base.split(".")[-1] == "Optional":
+            return annotation_class_name(annotation.slice)
+        return None
+    if isinstance(annotation, ast.Constant) and annotation.value is None:
+        return None
+    dotted = _dotted(annotation)
+    if dotted is None:
+        return None
+    tail = dotted.split(".")[-1]
+    return tail if tail != "None" else None
+
+
+def lock_kind_of_call(node: ast.expr) -> str | None:
+    """``"Lock"``/``"RLock"``/``"Condition"`` when *node* constructs one."""
+    if not isinstance(node, ast.Call):
+        return None
+    dotted = _dotted(node.func)
+    if dotted is None:
+        return None
+    tail = dotted.split(".")[-1]
+    return _LOCK_FACTORIES.get(tail)
+
+
+def lock_kind_of_annotation(annotation: ast.expr | None) -> str | None:
+    name = annotation_class_name(annotation)
+    if name in _LOCK_FACTORIES:
+        return name
+    return None
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method."""
+
+    name: str
+    qualname: str              # "Class.method" or "function"
+    node: ast.FunctionDef
+    file: "SourceFile"
+    cls: str | None = None     # owning class name, if a method
+
+    @property
+    def return_class(self) -> str | None:
+        return annotation_class_name(self.node.returns)
+
+
+@dataclass
+class ClassInfo:
+    """One class: methods, attribute types, and lock attributes."""
+
+    name: str
+    node: ast.ClassDef
+    file: "SourceFile"
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: ``self.x`` → class name, from ``__init__`` assignments.
+    attr_types: dict[str, str] = field(default_factory=dict)
+    #: ``self.x`` → lock kind for attributes holding threading primitives.
+    lock_attrs: dict[str, str] = field(default_factory=dict)
+    #: attributes assigned from unpicklable factories (lock or ``open``),
+    #: with the assignment line — the L005 evidence.
+    unpicklable_attrs: dict[str, int] = field(default_factory=dict)
+    bases: list[str] = field(default_factory=list)
+
+    @property
+    def defines_pickle_protocol(self) -> bool:
+        return bool(
+            {"__getstate__", "__reduce__", "__reduce_ex__"} & set(self.methods)
+        )
+
+    def is_dataclass(self) -> bool:
+        for decorator in self.node.decorator_list:
+            target = decorator.func if isinstance(decorator, ast.Call) else decorator
+            dotted = _dotted(target)
+            if dotted and dotted.split(".")[-1] == "dataclass":
+                return True
+        return False
+
+    def dataclass_fields(self) -> dict[str, bool]:
+        """Field name → has-default, for ``@dataclass`` classes.
+
+        Class-level ``x: T`` statements in declaration order; ``x: T = v``
+        and ``x: T = field(default=...)`` count as defaulted (a bare
+        ``field()`` with neither default does not).
+        """
+        fields: dict[str, bool] = {}
+        for statement in self.node.body:
+            if not isinstance(statement, ast.AnnAssign):
+                continue
+            if not isinstance(statement.target, ast.Name):
+                continue
+            name = statement.target.id
+            if annotation_class_name(statement.annotation) == "ClassVar":
+                continue
+            dotted = _dotted(statement.annotation) or ""
+            if dotted.split(".")[-1] == "ClassVar" or (
+                isinstance(statement.annotation, ast.Subscript)
+                and (_dotted(statement.annotation.value) or "").split(".")[-1]
+                == "ClassVar"
+            ):
+                continue
+            has_default = statement.value is not None
+            if has_default and isinstance(statement.value, ast.Call):
+                target = _dotted(statement.value.func) or ""
+                if target.split(".")[-1] == "field":
+                    keywords = {kw.arg for kw in statement.value.keywords}
+                    has_default = bool(
+                        {"default", "default_factory"} & keywords
+                    )
+            fields[name] = has_default
+        return fields
+
+
+@dataclass
+class SourceFile:
+    """One parsed source file plus its lint directives."""
+
+    path: str                  # absolute
+    rel: str                   # project-relative, posix separators
+    text: str
+    tree: ast.Module | None
+    parse_error: str | None = None
+    #: line → suppressed rule ids (``{"all"}`` suppresses everything).
+    suppressions: dict[int, frozenset[str]] = field(default_factory=dict)
+    #: line → marker word (``hot-path`` / ``worker-shipped``).
+    markers: dict[int, str] = field(default_factory=dict)
+    #: alias → dotted module, from ``import a.b as c`` / ``from a import b``.
+    module_aliases: dict[str, str] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    #: module-level ``NAME = threading.Lock()`` assignments.
+    module_locks: dict[str, str] = field(default_factory=dict)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        """A ``# repro-lint: disable=`` comment on the flagged line or the
+        line directly above silences the finding."""
+        for candidate in (line, line - 1):
+            rules = self.suppressions.get(candidate)
+            if rules and ("all" in rules or rule in rules):
+                return True
+        return False
+
+    def marker_near(self, lineno: int, word: str) -> bool:
+        """A marker on the ``def``/``class`` line itself or up to two
+        lines above (room for one decorator line or a comment block)."""
+        for candidate in range(max(1, lineno - 2), lineno + 1):
+            if self.markers.get(candidate) == word:
+                return True
+        return False
+
+
+def _scan_directives(source_file: SourceFile) -> None:
+    """Populate suppressions/markers from ``# repro-lint:`` comments."""
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source_file.text).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        comment = token.string.lstrip("#").strip()
+        if not comment.startswith(DIRECTIVE_PREFIX):
+            continue
+        directive = comment[len(DIRECTIVE_PREFIX):].strip()
+        line = token.start[0]
+        if directive.startswith("disable="):
+            rules = frozenset(
+                rule.strip() for rule in directive[len("disable="):].split(",")
+                if rule.strip()
+            )
+            if rules:
+                source_file.suppressions[line] = rules
+        elif directive in (MARKER_HOT_PATH, MARKER_WORKER_SHIPPED):
+            source_file.markers[line] = directive
+
+
+def _index_imports(source_file: SourceFile) -> None:
+    tree = source_file.tree
+    if tree is None:
+        return
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                name = alias.asname or alias.name.split(".")[0]
+                source_file.module_aliases[name] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                name = alias.asname or alias.name
+                source_file.module_aliases[name] = f"{node.module}.{alias.name}"
+
+
+def _index_class(source_file: SourceFile, node: ast.ClassDef) -> ClassInfo:
+    info = ClassInfo(name=node.name, node=node, file=source_file)
+    info.bases = [base for base in (_dotted(b) for b in node.bases) if base]
+    for statement in node.body:
+        if isinstance(statement, ast.FunctionDef):
+            info.methods[statement.name] = FunctionInfo(
+                name=statement.name,
+                qualname=f"{node.name}.{statement.name}",
+                node=statement,
+                file=source_file,
+                cls=node.name,
+            )
+    init = info.methods.get("__init__")
+    if init is not None:
+        _index_init(info, init.node)
+    return info
+
+
+def _iter_statements_in_order(body: list[ast.stmt]):
+    """Statements in source order, without descending into nested
+    function or class definitions."""
+    for statement in body:
+        yield statement
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+            continue
+        for attr in ("body", "orelse", "finalbody"):
+            nested = getattr(statement, attr, None)
+            if nested:
+                yield from _iter_statements_in_order(nested)
+        for handler in getattr(statement, "handlers", []):
+            yield from _iter_statements_in_order(handler.body)
+
+
+def _classify_value(value: ast.expr, locals_locks: dict[str, str],
+                    locals_types: dict[str, str]) -> tuple[str, str] | None:
+    """``("lock", kind)`` / ``("open", "")`` / ``("class", Name)`` for an
+    assigned value, following ``A() if x is None else x`` either way."""
+    kind = lock_kind_of_call(value)
+    if kind is not None:
+        return ("lock", kind)
+    if isinstance(value, ast.IfExp):
+        return (
+            _classify_value(value.body, locals_locks, locals_types)
+            or _classify_value(value.orelse, locals_locks, locals_types)
+        )
+    if isinstance(value, ast.Call):
+        func = _dotted(value.func)
+        if func is not None:
+            tail = func.split(".")[-1]
+            if tail == "open":
+                return ("open", "")
+            if tail and tail[0].isupper():
+                return ("class", tail)
+        return None
+    if isinstance(value, ast.Name):
+        if value.id in locals_locks:
+            return ("lock", locals_locks[value.id])
+        if value.id in locals_types:
+            return ("class", locals_types[value.id])
+    return None
+
+
+def _index_init(info: ClassInfo, init: ast.FunctionDef) -> None:
+    """Infer ``self.x`` attribute types and lock attributes from
+    ``__init__``: direct lock construction, known-class construction,
+    parameter pass-through (typed by annotation, possibly rebound
+    locally first), and ``open(...)``."""
+    locals_locks: dict[str, str] = {}
+    locals_types: dict[str, str] = {}
+    args = init.args
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        kind = lock_kind_of_annotation(arg.annotation)
+        if kind is not None:
+            locals_locks[arg.arg] = kind
+            continue
+        class_name = annotation_class_name(arg.annotation)
+        if class_name is not None:
+            locals_types[arg.arg] = class_name
+    for statement in _iter_statements_in_order(init.body):
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(statement, ast.Assign):
+            targets, value = statement.targets, statement.value
+        elif isinstance(statement, ast.AnnAssign) and statement.value is not None:
+            targets, value = [statement.target], statement.value
+        if value is None:
+            continue
+        classified = _classify_value(value, locals_locks, locals_types)
+        for target in targets:
+            if isinstance(target, ast.Name):
+                if classified is None:
+                    locals_locks.pop(target.id, None)
+                    locals_types.pop(target.id, None)
+                elif classified[0] == "lock":
+                    locals_locks[target.id] = classified[1]
+                elif classified[0] == "class":
+                    locals_types[target.id] = classified[1]
+                continue
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                continue
+            attr = target.attr
+            if classified is not None and classified[0] == "lock":
+                info.lock_attrs[attr] = classified[1]
+                info.unpicklable_attrs.setdefault(attr, statement.lineno)
+            elif classified is not None and classified[0] == "open":
+                info.unpicklable_attrs.setdefault(attr, statement.lineno)
+            elif classified is not None and classified[0] == "class":
+                info.attr_types.setdefault(attr, classified[1])
+            elif isinstance(statement, ast.AnnAssign):
+                kind = lock_kind_of_annotation(statement.annotation)
+                if kind is not None:
+                    info.lock_attrs[attr] = kind
+                    info.unpicklable_attrs.setdefault(attr, statement.lineno)
+                    continue
+                class_name = annotation_class_name(statement.annotation)
+                if class_name is not None:
+                    info.attr_types.setdefault(attr, class_name)
+
+
+def _index_file(source_file: SourceFile) -> None:
+    tree = source_file.tree
+    if tree is None:
+        return
+    _scan_directives(source_file)
+    _index_imports(source_file)
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef):
+            source_file.functions[node.name] = FunctionInfo(
+                name=node.name, qualname=node.name, node=node, file=source_file
+            )
+        elif isinstance(node, ast.ClassDef):
+            source_file.classes[node.name] = _index_class(source_file, node)
+        elif isinstance(node, ast.Assign):
+            kind = lock_kind_of_call(node.value)
+            if kind is not None:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        source_file.module_locks[target.id] = kind
+
+
+class Project:
+    """The parsed file set plus cross-file indexes."""
+
+    def __init__(self, root: str, files: list[SourceFile]):
+        self.root = root
+        self.files = files
+        self.by_rel = {f.rel: f for f in files}
+        #: class name → ClassInfo (first definition wins on collision —
+        #: class names are unique in this codebase; fixtures keep it so).
+        self.classes: dict[str, ClassInfo] = {}
+        for source_file in files:
+            for name, info in source_file.classes.items():
+                self.classes.setdefault(name, info)
+        #: top-level package/module names present in the tree, used to
+        #: recognize intra-project imports.
+        self.top_names: set[str] = set()
+        for source_file in files:
+            parts = source_file.rel.split("/")
+            for index, part in enumerate(parts):
+                if part == "src":
+                    continue
+                self.top_names.add(part[:-3] if part.endswith(".py") else part)
+                break
+            # also register every package directory on the path so
+            # fixtures with nested layouts resolve their own imports
+            for part in parts[:-1]:
+                if part != "src":
+                    self.top_names.add(part)
+
+    def resolve_module_alias(self, source_file: SourceFile, name: str) -> SourceFile | None:
+        """The project file an imported-module alias points at, if any."""
+        dotted = source_file.module_aliases.get(name)
+        if dotted is None:
+            return None
+        tail = dotted.replace(".", "/")
+        for candidate in (f"{tail}.py", f"{tail}/__init__.py"):
+            for rel, target in self.by_rel.items():
+                if rel == candidate or rel.endswith("/" + candidate):
+                    return target
+        return None
+
+    def iter_functions(self):
+        """Every function and method in the project, depth-one only."""
+        for source_file in self.files:
+            yield from source_file.functions.values()
+            for cls in source_file.classes.values():
+                yield from cls.methods.values()
+
+
+def collect_files(paths: list[str], root: str) -> list[str]:
+    """Expand files/directories into a sorted ``.py`` file list."""
+    found: set[str] = set()
+    for path in paths:
+        absolute = os.path.abspath(path)
+        if os.path.isfile(absolute) and absolute.endswith(".py"):
+            found.add(absolute)
+        elif os.path.isdir(absolute):
+            for dirpath, dirnames, filenames in os.walk(absolute):
+                dirnames[:] = [
+                    d for d in dirnames
+                    if d not in ("__pycache__", ".git", ".mypy_cache")
+                ]
+                for filename in filenames:
+                    if filename.endswith(".py"):
+                        found.add(os.path.join(dirpath, filename))
+    return sorted(found)
+
+
+def load_project(paths: list[str], root: str | None = None) -> Project:
+    """Parse *paths* (files or directories) into a :class:`Project`."""
+    root = os.path.abspath(root or os.getcwd())
+    files: list[SourceFile] = []
+    for path in collect_files(paths, root):
+        try:
+            with open(path, encoding="utf-8", errors="replace") as handle:
+                text = handle.read()
+        except OSError as error:
+            files.append(SourceFile(
+                path=path, rel=_relpath(path, root), text="",
+                tree=None, parse_error=str(error),
+            ))
+            continue
+        tree: ast.Module | None
+        parse_error: str | None = None
+        try:
+            tree = ast.parse(text, filename=path)
+        except SyntaxError as error:
+            tree = None
+            parse_error = f"syntax error: {error.msg} (line {error.lineno})"
+        source_file = SourceFile(
+            path=path, rel=_relpath(path, root), text=text,
+            tree=tree, parse_error=parse_error,
+        )
+        _index_file(source_file)
+        files.append(source_file)
+    return Project(root, files)
+
+
+def _relpath(path: str, root: str) -> str:
+    try:
+        rel = os.path.relpath(path, root)
+    except ValueError:  # different drive on Windows
+        rel = path
+    if rel.startswith(".."):
+        rel = path
+    return rel.replace(os.sep, "/")
+
+
+def stdlib_module_names() -> frozenset[str]:
+    return frozenset(sys.stdlib_module_names)
