@@ -187,12 +187,13 @@ def result_from_dict(data: dict, validate: bool = True) -> CompilationResult:
         encoding=encoding_from_dict(descent_data["encoding"], validate=validate),
         weight=descent_data["weight"],
         proved_optimal=descent_data["proved_optimal"],
-        steps=[step_from_dict(step) for step in descent_data["steps"]],
-        construct_time_s=descent_data["construct_time_s"],
-        solve_time_s=descent_data["solve_time_s"],
+        steps=[step_from_dict(step)
+               for step in descent_data.get("steps", [])],
+        construct_time_s=descent_data.get("construct_time_s", 0.0),
+        solve_time_s=descent_data.get("solve_time_s", 0.0),
         preprocess_time_s=descent_data.get("preprocess_time_s", 0.0),
-        repairs=descent_data["repairs"],
-        strategy=descent_data["strategy"],
+        repairs=descent_data.get("repairs", 0),
+        strategy=descent_data.get("strategy", "linear"),
         # resilience fields postdate schema v1 entries; default like any run
         # that finished cleanly.
         degraded=descent_data.get("degraded", False),
@@ -208,9 +209,9 @@ def result_from_dict(data: dict, validate: bool = True) -> CompilationResult:
             weight=annealing_data["weight"],
             initial_weight=annealing_data["initial_weight"],
             mode_order=list(annealing_data["mode_order"]),
-            accepted_moves=annealing_data["accepted_moves"],
-            attempted_moves=annealing_data["attempted_moves"],
-            history=list(annealing_data["history"]),
+            accepted_moves=annealing_data.get("accepted_moves", 0),
+            attempted_moves=annealing_data.get("attempted_moves", 0),
+            history=list(annealing_data.get("history", [])),
         )
 
     verification = None
@@ -220,7 +221,7 @@ def result_from_dict(data: dict, validate: bool = True) -> CompilationResult:
             anticommutativity=verification_data["anticommutativity"],
             algebraic_independence=verification_data["algebraic_independence"],
             vacuum_preservation=verification_data["vacuum_preservation"],
-            violations=list(verification_data["violations"]),
+            violations=list(verification_data.get("violations", [])),
         )
 
     hardware = None
