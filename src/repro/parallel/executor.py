@@ -165,8 +165,9 @@ class ProcessBatchExecutor:
         return ProcessPoolExecutor(max_workers=max_workers, mp_context=context)
 
     def __enter__(self) -> "ProcessBatchExecutor":
-        self._pool = self._make_pool(self.jobs)
-        self._pool_broken = False
+        with self._pool_guard:
+            self._pool = self._make_pool(self.jobs)
+            self._pool_broken = False
         return self
 
     def __exit__(self, *exc_info) -> None:
@@ -174,9 +175,13 @@ class ProcessBatchExecutor:
 
     def close(self) -> None:
         """Shut the persistent pool down (no-op outside a ``with`` block)."""
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
+        with self._pool_guard:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            # shutdown() waits for in-flight futures; do it outside the
+            # guard so a concurrent run() marking the pool broken is
+            # never blocked behind the drain.
+            pool.shutdown()
 
     def _emit(self, event) -> None:
         if self.on_event is not None:
@@ -279,7 +284,8 @@ class ProcessBatchExecutor:
                     self.progress_path(key),
                 )
             except Exception as crash:  # pool already broken / shut down
-                self._pool_broken = True
+                with self._pool_guard:
+                    self._pool_broken = True
                 outcome = JobOutcome(
                     job=job,
                     key=key,
@@ -307,7 +313,8 @@ class ProcessBatchExecutor:
                     outcome = future.result()
                 except Exception as crash:  # pool broke / unpicklable result
                     if isinstance(crash, BrokenProcessPool):
-                        self._pool_broken = True
+                        with self._pool_guard:
+                            self._pool_broken = True
                     outcome = JobOutcome(
                         job=job,
                         key=key,
