@@ -56,6 +56,7 @@ class SolverBudget:
     time_budget_s: float | None = None
 
 
+# repro-lint: worker-shipped
 @dataclass(frozen=True)
 class FermihedralConfig:
     """Switches selecting which constraints enter the SAT instance.

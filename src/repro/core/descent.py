@@ -663,6 +663,7 @@ def descend(
             created_at=time.time(),
         ))
 
+    # repro-lint: hot-path
     def solve_rung(bound: int, time_budget_s=_USE_CONFIG):
         with _span(telemetry, "descent.rung", bound=bound,
                    engine=bound_solver.engine_name) as attrs:

@@ -21,6 +21,7 @@ from repro.paulis.operators import label_from_bits, xz_bits
 _PHASES = (1 + 0j, 1j, -1 + 0j, -1j)
 
 
+# repro-lint: worker-shipped
 class PauliString:
     """An ``N``-qubit Pauli string without a scalar coefficient.
 

@@ -397,6 +397,7 @@ class CdclSolver:
         self.reason[variable] = reason
         self.trail.append(encoded)
 
+    # repro-lint: hot-path
     def _propagate(self) -> int:
         """Propagate the trail to fixpoint; returns a conflict cref or 0."""
         db = self.db
@@ -531,6 +532,7 @@ class CdclSolver:
 
     # -- conflict analysis --------------------------------------------------------------
 
+    # repro-lint: hot-path
     def _analyze(self, conflict: int) -> tuple[list[int], int]:
         """First-UIP analysis with clause minimization.
 
@@ -758,6 +760,7 @@ class CdclSolver:
 
     # -- main loop -----------------------------------------------------------------------
 
+    # repro-lint: hot-path
     def solve(
         self,
         max_conflicts: int | None = None,

@@ -230,6 +230,7 @@ def job_from_spec(
     )
 
 
+# repro-lint: worker-shipped
 @dataclass(frozen=True)
 class CompileJob:
     """One unit of batch work.

@@ -121,6 +121,7 @@ class GcReport:
         return sum(entry.size_bytes for entry in self.removed)
 
 
+# repro-lint: worker-shipped
 class CompilationCache:
     """Content-addressed store of compilation results.
 
