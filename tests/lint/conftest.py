@@ -1,0 +1,31 @@
+"""Helpers for the linter tests: write a fixture mini-package and lint it."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.lint import LintReport, run_lint
+
+
+@pytest.fixture
+def lint_tree(tmp_path):
+    """``lint_tree({"pkg/mod.py": source, ...})`` → :class:`LintReport`.
+
+    Sources are dedented; paths in findings are relative to the tree
+    root, so assertions can match on the literal keys passed in.
+    """
+
+    def _lint(files: dict[str, str], rules: list[str] | None = None,
+              baseline: list[dict] | None = None) -> LintReport:
+        for rel, source in files.items():
+            target = tmp_path / rel
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(textwrap.dedent(source))
+        return run_lint(
+            [str(tmp_path)], root=str(tmp_path), rules=rules,
+            baseline=baseline,
+        )
+
+    return _lint

@@ -1,0 +1,17 @@
+"""Deliberately violating module: CI's lint job must go red on this tree.
+
+Kept OUTSIDE src/ so `repro lint src/` stays green; the negative test
+(and the CI step) lint this directory explicitly and require exit 1.
+"""
+
+import numpy  # L003: third-party import inside the 'sat' layer
+import threading
+
+
+# repro-lint: worker-shipped
+class LeakyJob:
+    """L005: shipped to workers but carries a raw lock, no __getstate__."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.data = numpy.zeros if hasattr(numpy, "zeros") else None

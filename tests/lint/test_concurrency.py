@@ -1,0 +1,306 @@
+"""Lock-graph analyzer fixtures: seeded inversions must be flagged,
+the codebase's known-safe idioms must come back clean."""
+
+from __future__ import annotations
+
+
+def _rules(report, rule_id):
+    return [f for f in report.findings if f.rule == rule_id]
+
+
+INVERSION = {
+    "inv.py": """
+        import threading
+
+        class A:
+            def __init__(self, b: "B"):
+                self._la = threading.Lock()
+                self.b = b
+
+            def forward(self):
+                with self._la:
+                    self.b.inner()
+
+            def tail(self):
+                with self._la:
+                    pass
+
+        class B:
+            def __init__(self, a: A):
+                self._lb = threading.Lock()
+                self.a = a
+
+            def inner(self):
+                with self._lb:
+                    pass
+
+            def backward(self):
+                with self._lb:
+                    self.a.tail()
+    """,
+}
+
+
+class TestC001Inversions:
+    def test_seeded_inversion_flagged(self, lint_tree):
+        (finding,) = _rules(lint_tree(dict(INVERSION)), "C001")
+        assert "lock-order inversion" in finding.message
+        assert "A._la" in finding.message and "B._lb" in finding.message
+
+    def test_fixed_ordering_is_clean(self, lint_tree):
+        files = dict(INVERSION)
+        # the canonical fix: snapshot under the lock, call outside it
+        files["inv.py"] = files["inv.py"].replace(
+            "def backward(self):\n"
+            "                with self._lb:\n"
+            "                    self.a.tail()",
+            "def backward(self):\n"
+            "                with self._lb:\n"
+            "                    pass\n"
+            "                self.a.tail()",
+        )
+        assert _rules(lint_tree(files), "C001") == []
+
+    def test_call_after_with_block_is_outside_the_region(self, lint_tree):
+        # the metrics render() idiom: copy hooks under the lock, call
+        # them after releasing it — must NOT create an edge
+        report = lint_tree({"render.py": """
+            import threading
+
+            class Registry:
+                def __init__(self, bus: "Bus"):
+                    self._lock = threading.Lock()
+                    self.bus = bus
+
+                def render(self):
+                    with self._lock:
+                        hooks = [1]
+                    self.bus.emit()
+
+            class Bus:
+                def __init__(self, registry: Registry):
+                    self._cond = threading.Condition()
+                    self.registry = registry
+
+                def emit(self):
+                    with self._cond:
+                        pass
+
+                def snapshot(self):
+                    with self._cond:
+                        self.registry.render()
+        """})
+        # bus->registry edge exists (snapshot), registry->bus does NOT
+        # (render calls emit outside its region): no cycle
+        assert _rules(report, "C001") == []
+
+    def test_nested_with_in_opposite_orders(self, lint_tree):
+        report = lint_tree({"mod.py": """
+            import threading
+
+            LOCK_A = threading.Lock()
+            LOCK_B = threading.Lock()
+
+            def one():
+                with LOCK_A:
+                    with LOCK_B:
+                        pass
+
+            def two():
+                with LOCK_B:
+                    with LOCK_A:
+                        pass
+        """})
+        (finding,) = _rules(report, "C001")
+        assert "LOCK_A" in finding.message and "LOCK_B" in finding.message
+
+    def test_self_deadlock_through_helper(self, lint_tree):
+        report = lint_tree({"mod.py": """
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def outer(self):
+                    with self._lock:
+                        self.inner()
+
+                def inner(self):
+                    with self._lock:
+                        pass
+        """})
+        (finding,) = _rules(report, "C001")
+        assert "self-deadlock" in finding.message
+
+    def test_rlock_reentry_is_fine(self, lint_tree):
+        report = lint_tree({"mod.py": """
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.RLock()
+
+                def outer(self):
+                    with self._lock:
+                        self.inner()
+
+                def inner(self):
+                    with self._lock:
+                        pass
+        """})
+        assert _rules(report, "C001") == []
+
+    def test_shared_lock_alias_is_one_node(self, lint_tree):
+        # a family hands its RLock to children (the MetricsRegistry
+        # pattern); child and parent acquisitions must unify instead of
+        # reading as two lockable resources
+        report = lint_tree({"metrics.py": """
+            import threading
+
+            class Child:
+                def __init__(self, lock: threading.RLock):
+                    self._lock = lock
+
+                def set(self, value):
+                    with self._lock:
+                        pass
+
+            class Family:
+                def __init__(self):
+                    self._lock = threading.RLock()
+
+                def child(self):
+                    with self._lock:
+                        return Child(self._lock)
+
+                def update(self):
+                    with self._lock:
+                        self.child().set(1)
+        """})
+        assert _rules(report, "C001") == []
+
+
+class TestC002GuardedWrites:
+    def test_unguarded_write_flagged(self, lint_tree):
+        report = lint_tree({"mod.py": """
+            import threading
+
+            class Pool:
+                def __init__(self):
+                    self._guard = threading.Lock()
+                    self._broken = False
+
+                def run(self):
+                    with self._guard:
+                        self._broken = False
+
+                def dispatch(self):
+                    self._broken = True
+        """})
+        (finding,) = _rules(report, "C002")
+        assert "dispatch" in finding.message and "_broken" in finding.message
+
+    def test_all_writes_guarded_is_clean(self, lint_tree):
+        report = lint_tree({"mod.py": """
+            import threading
+
+            class Pool:
+                def __init__(self):
+                    self._guard = threading.Lock()
+                    self._broken = False
+
+                def run(self):
+                    with self._guard:
+                        self._broken = False
+
+                def dispatch(self):
+                    with self._guard:
+                        self._broken = True
+        """})
+        assert _rules(report, "C002") == []
+
+    def test_init_writes_are_exempt(self, lint_tree):
+        report = lint_tree({"mod.py": """
+            import threading
+
+            class Pool:
+                def __init__(self):
+                    self._guard = threading.Lock()
+                    self._broken = False
+                    self._broken = True
+
+                def run(self):
+                    with self._guard:
+                        self._broken = False
+        """})
+        assert _rules(report, "C002") == []
+
+    def test_lock_held_by_caller_helper_is_exempt(self, lint_tree):
+        # the service daemon's "(lock held)" pattern: an underscore
+        # helper writes guarded state, every call site holds the lock
+        report = lint_tree({"mod.py": """
+            import threading
+
+            class Service:
+                def __init__(self):
+                    self._wake = threading.Condition()
+                    self._state = "idle"
+
+                def submit(self):
+                    with self._wake:
+                        self._install()
+
+                def cancel(self):
+                    with self._wake:
+                        self._state = "cancelled"
+
+                def _install(self):
+                    self._state = "queued"
+        """})
+        assert _rules(report, "C002") == []
+
+    def test_helper_with_an_unlocked_call_site_is_flagged(self, lint_tree):
+        report = lint_tree({"mod.py": """
+            import threading
+
+            class Service:
+                def __init__(self):
+                    self._wake = threading.Condition()
+                    self._state = "idle"
+
+                def submit(self):
+                    with self._wake:
+                        self._install()
+
+                def sneaky(self):
+                    self._install()
+
+                def cancel(self):
+                    with self._wake:
+                        self._state = "cancelled"
+
+                def _install(self):
+                    self._state = "queued"
+        """})
+        (finding,) = _rules(report, "C002")
+        assert "_install" in finding.message
+
+    def test_dict_item_writes_count(self, lint_tree):
+        report = lint_tree({"mod.py": """
+            import threading
+
+            class Stats:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.hits = {}
+
+                def bump(self, name):
+                    with self._lock:
+                        self.hits[name] = self.hits.get(name, 0) + 1
+
+                def reset(self, name):
+                    self.hits[name] = 0
+        """})
+        (finding,) = _rules(report, "C002")
+        assert "reset" in finding.message and "hits" in finding.message

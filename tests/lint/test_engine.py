@@ -1,0 +1,156 @@
+"""Engine-level behavior: suppression, baselines, output schemas."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint import (
+    JSON_SCHEMA_VERSION,
+    all_rules,
+    baseline_dict,
+    explain_rule,
+    load_baseline,
+    rules_by_id,
+    run_lint,
+)
+
+_VIOLATING_L005 = """
+    import threading
+
+    # repro-lint: worker-shipped
+    class Bad:
+        def __init__(self):
+            self._lock = threading.Lock()
+"""
+
+
+class TestSuppression:
+    def test_inline_suppression_on_the_class_line(self, lint_tree):
+        report = lint_tree({"mod.py": """
+            import threading
+
+            # repro-lint: worker-shipped
+            class Bad:  # repro-lint: disable=L005
+                def __init__(self):
+                    self._lock = threading.Lock()
+        """})
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_suppression_comment_on_the_line_above(self, lint_tree):
+        report = lint_tree({"sat/mod.py": """
+            # repro-lint: disable=L003
+            import numpy
+        """})
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_disable_all(self, lint_tree):
+        report = lint_tree({"sat/mod.py": """
+            import numpy  # repro-lint: disable=all
+        """})
+        assert report.findings == []
+
+    def test_unrelated_rule_id_does_not_suppress(self, lint_tree):
+        report = lint_tree({"sat/mod.py": """
+            import numpy  # repro-lint: disable=L004
+        """})
+        assert [finding.rule for finding in report.findings] == ["L003"]
+
+
+class TestBaseline:
+    def test_baseline_filters_matching_findings(self, lint_tree):
+        first = lint_tree({"mod.py": _VIOLATING_L005})
+        assert len(first.findings) == 1
+        entries = baseline_dict(first)["entries"]
+        second = lint_tree({"mod.py": _VIOLATING_L005}, baseline=entries)
+        assert second.findings == []
+        assert second.baselined == 1
+        assert second.stale_baseline == []
+
+    def test_stale_entries_reported(self, lint_tree):
+        stale = [{"rule": "L005", "path": "gone.py", "message": "nope"}]
+        report = lint_tree({"mod.py": "x = 1\n"}, baseline=stale)
+        assert report.stale_baseline == stale
+
+    def test_baseline_round_trips_through_json(self, tmp_path, lint_tree):
+        report = lint_tree({"mod.py": _VIOLATING_L005})
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(baseline_dict(report)))
+        entries = load_baseline(str(path))
+        assert entries and entries[0]["rule"] == "L005"
+
+
+class TestOutputs:
+    def test_json_schema_is_stable(self, lint_tree):
+        report = lint_tree({"mod.py": _VIOLATING_L005})
+        payload = report.to_json()
+        assert payload["version"] == JSON_SCHEMA_VERSION
+        assert set(payload) == {"version", "files", "rules", "findings",
+                                "summary"}
+        assert set(payload["findings"][0]) == {"rule", "severity", "path",
+                                               "line", "message"}
+        assert set(payload["summary"]) == {"errors", "warnings", "suppressed",
+                                           "baselined", "stale_baseline"}
+        json.dumps(payload)  # must be serializable as-is
+
+    def test_sarif_document_shape(self, lint_tree):
+        report = lint_tree({"mod.py": _VIOLATING_L005})
+        sarif = report.to_sarif()
+        assert sarif["version"] == "2.1.0"
+        (run,) = sarif["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        (result,) = run["results"]
+        assert result["ruleId"] == "L005"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "mod.py"
+
+    def test_text_output_names_rule_and_location(self, lint_tree):
+        report = lint_tree({"mod.py": _VIOLATING_L005})
+        text = report.to_text()
+        assert "mod.py:" in text and "L005" in text and "error" in text
+
+    def test_parse_failure_is_a_finding(self, lint_tree):
+        report = lint_tree({"broken.py": "def oops(:\n"})
+        assert [finding.rule for finding in report.findings] == ["E001"]
+        assert report.exit_code == 1
+
+
+class TestRuleSelection:
+    def test_rules_allowlist(self, lint_tree):
+        report = lint_tree(
+            {"sat/mod.py": "import numpy\n", "mod.py": _VIOLATING_L005},
+            rules=["L003"],
+        )
+        assert {finding.rule for finding in report.findings} == {"L003"}
+
+    def test_unknown_rule_id_rejected(self, lint_tree):
+        with pytest.raises(ValueError, match="unknown rule ids"):
+            lint_tree({"mod.py": "x = 1\n"}, rules=["L999"])
+
+    def test_registry_has_both_families(self):
+        ids = {rule.id for rule in all_rules()}
+        assert {"L001", "L002", "L003", "L004", "L005",
+                "C001", "C002"} <= ids
+
+
+class TestExplain:
+    def test_every_rule_explains_itself(self):
+        for rule_id, rule in rules_by_id().items():
+            text = explain_rule(rule_id)
+            assert rule_id in text
+            assert "Violating:" in text and "Fixed:" in text
+            assert rule.summary in text
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            explain_rule("Z999")
+
+
+def test_exit_code_zero_on_clean_tree(tmp_path):
+    (tmp_path / "ok.py").write_text("VALUE = 1\n")
+    report = run_lint([str(tmp_path)], root=str(tmp_path))
+    assert report.findings == []
+    assert report.exit_code == 0

@@ -1,0 +1,357 @@
+"""Per-rule fixtures for the invariant family (L001–L005), clean and
+violating variants."""
+
+from __future__ import annotations
+
+
+def _rules(report, rule_id):
+    return [f for f in report.findings if f.rule == rule_id]
+
+
+class TestL001ConfigClassification:
+    CLEAN = {
+        "config.py": """
+            import dataclasses
+
+            EXECUTION_ONLY_FIELDS = ("jobs",)
+
+            @dataclasses.dataclass(frozen=True)
+            class FermihedralConfig:
+                budget: int = 0
+                jobs: int = 1
+        """,
+        "fingerprint.py": """
+            import dataclasses
+            from config import EXECUTION_ONLY_FIELDS
+
+            def canonical_config(config):
+                data = dataclasses.asdict(config)
+                for name in EXECUTION_ONLY_FIELDS:
+                    data.pop(name, None)
+                return data
+        """,
+    }
+
+    def test_asdict_minus_pop_loop_is_clean(self, lint_tree):
+        assert _rules(lint_tree(dict(self.CLEAN)), "L001") == []
+
+    def test_unclassified_field_flagged(self, lint_tree):
+        files = dict(self.CLEAN)
+        files["config.py"] = files["config.py"].replace(
+            "budget: int = 0",
+            "budget: int = 0\n                shiny: bool = False",
+        )
+        # asdict() fingerprints 'shiny' automatically, so the asdict shape
+        # stays clean; an explicit dict build misses the new field.
+        files["fingerprint.py"] = """
+            def canonical_config(config):
+                return {"budget": config.budget}
+        """
+        (finding,) = _rules(lint_tree(files), "L001")
+        assert "shiny" in finding.message
+        assert "unclassified" in finding.message
+
+    def test_execution_only_field_leaking_into_fingerprint(self, lint_tree):
+        files = dict(self.CLEAN)
+        files["fingerprint.py"] = """
+            def canonical_config(config):
+                return {"budget": config.budget, "jobs": config.jobs}
+        """
+        (finding,) = _rules(lint_tree(files), "L001")
+        assert "jobs" in finding.message and "still reaches" in finding.message
+
+    def test_stale_execution_only_entry(self, lint_tree):
+        files = dict(self.CLEAN)
+        files["config.py"] = files["config.py"].replace(
+            '("jobs",)', '("jobs", "gone")'
+        )
+        (finding,) = _rules(lint_tree(files), "L001")
+        assert "gone" in finding.message and "stale" in finding.message
+
+    def test_rule_silent_without_fingerprint_module(self, lint_tree):
+        files = {"config.py": self.CLEAN["config.py"]}
+        assert _rules(lint_tree(files), "L001") == []
+
+
+class TestL002HotPathTelemetry:
+    def test_unguarded_call_flagged(self, lint_tree):
+        report = lint_tree({"mod.py": """
+            # repro-lint: hot-path
+            def solve(telemetry):
+                telemetry.counter("x").inc()
+        """})
+        (finding,) = _rules(report, "L002")
+        assert "unguarded telemetry call" in finding.message
+
+    def test_is_not_none_gate_accepted(self, lint_tree):
+        report = lint_tree({"mod.py": """
+            # repro-lint: hot-path
+            def solve(telemetry):
+                if telemetry is not None:
+                    telemetry.counter("x").inc()
+        """})
+        assert _rules(report, "L002") == []
+
+    def test_early_return_gate_dominates_the_rest(self, lint_tree):
+        report = lint_tree({"mod.py": """
+            # repro-lint: hot-path
+            def solve(telemetry):
+                if telemetry is None:
+                    return None
+                telemetry.counter("x").inc()
+                return True
+        """})
+        assert _rules(report, "L002") == []
+
+    def test_passing_telemetry_as_argument_is_fine(self, lint_tree):
+        report = lint_tree({"mod.py": """
+            def _span(telemetry, name):
+                return None
+
+            # repro-lint: hot-path
+            def solve(telemetry):
+                with _span(telemetry, "rung"):
+                    return 1
+        """})
+        assert _rules(report, "L002") == []
+
+    def test_gate_does_not_leak_into_a_closure(self, lint_tree):
+        report = lint_tree({"mod.py": """
+            # repro-lint: hot-path
+            def solve(telemetry):
+                if telemetry is not None:
+                    def finish():
+                        telemetry.counter("x").inc()
+                    return finish
+        """})
+        (finding,) = _rules(report, "L002")
+        assert "finish" in finding.message
+
+    def test_unmarked_function_is_out_of_scope(self, lint_tree):
+        report = lint_tree({"mod.py": """
+            def cold(telemetry):
+                telemetry.counter("x").inc()
+        """})
+        assert _rules(report, "L002") == []
+
+    def test_else_branch_of_none_check_is_guarded(self, lint_tree):
+        report = lint_tree({"mod.py": """
+            # repro-lint: hot-path
+            def solve(telemetry):
+                if telemetry is None:
+                    pass
+                else:
+                    telemetry.counter("x").inc()
+        """})
+        assert _rules(report, "L002") == []
+
+
+class TestL003StdlibBoundary:
+    def test_third_party_import_in_layer_flagged(self, lint_tree):
+        report = lint_tree({"sat/solver.py": "import numpy\n"})
+        (finding,) = _rules(report, "L003")
+        assert "numpy" in finding.message and "'sat'" in finding.message
+
+    def test_stdlib_and_intra_project_imports_pass(self, lint_tree):
+        report = lint_tree({
+            "pkg/sat/a.py": "import threading\nfrom pkg.sat.b import X\n",
+            "pkg/sat/b.py": "X = 1\n",
+        })
+        assert _rules(report, "L003") == []
+
+    def test_single_module_layer_form(self, lint_tree):
+        report = lint_tree({"chaos.py": "import requests\n"})
+        (finding,) = _rules(report, "L003")
+        assert "requests" in finding.message
+
+    def test_file_outside_the_layers_is_unconstrained(self, lint_tree):
+        report = lint_tree({"analysis/plots.py": "import numpy\n"})
+        assert _rules(report, "L003") == []
+
+    def test_relative_imports_pass(self, lint_tree):
+        report = lint_tree({
+            "sat/__init__.py": "",
+            "sat/a.py": "from . import b\n",
+            "sat/b.py": "",
+        })
+        assert _rules(report, "L003") == []
+
+
+class TestL004SerializationBackCompat:
+    DATACLASS = """
+        from dataclasses import dataclass
+
+        @dataclass
+        class Record:
+            weight: int
+            degraded: bool = False
+    """
+
+    def test_bare_subscript_on_defaulted_field_flagged(self, lint_tree):
+        report = lint_tree({
+            "model.py": self.DATACLASS,
+            "serial.py": """
+                from model import Record
+
+                def record_from_dict(data):
+                    return Record(
+                        weight=data["weight"],
+                        degraded=data["degraded"],
+                    )
+            """,
+        })
+        (finding,) = _rules(report, "L004")
+        assert "degraded" in finding.message and ".get" in finding.message
+
+    def test_get_read_is_clean(self, lint_tree):
+        report = lint_tree({
+            "model.py": self.DATACLASS,
+            "serial.py": """
+                from model import Record
+
+                def record_from_dict(data):
+                    return Record(
+                        weight=data["weight"],
+                        degraded=data.get("degraded", False),
+                    )
+            """,
+        })
+        assert _rules(report, "L004") == []
+
+    def test_required_field_may_subscript(self, lint_tree):
+        report = lint_tree({
+            "model.py": self.DATACLASS,
+            "serial.py": """
+                from model import Record
+
+                def record_from_dict(data):
+                    return Record(weight=data["weight"])
+            """,
+        })
+        assert _rules(report, "L004") == []
+
+    def test_classmethod_cls_pattern(self, lint_tree):
+        report = lint_tree({"model.py": """
+            from dataclasses import dataclass
+
+            @dataclass
+            class Record:
+                weight: int
+                degraded: bool = False
+
+                @classmethod
+                def from_dict(cls, data):
+                    return cls(
+                        weight=data["weight"],
+                        degraded=data["degraded"],
+                    )
+        """})
+        (finding,) = _rules(report, "L004")
+        assert "degraded" in finding.message
+
+    def test_positional_arguments_are_mapped_to_fields(self, lint_tree):
+        report = lint_tree({"model.py": """
+            from dataclasses import dataclass
+
+            @dataclass
+            class Record:
+                weight: int
+                degraded: bool = False
+
+                @classmethod
+                def from_dict(cls, data):
+                    return cls(data["weight"], data["degraded"])
+        """})
+        (finding,) = _rules(report, "L004")
+        assert "degraded" in finding.message
+
+    def test_non_from_dict_functions_are_out_of_scope(self, lint_tree):
+        report = lint_tree({
+            "model.py": self.DATACLASS,
+            "other.py": """
+                from model import Record
+
+                def build(data):
+                    return Record(weight=1, degraded=data["degraded"])
+            """,
+        })
+        assert _rules(report, "L004") == []
+
+
+class TestL005WorkerPicklability:
+    def test_lock_without_getstate_flagged(self, lint_tree):
+        report = lint_tree({"mod.py": """
+            import threading
+
+            # repro-lint: worker-shipped
+            class Cache:
+                def __init__(self):
+                    self._lock = threading.Lock()
+        """})
+        (finding,) = _rules(report, "L005")
+        assert "Cache" in finding.message and "_lock" in finding.message
+
+    def test_getstate_makes_it_clean(self, lint_tree):
+        report = lint_tree({"mod.py": """
+            import threading
+
+            # repro-lint: worker-shipped
+            class Cache:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def __getstate__(self):
+                    return {}
+        """})
+        assert _rules(report, "L005") == []
+
+    def test_reduce_also_counts(self, lint_tree):
+        report = lint_tree({"mod.py": """
+            import threading
+
+            # repro-lint: worker-shipped
+            class Cache:
+                def __init__(self):
+                    self._handle = open("/dev/null")
+
+                def __reduce__(self):
+                    return (Cache, ())
+        """})
+        assert _rules(report, "L005") == []
+
+    def test_open_file_handle_flagged(self, lint_tree):
+        report = lint_tree({"mod.py": """
+            # repro-lint: worker-shipped
+            class Sink:
+                def __init__(self, path):
+                    self._handle = open(path)
+        """})
+        (finding,) = _rules(report, "L005")
+        assert "_handle" in finding.message
+
+    def test_unmarked_class_is_out_of_scope(self, lint_tree):
+        report = lint_tree({"mod.py": """
+            import threading
+
+            class Internal:
+                def __init__(self):
+                    self._lock = threading.Lock()
+        """})
+        assert _rules(report, "L005") == []
+
+    def test_marker_above_decorator(self, lint_tree):
+        report = lint_tree({"mod.py": """
+            import threading
+            from dataclasses import dataclass
+
+            def decorate(cls):
+                return cls
+
+            # repro-lint: worker-shipped
+            @decorate
+            class Job:
+                def __init__(self):
+                    self._lock = threading.Lock()
+        """})
+        (finding,) = _rules(report, "L005")
+        assert "Job" in finding.message
