@@ -85,7 +85,7 @@ from repro.simulator import (
 # constant, so installed-distribution metadata can never disagree with the
 # code actually running (a stale `pip install` next to a PYTHONPATH=src
 # checkout would otherwise win).
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AnnealingSchedule",
